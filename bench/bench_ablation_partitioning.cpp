@@ -1,0 +1,118 @@
+// Ablation: the two partitioning stages of AnalyzeByService (paper §III,
+// Fig. 2). "Using this new method and performing the two rounds of
+// partitioning has the added side effect of better quality patterns
+// compared with processing them as a single group."
+//
+// Four configurations over the same labelled fleet sample:
+//   A  single shared trie (seminal Analyze: no service, no length split)
+//   B  by service only (length partitioning disabled)
+//   C  by service + by token count (full AnalyzeByService)
+//   D  C with a 4-thread pool (scaling column)
+// Reported: wall time, discovered patterns, and grouping accuracy against
+// the fleet's ground-truth (service, event) labels.
+#include <cstdio>
+#include <map>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "eval/grouping_accuracy.hpp"
+#include "loggen/fleet.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace seqrtg;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool by_service;
+  bool by_length;
+  std::size_t threads;
+};
+
+struct Sample {
+  std::vector<core::LogRecord> records;
+  std::vector<std::string> truth;  // "serviceIdx/eventIdx"
+};
+
+Sample make_sample(std::size_t n) {
+  loggen::FleetOptions opts;
+  opts.services = 120;
+  opts.seed = util::kDefaultSeed;
+  loggen::FleetGenerator fleet(opts);
+  Sample s;
+  s.records.reserve(n);
+  s.truth.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    loggen::FleetRecord rec = fleet.next();
+    s.truth.push_back(std::to_string(rec.service_idx) + "/" +
+                      std::to_string(rec.event_idx));
+    s.records.push_back(std::move(rec.record));
+  }
+  return s;
+}
+
+void run_config(const Config& cfg, const Sample& sample) {
+  core::InMemoryRepository repo;
+  core::EngineOptions opts;
+  opts.threads = cfg.threads;
+  opts.partition_by_length = cfg.by_length;
+  core::Engine engine(&repo, opts);
+
+  util::Stopwatch timer;
+  if (cfg.by_service) {
+    engine.analyze_by_service(sample.records);
+  } else {
+    engine.analyze_single_trie(sample.records);
+  }
+  const double seconds = timer.seconds();
+
+  // Group every record by its matched pattern and score against truth.
+  core::Parser parser(opts.scanner, opts.special);
+  for (const std::string& svc : repo.services()) {
+    for (const core::Pattern& p : repo.load_service(svc)) {
+      parser.add_pattern(p);
+    }
+  }
+  std::vector<std::string> predicted;
+  predicted.reserve(sample.records.size());
+  std::size_t unmatched = 0;
+  for (const core::LogRecord& r : sample.records) {
+    const std::string service = cfg.by_service ? r.service : "*";
+    if (auto result = parser.parse(service, r.message)) {
+      predicted.push_back(result->pattern->id());
+    } else {
+      predicted.push_back("um" + std::to_string(unmatched++));
+    }
+  }
+  const double accuracy = eval::grouping_accuracy(predicted, sample.truth);
+
+  std::printf("%-28s | %8.2f | %9zu | %9.3f\n", cfg.name, seconds,
+              repo.pattern_count(), accuracy);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMessages = 200000;
+  const Sample sample = make_sample(kMessages);
+
+  std::printf("Partitioning ablation — %zu messages, 120 services\n",
+              kMessages);
+  std::printf("%-28s | %8s | %9s | %9s\n", "configuration", "time [s]",
+              "patterns", "accuracy");
+  for (int i = 0; i < 64; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  run_config({"A single shared trie", false, false, 1}, sample);
+  run_config({"B by service only", true, false, 1}, sample);
+  run_config({"C by service + length", true, true, 1}, sample);
+  run_config({"D = C with 4 threads", true, true, 4}, sample);
+
+  std::printf(
+      "\nPaper claim: the two partitioning rounds give better-quality\n"
+      "patterns than processing everything as a single group, while also\n"
+      "bounding memory and time.\n");
+  return 0;
+}

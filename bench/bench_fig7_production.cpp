@@ -1,0 +1,69 @@
+// Fig. 7 reproduction: "Evolution of matched/unmatched message ratio after
+// the introduction of Sequence-RTG" — 60 days of production traffic, with
+// system administrators reviewing and promoting a bounded number of
+// candidate patterns per day. The paper reports the unmatched share
+// dropping from 75-80% to about 15% over two months, with an average batch
+// analysis time of 7.5 s at 100k-record batches.
+//
+// Scaled to laptop volumes (defaults: 241 services, 120k msgs/day, 10k
+// batches; override days/volume via SEQRTG_FIG7_DAYS /
+// SEQRTG_FIG7_MSGS_PER_DAY). A ~13% long tail of one-off messages models
+// the never-promotable noise that sets the floor.
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/simulation.hpp"
+#include "util/rng.hpp"
+
+using namespace seqrtg;
+
+int main() {
+  pipeline::SimulationOptions opts;
+  opts.days = 60;
+  opts.messages_per_day = 120000;
+  opts.batch_size = 10000;
+  opts.initial_coverage = 0.22;  // paper: 20-25% matched before this work
+  opts.reviews_per_day = 60;
+  opts.promote_min_count = 5;
+  opts.fleet.services = 241;
+  opts.fleet.noise_fraction = 0.13;
+  opts.fleet.seed = util::kDefaultSeed;
+  if (const char* env = std::getenv("SEQRTG_FIG7_DAYS")) {
+    opts.days = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("SEQRTG_FIG7_MSGS_PER_DAY")) {
+    opts.messages_per_day =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  std::printf("Fig. 7 — matched/unmatched ratio over %zu days "
+              "(%zu msgs/day, batch %zu, %zu reviews/day)\n",
+              opts.days, opts.messages_per_day, opts.batch_size,
+              opts.reviews_per_day);
+  std::printf("%4s | %9s | %9s | %10s | %9s | %9s | %12s\n", "day",
+              "matched", "unmatched", "unmatched%", "promoted", "analyses",
+              "avg anal [s]");
+  for (int i = 0; i < 84; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  pipeline::ProductionSimulation sim(opts);
+  double first_pct = 0.0;
+  double last_pct = 0.0;
+  for (std::size_t d = 0; d < opts.days; ++d) {
+    const pipeline::DayStats day = sim.run_day();
+    if (d == 0) first_pct = day.unmatched_pct;
+    last_pct = day.unmatched_pct;
+    // Print every day for the first week, then every 5th (the curve is
+    // smooth after the initial drop).
+    if (day.day <= 7 || day.day % 5 == 0 || day.day == opts.days) {
+      std::printf("%4zu | %9zu | %9zu | %9.1f%% | %9zu | %9zu | %12.3f\n",
+                  day.day, day.matched, day.unmatched, day.unmatched_pct,
+                  day.promoted_total, day.analyses,
+                  day.avg_analysis_seconds);
+    }
+  }
+  std::printf("\nday 1 unmatched: %.1f%%  ->  day %zu unmatched: %.1f%%\n",
+              first_pct, opts.days, last_pct);
+  std::printf("Paper shape: ~75-80%% -> ~15%% over 60 days.\n");
+  return 0;
+}

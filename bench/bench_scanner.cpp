@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark): scanner single-pass throughput per
+// Table I element class, full-message scan rates, analyser insertion and
+// parser matching. Supports the paper's claim that the FSM design "can
+// process messages in a single pass which makes it incredibly fast".
+#include <benchmark/benchmark.h>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "core/scanner.hpp"
+#include "core/trie.hpp"
+#include "loggen/fleet.hpp"
+#include "util/rng.hpp"
+#include "util/sha1.hpp"
+
+using namespace seqrtg;
+
+namespace {
+
+const char* element_message(int kind) {
+  switch (kind) {
+    case 0: return "ts 2021-01-12T06:25:56.123Z end";                // time
+    case 1: return "mac 00:0a:95:9d:68:16 end";                      // mac
+    case 2: return "v6 2001:db8::8a2e:370:7334 end";                 // ipv6
+    case 3: return "from 192.168.0.17 port 51022 end";               // ipv4
+    case 4: return "load 0.75 count 123456 end";                     // nums
+    case 5: return "url https://x.org/a/b?q=1 end";                  // url
+    case 6: return "hex 0x14f05578bd80001 raw 7d5f03e2 end";         // hex
+    case 7: return "plain words only in this message here end";      // text
+    default: return "key=value pairs=2 done";                        // kv
+  }
+}
+
+void BM_ScanElement(benchmark::State& state) {
+  const core::Scanner scanner;
+  const std::string msg = element_message(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.size()));
+}
+BENCHMARK(BM_ScanElement)->DenseRange(0, 8, 1);
+
+void BM_ScanFleetMessages(benchmark::State& state) {
+  loggen::FleetOptions opts;
+  opts.services = 50;
+  loggen::FleetGenerator fleet(opts);
+  const auto batch = fleet.take(1000);
+  const core::Scanner scanner;
+  std::size_t i = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& msg = batch[i++ % batch.size()].message;
+    benchmark::DoNotOptimize(scanner.scan(msg));
+    bytes += static_cast<std::int64_t>(msg.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_ScanFleetMessages);
+
+void BM_TrieInsert(benchmark::State& state) {
+  loggen::FleetOptions opts;
+  opts.services = 1;
+  loggen::FleetGenerator fleet(opts);
+  const auto batch = fleet.take(1000);
+  const core::Scanner scanner;
+  std::vector<std::vector<core::Token>> scanned;
+  for (const auto& r : batch) scanned.push_back(scanner.scan(r.message));
+  std::size_t i = 0;
+  core::AnalyzerTrie trie;
+  for (auto _ : state) {
+    const auto& tokens = scanned[i % scanned.size()];
+    trie.insert(tokens, batch[i % batch.size()].message);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_ParserMatch(benchmark::State& state) {
+  // Build a parser holding the patterns of a realistic service, then
+  // measure steady-state match throughput.
+  loggen::FleetOptions opts;
+  opts.services = 1;
+  opts.min_events_per_service = 30;
+  opts.max_events_per_service = 40;
+  loggen::FleetGenerator fleet(opts);
+  const auto train = fleet.take(5000);
+  core::InMemoryRepository repo;
+  core::EngineOptions eopts;
+  core::Engine engine(&repo, eopts);
+  engine.analyze_by_service(train);
+  core::Parser parser(eopts.scanner, eopts.special);
+  for (const std::string& svc : repo.services()) {
+    for (const core::Pattern& p : repo.load_service(svc)) {
+      parser.add_pattern(p);
+    }
+  }
+  const auto probe = fleet.take(1000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& rec = probe[i++ % probe.size()];
+    benchmark::DoNotOptimize(parser.parse(rec.service, rec.message));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParserMatch);
+
+void BM_Sha1PatternId(benchmark::State& state) {
+  const std::string text =
+      "%action% from %srcip% port %srcport% on %host% at %time%";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::sha1_hex(text + "service-name"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Sha1PatternId);
+
+}  // namespace
+
+BENCHMARK_MAIN();

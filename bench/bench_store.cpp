@@ -1,0 +1,146 @@
+// Microbenchmarks for the embedded pattern store (extension #2 substrate):
+// upsert, point lookup, service scan, match-count updates, SQL round
+// trips, and snapshot persistence.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "store/pattern_store.hpp"
+#include "util/rng.hpp"
+
+using namespace seqrtg;
+
+namespace {
+
+core::Pattern make_pattern(std::size_t i) {
+  core::Pattern p;
+  p.service = "svc-" + std::to_string(i % 40);
+  core::PatternToken c;
+  c.is_variable = false;
+  c.text = "event-" + std::to_string(i);
+  p.tokens.push_back(c);
+  core::PatternToken v;
+  v.is_variable = true;
+  v.var_type = core::TokenType::Integer;
+  v.name = "n";
+  v.is_space_before = true;
+  p.tokens.push_back(v);
+  p.stats.match_count = i + 1;
+  p.examples = {"event-" + std::to_string(i) + " 42"};
+  return p;
+}
+
+void BM_StoreUpsertNew(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pattern_store.upsert_pattern(make_pattern(i++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreUpsertNew);
+
+void BM_StoreUpsertExisting(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  for (std::size_t i = 0; i < 500; ++i) {
+    pattern_store.upsert_pattern(make_pattern(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pattern_store.upsert_pattern(make_pattern(i++ % 500));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreUpsertExisting);
+
+void BM_StoreFindById(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const core::Pattern p = make_pattern(i);
+    pattern_store.upsert_pattern(p);
+    ids.push_back(p.id());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern_store.find(ids[i++ % ids.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreFindById);
+
+void BM_StoreLoadService(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    pattern_store.upsert_pattern(make_pattern(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pattern_store.load_service("svc-" + std::to_string(i++ % 40)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreLoadService);
+
+void BM_StoreRecordMatch(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const core::Pattern p = make_pattern(i);
+    pattern_store.upsert_pattern(p);
+    ids.push_back(p.id());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pattern_store.record_match(ids[i++ % ids.size()], 1, 1600000000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreRecordMatch);
+
+void BM_SqlSelectIndexed(benchmark::State& state) {
+  store::Database db;
+  db.exec("CREATE TABLE t (id TEXT PRIMARY KEY, svc TEXT, n INTEGER)");
+  db.exec("CREATE INDEX ON t (svc)");
+  for (int i = 0; i < 2000; ++i) {
+    db.exec("INSERT INTO t VALUES (?, ?, ?)",
+            {store::Value("id" + std::to_string(i)),
+             store::Value("svc" + std::to_string(i % 40)),
+             store::Value(i)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.exec("SELECT id, n FROM t WHERE svc = ?",
+                {store::Value("svc" + std::to_string(i++ % 40))}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SqlSelectIndexed);
+
+void BM_StoreSaveLoad(benchmark::State& state) {
+  store::PatternStore pattern_store;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0));
+       ++i) {
+    pattern_store.upsert_pattern(make_pattern(i));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_bench_store.db")
+          .string();
+  for (auto _ : state) {
+    pattern_store.save(path);
+    store::PatternStore loaded;
+    loaded.load(path);
+    benchmark::DoNotOptimize(loaded.pattern_count());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StoreSaveLoad)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table III reproduction: grouping accuracy of the four best log parsers
+// from Zhu et al. [11] — AEL, IPLoM, Spell, Drain — on pre-processed data,
+// next to the paper's reported numbers.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "baselines/ael.hpp"
+#include "baselines/drain.hpp"
+#include "baselines/iplom.hpp"
+#include "baselines/spell.hpp"
+#include "eval/dataset_eval.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace seqrtg;
+
+int main() {
+  constexpr std::size_t kEntries = 2000;
+
+  std::printf("Table III — baseline parser accuracy on pre-processed data "
+              "(measured / paper)\n");
+  std::printf("%-12s | %13s | %13s | %13s | %13s\n", "Dataset", "AEL",
+              "IPLoM", "Spell", "Drain");
+  bench::print_rule(76);
+
+  double sums[4] = {0, 0, 0, 0};
+  double paper_sums[4] = {0, 0, 0, 0};
+  std::size_t n = 0;
+  util::Stopwatch total;
+
+  for (const bench::Table3Row& ref : bench::table3_reference()) {
+    const loggen::DatasetSpec* spec = loggen::find_dataset(ref.dataset);
+    if (spec == nullptr) continue;
+    const eval::LabeledCorpus corpus =
+        loggen::generate_corpus(*spec, kEntries, util::kDefaultSeed);
+
+    const auto run = [&](baselines::LogParser& parser) {
+      return eval::baseline_accuracy(parser, corpus.preprocessed,
+                                     corpus.event_ids);
+    };
+    const auto ael = baselines::make_ael();
+    const auto iplom = baselines::make_iplom();
+    const auto spell = baselines::make_spell();
+    const auto drain = baselines::make_drain();
+    const double acc[4] = {run(*ael), run(*iplom), run(*spell), run(*drain)};
+    const double paper[4] = {ref.ael, ref.iplom, ref.spell, ref.drain};
+
+    std::printf("%-12s | %5.3f / %5.3f | %5.3f / %5.3f | %5.3f / %5.3f | "
+                "%5.3f / %5.3f\n",
+                ref.dataset, acc[0], paper[0], acc[1], paper[1], acc[2],
+                paper[2], acc[3], paper[3]);
+    for (int i = 0; i < 4; ++i) {
+      sums[i] += acc[i];
+      paper_sums[i] += paper[i];
+    }
+    ++n;
+  }
+  bench::print_rule(76);
+  const double dn = static_cast<double>(n);
+  std::printf("%-12s | %5.3f / %5.3f | %5.3f / %5.3f | %5.3f / %5.3f | "
+              "%5.3f / %5.3f\n",
+              "Average", sums[0] / dn, paper_sums[0] / dn, sums[1] / dn,
+              paper_sums[1] / dn, sums[2] / dn, paper_sums[2] / dn,
+              sums[3] / dn, paper_sums[3] / dn);
+  std::printf("\n(total evaluation time: %.1f s)\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// alerting — pattern-triggered actions (paper §II / Fig. 1: "it can
+// trigger a predefined action", "send notifications to system or service
+// administrators ... restart a service or run an automated diagnostic
+// task").
+//
+// Mines patterns from an auth log, binds actions to the interesting ones
+// (failed logins -> alert; accepted logins -> audit), then runs live
+// traffic through parse-and-dispatch.
+#include <cstdio>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "core/repository.hpp"
+#include "pipeline/actions.hpp"
+
+using namespace seqrtg;
+
+int main() {
+  const std::vector<core::LogRecord> training = {
+      {"sshd", "Failed password for invalid user admin from 203.0.113.5 port 2201 ssh2"},
+      {"sshd", "Failed password for invalid user guest from 203.0.113.9 port 2202 ssh2"},
+      {"sshd", "Failed password for invalid user oracle from 203.0.113.7 port 2203 ssh2"},
+      {"sshd", "Failed password for invalid user test from 203.0.113.2 port 2207 ssh2"},
+      {"sshd", "Accepted password for alice from 192.168.0.17 port 51022 ssh2"},
+      {"sshd", "Accepted password for bob from 192.168.0.12 port 51023 ssh2"},
+      {"sshd", "Accepted password for carol from 192.168.0.99 port 51030 ssh2"},
+      {"sshd", "Accepted password for dave from 192.168.0.98 port 51031 ssh2"},
+  };
+
+  core::InMemoryRepository repo;
+  core::EngineOptions opts;
+  core::Engine engine(&repo, opts);
+  engine.analyze_by_service(training);
+
+  core::Parser parser(opts.scanner, opts.special);
+  pipeline::ActionDispatcher dispatcher;
+  for (const core::Pattern& p : repo.load_service("sshd")) {
+    parser.add_pattern(p);
+    std::printf("pattern: %s\n", p.text().c_str());
+    if (p.text().find("Failed password") != std::string::npos) {
+      dispatcher.bind(p.id(), "alert-oncall",
+                      [](const std::string& service, const std::string&,
+                         const core::ParsedFields& fields) {
+                        std::printf("  [ALERT] %s intrusion attempt",
+                                    service.c_str());
+                        for (const auto& [name, value] : fields) {
+                          std::printf(" %s=%s", name.c_str(), value.c_str());
+                        }
+                        std::printf("\n");
+                      });
+    } else if (p.text().find("Accepted password") != std::string::npos) {
+      dispatcher.bind(p.id(), "audit-log",
+                      [](const std::string&, const std::string& message,
+                         const core::ParsedFields&) {
+                        std::printf("  [audit] %s\n", message.c_str());
+                      });
+    }
+  }
+
+  std::printf("\n--- live traffic ---\n");
+  const std::vector<core::LogRecord> live = {
+      {"sshd", "Failed password for invalid user root from 198.51.100.99 port 4400 ssh2"},
+      {"sshd", "Accepted password for erin from 192.168.0.50 port 52000 ssh2"},
+      {"sshd", "Received disconnect from 10.0.0.1"},  // unmatched: no action
+      {"sshd", "Failed password for invalid user pi from 198.51.100.98 port 4401 ssh2"},
+  };
+  for (const core::LogRecord& rec : live) {
+    const std::size_t fired =
+        dispatcher.parse_and_dispatch(parser, rec.service, rec.message);
+    if (fired == 0) {
+      std::printf("  [pass-through] %s\n", rec.message.c_str());
+    }
+  }
+
+  std::printf("\naction fire counts:\n");
+  for (const auto& [action, count] : dispatcher.fire_counts()) {
+    std::printf("  %-12s %llu\n", action.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

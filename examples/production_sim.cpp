@@ -1,0 +1,44 @@
+// production_sim — a quick run of the Fig. 6/7 production workflow: the
+// syslog-ng patterndb front line, unmatched messages flowing into
+// Sequence-RTG batches, and daily review/promotion. A compressed 15-day
+// horizon keeps the example fast; bench_fig7_production runs the paper's
+// full 60 days.
+#include <cstdio>
+
+#include "pipeline/simulation.hpp"
+#include "util/rng.hpp"
+
+using namespace seqrtg;
+
+int main() {
+  pipeline::SimulationOptions opts;
+  opts.days = 15;
+  opts.messages_per_day = 20000;
+  opts.batch_size = 4000;
+  opts.initial_coverage = 0.22;
+  opts.reviews_per_day = 50;
+  opts.promote_min_count = 4;
+  opts.fleet.services = 80;
+  opts.fleet.noise_fraction = 0.13;
+  opts.fleet.seed = util::kDefaultSeed;
+
+  std::printf("Production workflow simulation — %zu services, "
+              "%zu msgs/day, batch %zu\n\n",
+              opts.fleet.services, opts.messages_per_day, opts.batch_size);
+  std::printf("%4s | %10s | %9s | %9s\n", "day", "unmatched%", "promoted",
+              "candidates");
+  for (int i = 0; i < 44; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  pipeline::ProductionSimulation sim(opts);
+  for (std::size_t d = 0; d < opts.days; ++d) {
+    const pipeline::DayStats day = sim.run_day();
+    std::printf("%4zu | %9.1f%% | %9zu | %9zu\n", day.day,
+                day.unmatched_pct, day.promoted_total, day.candidates);
+  }
+  std::printf(
+      "\nThe unmatched share falls as administrators promote reviewed\n"
+      "patterns; the floor is set by the one-off message tail that never\n"
+      "reaches the promotion threshold (paper: 75-80%% -> ~15%%).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// stream_miner — the production entry point of Sequence-RTG (paper Fig. 6).
+//
+// Reads a JSON-lines stream of {"service": ..., "message": ...} records
+// from stdin (exactly what syslog-ng pipes to its child process), batches
+// them, runs AnalyzeByService against a persistent pattern database, and
+// prints a per-batch report. On EOF the database is saved and the top
+// patterns are exported.
+//
+// Usage:
+//   stream_miner [--batch N] [--db FILE] [--format patterndb|yaml|grok]
+//                [--threads N] [--save-threshold N] [--demo N]
+//
+// With --demo N the input stream is synthesised from the fleet generator
+// (N messages) instead of stdin, so the example runs out of the box:
+//   ./build/examples/stream_miner --demo 50000 --batch 10000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "exporters/exporter.hpp"
+#include "loggen/fleet.hpp"
+#include "store/pattern_store.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace seqrtg;
+
+int main(int argc, char** argv) {
+  std::size_t batch_size = 10000;
+  std::string db_path = "patterns.db";
+  std::string format_name = "patterndb";
+  std::size_t threads = 1;
+  std::uint64_t save_threshold = 2;
+  std::size_t demo_messages = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--batch") {
+      batch_size = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--db") {
+      db_path = next();
+    } else if (arg == "--format") {
+      format_name = next();
+    } else if (arg == "--threads") {
+      threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--save-threshold") {
+      save_threshold = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--demo") {
+      demo_messages = std::strtoull(next(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Persistent pattern database (extension #2): reload previous patterns
+  // so analysis continues across executions.
+  store::PatternStore pattern_store;
+  if (pattern_store.load(db_path)) {
+    std::printf("loaded %zu patterns from %s\n",
+                pattern_store.pattern_count(), db_path.c_str());
+  } else {
+    std::printf("starting with an empty pattern database (%s)\n",
+                db_path.c_str());
+  }
+
+  core::EngineOptions opts;
+  opts.threads = threads;
+  opts.save_threshold = save_threshold;
+  core::Engine engine(&pattern_store, opts);
+  core::JsonStreamIngester ingester(batch_size);
+
+  // Demo mode synthesises the stream; otherwise consume stdin.
+  std::istringstream demo_stream;
+  std::istream* in = &std::cin;
+  if (demo_messages > 0) {
+    loggen::FleetOptions fleet_opts;
+    fleet_opts.services = 60;
+    loggen::FleetGenerator fleet(fleet_opts);
+    std::string data;
+    for (const core::LogRecord& rec : fleet.take(demo_messages)) {
+      data += core::record_to_json(rec);
+      data += '\n';
+    }
+    demo_stream.str(std::move(data));
+    in = &demo_stream;
+  }
+
+  std::size_t batch_no = 0;
+  util::Stopwatch total;
+  while (true) {
+    const auto batch = ingester.read_batch(*in);
+    if (batch.empty()) break;
+    util::Stopwatch timer;
+    const core::BatchReport report = engine.analyze_by_service(batch);
+    std::printf(
+        "batch %zu: %zu records, %zu services, %zu matched existing, "
+        "%zu analysed, %zu new patterns (%zu below threshold) in %.2fs\n",
+        ++batch_no, report.records, report.services,
+        report.matched_existing, report.analyzed, report.new_patterns,
+        report.below_threshold, timer.seconds());
+  }
+  std::printf("stream done: %zu accepted, %zu malformed, %.2fs total, "
+              "%zu patterns in database\n",
+              ingester.stats().accepted, ingester.stats().malformed,
+              total.seconds(), pattern_store.pattern_count());
+
+  if (!pattern_store.save(db_path)) {
+    std::fprintf(stderr, "failed to save %s\n", db_path.c_str());
+    return 1;
+  }
+  std::printf("saved pattern database to %s\n", db_path.c_str());
+
+  // Export the strongest patterns for review ("select only the strongest
+  // patterns when exporting them for review").
+  store::PatternStore::ExportFilter filter;
+  filter.min_match_count = save_threshold;
+  filter.max_complexity = 0.95;
+  const auto patterns = pattern_store.export_patterns(filter);
+  const auto format = exporters::format_from_name(format_name);
+  const std::string out_path = "patterns_export." +
+                               std::string(format_name == "grok" ? "conf"
+                                           : format_name == "yaml"
+                                               ? "yaml"
+                                               : "xml");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f != nullptr) {
+    const std::string doc = exporters::export_patterns(patterns, format);
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("exported %zu patterns (%s) to %s\n", patterns.size(),
+                format_name.c_str(), out_path.c_str());
+  }
+  return 0;
+}

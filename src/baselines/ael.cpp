@@ -1,0 +1,138 @@
+#include "baselines/ael.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::baselines {
+
+namespace {
+
+constexpr const char* kVar = "$v";
+
+/// Anonymize: values after '=' and bare value-looking tokens become "$v".
+std::vector<std::string> anonymize(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    // key=value -> key=$v
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos && eq > 0 && eq + 1 < tok.size()) {
+      out.push_back(tok.substr(0, eq + 1) + kVar);
+      continue;
+    }
+    // Numbers, hex, IPs and digit-bearing identifiers are values.
+    if (util::has_digit(tok)) {
+      out.push_back(kVar);
+      continue;
+    }
+    out.push_back(tok);
+  }
+  return out;
+}
+
+class Ael final : public LogParser {
+ public:
+  explicit Ael(const AelOptions& opts) : opts_(opts) {}
+
+  std::string name() const override { return "AEL"; }
+
+  std::vector<int> parse(const std::vector<std::string>& messages) override {
+    templates_.clear();
+
+    struct Event {
+      std::vector<std::string> tmpl;
+      std::vector<std::size_t> members;
+    };
+    // Bin key: (token count, variable count).
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<Event>> bins;
+
+    std::vector<std::vector<std::string>> anon(messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      anon[i] = anonymize(ws_tokenize(messages[i]));
+      std::size_t vars = 0;
+      for (const std::string& t : anon[i]) {
+        if (t == kVar || util::ends_with(t, std::string("=") + kVar)) ++vars;
+      }
+      auto& bin = bins[{anon[i].size(), vars}];
+      // Categorize: exact template match within the bin.
+      bool placed = false;
+      for (Event& ev : bin) {
+        if (ev.tmpl == anon[i]) {
+          ev.members.push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) bin.push_back({anon[i], {i}});
+    }
+
+    // Reconcile: merge events in the same bin whose templates differ at
+    // exactly one position, when enough of them exist (the differing
+    // position is then a variable).
+    std::vector<int> out(messages.size(), -1);
+    for (auto& [binkey, events] : bins) {
+      std::vector<bool> merged(events.size(), false);
+      for (std::size_t a = 0; a < events.size(); ++a) {
+        if (merged[a]) continue;
+        // Collect events differing from `a` at exactly one shared position.
+        std::vector<std::size_t> cluster = {a};
+        int diff_pos = -1;
+        for (std::size_t b = a + 1; b < events.size(); ++b) {
+          if (merged[b]) continue;
+          const int d = single_diff(events[a].tmpl, events[b].tmpl);
+          if (d < 0) continue;
+          if (diff_pos == -1 || d == diff_pos) {
+            diff_pos = d;
+            cluster.push_back(b);
+          }
+        }
+        std::vector<std::string> tmpl = events[a].tmpl;
+        if (cluster.size() >= opts_.merge_threshold && diff_pos >= 0) {
+          tmpl[static_cast<std::size_t>(diff_pos)] = kVar;
+        } else {
+          cluster = {a};
+        }
+        const int gid = static_cast<int>(templates_.size());
+        templates_.push_back(util::join(tmpl, " "));
+        for (std::size_t e : cluster) {
+          merged[e] = true;
+          for (std::size_t idx : events[e].members) out[idx] = gid;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> templates() const override { return templates_; }
+
+ private:
+  /// Index of the single differing position, or -1 when the templates
+  /// differ at zero or more than one position.
+  static int single_diff(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+    if (a.size() != b.size()) return -1;
+    int pos = -1;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) {
+        if (pos != -1) return -1;
+        pos = static_cast<int>(i);
+      }
+    }
+    return pos;
+  }
+
+  AelOptions opts_;
+  std::vector<std::string> templates_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogParser> make_ael(const AelOptions& opts) {
+  return std::make_unique<Ael>(opts);
+}
+
+std::unique_ptr<LogParser> make_ael() { return make_ael(AelOptions{}); }
+
+}  // namespace seqrtg::baselines

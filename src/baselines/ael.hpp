@@ -1,0 +1,32 @@
+// AEL: abstracting execution logs to execution events (Jiang et al.,
+// QSIC 2008).
+//
+// Paper §V: "AEL is a log abstraction algorithm made of three steps:
+// Anonymize, Tokenize, and Categorize. The Anonymize step uses simple
+// heuristics to identify variables in the messages defined by text that
+// followed an equal sign or certain keywords. These values are replaced in
+// the log message with a variable marker. The Tokenize method divides the
+// messages into groups based on the count of words and number of variables
+// marked in the text. Finally the Categorize method compares the contents
+// inside each group to determine the patterns."
+//
+// A light reconcile pass (from the original paper) merges templates in the
+// same bin that differ at a single position.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace seqrtg::baselines {
+
+struct AelOptions {
+  /// Reconcile merges same-bin templates differing at exactly one position
+  /// when at least this many of them share the rest of the template. The
+  /// aggressive default of 2 follows the original algorithm (and explains
+  /// AEL's characteristic over-merging of two-way word alternations like
+  /// "opened"/"closed"); raise it to keep such events apart.
+  std::size_t merge_threshold = 2;
+};
+
+std::unique_ptr<LogParser> make_ael(const AelOptions& opts);
+
+}  // namespace seqrtg::baselines

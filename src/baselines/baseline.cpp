@@ -1,0 +1,15 @@
+#include "baselines/baseline.hpp"
+
+#include "util/strings.hpp"
+
+namespace seqrtg::baselines {
+
+std::vector<std::string> ws_tokenize(std::string_view message) {
+  std::vector<std::string> out;
+  for (const std::string_view part : util::split_whitespace(message)) {
+    out.emplace_back(part);
+  }
+  return out;
+}
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,41 @@
+// Common interface for the baseline log parsers of Zhu et al. [11].
+//
+// The paper's Table III reports the accuracy of the four best parsers from
+// that study — Drain, IPLoM, AEL and Spell — which Sequence-RTG is compared
+// against. All four are implemented here from their original papers, over a
+// shared whitespace tokenisation (the logparser benchmark feeds all
+// algorithms space-separated content).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::baselines {
+
+/// Whitespace tokenisation shared by all baselines.
+std::vector<std::string> ws_tokenize(std::string_view message);
+
+class LogParser {
+ public:
+  virtual ~LogParser() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Assigns a template/group id to every message. Online algorithms
+  /// (Drain, Spell) process messages in stream order; offline ones (IPLoM,
+  /// AEL) see the whole corpus. Group ids are dense, starting at 0.
+  virtual std::vector<int> parse(const std::vector<std::string>& messages) = 0;
+
+  /// Discovered templates indexed by group id (variables rendered "<*>").
+  /// Valid after parse().
+  virtual std::vector<std::string> templates() const = 0;
+};
+
+std::unique_ptr<LogParser> make_drain();
+std::unique_ptr<LogParser> make_spell();
+std::unique_ptr<LogParser> make_iplom();
+std::unique_ptr<LogParser> make_ael();
+
+}  // namespace seqrtg::baselines

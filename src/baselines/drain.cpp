@@ -1,0 +1,132 @@
+#include "baselines/drain.hpp"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::baselines {
+
+namespace {
+
+constexpr const char* kWild = "<*>";
+
+struct LogGroup {
+  std::vector<std::string> tmpl;
+  int group_id;
+};
+
+struct TreeNode {
+  std::unordered_map<std::string, std::unique_ptr<TreeNode>> children;
+  std::vector<LogGroup> groups;  // only at leaves
+};
+
+class Drain final : public LogParser {
+ public:
+  explicit Drain(const DrainOptions& opts) : opts_(opts) {}
+
+  std::string name() const override { return "Drain"; }
+
+  std::vector<int> parse(const std::vector<std::string>& messages) override {
+    templates_.clear();
+    roots_.clear();
+    std::vector<int> out;
+    out.reserve(messages.size());
+    for (const std::string& m : messages) {
+      out.push_back(process(ws_tokenize(m)));
+    }
+    return out;
+  }
+
+  std::vector<std::string> templates() const override { return templates_; }
+
+ private:
+  /// Similarity of `tokens` to a template: fraction of equal positions;
+  /// template wildcards count as matches of weight 0 in the original paper
+  /// (they do not add to the numerator).
+  static double sim_seq(const std::vector<std::string>& tmpl,
+                        const std::vector<std::string>& tokens) {
+    if (tmpl.empty()) return 1.0;
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      if (tmpl[i] == tokens[i]) ++same;
+    }
+    return static_cast<double>(same) / static_cast<double>(tmpl.size());
+  }
+
+  int process(const std::vector<std::string>& tokens) {
+    TreeNode* node = descend(tokens);
+    // Search the leaf's groups for the most similar template.
+    LogGroup* best = nullptr;
+    double best_sim = -1.0;
+    for (LogGroup& g : node->groups) {
+      const double s = sim_seq(g.tmpl, tokens);
+      if (s > best_sim) {
+        best_sim = s;
+        best = &g;
+      }
+    }
+    if (best != nullptr && best_sim >= opts_.similarity_threshold) {
+      // Relax the template at differing positions.
+      bool changed = false;
+      for (std::size_t i = 0; i < best->tmpl.size(); ++i) {
+        if (best->tmpl[i] != tokens[i] && best->tmpl[i] != kWild) {
+          best->tmpl[i] = kWild;
+          changed = true;
+        }
+      }
+      if (changed) {
+        templates_[static_cast<std::size_t>(best->group_id)] =
+            util::join(best->tmpl, " ");
+      }
+      return best->group_id;
+    }
+    LogGroup g;
+    g.tmpl = tokens;
+    g.group_id = static_cast<int>(templates_.size());
+    templates_.push_back(util::join(g.tmpl, " "));
+    node->groups.push_back(std::move(g));
+    return node->groups.back().group_id;
+  }
+
+  TreeNode* descend(const std::vector<std::string>& tokens) {
+    TreeNode* node = &roots_[tokens.size()];
+    const std::size_t levels = std::min(opts_.depth, tokens.size());
+    for (std::size_t i = 0; i < levels; ++i) {
+      std::string key = tokens[i];
+      if (util::has_digit(key)) key = kWild;
+      auto it = node->children.find(key);
+      if (it == node->children.end()) {
+        if (node->children.size() >= opts_.max_children) {
+          key = kWild;
+          it = node->children.find(key);
+          if (it == node->children.end()) {
+            it = node->children
+                     .emplace(key, std::make_unique<TreeNode>())
+                     .first;
+          }
+        } else {
+          it = node->children.emplace(key, std::make_unique<TreeNode>())
+                   .first;
+        }
+      }
+      node = it->second.get();
+    }
+    return node;
+  }
+
+  DrainOptions opts_;
+  std::map<std::size_t, TreeNode> roots_;
+  std::vector<std::string> templates_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogParser> make_drain(const DrainOptions& opts) {
+  return std::make_unique<Drain>(opts);
+}
+
+std::unique_ptr<LogParser> make_drain() { return make_drain(DrainOptions{}); }
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,32 @@
+// Drain: online log parsing with a fixed-depth tree (He et al., ICWS 2017).
+//
+// Paper §V: "The Drain algorithm is ranked best overall. It is an online
+// algorithm... After a pre-processing step, the message is tokenised and
+// sent to a fixed depth parsing tree, created from other messages of the
+// same token length, to determine the pattern that it best matches. If no
+// match is found, it adds a new path in the tree."
+//
+// Tree layout: root -> token count -> first `depth-2` tokens (digit-bearing
+// tokens route to a "<*>" branch; full internal nodes spill to "<*>") ->
+// leaf holding log groups. A group matches when the position-wise
+// similarity to its template reaches `similarity_threshold`; the matched
+// template is then relaxed, turning differing positions into "<*>".
+#pragma once
+
+#include <cstddef>
+
+#include "baselines/baseline.hpp"
+
+namespace seqrtg::baselines {
+
+struct DrainOptions {
+  /// Number of token-guided tree levels (the original paper's depth minus
+  /// the root and length levels).
+  std::size_t depth = 2;
+  double similarity_threshold = 0.4;
+  std::size_t max_children = 100;
+};
+
+std::unique_ptr<LogParser> make_drain(const DrainOptions& opts);
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,270 @@
+#include "baselines/iplom.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::baselines {
+
+namespace {
+
+constexpr const char* kWild = "<*>";
+
+using Partition = std::vector<std::size_t>;  // message indices
+
+class Iplom final : public LogParser {
+ public:
+  explicit Iplom(const IplomOptions& opts) : opts_(opts) {}
+
+  std::string name() const override { return "IPLoM"; }
+
+  std::vector<int> parse(const std::vector<std::string>& messages) override {
+    templates_.clear();
+    tokens_.clear();
+    tokens_.reserve(messages.size());
+    for (const std::string& m : messages) tokens_.push_back(ws_tokenize(m));
+
+    // Step 1: partition by token count.
+    std::map<std::size_t, Partition> by_count;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      by_count[tokens_[i].size()].push_back(i);
+    }
+
+    std::vector<Partition> partitions;
+    for (auto& [count, part] : by_count) {
+      // Step 2: split by the position with the lowest cardinality.
+      for (Partition& p2 : step2(part)) {
+        // Step 3: split by bijective relationships.
+        for (Partition& p3 : step3(p2)) {
+          partitions.push_back(std::move(p3));
+        }
+      }
+    }
+
+    // Step 4: emit templates and assign group ids.
+    std::vector<int> out(messages.size(), -1);
+    for (const Partition& part : partitions) {
+      if (part.empty()) continue;
+      const int gid = static_cast<int>(templates_.size());
+      templates_.push_back(make_template(part));
+      for (std::size_t idx : part) out[idx] = gid;
+    }
+    return out;
+  }
+
+  std::vector<std::string> templates() const override { return templates_; }
+
+ private:
+  /// Distinct values at `pos` across the partition.
+  std::size_t cardinality(const Partition& part, std::size_t pos) const {
+    std::unordered_set<std::string_view> values;
+    for (std::size_t idx : part) values.insert(tokens_[idx][pos]);
+    return values.size();
+  }
+
+  std::vector<Partition> step2(const Partition& part) {
+    std::vector<Partition> out;
+    if (part.empty()) return out;
+    const std::size_t width = tokens_[part.front()].size();
+    if (width == 0) {
+      out.push_back(part);
+      return out;
+    }
+    // Position with the lowest cardinality (ties: leftmost).
+    std::size_t best_pos = 0;
+    std::size_t best_card = cardinality(part, 0);
+    for (std::size_t pos = 1; pos < width; ++pos) {
+      const std::size_t card = cardinality(part, pos);
+      if (card < best_card) {
+        best_card = card;
+        best_pos = pos;
+      }
+    }
+    std::map<std::string_view, Partition> split;
+    for (std::size_t idx : part) {
+      split[tokens_[idx][best_pos]].push_back(idx);
+    }
+    // Partition support: tiny splinters fall into a leftover bucket.
+    const double min_size =
+        opts_.partition_support * static_cast<double>(part.size());
+    Partition leftover;
+    for (auto& [value, sub] : split) {
+      if (static_cast<double>(sub.size()) < min_size) {
+        leftover.insert(leftover.end(), sub.begin(), sub.end());
+      } else {
+        out.push_back(std::move(sub));
+      }
+    }
+    if (!leftover.empty()) out.push_back(std::move(leftover));
+    return out;
+  }
+
+  std::vector<Partition> step3(const Partition& part) {
+    std::vector<Partition> out;
+    if (part.size() < 2) {
+      out.push_back(part);
+      return out;
+    }
+    const std::size_t width = tokens_[part.front()].size();
+    if (width < 2) {
+      out.push_back(part);
+      return out;
+    }
+
+    // Determine P1, P2 among positions with more than one unique value:
+    // prefer the first two positions sharing the most frequent cardinality
+    // (likely related fields); when no cardinality repeats, fall back to
+    // the two positions with the lowest cardinalities.
+    std::vector<std::size_t> cards(width);
+    std::map<std::size_t, std::size_t> card_freq;
+    std::vector<std::size_t> variable_positions;
+    for (std::size_t pos = 0; pos < width; ++pos) {
+      cards[pos] = cardinality(part, pos);
+      if (cards[pos] > 1) {
+        ++card_freq[cards[pos]];
+        variable_positions.push_back(pos);
+      }
+    }
+    if (variable_positions.size() < 2) {
+      out.push_back(part);
+      return out;
+    }
+    std::size_t chosen_card = 0;
+    std::size_t chosen_freq = 0;
+    for (const auto& [card, freq] : card_freq) {
+      if (freq > chosen_freq) {
+        chosen_freq = freq;
+        chosen_card = card;
+      }
+    }
+    std::size_t p1 = width;
+    std::size_t p2 = width;
+    if (chosen_freq >= 2) {
+      for (std::size_t pos : variable_positions) {
+        if (cards[pos] != chosen_card) continue;
+        if (p1 == width) {
+          p1 = pos;
+        } else {
+          p2 = pos;
+          break;
+        }
+      }
+    } else {
+      // Two lowest-cardinality variable positions.
+      std::vector<std::size_t> sorted = variable_positions;
+      std::sort(sorted.begin(), sorted.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (cards[a] != cards[b]) return cards[a] < cards[b];
+                  return a < b;
+                });
+      p1 = std::min(sorted[0], sorted[1]);
+      p2 = std::max(sorted[0], sorted[1]);
+    }
+    if (p2 == width) {
+      out.push_back(part);
+      return out;
+    }
+
+    // Classify the mapping between values at P1 and P2.
+    std::unordered_map<std::string_view, std::set<std::string_view>> fwd;
+    std::unordered_map<std::string_view, std::set<std::string_view>> rev;
+    for (std::size_t idx : part) {
+      fwd[tokens_[idx][p1]].insert(tokens_[idx][p2]);
+      rev[tokens_[idx][p2]].insert(tokens_[idx][p1]);
+    }
+    bool one_to_one = true;
+    bool one_to_many = true;   // each P1 value maps to many, P2 unique back
+    bool many_to_one = true;
+    for (const auto& [v, targets] : fwd) {
+      if (targets.size() != 1) one_to_one = false;
+      if (targets.size() < 1) one_to_many = false;
+    }
+    for (const auto& [v, sources] : rev) {
+      if (sources.size() != 1) {
+        one_to_one = false;
+        one_to_many = false;
+      }
+    }
+    for (const auto& [v, targets] : fwd) {
+      if (targets.size() != 1) many_to_one = false;
+    }
+    const auto ratio = [&](std::size_t pos) {
+      return static_cast<double>(cards[pos]) /
+             static_cast<double>(part.size());
+    };
+
+    std::map<std::string, Partition> split;
+    if (one_to_one) {
+      // Near-unique value pairs are two free variables of one template,
+      // not a relation worth splitting on (upper bound check).
+      if (ratio(p1) > opts_.upper_bound) {
+        out.push_back(part);
+        return out;
+      }
+      // Split by the (P1,P2) pair.
+      for (std::size_t idx : part) {
+        split[std::string(tokens_[idx][p1]) + "\x1f" +
+              std::string(tokens_[idx][p2])]
+            .push_back(idx);
+      }
+    } else if (one_to_many || many_to_one) {
+      // Split on the "one" side; the "many" side is the variable. The
+      // bounds decide whether the many side is a true variable (high
+      // ratio) in which case we split on the one side, or constant-ish.
+      const std::size_t split_pos = one_to_many ? p1 : p2;
+      const std::size_t many_pos = one_to_many ? p2 : p1;
+      if (ratio(many_pos) >= opts_.lower_bound &&
+          ratio(many_pos) <= 1.0) {
+        for (std::size_t idx : part) {
+          split[std::string(tokens_[idx][split_pos])].push_back(idx);
+        }
+      } else {
+        out.push_back(part);
+        return out;
+      }
+    } else {
+      // M-M: split only when one side is nearly constant per the upper
+      // bound; otherwise leave the partition whole.
+      if (ratio(p1) <= 1.0 - opts_.upper_bound) {
+        for (std::size_t idx : part) {
+          split[std::string(tokens_[idx][p1])].push_back(idx);
+        }
+      } else {
+        out.push_back(part);
+        return out;
+      }
+    }
+    for (auto& [value, sub] : split) out.push_back(std::move(sub));
+    return out;
+  }
+
+  std::string make_template(const Partition& part) const {
+    const std::size_t width = tokens_[part.front()].size();
+    std::vector<std::string> tmpl;
+    tmpl.reserve(width);
+    for (std::size_t pos = 0; pos < width; ++pos) {
+      tmpl.push_back(cardinality(part, pos) == 1
+                         ? tokens_[part.front()][pos]
+                         : std::string(kWild));
+    }
+    return util::join(tmpl, " ");
+  }
+
+  IplomOptions opts_;
+  std::vector<std::vector<std::string>> tokens_;
+  std::vector<std::string> templates_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogParser> make_iplom(const IplomOptions& opts) {
+  return std::make_unique<Iplom>(opts);
+}
+
+std::unique_ptr<LogParser> make_iplom() { return make_iplom(IplomOptions{}); }
+
+}  // namespace seqrtg::baselines

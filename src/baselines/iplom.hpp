@@ -1,0 +1,28 @@
+// IPLoM: iterative partitioning log mining (Makanju et al., KDD 2009).
+//
+// Paper §V: "After tokenising, the algorithm takes four steps. First, it
+// clusters the token sets that are of the same length, then it builds
+// sub-clusters based on token position. In other words, it looks for a word
+// that is common at the same position of many messages. The third step
+// searches for bijective relationships between two tokens... The last step
+// is to output the pattern. If all the values at the same position are the
+// same, it is constant in the pattern, if there is a high variation, then
+// it is marked as a variable."
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace seqrtg::baselines {
+
+struct IplomOptions {
+  /// Partition support threshold: sub-partitions holding less than this
+  /// fraction of the parent fall back into the parent's leftover bucket.
+  double partition_support = 0.0;
+  /// Lower/upper bounds on the 1-to-1 mapping decision of step 3.
+  double lower_bound = 0.25;
+  double upper_bound = 0.9;
+};
+
+std::unique_ptr<LogParser> make_iplom(const IplomOptions& opts);
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,178 @@
+#include "baselines/spell.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::baselines {
+
+namespace {
+
+constexpr const char* kWild = "<*>";
+
+/// Equality for LCS purposes: wildcard tokens never match anything —
+/// pre-processed logs are dense in "<*>", and counting those as common
+/// tokens inflates the LCS of unrelated templates until every message
+/// collapses into one object.
+bool lcs_eq(const std::string& a, const std::string& b) {
+  return a == b && a != kWild;
+}
+
+/// Token-level LCS via dynamic programming; returns the common subsequence.
+std::vector<std::string> lcs(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // dp[(i, j)] = LCS length of a[i:], b[j:]; flat array for locality.
+  std::vector<std::uint32_t> dp((n + 1) * (m + 1), 0);
+  const auto at = [m](std::size_t i, std::size_t j) {
+    return i * (m + 1) + j;
+  };
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      if (lcs_eq(a[i], b[j])) {
+        dp[at(i, j)] = dp[at(i + 1, j + 1)] + 1;
+      } else {
+        dp[at(i, j)] = std::max(dp[at(i + 1, j)], dp[at(i, j + 1)]);
+      }
+    }
+  }
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n && j < m) {
+    if (lcs_eq(a[i], b[j])) {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (dp[at(i + 1, j)] >= dp[at(i, j + 1)]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// LCS *length only* (cheaper pre-filter for candidate selection).
+std::size_t lcs_len(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  const std::size_t m = b.size();
+  std::vector<std::uint32_t> prev(m + 1, 0);
+  std::vector<std::uint32_t> cur(m + 1, 0);
+  for (std::size_t i = a.size(); i-- > 0;) {
+    for (std::size_t j = m; j-- > 0;) {
+      cur[j] = lcs_eq(a[i], b[j]) ? prev[j + 1] + 1
+                                  : std::max(prev[j], cur[j + 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[0];
+}
+
+struct LcsObject {
+  /// The object's template: LCS of all member messages, with "<*>" gaps
+  /// re-inserted when it shrinks.
+  std::vector<std::string> seq;       // constants only, in order
+  std::vector<std::string> rendered;  // constants + <*> gaps
+  int group_id;
+};
+
+class Spell final : public LogParser {
+ public:
+  explicit Spell(const SpellOptions& opts) : opts_(opts) {}
+
+  std::string name() const override { return "Spell"; }
+
+  std::vector<int> parse(const std::vector<std::string>& messages) override {
+    objects_.clear();
+    templates_.clear();
+    std::vector<int> out;
+    out.reserve(messages.size());
+    for (const std::string& m : messages) {
+      out.push_back(process(ws_tokenize(m)));
+    }
+    return out;
+  }
+
+  std::vector<std::string> templates() const override { return templates_; }
+
+ private:
+  int process(const std::vector<std::string>& tokens) {
+    // Find the object with the largest LCS against this message.
+    LcsObject* best = nullptr;
+    std::size_t best_len = 0;
+    for (LcsObject& obj : objects_) {
+      // Cheap upper bound: LCS cannot exceed min(sizes).
+      if (std::min(obj.seq.size(), tokens.size()) <= best_len) continue;
+      const std::size_t len = lcs_len(obj.seq, tokens);
+      if (len > best_len) {
+        best_len = len;
+        best = &obj;
+      }
+    }
+    // Bidirectional join condition: the LCS must cover at least tau of the
+    // incoming message AND tau of the object's template, otherwise a long
+    // template absorbs every shorter message sharing a few filler words.
+    const double min_msg =
+        opts_.tau * static_cast<double>(tokens.size());
+    const double min_obj =
+        best == nullptr
+            ? 0.0
+            : opts_.tau * static_cast<double>(best->rendered.size());
+    if (best != nullptr && best_len > 0 &&
+        static_cast<double>(best_len) >= min_msg &&
+        static_cast<double>(best_len) >= min_obj) {
+      // Shrink the object's template to the new common subsequence.
+      if (best_len < best->seq.size()) {
+        best->seq = lcs(best->seq, tokens);
+        best->rendered = render(best->seq, tokens);
+        templates_[static_cast<std::size_t>(best->group_id)] =
+            util::join(best->rendered, " ");
+      }
+      return best->group_id;
+    }
+    LcsObject obj;
+    obj.seq = tokens;
+    obj.rendered = tokens;
+    obj.group_id = static_cast<int>(templates_.size());
+    templates_.push_back(util::join(tokens, " "));
+    objects_.push_back(std::move(obj));
+    return objects_.back().group_id;
+  }
+
+  /// Renders a template by aligning the constant subsequence against a
+  /// witness message and marking skipped stretches "<*>".
+  static std::vector<std::string> render(
+      const std::vector<std::string>& seq,
+      const std::vector<std::string>& witness) {
+    std::vector<std::string> out;
+    std::size_t si = 0;
+    bool gap_open = false;
+    for (const std::string& tok : witness) {
+      if (si < seq.size() && tok == seq[si]) {
+        out.push_back(tok);
+        ++si;
+        gap_open = false;
+      } else if (!gap_open) {
+        out.push_back(kWild);
+        gap_open = true;
+      }
+    }
+    return out;
+  }
+
+  SpellOptions opts_;
+  std::vector<LcsObject> objects_;
+  std::vector<std::string> templates_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogParser> make_spell(const SpellOptions& opts) {
+  return std::make_unique<Spell>(opts);
+}
+
+std::unique_ptr<LogParser> make_spell() { return make_spell(SpellOptions{}); }
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,23 @@
+// Spell: streaming parsing of system event logs via longest common
+// subsequence (Du & Li, ICDM 2016).
+//
+// Paper §V: "The online approach followed by Spell performs tokenisation
+// using spaces... For the analysis phase, it uses a longest common
+// subsequence methodology to build a map of the tokens. As with Drain,
+// each new message is tested to see if it matches a pattern already in the
+// map, otherwise a new pattern entry is added."
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace seqrtg::baselines {
+
+struct SpellOptions {
+  /// A message joins an LCS object when |LCS| is at least this fraction of
+  /// the message's token count (tau in the original paper).
+  double tau = 0.5;
+};
+
+std::unique_ptr<LogParser> make_spell(const SpellOptions& opts);
+
+}  // namespace seqrtg::baselines

@@ -1,0 +1,450 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "core/parser.hpp"
+#include "core/validation.hpp"
+#include "exporters/exporter.hpp"
+#include "exporters/patterndb_import.hpp"
+#include "loggen/corpus.hpp"
+#include "loggen/fleet.hpp"
+#include "store/pattern_store.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace seqrtg::cli {
+
+namespace {
+
+/// Shared scanner/engine flags.
+void add_engine_options(util::ArgParser& args) {
+  args.add_option("db", "pattern database file", "patterns.db");
+  args.add_flag("lenient-time",
+                "accept single-digit time parts (future-work datetime FSM)");
+  args.add_flag("no-path-fsm", "disable the path detector");
+  args.add_flag("merge-mixed-alnum",
+                "merge alphanumeric/integer alternating fields");
+  args.add_flag("semi-constant-split",
+                "one pattern per value for low-cardinality fields");
+}
+
+core::EngineOptions engine_options_from(const util::ArgParser& args) {
+  core::EngineOptions opts;
+  opts.scanner.datetime.lenient_time = args.get_flag("lenient-time");
+  opts.special.detect_path = !args.get_flag("no-path-fsm");
+  opts.analyzer.merge_mixed_alnum = args.get_flag("merge-mixed-alnum");
+  opts.analyzer.semi_constant_split = args.get_flag("semi-constant-split");
+  return opts;
+}
+
+/// Opens the positional input (file path or "-"/absent = the stream `in`).
+std::istream* open_input(const util::ArgParser& args, std::istream& in,
+                         std::ifstream& file, std::ostream& err) {
+  if (args.positional().empty() || args.positional()[0] == "-") return &in;
+  file.open(args.positional()[0]);
+  if (!file) {
+    err << "cannot open " << args.positional()[0] << "\n";
+    return nullptr;
+  }
+  return &file;
+}
+
+int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
+                std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  add_engine_options(args);
+  args.add_option("batch", "batch size (records)", "100000");
+  args.add_option("threads", "worker threads for the service fan-out", "1");
+  args.add_option("save-threshold",
+                  "minimum matches for a pattern to be saved", "1");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  store::PatternStore store;
+  const std::string db = args.get("db");
+  if (store.load(db)) {
+    out << "loaded " << store.pattern_count() << " patterns from " << db
+        << "\n";
+  }
+  core::EngineOptions opts = engine_options_from(args);
+  opts.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  opts.save_threshold =
+      static_cast<std::uint64_t>(args.get_int("save-threshold", 1));
+  core::Engine engine(&store, opts);
+  core::JsonStreamIngester ingester(
+      static_cast<std::size_t>(args.get_int("batch", 100000)));
+
+  std::ifstream file;
+  std::istream* input = open_input(args, in, file, err);
+  if (input == nullptr) return 1;
+
+  util::Stopwatch total;
+  core::BatchReport sum;
+  std::size_t batches = 0;
+  while (true) {
+    const auto batch = ingester.read_batch(*input);
+    if (batch.empty()) break;
+    sum += engine.analyze_by_service(batch);
+    ++batches;
+  }
+  out << "analyzed " << sum.records << " records in " << batches
+      << " batch(es), " << total.seconds() << "s: "
+      << sum.matched_existing << " matched existing, " << sum.analyzed
+      << " mined, " << sum.new_patterns << " new patterns ("
+      << sum.below_threshold << " below threshold)\n";
+  if (ingester.stats().malformed > 0) {
+    out << ingester.stats().malformed << " malformed line(s) skipped\n";
+  }
+  if (!store.save(db)) {
+    err << "failed to save " << db << "\n";
+    return 1;
+  }
+  out << store.pattern_count() << " patterns in " << db << "\n";
+  return 0;
+}
+
+int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
+              std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  add_engine_options(args);
+  args.add_option("service",
+                  "treat input as raw lines from this service "
+                  "(default: JSON-lines stream)",
+                  "");
+  args.add_flag("quiet", "print only the summary");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  store::PatternStore store;
+  if (!store.load(args.get("db"))) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return 1;
+  }
+  const core::EngineOptions opts = engine_options_from(args);
+  core::Parser parser(opts.scanner, opts.special);
+  for (const std::string& svc : store.services()) {
+    for (const core::Pattern& p : store.load_service(svc)) {
+      parser.add_pattern(p);
+    }
+  }
+
+  std::ifstream file;
+  std::istream* input = open_input(args, in, file, err);
+  if (input == nullptr) return 1;
+
+  const std::string fixed_service = args.get("service");
+  const bool quiet = args.get_flag("quiet");
+  std::string line;
+  std::size_t matched = 0;
+  std::size_t unmatched = 0;
+  while (std::getline(*input, line)) {
+    core::LogRecord rec;
+    if (!fixed_service.empty()) {
+      rec.service = fixed_service;
+      rec.message = line;
+    } else if (auto parsed = core::JsonStreamIngester::parse_line(line)) {
+      rec = std::move(*parsed);
+    } else {
+      continue;
+    }
+    if (const auto result = parser.parse(rec.service, rec.message)) {
+      ++matched;
+      if (!quiet) {
+        out << "MATCH " << result->pattern->id() << " "
+            << result->pattern->text();
+        for (const auto& [name, value] : result->fields) {
+          out << " " << name << "=" << value;
+        }
+        out << "\n";
+      }
+    } else {
+      ++unmatched;
+      if (!quiet) out << "UNMATCHED " << rec.message << "\n";
+    }
+  }
+  out << matched << " matched, " << unmatched << " unmatched\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& argv, std::istream&,
+               std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("db", "pattern database file", "patterns.db");
+  args.add_option("format", "patterndb | yaml | grok", "patterndb");
+  args.add_option("min-count", "minimum match count", "0");
+  args.add_option("max-complexity",
+                  "exclude patterns at or above this complexity", "1.01");
+  args.add_option("service", "restrict to one service", "");
+  args.add_option("output", "output file (default: stdout)", "");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  store::PatternStore store;
+  if (!store.load(args.get("db"))) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return 1;
+  }
+  store::PatternStore::ExportFilter filter;
+  filter.min_match_count =
+      static_cast<std::uint64_t>(args.get_int("min-count", 0));
+  filter.max_complexity = args.get_double("max-complexity", 1.01);
+  filter.service = args.get("service");
+  const auto patterns = store.export_patterns(filter);
+  const std::string doc = exporters::export_patterns(
+      patterns, exporters::format_from_name(args.get("format")));
+  if (args.get("output").empty()) {
+    out << doc;
+  } else {
+    std::ofstream f(args.get("output"));
+    if (!f) {
+      err << "cannot write " << args.get("output") << "\n";
+      return 1;
+    }
+    f << doc;
+    out << "exported " << patterns.size() << " pattern(s) to "
+        << args.get("output") << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& argv, std::istream&,
+              std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("db", "pattern database file", "patterns.db");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  store::PatternStore store;
+  if (!store.load(args.get("db"))) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return 1;
+  }
+  std::uint64_t total_matches = 0;
+  out << "service                        patterns   matches\n";
+  for (const std::string& svc : store.services()) {
+    const auto patterns = store.load_service(svc);
+    std::uint64_t matches = 0;
+    for (const core::Pattern& p : patterns) {
+      matches += p.stats.match_count;
+    }
+    total_matches += matches;
+    out << svc;
+    for (std::size_t i = svc.size(); i < 30; ++i) out << ' ';
+    out << " " << patterns.size() << "   " << matches << "\n";
+  }
+  out << "total: " << store.pattern_count() << " patterns, "
+      << total_matches << " recorded matches\n";
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& argv, std::istream&,
+                 std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  add_engine_options(args);
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  store::PatternStore store;
+  if (!store.load(args.get("db"))) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return 1;
+  }
+  const core::EngineOptions opts = engine_options_from(args);
+  std::size_t conflicts = 0;
+  for (const std::string& svc : store.services()) {
+    const core::ValidationReport report = core::validate_patterns(
+        store.load_service(svc), opts.scanner, opts.special);
+    for (const core::PatternConflict& c : report.conflicts) {
+      ++conflicts;
+      out << "CONFLICT service=" << svc << " pattern=" << c.pattern_id
+          << " example matched "
+          << (c.matched_id.empty() ? "<nothing>" : c.matched_id) << ": "
+          << c.example << "\n";
+    }
+  }
+  out << (conflicts == 0 ? "database is clean\n"
+                         : std::to_string(conflicts) + " conflict(s)\n");
+  return conflicts == 0 ? 0 : 1;
+}
+
+int cmd_purge(const std::vector<std::string>& argv, std::istream&,
+              std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("db", "pattern database file", "patterns.db");
+  args.add_option("below", "delete patterns with fewer matches", "2");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  store::PatternStore store;
+  if (!store.load(args.get("db"))) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return 1;
+  }
+  const std::int64_t below = args.get_int("below", 2);
+  // Collect doomed ids via SQL, then delete rows + examples.
+  auto result = store.database().exec("SELECT pid, match_count FROM patterns");
+  std::size_t purged = 0;
+  for (const store::Row& row : result.rows) {
+    if (row[1].as_int() < below) {
+      store.database().exec("DELETE FROM patterns WHERE pid = ?",
+                            {row[0]});
+      store.database().exec("DELETE FROM examples WHERE pid = ?",
+                            {row[0]});
+      ++purged;
+    }
+  }
+  if (!store.save(args.get("db"))) {
+    err << "failed to save " << args.get("db") << "\n";
+    return 1;
+  }
+  out << "purged " << purged << " pattern(s) below " << below
+      << " matches; " << store.pattern_count() << " remain\n";
+  return 0;
+}
+
+int cmd_import(const std::vector<std::string>& argv, std::istream& in,
+               std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("db", "pattern database file", "patterns.db");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  std::ifstream file;
+  std::istream* input = open_input(args, in, file, err);
+  if (input == nullptr) return 1;
+  std::stringstream buffer;
+  buffer << input->rdbuf();
+
+  const exporters::ImportResult imported =
+      exporters::import_patterndb_xml(buffer.str());
+  if (!imported.ok()) {
+    err << "import failed: " << imported.error << "\n";
+    return 1;
+  }
+  for (const std::string& w : imported.warnings) {
+    err << "warning: " << w << "\n";
+  }
+
+  store::PatternStore store;
+  const std::string db = args.get("db");
+  store.load(db);  // merging into a fresh DB is fine too
+  for (const core::Pattern& p : imported.patterns) {
+    store.upsert_pattern(p);
+  }
+  if (!store.save(db)) {
+    err << "failed to save " << db << "\n";
+    return 1;
+  }
+  out << "imported " << imported.patterns.size() << " pattern(s); " << db
+      << " now holds " << store.pattern_count() << "\n";
+  return 0;
+}
+
+int cmd_generate(const std::vector<std::string>& argv, std::istream&,
+                 std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("dataset",
+                  "LogHub-like dataset name (HDFS, Linux, ...)", "");
+  args.add_option("count", "number of messages", "2000");
+  args.add_option("seed", "generator seed", "");
+  args.add_option("services", "fleet mode: number of services", "0");
+  args.add_flag("pre", "emit the pre-processed variant (dataset mode)");
+  args.add_flag("labels", "append the ground-truth event id (dataset mode)");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  const auto count = static_cast<std::size_t>(args.get_int("count", 2000));
+  const std::uint64_t seed =
+      args.has("seed")
+          ? static_cast<std::uint64_t>(args.get_int("seed", 0))
+          : util::kDefaultSeed;
+
+  const auto services =
+      static_cast<std::size_t>(args.get_int("services", 0));
+  if (services > 0) {
+    // Fleet mode: JSON-lines {"service","message"} stream.
+    loggen::FleetOptions opts;
+    opts.services = services;
+    opts.seed = seed;
+    loggen::FleetGenerator fleet(opts);
+    for (std::size_t i = 0; i < count; ++i) {
+      out << core::record_to_json(fleet.next().record) << "\n";
+    }
+    return 0;
+  }
+
+  const loggen::DatasetSpec* spec = loggen::find_dataset(args.get("dataset"));
+  if (spec == nullptr) {
+    err << "unknown dataset '" << args.get("dataset")
+        << "'; available:";
+    for (const auto& d : loggen::loghub_datasets()) err << " " << d.name;
+    err << "\n";
+    return 2;
+  }
+  const eval::LabeledCorpus corpus =
+      loggen::generate_corpus(*spec, count, seed);
+  const auto& lines =
+      args.get_flag("pre") ? corpus.preprocessed : corpus.messages;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i];
+    if (args.get_flag("labels")) out << "\t" << corpus.event_ids[i];
+    out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "seqrtg — Sequence-RTG pattern mining for system logs\n"
+         "usage: seqrtg <command> [flags] [input]\n\n"
+         "commands:\n"
+         "  analyze   mine patterns from a JSON-lines stream into the DB\n"
+         "  parse     match a stream against the pattern DB\n"
+         "  export    render patterns (patterndb XML, YAML, Grok)\n"
+         "  stats     per-service pattern statistics\n"
+         "  validate  patterndb-style test-case validation\n"
+         "  purge     drop patterns below a match threshold\n"
+         "  import    merge a (possibly hand-edited) patterndb XML back "
+         "into the DB\n"
+         "  generate  emit a synthetic corpus or fleet stream\n"
+         "run 'seqrtg <command> --help' is not needed: bad flags print "
+         "the command's flag list\n";
+}
+
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
+  if (args.empty()) {
+    err << usage();
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "analyze") return cmd_analyze(rest, in, out, err);
+  if (cmd == "parse") return cmd_parse(rest, in, out, err);
+  if (cmd == "export") return cmd_export(rest, in, out, err);
+  if (cmd == "stats") return cmd_stats(rest, in, out, err);
+  if (cmd == "validate") return cmd_validate(rest, in, out, err);
+  if (cmd == "purge") return cmd_purge(rest, in, out, err);
+  if (cmd == "import") return cmd_import(rest, in, out, err);
+  if (cmd == "generate") return cmd_generate(rest, in, out, err);
+  err << "unknown command '" << cmd << "'\n" << usage();
+  return 2;
+}
+
+}  // namespace seqrtg::cli

@@ -1,0 +1,38 @@
+// The seqrtg command-line interface.
+//
+// Mirrors how the paper deploys Sequence-RTG: "syslog-ng starts
+// Sequence-RTG (or uses an already running instance) and pipes the log to
+// its standard input" (§IV, Fig. 6), plus the ad-hoc uses the paper lists
+// ("run only when needed from a file of messages to make patterns...").
+//
+// Subcommands:
+//   analyze   read a {"service","message"} JSON-lines stream, batch it,
+//             mine patterns into a persistent database
+//   parse     parse a stream against the database, print match results
+//   export    render patterns as syslog-ng patterndb XML / YAML / Grok
+//   stats     per-service pattern statistics
+//   validate  patterndb-style test-case validation of the database
+//   purge     drop patterns below a match-count threshold (paper §IV:
+//             "Any pattern whose count of matches is less than the
+//             threshold is considered useless and thus not saved")
+//   generate  emit a synthetic corpus/fleet stream (for demos and tests)
+//
+// All I/O is injected so the CLI is unit-testable; the binary in
+// tools/seqrtg.cpp wires std::cin/cout/cerr.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace seqrtg::cli {
+
+/// Runs the CLI. `args` excludes the program name (argv[1..]).
+/// Returns the process exit code (0 success, 1 runtime failure, 2 usage).
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
+
+/// Top-level usage text.
+std::string usage();
+
+}  // namespace seqrtg::cli

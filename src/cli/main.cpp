@@ -1,0 +1,14 @@
+// seqrtg binary entry point. All logic lives in cli.cpp so tests can drive
+// the CLI with injected streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return seqrtg::cli::run(args, std::cin, std::cout, std::cerr);
+}

@@ -1,0 +1,134 @@
+#include "core/analyze_by_service.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/parser.hpp"
+#include "util/thread_pool.hpp"
+
+namespace seqrtg::core {
+
+Engine::Engine(PatternRepository* repo, EngineOptions opts)
+    : repo_(repo), opts_(opts) {}
+
+Engine::ServiceOutcome Engine::process_service(
+    const std::string& service,
+    const std::vector<const LogRecord*>& records) const {
+  ServiceOutcome outcome;
+  outcome.service = service;
+  outcome.report.records = records.size();
+  outcome.report.services = 1;
+
+  // Load this service's known patterns into a local parser (read snapshot;
+  // stats updates are collected and applied once at the end of the batch).
+  Parser parser(opts_.scanner, opts_.special);
+  for (const Pattern& p : repo_->load_service(service)) {
+    parser.add_pattern(p);
+  }
+
+  // Second partitioning: per-token-count analysis tries for the unmatched.
+  std::map<std::size_t, AnalyzerTrie> tries;
+  std::map<std::string, std::uint64_t> match_counts;
+
+  for (const LogRecord* record : records) {
+    std::vector<Token> tokens = parser.scan(record->message);
+    if (tokens.empty()) continue;
+    if (auto result = parser.match_tokens(service, tokens)) {
+      ++match_counts[result->pattern->id()];
+      ++outcome.report.matched_existing;
+      continue;
+    }
+    ++outcome.report.analyzed;
+    const std::size_t partition =
+        opts_.partition_by_length ? tokens.size() : 0;
+    auto [it, inserted] = tries.try_emplace(partition, opts_.analyzer);
+    it->second.insert(tokens, record->message);
+  }
+
+  for (auto& [length, trie] : tries) {
+    std::vector<Pattern> patterns = trie.analyze(service);
+    for (Pattern& p : patterns) {
+      p.stats.first_seen = opts_.now_unix;
+      p.stats.last_matched = opts_.now_unix;
+      if (p.stats.match_count < opts_.save_threshold) {
+        ++outcome.report.below_threshold;
+        continue;
+      }
+      ++outcome.report.new_patterns;
+      outcome.new_patterns.push_back(std::move(p));
+    }
+  }
+  outcome.match_updates.assign(match_counts.begin(), match_counts.end());
+  return outcome;
+}
+
+BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
+  // First partitioning: group records by service, preserving stream order
+  // inside each group.
+  std::map<std::string, std::vector<const LogRecord*>> by_service;
+  for (const LogRecord& r : batch) {
+    by_service[r.service].push_back(&r);
+  }
+
+  std::vector<const std::string*> service_names;
+  service_names.reserve(by_service.size());
+  for (const auto& [svc, recs] : by_service) service_names.push_back(&svc);
+
+  std::vector<ServiceOutcome> outcomes(service_names.size());
+  if (opts_.threads > 1 && service_names.size() > 1) {
+    util::ThreadPool pool(std::min(opts_.threads, service_names.size()));
+    pool.parallel_for(service_names.size(), [&](std::size_t i) {
+      outcomes[i] =
+          process_service(*service_names[i], by_service[*service_names[i]]);
+    });
+  } else {
+    for (std::size_t i = 0; i < service_names.size(); ++i) {
+      outcomes[i] =
+          process_service(*service_names[i], by_service[*service_names[i]]);
+    }
+  }
+
+  // Apply results in service order (outcomes are already sorted because
+  // by_service is an ordered map) so runs are deterministic.
+  BatchReport total;
+  for (ServiceOutcome& outcome : outcomes) {
+    for (const auto& [id, count] : outcome.match_updates) {
+      repo_->record_match(id, count, opts_.now_unix);
+    }
+    for (const Pattern& p : outcome.new_patterns) {
+      repo_->upsert_pattern(p);
+    }
+    total += outcome.report;
+  }
+  return total;
+}
+
+BatchReport Engine::analyze_single_trie(const std::vector<LogRecord>& batch) {
+  BatchReport report;
+  report.records = batch.size();
+  report.services = 1;
+
+  Scanner scanner(opts_.scanner);
+  AnalyzerTrie trie(opts_.analyzer);
+  for (const LogRecord& r : batch) {
+    std::vector<Token> tokens = scanner.scan(r.message);
+    promote_special_tokens(tokens, opts_.special);
+    if (tokens.empty()) continue;
+    ++report.analyzed;
+    trie.insert(tokens, r.message);
+  }
+  std::vector<Pattern> patterns = trie.analyze("*");
+  for (Pattern& p : patterns) {
+    p.stats.first_seen = opts_.now_unix;
+    p.stats.last_matched = opts_.now_unix;
+    if (p.stats.match_count < opts_.save_threshold) {
+      ++report.below_threshold;
+      continue;
+    }
+    ++report.new_patterns;
+    repo_->upsert_pattern(p);
+  }
+  return report;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,329 @@
+#include "core/fsm_datetime.hpp"
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+namespace {
+
+using util::is_alnum;
+using util::is_digit;
+
+/// Layout element kinds. A layout is a sequence of elements matched greedily
+/// left to right; `OptStart`/`OptEnd` bracket an optional suffix group
+/// (groups may nest).
+enum class El : unsigned char {
+  Year4,       // exactly 4 digits
+  Year2,       // exactly 2 digits
+  Month2,      // 2 digits, value 01..12
+  MonthNum,    // 1-2 digits, value 1..12
+  Day2,        // 2 digits, 01..31
+  DayPad,      // 1-2 digits possibly preceded by an extra pad space ("Jan  2")
+  TimePart,    // hour/min/sec: 2 digits strict, 1-2 digits lenient
+  Fraction,    // 1..9 digits
+  MonthName,   // Jan..Dec (case-insensitive first letter upper accepted)
+  DayName,     // Mon..Sun
+  Zone,        // Z | ±hh:mm | ±hhmm
+  Space,       // exactly one space
+  OptStart,
+  OptEnd,
+  // Literal separators:
+  Dash,
+  Slash,
+  Colon,
+  Dot,
+  Comma,
+  TeeOrSpace,  // 'T' or ' ' (ISO-8601 vs SQL style)
+};
+
+struct Layout {
+  std::vector<El> els;
+};
+
+bool match_month_name(std::string_view s, std::size_t& pos) {
+  static constexpr std::array<std::string_view, 12> kMonths = {
+      "jan", "feb", "mar", "apr", "may", "jun",
+      "jul", "aug", "sep", "oct", "nov", "dec"};
+  if (pos + 3 > s.size()) return false;
+  char buf[3];
+  for (int i = 0; i < 3; ++i) {
+    char c = s[pos + static_cast<std::size_t>(i)];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    buf[i] = c;
+  }
+  const std::string_view candidate(buf, 3);
+  for (std::string_view m : kMonths) {
+    if (candidate == m) {
+      pos += 3;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool match_day_name(std::string_view s, std::size_t& pos) {
+  static constexpr std::array<std::string_view, 7> kDays = {
+      "mon", "tue", "wed", "thu", "fri", "sat", "sun"};
+  if (pos + 3 > s.size()) return false;
+  char buf[3];
+  for (int i = 0; i < 3; ++i) {
+    char c = s[pos + static_cast<std::size_t>(i)];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    buf[i] = c;
+  }
+  const std::string_view candidate(buf, 3);
+  for (std::string_view d : kDays) {
+    if (candidate == d) {
+      pos += 3;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Matches exactly `n` digits, returning their numeric value in `value`.
+bool match_digits(std::string_view s, std::size_t& pos, int n, int& value) {
+  if (pos + static_cast<std::size_t>(n) > s.size()) return false;
+  int v = 0;
+  for (int i = 0; i < n; ++i) {
+    const char c = s[pos + static_cast<std::size_t>(i)];
+    if (!is_digit(c)) return false;
+    v = v * 10 + (c - '0');
+  }
+  pos += static_cast<std::size_t>(n);
+  value = v;
+  return true;
+}
+
+/// Matches 1..max_digits digits; returns count matched (0 on failure).
+int match_digits_var(std::string_view s, std::size_t& pos, int max_digits,
+                     int& value) {
+  int count = 0;
+  int v = 0;
+  while (count < max_digits && pos < s.size() && is_digit(s[pos])) {
+    v = v * 10 + (s[pos] - '0');
+    ++pos;
+    ++count;
+  }
+  value = v;
+  return count;
+}
+
+struct Matcher {
+  std::string_view s;
+  const DateTimeOptions& opts;
+
+  /// Matches elements [ei, end) starting at byte `pos`; on success returns
+  /// true and leaves `pos` at the end of the match.
+  bool run(const std::vector<El>& els, std::size_t ei, std::size_t& pos) {
+    while (ei < els.size()) {
+      const El el = els[ei];
+      switch (el) {
+        case El::OptStart: {
+          // Find the matching OptEnd.
+          std::size_t depth = 1;
+          std::size_t close = ei + 1;
+          while (close < els.size() && depth > 0) {
+            if (els[close] == El::OptStart) ++depth;
+            if (els[close] == El::OptEnd) --depth;
+            ++close;
+          }
+          // Try with the group (greedy), fall back to skipping it.
+          std::size_t with_pos = pos;
+          if (run_group(els, ei + 1, close - 1, with_pos) &&
+              run(els, close, with_pos)) {
+            pos = with_pos;
+            return true;
+          }
+          ei = close;
+          continue;
+        }
+        case El::OptEnd:
+          ++ei;
+          continue;
+        default:
+          if (!match_one(el, pos)) return false;
+          ++ei;
+      }
+    }
+    return true;
+  }
+
+  /// Matches the element range [begin, end) as a unit.
+  bool run_group(const std::vector<El>& els, std::size_t begin,
+                 std::size_t end, std::size_t& pos) {
+    std::vector<El> sub(els.begin() + static_cast<std::ptrdiff_t>(begin),
+                        els.begin() + static_cast<std::ptrdiff_t>(end));
+    return run(sub, 0, pos);
+  }
+
+  bool match_one(El el, std::size_t& pos) {
+    int v = 0;
+    switch (el) {
+      case El::Year4:
+        return match_digits(s, pos, 4, v);
+      case El::Year2:
+        return match_digits(s, pos, 2, v);
+      case El::Month2:
+        return match_digits(s, pos, 2, v) && v >= 1 && v <= 12;
+      case El::MonthNum: {
+        const int n = match_digits_var(s, pos, 2, v);
+        return n >= 1 && v >= 1 && v <= 12;
+      }
+      case El::Day2:
+        return match_digits(s, pos, 2, v) && v >= 1 && v <= 31;
+      case El::DayPad: {
+        // syslog pads single-digit days with a space: "Jan  2 06:25:56".
+        if (pos < s.size() && s[pos] == ' ') ++pos;
+        const int n = match_digits_var(s, pos, 2, v);
+        return n >= 1 && v >= 1 && v <= 31;
+      }
+      case El::TimePart: {
+        if (opts.lenient_time) {
+          const int n = match_digits_var(s, pos, 2, v);
+          return n >= 1 && v <= 60;
+        }
+        return match_digits(s, pos, 2, v) && v <= 60;
+      }
+      case El::Fraction: {
+        const int n = match_digits_var(s, pos, 9, v);
+        return n >= 1;
+      }
+      case El::MonthName:
+        return match_month_name(s, pos);
+      case El::DayName:
+        return match_day_name(s, pos);
+      case El::Zone: {
+        if (pos < s.size() && (s[pos] == 'Z' || s[pos] == 'z')) {
+          ++pos;
+          return true;
+        }
+        if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+          std::size_t p = pos + 1;
+          int hh = 0;
+          if (!match_digits(s, p, 2, hh) || hh > 14) return false;
+          if (p < s.size() && s[p] == ':') ++p;
+          int mm = 0;
+          if (!match_digits(s, p, 2, mm) || mm > 59) return false;
+          pos = p;
+          return true;
+        }
+        return false;
+      }
+      case El::Space:
+        if (pos < s.size() && s[pos] == ' ') {
+          ++pos;
+          return true;
+        }
+        return false;
+      case El::TeeOrSpace:
+        if (pos < s.size() && (s[pos] == 'T' || s[pos] == ' ')) {
+          ++pos;
+          return true;
+        }
+        return false;
+      case El::Dash:
+      case El::Slash:
+      case El::Colon:
+      case El::Dot:
+      case El::Comma: {
+        const char want = el == El::Dash    ? '-'
+                          : el == El::Slash ? '/'
+                          : el == El::Colon ? ':'
+                          : el == El::Dot   ? '.'
+                                            : ',';
+        if (pos < s.size() && s[pos] == want) {
+          ++pos;
+          return true;
+        }
+        return false;
+      }
+      case El::OptStart:
+      case El::OptEnd:
+        return false;  // handled by run()
+    }
+    return false;
+  }
+};
+
+/// The compiled layout bank, ordered roughly by frequency in real logs.
+/// All layouts are tried and the longest boundary-terminated match wins.
+const std::vector<Layout>& layouts() {
+  using enum El;
+  static const std::vector<Layout> kLayouts = {
+      // ISO-8601 / SQL: 2021-01-12T06:25:56.123+01:00, 2021-01-12 06:25:56,123
+      {{Year4, Dash, Month2, Dash, Day2, TeeOrSpace, TimePart, Colon, TimePart,
+        Colon, TimePart, OptStart, Dot, Fraction, OptEnd, OptStart, Comma,
+        Fraction, OptEnd, OptStart, Zone, OptEnd}},
+      // BGL: 2005-06-03-15.42.50.675872
+      {{Year4, Dash, Month2, Dash, Day2, Dash, TimePart, Dot, TimePart, Dot,
+        TimePart, Dot, Fraction}},
+      // 2021/01/12 06:25:56
+      {{Year4, Slash, Month2, Slash, Day2, Space, TimePart, Colon, TimePart,
+        Colon, TimePart, OptStart, Dot, Fraction, OptEnd}},
+      // Spark/Hadoop: 17/06/09 20:10:40
+      {{Year2, Slash, Month2, Slash, Day2, Space, TimePart, Colon, TimePart,
+        Colon, TimePart}},
+      // Apache access: 12/Jan/2021:06:25:56 +0100
+      {{Day2, Slash, MonthName, Slash, Year4, Colon, TimePart, Colon, TimePart,
+        Colon, TimePart, OptStart, Space, Zone, OptEnd}},
+      // Apache error / asctime: Sun Dec 04 04:47:44 2005
+      {{DayName, Space, MonthName, Space, DayPad, Space, TimePart, Colon,
+        TimePart, Colon, TimePart, Space, Year4}},
+      // syslog: Jan  2 06:25:56 (padded day) / Jun 14 15:16:01
+      {{MonthName, Space, DayPad, Space, TimePart, Colon, TimePart, Colon,
+        TimePart, OptStart, Dot, Fraction, OptEnd}},
+      // Android: 03-17 16:13:38.811
+      {{Month2, Dash, Day2, Space, TimePart, Colon, TimePart, Colon, TimePart,
+        OptStart, Dot, Fraction, OptEnd}},
+      // HealthApp: 20171224-00:07:20:444 (the strict TimePart reproduces the
+      // paper's missing-leading-zero failure on raw HealthApp logs)
+      {{Year4, Month2, Day2, Dash, TimePart, Colon, TimePart, Colon, TimePart,
+        Colon, Fraction}},
+      // Proxifier: 10.30 16:49:06
+      {{Month2, Dot, Day2, Space, TimePart, Colon, TimePart, Colon, TimePart}},
+      // Windows CBS date part only: 2016-09-28 (time handled by ISO layout)
+      {{Year4, Dash, Month2, Dash, Day2}},
+      // Thunderbird secondary date: 2005.11.09
+      {{Year4, Dot, Month2, Dot, Day2}},
+      // Bare time: 06:25:56.123 / 6:7:20 in lenient mode
+      {{TimePart, Colon, TimePart, Colon, TimePart, OptStart, Dot, Fraction,
+        OptEnd, OptStart, Comma, Fraction, OptEnd}},
+  };
+  return kLayouts;
+}
+
+}  // namespace
+
+std::size_t match_datetime(std::string_view text,
+                           const DateTimeOptions& opts) {
+  // Fast reject: timestamps start with a digit or a day/month name letter.
+  if (text.empty()) return 0;
+  const char c0 = text[0];
+  if (!is_digit(c0) && !util::is_alpha(c0)) return 0;
+
+  std::size_t best = 0;
+  Matcher m{text, opts};
+  for (const Layout& layout : layouts()) {
+    std::size_t pos = 0;
+    if (m.run(layout.els, 0, pos) && pos > best) {
+      // Boundary check: a timestamp must not be glued to identifier
+      // characters ("12:30:45abc", "2021-01-12-rack7" are not times).
+      // Whitespace, end of text and closing punctuation are boundaries.
+      if (pos == text.size() ||
+          (!is_alnum(text[pos]) && text[pos] != '-' && text[pos] != '_' &&
+           text[pos] != '/' && text[pos] != '+')) {
+        best = pos;
+      }
+    }
+  }
+  // Avoid classifying a lone 4-digit number via the date-only layouts: they
+  // require the full yyyy-mm-dd shape, so any non-zero match is structural.
+  return best;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,37 @@
+// Date/time finite state machine.
+//
+// One of the three FSMs of the Sequence scanner (paper §III). It recognises
+// timestamp layouts commonly found in system logs — syslog ("Jan  2
+// 06:25:56"), ISO-8601 with optional fraction and zone, Apache access/error
+// formats, Android ("03-17 16:13:38.811"), Zookeeper (comma fraction), BGL
+// ("2005-06-03-15.42.50.675872"), Spark/Hadoop two-digit years, HealthApp
+// ("20171224-00:07:20:444"), Proxifier ("10.30 16:49:06"), and bare
+// HH:MM:SS times.
+//
+// The paper documents a limitation (§IV): the seminal Sequence FSM cannot
+// detect time parts missing their leading zero (HealthApp logs contain
+// "20171224-0:7:20:444"), and lists fixing it as future work (§VI). Both
+// behaviours are implemented: `strict` mode reproduces the limitation (two
+// mandatory digits per time part), `lenient` implements the fix (one or two
+// digits). Table II's raw-log HealthApp accuracy drop is reproduced by the
+// strict mode and the ablation bench flips the switch.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace seqrtg::core {
+
+struct DateTimeOptions {
+  /// When false (default, matching the seminal Sequence), every
+  /// hour/minute/second field must be exactly two digits.
+  bool lenient_time = false;
+};
+
+/// Attempts to match a timestamp starting at the beginning of `text`.
+/// Returns the number of bytes consumed (longest layout wins), or 0 when no
+/// layout matches. A successful match always ends at a token boundary
+/// (end of text or a non-alphanumeric character).
+std::size_t match_datetime(std::string_view text, const DateTimeOptions& opts);
+
+}  // namespace seqrtg::core

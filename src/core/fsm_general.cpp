@@ -1,0 +1,116 @@
+#include "core/fsm_general.hpp"
+
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+namespace {
+
+using util::is_alnum;
+using util::is_digit;
+
+bool boundary(std::string_view text, std::size_t pos) {
+  return pos >= text.size() || !is_alnum(text[pos]);
+}
+
+}  // namespace
+
+std::size_t match_ipv4(std::string_view text) {
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    int v = 0;
+    std::size_t digits = 0;
+    while (digits < 3 && pos < text.size() && is_digit(text[pos])) {
+      v = v * 10 + (text[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || v > 255) return 0;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') return 0;
+      ++pos;
+    }
+  }
+  // Must not be followed by more dotted digits (it would be a version string
+  // like 1.2.3.4.5) or glued alphanumerics.
+  if (pos + 1 < text.size() && text[pos] == '.' && is_digit(text[pos + 1])) {
+    return 0;
+  }
+  if (!boundary(text, pos)) return 0;
+  return pos;
+}
+
+std::size_t match_integer(std::string_view text) {
+  std::size_t pos = 0;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+  const std::size_t start = pos;
+  while (pos < text.size() && is_digit(text[pos])) ++pos;
+  if (pos == start) return 0;
+  return pos;
+}
+
+std::size_t match_float(std::string_view text) {
+  std::size_t pos = 0;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+  const std::size_t int_start = pos;
+  while (pos < text.size() && is_digit(text[pos])) ++pos;
+  if (pos == int_start) return 0;
+  if (pos >= text.size() || text[pos] != '.') return 0;
+  ++pos;
+  const std::size_t frac_start = pos;
+  while (pos < text.size() && is_digit(text[pos])) ++pos;
+  if (pos == frac_start) return 0;
+  // Optional exponent.
+  if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+    std::size_t p = pos + 1;
+    if (p < text.size() && (text[p] == '+' || text[p] == '-')) ++p;
+    std::size_t exp_digits = 0;
+    while (p < text.size() && is_digit(text[p])) {
+      ++p;
+      ++exp_digits;
+    }
+    if (exp_digits > 0) pos = p;
+  }
+  return pos;
+}
+
+std::size_t match_url(std::string_view text) {
+  static constexpr std::array<std::string_view, 10> kSchemes = {
+      "https", "http", "ftp", "ssh", "file", "ldaps",
+      "ldap",  "tcp",  "udp", "nfs"};
+  for (std::string_view scheme : kSchemes) {
+    if (text.size() > scheme.size() + 3 &&
+        util::starts_with(text, scheme) &&
+        text.substr(scheme.size(), 3) == "://") {
+      std::size_t pos = scheme.size() + 3;
+      const std::size_t body_start = pos;
+      while (pos < text.size() && !util::is_space(text[pos]) &&
+             text[pos] != '"' && text[pos] != '\'' && text[pos] != '>' &&
+             text[pos] != ')') {
+        ++pos;
+      }
+      // Trailing sentence punctuation belongs to the text, not the URL.
+      while (pos > body_start &&
+             (text[pos - 1] == '.' || text[pos - 1] == ',' ||
+              text[pos - 1] == ';')) {
+        --pos;
+      }
+      if (pos > body_start) return pos;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+TokenType classify_general(std::string_view chunk) {
+  if (chunk.empty()) return TokenType::Literal;
+  if (match_url(chunk) == chunk.size()) return TokenType::Url;
+  if (match_ipv4(chunk) == chunk.size()) return TokenType::IPv4;
+  if (match_float(chunk) == chunk.size()) return TokenType::Float;
+  if (match_integer(chunk) == chunk.size()) return TokenType::Integer;
+  return TokenType::Literal;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,36 @@
+// General (text and number) finite state machine.
+//
+// Third of the three Sequence scanner FSMs (paper §III): classifies the
+// whitespace-delimited chunks that are not hexadecimal or date/time tokens —
+// IPv4 addresses, integers, floats, URLs and plain literals.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "core/token.hpp"
+
+namespace seqrtg::core {
+
+/// Matches a dotted-quad IPv4 address (each octet 0..255) at the start of
+/// `text`, optionally followed by ":port" (the port is NOT consumed).
+/// Returns bytes consumed, or 0.
+std::size_t match_ipv4(std::string_view text);
+
+/// Matches a decimal integer (optional +/- sign). Returns bytes consumed.
+std::size_t match_integer(std::string_view text);
+
+/// Matches a decimal float: sign, digits, '.', digits, optional exponent.
+/// A bare integer does not qualify. Returns bytes consumed.
+std::size_t match_float(std::string_view text);
+
+/// Matches a URL: known scheme, "://", then non-space URL characters.
+/// Returns bytes consumed.
+std::size_t match_url(std::string_view text);
+
+/// Classifies a complete chunk (no internal whitespace) with the general
+/// FSM. Returns the type if the *whole* chunk matches one of the shapes,
+/// otherwise TokenType::Literal.
+TokenType classify_general(std::string_view chunk);
+
+}  // namespace seqrtg::core

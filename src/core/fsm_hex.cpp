@@ -1,0 +1,138 @@
+#include "core/fsm_hex.hpp"
+
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+namespace {
+
+using util::is_alnum;
+using util::is_digit;
+using util::is_hex_digit;
+
+bool boundary(std::string_view text, std::size_t pos) {
+  return pos >= text.size() || !is_alnum(text[pos]);
+}
+
+/// Counts leading hex digits (at most `cap`).
+std::size_t hex_run(std::string_view text, std::size_t pos, std::size_t cap) {
+  std::size_t n = 0;
+  while (n < cap && pos + n < text.size() && is_hex_digit(text[pos + n])) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::size_t match_mac(std::string_view text) {
+  // Six groups of exactly two hex digits, uniform separator ':' or '-'.
+  if (text.size() < 17) return 0;
+  const char sep = text[2];
+  if (sep != ':' && sep != '-') return 0;
+  for (int g = 0; g < 6; ++g) {
+    const std::size_t base = static_cast<std::size_t>(g) * 3;
+    if (!is_hex_digit(text[base]) || !is_hex_digit(text[base + 1])) return 0;
+    if (g < 5 && text[base + 2] != sep) return 0;
+  }
+  if (!boundary(text, 17)) return 0;
+  // Reject when a seventh group follows (it is a longer hex chain, not MAC).
+  if (text.size() >= 18 && text[17] == sep && text.size() >= 19 &&
+      is_hex_digit(text[18])) {
+    return 0;
+  }
+  return 17;
+}
+
+std::size_t match_ipv6(std::string_view text) {
+  // Scan the maximal run of characters that can belong to an IPv6 literal.
+  std::size_t end = 0;
+  while (end < text.size() &&
+         (is_hex_digit(text[end]) || text[end] == ':' || text[end] == '.')) {
+    ++end;
+  }
+  if (end < 3) return 0;
+  // Trailing ':' or '.' belongs to surrounding punctuation, not the address
+  // (except a genuine "::" suffix like "fe80::").
+  while (end > 0 && (text[end - 1] == '.' ||
+                     (text[end - 1] == ':' &&
+                      !(end >= 2 && text[end - 2] == ':')))) {
+    --end;
+  }
+  const std::string_view cand = text.substr(0, end);
+
+  std::size_t colons = 0;
+  bool has_double = false;
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    if (cand[i] == ':') {
+      ++colons;
+      if (i + 1 < cand.size() && cand[i + 1] == ':') has_double = true;
+      // ":::" is never valid.
+      if (i + 2 < cand.size() && cand[i + 1] == ':' && cand[i + 2] == ':') {
+        return 0;
+      }
+    }
+  }
+  // At most one "::" compression.
+  if (util::count_occurrences(cand, "::") > 1) return 0;
+  // Structural gate: full addresses have 7 colons; compressed ones have "::".
+  // Requiring >= 4 colons otherwise keeps "06:25:56" out of this FSM.
+  if (!has_double && colons != 7) {
+    if (colons < 4) return 0;
+  }
+  if (colons < 2) return 0;
+
+  // Validate the groups: 1-4 hex digits, or empty only adjacent to "::";
+  // an optional dotted-quad tail is allowed in the last group.
+  const auto groups = util::split(cand, ':');
+  if (groups.size() > 9) return 0;
+  int empty_groups = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::string_view g = groups[i];
+    if (g.empty()) {
+      ++empty_groups;
+      continue;
+    }
+    if (i == groups.size() - 1 && g.find('.') != std::string_view::npos) {
+      // IPv4-mapped tail, e.g. ::ffff:192.168.0.1 — validated loosely.
+      const auto quads = util::split(g, '.');
+      if (quads.size() != 4) return 0;
+      for (const auto q : quads) {
+        if (!util::is_all_digits(q) || q.size() > 3) return 0;
+      }
+      continue;
+    }
+    if (g.size() > 4) return 0;
+    for (char c : g) {
+      if (!is_hex_digit(c)) return 0;
+    }
+  }
+  // "::" produces at most 2 empty fields at the edges / 1 inside; more means
+  // malformed (e.g. ":::").
+  if (empty_groups > 2) return 0;
+  if (!boundary(text, end)) return 0;
+  return end;
+}
+
+std::size_t match_hex(std::string_view text, std::size_t min_bare_len) {
+  // 0x-prefixed.
+  if (text.size() >= 3 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    const std::size_t run = hex_run(text, 2, text.size());
+    if (run > 0 && boundary(text, 2 + run)) return 2 + run;
+    return 0;
+  }
+  // Bare hex run: must be long enough and mix digits with a-f letters, so
+  // that decimal integers and common words are excluded.
+  const std::size_t run = hex_run(text, 0, text.size());
+  if (run < min_bare_len || !boundary(text, run)) return 0;
+  bool saw_digit = false;
+  bool saw_letter = false;
+  for (std::size_t i = 0; i < run; ++i) {
+    if (is_digit(text[i])) {
+      saw_digit = true;
+    } else {
+      saw_letter = true;
+    }
+  }
+  return (saw_digit && saw_letter) ? run : 0;
+}
+
+}  // namespace seqrtg::core

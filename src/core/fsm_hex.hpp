@@ -1,0 +1,31 @@
+// Hexadecimal-family finite state machine.
+//
+// Second of the three Sequence scanner FSMs (paper §III): recognises MAC
+// addresses, IPv6 addresses and raw hexadecimal runs. These must be matched
+// before the date/time FSM would mis-split colon-separated groups, and
+// before the general FSM would emit them as literals.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace seqrtg::core {
+
+/// Matches a MAC address (six groups of two hex digits separated by ':' or
+/// '-') at the start of `text`. Returns bytes consumed, or 0.
+std::size_t match_mac(std::string_view text);
+
+/// Matches an IPv6 address at the start of `text`: either a fully expanded
+/// eight-group address or a "::"-compressed form, optionally with an
+/// embedded IPv4 tail. Returns bytes consumed, or 0. Deliberately rejects
+/// shapes that are more plausibly times ("06:25:56") by requiring "::" or
+/// at least four colons.
+std::size_t match_ipv6(std::string_view text);
+
+/// Matches a hexadecimal run at the start of `text`: "0x"-prefixed digits,
+/// or a bare run of >= `min_bare_len` hex digits containing both a decimal
+/// digit and a hex letter (so English words like "decade" do not qualify,
+/// while "7d5f03e2" and "deadbeef01" do). Returns bytes consumed, or 0.
+std::size_t match_hex(std::string_view text, std::size_t min_bare_len = 8);
+
+}  // namespace seqrtg::core

@@ -1,0 +1,51 @@
+#include "core/ingest.hpp"
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+std::string record_to_json(const LogRecord& record) {
+  std::string out = "{\"message\":\"";
+  out += util::json_escape(record.message);
+  out += "\",\"service\":\"";
+  out += util::json_escape(record.service);
+  out += "\"}";
+  return out;
+}
+
+std::optional<LogRecord> JsonStreamIngester::parse_line(
+    std::string_view line) {
+  const std::string_view trimmed = util::trim(line);
+  if (trimmed.empty()) return std::nullopt;
+  const util::JsonParseResult parsed = util::json_parse(trimmed);
+  if (!parsed.ok() || !parsed.value.is_object()) return std::nullopt;
+  const util::Json* service = parsed.value.find("service");
+  const util::Json* message = parsed.value.find("message");
+  if (service == nullptr || message == nullptr || !service->is_string() ||
+      !message->is_string()) {
+    return std::nullopt;
+  }
+  LogRecord record;
+  record.service = service->as_string();
+  record.message = message->as_string();
+  return record;
+}
+
+std::vector<LogRecord> JsonStreamIngester::read_batch(std::istream& in) {
+  std::vector<LogRecord> batch;
+  batch.reserve(batch_size_);
+  std::string line;
+  while (batch.size() < batch_size_ && std::getline(in, line)) {
+    auto record = parse_line(line);
+    if (record.has_value()) {
+      batch.push_back(std::move(*record));
+      ++stats_.accepted;
+    } else if (!util::trim(line).empty()) {
+      ++stats_.malformed;
+    }
+  }
+  return batch;
+}
+
+}  // namespace seqrtg::core

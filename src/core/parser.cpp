@@ -1,0 +1,206 @@
+#include "core/parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+bool variable_matches(TokenType var, const Token& tok) {
+  switch (var) {
+    case TokenType::String:
+      return true;
+    case TokenType::Integer:
+      return tok.type == TokenType::Integer;
+    case TokenType::Float:
+      return tok.type == TokenType::Float || tok.type == TokenType::Integer;
+    case TokenType::Hex:
+      return tok.type == TokenType::Hex ||
+             (tok.type == TokenType::Integer && tok.value.size() >= 6);
+    case TokenType::Time:
+      return tok.type == TokenType::Time;
+    case TokenType::IPv4:
+      return tok.type == TokenType::IPv4;
+    case TokenType::IPv6:
+      return tok.type == TokenType::IPv6;
+    case TokenType::Mac:
+      return tok.type == TokenType::Mac;
+    case TokenType::Url:
+      return tok.type == TokenType::Url;
+    case TokenType::Email:
+      return tok.type == TokenType::Email;
+    case TokenType::Host:
+      return tok.type == TokenType::Host;
+    case TokenType::Path:
+      return tok.type == TokenType::Path;
+    case TokenType::Rest:
+    case TokenType::Literal:
+      return false;
+  }
+  return false;
+}
+
+Parser::Parser(ScannerOptions scanner_opts, SpecialTokenOptions special_opts)
+    : scanner_(scanner_opts), special_opts_(special_opts) {}
+
+void Parser::clear() {
+  owned_.clear();
+  services_.clear();
+}
+
+std::vector<Token> Parser::scan(std::string_view message) const {
+  std::vector<Token> tokens = scanner_.scan(message);
+  promote_special_tokens(tokens, special_opts_);
+  return tokens;
+}
+
+void Parser::add_pattern(const Pattern& p) {
+  owned_.push_back(p);
+  const Pattern* stored = &owned_.back();
+
+  // Detect a trailing %rest% marker.
+  const auto& toks = stored->tokens;
+  const bool has_rest = !toks.empty() && toks.back().is_variable &&
+                        toks.back().var_type == TokenType::Rest;
+  const std::size_t fixed = has_rest ? toks.size() - 1 : toks.size();
+
+  ServiceIndex& svc = services_[stored->service];
+  MatchNode* node = has_rest ? &svc.rest_prefix[fixed] : &svc.exact[fixed];
+  for (std::size_t i = 0; i < fixed; ++i) {
+    const PatternToken& pt = toks[i];
+    if (!pt.is_variable) {
+      auto it = node->literal_edges.find(pt.text);
+      if (it == node->literal_edges.end()) {
+        it = node->literal_edges
+                 .emplace(pt.text, std::make_unique<MatchNode>())
+                 .first;
+      }
+      node = it->second.get();
+    } else {
+      MatchNode::VarEdge* edge = nullptr;
+      for (auto& e : node->var_edges) {
+        if (e.type == pt.var_type) {
+          edge = &e;
+          break;
+        }
+      }
+      if (edge == nullptr) {
+        node->var_edges.push_back(
+            {pt.var_type, pt.name, std::make_unique<MatchNode>()});
+        edge = &node->var_edges.back();
+      }
+      node = edge->node.get();
+    }
+  }
+  if (has_rest) {
+    if (node->rest_terminal == nullptr) {
+      node->rest_terminal = stored;
+      node->rest_name = toks.back().name;
+    }
+  } else if (node->terminal == nullptr) {
+    node->terminal = stored;
+  }
+}
+
+bool Parser::match_walk(const MatchNode* node,
+                        const std::vector<Token>& tokens, std::size_t i,
+                        ParsedFields* fields, const Pattern** out) const {
+  if (i == tokens.size()) {
+    if (node->terminal != nullptr) {
+      *out = node->terminal;
+      return true;
+    }
+    return false;
+  }
+  const Token& tok = tokens[i];
+  // Most-specific first: exact literal text (only Literal tokens carry
+  // pattern-constant text), then typed wildcards in insertion order.
+  if (tok.type == TokenType::Literal) {
+    const auto it = node->literal_edges.find(tok.value);
+    if (it != node->literal_edges.end() &&
+        match_walk(it->second.get(), tokens, i + 1, fields, out)) {
+      return true;
+    }
+  }
+  for (const auto& edge : node->var_edges) {
+    if (!variable_matches(edge.type, tok)) continue;
+    fields->emplace_back(edge.name, tok.value);
+    if (match_walk(edge.node.get(), tokens, i + 1, fields, out)) return true;
+    fields->pop_back();
+  }
+  return false;
+}
+
+std::optional<ParseResult> Parser::match_tokens(
+    std::string_view service, const std::vector<Token>& tokens) const {
+  const auto svc_it = services_.find(std::string(service));
+  if (svc_it == services_.end()) return std::nullopt;
+  const ServiceIndex& svc = svc_it->second;
+
+  // Exact-length patterns first.
+  const auto exact_it = svc.exact.find(tokens.size());
+  if (exact_it != svc.exact.end()) {
+    ParseResult result;
+    if (match_walk(&exact_it->second, tokens, 0, &result.fields,
+                   &result.pattern)) {
+      return result;
+    }
+  }
+  // %rest% patterns: any prefix length <= token count. Walk each candidate
+  // prefix index; the rest marker swallows the remaining tokens.
+  for (const auto& [prefix_len, root] : svc.rest_prefix) {
+    if (prefix_len > tokens.size()) break;
+    // Custom walk that terminates at prefix_len on a rest_terminal.
+    struct RestWalker {
+      const Parser* parser;
+      const std::vector<Token>& tokens;
+      std::size_t prefix_len;
+      bool walk(const MatchNode* node, std::size_t i, ParsedFields* fields,
+                const Pattern** out, std::string* rest_name) const {
+        if (i == prefix_len) {
+          if (node->rest_terminal != nullptr) {
+            *out = node->rest_terminal;
+            *rest_name = node->rest_name;
+            return true;
+          }
+          return false;
+        }
+        const Token& tok = tokens[i];
+        if (tok.type == TokenType::Literal) {
+          const auto it = node->literal_edges.find(tok.value);
+          if (it != node->literal_edges.end() &&
+              walk(it->second.get(), i + 1, fields, out, rest_name)) {
+            return true;
+          }
+        }
+        for (const auto& edge : node->var_edges) {
+          if (!variable_matches(edge.type, tok)) continue;
+          fields->emplace_back(edge.name, tok.value);
+          if (walk(edge.node.get(), i + 1, fields, out, rest_name)) {
+            return true;
+          }
+          fields->pop_back();
+        }
+        return false;
+      }
+    };
+    ParseResult result;
+    std::string rest_name;
+    RestWalker walker{this, tokens, prefix_len};
+    if (walker.walk(&root, 0, &result.fields, &result.pattern, &rest_name)) {
+      // Bind the swallowed suffix under the rest variable's name.
+      std::string suffix = reconstruct(std::vector<Token>(
+          tokens.begin() + static_cast<std::ptrdiff_t>(prefix_len),
+          tokens.end()));
+      result.fields.emplace_back(
+          rest_name.empty() ? "rest" : rest_name, std::move(suffix));
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ParseResult> Parser::parse(std::string_view service,
+                                         std::string_view message) const {
+  return match_tokens(service, scan(message));
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,106 @@
+// The Sequence parser: matches scanned messages against known patterns.
+//
+// Paper §III: "Sequence has its own parser to match new messages against
+// existing known patterns. It follows a similar process as while learning
+// the messages, by first tokenising the messages, but instead of
+// discovering patterns, it attempts to match new messages to a known
+// pattern."
+//
+// Patterns are compiled into a per-(service, token-count) match trie whose
+// edges are either exact literal text or typed wildcards. Matching is a
+// depth-first walk preferring literal edges over wildcards (most-specific
+// wins); variable values are extracted along the way so the caller gets the
+// parsed fields (the "small amount of information ... extracted from the
+// message" of §II). Patterns ending in the %rest% marker match any suffix
+// (multi-line handling, extension #6).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/scanner.hpp"
+#include "core/special_tokens.hpp"
+#include "core/token.hpp"
+
+namespace seqrtg::core {
+
+/// Extracted variable bindings of a successful match, in pattern order.
+using ParsedFields = std::vector<std::pair<std::string, std::string>>;
+
+struct ParseResult {
+  /// The matched pattern (owned by the Parser; stable until clear()).
+  const Pattern* pattern = nullptr;
+  ParsedFields fields;
+};
+
+/// True when a variable of type `var` accepts token `tok`. %string% accepts
+/// any single token; %float% also accepts integers ("5" vs "5.0" in the same
+/// field); %hex% also accepts all-digit runs that happen to contain no a-f.
+bool variable_matches(TokenType var, const Token& tok);
+
+class Parser {
+ public:
+  explicit Parser(ScannerOptions scanner_opts = {},
+                  SpecialTokenOptions special_opts = {});
+
+  /// Compiles `p` into the match structure. Patterns are copied and owned.
+  void add_pattern(const Pattern& p);
+
+  /// Number of compiled patterns.
+  std::size_t pattern_count() const { return owned_.size(); }
+
+  /// Scans `message` and matches it against the patterns of `service`.
+  std::optional<ParseResult> parse(std::string_view service,
+                                   std::string_view message) const;
+
+  /// Matches an already scanned-and-promoted token sequence.
+  std::optional<ParseResult> match_tokens(std::string_view service,
+                                          const std::vector<Token>& tokens) const;
+
+  /// Scans and promotes exactly as the match path does (exposed so the
+  /// analyser sees identical token sequences).
+  std::vector<Token> scan(std::string_view message) const;
+
+  void clear();
+
+ private:
+  struct MatchNode {
+    std::unordered_map<std::string, std::unique_ptr<MatchNode>> literal_edges;
+    // Wildcard edges in insertion order; name kept for field extraction.
+    struct VarEdge {
+      TokenType type;
+      std::string name;
+      std::unique_ptr<MatchNode> node;
+    };
+    std::vector<VarEdge> var_edges;
+    const Pattern* terminal = nullptr;
+    /// Terminal reached via a %rest% marker: matches any token suffix.
+    const Pattern* rest_terminal = nullptr;
+    std::string rest_name;
+  };
+
+  struct ServiceIndex {
+    // Keyed by token count; patterns with %rest% live under the count of
+    // tokens preceding the marker in a separate prefix index.
+    std::map<std::size_t, MatchNode> exact;
+    std::map<std::size_t, MatchNode> rest_prefix;
+  };
+
+  bool match_walk(const MatchNode* node, const std::vector<Token>& tokens,
+                  std::size_t i, ParsedFields* fields,
+                  const Pattern** out) const;
+
+  Scanner scanner_;
+  SpecialTokenOptions special_opts_;
+  std::deque<Pattern> owned_;
+  std::unordered_map<std::string, ServiceIndex> services_;
+};
+
+}  // namespace seqrtg::core

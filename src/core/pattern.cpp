@@ -1,0 +1,119 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/sha1.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+std::string pattern_token_text(const PatternToken& t) {
+  if (!t.is_variable) return t.text;
+  std::string out = "%";
+  out += t.name.empty() ? std::string(token_type_tag(t.var_type)) : t.name;
+  out += "%";
+  return out;
+}
+
+std::string Pattern::text() const {
+  std::string out;
+  for (const PatternToken& t : tokens) {
+    if (t.is_space_before && !out.empty()) out += ' ';
+    out += pattern_token_text(t);
+  }
+  return out;
+}
+
+std::string Pattern::id() const {
+  util::Sha1 h;
+  h.update(text());
+  h.update(service);
+  return h.hex_digest();
+}
+
+double Pattern::complexity() const {
+  if (tokens.empty()) return 0.0;
+  std::size_t variables = 0;
+  for (const PatternToken& t : tokens) {
+    if (t.is_variable) ++variables;
+  }
+  return static_cast<double>(variables) / static_cast<double>(tokens.size());
+}
+
+void Pattern::add_example(std::string_view message, std::size_t cap) {
+  if (examples.size() >= cap) return;
+  for (const std::string& e : examples) {
+    if (e == message) return;
+  }
+  examples.emplace_back(message);
+}
+
+std::optional<std::vector<PatternToken>> parse_pattern_text(
+    std::string_view text) {
+  std::vector<PatternToken> out;
+  std::size_t pos = 0;
+  bool space_pending = false;
+  while (pos < text.size()) {
+    if (text[pos] == ' ') {
+      space_pending = true;
+      ++pos;
+      continue;
+    }
+    PatternToken t;
+    t.is_space_before = space_pending;
+    space_pending = false;
+    if (text[pos] == '%') {
+      const std::size_t close = text.find('%', pos + 1);
+      if (close == std::string_view::npos) return std::nullopt;
+      std::string name(text.substr(pos + 1, close - pos - 1));
+      if (name.empty()) return std::nullopt;
+      t.is_variable = true;
+      t.name = name;
+      // Recover the type from the tag, ignoring a numeric disambiguation
+      // suffix ("integer1" -> integer). The exact name is tried before each
+      // digit strip so tags that themselves end in a digit ("ipv4", "ipv6")
+      // resolve correctly. Key-derived names map to String.
+      std::string base = name;
+      TokenType type = token_type_from_tag(base);
+      while (type == TokenType::Literal && !base.empty() &&
+             util::is_digit(base.back())) {
+        base.pop_back();
+        type = token_type_from_tag(base);
+      }
+      t.var_type = (type == TokenType::Literal) ? TokenType::String : type;
+      pos = close + 1;
+    } else {
+      // Constant text runs to the next space or '%'.
+      std::size_t end = pos;
+      while (end < text.size() && text[end] != ' ' && text[end] != '%') {
+        ++end;
+      }
+      t.is_variable = false;
+      t.text = std::string(text.substr(pos, end - pos));
+      pos = end;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void assign_variable_names(std::vector<PatternToken>& tokens) {
+  std::map<std::string, int> used;
+  for (PatternToken& t : tokens) {
+    if (!t.is_variable) continue;
+    std::string base = t.name;
+    if (base.empty()) base = std::string(token_type_tag(t.var_type));
+    // Sanitise: names live between '%' delimiters and inside XML/Grok
+    // attribute values.
+    std::string clean;
+    for (char c : base) {
+      if (util::is_alnum(c) || c == '_') clean += c;
+    }
+    if (clean.empty()) clean = std::string(token_type_tag(t.var_type));
+    const int n = used[clean]++;
+    t.name = (n == 0) ? clean : clean + std::to_string(n);
+  }
+}
+
+}  // namespace seqrtg::core

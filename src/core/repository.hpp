@@ -1,0 +1,76 @@
+// Pattern repository interface.
+//
+// RTG extension #2 makes discovered patterns persistent between executions.
+// The core stays storage-agnostic behind this interface: `store::PatternStore`
+// implements it on top of the embedded database, and `InMemoryRepository`
+// backs tests and single-run benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace seqrtg::core {
+
+class PatternRepository {
+ public:
+  virtual ~PatternRepository() = default;
+
+  /// All patterns known for `service`.
+  virtual std::vector<Pattern> load_service(std::string_view service) = 0;
+
+  /// All known service names (sorted).
+  virtual std::vector<std::string> services() = 0;
+
+  /// Inserts `p` or merges it into the existing row with the same id:
+  /// match counts add up, examples merge up to the cap, last_matched takes
+  /// the most recent value.
+  virtual void upsert_pattern(const Pattern& p) = 0;
+
+  /// Records `count` additional matches of pattern `id` at time `when`.
+  virtual void record_match(const std::string& id, std::uint64_t count,
+                            std::int64_t when) = 0;
+
+  virtual std::optional<Pattern> find(const std::string& id) = 0;
+
+  virtual std::size_t pattern_count() = 0;
+};
+
+/// Thread-safe in-memory repository (no persistence).
+class InMemoryRepository final : public PatternRepository {
+ public:
+  std::vector<Pattern> load_service(std::string_view service) override;
+  std::vector<std::string> services() override;
+  void upsert_pattern(const Pattern& p) override;
+  void record_match(const std::string& id, std::uint64_t count,
+                    std::int64_t when) override;
+  std::optional<Pattern> find(const std::string& id) override;
+  std::size_t pattern_count() override;
+
+ private:
+  std::mutex mutex_;
+  // id -> pattern; service -> ids keeps load_service cheap.
+  std::map<std::string, Pattern> by_id_;
+  std::map<std::string, std::vector<std::string>, std::less<>> by_service_;
+};
+
+/// Shared merge logic for upserts (used by both repository implementations).
+void merge_pattern_into(Pattern& existing, const Pattern& incoming,
+                        std::size_t example_cap = 3);
+
+/// The pattern id is SHA-1(text + service), and the %-delimited text does
+/// not encode variable *types* — two patterns can share an id while one
+/// holds %uid% as Hex and the other as String (e.g. when some values of an
+/// alphanumeric field happen to scan as hex). Widens `existing`'s variable
+/// types to String wherever `incoming` disagrees, so the stored pattern
+/// matches the union. Returns true when anything changed.
+bool widen_pattern_tokens(std::vector<PatternToken>& existing,
+                          const std::vector<PatternToken>& incoming);
+
+}  // namespace seqrtg::core

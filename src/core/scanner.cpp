@@ -1,0 +1,186 @@
+#include "core/scanner.hpp"
+
+#include "core/fsm_general.hpp"
+#include "core/fsm_hex.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+namespace {
+
+using util::is_space;
+
+/// Trailing sentence punctuation peeled off the end of a chunk into its own
+/// tokens ("done." -> "done" "."), so numbers and words at sentence ends
+/// still classify.
+bool is_trailing_punct(char c) {
+  return c == '.' || c == ',' || c == ';' || c == ':' || c == '!' || c == '?';
+}
+
+}  // namespace
+
+bool is_break_punct(char c) {
+  switch (c) {
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case '"':
+    case '\'':
+    case '<':
+    case '>':
+    case ',':
+    case ';':
+    case '=':
+    case ':':
+    case '|':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<Token> Scanner::scan(std::string_view message) const {
+  std::vector<Token> out;
+  out.reserve(24);
+  std::size_t pos = 0;
+  bool space_pending = false;
+  std::string pending_key;  // set after '=', consumed by next value token
+  bool truncated = false;
+
+  const auto push = [&](TokenType type, std::string value) {
+    Token t;
+    t.type = type;
+    t.value = std::move(value);
+    t.is_space_before = space_pending;
+    space_pending = false;
+    // key=value semantic naming: attach the key to the first non-quote
+    // token following '='.
+    if (!pending_key.empty() && type != TokenType::Literal) {
+      t.key = pending_key;
+      pending_key.clear();
+    } else if (!pending_key.empty() && type == TokenType::Literal &&
+               t.value != "\"" && t.value != "'") {
+      t.key = pending_key;
+      pending_key.clear();
+    }
+    out.push_back(std::move(t));
+  };
+
+  while (pos < message.size()) {
+    const char c = message[pos];
+    if (c == '\n' || c == '\r') {
+      // Multi-line message: process only the first line (extension #6).
+      truncated = util::trim(message.substr(pos)).size() > 0;
+      break;
+    }
+    if (is_space(c)) {
+      space_pending = true;
+      ++pos;
+      continue;
+    }
+    if (opts_.max_tokens != 0 && out.size() >= opts_.max_tokens) {
+      truncated = true;
+      break;
+    }
+
+    const std::string_view rest = message.substr(pos);
+
+    // Pre-processed wildcard from the logparser benchmarks.
+    if (opts_.detect_preprocessed_wildcard &&
+        util::starts_with(rest, "<*>")) {
+      push(TokenType::String, "<*>");
+      pos += 3;
+      continue;
+    }
+
+    // FSM order matters: hex-family first (colon-separated groups would
+    // confuse the time FSM), then datetime, then the general shapes.
+    if (const std::size_t len = match_mac(rest); len > 0) {
+      push(TokenType::Mac, std::string(rest.substr(0, len)));
+      pos += len;
+      continue;
+    }
+    if (const std::size_t len = match_ipv6(rest); len > 0) {
+      push(TokenType::IPv6, std::string(rest.substr(0, len)));
+      pos += len;
+      continue;
+    }
+    if (const std::size_t len = match_datetime(rest, opts_.datetime);
+        len > 0) {
+      push(TokenType::Time, std::string(rest.substr(0, len)));
+      pos += len;
+      continue;
+    }
+    if (is_break_punct(c)) {
+      const bool was_equals = (c == '=');
+      // Record the key before push() clears context: the previous token
+      // must be a literal word for "key=" naming to apply.
+      std::string key;
+      if (was_equals && opts_.split_key_value && !out.empty() &&
+          out.back().type == TokenType::Literal &&
+          util::has_alpha(out.back().value) &&
+          out.back().value.find(' ') == std::string::npos) {
+        key = out.back().value;
+      }
+      push(TokenType::Literal, std::string(1, c));
+      if (!key.empty()) pending_key = key;
+      ++pos;
+      continue;
+    }
+    // URLs span break punctuation (':', '/') and must be matched before
+    // chunk extraction.
+    if (const std::size_t len = match_url(rest); len > 0) {
+      push(TokenType::Url, std::string(rest.substr(0, len)));
+      pos += len;
+      continue;
+    }
+
+    // General chunk: up to whitespace or breaking punctuation. The chunk
+    // is classified as a whole — prefix matches do not count, so a UUID
+    // never decays into a hex run plus a literal tail (which would make
+    // token counts value-dependent and split patterns).
+    std::size_t end = pos;
+    while (end < message.size() && !is_space(message[end]) &&
+           !is_break_punct(message[end])) {
+      ++end;
+    }
+    std::size_t chunk_end = end;
+    // Peel trailing sentence punctuation (keep at least one character).
+    while (chunk_end > pos + 1 && is_trailing_punct(message[chunk_end - 1])) {
+      --chunk_end;
+    }
+    const std::string_view chunk = message.substr(pos, chunk_end - pos);
+    if (match_hex(chunk) == chunk.size()) {
+      push(TokenType::Hex, std::string(chunk));
+    } else {
+      push(classify_general(chunk), std::string(chunk));
+    }
+    pos = chunk_end;
+    while (pos < end) {
+      if (opts_.max_tokens != 0 && out.size() >= opts_.max_tokens) {
+        truncated = true;
+        break;
+      }
+      push(TokenType::Literal, std::string(1, message[pos]));
+      ++pos;
+    }
+    if (truncated) break;
+  }
+
+  if (truncated) {
+    Token t;
+    t.type = TokenType::Rest;
+    t.value = "";
+    // The ignored remainder is always separated from the kept prefix (a
+    // line break or inter-token whitespace), so the marker renders with a
+    // space: "error trace follows %rest%".
+    t.is_space_before = !out.empty();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,97 @@
+#include "core/special_tokens.hpp"
+
+#include "core/fsm_general.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+bool looks_email(std::string_view s) {
+  const std::size_t at = s.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= s.size()) {
+    return false;
+  }
+  if (s.find('@', at + 1) != std::string_view::npos) return false;
+  const std::string_view local = s.substr(0, at);
+  const std::string_view domain = s.substr(at + 1);
+  for (char c : local) {
+    if (!util::is_alnum(c) && c != '.' && c != '_' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  if (domain.find('.') == std::string_view::npos) return false;
+  const auto labels = util::split(domain, '.');
+  for (const auto label : labels) {
+    if (label.empty()) return false;
+    for (char c : label) {
+      if (!util::is_alnum(c) && c != '-') return false;
+    }
+  }
+  return util::is_all_alpha(labels.back()) && labels.back().size() >= 2;
+}
+
+bool looks_host(std::string_view s) {
+  if (s.size() < 5 || util::count_occurrences(s, ".") < 2) return false;
+  if (match_ipv4(s) == s.size()) return false;
+  const auto labels = util::split(s, '.');
+  for (const auto label : labels) {
+    if (label.empty() || label.size() > 63) return false;
+    for (char c : label) {
+      if (!util::is_alnum(c) && c != '-' && c != '_') return false;
+    }
+  }
+  // TLD must be alphabetic, which keeps version strings ("2.6.18") out.
+  if (!util::is_all_alpha(labels.back()) || labels.back().size() < 2) {
+    return false;
+  }
+  // At least one non-TLD label must contain a letter: "2.6.18.smp" is a
+  // kernel version, not a host.
+  for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+    if (util::has_alpha(labels[i])) return true;
+  }
+  return false;
+}
+
+bool looks_path(std::string_view s) {
+  if (s.size() < 3 || s[0] != '/') return false;
+  if (util::count_occurrences(s, "/") < 2) return false;
+  for (char c : s) {
+    if (util::is_alnum(c)) continue;
+    switch (c) {
+      case '/':
+      case '.':
+      case '-':
+      case '_':
+      case '+':
+      case '~':
+      case '%':
+      case '#':
+        continue;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::optional<TokenType> classify_special(std::string_view s) {
+  if (looks_email(s)) return TokenType::Email;
+  if (looks_host(s)) return TokenType::Host;
+  if (looks_path(s)) return TokenType::Path;
+  return std::nullopt;
+}
+
+void promote_special_tokens(std::vector<Token>& tokens,
+                            const SpecialTokenOptions& opts) {
+  for (Token& t : tokens) {
+    if (t.type != TokenType::Literal) continue;
+    if (opts.detect_email && looks_email(t.value)) {
+      t.type = TokenType::Email;
+    } else if (opts.detect_host && looks_host(t.value)) {
+      t.type = TokenType::Host;
+    } else if (opts.detect_path && looks_path(t.value)) {
+      t.type = TokenType::Path;
+    }
+  }
+}
+
+}  // namespace seqrtg::core

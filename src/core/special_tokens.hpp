@@ -1,0 +1,50 @@
+// Analysis-time special token detection.
+//
+// Paper §III: "Some other special types are also detected during the
+// analysis phase, i.e. key/value pairs, email addresses, and host names."
+// Key/value pairs are handled by the scanner's key attribution; this module
+// detects e-mail addresses, host names and (per the paper's future work, a
+// fourth FSM for "the many variations of what can be considered as a
+// 'path'") filesystem paths in literal tokens.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/token.hpp"
+
+namespace seqrtg::core {
+
+/// True for "user@host.domain" shapes: exactly one '@', non-empty local
+/// part, dotted domain with an alphabetic TLD.
+bool looks_email(std::string_view s);
+
+/// True for dotted host names ("node-17.cluster.example.org"): at least two
+/// dots, alphanumeric/hyphen labels, alphabetic TLD, not an IPv4 address.
+bool looks_host(std::string_view s);
+
+/// True for absolute filesystem paths ("/var/log/messages"): leading '/',
+/// at least two separators, sane path characters.
+bool looks_path(std::string_view s);
+
+/// Classifies a literal value as Email/Host/Path if it matches one of the
+/// special shapes; std::nullopt otherwise.
+std::optional<TokenType> classify_special(std::string_view s);
+
+struct SpecialTokenOptions {
+  bool detect_email = true;
+  bool detect_host = true;
+  /// Path detection is the paper's future-work fourth FSM; enabled by
+  /// default in Sequence-RTG mode, disabled to reproduce the seminal
+  /// limitation ("some path strings ... may remain as static text").
+  bool detect_path = true;
+};
+
+/// Rewrites Literal tokens whose value matches a special shape into the
+/// corresponding typed token. Applied identically by the analyser and the
+/// parser so patterns and messages agree.
+void promote_special_tokens(std::vector<Token>& tokens,
+                            const SpecialTokenOptions& opts);
+
+}  // namespace seqrtg::core

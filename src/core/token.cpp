@@ -1,0 +1,53 @@
+#include "core/token.hpp"
+
+namespace seqrtg::core {
+
+std::string_view token_type_tag(TokenType t) {
+  switch (t) {
+    case TokenType::Literal: return "literal";
+    case TokenType::Integer: return "integer";
+    case TokenType::Float: return "float";
+    case TokenType::Hex: return "hex";
+    case TokenType::Time: return "time";
+    case TokenType::IPv4: return "ipv4";
+    case TokenType::IPv6: return "ipv6";
+    case TokenType::Mac: return "mac";
+    case TokenType::Url: return "url";
+    case TokenType::Email: return "email";
+    case TokenType::Host: return "host";
+    case TokenType::Path: return "path";
+    case TokenType::String: return "string";
+    case TokenType::Rest: return "rest";
+  }
+  return "literal";
+}
+
+TokenType token_type_from_tag(std::string_view tag) {
+  if (tag == "integer") return TokenType::Integer;
+  if (tag == "float") return TokenType::Float;
+  if (tag == "hex") return TokenType::Hex;
+  if (tag == "time") return TokenType::Time;
+  if (tag == "ipv4") return TokenType::IPv4;
+  if (tag == "ipv6") return TokenType::IPv6;
+  if (tag == "mac") return TokenType::Mac;
+  if (tag == "url") return TokenType::Url;
+  if (tag == "email") return TokenType::Email;
+  if (tag == "host") return TokenType::Host;
+  if (tag == "path") return TokenType::Path;
+  if (tag == "string") return TokenType::String;
+  if (tag == "rest") return TokenType::Rest;
+  return TokenType::Literal;
+}
+
+bool is_variable_type(TokenType t) { return t != TokenType::Literal; }
+
+std::string reconstruct(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& t : tokens) {
+    if (t.is_space_before && !out.empty()) out += ' ';
+    out += t.value;
+  }
+  return out;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,81 @@
+// Token model for the Sequence scanner.
+//
+// The seminal Sequence scanner classifies tokens in a single pass using three
+// finite state machines (paper §III): one for hexadecimal-family tokens (MAC
+// addresses, IPv6), one for date/time stamps, and one for "all of the text
+// and number types". The full inventory of scan-time types is: Time, IPv4,
+// IPv6, MAC address, Integer, Float, URL, or Literal.
+//
+// Sequence-RTG adds the `is_space_before` property (extension #3): the
+// scanner records whether the original message had whitespace before each
+// token so patterns can be reconstructed byte-exactly, which is what makes
+// the exported patterns usable by external parsers (syslog-ng patterndb,
+// Grok).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::core {
+
+/// Scan-time and analysis-time token types.
+///
+/// Literal..Url are produced by the scanner. Email/Host/KeyValue are special
+/// types detected during the analysis phase (paper §III: "Some other special
+/// types are also detected during the analysis phase, i.e. key/value pairs,
+/// email addresses, and host names"). String is the analyser's generic
+/// variable for merged literal positions. Rest is the multi-line marker that
+/// instructs the parser to ignore all remaining text (extension #6).
+enum class TokenType : std::uint8_t {
+  Literal,
+  Integer,
+  Float,
+  Hex,
+  Time,
+  IPv4,
+  IPv6,
+  Mac,
+  Url,
+  // Analysis-time types:
+  Email,
+  Host,
+  Path,
+  String,
+  Rest,
+};
+
+/// Canonical lowercase tag for a type, as it appears inside %...% variables.
+std::string_view token_type_tag(TokenType t);
+
+/// Inverse of token_type_tag; returns Literal for unknown tags.
+TokenType token_type_from_tag(std::string_view tag);
+
+/// True for types that represent a variable (everything except Literal).
+bool is_variable_type(TokenType t);
+
+/// A single scanned token.
+struct Token {
+  TokenType type = TokenType::Literal;
+  /// Original text of the token, exactly as it appeared in the message.
+  std::string value;
+  /// RTG extension #3: true when the character preceding this token in the
+  /// original message was whitespace.
+  bool is_space_before = false;
+  /// When the token is the value part of a key=value pair, the key text
+  /// (used for semantic variable naming at analysis time); empty otherwise.
+  std::string key;
+
+  bool operator==(const Token& other) const {
+    return type == other.type && value == other.value &&
+           is_space_before == other.is_space_before && key == other.key;
+  }
+};
+
+/// Reconstructs the original message text from a token sequence, honouring
+/// is_space_before. This must be the exact inverse of scanning (tested as a
+/// property over all corpora).
+std::string reconstruct(const std::vector<Token>& tokens);
+
+}  // namespace seqrtg::core

@@ -1,0 +1,296 @@
+#include "core/trie.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::core {
+
+bool literal_looks_variable(std::string_view value) {
+  if (value.empty()) return false;
+  if (value.find('/') != std::string_view::npos) return true;
+  if (value.find('\\') != std::string_view::npos) return true;
+  if (value.find('@') != std::string_view::npos) return true;
+  if (value.size() > 24) return true;
+  // Digit-dominated values are variables (ids, counters, versions); words
+  // with an incidental digit ("IPv4", "ssh2", "e1000") are skeleton text —
+  // merging those would fuse distinct events.
+  std::size_t digits = 0;
+  for (char c : value) {
+    if (util::is_digit(c)) ++digits;
+  }
+  return digits * 10 >= value.size() * 3;  // digit fraction >= 0.3
+}
+
+std::uint64_t subtree_signature(const TrieNode& node) {
+  // Order-independent structural hash: edge keys + terminality, recursively.
+  // Counts and examples are excluded so frequency does not affect shape.
+  std::uint64_t h = node.terminal_count > 0 ? 0x9E3779B97F4A7C15ULL : 1;
+  std::uint64_t sum = 0;
+  for (const auto& [key, child] : node.children) {
+    std::uint64_t edge = std::hash<std::string>()(key.value);
+    edge ^= static_cast<std::uint64_t>(key.type) * 0xBF58476D1CE4E5B9ULL;
+    edge ^= subtree_signature(*child) * 0x94D049BB133111EBULL;
+    // Sum keeps the combination independent of hash-map iteration order.
+    sum += edge;
+  }
+  return h ^ sum;
+}
+
+std::size_t TrieNode::subtree_size() const {
+  std::size_t n = 1;
+  for (const auto& [k, child] : children) n += child->subtree_size();
+  return n;
+}
+
+AnalyzerTrie::AnalyzerTrie(AnalyzerOptions opts) : opts_(opts) {}
+
+void AnalyzerTrie::insert(const std::vector<Token>& tokens,
+                          std::string_view original) {
+  TrieNode* node = &root_;
+  ++message_count_;
+  ++node->pass_count;
+  for (const Token& t : tokens) {
+    EdgeKey key;
+    key.type = t.type;
+    if (t.type == TokenType::Literal) key.value = t.value;
+    auto it = node->children.find(key);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<TrieNode>();
+      child->is_space_before = t.is_space_before;
+      child->key = t.key;
+      it = node->children.emplace(std::move(key), std::move(child)).first;
+    } else {
+      TrieNode* c = it->second.get();
+      if (!c->key_conflict && c->key != t.key) {
+        c->key.clear();
+        c->key_conflict = true;
+      }
+    }
+    node = it->second.get();
+    ++node->pass_count;
+  }
+  ++node->terminal_count;
+  if (node->examples.size() < opts_.example_cap) {
+    const std::string msg(original);
+    if (std::find(node->examples.begin(), node->examples.end(), msg) ==
+        node->examples.end()) {
+      node->examples.push_back(msg);
+    }
+  }
+}
+
+void AnalyzerTrie::merge_node(TrieNode* dst, std::unique_ptr<TrieNode> src,
+                              std::size_t example_cap) {
+  dst->terminal_count += src->terminal_count;
+  dst->pass_count += src->pass_count;
+  for (std::string& e : src->examples) {
+    if (dst->examples.size() >= example_cap) break;
+    if (std::find(dst->examples.begin(), dst->examples.end(), e) ==
+        dst->examples.end()) {
+      dst->examples.push_back(std::move(e));
+    }
+  }
+  if (!dst->key_conflict && dst->key != src->key) {
+    dst->key.clear();
+    dst->key_conflict = true;
+  }
+  for (auto& [key, child] : src->children) {
+    auto it = dst->children.find(key);
+    if (it == dst->children.end()) {
+      dst->children.emplace(key, std::move(child));
+    } else {
+      merge_node(it->second.get(), std::move(child), example_cap);
+    }
+  }
+}
+
+void AnalyzerTrie::fold(TrieNode* node) {
+  // Collect this node's literal children and split them into
+  // variable-looking and word-like groups.
+  std::vector<EdgeKey> literal_keys;
+  std::vector<EdgeKey> variable_like;
+  bool has_typed_child = false;   // Integer/Float/Hex/... (not String)
+  bool has_string_child = false;
+  for (const auto& [key, child] : node->children) {
+    if (key.type == TokenType::Literal) {
+      literal_keys.push_back(key);
+      if (literal_looks_variable(key.value)) variable_like.push_back(key);
+    } else if (key.type == TokenType::String) {
+      has_string_child = true;
+    } else if (key.type != TokenType::Rest) {
+      has_typed_child = true;
+    }
+  }
+
+  std::vector<EdgeKey> to_merge;
+  const bool semi_constant_hold =
+      opts_.semi_constant_split &&
+      literal_keys.size() <= opts_.semi_constant_max;
+  if (literal_keys.size() > opts_.max_literal_children) {
+    // Unbounded-cardinality position: everything merges.
+    to_merge = literal_keys;
+  } else if (!semi_constant_hold) {
+    if (opts_.merge_variable_literals &&
+        (variable_like.size() >= 2 ||
+         (variable_like.size() == 1 && has_string_child))) {
+      to_merge = variable_like;
+    } else if (opts_.merge_mixed_alnum && !variable_like.empty() &&
+               has_typed_child) {
+      // Future-work fix for alphanumeric/integer alternation (Proxifier).
+      to_merge = variable_like;
+    }
+
+    // Pure-word variables (usernames, flag words...): the paper's trie
+    // comparison merges same-level tokens "that share the same parent and
+    // child nodes". Word-like literal siblings with identical subtree
+    // shape merge when enough of them exist (below that, a word position
+    // is more plausibly two distinct events, "Deleting" vs "Creating").
+    std::unordered_map<std::uint64_t, std::vector<EdgeKey>> by_shape;
+    if (literal_keys.size() >= opts_.min_word_cardinality) {
+      for (const EdgeKey& key : literal_keys) {
+        by_shape[subtree_signature(*node->children.find(key)->second)]
+            .push_back(key);
+      }
+      for (auto& [sig, group] : by_shape) {
+        if (group.size() >= opts_.min_word_cardinality) {
+          for (const EdgeKey& key : group) {
+            if (std::find(to_merge.begin(), to_merge.end(), key) ==
+                to_merge.end()) {
+              to_merge.push_back(key);
+            }
+          }
+        }
+      }
+    }
+
+    // Absorption: once a position is established as a variable (merge
+    // candidates exist), remaining literal siblings whose subtree shape
+    // matches a merging sibling are further values of the same variable —
+    // e.g. uid values "s1sm7vn6" (digit-heavy, merged) and "ljdv9ju1"
+    // (word-like) must land in the same %string%.
+    if (!to_merge.empty()) {
+      std::unordered_map<std::uint64_t, bool> merged_shapes;
+      for (const EdgeKey& key : to_merge) {
+        merged_shapes[subtree_signature(
+            *node->children.find(key)->second)] = true;
+      }
+      for (const EdgeKey& key : literal_keys) {
+        if (std::find(to_merge.begin(), to_merge.end(), key) !=
+            to_merge.end()) {
+          continue;
+        }
+        const std::uint64_t sig =
+            subtree_signature(*node->children.find(key)->second);
+        if (merged_shapes.count(sig) > 0) to_merge.push_back(key);
+      }
+    }
+  }
+
+  if (!to_merge.empty()) {
+    // Merge the selected literal edges into the %string% wildcard edge.
+    EdgeKey string_key;
+    string_key.type = TokenType::String;
+    auto it = node->children.find(string_key);
+    if (it == node->children.end()) {
+      it = node->children.emplace(string_key, std::make_unique<TrieNode>())
+               .first;
+      // Adopt spacing/key metadata from the first merged child.
+      const auto first = node->children.find(to_merge.front());
+      it->second->is_space_before = first->second->is_space_before;
+      it->second->key = first->second->key;
+      it->second->key_conflict = first->second->key_conflict;
+    }
+    TrieNode* target = it->second.get();
+    for (const EdgeKey& key : to_merge) {
+      auto child_it = node->children.find(key);
+      std::unique_ptr<TrieNode> child = std::move(child_it->second);
+      node->children.erase(child_it);
+      merge_node(target, std::move(child), opts_.example_cap);
+    }
+    if (opts_.merge_mixed_alnum && has_typed_child && !to_merge.empty()) {
+      // Also fold typed siblings into the %string% edge so "64" (Integer)
+      // and "64*" (merged literal) yield one pattern.
+      std::vector<EdgeKey> typed_keys;
+      for (const auto& [key, child] : node->children) {
+        if (key.type != TokenType::Literal && key.type != TokenType::String &&
+            key.type != TokenType::Rest) {
+          typed_keys.push_back(key);
+        }
+      }
+      for (const EdgeKey& key : typed_keys) {
+        auto child_it = node->children.find(key);
+        std::unique_ptr<TrieNode> child = std::move(child_it->second);
+        node->children.erase(child_it);
+        merge_node(target, std::move(child), opts_.example_cap);
+      }
+    }
+  }
+
+  for (auto& [key, child] : node->children) fold(child.get());
+}
+
+void AnalyzerTrie::emit(const TrieNode* node, std::vector<PatternToken>& path,
+                        std::string_view service,
+                        std::vector<Pattern>* out) const {
+  if (node->terminal_count > 0) {
+    Pattern p;
+    p.service = std::string(service);
+    p.tokens = path;
+    assign_variable_names(p.tokens);
+    p.stats.match_count = node->terminal_count;
+    p.examples = node->examples;
+    out->push_back(std::move(p));
+  }
+  // Deterministic emission order regardless of hash-map layout.
+  std::vector<const decltype(node->children)::value_type*> entries;
+  entries.reserve(node->children.size());
+  for (const auto& entry : node->children) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
+    const EdgeKey& key = entry->first;
+    const TrieNode* child = entry->second.get();
+    PatternToken t;
+    t.is_space_before = child->is_space_before;
+    if (key.type == TokenType::Literal) {
+      t.is_variable = false;
+      t.text = key.value;
+    } else {
+      t.is_variable = true;
+      t.var_type = key.type;
+      if (!child->key_conflict && !child->key.empty()) {
+        t.name = child->key;
+      } else if (!path.empty() && !path.back().is_variable) {
+        // Sequence's semantic naming: a variable preceded by a known field
+        // keyword inherits its name ("port 51022" -> %port%), mirroring
+        // the paper's "%action% from %srcip% port %srcport%" style.
+        static constexpr std::string_view kFieldKeywords[] = {
+            "port", "user", "uid",  "pid",   "host",
+            "code", "size", "count", "slot", "session"};
+        const std::string prev = util::to_lower(path.back().text);
+        for (std::string_view kw : kFieldKeywords) {
+          if (prev == kw) {
+            t.name = prev;
+            break;
+          }
+        }
+      }
+    }
+    path.push_back(std::move(t));
+    emit(child, path, service, out);
+    path.pop_back();
+  }
+}
+
+std::vector<Pattern> AnalyzerTrie::analyze(std::string_view service) {
+  fold(&root_);
+  std::vector<Pattern> out;
+  std::vector<PatternToken> path;
+  emit(&root_, path, service, &out);
+  return out;
+}
+
+std::size_t AnalyzerTrie::node_count() const { return root_.subtree_size(); }
+
+}  // namespace seqrtg::core

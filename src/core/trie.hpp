@@ -1,0 +1,142 @@
+// Analyser trie.
+//
+// Paper §III: "After tokenisation, the Sequence analyser builds a trie with
+// the tokens. The trie data structure allows for very fast search and
+// retrieval. Once the trie is built it performs a comparison of all of the
+// tokens positioned at the same level that share the same parent and child
+// nodes. During this comparison the relevant parts are merged to produce
+// the patterns."
+//
+// Implementation: token sequences are inserted as trie paths. Typed tokens
+// (Integer, IPv4, Time, ...) collapse onto a per-type wildcard edge at
+// insertion — they are variables by construction. Literal tokens keep their
+// value as the edge key. The fold pass then walks the trie and merges
+// sibling literal edges that behave like variables (digit-bearing values,
+// paths, high fan-out positions) into a generic %string% wildcard, merging
+// their subtrees recursively. Terminal nodes carry match counts and up to
+// three example messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/token.hpp"
+
+namespace seqrtg::core {
+
+/// Tuning knobs for the fold (merge) pass. Defaults reproduce Sequence-RTG
+/// behaviour; the flags marked "future work" implement §VI extensions and
+/// are exercised by the ablation benches.
+struct AnalyzerOptions {
+  /// A node with more distinct literal children than this merges them all
+  /// (unbounded-cardinality positions such as usernames).
+  std::size_t max_literal_children = 12;
+  /// Merge >= 2 distinct digit-bearing / path-like literal siblings.
+  bool merge_variable_literals = true;
+  /// Pure-word literal siblings (usernames, hostne words...) merge when at
+  /// least this many of them "share the same parent and child nodes"
+  /// (identical subtree shape, the paper's trie comparison). Low values
+  /// risk fusing distinct events that differ in one verb ("Deleting" vs
+  /// "Creating"); high values leave word-valued variables split.
+  std::size_t min_word_cardinality = 4;
+  /// Future work (fixes the Proxifier split): when a position has both a
+  /// typed edge (e.g. Integer for "64") and a variable-looking literal edge
+  /// (e.g. "64*"), merge them into one %string% variable.
+  bool merge_mixed_alnum = false;
+  /// Future work §VI: positions whose literal cardinality is at most
+  /// `semi_constant_max` keep each value as its own pattern instead of
+  /// merging ("semi-constant" tokens).
+  bool semi_constant_split = false;
+  std::size_t semi_constant_max = 3;
+  /// Cap on stored example messages per pattern.
+  std::size_t example_cap = 3;
+};
+
+/// Edge label: a literal value or a type wildcard.
+struct EdgeKey {
+  TokenType type = TokenType::Literal;
+  std::string value;  // empty for non-literal types
+
+  bool operator==(const EdgeKey& other) const {
+    return type == other.type && value == other.value;
+  }
+  bool operator<(const EdgeKey& other) const {
+    if (type != other.type) return type < other.type;
+    return value < other.value;
+  }
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& k) const {
+    std::size_t h = std::hash<std::string>()(k.value);
+    return h ^ (static_cast<std::size_t>(k.type) * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+class TrieNode {
+ public:
+  std::unordered_map<EdgeKey, std::unique_ptr<TrieNode>, EdgeKeyHash> children;
+  /// Number of inserted sequences ending exactly here.
+  std::uint64_t terminal_count = 0;
+  /// Number of inserted sequences passing through this node.
+  std::uint64_t pass_count = 0;
+  /// Example original messages for terminal nodes (deduplicated, capped).
+  std::vector<std::string> examples;
+  /// Spacing of the token that labelled the edge into this node (first
+  /// occurrence wins; ties in real logs are overwhelmingly consistent).
+  bool is_space_before = false;
+  /// key=value key attributed to this position; cleared on conflict.
+  std::string key;
+  bool key_conflict = false;
+
+  /// Recursively counts nodes (memory accounting for the batching logic).
+  std::size_t subtree_size() const;
+};
+
+/// One analysis trie. AnalyzeByService instantiates one per (service,
+/// token-count) group; the seminal Analyze path uses a single instance for
+/// everything.
+class AnalyzerTrie {
+ public:
+  explicit AnalyzerTrie(AnalyzerOptions opts = {});
+
+  /// Inserts a scanned message. `original` is kept as a candidate example.
+  void insert(const std::vector<Token>& tokens, std::string_view original);
+
+  /// Runs the merge pass and emits patterns (deterministic order). The trie
+  /// remains usable for further inserts afterwards, though typical usage is
+  /// insert-all-then-analyze per batch.
+  std::vector<Pattern> analyze(std::string_view service);
+
+  std::uint64_t message_count() const { return message_count_; }
+  std::size_t node_count() const;
+  const TrieNode& root() const { return root_; }
+
+ private:
+  void fold(TrieNode* node);
+  static void merge_node(TrieNode* dst, std::unique_ptr<TrieNode> src,
+                         std::size_t example_cap);
+  void emit(const TrieNode* node, std::vector<PatternToken>& path,
+            std::string_view service, std::vector<Pattern>* out) const;
+
+  AnalyzerOptions opts_;
+  TrieNode root_;
+  std::uint64_t message_count_ = 0;
+};
+
+/// Heuristic: does a literal value look like a variable rather than a fixed
+/// word of the message skeleton? Digit-bearing values, paths, e-mail-ish
+/// strings and very long values qualify.
+bool literal_looks_variable(std::string_view value);
+
+/// Order-independent structural hash of a subtree (edge keys + terminal
+/// flags; counts excluded). Used by the fold pass to find literal siblings
+/// "that share the same parent and child nodes".
+std::uint64_t subtree_signature(const TrieNode& node);
+
+}  // namespace seqrtg::core

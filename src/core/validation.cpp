@@ -1,0 +1,86 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace seqrtg::core {
+
+ValidationReport validate_patterns(const std::vector<Pattern>& patterns,
+                                   const ScannerOptions& scanner_opts,
+                                   const SpecialTokenOptions& special_opts) {
+  ValidationReport report;
+  // All candidates go into one parser, per service, so cross-matches
+  // surface exactly as syslog-ng's whole-database test would find them.
+  Parser parser(scanner_opts, special_opts);
+  for (const Pattern& p : patterns) parser.add_pattern(p);
+
+  for (const Pattern& p : patterns) {
+    const std::string own_id = p.id();
+    bool clean = true;
+    for (const std::string& example : p.examples) {
+      ++report.examples_checked;
+      const auto result = parser.parse(p.service, example);
+      const std::string matched = result ? result->pattern->id() : "";
+      if (matched != own_id) {
+        report.conflicts.push_back({own_id, matched, example});
+        clean = false;
+      }
+    }
+    if (clean) ++report.clean_patterns;
+  }
+  return report;
+}
+
+std::vector<Pattern> resolve_conflicts(
+    const std::vector<Pattern>& patterns,
+    const ScannerOptions& scanner_opts,
+    const SpecialTokenOptions& special_opts) {
+  const ValidationReport report =
+      validate_patterns(patterns, scanner_opts, special_opts);
+  if (report.ok()) return patterns;
+
+  std::unordered_map<std::string, const Pattern*> by_id;
+  for (const Pattern& p : patterns) by_id[p.id()] = &p;
+
+  // "The most correct pattern would be promoted and the other discarded":
+  // in each conflicting pair, keep the more specific pattern.
+  const auto loses_to = [](const Pattern& a, const Pattern& b) {
+    // true when `a` is less correct than `b`.
+    const double ca = a.complexity();
+    const double cb = b.complexity();
+    if (ca != cb) return ca > cb;
+    if (a.stats.match_count != b.stats.match_count) {
+      return a.stats.match_count < b.stats.match_count;
+    }
+    return a.id() > b.id();
+  };
+
+  std::set<std::string> discarded;
+  for (const PatternConflict& conflict : report.conflicts) {
+    if (conflict.matched_id.empty()) {
+      // The pattern cannot re-match its own example: discard it outright.
+      discarded.insert(conflict.pattern_id);
+      continue;
+    }
+    const Pattern* own = by_id[conflict.pattern_id];
+    const Pattern* other = by_id.count(conflict.matched_id) > 0
+                               ? by_id[conflict.matched_id]
+                               : nullptr;
+    if (own == nullptr || other == nullptr) continue;
+    if (loses_to(*own, *other)) {
+      discarded.insert(conflict.pattern_id);
+    } else {
+      discarded.insert(conflict.matched_id);
+    }
+  }
+
+  std::vector<Pattern> survivors;
+  survivors.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    if (discarded.count(p.id()) == 0) survivors.push_back(p);
+  }
+  return survivors;
+}
+
+}  // namespace seqrtg::core

@@ -1,0 +1,62 @@
+// Pattern-database validation.
+//
+// syslog-ng's patterndb uses each rule's test cases "to ensure that all the
+// example messages match their pattern, and no other in the whole pattern
+// database" (paper §III). The paper reports hitting exactly this during
+// promotion: "occasionally ... during evaluation with its test cases, they
+// would match more than one pattern. In these instances, the most correct
+// pattern would be promoted and the other discarded" (§IV).
+//
+// This module implements that check for a set of candidate patterns: every
+// stored example must parse back to its own pattern; an example that
+// resolves to a different pattern is a conflict. resolve_conflicts() keeps
+// the "most correct" pattern of each conflicting pair — the more specific
+// one (lower complexity), ties broken by match count then id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/parser.hpp"
+#include "core/pattern.hpp"
+#include "core/scanner.hpp"
+#include "core/special_tokens.hpp"
+
+namespace seqrtg::core {
+
+struct PatternConflict {
+  /// Pattern whose example misbehaved.
+  std::string pattern_id;
+  /// Pattern the example actually matched (empty when it matched nothing,
+  /// which is also a defect — the pattern cannot re-match its own
+  /// evidence).
+  std::string matched_id;
+  std::string example;
+};
+
+struct ValidationReport {
+  std::vector<PatternConflict> conflicts;
+  /// Patterns whose examples all matched themselves.
+  std::size_t clean_patterns = 0;
+  /// Total examples exercised.
+  std::size_t examples_checked = 0;
+
+  bool ok() const { return conflicts.empty(); }
+};
+
+/// Validates a pattern set (typically one service's patterns, or the
+/// candidates for one promotion round) by test-case cross-matching.
+ValidationReport validate_patterns(const std::vector<Pattern>& patterns,
+                                   const ScannerOptions& scanner_opts = {},
+                                   const SpecialTokenOptions& special_opts = {});
+
+/// Resolves conflicts by discarding the less correct pattern of each
+/// conflicting pair: higher complexity loses (it is "overly patternised");
+/// ties fall to the lower match count, then the lexically larger id.
+/// Returns the surviving patterns (order preserved).
+std::vector<Pattern> resolve_conflicts(
+    const std::vector<Pattern>& patterns,
+    const ScannerOptions& scanner_opts = {},
+    const SpecialTokenOptions& special_opts = {});
+
+}  // namespace seqrtg::core

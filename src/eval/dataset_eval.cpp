@@ -1,0 +1,58 @@
+#include "eval/dataset_eval.hpp"
+
+#include "core/parser.hpp"
+#include "eval/grouping_accuracy.hpp"
+
+namespace seqrtg::eval {
+
+std::vector<std::string> group_with_sequence_rtg(
+    const std::vector<std::string>& messages, const core::EngineOptions& opts,
+    std::string_view service) {
+  // One analysis pass over the whole corpus (empty pattern database, as in
+  // the paper's accuracy runs).
+  core::InMemoryRepository repo;
+  core::Engine engine(&repo, opts);
+  std::vector<core::LogRecord> batch;
+  batch.reserve(messages.size());
+  for (const std::string& m : messages) {
+    batch.push_back({std::string(service), m});
+  }
+  engine.analyze_by_service(batch);
+
+  // Parse every message against the discovered patterns; the matched
+  // pattern id is its group.
+  core::Parser parser(opts.scanner, opts.special);
+  for (const core::Pattern& p : repo.load_service(service)) {
+    parser.add_pattern(p);
+  }
+  std::vector<std::string> groups;
+  groups.reserve(messages.size());
+  std::size_t unmatched = 0;
+  for (const std::string& m : messages) {
+    if (auto result = parser.parse(service, m)) {
+      groups.push_back(result->pattern->id());
+    } else {
+      groups.push_back("unmatched-" + std::to_string(unmatched++));
+    }
+  }
+  return groups;
+}
+
+double sequence_rtg_accuracy(const std::vector<std::string>& messages,
+                             const std::vector<std::string>& event_ids,
+                             const core::EngineOptions& opts) {
+  return grouping_accuracy(group_with_sequence_rtg(messages, opts),
+                           event_ids);
+}
+
+double baseline_accuracy(baselines::LogParser& parser,
+                         const std::vector<std::string>& messages,
+                         const std::vector<std::string>& event_ids) {
+  const std::vector<int> predicted = parser.parse(messages);
+  std::vector<std::string> labels;
+  labels.reserve(predicted.size());
+  for (int g : predicted) labels.push_back(std::to_string(g));
+  return grouping_accuracy(labels, event_ids);
+}
+
+}  // namespace seqrtg::eval

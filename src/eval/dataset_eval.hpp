@@ -1,0 +1,43 @@
+// Dataset evaluation driver: runs Sequence-RTG (or a baseline) over a
+// labelled corpus and computes its grouping accuracy, replicating the
+// methodology of the paper's §IV "Accuracy" experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "baselines/baseline.hpp"
+
+namespace seqrtg::eval {
+
+/// A labelled corpus: parallel arrays of messages and ground-truth event
+/// ids, as in the LogHub/logparser benchmark (16 services x 2000 entries).
+struct LabeledCorpus {
+  std::string name;
+  std::vector<std::string> messages;
+  /// Pre-processed variant with common fields replaced by "<*>" (Table II's
+  /// first column); empty when not generated.
+  std::vector<std::string> preprocessed;
+  std::vector<std::string> event_ids;
+};
+
+/// Groups `messages` with Sequence-RTG: one AnalyzeByService pass over the
+/// corpus (single service), then each message is parsed against the
+/// discovered patterns; its group is the matched pattern id (unmatched
+/// messages each form a singleton group). Returns per-message group labels.
+std::vector<std::string> group_with_sequence_rtg(
+    const std::vector<std::string>& messages,
+    const core::EngineOptions& opts, std::string_view service = "eval");
+
+/// Accuracy of Sequence-RTG on a corpus variant.
+double sequence_rtg_accuracy(const std::vector<std::string>& messages,
+                             const std::vector<std::string>& event_ids,
+                             const core::EngineOptions& opts);
+
+/// Accuracy of a baseline parser on a corpus variant.
+double baseline_accuracy(baselines::LogParser& parser,
+                         const std::vector<std::string>& messages,
+                         const std::vector<std::string>& event_ids);
+
+}  // namespace seqrtg::eval

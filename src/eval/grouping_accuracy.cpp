@@ -1,0 +1,62 @@
+#include "eval/grouping_accuracy.hpp"
+
+#include <unordered_map>
+
+namespace seqrtg::eval {
+
+namespace {
+
+template <typename Label>
+double accuracy_impl(const std::vector<Label>& predicted,
+                     const std::vector<Label>& truth) {
+  if (predicted.size() != truth.size()) return 0.0;
+  if (predicted.empty()) return 1.0;
+
+  std::unordered_map<Label, std::size_t> truth_sizes;
+  for (const Label& t : truth) ++truth_sizes[t];
+
+  // For each predicted group: the size, the truth label of its first
+  // member, and whether all members share that truth label.
+  struct GroupInfo {
+    std::size_t size = 0;
+    Label truth_label{};
+    bool pure = true;
+    bool seeded = false;
+  };
+  std::unordered_map<Label, GroupInfo> groups;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    GroupInfo& g = groups[predicted[i]];
+    ++g.size;
+    if (!g.seeded) {
+      g.truth_label = truth[i];
+      g.seeded = true;
+    } else if (!(g.truth_label == truth[i])) {
+      g.pure = false;
+    }
+  }
+
+  std::size_t correct = 0;
+  for (const auto& [label, g] : groups) {
+    // Exact set equality: the group is pure AND covers every message of
+    // its truth event (sizes match).
+    if (g.pure && truth_sizes[g.truth_label] == g.size) {
+      correct += g.size;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predicted.size());
+}
+
+}  // namespace
+
+double grouping_accuracy(const std::vector<int>& predicted,
+                         const std::vector<int>& truth) {
+  return accuracy_impl(predicted, truth);
+}
+
+double grouping_accuracy(const std::vector<std::string>& predicted,
+                         const std::vector<std::string>& truth) {
+  return accuracy_impl(predicted, truth);
+}
+
+}  // namespace seqrtg::eval

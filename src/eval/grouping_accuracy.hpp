@@ -1,0 +1,30 @@
+// Grouping accuracy — the metric of Zhu et al. [11], used by the paper for
+// Table II and Table III.
+//
+// Paper §IV: "accuracy score [is] the ratio of correctly matched log
+// messages over the total number of log messages. This is done by
+// evaluating if the event label in the pre-processed file matches the event
+// determined by the tool under evaluation."
+//
+// Concretely (per the logparser benchmark): a log message is counted as
+// correctly parsed iff the set of messages assigned to its predicted group
+// is exactly the set of messages carrying its ground-truth event id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seqrtg::eval {
+
+/// `predicted[i]` and `truth[i]` are group labels for message i (any dense
+/// or sparse int labelling). Returns the fraction of messages in predicted
+/// groups that coincide exactly with their ground-truth event groups.
+/// Empty inputs yield 1.0 (vacuously correct).
+double grouping_accuracy(const std::vector<int>& predicted,
+                         const std::vector<int>& truth);
+
+/// String-labelled convenience overload (ground truth files use "E1", ...).
+double grouping_accuracy(const std::vector<std::string>& predicted,
+                         const std::vector<std::string>& truth);
+
+}  // namespace seqrtg::eval

@@ -1,0 +1,250 @@
+#include "exporters/exporter.hpp"
+
+#include <map>
+
+#include "util/sha1.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::exporters {
+
+namespace {
+
+using core::Pattern;
+using core::PatternToken;
+using core::TokenType;
+
+/// Maps a variable to the syslog-ng patterndb parser syntax. `last` selects
+/// greedy parsers for trailing free-text variables.
+std::string patterndb_variable(const PatternToken& t, bool last) {
+  const std::string& n = t.name;
+  switch (t.var_type) {
+    case TokenType::Integer: return "@NUMBER:" + n + "@";
+    case TokenType::Float: return "@FLOAT:" + n + "@";
+    case TokenType::IPv4: return "@IPv4:" + n + "@";
+    case TokenType::IPv6: return "@IPv6:" + n + "@";
+    case TokenType::Mac: return "@MACADDR:" + n + "@";
+    case TokenType::Email: return "@EMAIL:" + n + "@";
+    case TokenType::Hex: return "@STRING:" + n + "@";
+    case TokenType::Rest: return "@ANYSTRING:" + n + "@";
+    case TokenType::Time:
+    case TokenType::Url:
+    case TokenType::Host:
+    case TokenType::Path:
+    case TokenType::String:
+    default:
+      // ESTRING consumes up to the delimiter; trailing variables take the
+      // greedy ANYSTRING form.
+      if (last) return "@ANYSTRING:" + n + "@";
+      return "@ESTRING:" + n + ": @";
+  }
+}
+
+/// Grok capture for a variable.
+std::string grok_variable(const PatternToken& t, bool last) {
+  const std::string& n = t.name;
+  switch (t.var_type) {
+    case TokenType::Integer: return "%{INT:" + n + "}";
+    case TokenType::Float: return "%{NUMBER:" + n + "}";
+    case TokenType::IPv4:
+    case TokenType::IPv6: return "%{IP:" + n + "}";
+    case TokenType::Mac: return "%{MAC:" + n + "}";
+    case TokenType::Email: return "%{EMAILADDRESS:" + n + "}";
+    case TokenType::Url: return "%{URI:" + n + "}";
+    case TokenType::Host: return "%{HOSTNAME:" + n + "}";
+    case TokenType::Path: return "%{UNIXPATH:" + n + "}";
+    case TokenType::Hex: return "%{BASE16NUM:" + n + "}";
+    case TokenType::Rest: return "%{GREEDYDATA:" + n + "}";
+    case TokenType::Time:
+    case TokenType::String:
+    default:
+      return last ? "%{GREEDYDATA:" + n + "}" : "%{DATA:" + n + "}";
+  }
+}
+
+/// Escapes regex metacharacters in constant text for Grok.
+std::string grok_escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '.': case '*': case '+': case '?': case '(': case ')':
+      case '[': case ']': case '{': case '}': case '^': case '$':
+      case '|': case '\\': case '/':
+        out += '\\';
+        [[fallthrough]];
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string yaml_escape(std::string_view s) {
+  // Double-quoted YAML scalar escaping.
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string xml_rule(const Pattern& p, const ExportOptions&) {
+  std::string out;
+  const std::string id = p.id();
+  out += "      <rule provider=\"sequence-rtg\" id=\"" + id +
+         "\" class=\"system\">\n";
+  out += "        <patterns>\n          <pattern>" +
+         util::xml_escape(to_patterndb_pattern(p)) +
+         "</pattern>\n        </patterns>\n";
+  if (!p.examples.empty()) {
+    out += "        <examples>\n";
+    for (const std::string& e : p.examples) {
+      out += "          <example>\n            <test_message program=\"" +
+             util::xml_escape(p.service) + "\">" + util::xml_escape(e) +
+             "</test_message>\n          </example>\n";
+    }
+    out += "        </examples>\n";
+  }
+  out += "        <values>\n";
+  out += "          <value name=\"seqrtg.match_count\">" +
+         std::to_string(p.stats.match_count) + "</value>\n";
+  out += "          <value name=\"seqrtg.complexity\">" +
+         std::to_string(p.complexity()) + "</value>\n";
+  out += "          <value name=\"seqrtg.last_matched\">" +
+         std::to_string(p.stats.last_matched) + "</value>\n";
+  out += "        </values>\n";
+  out += "      </rule>\n";
+  return out;
+}
+
+std::string yaml_entry(const Pattern& p) {
+  std::string out;
+  out += "- id: " + p.id() + "\n";
+  out += "  service: \"" + yaml_escape(p.service) + "\"\n";
+  out += "  pattern: \"" + yaml_escape(to_patterndb_pattern(p)) + "\"\n";
+  out += "  sequence_pattern: \"" + yaml_escape(p.text()) + "\"\n";
+  out += "  match_count: " + std::to_string(p.stats.match_count) + "\n";
+  out += "  complexity: " + std::to_string(p.complexity()) + "\n";
+  out += "  last_matched: " + std::to_string(p.stats.last_matched) + "\n";
+  if (!p.examples.empty()) {
+    out += "  examples:\n";
+    for (const std::string& e : p.examples) {
+      out += "    - \"" + yaml_escape(e) + "\"\n";
+    }
+  }
+  return out;
+}
+
+std::string grok_entry(const Pattern& p) {
+  std::string out;
+  out += "filter {\n  grok {\n    match => {\"message\" => \"" +
+         to_grok_pattern(p) + "\"}\n    add_tag => [\"" + p.id() +
+         "\", \"pattern_id\"]\n  }\n}\n";
+  return out;
+}
+
+}  // namespace
+
+ExportFormat format_from_name(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "yaml" || lower == "yml") return ExportFormat::Yaml;
+  if (lower == "grok" || lower == "logstash") return ExportFormat::Grok;
+  return ExportFormat::PatterndbXml;
+}
+
+std::string to_patterndb_pattern(const Pattern& p) {
+  std::string out;
+  bool space_consumed = false;  // the previous @ESTRING:...: @ ate a space
+  for (std::size_t i = 0; i < p.tokens.size(); ++i) {
+    const PatternToken& t = p.tokens[i];
+    if (t.is_space_before && !out.empty() && !space_consumed) out += ' ';
+    space_consumed = false;
+    if (t.is_variable) {
+      const std::string rendered =
+          patterndb_variable(t, i + 1 == p.tokens.size());
+      out += rendered;
+      // ESTRING with a space delimiter consumes the separating space, so
+      // the next token follows immediately ("@ESTRING:action: @from ...").
+      space_consumed = util::ends_with(rendered, ": @");
+    } else {
+      // '@' delimits parsers in patterndb and must be doubled in literals.
+      out += util::replace_all(t.text, "@", "@@");
+    }
+  }
+  return out;
+}
+
+std::string to_grok_pattern(const Pattern& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.tokens.size(); ++i) {
+    const PatternToken& t = p.tokens[i];
+    if (t.is_space_before && !out.empty()) out += ' ';
+    if (t.is_variable) {
+      out += grok_variable(t, i + 1 == p.tokens.size());
+    } else {
+      out += grok_escape(t.text);
+    }
+  }
+  return out;
+}
+
+std::string export_pattern(const Pattern& p, ExportFormat format,
+                           const ExportOptions& opts) {
+  switch (format) {
+    case ExportFormat::PatterndbXml: return xml_rule(p, opts);
+    case ExportFormat::Yaml: return yaml_entry(p);
+    case ExportFormat::Grok: return grok_entry(p);
+  }
+  return {};
+}
+
+std::string export_patterns(const std::vector<Pattern>& patterns,
+                            ExportFormat format, const ExportOptions& opts) {
+  switch (format) {
+    case ExportFormat::PatterndbXml: {
+      std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+      out += "<patterndb version=\"4\" pub_date=\"" +
+             util::xml_escape(opts.pub_date) + "\">\n";
+      // Group rules into one ruleset per service.
+      std::map<std::string, std::vector<const Pattern*>> by_service;
+      for (const Pattern& p : patterns) by_service[p.service].push_back(&p);
+      for (const auto& [service, group] : by_service) {
+        const std::string name =
+            opts.ruleset.empty() ? service : opts.ruleset;
+        out += "  <ruleset name=\"" + util::xml_escape(name) + "\" id=\"" +
+               util::sha1_hex("ruleset:" + service) + "\">\n";
+        out += "    <rules>\n";
+        for (const Pattern* p : group) out += xml_rule(*p, opts);
+        out += "    </rules>\n  </ruleset>\n";
+      }
+      out += "</patterndb>\n";
+      return out;
+    }
+    case ExportFormat::Yaml: {
+      std::string out = "# Sequence-RTG pattern export\npatterns:\n";
+      for (const Pattern& p : patterns) {
+        // Indent list entries under the top-level key. The entry string
+        // must outlive the views split() returns into it.
+        const std::string entry = yaml_entry(p);
+        for (const auto line : util::split(entry, '\n')) {
+          if (line.empty()) continue;
+          out += "  " + std::string(line) + "\n";
+        }
+      }
+      return out;
+    }
+    case ExportFormat::Grok: {
+      std::string out;
+      for (const Pattern& p : patterns) out += grok_entry(p);
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace seqrtg::exporters

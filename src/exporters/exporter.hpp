@@ -1,0 +1,58 @@
+// Pattern export (RTG extension: "Exporting the Patterns for Other Parsers").
+//
+// Paper §III: the %-delimited Sequence form "does not contain enough
+// information to be used in an existing log management system", so
+// Sequence-RTG provides ExportPatterns with three formats:
+//  - syslog-ng patterndb XML (Fig. 3), including up to three test cases and
+//    the collected statistics;
+//  - YAML "that can be used alongside a DevOps tool such as Puppet to build
+//    the pattern database XML";
+//  - Logstash Grok filters (Fig. 4), tagged with the pattern's SHA-1 id.
+//
+// "Selecting the pattern export format is a command-line flag and can be
+// changed by administrators on a per run basis."
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace seqrtg::exporters {
+
+enum class ExportFormat { PatterndbXml, Yaml, Grok };
+
+/// Parses a command-line format name ("patterndb", "yaml", "grok");
+/// defaults to PatterndbXml for unknown names.
+ExportFormat format_from_name(std::string_view name);
+
+struct ExportOptions {
+  /// Ruleset name for the XML export; defaults to the pattern's service.
+  std::string ruleset;
+  /// Publication date stamped into the XML header (injected, not wall
+  /// clock, so exports are reproducible).
+  std::string pub_date = "1970-01-01";
+};
+
+/// Renders one pattern in the requested format.
+std::string export_pattern(const core::Pattern& p, ExportFormat format,
+                           const ExportOptions& opts = {});
+
+/// Renders a full document for a set of patterns (one patterndb, one YAML
+/// stream, or one Logstash filter file).
+std::string export_patterns(const std::vector<core::Pattern>& patterns,
+                            ExportFormat format,
+                            const ExportOptions& opts = {});
+
+// Per-format helpers (exposed for tests):
+
+/// syslog-ng pattern text: constants escaped (@ doubled), variables mapped
+/// to patterndb parsers (@NUMBER:n@, @IPv4:n@, @ESTRING:n: @, ...).
+std::string to_patterndb_pattern(const core::Pattern& p);
+
+/// Grok match expression: constants regex-escaped, variables mapped to
+/// grok captures (%{INT:n}, %{IP:n}, %{DATA:n}, ...).
+std::string to_grok_pattern(const core::Pattern& p);
+
+}  // namespace seqrtg::exporters

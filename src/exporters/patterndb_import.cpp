@@ -1,0 +1,178 @@
+#include "exporters/patterndb_import.hpp"
+
+#include <cstdlib>
+
+#include "core/scanner.hpp"
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace seqrtg::exporters {
+
+namespace {
+
+using core::PatternToken;
+using core::TokenType;
+
+TokenType parser_to_type(std::string_view parser) {
+  if (parser == "NUMBER") return TokenType::Integer;
+  if (parser == "FLOAT" || parser == "DOUBLE") return TokenType::Float;
+  if (parser == "IPv4" || parser == "IPvANY") return TokenType::IPv4;
+  if (parser == "IPv6") return TokenType::IPv6;
+  if (parser == "MACADDR") return TokenType::Mac;
+  if (parser == "EMAIL") return TokenType::Email;
+  if (parser == "HOSTNAME") return TokenType::Host;
+  // STRING / ESTRING / ANYSTRING / QSTRING / unknown parsers all map to
+  // the generic variable (type information beyond this is not encoded in
+  // patterndb syntax).
+  return TokenType::String;
+}
+
+}  // namespace
+
+std::optional<std::vector<PatternToken>> parse_patterndb_pattern(
+    std::string_view text) {
+  std::vector<PatternToken> out;
+  std::string constant;
+  bool space_pending = false;
+  bool forced_space = false;  // the previous ESTRING consumed a space
+
+  // The patterndb text form glues adjacent constants ("svc-0[", "]:"), but
+  // the parser compares against scanner tokens ("svc-0", "[", ...). Each
+  // constant run is therefore re-tokenised with the same scanner; the
+  // first sub-token inherits the run's spacing, the rest are glued.
+  const core::Scanner scanner;
+  const auto flush_constant = [&]() {
+    if (constant.empty()) return;
+    const auto sub_tokens = scanner.scan(constant);
+    bool first = true;
+    for (const core::Token& sub : sub_tokens) {
+      PatternToken t;
+      t.is_variable = false;
+      t.text = sub.value;
+      t.is_space_before = first && (space_pending || forced_space);
+      first = false;
+      out.push_back(std::move(t));
+    }
+    space_pending = false;
+    forced_space = false;
+    constant.clear();
+  };
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == ' ') {
+      flush_constant();
+      space_pending = true;
+      ++pos;
+      continue;
+    }
+    if (c != '@') {
+      constant += c;
+      ++pos;
+      continue;
+    }
+    // '@@' is an escaped literal '@'.
+    if (pos + 1 < text.size() && text[pos + 1] == '@') {
+      constant += '@';
+      pos += 2;
+      continue;
+    }
+    flush_constant();
+    const std::size_t close = text.find('@', pos + 1);
+    if (close == std::string_view::npos) return std::nullopt;
+    const std::string_view body = text.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+
+    // body: PARSER[:name[:param]]
+    const auto parts = util::split(body, ':');
+    if (parts.empty() || parts[0].empty()) return std::nullopt;
+    PatternToken t;
+    t.is_variable = true;
+    t.name = parts.size() > 1 ? std::string(parts[1]) : "";
+    if (parts[0] == "ANYSTRING" && t.name == "rest") {
+      t.var_type = TokenType::Rest;
+    } else {
+      t.var_type = parser_to_type(parts[0]);
+    }
+    t.is_space_before = space_pending || forced_space;
+    space_pending = false;
+    forced_space = false;
+    // An ESTRING with a space delimiter swallowed the separator between
+    // this variable and the next token.
+    if (parts[0] == "ESTRING" && parts.size() > 2 && parts[2] == " ") {
+      forced_space = true;
+    }
+    out.push_back(std::move(t));
+  }
+  flush_constant();
+  return out;
+}
+
+ImportResult import_patterndb_xml(std::string_view xml) {
+  ImportResult result;
+  const util::XmlParseResult doc = util::xml_parse(xml);
+  if (!doc.ok()) {
+    result.error = doc.error;
+    return result;
+  }
+  if (doc.root.name != "patterndb") {
+    result.error = "root element is <" + doc.root.name +
+                   ">, expected <patterndb>";
+    return result;
+  }
+
+  for (const util::XmlNode* ruleset : doc.root.children_named("ruleset")) {
+    const std::string service = ruleset->attribute("name");
+    const util::XmlNode* rules = ruleset->child("rules");
+    if (rules == nullptr) {
+      result.warnings.push_back("ruleset " + service + " has no <rules>");
+      continue;
+    }
+    for (const util::XmlNode* rule : rules->children_named("rule")) {
+      const util::XmlNode* patterns_node = rule->child("patterns");
+      const util::XmlNode* pattern_node =
+          patterns_node != nullptr ? patterns_node->child("pattern")
+                                   : nullptr;
+      if (pattern_node == nullptr) {
+        result.warnings.push_back("rule " + rule->attribute("id") +
+                                  " has no <pattern>");
+        continue;
+      }
+      auto tokens = parse_patterndb_pattern(pattern_node->text);
+      if (!tokens.has_value()) {
+        result.warnings.push_back("rule " + rule->attribute("id") +
+                                  ": unbalanced '@' in pattern");
+        continue;
+      }
+      core::Pattern p;
+      p.service = service;
+      p.tokens = std::move(*tokens);
+
+      if (const util::XmlNode* examples = rule->child("examples")) {
+        for (const util::XmlNode* example :
+             examples->children_named("example")) {
+          if (const util::XmlNode* msg = example->child("test_message")) {
+            p.add_example(msg->text);
+          }
+        }
+      }
+      if (const util::XmlNode* values = rule->child("values")) {
+        for (const util::XmlNode* value : values->children_named("value")) {
+          const std::string name = value->attribute("name");
+          if (name == "seqrtg.match_count") {
+            p.stats.match_count = static_cast<std::uint64_t>(
+                std::strtoull(value->text.c_str(), nullptr, 10));
+          } else if (name == "seqrtg.last_matched") {
+            p.stats.last_matched =
+                std::strtoll(value->text.c_str(), nullptr, 10);
+          }
+        }
+      }
+      result.patterns.push_back(std::move(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace seqrtg::exporters

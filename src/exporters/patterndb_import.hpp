@@ -1,0 +1,42 @@
+// patterndb XML import: the other half of the review loop.
+//
+// Administrators export candidate patterns, edit the XML ("modify them
+// slightly if need be", paper §IV) and promote the file into the syslog-ng
+// pattern database. This importer reads such a file back into Pattern
+// objects so the promoted database can seed the parser, be re-validated,
+// or be merged into the store — completing the round trip with
+// exporters::export_patterns(PatterndbXml).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace seqrtg::exporters {
+
+struct ImportResult {
+  std::vector<core::Pattern> patterns;
+  /// Non-fatal oddities (unknown parsers mapped to %string%, rules without
+  /// patterns, ...).
+  std::vector<std::string> warnings;
+  /// Fatal problem (malformed XML); patterns is empty.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a patterndb v4 document produced by export_patterns (or edited
+/// by hand). Rule ruleset names become services; test_message elements
+/// become examples; seqrtg.* values restore the statistics.
+ImportResult import_patterndb_xml(std::string_view xml);
+
+/// Parses one patterndb pattern string ("login from @IPv4:srcip@ port
+/// @NUMBER:port@") into pattern tokens. Returns std::nullopt on unbalanced
+/// '@' delimiters. Unknown parser names map to String variables.
+std::optional<std::vector<core::PatternToken>> parse_patterndb_pattern(
+    std::string_view text);
+
+}  // namespace seqrtg::exporters

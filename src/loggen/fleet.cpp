@@ -1,0 +1,133 @@
+#include "loggen/fleet.hpp"
+
+#include <array>
+
+namespace seqrtg::loggen {
+
+namespace {
+
+/// Per-service vocabulary of constant words (skeleton tokens). Every
+/// service draws from a different slice so cross-service message shapes
+/// differ, as they do across real daemons.
+constexpr std::array<const char*, 48> kVocabulary = {
+    "starting",  "stopping",  "accepted",  "rejected", "connection",
+    "request",   "response",  "timeout",   "retrying", "failed",
+    "completed", "scheduled", "worker",    "thread",   "queue",
+    "session",   "transfer",  "upload",    "download", "cache",
+    "refresh",   "expired",   "allocated", "released", "mounted",
+    "unmounted", "verified",  "checksum",  "replica",  "block",
+    "volume",    "snapshot",  "index",     "commit",   "rollback",
+    "database",  "listener",  "channel",   "socket",   "buffer",
+    "cluster",   "node",      "primary",   "standby",  "syncing",
+    "flush",     "compact",   "migrate"};
+
+constexpr std::array<const char*, 5> kHeaders = {
+    "{ts_syslog} ", "{ts_iso} ", "{ts_iso_comma} ", "[{ts_apache}] ",
+    "{ts_spark} "};
+
+constexpr std::array<const char*, 11> kPlaceholders = {
+    "{int}",  "{ip}",   "{port}", "{hex:8}", "{path}", "{word}",
+    "{float}", "{host}", "{uuid}", "{alnum}", "{dur}"};
+
+constexpr std::array<const char*, 6> kKeys = {"pid",  "size", "uid",
+                                              "code", "time", "count"};
+
+}  // namespace
+
+FleetGenerator::Service FleetGenerator::make_service(
+    std::size_t idx, util::Rng rng, const FleetOptions& opts) {
+  Service svc{
+      "svc-" + std::to_string(idx),
+      "",
+      {},
+      util::ZipfSampler(1, 1.0),
+  };
+  svc.header = kHeaders[rng.next_below(kHeaders.size())] + svc.name +
+               "[{pid}]: ";
+
+  const auto n_events = static_cast<std::size_t>(
+      rng.uniform(static_cast<std::int64_t>(opts.min_events_per_service),
+                  static_cast<std::int64_t>(opts.max_events_per_service)));
+  svc.events.reserve(n_events);
+  for (std::size_t e = 0; e < n_events; ++e) {
+    // Build a skeleton of 4-12 elements: mostly constant words (drawn from
+    // a service-specific vocabulary slice), interleaved with variables.
+    const auto length = static_cast<std::size_t>(rng.uniform(4, 12));
+    std::string tmpl;
+    for (std::size_t t = 0; t < length; ++t) {
+      if (!tmpl.empty()) tmpl += ' ';
+      const double roll = rng.next_double();
+      if (roll < 0.55 || t == 0) {
+        tmpl += kVocabulary[rng.next_below(kVocabulary.size())];
+      } else if (roll < 0.85) {
+        tmpl += kPlaceholders[rng.next_below(kPlaceholders.size())];
+      } else {
+        // key=value form.
+        tmpl += kKeys[rng.next_below(kKeys.size())];
+        tmpl += '=';
+        tmpl += kPlaceholders[rng.next_below(kPlaceholders.size())];
+      }
+    }
+    svc.events.push_back(std::move(tmpl));
+  }
+  svc.event_sampler = util::ZipfSampler(svc.events.size(), opts.event_zipf);
+  return svc;
+}
+
+FleetGenerator::FleetGenerator(FleetOptions opts)
+    : opts_(opts),
+      service_sampler_(opts.services == 0 ? 1 : opts.services,
+                       opts.service_zipf),
+      ctx_{util::Rng(opts.seed)} {
+  const util::Rng seeder(opts.seed);
+  services_.reserve(opts.services);
+  for (std::size_t i = 0; i < opts.services; ++i) {
+    services_.push_back(make_service(
+        i, seeder.fork("service-" + std::to_string(i)), opts_));
+  }
+}
+
+FleetRecord FleetGenerator::next() {
+  const std::size_t svc_idx = service_sampler_.sample(ctx_.rng);
+  Service& svc = services_[svc_idx];
+
+  std::string raw;
+  expand_template(svc.header, ctx_, &raw, nullptr);
+
+  if (opts_.noise_fraction > 0.0 && ctx_.rng.chance(opts_.noise_fraction)) {
+    // One-off message: unique word salad that never repeats, so no pattern
+    // can accumulate enough support to be promoted.
+    const auto length = static_cast<std::size_t>(ctx_.rng.uniform(3, 9));
+    for (std::size_t t = 0; t < length; ++t) {
+      if (t > 0) raw += ' ';
+      raw += kVocabulary[ctx_.rng.next_below(kVocabulary.size())];
+      raw += '-';
+      raw += ctx_.rng.alnum_string(6);
+    }
+    ctx_.clock += ctx_.rng.chance(0.2) ? 1 : 0;
+    return {{svc.name, std::move(raw)}, svc_idx, kNoiseEvent};
+  }
+
+  const std::size_t event_idx = svc.event_sampler.sample(ctx_.rng);
+  expand_template(svc.events[event_idx], ctx_, &raw, nullptr);
+  ctx_.clock += ctx_.rng.chance(0.2) ? 1 : 0;
+
+  return {{svc.name, std::move(raw)}, svc_idx, event_idx};
+}
+
+std::vector<core::LogRecord> FleetGenerator::take(std::size_t n) {
+  std::vector<core::LogRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(next().record));
+  }
+  return out;
+}
+
+std::size_t FleetGenerator::total_events() const {
+  std::size_t total = 0;
+  for (const Service& svc : services_) total += svc.events.size();
+  return total;
+}
+
+}  // namespace seqrtg::loggen

@@ -1,0 +1,51 @@
+#include "pipeline/actions.hpp"
+
+namespace seqrtg::pipeline {
+
+void ActionDispatcher::bind(std::string_view pattern_id,
+                            std::string_view action_name,
+                            ActionHandler handler) {
+  by_pattern_[std::string(pattern_id)].push_back(
+      {std::string(action_name), std::move(handler)});
+}
+
+void ActionDispatcher::unbind(std::string_view action_name) {
+  for (auto& [pattern_id, bindings] : by_pattern_) {
+    std::erase_if(bindings, [&](const Binding& b) {
+      return b.action_name == action_name;
+    });
+  }
+}
+
+std::size_t ActionDispatcher::dispatch(const std::string& service,
+                                       const std::string& message,
+                                       const core::ParseResult& result) {
+  if (result.pattern == nullptr) return 0;
+  const auto it = by_pattern_.find(result.pattern->id());
+  if (it == by_pattern_.end()) return 0;
+  std::size_t fired = 0;
+  for (const Binding& binding : it->second) {
+    binding.handler(service, message, result.fields);
+    ++fire_counts_[binding.action_name];
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t ActionDispatcher::parse_and_dispatch(const core::Parser& parser,
+                                                 const std::string& service,
+                                                 const std::string& message) {
+  const auto result = parser.parse(service, message);
+  if (!result.has_value()) return 0;
+  return dispatch(service, message, *result);
+}
+
+std::size_t ActionDispatcher::binding_count() const {
+  std::size_t n = 0;
+  for (const auto& [pattern_id, bindings] : by_pattern_) {
+    n += bindings.size();
+  }
+  return n;
+}
+
+}  // namespace seqrtg::pipeline

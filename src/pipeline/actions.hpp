@@ -1,0 +1,70 @@
+// Pattern-triggered actions.
+//
+// Paper §II (Fig. 1): "When a pattern is recognised as known in the
+// incoming logs, it can trigger a predefined action or, in many cases, it
+// allows a small amount of information to be extracted from the message" —
+// e.g. "send notifications to system or service administrators ... or
+// trigger some predefined actions, e.g. restart a service or run an
+// automated diagnostic task".
+//
+// ActionDispatcher binds pattern ids to named handlers; dispatch() routes
+// a parse result to every handler bound to its pattern and records
+// per-action fire counts, so operators can audit what their rules did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parser.hpp"
+
+namespace seqrtg::pipeline {
+
+/// Invoked with the triggering service, message and extracted fields.
+using ActionHandler = std::function<void(
+    const std::string& service, const std::string& message,
+    const core::ParsedFields& fields)>;
+
+class ActionDispatcher {
+ public:
+  /// Binds `action_name`/`handler` to a pattern id. Multiple actions may
+  /// share a pattern; one action may be bound to many patterns.
+  void bind(std::string_view pattern_id, std::string_view action_name,
+            ActionHandler handler);
+
+  /// Removes every binding of `action_name` (across all patterns).
+  void unbind(std::string_view action_name);
+
+  /// Routes a successful parse to the bound handlers. Returns the number
+  /// of actions fired.
+  std::size_t dispatch(const std::string& service,
+                       const std::string& message,
+                       const core::ParseResult& result);
+
+  /// Convenience: parse + dispatch in one call. Returns the number of
+  /// actions fired (0 when unmatched or unbound).
+  std::size_t parse_and_dispatch(const core::Parser& parser,
+                                 const std::string& service,
+                                 const std::string& message);
+
+  /// Total fires per action name (for operator auditing).
+  const std::map<std::string, std::uint64_t>& fire_counts() const {
+    return fire_counts_;
+  }
+
+  std::size_t binding_count() const;
+
+ private:
+  struct Binding {
+    std::string action_name;
+    ActionHandler handler;
+  };
+  std::unordered_map<std::string, std::vector<Binding>> by_pattern_;
+  std::map<std::string, std::uint64_t> fire_counts_;
+};
+
+}  // namespace seqrtg::pipeline

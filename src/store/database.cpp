@@ -1,0 +1,370 @@
+#include "store/database.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "store/sql.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::store {
+
+namespace {
+
+/// Resolves a literal-or-placeholder item against the bound parameters.
+bool resolve_item(const InsertStmt::Item& item,
+                  const std::vector<Value>& params, Value* out,
+                  std::string* error) {
+  if (!item.is_placeholder) {
+    *out = item.literal;
+    return true;
+  }
+  if (item.placeholder_index >= params.size()) {
+    *error = "not enough bound parameters";
+    return false;
+  }
+  *out = params[item.placeholder_index];
+  return true;
+}
+
+bool resolve_where(const std::vector<WhereClause>& where,
+                   const std::vector<Value>& params,
+                   std::vector<std::pair<std::string, Value>>* out,
+                   std::string* error) {
+  for (const WhereClause& clause : where) {
+    InsertStmt::Item item;
+    item.is_placeholder = clause.is_placeholder;
+    item.placeholder_index = clause.placeholder_index;
+    item.literal = clause.literal;
+    Value v;
+    if (!resolve_item(item, params, &v, error)) return false;
+    out->emplace_back(clause.column, std::move(v));
+  }
+  return true;
+}
+
+/// Rows of `table` satisfying every equality clause. The first clause that
+/// hits an index (or the primary key) seeds the candidate set.
+std::vector<RowId> filter_rows(
+    const Table& table,
+    const std::vector<std::pair<std::string, Value>>& clauses,
+    std::string* error) {
+  if (clauses.empty()) return table.all_rows();
+  for (const auto& [column, value] : clauses) {
+    if (table.schema().column_index(column) < 0) {
+      *error = "unknown column " + column + " in WHERE";
+      return {};
+    }
+  }
+  std::vector<RowId> candidates =
+      table.find_eq(clauses.front().first, clauses.front().second);
+  std::vector<RowId> out;
+  for (RowId id : candidates) {
+    const Row& row = table.row(id);
+    bool match = true;
+    for (std::size_t i = 1; i < clauses.size(); ++i) {
+      const int col = table.schema().column_index(clauses[i].first);
+      if (!(row[static_cast<std::size_t>(col)] == clauses[i].second)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Database::has_table(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const Table* Database::table(std::string_view name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+QueryResult Database::exec(std::string_view sql,
+                           const std::vector<Value>& params) {
+  QueryResult result;
+  std::string error;
+  const auto stmt = sql_parse(sql, &error);
+  if (!stmt.has_value()) {
+    result.error = error;
+    return result;
+  }
+  if (stmt->placeholder_count > params.size()) {
+    result.error = "statement needs " +
+                   std::to_string(stmt->placeholder_count) +
+                   " parameters, got " + std::to_string(params.size());
+    return result;
+  }
+
+  switch (stmt->kind) {
+    case SqlStatement::Kind::CreateTable: {
+      const auto& ct = stmt->create_table;
+      if (has_table(ct.table)) {
+        result.error = "table " + ct.table + " already exists";
+        return result;
+      }
+      Schema schema;
+      for (const auto& [name, type] : ct.columns) {
+        schema.columns.push_back({name, type});
+      }
+      schema.primary_key = ct.primary_key;
+      tables_.emplace(ct.table, Table(std::move(schema)));
+      return result;
+    }
+    case SqlStatement::Kind::CreateIndex: {
+      const auto it = tables_.find(stmt->create_index.table);
+      if (it == tables_.end()) {
+        result.error = "no such table " + stmt->create_index.table;
+        return result;
+      }
+      if (!it->second.add_index(stmt->create_index.column)) {
+        result.error = "no such column " + stmt->create_index.column;
+      }
+      return result;
+    }
+    case SqlStatement::Kind::Insert: {
+      const auto it = tables_.find(stmt->insert.table);
+      if (it == tables_.end()) {
+        result.error = "no such table " + stmt->insert.table;
+        return result;
+      }
+      Table& table = it->second;
+      if (stmt->insert.values.size() != table.schema().columns.size()) {
+        result.error = "value count does not match column count";
+        return result;
+      }
+      Row row;
+      row.reserve(stmt->insert.values.size());
+      for (const auto& item : stmt->insert.values) {
+        Value v;
+        if (!resolve_item(item, params, &v, &result.error)) return result;
+        row.push_back(std::move(v));
+      }
+      if (!table.insert(std::move(row))) {
+        result.error = "primary key violation";
+        return result;
+      }
+      result.affected = 1;
+      return result;
+    }
+    case SqlStatement::Kind::Select: {
+      const auto it = tables_.find(stmt->select.table);
+      if (it == tables_.end()) {
+        result.error = "no such table " + stmt->select.table;
+        return result;
+      }
+      const Table& table = it->second;
+      const auto& sel = stmt->select;
+
+      std::vector<int> proj;
+      if (sel.star) {
+        for (std::size_t i = 0; i < table.schema().columns.size(); ++i) {
+          proj.push_back(static_cast<int>(i));
+          result.columns.push_back(table.schema().columns[i].name);
+        }
+      } else {
+        for (const std::string& col : sel.columns) {
+          const int idx = table.schema().column_index(col);
+          if (idx < 0) {
+            result.error = "unknown column " + col;
+            return result;
+          }
+          proj.push_back(idx);
+          result.columns.push_back(col);
+        }
+      }
+
+      std::vector<std::pair<std::string, Value>> clauses;
+      if (!resolve_where(sel.where, params, &clauses, &result.error)) {
+        return result;
+      }
+      std::vector<RowId> ids = filter_rows(table, clauses, &result.error);
+      if (!result.error.empty()) return result;
+
+      if (!sel.order_by.empty()) {
+        const int order_col = table.schema().column_index(sel.order_by);
+        if (order_col < 0) {
+          result.error = "unknown ORDER BY column " + sel.order_by;
+          return result;
+        }
+        std::stable_sort(ids.begin(), ids.end(), [&](RowId a, RowId b) {
+          const Value& va = table.row(a)[static_cast<std::size_t>(order_col)];
+          const Value& vb = table.row(b)[static_cast<std::size_t>(order_col)];
+          return sel.order_desc ? vb < va : va < vb;
+        });
+      }
+      if (sel.limit >= 0 &&
+          ids.size() > static_cast<std::size_t>(sel.limit)) {
+        ids.resize(static_cast<std::size_t>(sel.limit));
+      }
+
+      result.rows.reserve(ids.size());
+      for (RowId id : ids) {
+        const Row& row = table.row(id);
+        Row projected;
+        projected.reserve(proj.size());
+        for (int col : proj) {
+          projected.push_back(row[static_cast<std::size_t>(col)]);
+        }
+        result.rows.push_back(std::move(projected));
+      }
+      return result;
+    }
+    case SqlStatement::Kind::Update: {
+      const auto it = tables_.find(stmt->update.table);
+      if (it == tables_.end()) {
+        result.error = "no such table " + stmt->update.table;
+        return result;
+      }
+      Table& table = it->second;
+      const auto& upd = stmt->update;
+
+      std::vector<std::pair<int, Value>> sets;
+      for (const auto& [col, item] : upd.sets) {
+        const int idx = table.schema().column_index(col);
+        if (idx < 0) {
+          result.error = "unknown column " + col;
+          return result;
+        }
+        Value v;
+        if (!resolve_item(item, params, &v, &result.error)) return result;
+        sets.emplace_back(idx, std::move(v));
+      }
+      std::vector<std::pair<std::string, Value>> clauses;
+      if (!resolve_where(upd.where, params, &clauses, &result.error)) {
+        return result;
+      }
+      const std::vector<RowId> ids = filter_rows(table, clauses,
+                                                 &result.error);
+      if (!result.error.empty()) return result;
+      for (RowId id : ids) {
+        Row row = table.row(id);
+        for (const auto& [col, value] : sets) {
+          row[static_cast<std::size_t>(col)] = value;
+        }
+        if (!table.update_row(id, std::move(row))) {
+          result.error = "primary key violation on update";
+          return result;
+        }
+        ++result.affected;
+      }
+      return result;
+    }
+    case SqlStatement::Kind::Delete: {
+      const auto it = tables_.find(stmt->del.table);
+      if (it == tables_.end()) {
+        result.error = "no such table " + stmt->del.table;
+        return result;
+      }
+      Table& table = it->second;
+      std::vector<std::pair<std::string, Value>> clauses;
+      if (!resolve_where(stmt->del.where, params, &clauses, &result.error)) {
+        return result;
+      }
+      const std::vector<RowId> ids = filter_rows(table, clauses,
+                                                 &result.error);
+      if (!result.error.empty()) return result;
+      for (RowId id : ids) {
+        table.erase(id);
+        ++result.affected;
+      }
+      return result;
+    }
+  }
+  result.error = "unreachable";
+  return result;
+}
+
+bool Database::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "seqrtgdb 1\n";
+  for (const auto& [name, table] : tables_) {
+    const Schema& schema = table.schema();
+    out << "table " << name << ' ' << schema.columns.size() << ' '
+        << schema.primary_key << '\n';
+    for (const Column& col : schema.columns) {
+      out << "col " << col.name << ' ' << value_type_name(col.type) << '\n';
+    }
+    for (const Row* row : table.snapshot()) {
+      out << "row";
+      for (const Value& v : *row) {
+        out << '\t' << v.encode();
+      }
+      out << '\n';
+    }
+    out << "end\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool Database::load(const std::string& path) {
+  tables_.clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != "seqrtgdb 1") return false;
+
+  Table* current = nullptr;
+  std::string current_name;
+  std::vector<Column> pending_columns;
+  int pending_pk = -1;
+
+  const auto finalise = [&]() {
+    Schema schema;
+    schema.columns = pending_columns;
+    schema.primary_key = pending_pk;
+    auto [it, inserted] =
+        tables_.insert_or_assign(current_name, Table(std::move(schema)));
+    current = &it->second;
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (util::starts_with(line, "table ")) {
+      const auto parts = util::split_whitespace(line);
+      if (parts.size() != 4) return false;
+      current_name = std::string(parts[1]);
+      current = nullptr;  // finalised once all columns are read
+      pending_columns.clear();
+      pending_pk = static_cast<int>(
+          std::strtol(std::string(parts[3]).c_str(), nullptr, 10));
+    } else if (util::starts_with(line, "col ")) {
+      const auto parts = util::split_whitespace(line);
+      if (parts.size() != 3) return false;
+      ValueType type = ValueType::Text;
+      if (parts[2] == "INTEGER") type = ValueType::Integer;
+      if (parts[2] == "REAL") type = ValueType::Real;
+      pending_columns.push_back({std::string(parts[1]), type});
+    } else if (util::starts_with(line, "row")) {
+      if (current_name.empty()) return false;
+      if (current == nullptr) finalise();
+      const auto fields = util::split(line, '\t');
+      Row row;
+      row.reserve(fields.size() - 1);
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        bool ok = false;
+        row.push_back(Value::decode(fields[i], &ok));
+        if (!ok) return false;
+      }
+      if (!current->insert(std::move(row))) return false;
+    } else if (line == "end") {
+      if (current == nullptr && !current_name.empty()) {
+        finalise();  // table with zero rows
+      }
+      current = nullptr;
+      current_name.clear();
+      pending_columns.clear();
+      pending_pk = -1;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace seqrtg::store

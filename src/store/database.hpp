@@ -1,0 +1,63 @@
+// Embedded relational database: named tables + SQL dialect + persistence.
+//
+// Substrate for RTG extension #2 ("Making Patterns and Statistics
+// Persistent"). The supported SQL dialect covers exactly what the pattern
+// workflow needs:
+//
+//   CREATE TABLE t (a TEXT PRIMARY KEY, b INTEGER, c REAL)
+//   CREATE INDEX ON t (b)
+//   INSERT INTO t VALUES (?, ?, ?)
+//   SELECT a, b FROM t WHERE a = ? AND b = 3 ORDER BY c DESC LIMIT 10
+//   UPDATE t SET b = ?, c = ? WHERE a = ?
+//   DELETE FROM t WHERE a = ?
+//
+// '?' placeholders bind positionally. Persistence is a line-oriented
+// snapshot file (save()/load()) with encoded values; tombstones compact on
+// save.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/table.hpp"
+
+namespace seqrtg::store {
+
+struct QueryResult {
+  /// Empty on success; human-readable message otherwise.
+  std::string error;
+  /// Column headers of a SELECT.
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  /// Rows inserted/updated/deleted by a mutation.
+  std::int64_t affected = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+class Database {
+ public:
+  /// Executes one SQL statement with positional parameters.
+  QueryResult exec(std::string_view sql, const std::vector<Value>& params = {});
+
+  bool has_table(std::string_view name) const;
+  const Table* table(std::string_view name) const;
+
+  /// Writes a snapshot of every table to `path`. Returns false on I/O error.
+  bool save(const std::string& path) const;
+
+  /// Replaces the database contents with the snapshot at `path`.
+  /// Returns false (and leaves the database empty) on parse/I/O errors.
+  bool load(const std::string& path);
+
+  std::size_t table_count() const { return tables_.size(); }
+
+ private:
+  friend class SqlExecutor;
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace seqrtg::store

@@ -1,0 +1,273 @@
+#include "store/pattern_store.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace seqrtg::store {
+
+namespace {
+
+/// SELECT column order shared by every pattern query.
+constexpr std::string_view kPatternColumns =
+    "pid, service, ptext, tokens, token_count, complexity, match_count, "
+    "first_seen, last_matched";
+
+}  // namespace
+
+std::string pattern_tokens_to_json(
+    const std::vector<core::PatternToken>& tokens) {
+  util::JsonArray arr;
+  for (const core::PatternToken& t : tokens) {
+    util::JsonObject obj;
+    obj["v"] = util::Json(t.is_variable);
+    obj["s"] = util::Json(t.is_space_before);
+    if (t.is_variable) {
+      obj["t"] = util::Json(core::token_type_tag(t.var_type));
+      obj["n"] = util::Json(t.name);
+    } else {
+      obj["x"] = util::Json(t.text);
+    }
+    arr.emplace_back(std::move(obj));
+  }
+  return util::Json(std::move(arr)).dump();
+}
+
+std::optional<std::vector<core::PatternToken>> pattern_tokens_from_json(
+    std::string_view json) {
+  const util::JsonParseResult parsed = util::json_parse(json);
+  if (!parsed.ok() || !parsed.value.is_array()) return std::nullopt;
+  std::vector<core::PatternToken> out;
+  for (const util::Json& item : parsed.value.as_array()) {
+    if (!item.is_object()) return std::nullopt;
+    core::PatternToken t;
+    const util::Json* v = item.find("v");
+    const util::Json* s = item.find("s");
+    if (v == nullptr || !v->is_bool() || s == nullptr || !s->is_bool()) {
+      return std::nullopt;
+    }
+    t.is_variable = v->as_bool();
+    t.is_space_before = s->as_bool();
+    if (t.is_variable) {
+      t.var_type = core::token_type_from_tag(item.get_string("t", "string"));
+      if (t.var_type == core::TokenType::Literal) {
+        t.var_type = core::TokenType::String;
+      }
+      t.name = item.get_string("n", "");
+    } else {
+      const util::Json* x = item.find("x");
+      if (x == nullptr || !x->is_string()) return std::nullopt;
+      t.text = x->as_string();
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+PatternStore::PatternStore() { create_schema(); }
+
+void PatternStore::create_schema() {
+  db_.exec(
+      "CREATE TABLE patterns (pid TEXT PRIMARY KEY, service TEXT, "
+      "ptext TEXT, tokens TEXT, token_count INTEGER, complexity REAL, "
+      "match_count INTEGER, first_seen INTEGER, last_matched INTEGER)");
+  db_.exec("CREATE INDEX ON patterns (service)");
+  db_.exec(
+      "CREATE TABLE examples (pid TEXT, seq INTEGER, message TEXT)");
+  db_.exec("CREATE INDEX ON examples (pid)");
+}
+
+core::Pattern PatternStore::row_to_pattern(const Row& row) {
+  core::Pattern p;
+  p.service = row[1].as_text();
+  if (auto tokens = pattern_tokens_from_json(row[3].as_text())) {
+    p.tokens = std::move(*tokens);
+  } else if (auto parsed = core::parse_pattern_text(row[2].as_text())) {
+    // Degraded fallback: rebuild from the display text (types become
+    // String but matching still works).
+    p.tokens = std::move(*parsed);
+  }
+  p.stats.match_count = static_cast<std::uint64_t>(row[6].as_int());
+  p.stats.first_seen = row[7].as_int();
+  p.stats.last_matched = row[8].as_int();
+  p.examples = load_examples(row[0].as_text());
+  return p;
+}
+
+std::vector<std::string> PatternStore::load_examples(const std::string& pid) {
+  QueryResult r = db_.exec(
+      "SELECT message FROM examples WHERE pid = ? ORDER BY seq", {pid});
+  std::vector<std::string> out;
+  out.reserve(r.rows.size());
+  for (const Row& row : r.rows) out.push_back(row[0].as_text());
+  return out;
+}
+
+std::vector<core::Pattern> PatternStore::load_service(
+    std::string_view service) {
+  std::lock_guard lock(mutex_);
+  QueryResult r = db_.exec("SELECT " + std::string(kPatternColumns) +
+                               " FROM patterns WHERE service = ? "
+                               "ORDER BY pid",
+                           {Value(service)});
+  std::vector<core::Pattern> out;
+  out.reserve(r.rows.size());
+  for (const Row& row : r.rows) out.push_back(row_to_pattern(row));
+  return out;
+}
+
+std::vector<std::string> PatternStore::services() {
+  std::lock_guard lock(mutex_);
+  QueryResult r = db_.exec("SELECT service FROM patterns ORDER BY service");
+  std::vector<std::string> out;
+  for (const Row& row : r.rows) {
+    if (out.empty() || out.back() != row[0].as_text()) {
+      out.push_back(row[0].as_text());
+    }
+  }
+  return out;
+}
+
+void PatternStore::upsert_pattern(const core::Pattern& p) {
+  std::lock_guard lock(mutex_);
+  const std::string pid = p.id();
+  QueryResult existing = db_.exec(
+      "SELECT match_count, first_seen, last_matched FROM patterns "
+      "WHERE pid = ?",
+      {pid});
+  if (existing.rows.empty()) {
+    db_.exec(
+        "INSERT INTO patterns VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        {Value(pid), Value(p.service), Value(p.text()),
+         Value(pattern_tokens_to_json(p.tokens)),
+         Value(static_cast<std::int64_t>(p.token_count())),
+         Value(p.complexity()),
+         Value(static_cast<std::int64_t>(p.stats.match_count)),
+         Value(p.stats.first_seen), Value(p.stats.last_matched)});
+    std::int64_t seq = 0;
+    for (const std::string& e : p.examples) {
+      db_.exec("INSERT INTO examples VALUES (?, ?, ?)",
+               {Value(pid), Value(seq++), Value(e)});
+    }
+    return;
+  }
+  const Row& row = existing.rows.front();
+  const std::int64_t match_count =
+      row[0].as_int() + static_cast<std::int64_t>(p.stats.match_count);
+  const std::int64_t first_seen =
+      (row[1].as_int() == 0 ||
+       (p.stats.first_seen != 0 && p.stats.first_seen < row[1].as_int()))
+          ? p.stats.first_seen
+          : row[1].as_int();
+  const std::int64_t last_matched =
+      std::max(row[2].as_int(), p.stats.last_matched);
+  db_.exec(
+      "UPDATE patterns SET match_count = ?, first_seen = ?, "
+      "last_matched = ? WHERE pid = ?",
+      {Value(match_count), Value(first_seen), Value(last_matched),
+       Value(pid)});
+  // Same text, different variable types (see widen_pattern_tokens): widen
+  // the stored token list so the pattern matches the union.
+  QueryResult stored_tokens =
+      db_.exec("SELECT tokens FROM patterns WHERE pid = ?", {pid});
+  if (!stored_tokens.rows.empty()) {
+    if (auto tokens = pattern_tokens_from_json(
+            stored_tokens.rows[0][0].as_text())) {
+      if (core::widen_pattern_tokens(*tokens, p.tokens)) {
+        db_.exec("UPDATE patterns SET tokens = ? WHERE pid = ?",
+                 {Value(pattern_tokens_to_json(*tokens)), Value(pid)});
+      }
+    }
+  }
+  // Merge examples up to the cap of 3.
+  std::vector<std::string> current = load_examples(pid);
+  std::int64_t seq = static_cast<std::int64_t>(current.size());
+  for (const std::string& e : p.examples) {
+    if (current.size() >= 3) break;
+    if (std::find(current.begin(), current.end(), e) == current.end()) {
+      db_.exec("INSERT INTO examples VALUES (?, ?, ?)",
+               {Value(pid), Value(seq++), Value(e)});
+      current.push_back(e);
+    }
+  }
+}
+
+void PatternStore::record_match(const std::string& id, std::uint64_t count,
+                                std::int64_t when) {
+  std::lock_guard lock(mutex_);
+  QueryResult existing = db_.exec(
+      "SELECT match_count, last_matched FROM patterns WHERE pid = ?", {id});
+  if (existing.rows.empty()) return;
+  const std::int64_t match_count =
+      existing.rows[0][0].as_int() + static_cast<std::int64_t>(count);
+  const std::int64_t last_matched =
+      std::max(existing.rows[0][1].as_int(), when);
+  db_.exec(
+      "UPDATE patterns SET match_count = ?, last_matched = ? WHERE pid = ?",
+      {Value(match_count), Value(last_matched), Value(id)});
+}
+
+std::optional<core::Pattern> PatternStore::find(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  QueryResult r = db_.exec("SELECT " + std::string(kPatternColumns) +
+                               " FROM patterns WHERE pid = ?",
+                           {id});
+  if (r.rows.empty()) return std::nullopt;
+  return row_to_pattern(r.rows.front());
+}
+
+std::size_t PatternStore::pattern_count() {
+  std::lock_guard lock(mutex_);
+  QueryResult r = db_.exec("SELECT pid FROM patterns");
+  return r.rows.size();
+}
+
+std::vector<core::Pattern> PatternStore::export_patterns(
+    const ExportFilter& filter) {
+  std::lock_guard lock(mutex_);
+  QueryResult r;
+  if (filter.service.empty()) {
+    r = db_.exec("SELECT " + std::string(kPatternColumns) +
+                 " FROM patterns ORDER BY match_count DESC");
+  } else {
+    r = db_.exec("SELECT " + std::string(kPatternColumns) +
+                     " FROM patterns WHERE service = ? "
+                     "ORDER BY match_count DESC",
+                 {Value(filter.service)});
+  }
+  std::vector<core::Pattern> out;
+  for (const Row& row : r.rows) {
+    if (static_cast<std::uint64_t>(row[6].as_int()) <
+        filter.min_match_count) {
+      continue;
+    }
+    if (row[5].as_real() >= filter.max_complexity) continue;
+    out.push_back(row_to_pattern(row));
+  }
+  return out;
+}
+
+bool PatternStore::save(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  return db_.save(path);
+}
+
+bool PatternStore::load(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (!db_.load(path)) {
+    db_ = Database();
+    create_schema();
+    return false;
+  }
+  if (!db_.has_table("patterns") || !db_.has_table("examples")) {
+    db_ = Database();
+    create_schema();
+    return false;
+  }
+  // Recreate the secondary indexes (snapshots do not persist them).
+  db_.exec("CREATE INDEX ON patterns (service)");
+  db_.exec("CREATE INDEX ON examples (pid)");
+  return true;
+}
+
+}  // namespace seqrtg::store

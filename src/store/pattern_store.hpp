@@ -1,0 +1,83 @@
+// PatternStore: persistent pattern repository over the embedded database.
+//
+// Implements RTG extension #2: "Sequence-RTG stores the patterns in a SQL
+// database in a one-to-many relationship with their related services. We
+// also include up to three unique examples for each pattern which are used
+// as test cases for the syslog-ng pattern database... We label each pattern
+// with a unique ID ... a SHA1 hash of the concatenated text of the pattern
+// and the service."
+//
+// Schema:
+//   patterns(pid TEXT PRIMARY KEY, service TEXT, ptext TEXT, tokens TEXT,
+//            token_count INTEGER, complexity REAL, match_count INTEGER,
+//            first_seen INTEGER, last_matched INTEGER)
+//   examples(pid TEXT, seq INTEGER, message TEXT)
+// with secondary indexes on patterns(service) and examples(pid).
+//
+// `tokens` holds the exact token list as JSON so typed variables round-trip
+// losslessly (the display text alone cannot distinguish a key-named
+// %srcport% Integer from a generic String).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/repository.hpp"
+#include "store/database.hpp"
+
+namespace seqrtg::store {
+
+/// Serialises pattern tokens to the JSON wire form stored in `tokens`.
+std::string pattern_tokens_to_json(
+    const std::vector<core::PatternToken>& tokens);
+
+/// Parses the JSON wire form; std::nullopt on malformed input.
+std::optional<std::vector<core::PatternToken>> pattern_tokens_from_json(
+    std::string_view json);
+
+class PatternStore final : public core::PatternRepository {
+ public:
+  /// Creates the schema in a fresh in-memory database.
+  PatternStore();
+
+  // PatternRepository:
+  std::vector<core::Pattern> load_service(std::string_view service) override;
+  std::vector<std::string> services() override;
+  void upsert_pattern(const core::Pattern& p) override;
+  void record_match(const std::string& id, std::uint64_t count,
+                    std::int64_t when) override;
+  std::optional<core::Pattern> find(const std::string& id) override;
+  std::size_t pattern_count() override;
+
+  /// All patterns (optionally filtered), ordered by match count descending —
+  /// the review/export ordering ("select only the strongest patterns").
+  struct ExportFilter {
+    std::uint64_t min_match_count = 0;
+    /// Patterns at or above this complexity are excluded (1.01 = keep all).
+    double max_complexity = 1.01;
+    std::string service;  // empty = all services
+  };
+  std::vector<core::Pattern> export_patterns(const ExportFilter& filter);
+
+  /// Persists/restores the whole store.
+  bool save(const std::string& path);
+  bool load(const std::string& path);
+
+  /// Direct access for ad-hoc SQL (tests, tooling).
+  Database& database() { return db_; }
+
+ private:
+  core::Pattern row_to_pattern(const Row& row);
+  std::vector<std::string> load_examples(const std::string& pid);
+  void create_schema();
+
+  std::mutex mutex_;
+  Database db_;
+};
+
+}  // namespace seqrtg::store

@@ -1,0 +1,404 @@
+#include "store/sql.hpp"
+
+#include <array>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::store {
+
+namespace {
+
+using util::is_alnum;
+using util::is_alpha;
+using util::is_digit;
+using util::is_space;
+
+bool is_keyword(std::string_view upper) {
+  static constexpr std::array<std::string_view, 22> kKeywords = {
+      "CREATE", "TABLE", "INDEX",   "ON",     "PRIMARY", "KEY",
+      "INSERT", "INTO",  "VALUES",  "SELECT", "FROM",    "WHERE",
+      "AND",    "ORDER", "BY",      "DESC",   "ASC",     "LIMIT",
+      "UPDATE", "SET",   "DELETE",  "NULL"};
+  for (std::string_view k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool sql_lex(std::string_view sql, std::vector<SqlToken>* out,
+             std::string* error) {
+  std::size_t pos = 0;
+  while (pos < sql.size()) {
+    const char c = sql[pos];
+    if (is_space(c)) {
+      ++pos;
+      continue;
+    }
+    if (c == '?') {
+      out->push_back({SqlTokenType::Placeholder, "?"});
+      ++pos;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*' || c == ';') {
+      if (c == ';') {
+        ++pos;
+        continue;  // trailing statement separator tolerated
+      }
+      out->push_back({SqlTokenType::Symbol, std::string(1, c)});
+      ++pos;
+      continue;
+    }
+    if (c == '\'') {
+      // SQL string literal with '' escaping.
+      std::string text;
+      ++pos;
+      bool closed = false;
+      while (pos < sql.size()) {
+        if (sql[pos] == '\'') {
+          if (pos + 1 < sql.size() && sql[pos + 1] == '\'') {
+            text += '\'';
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          closed = true;
+          break;
+        }
+        text += sql[pos++];
+      }
+      if (!closed) {
+        *error = "unterminated string literal";
+        return false;
+      }
+      out->push_back({SqlTokenType::StringLit, std::move(text)});
+      continue;
+    }
+    if (is_digit(c) || (c == '-' && pos + 1 < sql.size() &&
+                        is_digit(sql[pos + 1]))) {
+      std::size_t end = pos + 1;
+      while (end < sql.size() &&
+             (is_digit(sql[end]) || sql[end] == '.' || sql[end] == 'e' ||
+              sql[end] == 'E' || sql[end] == '+' || sql[end] == '-')) {
+        // Only allow +/- right after an exponent marker.
+        if ((sql[end] == '+' || sql[end] == '-') &&
+            !(sql[end - 1] == 'e' || sql[end - 1] == 'E')) {
+          break;
+        }
+        ++end;
+      }
+      out->push_back(
+          {SqlTokenType::NumberLit, std::string(sql.substr(pos, end - pos))});
+      pos = end;
+      continue;
+    }
+    if (is_alpha(c) || c == '_') {
+      std::size_t end = pos + 1;
+      while (end < sql.size() && (is_alnum(sql[end]) || sql[end] == '_')) {
+        ++end;
+      }
+      std::string word(sql.substr(pos, end - pos));
+      std::string upper = word;
+      for (char& ch : upper) {
+        if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+      }
+      if (is_keyword(upper)) {
+        out->push_back({SqlTokenType::Keyword, std::move(upper)});
+      } else {
+        out->push_back({SqlTokenType::Identifier, std::move(word)});
+      }
+      pos = end;
+      continue;
+    }
+    *error = std::string("unexpected character '") + c + "' in SQL";
+    return false;
+  }
+  out->push_back({SqlTokenType::End, ""});
+  return true;
+}
+
+namespace {
+
+/// Token cursor with small helpers; sets `error` once on first failure.
+class Cursor {
+ public:
+  Cursor(std::vector<SqlToken> tokens, std::string* error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  const SqlToken& peek() const { return tokens_[pos_]; }
+
+  bool at_end() const { return peek().type == SqlTokenType::End; }
+
+  bool accept_keyword(std::string_view kw) {
+    if (peek().type == SqlTokenType::Keyword && peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect_keyword(std::string_view kw) {
+    if (accept_keyword(kw)) return true;
+    fail(std::string("expected ") + std::string(kw));
+    return false;
+  }
+
+  bool accept_symbol(char c) {
+    if (peek().type == SqlTokenType::Symbol && peek().text[0] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect_symbol(char c) {
+    if (accept_symbol(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  /// Identifiers; also tolerates keywords used as names (e.g. a column
+  /// called "key" would clash with the KEY keyword).
+  bool expect_identifier(std::string* out) {
+    if (peek().type == SqlTokenType::Identifier) {
+      *out = peek().text;
+      ++pos_;
+      return true;
+    }
+    fail("expected identifier");
+    return false;
+  }
+
+  void fail(const std::string& msg) {
+    if (error_->empty()) *error_ = msg;
+  }
+
+  bool failed() const { return !error_->empty(); }
+
+  std::size_t pos_ = 0;
+  std::vector<SqlToken> tokens_;
+  std::string* error_;
+};
+
+Value number_literal(const std::string& text) {
+  if (text.find('.') == std::string::npos &&
+      text.find('e') == std::string::npos &&
+      text.find('E') == std::string::npos) {
+    return Value(static_cast<std::int64_t>(std::strtoll(text.c_str(),
+                                                        nullptr, 10)));
+  }
+  return Value(std::strtod(text.c_str(), nullptr));
+}
+
+/// Parses a literal / placeholder item.
+bool parse_item(Cursor& cur, InsertStmt::Item* item,
+                std::size_t* placeholder_count) {
+  const SqlToken& t = cur.peek();
+  switch (t.type) {
+    case SqlTokenType::Placeholder:
+      item->is_placeholder = true;
+      item->placeholder_index = (*placeholder_count)++;
+      ++cur.pos_;
+      return true;
+    case SqlTokenType::StringLit:
+      item->literal = Value(t.text);
+      ++cur.pos_;
+      return true;
+    case SqlTokenType::NumberLit:
+      item->literal = number_literal(t.text);
+      ++cur.pos_;
+      return true;
+    case SqlTokenType::Keyword:
+      if (t.text == "NULL") {
+        item->literal = Value();
+        ++cur.pos_;
+        return true;
+      }
+      [[fallthrough]];
+    default:
+      cur.fail("expected literal or placeholder");
+      return false;
+  }
+}
+
+bool parse_where(Cursor& cur, std::vector<WhereClause>* where,
+                 std::size_t* placeholder_count) {
+  if (!cur.accept_keyword("WHERE")) return true;
+  while (true) {
+    WhereClause clause;
+    if (!cur.expect_identifier(&clause.column)) return false;
+    if (!cur.expect_symbol('=')) return false;
+    InsertStmt::Item item;
+    if (!parse_item(cur, &item, placeholder_count)) return false;
+    clause.is_placeholder = item.is_placeholder;
+    clause.placeholder_index = item.placeholder_index;
+    clause.literal = item.literal;
+    where->push_back(std::move(clause));
+    if (!cur.accept_keyword("AND")) break;
+  }
+  return true;
+}
+
+ValueType parse_type_name(const std::string& name, bool* ok) {
+  *ok = true;
+  const std::string upper = [&] {
+    std::string u = name;
+    for (char& c : u) {
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    }
+    return u;
+  }();
+  if (upper == "TEXT") return ValueType::Text;
+  if (upper == "INTEGER" || upper == "INT") return ValueType::Integer;
+  if (upper == "REAL" || upper == "DOUBLE" || upper == "FLOAT") {
+    return ValueType::Real;
+  }
+  *ok = false;
+  return ValueType::Text;
+}
+
+}  // namespace
+
+std::optional<SqlStatement> sql_parse(std::string_view sql,
+                                      std::string* error) {
+  error->clear();
+  std::vector<SqlToken> tokens;
+  if (!sql_lex(sql, &tokens, error)) return std::nullopt;
+  Cursor cur(std::move(tokens), error);
+  SqlStatement stmt;
+
+  if (cur.accept_keyword("CREATE")) {
+    if (cur.accept_keyword("TABLE")) {
+      stmt.kind = SqlStatement::Kind::CreateTable;
+      auto& ct = stmt.create_table;
+      if (!cur.expect_identifier(&ct.table)) return std::nullopt;
+      if (!cur.expect_symbol('(')) return std::nullopt;
+      while (true) {
+        std::string col;
+        std::string type_name;
+        if (!cur.expect_identifier(&col)) return std::nullopt;
+        if (!cur.expect_identifier(&type_name)) return std::nullopt;
+        bool type_ok = false;
+        const ValueType vt = parse_type_name(type_name, &type_ok);
+        if (!type_ok) {
+          cur.fail("unknown column type " + type_name);
+          return std::nullopt;
+        }
+        if (cur.accept_keyword("PRIMARY")) {
+          if (!cur.expect_keyword("KEY")) return std::nullopt;
+          if (ct.primary_key >= 0) {
+            cur.fail("multiple PRIMARY KEY columns");
+            return std::nullopt;
+          }
+          ct.primary_key = static_cast<int>(ct.columns.size());
+        }
+        ct.columns.emplace_back(col, vt);
+        if (cur.accept_symbol(')')) break;
+        if (!cur.expect_symbol(',')) return std::nullopt;
+      }
+    } else if (cur.accept_keyword("INDEX")) {
+      stmt.kind = SqlStatement::Kind::CreateIndex;
+      auto& ci = stmt.create_index;
+      if (!cur.expect_keyword("ON")) return std::nullopt;
+      if (!cur.expect_identifier(&ci.table)) return std::nullopt;
+      if (!cur.expect_symbol('(')) return std::nullopt;
+      if (!cur.expect_identifier(&ci.column)) return std::nullopt;
+      if (!cur.expect_symbol(')')) return std::nullopt;
+    } else {
+      cur.fail("expected TABLE or INDEX after CREATE");
+      return std::nullopt;
+    }
+  } else if (cur.accept_keyword("INSERT")) {
+    stmt.kind = SqlStatement::Kind::Insert;
+    auto& ins = stmt.insert;
+    if (!cur.expect_keyword("INTO")) return std::nullopt;
+    if (!cur.expect_identifier(&ins.table)) return std::nullopt;
+    if (!cur.expect_keyword("VALUES")) return std::nullopt;
+    if (!cur.expect_symbol('(')) return std::nullopt;
+    while (true) {
+      InsertStmt::Item item;
+      if (!parse_item(cur, &item, &stmt.placeholder_count)) {
+        return std::nullopt;
+      }
+      ins.values.push_back(std::move(item));
+      if (cur.accept_symbol(')')) break;
+      if (!cur.expect_symbol(',')) return std::nullopt;
+    }
+  } else if (cur.accept_keyword("SELECT")) {
+    stmt.kind = SqlStatement::Kind::Select;
+    auto& sel = stmt.select;
+    if (cur.accept_symbol('*')) {
+      sel.star = true;
+    } else {
+      while (true) {
+        std::string col;
+        if (!cur.expect_identifier(&col)) return std::nullopt;
+        sel.columns.push_back(std::move(col));
+        if (!cur.accept_symbol(',')) break;
+      }
+    }
+    if (!cur.expect_keyword("FROM")) return std::nullopt;
+    if (!cur.expect_identifier(&sel.table)) return std::nullopt;
+    if (!parse_where(cur, &sel.where, &stmt.placeholder_count)) {
+      return std::nullopt;
+    }
+    if (cur.accept_keyword("ORDER")) {
+      if (!cur.expect_keyword("BY")) return std::nullopt;
+      if (!cur.expect_identifier(&sel.order_by)) return std::nullopt;
+      if (cur.accept_keyword("DESC")) {
+        sel.order_desc = true;
+      } else {
+        cur.accept_keyword("ASC");
+      }
+    }
+    if (cur.accept_keyword("LIMIT")) {
+      const SqlToken& t = cur.peek();
+      if (t.type != SqlTokenType::NumberLit) {
+        cur.fail("expected number after LIMIT");
+        return std::nullopt;
+      }
+      sel.limit = std::strtoll(t.text.c_str(), nullptr, 10);
+      ++cur.pos_;
+    }
+  } else if (cur.accept_keyword("UPDATE")) {
+    stmt.kind = SqlStatement::Kind::Update;
+    auto& upd = stmt.update;
+    if (!cur.expect_identifier(&upd.table)) return std::nullopt;
+    if (!cur.expect_keyword("SET")) return std::nullopt;
+    while (true) {
+      std::string col;
+      if (!cur.expect_identifier(&col)) return std::nullopt;
+      if (!cur.expect_symbol('=')) return std::nullopt;
+      InsertStmt::Item item;
+      if (!parse_item(cur, &item, &stmt.placeholder_count)) {
+        return std::nullopt;
+      }
+      upd.sets.emplace_back(std::move(col), std::move(item));
+      if (!cur.accept_symbol(',')) break;
+    }
+    if (!parse_where(cur, &upd.where, &stmt.placeholder_count)) {
+      return std::nullopt;
+    }
+  } else if (cur.accept_keyword("DELETE")) {
+    stmt.kind = SqlStatement::Kind::Delete;
+    auto& del = stmt.del;
+    if (!cur.expect_keyword("FROM")) return std::nullopt;
+    if (!cur.expect_identifier(&del.table)) return std::nullopt;
+    if (!parse_where(cur, &del.where, &stmt.placeholder_count)) {
+      return std::nullopt;
+    }
+  } else {
+    cur.fail("expected CREATE, INSERT, SELECT, UPDATE or DELETE");
+    return std::nullopt;
+  }
+
+  if (!cur.at_end() && !cur.failed()) {
+    cur.fail("unexpected trailing tokens");
+  }
+  if (cur.failed()) return std::nullopt;
+  return stmt;
+}
+
+}  // namespace seqrtg::store

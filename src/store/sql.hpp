@@ -1,0 +1,108 @@
+// SQL dialect: lexer and statement parser for the embedded store.
+//
+// See database.hpp for the supported grammar. The parser produces a small
+// statement AST that the executor in database.cpp interprets directly
+// against Table objects — there is no query planner beyond "use the
+// equality index when the first WHERE clause hits an indexed column".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/value.hpp"
+
+namespace seqrtg::store {
+
+enum class SqlTokenType {
+  Identifier,
+  Keyword,
+  StringLit,
+  NumberLit,
+  Placeholder,  // ?
+  Symbol,       // ( ) , = * .
+  End,
+};
+
+struct SqlToken {
+  SqlTokenType type;
+  std::string text;  // uppercased for keywords
+};
+
+/// Tokenises a statement. Returns false on malformed input (unterminated
+/// string literal etc.) with a message in `error`.
+bool sql_lex(std::string_view sql, std::vector<SqlToken>* out,
+             std::string* error);
+
+// ---- Statement AST ----
+
+struct WhereClause {
+  std::string column;
+  /// Bound literal or placeholder index (resolved at exec time).
+  bool is_placeholder = false;
+  std::size_t placeholder_index = 0;
+  Value literal;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ValueType>> columns;
+  int primary_key = -1;
+};
+
+struct CreateIndexStmt {
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  struct Item {
+    bool is_placeholder = false;
+    std::size_t placeholder_index = 0;
+    Value literal;
+  };
+  std::vector<Item> values;
+};
+
+struct SelectStmt {
+  std::string table;
+  bool star = false;
+  std::vector<std::string> columns;
+  std::vector<WhereClause> where;
+  std::string order_by;  // empty = none
+  bool order_desc = false;
+  std::int64_t limit = -1;  // -1 = no limit
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, InsertStmt::Item>> sets;
+  std::vector<WhereClause> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<WhereClause> where;
+};
+
+struct SqlStatement {
+  enum class Kind { CreateTable, CreateIndex, Insert, Select, Update, Delete };
+  Kind kind;
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  InsertStmt insert;
+  SelectStmt select;
+  UpdateStmt update;
+  DeleteStmt del;
+  /// Total number of '?' placeholders in the statement.
+  std::size_t placeholder_count = 0;
+};
+
+/// Parses one statement. Returns std::nullopt with `error` set on failure.
+std::optional<SqlStatement> sql_parse(std::string_view sql,
+                                      std::string* error);
+
+}  // namespace seqrtg::store

@@ -1,0 +1,145 @@
+#include "store/table.hpp"
+
+#include <algorithm>
+
+namespace seqrtg::store {
+
+int Schema::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {}
+
+bool Table::insert(Row row) {
+  if (row.size() != schema_.columns.size()) return false;
+  if (schema_.primary_key >= 0) {
+    const std::string key =
+        row[static_cast<std::size_t>(schema_.primary_key)].encode();
+    if (pk_index_.count(key) > 0) return false;
+  }
+  const RowId id = rows_.size();
+  rows_.emplace_back(std::move(row));
+  ++live_count_;
+  index_row(id);
+  return true;
+}
+
+std::optional<RowId> Table::find_pk(const Value& key) const {
+  if (schema_.primary_key < 0) return std::nullopt;
+  const auto it = pk_index_.find(key.encode());
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::add_index(std::string_view column) {
+  const int col = schema_.column_index(column);
+  if (col < 0) return false;
+  const std::string name(column);
+  if (secondary_.count(name) > 0) return true;
+  auto& index = secondary_[name];
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (!rows_[id].has_value()) continue;
+    index[(*rows_[id])[static_cast<std::size_t>(col)].encode()].push_back(id);
+  }
+  return true;
+}
+
+std::vector<RowId> Table::find_eq(std::string_view column,
+                                  const Value& key) const {
+  std::vector<RowId> out;
+  const int col = schema_.column_index(column);
+  if (col < 0) return out;
+  if (schema_.primary_key == col) {
+    if (auto id = find_pk(key)) out.push_back(*id);
+    return out;
+  }
+  const auto idx_it = secondary_.find(std::string(column));
+  if (idx_it != secondary_.end()) {
+    const auto val_it = idx_it->second.find(key.encode());
+    if (val_it != idx_it->second.end()) {
+      for (RowId id : val_it->second) {
+        if (rows_[id].has_value()) out.push_back(id);
+      }
+    }
+    return out;
+  }
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].has_value() &&
+        (*rows_[id])[static_cast<std::size_t>(col)] == key) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<RowId> Table::all_rows() const {
+  std::vector<RowId> out;
+  out.reserve(live_count_);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id].has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+bool Table::update_row(RowId id, Row new_values) {
+  if (id >= rows_.size() || !rows_[id].has_value()) return false;
+  if (new_values.size() != schema_.columns.size()) return false;
+  if (schema_.primary_key >= 0) {
+    const std::string new_key =
+        new_values[static_cast<std::size_t>(schema_.primary_key)].encode();
+    const auto existing = pk_index_.find(new_key);
+    if (existing != pk_index_.end() && existing->second != id) return false;
+  }
+  unindex_row(id);
+  rows_[id] = std::move(new_values);
+  index_row(id);
+  return true;
+}
+
+void Table::erase(RowId id) {
+  if (id >= rows_.size() || !rows_[id].has_value()) return;
+  unindex_row(id);
+  rows_[id].reset();
+  --live_count_;
+}
+
+std::vector<const Row*> Table::snapshot() const {
+  std::vector<const Row*> out;
+  out.reserve(live_count_);
+  for (const auto& r : rows_) {
+    if (r.has_value()) out.push_back(&*r);
+  }
+  return out;
+}
+
+void Table::index_row(RowId id) {
+  const Row& r = *rows_[id];
+  if (schema_.primary_key >= 0) {
+    pk_index_[r[static_cast<std::size_t>(schema_.primary_key)].encode()] = id;
+  }
+  for (auto& [column, index] : secondary_) {
+    const int col = schema_.column_index(column);
+    index[r[static_cast<std::size_t>(col)].encode()].push_back(id);
+  }
+}
+
+void Table::unindex_row(RowId id) {
+  const Row& r = *rows_[id];
+  if (schema_.primary_key >= 0) {
+    pk_index_.erase(r[static_cast<std::size_t>(schema_.primary_key)].encode());
+  }
+  for (auto& [column, index] : secondary_) {
+    const int col = schema_.column_index(column);
+    auto it = index.find(r[static_cast<std::size_t>(col)].encode());
+    if (it != index.end()) {
+      auto& ids = it->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty()) index.erase(it);
+    }
+  }
+}
+
+}  // namespace seqrtg::store

@@ -1,0 +1,63 @@
+// Minimal command-line flag parser for the seqrtg CLI.
+//
+// Supports `--flag value`, `--flag=value`, boolean `--flag`, and free
+// positional arguments. Flags are declared up front so typos are reported
+// instead of silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::util {
+
+class ArgParser {
+ public:
+  /// Declares a flag that takes a value; `help` feeds usage().
+  void add_option(std::string name, std::string help,
+                  std::string default_value = "");
+
+  /// Declares a boolean flag (present = true).
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv-style arguments (without the program/subcommand names).
+  /// Returns false and sets error() on unknown flags or missing values.
+  bool parse(const std::vector<std::string>& args);
+
+  /// Value of an option (declared default when absent).
+  std::string get(std::string_view name) const;
+
+  /// Integer-typed accessor; `fallback` when unset or unparsable.
+  std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+
+  /// Double-typed accessor.
+  double get_double(std::string_view name, double fallback) const;
+
+  bool get_flag(std::string_view name) const;
+
+  /// True when the user supplied the option explicitly.
+  bool has(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& error() const { return error_; }
+
+  /// Renders declared flags for help output.
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+  };
+  std::map<std::string, Option> declared_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace seqrtg::util

@@ -1,0 +1,373 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::util {
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::string Json::get_string(std::string_view key,
+                             std::string_view fallback) const {
+  const Json* v = find(key);
+  if (v != nullptr && v->is_string()) return v->as_string();
+  return std::string(fallback);
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return num_ == other.num_;
+    case Type::String: return str_ == other.str_;
+    case Type::Array: return arr_ == other.arr_;
+    case Type::Object: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number: {
+      // Integers print without a fractional part so ids stay readable.
+      if (std::floor(num_) == num_ && std::abs(num_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        out += buf;
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out += buf;
+      }
+      break;
+    }
+    case Type::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser with a depth cap to bound stack use on
+/// hostile inputs (log streams are untrusted).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult parse() {
+    JsonParseResult result;
+    skip_ws();
+    result.value = parse_value(result.error);
+    if (!result.error.empty()) return result;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = error_at("trailing characters after JSON value");
+    }
+    return result;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  std::string error_at(const std::string& msg) const {
+    return msg + " at byte " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value(std::string& err) {
+    if (depth_ > kMaxDepth) {
+      err = error_at("nesting too deep");
+      return Json();
+    }
+    if (pos_ >= text_.size()) {
+      err = error_at("unexpected end of input");
+      return Json();
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(err);
+      case '[': return parse_array(err);
+      case '"': return parse_string(err);
+      case 't':
+        return parse_keyword("true", Json(true), err);
+      case 'f':
+        return parse_keyword("false", Json(false), err);
+      case 'n':
+        return parse_keyword("null", Json(nullptr), err);
+      default:
+        if (c == '-' || is_digit(c)) return parse_number(err);
+        err = error_at(std::string("unexpected character '") + c + "'");
+        return Json();
+    }
+  }
+
+  Json parse_keyword(std::string_view word, Json value, std::string& err) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return value;
+    }
+    err = error_at("invalid keyword");
+    return Json();
+  }
+
+  Json parse_number(std::string& err) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+      err = error_at("invalid number");
+      return Json();
+    }
+    while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    if (consume('.')) {
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        err = error_at("invalid fraction");
+        return Json();
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        err = error_at("invalid exponent");
+        return Json();
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    return Json(std::strtod(num.c_str(), nullptr));
+  }
+
+  Json parse_string(std::string& err) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              err = error_at("truncated \\u escape");
+              return Json();
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                err = error_at("invalid \\u escape");
+                return Json();
+              }
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            err = error_at("invalid escape");
+            return Json();
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        err = error_at("unescaped control character in string");
+        return Json();
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    err = error_at("unterminated string");
+    return Json();
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Json parse_array(std::string& err) {
+    ++pos_;  // '['
+    ++depth_;
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(err));
+      if (!err.empty()) return Json();
+      skip_ws();
+      if (consume(']')) break;
+      if (!consume(',')) {
+        err = error_at("expected ',' or ']' in array");
+        return Json();
+      }
+    }
+    --depth_;
+    return Json(std::move(arr));
+  }
+
+  Json parse_object(std::string& err) {
+    ++pos_;  // '{'
+    ++depth_;
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        err = error_at("expected object key string");
+        return Json();
+      }
+      Json key = parse_string(err);
+      if (!err.empty()) return Json();
+      skip_ws();
+      if (!consume(':')) {
+        err = error_at("expected ':' after object key");
+        return Json();
+      }
+      skip_ws();
+      Json value = parse_value(err);
+      if (!err.empty()) return Json();
+      obj[key.as_string()] = std::move(value);
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) {
+        err = error_at("expected ',' or '}' in object");
+        return Json();
+      }
+    }
+    --depth_;
+    return Json(std::move(obj));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonParseResult json_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace seqrtg::util

@@ -1,0 +1,103 @@
+// Minimal JSON reader/writer.
+//
+// Sequence-RTG's stream ingester (paper §III, "Adding a Data Stream
+// Ingester") consumes JSON-lines records with two fields, `service` and
+// `message`. This module implements a small, strict, dependency-free JSON
+// value type sufficient for that format plus configuration files and test
+// fixtures: objects, arrays, strings (with \uXXXX escapes), numbers, bools
+// and null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic, which keeps serialisation (and
+// therefore golden tests) stable.
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value. Numbers are stored as double (sufficient for log metadata);
+/// integers up to 2^53 round-trip exactly.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(std::int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; behaviour is undefined if the type does not match
+  /// (asserted in debug builds via the returned default).
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const JsonArray& as_array() const { return arr_; }
+  const JsonObject& as_object() const { return obj_; }
+  JsonArray& as_array() { return arr_; }
+  JsonObject& as_object() { return obj_; }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Convenience: returns the string field `key`, or `fallback` when the
+  /// field is missing or not a string.
+  std::string get_string(std::string_view key, std::string_view fallback) const;
+
+  /// Serialises to a compact single-line JSON string.
+  std::string dump() const;
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Parse result: value plus error diagnostics. `ok()` is false on malformed
+/// input; `error` then holds a human-readable message with a byte offset.
+struct JsonParseResult {
+  Json value;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a complete JSON document. Trailing garbage is an error.
+JsonParseResult json_parse(std::string_view text);
+
+/// Escapes a string for inclusion in a JSON document (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace seqrtg::util

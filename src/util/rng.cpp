@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/sha1.hpp"
+
+namespace seqrtg::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state would be degenerate; SplitMix64 cannot produce four zero
+  // outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::string Rng::hex_string(std::size_t n) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kHex[next_below(16)];
+  }
+  return out;
+}
+
+std::string Rng::alnum_string(std::size_t n) {
+  static constexpr char kAlnum[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kAlnum[next_below(36)];
+  }
+  return out;
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // Hash the current state together with the label so forks with different
+  // labels are independent and forks are stable across runs.
+  Sha1 h;
+  for (std::uint64_t s : s_) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>(s >> (8 * i));
+    }
+    h.update(std::string_view(bytes, 8));
+  }
+  h.update(label);
+  const auto digest = h.digest();
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    seed = (seed << 8) | digest[static_cast<std::size_t>(i)];
+  }
+  return Rng(seed);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx =
+      static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  return std::min(idx, cdf_.size() - 1);
+}
+
+}  // namespace seqrtg::util

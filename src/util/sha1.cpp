@@ -1,0 +1,147 @@
+#include "util/sha1.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace seqrtg::util {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32u - n));
+}
+
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+  finalised_ = false;
+}
+
+void Sha1::update(std::string_view data) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t n = data.size();
+  total_bytes_ += n;
+  // Fill a partially filled buffer first.
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min<std::size_t>(n, 64 - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_.data(), p, n);
+    buffer_len_ = n;
+  }
+}
+
+std::array<std::uint8_t, 20> Sha1::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80, zeros, then the 64-bit big-endian message length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t rem = static_cast<std::size_t>(total_bytes_ % 64);
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  update(std::string_view(reinterpret_cast<const char*>(pad), pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::string_view(reinterpret_cast<const char*>(len_bytes), 8));
+  finalised_ = true;
+
+  std::array<std::uint8_t, 20> out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i) + 0] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    out[static_cast<std::size_t>(4 * i) + 1] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    out[static_cast<std::size_t>(4 * i) + 2] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    out[static_cast<std::size_t>(4 * i) + 3] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::string Sha1::hex_digest() {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const auto d = digest();
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : d) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0x0F];
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+std::string sha1_hex(std::string_view data) {
+  Sha1 h;
+  h.update(data);
+  return h.hex_digest();
+}
+
+}  // namespace seqrtg::util

@@ -1,0 +1,53 @@
+// Minimal SHA-1 implementation (FIPS 180-1).
+//
+// Sequence-RTG uses SHA-1 to derive a unique, *reproducible* identifier for
+// each (pattern text, service) pair (paper §III, "Making Patterns and
+// Statistics Persistent"). SHA-1 is used purely as a stable fingerprint, not
+// for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seqrtg::util {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update("pattern text");
+///   h.update("service");
+///   std::string id = h.hex_digest();
+class Sha1 {
+ public:
+  Sha1();
+
+  /// Feeds `data` into the hash. May be called repeatedly.
+  void update(std::string_view data);
+
+  /// Finalises and returns the 20-byte digest. The hasher must not be
+  /// updated afterwards (call reset() to reuse).
+  std::array<std::uint8_t, 20> digest();
+
+  /// Finalises and returns the digest as a 40-character lowercase hex string.
+  std::string hex_digest();
+
+  /// Restores the initial state so the object can hash a new message.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finalised_ = false;
+};
+
+/// One-shot convenience: SHA-1 of `data` as lowercase hex.
+std::string sha1_hex(std::string_view data);
+
+}  // namespace seqrtg::util

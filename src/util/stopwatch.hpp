@@ -1,0 +1,26 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace seqrtg::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace seqrtg::util

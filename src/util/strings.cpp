@@ -1,0 +1,188 @@
+#include "util/strings.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace seqrtg::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool is_alnum(char c) { return is_digit(c) || is_alpha(c); }
+
+bool is_hex_digit(char c) {
+  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!is_digit(c)) return false;
+  }
+  return true;
+}
+
+bool is_all_alpha(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!is_alpha(c)) return false;
+  }
+  return true;
+}
+
+bool has_digit(std::string_view s) {
+  for (char c : s) {
+    if (is_digit(c)) return true;
+  }
+  return false;
+}
+
+bool has_alpha(std::string_view s) {
+  for (char c : s) {
+    if (is_alpha(c)) return true;
+  }
+  return false;
+}
+
+bool is_all_hex(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!is_hex_digit(c)) return false;
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  std::string out;
+  if (from.empty()) return std::string(s);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      break;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::size_t count_occurrences(std::string_view s, std::string_view needle) {
+  if (needle.empty()) return 0;
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find(needle, pos)) != std::string_view::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace seqrtg::util

@@ -1,0 +1,68 @@
+// String helpers shared across the Sequence-RTG code base.
+//
+// All functions are allocation-conscious: predicates and classifiers operate
+// on std::string_view and never copy; splitters return views into the input,
+// so the input must outlive the result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::util {
+
+/// Splits `s` on the single character `sep`. Empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace. Empty fields are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII-only lower-casing (log formats are ASCII-framed even when payloads
+/// are not; non-ASCII bytes pass through unchanged).
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII decimal digit (and `s` is non-empty).
+bool is_all_digits(std::string_view s);
+
+/// True if every character is an ASCII letter (and `s` is non-empty).
+bool is_all_alpha(std::string_view s);
+
+/// True if `s` contains at least one ASCII decimal digit.
+bool has_digit(std::string_view s);
+
+/// True if `s` contains at least one ASCII letter.
+bool has_alpha(std::string_view s);
+
+bool is_digit(char c);
+bool is_alpha(char c);
+bool is_alnum(char c);
+bool is_hex_digit(char c);
+bool is_space(char c);
+
+/// True if every character is a hexadecimal digit (and `s` is non-empty).
+bool is_all_hex(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// XML-escapes &, <, >, " and ' for attribute/text contexts.
+std::string xml_escape(std::string_view s);
+
+/// Counts non-overlapping occurrences of `needle` (non-empty) in `s`.
+std::size_t count_occurrences(std::string_view s, std::string_view needle);
+
+/// Formats a byte count as a short human string ("1.5 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace seqrtg::util

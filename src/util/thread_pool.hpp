@@ -1,0 +1,56 @@
+// Bounded work-stealing-free thread pool.
+//
+// AnalyzeByService partitions a batch by service; partitions are fully
+// independent (the paper notes patterns never cross services, which is what
+// makes horizontal scaling trivial — §IV "a single instance ... could be
+// divided simply by sending groups of services to any number of instances").
+// Within one process we exploit the same property with a fixed pool of
+// workers pulling service partitions from a shared queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqrtg::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (>=1; 0 is clamped to hardware_concurrency).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate (by design —
+  /// callers marshal errors through their own result slots).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Convenience: runs `fn(i)` for i in [0, n) across the pool and waits.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace seqrtg::util

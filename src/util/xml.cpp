@@ -1,0 +1,263 @@
+#include "util/xml.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::util {
+
+std::string XmlNode::attribute(std::string_view attr_name) const {
+  for (const auto& [name_, value] : attributes) {
+    if (name_ == attr_name) return value;
+  }
+  return "";
+}
+
+const XmlNode* XmlNode::child(std::string_view child_name) const {
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  XmlParseResult parse() {
+    XmlParseResult result;
+    skip_prolog();
+    if (!parse_element(&result.root)) {
+      result.error = error_.empty() ? "no root element" : error_;
+      return result;
+    }
+    skip_misc();
+    if (pos_ != text_.size() && error_.empty()) {
+      result.error = "trailing content after root element";
+    } else if (!error_.empty()) {
+      result.error = error_;
+    }
+    return result;
+  }
+
+ private:
+  void fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+  }
+
+  bool consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_comment() {
+    // Assumes "<!--" consumed.
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      fail("unterminated comment");
+      pos_ = text_.size();
+      return;
+    }
+    pos_ = end + 3;
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        skip_comment();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) {
+        fail("unterminated XML declaration");
+        pos_ = text_.size();
+        return;
+      }
+      pos_ = end + 2;
+    }
+    skip_misc();
+  }
+
+  static bool is_name_char(char c) {
+    return is_alnum(c) || c == '_' || c == '-' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        out += raw[i++];
+        continue;
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "amp") {
+        out += '&';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        // Numeric character reference (ASCII range only).
+        const long code =
+            entity[1] == 'x' || entity[1] == 'X'
+                ? std::strtol(std::string(entity.substr(2)).c_str(),
+                              nullptr, 16)
+                : std::strtol(std::string(entity.substr(1)).c_str(),
+                              nullptr, 10);
+        if (code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        }
+      } else {
+        // Unknown entity: keep verbatim.
+        out += std::string(raw.substr(i, semi - i + 1));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  bool parse_attributes(XmlNode* node) {
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated start tag");
+        return false;
+      }
+      if (text_[pos_] == '>' || text_[pos_] == '/') return true;
+      const std::string name = parse_name();
+      if (name.empty()) {
+        fail("expected attribute name");
+        return false;
+      }
+      skip_ws();
+      if (!consume("=")) {
+        fail("expected '=' after attribute " + name);
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size() ||
+          (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        fail("expected quoted attribute value");
+        return false;
+      }
+      const char quote = text_[pos_++];
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        fail("unterminated attribute value");
+        return false;
+      }
+      node->attributes.emplace_back(
+          name, decode_entities(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+  }
+
+  bool parse_element(XmlNode* node) {
+    skip_ws();
+    if (!consume("<")) {
+      fail("expected '<'");
+      return false;
+    }
+    node->name = parse_name();
+    if (node->name.empty()) {
+      fail("expected element name");
+      return false;
+    }
+    if (!parse_attributes(node)) return false;
+    if (consume("/>")) return true;
+    if (!consume(">")) {
+      fail("expected '>' in start tag");
+      return false;
+    }
+
+    // Content: text, children, comments, then the end tag.
+    while (true) {
+      const std::size_t lt = text_.find('<', pos_);
+      if (lt == std::string_view::npos) {
+        fail("unterminated element " + node->name);
+        return false;
+      }
+      node->text += decode_entities(text_.substr(pos_, lt - pos_));
+      pos_ = lt;
+      if (consume("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node->name) {
+          fail("mismatched end tag </" + closing + "> for <" + node->name +
+               ">");
+          return false;
+        }
+        skip_ws();
+        if (!consume(">")) {
+          fail("expected '>' in end tag");
+          return false;
+        }
+        return true;
+      }
+      XmlNode child;
+      if (!parse_element(&child)) return false;
+      node->children.push_back(std::move(child));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+XmlParseResult xml_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace seqrtg::util

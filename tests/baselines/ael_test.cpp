@@ -1,0 +1,105 @@
+#include "baselines/ael.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::baselines {
+namespace {
+
+TEST(Ael, AnonymizesNumbersIntoSameEvent) {
+  auto ael = make_ael();
+  const auto groups = ael->parse({
+      "served block 123 to client 7",
+      "served block 999 to client 4",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Ael, AnonymizesKeyValuePairs) {
+  auto ael = make_ael();
+  const auto groups = ael->parse({
+      "session opened uid=root tty=ssh",
+      "session opened uid=alice tty=ssh",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Ael, BinsByWordAndVariableCount) {
+  auto ael = make_ael();
+  const auto groups = ael->parse({
+      "error code 17",      // 2 words + 1 var
+      "error code 18",
+      "warning code 17 99",  // different bin (3+... different counts)
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_NE(groups[0], groups[2]);
+}
+
+TEST(Ael, PureWordDifferencesMergeAtDefaultThreshold) {
+  // AEL's documented over-merging: with the default reconcile threshold,
+  // two-way word alternations fold into one event.
+  auto ael = make_ael();
+  const auto groups = ael->parse({
+      "connection opened from peer",
+      "connection closed from peer",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Ael, PureWordDifferencesSeparateWithHigherThreshold) {
+  AelOptions opts;
+  opts.merge_threshold = 3;
+  auto ael = make_ael(opts);
+  const auto groups = ael->parse({
+      "connection opened from peer",
+      "connection closed from peer",
+  });
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Ael, ReconcileMergesSingleDifference) {
+  AelOptions opts;
+  opts.merge_threshold = 2;
+  auto ael = make_ael(opts);
+  const auto groups = ael->parse({
+      "mount volume alpha ok",
+      "mount volume bravo ok",
+  });
+  // Same bin (same word/var counts), one differing position, and two
+  // events reach the merge threshold.
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(ael->templates()[static_cast<std::size_t>(groups[0])],
+            "mount volume $v ok");
+}
+
+TEST(Ael, ReconcileThresholdBlocksWeakMerges) {
+  AelOptions opts;
+  opts.merge_threshold = 3;
+  auto ael = make_ael(opts);
+  const auto groups = ael->parse({
+      "mount volume alpha ok",
+      "mount volume bravo ok",
+  });
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Ael, TemplatesUseVariableMarker) {
+  auto ael = make_ael();
+  ael->parse({"retried 17 times"});
+  EXPECT_EQ(ael->templates()[0], "retried $v times");
+}
+
+TEST(Ael, ParseResetsState) {
+  auto ael = make_ael();
+  ael->parse({"a 1", "b 2"});
+  const auto groups = ael->parse({"c 3"});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(ael->templates().size(), 1u);
+}
+
+TEST(Ael, EmptyInput) {
+  auto ael = make_ael();
+  EXPECT_TRUE(ael->parse({}).empty());
+}
+
+}  // namespace
+}  // namespace seqrtg::baselines

@@ -1,0 +1,112 @@
+#include "baselines/drain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace seqrtg::baselines {
+namespace {
+
+TEST(Drain, GroupsSameTemplateMessages) {
+  auto drain = make_drain();
+  const auto groups = drain->parse({
+      "Receiving block blk_1 from 10.0.0.1",
+      "Receiving block blk_2 from 10.0.0.2",
+      "Receiving block blk_3 from 10.0.0.9",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[1], groups[2]);
+}
+
+TEST(Drain, SeparatesDifferentLengths) {
+  auto drain = make_drain();
+  const auto groups = drain->parse({"a b c", "a b c d"});
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Drain, SeparatesDistinctEvents) {
+  auto drain = make_drain();
+  const auto groups = drain->parse({
+      "Deleting block blk_1 now",
+      "Verified block blk_1 now",
+  });
+  // First-level tokens differ ("Deleting" vs "Verified"): distinct paths.
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Drain, DigitTokensRouteToWildcardBranch) {
+  auto drain = make_drain();
+  // First token bears digits -> both route to the same "<*>" branch and
+  // similarity puts them in one group.
+  const auto groups = drain->parse({
+      "1001 task done ok",
+      "2002 task done ok",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Drain, TemplateRelaxesToWildcards) {
+  auto drain = make_drain();
+  drain->parse({
+      "send packet 17 to node alpha",
+      "send packet 93 to node bravo",
+  });
+  const auto templates = drain->templates();
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0], "send packet <*> to node <*>");
+}
+
+TEST(Drain, SimilarityThresholdControlsMerging) {
+  // Shared first two tokens keep both messages in the same leaf (depth 2);
+  // the similarity threshold then decides the merge: 2/4 positions agree.
+  DrainOptions strict;
+  strict.similarity_threshold = 0.9;
+  auto drain = make_drain(strict);
+  const auto groups = drain->parse({
+      "alpha bravo charlie delta",
+      "alpha bravo yankee xray",
+  });
+  EXPECT_NE(groups[0], groups[1]);
+
+  DrainOptions loose;
+  loose.similarity_threshold = 0.4;
+  auto drain2 = make_drain(loose);
+  const auto groups2 = drain2->parse({
+      "alpha bravo charlie delta",
+      "alpha bravo yankee xray",
+  });
+  EXPECT_EQ(groups2[0], groups2[1]);
+}
+
+TEST(Drain, GroupIdsAreDense) {
+  auto drain = make_drain();
+  const auto groups = drain->parse({"a x", "b y", "c z", "a q"});
+  std::set<int> ids(groups.begin(), groups.end());
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, static_cast<int>(drain->templates().size()));
+  }
+}
+
+TEST(Drain, ParseResetsState) {
+  auto drain = make_drain();
+  drain->parse({"one two", "three four"});
+  const auto groups = drain->parse({"five six"});
+  EXPECT_EQ(groups[0], 0);
+  EXPECT_EQ(drain->templates().size(), 1u);
+}
+
+TEST(Drain, EmptyInput) {
+  auto drain = make_drain();
+  EXPECT_TRUE(drain->parse({}).empty());
+}
+
+TEST(Drain, ShortMessages) {
+  auto drain = make_drain();
+  const auto groups = drain->parse({"x", "x", "y"});
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_NE(groups[0], groups[2]);
+}
+
+}  // namespace
+}  // namespace seqrtg::baselines

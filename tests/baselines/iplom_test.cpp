@@ -1,0 +1,95 @@
+#include "baselines/iplom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::baselines {
+namespace {
+
+TEST(Iplom, PartitionsByTokenCount) {
+  auto iplom = make_iplom();
+  const auto groups = iplom->parse({"a b", "a b c", "a b", "a b c"});
+  EXPECT_EQ(groups[0], groups[2]);
+  EXPECT_EQ(groups[1], groups[3]);
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Iplom, GroupsSameEvent) {
+  auto iplom = make_iplom();
+  const auto groups = iplom->parse({
+      "Temperature 42 exceeds threshold on node-17",
+      "Temperature 99 exceeds threshold on node-93",
+      "Temperature 55 exceeds threshold on node-12",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[1], groups[2]);
+}
+
+TEST(Iplom, SplitsByLowCardinalityPosition) {
+  auto iplom = make_iplom();
+  const auto groups = iplom->parse({
+      "state up reason 17", "state up reason 93",
+      "state down reason 21", "state down reason 77",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+  EXPECT_EQ(groups[2], groups[3]);
+  EXPECT_NE(groups[0], groups[2]);
+}
+
+TEST(Iplom, TemplatesMarkVariablePositions) {
+  auto iplom = make_iplom();
+  iplom->parse({
+      "link error on port 17",
+      "link error on port 93",
+  });
+  const auto templates = iplom->templates();
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0], "link error on port <*>");
+}
+
+TEST(Iplom, EveryMessageGetsAGroup) {
+  auto iplom = make_iplom();
+  const auto groups = iplom->parse({
+      "x 1", "y 2 3", "z", "x 4", "w 5 6 7 8",
+  });
+  for (int g : groups) {
+    EXPECT_GE(g, 0);
+  }
+}
+
+TEST(Iplom, SingletonMessages) {
+  auto iplom = make_iplom();
+  const auto groups = iplom->parse({"unique message here"});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], 0);
+  EXPECT_EQ(iplom->templates()[0], "unique message here");
+}
+
+TEST(Iplom, PartitionSupportFoldsSplinters) {
+  IplomOptions opts;
+  opts.partition_support = 0.3;
+  auto iplom = make_iplom(opts);
+  // "rare" appears once among many "common": below 30% support, it falls
+  // into the leftover bucket with... itself, but must still get a group.
+  std::vector<std::string> messages;
+  for (int i = 0; i < 9; ++i) messages.push_back("common event " + std::to_string(i));
+  messages.push_back("rare oddity 42");
+  const auto groups = iplom->parse(messages);
+  EXPECT_EQ(groups.size(), 10u);
+  for (int g : groups) EXPECT_GE(g, 0);
+}
+
+TEST(Iplom, ParseResetsState) {
+  auto iplom = make_iplom();
+  iplom->parse({"a b", "c d"});
+  const auto groups = iplom->parse({"e f"});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(iplom->templates().size(), 1u);
+}
+
+TEST(Iplom, EmptyInput) {
+  auto iplom = make_iplom();
+  EXPECT_TRUE(iplom->parse({}).empty());
+}
+
+}  // namespace
+}  // namespace seqrtg::baselines

@@ -1,0 +1,101 @@
+#include "baselines/spell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::baselines {
+namespace {
+
+TEST(Spell, GroupsSameTemplateMessages) {
+  auto spell = make_spell();
+  const auto groups = spell->parse({
+      "Connected to node17 in 12 ms",
+      "Connected to node93 in 7 ms",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Spell, TemplateShrinksToCommonSubsequence) {
+  auto spell = make_spell();
+  spell->parse({
+      "Connected to node17 in 12 ms",
+      "Connected to node93 in 7 ms",
+  });
+  const auto templates = spell->templates();
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0], "Connected to <*> in <*> ms");
+}
+
+TEST(Spell, SeparatesUnrelatedMessages) {
+  auto spell = make_spell();
+  const auto groups = spell->parse({
+      "disk failure on device sda",
+      "user login from terminal tty1",
+  });
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Spell, HandlesDifferentLengthsOfSameEvent) {
+  // LCS-based matching tolerates token-count differences (unlike
+  // length-partitioned algorithms).
+  auto spell = make_spell();
+  const auto groups = spell->parse({
+      "job finished tasks 1 2 3 done",
+      "job finished tasks 1 2 3 4 5 done",
+  });
+  EXPECT_EQ(groups[0], groups[1]);
+}
+
+TEST(Spell, WildcardTokensNeverMatch) {
+  // Two unrelated pre-processed templates share only "<*>" fillers; they
+  // must not merge.
+  auto spell = make_spell();
+  const auto groups = spell->parse({
+      "alpha <*> bravo <*> charlie",
+      "delta <*> echo <*> foxtrot",
+  });
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Spell, BidirectionalThresholdBlocksAbsorption) {
+  auto spell = make_spell();
+  const auto groups = spell->parse({
+      "the quick brown fox jumps over the lazy dog today ok",
+      "the dog ok",  // shares 3 tokens but the object is much longer
+  });
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(Spell, TauControlsJoining) {
+  SpellOptions strict;
+  strict.tau = 0.9;
+  auto spell = make_spell(strict);
+  const auto groups = spell->parse({
+      "send data to host alpha",
+      "send data to host bravo",
+  });
+  // 4/5 = 0.8 < 0.9: separate under a strict tau.
+  EXPECT_NE(groups[0], groups[1]);
+
+  auto loose = make_spell(SpellOptions{0.5});
+  const auto groups2 = loose->parse({
+      "send data to host alpha",
+      "send data to host bravo",
+  });
+  EXPECT_EQ(groups2[0], groups2[1]);
+}
+
+TEST(Spell, ParseResetsState) {
+  auto spell = make_spell();
+  spell->parse({"a b c", "d e f"});
+  const auto groups = spell->parse({"x y z"});
+  EXPECT_EQ(groups[0], 0);
+  EXPECT_EQ(spell->templates().size(), 1u);
+}
+
+TEST(Spell, EmptyInput) {
+  auto spell = make_spell();
+  EXPECT_TRUE(spell->parse({}).empty());
+}
+
+}  // namespace
+}  // namespace seqrtg::baselines

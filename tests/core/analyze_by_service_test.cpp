@@ -1,0 +1,191 @@
+#include "core/analyze_by_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace seqrtg::core {
+namespace {
+
+std::vector<LogRecord> sshd_batch() {
+  return {
+      {"sshd", "Accepted password for u1x from 10.0.0.1 port 1001 ssh2"},
+      {"sshd", "Accepted password for u2x from 10.0.0.2 port 1002 ssh2"},
+      {"sshd", "Accepted password for u3x from 10.0.0.3 port 1003 ssh2"},
+      {"cron", "(root) CMD (run-parts /etc/cron.hourly)"},
+      {"cron", "(root) CMD (run-parts /etc/cron.daily)"},
+  };
+}
+
+std::vector<std::string> all_pattern_texts(PatternRepository& repo) {
+  std::vector<std::string> out;
+  for (const std::string& svc : repo.services()) {
+    for (const Pattern& p : repo.load_service(svc)) {
+      out.push_back(p.service + "|" + p.text());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AnalyzeByService, DiscoversPerServicePatterns) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const BatchReport report = engine.analyze_by_service(sshd_batch());
+  EXPECT_EQ(report.records, 5u);
+  EXPECT_EQ(report.services, 2u);
+  EXPECT_EQ(report.matched_existing, 0u);
+  EXPECT_EQ(report.analyzed, 5u);
+  EXPECT_GT(repo.pattern_count(), 0u);
+  // Patterns never cross services.
+  for (const Pattern& p : repo.load_service("cron")) {
+    EXPECT_EQ(p.service, "cron");
+  }
+}
+
+TEST(AnalyzeByService, ParseFirstSkipsKnownMessages) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.now_unix = 111;
+  Engine engine(&repo, opts);
+  engine.analyze_by_service(sshd_batch());
+  const std::size_t patterns_after_first = repo.pattern_count();
+
+  // Re-running the same batch must match everything against the stored
+  // patterns and discover nothing new (Fig. 2: "If a match is found ...
+  // no further processing occurs for this message").
+  EngineOptions opts2 = opts;
+  opts2.now_unix = 222;
+  Engine engine2(&repo, opts2);
+  const BatchReport second = engine2.analyze_by_service(sshd_batch());
+  EXPECT_EQ(second.matched_existing, 5u);
+  EXPECT_EQ(second.analyzed, 0u);
+  EXPECT_EQ(second.new_patterns, 0u);
+  EXPECT_EQ(repo.pattern_count(), patterns_after_first);
+
+  // Stats were updated with the new clock.
+  bool saw_updated = false;
+  for (const std::string& svc : repo.services()) {
+    for (const Pattern& p : repo.load_service(svc)) {
+      if (p.stats.last_matched == 222) saw_updated = true;
+    }
+  }
+  EXPECT_TRUE(saw_updated);
+}
+
+TEST(AnalyzeByService, SaveThresholdDropsRarePatterns) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.save_threshold = 2;
+  Engine engine(&repo, opts);
+  const BatchReport report = engine.analyze_by_service({
+      {"s", "repeated event 10.0.0.1"},
+      {"s", "repeated event 10.0.0.2"},
+      {"s", "one-off oddity never again"},
+  });
+  EXPECT_EQ(report.new_patterns, 1u);
+  EXPECT_EQ(report.below_threshold, 1u);
+  EXPECT_EQ(repo.pattern_count(), 1u);
+}
+
+TEST(AnalyzeByService, SecondPartitioningByTokenCount) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  // Same prefix, different token counts: must land in different tries and
+  // therefore different patterns.
+  engine.analyze_by_service({
+      {"s", "shutdown complete"},
+      {"s", "shutdown complete now"},
+  });
+  EXPECT_EQ(repo.pattern_count(), 2u);
+}
+
+TEST(AnalyzeByService, SerialAndParallelProduceIdenticalRepositories) {
+  std::vector<LogRecord> batch;
+  for (int svc = 0; svc < 12; ++svc) {
+    for (int i = 0; i < 30; ++i) {
+      batch.push_back({"svc" + std::to_string(svc),
+                       "event type " + std::to_string(i % 4) + " value " +
+                           std::to_string(i * 17) + " from 10.0.0." +
+                           std::to_string(i % 250)});
+    }
+  }
+  InMemoryRepository serial_repo;
+  EngineOptions serial_opts;
+  serial_opts.threads = 1;
+  Engine(&serial_repo, serial_opts).analyze_by_service(batch);
+
+  InMemoryRepository parallel_repo;
+  EngineOptions parallel_opts;
+  parallel_opts.threads = 8;
+  Engine(&parallel_repo, parallel_opts).analyze_by_service(batch);
+
+  EXPECT_EQ(all_pattern_texts(serial_repo), all_pattern_texts(parallel_repo));
+}
+
+TEST(AnalyzeByService, EmptyBatch) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const BatchReport report = engine.analyze_by_service({});
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_EQ(repo.pattern_count(), 0u);
+}
+
+TEST(AnalyzeByService, EmptyMessagesAreIgnored) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const BatchReport report = engine.analyze_by_service({{"s", ""}});
+  EXPECT_EQ(report.analyzed, 0u);
+  EXPECT_EQ(report.matched_existing, 0u);
+}
+
+TEST(AnalyzeByService, MultiLineMessagesGetRestPatterns) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  engine.analyze_by_service({
+      {"s", "exception in thread main\n  at Foo.java:1\n  at Bar.java:2"},
+      {"s", "exception in thread main\n  at Baz.java:9"},
+  });
+  const auto patterns = repo.load_service("s");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "exception in thread main %rest%");
+}
+
+TEST(AnalyzeSingleTrie, NoServicePartitioning) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const BatchReport report = engine.analyze_single_trie(sshd_batch());
+  EXPECT_EQ(report.services, 1u);
+  // Everything lands under the pseudo-service "*".
+  EXPECT_FALSE(repo.load_service("*").empty());
+  EXPECT_TRUE(repo.load_service("sshd").empty());
+  EXPECT_EQ(report.matched_existing, 0u);
+}
+
+TEST(AnalyzeByService, LengthPartitioningCanBeDisabledForAblation) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.partition_by_length = false;
+  Engine engine(&repo, opts);
+  const BatchReport report = engine.analyze_by_service({
+      {"s", "shutdown complete"},
+      {"s", "shutdown complete now"},
+  });
+  EXPECT_EQ(report.analyzed, 2u);
+  // One shared trie: the shorter message is a prefix path of the longer.
+  EXPECT_EQ(repo.pattern_count(), 2u);
+}
+
+TEST(AnalyzeByService, StatsStampedWithInjectedClock) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.now_unix = 1234567;
+  Engine engine(&repo, opts);
+  engine.analyze_by_service({{"s", "hello world"}});
+  const auto patterns = repo.load_service("s");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].stats.first_seen, 1234567);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,158 @@
+// Edge cases across the engine: same-text/different-type id collisions,
+// key conflicts, threshold boundaries, huge messages, odd services.
+#include <gtest/gtest.h>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "core/repository.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+TEST(EngineEdge, SameTextDifferentTypesWidenToString) {
+  // A field that is usually hex but sometimes all-digit produces two
+  // patterns with identical text ("pid=%pid%") and colliding SHA-1 ids.
+  // The repository widens the variable to %string% so every shape matches.
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  engine.analyze_by_service({
+      {"s", "job pid=deadbeef01 ok"},
+      {"s", "job pid=cafebabe99 ok"},
+      {"s", "job pid=123456789012 ok"},  // scans as Integer
+      {"s", "job pid=998877665544 ok"},
+  });
+  Parser parser;
+  for (const Pattern& p : repo.load_service("s")) parser.add_pattern(p);
+  EXPECT_TRUE(parser.parse("s", "job pid=00ff00ff00 ok").has_value());
+  EXPECT_TRUE(parser.parse("s", "job pid=555566667777 ok").has_value());
+}
+
+TEST(EngineEdge, KeyConflictDropsSemanticName) {
+  // The same trie position carries key "port" in some messages and key
+  // "size" in others; the variable must fall back to its type name.
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  engine.analyze_by_service({
+      {"s", "set port=1 now"},
+      {"s", "set size=2 now"},
+  });
+  for (const Pattern& p : repo.load_service("s")) {
+    for (const PatternToken& t : p.tokens) {
+      if (t.is_variable) {
+        EXPECT_TRUE(t.name.empty() || t.name == "port" || t.name == "size")
+            << t.name;
+      }
+    }
+  }
+}
+
+TEST(EngineEdge, SaveThresholdBoundaryIsInclusive) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.save_threshold = 2;
+  Engine engine(&repo, opts);
+  const BatchReport report = engine.analyze_by_service({
+      {"s", "pair event 10.0.0.1"},
+      {"s", "pair event 10.0.0.2"},  // exactly at the threshold
+  });
+  EXPECT_EQ(report.new_patterns, 1u);
+  EXPECT_EQ(report.below_threshold, 0u);
+}
+
+TEST(EngineEdge, VeryLongMessageIsBoundedByTokenCap) {
+  std::string message = "start";
+  for (int i = 0; i < 2000; ++i) {
+    message += " tok" + std::to_string(i);
+  }
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  engine.analyze_by_service({{"s", message}});
+  const auto patterns = repo.load_service("s");
+  ASSERT_EQ(patterns.size(), 1u);
+  // Default cap 512 + the %rest% marker.
+  EXPECT_LE(patterns[0].token_count(), 513u);
+  EXPECT_TRUE(patterns[0].tokens.back().is_variable);
+  EXPECT_EQ(patterns[0].tokens.back().var_type, TokenType::Rest);
+}
+
+TEST(EngineEdge, ServiceNamesWithOddCharacters) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const std::string service = "app/with:odd chars (v2)";
+  engine.analyze_by_service({{service, "hello world"}});
+  const auto patterns = repo.load_service(service);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].service, service);
+}
+
+TEST(EngineEdge, WhitespaceOnlyMessageIgnored) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  const BatchReport report =
+      engine.analyze_by_service({{"s", "   \t  "}});
+  EXPECT_EQ(report.analyzed, 0u);
+  EXPECT_EQ(repo.pattern_count(), 0u);
+}
+
+TEST(EngineEdge, ManyServicesSingleMessageEach) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.threads = 4;
+  Engine engine(&repo, opts);
+  std::vector<LogRecord> batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.push_back({"svc" + std::to_string(i), "boot complete"});
+  }
+  const BatchReport report = engine.analyze_by_service(batch);
+  EXPECT_EQ(report.services, 300u);
+  EXPECT_EQ(repo.pattern_count(), 300u);
+  EXPECT_EQ(repo.services().size(), 300u);
+}
+
+TEST(EngineEdge, IdenticalMessagesFoldToOnePattern) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  std::vector<LogRecord> batch(50, {"s", "heartbeat ok"});
+  engine.analyze_by_service(batch);
+  const auto patterns = repo.load_service("s");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].stats.match_count, 50u);
+  EXPECT_EQ(patterns[0].examples.size(), 1u);  // deduplicated
+}
+
+TEST(EngineEdge, CrossBatchStatsAccumulate) {
+  InMemoryRepository repo;
+  EngineOptions opts;
+  opts.now_unix = 100;
+  Engine first(&repo, opts);
+  first.analyze_by_service({{"s", "tick 1"}, {"s", "tick 2"}});
+
+  EngineOptions later = opts;
+  later.now_unix = 200;
+  Engine second(&repo, later);
+  second.analyze_by_service({{"s", "tick 3"}});
+
+  const auto patterns = repo.load_service("s");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].stats.match_count, 3u);
+  EXPECT_EQ(patterns[0].stats.first_seen, 100);
+  EXPECT_EQ(patterns[0].stats.last_matched, 200);
+}
+
+TEST(EngineEdge, UnicodePayloadSurvivesEndToEnd) {
+  InMemoryRepository repo;
+  Engine engine(&repo, EngineOptions{});
+  engine.analyze_by_service({
+      {"s", "utilisateur rémi connecté depuis 10.0.0.1"},
+      {"s", "utilisateur émile connecté depuis 10.0.0.2"},
+  });
+  Parser parser;
+  for (const Pattern& p : repo.load_service("s")) parser.add_pattern(p);
+  EXPECT_TRUE(
+      parser.parse("s", "utilisateur zoé connecté depuis 10.9.9.9")
+          .has_value() ||
+      repo.pattern_count() == 2u);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,132 @@
+#include "core/fsm_datetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace seqrtg::core {
+namespace {
+
+std::size_t match_strict(std::string_view s) {
+  return match_datetime(s, DateTimeOptions{});
+}
+
+std::size_t match_lenient(std::string_view s) {
+  DateTimeOptions opts;
+  opts.lenient_time = true;
+  return match_datetime(s, opts);
+}
+
+// Full-string layouts that must match exactly in strict mode.
+class FullMatchTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FullMatchTest, ConsumesWholeString) {
+  const std::string s = GetParam();
+  EXPECT_EQ(match_strict(s), s.size()) << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, FullMatchTest,
+    ::testing::Values(
+        "2021-01-12 06:25:56",              // SQL style
+        "2021-01-12T06:25:56",              // ISO-8601
+        "2021-01-12T06:25:56.123",          // fraction
+        "2021-01-12T06:25:56.123Z",         // zulu
+        "2021-01-12T06:25:56+01:00",        // numeric zone
+        "2021-01-12 06:25:56,123",          // Zookeeper comma fraction
+        "2005-06-03-15.42.50.675872",       // BGL
+        "2021/01/12 06:25:56",              // slash date
+        "17/06/09 20:10:40",                // Spark two-digit year
+        "12/Jan/2021:06:25:56 +0100",       // Apache access
+        "Sun Dec 04 04:47:44 2005",         // Apache error / asctime
+        "Jun 14 15:16:01",                  // syslog
+        "Jan  2 06:25:56",                  // syslog padded day
+        "03-17 16:13:38.811",               // Android
+        "20171224-00:07:20:444",            // HealthApp (padded)
+        "10.30 16:49:06",                   // Proxifier
+        "2016-09-28",                       // date only
+        "2005.11.09",                       // Thunderbird date
+        "06:25:56",                         // bare time
+        "06:25:56.123",                     // bare time with fraction
+        "11:11:11,333"));                   // bare time comma fraction
+
+// Strings that must NOT match at all.
+class NoMatchTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NoMatchTest, DoesNotMatch) {
+  EXPECT_EQ(match_strict(GetParam()), 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NonTimes, NoMatchTest,
+    ::testing::Values("hello", "123456", "1.2.3.4", "99:99:99",
+                      "2021-13-40 06:25:56",  // month/day out of range
+                      "12:30:45abc",          // glued identifier
+                      "2021-01-12-rack7",     // date glued to id
+                      "", "-", "ab:cd:ef"));
+
+TEST(DateTimeStrict, RejectsMissingLeadingZero) {
+  // The documented Sequence limitation (paper §IV): HealthApp stamps like
+  // 20171224-0:7:20:444 have single-digit time parts.
+  EXPECT_EQ(match_strict("20171224-0:7:20:444"), 0u);
+  EXPECT_EQ(match_strict("6:7:20"), 0u);
+}
+
+TEST(DateTimeLenient, AcceptsMissingLeadingZero) {
+  // Future work §VI: "review and modify the date/time state machine to
+  // make it accept single digit time parts."
+  EXPECT_EQ(match_lenient("20171224-0:7:20:444"),
+            std::string("20171224-0:7:20:444").size());
+  EXPECT_EQ(match_lenient("6:7:20"), std::string("6:7:20").size());
+}
+
+TEST(DateTimeLenient, StillMatchesPaddedForms) {
+  EXPECT_EQ(match_lenient("06:25:56"), 8u);
+  EXPECT_EQ(match_lenient("2021-01-12 06:25:56"), 19u);
+}
+
+TEST(DateTime, MatchStopsAtBoundary) {
+  // Trailing punctuation/boundaries stay outside the match.
+  EXPECT_EQ(match_strict("06:25:56,"), 8u);
+  EXPECT_EQ(match_strict("06:25:56]"), 8u);
+  EXPECT_EQ(match_strict("2021-01-12 06:25:56 INFO"), 19u);
+}
+
+TEST(DateTime, LongestLayoutWins) {
+  // "2021-01-12 06:25:56" must match as one stamp, not as the date-only
+  // prefix.
+  EXPECT_EQ(match_strict("2021-01-12 06:25:56"), 19u);
+  // Fraction is consumed when present.
+  EXPECT_EQ(match_strict("06:25:56.123456"), 15u);
+}
+
+TEST(DateTime, ApacheZoneOptional) {
+  EXPECT_EQ(match_strict("12/Jan/2021:06:25:56"), 20u);
+}
+
+TEST(DateTime, MonthNamesCaseInsensitive) {
+  EXPECT_GT(match_strict("JAN  2 06:25:56"), 0u);
+  EXPECT_GT(match_strict("jan  2 06:25:56"), 0u);
+}
+
+TEST(DateTime, AllMonthNames) {
+  for (const char* m : {"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul",
+                        "Aug", "Sep", "Oct", "Nov", "Dec"}) {
+    const std::string s = std::string(m) + " 14 15:16:01";
+    EXPECT_EQ(match_strict(s), s.size()) << s;
+  }
+}
+
+TEST(DateTime, InvalidTimePartValues) {
+  EXPECT_EQ(match_strict("25:70:99"), 0u);  // minute > 60
+}
+
+TEST(DateTime, EpochSecondsAreNotTimes) {
+  // Bare integers stay integers (HPC logs carry epoch stamps; the scanner
+  // types them Integer, not Time).
+  EXPECT_EQ(match_strict("1131566461"), 0u);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

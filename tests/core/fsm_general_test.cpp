@@ -1,0 +1,102 @@
+#include "core/fsm_general.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace seqrtg::core {
+namespace {
+
+TEST(Ipv4, Basic) {
+  EXPECT_EQ(match_ipv4("192.168.0.1"), 11u);
+  EXPECT_EQ(match_ipv4("8.8.8.8"), 7u);
+  EXPECT_EQ(match_ipv4("255.255.255.255"), 15u);
+}
+
+TEST(Ipv4, RejectsOutOfRangeOctets) {
+  EXPECT_EQ(match_ipv4("256.1.1.1"), 0u);
+  EXPECT_EQ(match_ipv4("1.1.1.999"), 0u);
+}
+
+TEST(Ipv4, RejectsVersionStrings) {
+  // Five dotted groups are a version string, not an address.
+  EXPECT_EQ(match_ipv4("1.2.3.4.5"), 0u);
+}
+
+TEST(Ipv4, RejectsShortForms) {
+  EXPECT_EQ(match_ipv4("1.2.3"), 0u);
+  EXPECT_EQ(match_ipv4("1.2"), 0u);
+}
+
+TEST(Ipv4, RejectsGluedSuffix) {
+  EXPECT_EQ(match_ipv4("1.2.3.4abc"), 0u);
+}
+
+TEST(Ipv4, AcceptsPortSeparatorBoundary) {
+  EXPECT_EQ(match_ipv4("10.1.2.3:8080"), 8u);
+}
+
+TEST(Integer, Forms) {
+  EXPECT_EQ(match_integer("12345"), 5u);
+  EXPECT_EQ(match_integer("-7"), 2u);
+  EXPECT_EQ(match_integer("+42"), 3u);
+  EXPECT_EQ(match_integer("x1"), 0u);
+  EXPECT_EQ(match_integer("-"), 0u);
+}
+
+TEST(Float, Forms) {
+  EXPECT_EQ(match_float("3.14"), 4u);
+  EXPECT_EQ(match_float("-0.5"), 4u);
+  EXPECT_EQ(match_float("1e5"), 0u);      // no fraction: not a float here
+  EXPECT_EQ(match_float("2.5e-3"), 6u);   // exponent after fraction
+  EXPECT_EQ(match_float("5."), 0u);       // trailing dot
+  EXPECT_EQ(match_float(".5"), 0u);       // leading dot
+  EXPECT_EQ(match_float("42"), 0u);       // integer is not a float
+}
+
+TEST(Url, KnownSchemes) {
+  EXPECT_EQ(match_url("https://example.org/a/b?q=1"),
+            std::string("https://example.org/a/b?q=1").size());
+  EXPECT_EQ(match_url("http://x.y"), std::string("http://x.y").size());
+  EXPECT_EQ(match_url("ftp://host/file"),
+            std::string("ftp://host/file").size());
+}
+
+TEST(Url, UnknownSchemeRejected) {
+  EXPECT_EQ(match_url("gopher://example.org"), 0u);
+  EXPECT_EQ(match_url("example.org/path"), 0u);
+}
+
+TEST(Url, StopsAtDelimiters) {
+  EXPECT_EQ(match_url("https://x.org/a \"next\""),
+            std::string("https://x.org/a").size());
+  EXPECT_EQ(match_url("https://x.org/a)"),
+            std::string("https://x.org/a").size());
+}
+
+TEST(Url, TrailingSentencePunctuationExcluded) {
+  EXPECT_EQ(match_url("https://x.org/a."),
+            std::string("https://x.org/a").size());
+}
+
+TEST(ClassifyGeneral, WholeChunkSemantics) {
+  EXPECT_EQ(classify_general("12345"), TokenType::Integer);
+  EXPECT_EQ(classify_general("3.14"), TokenType::Float);
+  EXPECT_EQ(classify_general("10.0.0.1"), TokenType::IPv4);
+  EXPECT_EQ(classify_general("https://a.b/c"), TokenType::Url);
+  EXPECT_EQ(classify_general("word"), TokenType::Literal);
+  EXPECT_EQ(classify_general("123abc"), TokenType::Literal);
+  EXPECT_EQ(classify_general("blk_-923842"), TokenType::Literal);
+  EXPECT_EQ(classify_general(""), TokenType::Literal);
+}
+
+TEST(ClassifyGeneral, PrefixMatchesDoNotCount) {
+  // A UUID must stay one literal token, never decay into typed prefix +
+  // tail (that would make token counts value-dependent).
+  EXPECT_EQ(classify_general("015decf1-353e-665d-17e9-a8e281845aa0"),
+            TokenType::Literal);
+  EXPECT_EQ(classify_general("1.2.3.4x"), TokenType::Literal);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

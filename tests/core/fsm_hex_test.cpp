@@ -1,0 +1,105 @@
+#include "core/fsm_hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace seqrtg::core {
+namespace {
+
+TEST(Mac, ColonSeparated) {
+  EXPECT_EQ(match_mac("00:0a:95:9d:68:16"), 17u);
+  EXPECT_EQ(match_mac("AA:BB:CC:DD:EE:FF"), 17u);
+}
+
+TEST(Mac, DashSeparated) {
+  EXPECT_EQ(match_mac("00-0a-95-9d-68-16"), 17u);
+}
+
+TEST(Mac, AllDigitGroups) {
+  // Digit-only MACs are still MACs, not times.
+  EXPECT_EQ(match_mac("00:11:22:33:44:55"), 17u);
+}
+
+TEST(Mac, RejectsMixedSeparators) {
+  EXPECT_EQ(match_mac("00:0a-95:9d:68:16"), 0u);
+}
+
+TEST(Mac, RejectsShortOrLongChains) {
+  EXPECT_EQ(match_mac("00:0a:95:9d:68"), 0u);        // five groups
+  EXPECT_EQ(match_mac("00:0a:95:9d:68:16:aa"), 0u);  // seven groups
+}
+
+TEST(Mac, RejectsNonHexDigits) {
+  EXPECT_EQ(match_mac("00:0a:95:9g:68:16"), 0u);
+}
+
+TEST(Mac, RejectsGluedSuffix) {
+  EXPECT_EQ(match_mac("00:0a:95:9d:68:16ab"), 0u);
+}
+
+TEST(Mac, AcceptsTrailingPunctuation) {
+  EXPECT_EQ(match_mac("00:0a:95:9d:68:16,"), 17u);
+}
+
+TEST(Ipv6, FullForm) {
+  const std::string a = "2001:0db8:85a3:0000:0000:8a2e:0370:7334";
+  EXPECT_EQ(match_ipv6(a), a.size());
+}
+
+TEST(Ipv6, CompressedForms) {
+  EXPECT_EQ(match_ipv6("fe80::1"), 7u);
+  EXPECT_EQ(match_ipv6("::1"), 3u);
+  const std::string b = "2001:db8::8a2e:370:7334";
+  EXPECT_EQ(match_ipv6(b), b.size());
+}
+
+TEST(Ipv6, Ipv4MappedTail) {
+  const std::string a = "::ffff:192.168.0.1";
+  EXPECT_EQ(match_ipv6(a), a.size());
+}
+
+TEST(Ipv6, RejectsTimes) {
+  // Times must not be mistaken for IPv6 (both are colon-separated).
+  EXPECT_EQ(match_ipv6("06:25:56"), 0u);
+  EXPECT_EQ(match_ipv6("06:25:56:444"), 0u);
+}
+
+TEST(Ipv6, RejectsOversizedGroups) {
+  EXPECT_EQ(match_ipv6("2001:0db8x5a3::1"), 0u);
+  EXPECT_EQ(match_ipv6("20011:db8::1"), 0u);
+}
+
+TEST(Ipv6, RejectsTripleColon) {
+  EXPECT_EQ(match_ipv6("2001:::1"), 0u);
+}
+
+TEST(Hex, ZeroXPrefixed) {
+  EXPECT_EQ(match_hex("0x1f"), 4u);
+  EXPECT_EQ(match_hex("0xDEADBEEF"), 10u);
+  EXPECT_EQ(match_hex("0x"), 0u);  // prefix without digits
+}
+
+TEST(Hex, BareRunNeedsDigitAndLetter) {
+  EXPECT_EQ(match_hex("7d5f03e2"), 8u);
+  EXPECT_EQ(match_hex("deadbeef01"), 10u);
+  EXPECT_EQ(match_hex("12345678"), 0u);   // digits only: an integer
+  EXPECT_EQ(match_hex("abcdefab"), 0u);   // letters only: a word
+}
+
+TEST(Hex, BareRunMinimumLength) {
+  EXPECT_EQ(match_hex("7d5f03"), 0u);          // below default length 8
+  EXPECT_EQ(match_hex("7d5f03", 6), 6u);       // custom minimum
+}
+
+TEST(Hex, RejectsGluedIdentifier) {
+  EXPECT_EQ(match_hex("7d5f03e2xyz"), 0u);
+  EXPECT_EQ(match_hex("0x1fzz"), 0u);
+}
+
+TEST(Hex, SessionIdsFromZookeeper) {
+  EXPECT_EQ(match_hex("0x14f05578bd80001"), 17u);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

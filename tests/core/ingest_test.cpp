@@ -1,0 +1,113 @@
+#include "core/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace seqrtg::core {
+namespace {
+
+TEST(ParseLine, ValidRecord) {
+  const auto r = JsonStreamIngester::parse_line(
+      R"({"service":"sshd","message":"Accepted password"})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->service, "sshd");
+  EXPECT_EQ(r->message, "Accepted password");
+}
+
+TEST(ParseLine, ExtraFieldsTolerated) {
+  const auto r = JsonStreamIngester::parse_line(
+      R"({"service":"s","message":"m","host":"h","pri":3})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->message, "m");
+}
+
+TEST(ParseLine, EscapedContent) {
+  const auto r = JsonStreamIngester::parse_line(
+      R"({"service":"s","message":"line1\nline2\t\"quoted\""})");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->message, "line1\nline2\t\"quoted\"");
+}
+
+TEST(ParseLine, RejectsMissingFields) {
+  EXPECT_FALSE(JsonStreamIngester::parse_line(R"({"service":"s"})"));
+  EXPECT_FALSE(JsonStreamIngester::parse_line(R"({"message":"m"})"));
+  EXPECT_FALSE(JsonStreamIngester::parse_line(R"({})"));
+}
+
+TEST(ParseLine, RejectsWrongTypes) {
+  EXPECT_FALSE(
+      JsonStreamIngester::parse_line(R"({"service":1,"message":"m"})"));
+  EXPECT_FALSE(
+      JsonStreamIngester::parse_line(R"({"service":"s","message":[1]})"));
+}
+
+TEST(ParseLine, RejectsMalformedJson) {
+  EXPECT_FALSE(JsonStreamIngester::parse_line("not json"));
+  EXPECT_FALSE(JsonStreamIngester::parse_line(R"(["service","message"])"));
+  EXPECT_FALSE(JsonStreamIngester::parse_line(""));
+  EXPECT_FALSE(JsonStreamIngester::parse_line("   "));
+}
+
+TEST(ParseLine, ToleratesSurroundingWhitespace) {
+  const auto r = JsonStreamIngester::parse_line(
+      "  {\"service\":\"s\",\"message\":\"m\"}  \r");
+  ASSERT_TRUE(r.has_value());
+}
+
+TEST(RecordToJson, RoundTrip) {
+  const LogRecord rec{"sys log", "msg with \"quotes\"\nand newline"};
+  const auto parsed = JsonStreamIngester::parse_line(record_to_json(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(ReadBatch, StopsAtBatchSize) {
+  std::stringstream in;
+  for (int i = 0; i < 10; ++i) {
+    in << R"({"service":"s","message":"m)" << i << "\"}\n";
+  }
+  JsonStreamIngester ingester(4);
+  const auto batch1 = ingester.read_batch(in);
+  ASSERT_EQ(batch1.size(), 4u);
+  EXPECT_EQ(batch1[0].message, "m0");
+  EXPECT_EQ(batch1[3].message, "m3");
+  const auto batch2 = ingester.read_batch(in);
+  EXPECT_EQ(batch2.size(), 4u);
+  const auto batch3 = ingester.read_batch(in);
+  EXPECT_EQ(batch3.size(), 2u);  // partial batch at EOF
+  EXPECT_TRUE(ingester.read_batch(in).empty());
+  EXPECT_EQ(ingester.stats().accepted, 10u);
+}
+
+TEST(ReadBatch, SkipsAndCountsMalformedLines) {
+  std::stringstream in;
+  in << R"({"service":"s","message":"ok1"})" << "\n"
+     << "garbage line\n"
+     << "\n"  // blank lines are ignored silently
+     << R"({"service":"s","message":"ok2"})" << "\n";
+  JsonStreamIngester ingester(10);
+  const auto batch = ingester.read_batch(in);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(ingester.stats().accepted, 2u);
+  EXPECT_EQ(ingester.stats().malformed, 1u);
+}
+
+TEST(ReadBatch, ZeroBatchSizeClampsToOne) {
+  JsonStreamIngester ingester(0);
+  EXPECT_EQ(ingester.batch_size(), 1u);
+}
+
+TEST(ReadBatch, MultiLineMessagePreservedThroughJson) {
+  // Extension #6 context: the JSON framing is what lets a multi-line
+  // message arrive as ONE record instead of several.
+  std::stringstream in;
+  in << record_to_json({"app", "line1\nline2\nline3"}) << "\n";
+  JsonStreamIngester ingester(1);
+  const auto batch = ingester.read_batch(in);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].message, "line1\nline2\nline3");
+}
+
+}  // namespace
+}  // namespace seqrtg::core

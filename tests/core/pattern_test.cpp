@@ -1,0 +1,159 @@
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::core {
+namespace {
+
+PatternToken constant(std::string text, bool space = true) {
+  PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+PatternToken variable(TokenType type, std::string name = "",
+                      bool space = true) {
+  PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+Pattern sample_pattern() {
+  Pattern p;
+  p.service = "sshd";
+  p.tokens = {constant("Accepted", false), constant("password"),
+              constant("for"), variable(TokenType::String, "user"),
+              constant("from"), variable(TokenType::IPv4, "srcip"),
+              constant("port"), variable(TokenType::Integer, "srcport")};
+  return p;
+}
+
+TEST(PatternText, RendersVariablesWithPercent) {
+  EXPECT_EQ(sample_pattern().text(),
+            "Accepted password for %user% from %srcip% port %srcport%");
+}
+
+TEST(PatternText, HonoursSpaceBefore) {
+  Pattern p;
+  p.service = "x";
+  p.tokens = {constant("port", false), constant("=", false),
+              variable(TokenType::Integer, "port", false)};
+  EXPECT_EQ(p.text(), "port=%port%");
+}
+
+TEST(PatternText, UnnamedVariableUsesTypeTag) {
+  Pattern p;
+  p.service = "x";
+  p.tokens = {variable(TokenType::Integer, "", false)};
+  EXPECT_EQ(p.text(), "%integer%");
+}
+
+TEST(PatternId, Sha1OfTextPlusService) {
+  const Pattern p = sample_pattern();
+  EXPECT_EQ(p.id().size(), 40u);
+  Pattern q = p;
+  q.service = "cron";
+  EXPECT_NE(p.id(), q.id()) << "same text, different service";
+  Pattern r = p;
+  EXPECT_EQ(p.id(), r.id()) << "ids must be reproducible";
+}
+
+TEST(PatternComplexity, RatioOfVariables) {
+  const Pattern p = sample_pattern();
+  EXPECT_DOUBLE_EQ(p.complexity(), 3.0 / 8.0);
+
+  Pattern all_vars;
+  all_vars.tokens = {variable(TokenType::String),
+                     variable(TokenType::Integer)};
+  EXPECT_DOUBLE_EQ(all_vars.complexity(), 1.0);
+
+  Pattern all_const;
+  all_const.tokens = {constant("a"), constant("b")};
+  EXPECT_DOUBLE_EQ(all_const.complexity(), 0.0);
+
+  EXPECT_DOUBLE_EQ(Pattern{}.complexity(), 0.0);
+}
+
+TEST(PatternExamples, DeduplicatedAndCapped) {
+  Pattern p;
+  p.add_example("m1");
+  p.add_example("m1");
+  p.add_example("m2");
+  p.add_example("m3");
+  p.add_example("m4");  // over the cap of 3
+  ASSERT_EQ(p.examples.size(), 3u);
+  EXPECT_EQ(p.examples[0], "m1");
+  EXPECT_EQ(p.examples[2], "m3");
+}
+
+TEST(ParsePatternText, RoundTripSimple) {
+  const std::string text = "Accepted password for %string% from %ipv4%";
+  const auto tokens = parse_pattern_text(text);
+  ASSERT_TRUE(tokens.has_value());
+  Pattern p;
+  p.tokens = *tokens;
+  EXPECT_EQ(p.text(), text);
+}
+
+TEST(ParsePatternText, RecoversTypesFromTags) {
+  const auto tokens = parse_pattern_text("%integer% %ipv41% %custom%");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].var_type, TokenType::Integer);
+  EXPECT_EQ((*tokens)[1].var_type, TokenType::IPv4);  // suffix stripped
+  EXPECT_EQ((*tokens)[2].var_type, TokenType::String);  // key-derived name
+}
+
+TEST(ParsePatternText, GluedTokens) {
+  const auto tokens = parse_pattern_text("port=%port%");
+  ASSERT_TRUE(tokens.has_value());
+  ASSERT_EQ(tokens->size(), 2u);
+  EXPECT_EQ((*tokens)[0].text, "port=");
+  EXPECT_FALSE((*tokens)[1].is_space_before);
+}
+
+TEST(ParsePatternText, UnbalancedPercentFails) {
+  EXPECT_FALSE(parse_pattern_text("hello %broken").has_value());
+  EXPECT_FALSE(parse_pattern_text("%%").has_value());
+}
+
+TEST(AssignVariableNames, TypeTagWithCounter) {
+  std::vector<PatternToken> tokens = {
+      variable(TokenType::Integer), variable(TokenType::Integer),
+      variable(TokenType::IPv4), variable(TokenType::Integer)};
+  assign_variable_names(tokens);
+  EXPECT_EQ(tokens[0].name, "integer");
+  EXPECT_EQ(tokens[1].name, "integer1");
+  EXPECT_EQ(tokens[2].name, "ipv4");
+  EXPECT_EQ(tokens[3].name, "integer2");
+}
+
+TEST(AssignVariableNames, KeyDerivedNamesKept) {
+  std::vector<PatternToken> tokens = {variable(TokenType::Integer, "port"),
+                                      variable(TokenType::Integer, "port")};
+  assign_variable_names(tokens);
+  EXPECT_EQ(tokens[0].name, "port");
+  EXPECT_EQ(tokens[1].name, "port1");
+}
+
+TEST(AssignVariableNames, SanitisesHostileCharacters) {
+  std::vector<PatternToken> tokens = {
+      variable(TokenType::String, "we%ird<name>")};
+  assign_variable_names(tokens);
+  EXPECT_EQ(tokens[0].name, "weirdname");
+}
+
+TEST(AssignVariableNames, ConstantsUntouched) {
+  std::vector<PatternToken> tokens = {constant("fixed"),
+                                      variable(TokenType::String)};
+  assign_variable_names(tokens);
+  EXPECT_TRUE(tokens[0].name.empty());
+  EXPECT_EQ(tokens[1].name, "string");
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,159 @@
+// Table I coverage: "Typical elements found in system logs and their data
+// types." One test per element row demonstrating how the scanner handles
+// it. This is the tokeniser-level reproduction of the paper's Table I.
+#include <gtest/gtest.h>
+
+#include "core/scanner.hpp"
+#include "core/special_tokens.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+std::vector<Token> scan_promoted(std::string_view msg) {
+  Scanner scanner;
+  auto tokens = scanner.scan(msg);
+  promote_special_tokens(tokens, SpecialTokenOptions{});
+  return tokens;
+}
+
+const Token* find_type(const std::vector<Token>& tokens, TokenType t) {
+  for (const Token& tok : tokens) {
+    if (tok.type == t) return &tok;
+  }
+  return nullptr;
+}
+
+TEST(TableI, DateAndTimeStamps) {
+  const auto tokens = scan_promoted("at 2021-01-12T06:25:56.123Z started");
+  const Token* t = find_type(tokens, TokenType::Time);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "2021-01-12T06:25:56.123Z");
+}
+
+TEST(TableI, MacAddresses) {
+  const auto tokens = scan_promoted("wlan0 00:0a:95:9d:68:16 associated");
+  EXPECT_NE(find_type(tokens, TokenType::Mac), nullptr);
+}
+
+TEST(TableI, Ipv6Addresses) {
+  const auto tokens = scan_promoted("bound to 2001:db8::8a2e:370:7334 ok");
+  EXPECT_NE(find_type(tokens, TokenType::IPv6), nullptr);
+}
+
+TEST(TableI, PortNumbers) {
+  const auto tokens = scan_promoted("listening on port 8443");
+  const Token* t = find_type(tokens, TokenType::Integer);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "8443");
+}
+
+TEST(TableI, LineNumbersAndCounts) {
+  const auto tokens = scan_promoted("retried 17 times at line 2042");
+  std::size_t integers = 0;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::Integer) ++integers;
+  }
+  EXPECT_EQ(integers, 2u);
+}
+
+TEST(TableI, DecimalNumbers) {
+  const auto tokens = scan_promoted("load average 0.75 rising");
+  const Token* t = find_type(tokens, TokenType::Float);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "0.75");
+}
+
+TEST(TableI, Duration) {
+  // Durations are text/number mixes; they tokenise into parts without
+  // breaking the message structure.
+  const auto tokens = scan_promoted("lifetime 02:11 total");
+  ASSERT_GE(tokens.size(), 3u);
+}
+
+TEST(TableI, UidsAndMachineIdentifiers) {
+  // Text/Integer alternation: both shapes tokenise to a single token.
+  const auto alnum = scan_promoted("id a7x93b1 end");
+  const auto numeric = scan_promoted("id 739301 end");
+  EXPECT_EQ(alnum.size(), 3u);
+  EXPECT_EQ(numeric.size(), 3u);
+  EXPECT_EQ(alnum[1].type, TokenType::Literal);
+  EXPECT_EQ(numeric[1].type, TokenType::Integer);
+}
+
+TEST(TableI, Ipv4Addresses) {
+  const auto tokens = scan_promoted("from 203.0.113.9 accepted");
+  EXPECT_NE(find_type(tokens, TokenType::IPv4), nullptr);
+}
+
+TEST(TableI, WordsBracketsAndQuotes) {
+  const auto tokens = scan_promoted("sshd [daemon] said \"bye\"");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[1].value, "[");
+  EXPECT_EQ(tokens[3].value, "]");
+  EXPECT_EQ(tokens[5].value, "\"");
+}
+
+TEST(TableI, PunctuationAndControlCharacters) {
+  const auto tokens = scan_promoted("done, ok; next.");
+  // Commas/semicolons split; the final full stop peels.
+  std::size_t punct = 0;
+  for (const Token& t : tokens) {
+    if (t.value == "," || t.value == ";" || t.value == ".") ++punct;
+  }
+  EXPECT_EQ(punct, 3u);
+}
+
+TEST(TableI, EmailAddresses) {
+  const auto tokens = scan_promoted("notify ops-team@example.org now");
+  const Token* t = find_type(tokens, TokenType::Email);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "ops-team@example.org");
+}
+
+TEST(TableI, UrlsWithQueryStrings) {
+  const auto tokens =
+      scan_promoted("GET https://svc.example.org/v1/items?id=5&x=2 done");
+  const Token* t = find_type(tokens, TokenType::Url);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "https://svc.example.org/v1/items?id=5&x=2");
+}
+
+TEST(TableI, HostNamesAndProtocols) {
+  const auto tokens = scan_promoted("node-17.cluster.example.org via HTTPS");
+  EXPECT_NE(find_type(tokens, TokenType::Host), nullptr);
+}
+
+TEST(TableI, Paths) {
+  const auto tokens = scan_promoted("open /var/log/messages failed");
+  const Token* t = find_type(tokens, TokenType::Path);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "/var/log/messages");
+}
+
+TEST(TableI, NonEnglishCharacters) {
+  // Non-ASCII bytes pass through as literal text without corruption.
+  const auto tokens = scan_promoted("utilisateur rémi connecté");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].value, "rémi");
+  EXPECT_EQ(reconstruct(tokens), "utilisateur rémi connecté");
+}
+
+TEST(TableI, FullSqlRequestQueries) {
+  const auto tokens = scan_promoted(
+      "query SELECT * FROM users WHERE id = 42 ORDER BY name");
+  // Tokenises cleanly; '=' splits, 42 is an integer.
+  const Token* t = find_type(tokens, TokenType::Integer);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, "42");
+}
+
+TEST(TableI, KeyValuePairsInManyFormats) {
+  const auto eq = scan_promoted("size=1024");
+  EXPECT_EQ(eq[2].key, "size");
+  const auto colon = scan_promoted("status: active");
+  EXPECT_EQ(colon[0].value, "status");
+  EXPECT_EQ(colon[1].value, ":");
+}
+
+}  // namespace
+}  // namespace seqrtg::core

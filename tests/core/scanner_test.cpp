@@ -1,0 +1,223 @@
+#include "core/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace seqrtg::core {
+namespace {
+
+std::vector<Token> scan(std::string_view msg) {
+  return Scanner().scan(msg);
+}
+
+std::vector<TokenType> types_of(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const Token& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(Scanner, EmptyMessage) {
+  EXPECT_TRUE(scan("").empty());
+  EXPECT_TRUE(scan("   ").empty());
+}
+
+TEST(Scanner, SimpleWords) {
+  const auto tokens = scan("connection refused");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].value, "connection");
+  EXPECT_EQ(tokens[0].type, TokenType::Literal);
+  EXPECT_FALSE(tokens[0].is_space_before);
+  EXPECT_EQ(tokens[1].value, "refused");
+  EXPECT_TRUE(tokens[1].is_space_before);
+}
+
+TEST(Scanner, TypedTokens) {
+  const auto tokens =
+      scan("from 192.168.0.1 port 51022 load 0.75 mac 00:0a:95:9d:68:16");
+  const auto types = types_of(tokens);
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(types[1], TokenType::IPv4);
+  EXPECT_EQ(types[3], TokenType::Integer);
+  EXPECT_EQ(types[5], TokenType::Float);
+  EXPECT_EQ(types[7], TokenType::Mac);
+}
+
+TEST(Scanner, TimeBeforeGeneral) {
+  const auto tokens = scan("Jun 14 15:16:01 combo sshd");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::Time);
+  EXPECT_EQ(tokens[0].value, "Jun 14 15:16:01");
+  EXPECT_EQ(tokens[1].value, "combo");
+}
+
+TEST(Scanner, SpaceBeforeTracking) {
+  const auto tokens = scan("a b");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_FALSE(tokens[0].is_space_before);
+  EXPECT_TRUE(tokens[1].is_space_before);
+}
+
+TEST(Scanner, PunctuationBecomesOwnTokens) {
+  const auto tokens = scan("(root) CMD");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].value, "(");
+  EXPECT_EQ(tokens[1].value, "root");
+  EXPECT_FALSE(tokens[1].is_space_before);
+  EXPECT_EQ(tokens[2].value, ")");
+  EXPECT_EQ(tokens[3].value, "CMD");
+}
+
+TEST(Scanner, ColonSplitsChunks) {
+  const auto tokens = scan("ERROR: disk full");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].value, "ERROR");
+  EXPECT_EQ(tokens[1].value, ":");
+  EXPECT_FALSE(tokens[1].is_space_before);
+}
+
+TEST(Scanner, Ipv4WithPort) {
+  const auto tokens = scan("dest /10.1.2.3:8080 ok");
+  // "/10.1.2.3" is a literal chunk (leading slash), ":" splits, port int.
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].value, "/10.1.2.3");
+  EXPECT_EQ(tokens[2].value, ":");
+  EXPECT_EQ(tokens[3].type, TokenType::Integer);
+  EXPECT_EQ(tokens[3].value, "8080");
+}
+
+TEST(Scanner, BareIpv4WithPort) {
+  const auto tokens = scan("10.1.2.3:8080");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::IPv4);
+  EXPECT_EQ(tokens[2].type, TokenType::Integer);
+}
+
+TEST(Scanner, KeyValueSplitsAndRecordsKey) {
+  const auto tokens = scan("port=22 user=root");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].value, "port");
+  EXPECT_EQ(tokens[1].value, "=");
+  EXPECT_EQ(tokens[2].value, "22");
+  EXPECT_EQ(tokens[2].type, TokenType::Integer);
+  EXPECT_EQ(tokens[2].key, "port");
+  EXPECT_EQ(tokens[5].key, "user");
+}
+
+TEST(Scanner, KeyValueThroughQuotes) {
+  const auto tokens = scan("tag=\"RILJ\"");
+  // tag, =, ", RILJ, "
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].value, "RILJ");
+  EXPECT_EQ(tokens[3].key, "tag");
+}
+
+TEST(Scanner, UuidStaysOneToken) {
+  const auto tokens = scan("instance 015decf1-353e-665d-17e9-a8e281845aa0");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, TokenType::Literal);
+  EXPECT_EQ(tokens[1].value, "015decf1-353e-665d-17e9-a8e281845aa0");
+}
+
+TEST(Scanner, HexChunks) {
+  const auto tokens = scan("session 0x14f05578bd80001 code 7d5f03e2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::Hex);
+  EXPECT_EQ(tokens[3].type, TokenType::Hex);
+}
+
+TEST(Scanner, UrlToken) {
+  const auto tokens = scan("fetch https://x.org/a/b?q=1 done");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::Url);
+  EXPECT_EQ(tokens[1].value, "https://x.org/a/b?q=1");
+}
+
+TEST(Scanner, TrailingSentencePunctuationPeels) {
+  const auto tokens = scan("finished in 5.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].value, "5");
+  EXPECT_EQ(tokens[2].type, TokenType::Integer);
+  EXPECT_EQ(tokens[3].value, ".");
+  EXPECT_FALSE(tokens[3].is_space_before);
+}
+
+TEST(Scanner, PreprocessedWildcardToken) {
+  const auto tokens = scan("took <*> ms");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::String);
+  EXPECT_EQ(tokens[1].value, "<*>");
+}
+
+TEST(Scanner, WildcardDetectionCanBeDisabled) {
+  ScannerOptions opts;
+  opts.detect_preprocessed_wildcard = false;
+  const auto tokens = Scanner(opts).scan("took <*> ms");
+  // '<', '*', '>' come out as separate punctuation/literal tokens.
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].value, "<");
+  EXPECT_EQ(tokens[2].value, "*");
+  EXPECT_EQ(tokens[3].value, ">");
+}
+
+TEST(Scanner, MultiLineTruncatesWithRestMarker) {
+  const auto tokens = scan("first line here\nsecond line\nthird");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens.back().type, TokenType::Rest);
+  // All content tokens come from the first line only.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_NE(tokens[i].value, "second");
+    EXPECT_NE(tokens[i].value, "third");
+  }
+}
+
+TEST(Scanner, TrailingNewlineAloneIsNotTruncation) {
+  const auto tokens = scan("only line\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_NE(tokens.back().type, TokenType::Rest);
+}
+
+TEST(Scanner, MaxTokensGuard) {
+  ScannerOptions opts;
+  opts.max_tokens = 4;
+  std::string long_msg;
+  for (int i = 0; i < 100; ++i) long_msg += "tok ";
+  const auto tokens = Scanner(opts).scan(long_msg);
+  ASSERT_EQ(tokens.size(), 5u);  // 4 content tokens + Rest marker
+  EXPECT_EQ(tokens.back().type, TokenType::Rest);
+}
+
+TEST(Scanner, LenientTimeOptionFlowsThrough) {
+  ScannerOptions opts;
+  opts.datetime.lenient_time = true;
+  const auto strict = Scanner().scan("20171224-0:7:20:444 step");
+  const auto lenient = Scanner(opts).scan("20171224-0:7:20:444 step");
+  EXPECT_NE(strict[0].type, TokenType::Time);
+  EXPECT_EQ(lenient[0].type, TokenType::Time);
+  EXPECT_EQ(lenient[0].value, "20171224-0:7:20:444");
+}
+
+TEST(Scanner, PipeSeparatedFields) {
+  const auto tokens = scan("Step_LSC|30002312|onStandStepChanged 3579");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].value, "Step_LSC");
+  EXPECT_EQ(tokens[1].value, "|");
+  EXPECT_EQ(tokens[2].type, TokenType::Integer);
+  EXPECT_EQ(tokens[5].type, TokenType::Integer);
+}
+
+TEST(Scanner, Ipv6Token) {
+  const auto tokens = scan("addr fe80::9d:68ff:fe16:1 up");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::IPv6);
+}
+
+TEST(Scanner, TabsCountAsSpaceBefore) {
+  const auto tokens = scan("a\tb");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[1].is_space_before);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

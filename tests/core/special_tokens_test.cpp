@@ -1,0 +1,108 @@
+#include "core/special_tokens.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scanner.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+TEST(LooksEmail, Accepts) {
+  EXPECT_TRUE(looks_email("user@example.org"));
+  EXPECT_TRUE(looks_email("first.last+tag@sub.domain.co"));
+  EXPECT_TRUE(looks_email("ops-team@example.org"));
+}
+
+TEST(LooksEmail, Rejects) {
+  EXPECT_FALSE(looks_email("plainword"));
+  EXPECT_FALSE(looks_email("@example.org"));       // empty local part
+  EXPECT_FALSE(looks_email("user@"));              // empty domain
+  EXPECT_FALSE(looks_email("a@b@c.org"));          // two @
+  EXPECT_FALSE(looks_email("user@nodomain"));      // no dot in domain
+  EXPECT_FALSE(looks_email("user@dom.123"));       // numeric TLD
+  EXPECT_FALSE(looks_email("us er@example.org"));  // bad local chars
+}
+
+TEST(LooksHost, Accepts) {
+  EXPECT_TRUE(looks_host("node-17.cluster.example.org"));
+  EXPECT_TRUE(looks_host("www.example.com"));
+}
+
+TEST(LooksHost, Rejects) {
+  EXPECT_FALSE(looks_host("example.org"));     // only one dot
+  EXPECT_FALSE(looks_host("192.168.0.1"));     // IPv4
+  EXPECT_FALSE(looks_host("2.6.18.smp"));      // version-ish but...
+  EXPECT_FALSE(looks_host("a..b.org"));        // empty label
+  EXPECT_FALSE(looks_host("1.2.3.4"));
+  EXPECT_FALSE(looks_host("x.y"));             // too short
+  EXPECT_FALSE(looks_host("has space.a.org"));
+}
+
+TEST(LooksHost, VersionStringsRejectedByNumericTld) {
+  EXPECT_FALSE(looks_host("6.1.7601.23505"));
+}
+
+TEST(LooksPath, Accepts) {
+  EXPECT_TRUE(looks_path("/var/log/messages"));
+  EXPECT_TRUE(looks_path("/etc/cron.hourly/job-1"));
+  EXPECT_TRUE(looks_path("/a/b"));
+}
+
+TEST(LooksPath, Rejects) {
+  EXPECT_FALSE(looks_path("var/log/messages"));  // relative
+  EXPECT_FALSE(looks_path("/tmp"));              // single separator
+  EXPECT_FALSE(looks_path("/a b/c"));            // space
+  EXPECT_FALSE(looks_path("/"));
+  EXPECT_FALSE(looks_path(""));
+}
+
+TEST(ClassifySpecial, Priority) {
+  EXPECT_EQ(classify_special("user@example.org"), TokenType::Email);
+  EXPECT_EQ(classify_special("a.b.example.org"), TokenType::Host);
+  EXPECT_EQ(classify_special("/var/log/x"), TokenType::Path);
+  EXPECT_EQ(classify_special("word"), std::nullopt);
+}
+
+TEST(PromoteSpecialTokens, RewritesOnlyLiterals) {
+  Scanner scanner;
+  auto tokens = scanner.scan("mail root@example.org at /var/log/mail.log");
+  promote_special_tokens(tokens, SpecialTokenOptions{});
+  EXPECT_EQ(tokens[1].type, TokenType::Email);
+  EXPECT_EQ(tokens[3].type, TokenType::Path);
+  EXPECT_EQ(tokens[0].type, TokenType::Literal);
+}
+
+TEST(PromoteSpecialTokens, OptionsDisableDetectors) {
+  SpecialTokenOptions opts;
+  opts.detect_email = false;
+  opts.detect_host = false;
+  opts.detect_path = false;
+  Scanner scanner;
+  auto tokens = scanner.scan("mail root@example.org at /var/log/mail.log");
+  promote_special_tokens(tokens, opts);
+  for (const Token& t : tokens) {
+    EXPECT_EQ(t.type, TokenType::Literal) << t.value;
+  }
+}
+
+TEST(PromoteSpecialTokens, PathDetectionIsTheFutureWorkFsm) {
+  // The paper lists a fourth FSM for paths as future work (§VI); the
+  // seminal behaviour is reproduced by disabling detect_path.
+  SpecialTokenOptions seminal;
+  seminal.detect_path = false;
+  Scanner scanner;
+  auto tokens = scanner.scan("open /var/log/messages failed");
+  promote_special_tokens(tokens, seminal);
+  EXPECT_EQ(tokens[1].type, TokenType::Literal);
+}
+
+TEST(PromoteSpecialTokens, TypedTokensUntouched) {
+  Scanner scanner;
+  auto tokens = scanner.scan("from 10.0.0.1 port 22");
+  promote_special_tokens(tokens, SpecialTokenOptions{});
+  EXPECT_EQ(tokens[1].type, TokenType::IPv4);
+  EXPECT_EQ(tokens[3].type, TokenType::Integer);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,79 @@
+#include "core/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scanner.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+TEST(TokenTypeTags, RoundTrip) {
+  for (TokenType t :
+       {TokenType::Literal, TokenType::Integer, TokenType::Float,
+        TokenType::Hex, TokenType::Time, TokenType::IPv4, TokenType::IPv6,
+        TokenType::Mac, TokenType::Url, TokenType::Email, TokenType::Host,
+        TokenType::Path, TokenType::String, TokenType::Rest}) {
+    EXPECT_EQ(token_type_from_tag(token_type_tag(t)), t);
+  }
+}
+
+TEST(TokenTypeTags, UnknownTagIsLiteral) {
+  EXPECT_EQ(token_type_from_tag("nonsense"), TokenType::Literal);
+  EXPECT_EQ(token_type_from_tag(""), TokenType::Literal);
+}
+
+TEST(IsVariableType, OnlyLiteralIsConstant) {
+  EXPECT_FALSE(is_variable_type(TokenType::Literal));
+  EXPECT_TRUE(is_variable_type(TokenType::Integer));
+  EXPECT_TRUE(is_variable_type(TokenType::String));
+  EXPECT_TRUE(is_variable_type(TokenType::Rest));
+}
+
+TEST(Reconstruct, HonoursSpaceBefore) {
+  std::vector<Token> tokens;
+  tokens.push_back({TokenType::Literal, "port", false, ""});
+  tokens.push_back({TokenType::Literal, "=", false, ""});
+  tokens.push_back({TokenType::Integer, "22", false, "port"});
+  tokens.push_back({TokenType::Literal, "open", true, ""});
+  EXPECT_EQ(reconstruct(tokens), "port=22 open");
+}
+
+TEST(Reconstruct, EmptyInput) {
+  EXPECT_EQ(reconstruct({}), "");
+}
+
+// Property: reconstruct(scan(m)) == m for single-line, single-spaced
+// messages. This is RTG extension #3 — "ensure the exact reconstruction of
+// the pattern structure" (whitespace management).
+class ReconstructProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReconstructProperty, ScanThenReconstructIsIdentity) {
+  const std::string msg = GetParam();
+  EXPECT_EQ(reconstruct(Scanner().scan(msg)), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Messages, ReconstructProperty,
+    ::testing::Values(
+        "Accepted password for alice from 192.168.0.17 port 51022 ssh2",
+        "(root) CMD (run-parts /etc/cron.hourly)",
+        "session opened for user news by (uid=0)",
+        "Jun 14 15:16:01 combo sshd(pam_unix)[19939]: check pass;",
+        "Receiving block blk_-923842 src: /10.0.0.1:50010",
+        "instance: 015decf1-353e-665d-17e9-a8e281845aa0 paused",
+        "GET https://x.org/a?b=1 status: 200 len: 19444 time: 7.44",
+        "key=value pairs=\"quoted text\" done",
+        "Step_LSC|30002312|onStandStepChanged 3579",
+        "wlan0 00:0a:95:9d:68:16 fe80::1 2001:db8::1",
+        "jk2_init() Found child 1907 in scoreboard slot 7",
+        "temperature (42) exceeds warning threshold",
+        "0x14f05578bd80001 closed, 64* bytes",
+        "[10.30 16:49:06] chrome.exe - proxy:443 close"));
+
+TEST(Reconstruct, CollapsedWhitespaceIsDocumentedLoss) {
+  // Runs of spaces collapse to one — the only reconstruction loss.
+  EXPECT_EQ(reconstruct(Scanner().scan("a   b")), "a b");
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,153 @@
+// Analyser invariants swept across option combinations and random
+// corpora: whatever the fold thresholds, the discovered patterns must
+// partition the training messages, match them back, and be deterministic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/parser.hpp"
+#include "core/scanner.hpp"
+#include "core/special_tokens.hpp"
+#include "core/trie.hpp"
+#include "loggen/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+struct OptionCase {
+  const char* name;
+  AnalyzerOptions opts;
+};
+
+OptionCase make_case(const char* name, std::size_t max_children,
+                     std::size_t word_card, bool mixed, bool semi) {
+  OptionCase c;
+  c.name = name;
+  c.opts.max_literal_children = max_children;
+  c.opts.min_word_cardinality = word_card;
+  c.opts.merge_mixed_alnum = mixed;
+  c.opts.semi_constant_split = semi;
+  return c;
+}
+
+class TrieOptionSweep : public ::testing::TestWithParam<int> {
+ protected:
+  static const OptionCase& current() {
+    static const std::vector<OptionCase> kCases = {
+        make_case("defaults", 12, 4, false, false),
+        make_case("aggressive-merge", 2, 2, true, false),
+        make_case("conservative", 64, 16, false, false),
+        make_case("semi-constant", 12, 4, false, true),
+        make_case("mixed-alnum", 12, 4, true, false),
+    };
+    return kCases[static_cast<std::size_t>(GetParam())];
+  }
+
+  /// A small messy corpus: one service of a deterministic fleet.
+  static std::vector<std::string> corpus() {
+    loggen::FleetOptions fopts;
+    fopts.services = 1;
+    fopts.min_events_per_service = 8;
+    fopts.max_events_per_service = 12;
+    fopts.seed = 20260707;
+    loggen::FleetGenerator fleet(fopts);
+    std::vector<std::string> out;
+    for (int i = 0; i < 400; ++i) out.push_back(fleet.next().record.message);
+    return out;
+  }
+
+  static std::vector<Pattern> analyze(const std::vector<std::string>& msgs,
+                                      const AnalyzerOptions& opts) {
+    // Analysis and parsing must see identical token sequences, so the
+    // analysis side applies the same special-token promotion the parser
+    // does (as Engine::process_service does).
+    Scanner scanner;
+    std::map<std::size_t, AnalyzerTrie> tries;
+    for (const std::string& m : msgs) {
+      auto tokens = scanner.scan(m);
+      promote_special_tokens(tokens, SpecialTokenOptions{});
+      if (tokens.empty()) continue;
+      tries.try_emplace(tokens.size(), opts).first->second.insert(tokens, m);
+    }
+    std::vector<Pattern> out;
+    for (auto& [len, trie] : tries) {
+      for (Pattern& p : trie.analyze("svc")) out.push_back(std::move(p));
+    }
+    return out;
+  }
+};
+
+TEST_P(TrieOptionSweep, MatchCountsPartitionTheCorpus) {
+  const auto msgs = corpus();
+  const auto patterns = analyze(msgs, current().opts);
+  const std::uint64_t total = std::accumulate(
+      patterns.begin(), patterns.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const Pattern& p) {
+        return acc + p.stats.match_count;
+      });
+  EXPECT_EQ(total, msgs.size()) << current().name;
+}
+
+TEST_P(TrieOptionSweep, EveryTrainingMessageMatchesBack) {
+  const auto msgs = corpus();
+  const auto patterns = analyze(msgs, current().opts);
+  Parser parser;
+  for (const Pattern& p : patterns) parser.add_pattern(p);
+  for (const std::string& m : msgs) {
+    EXPECT_TRUE(parser.parse("svc", m).has_value())
+        << current().name << ": " << m;
+  }
+}
+
+TEST_P(TrieOptionSweep, DeterministicAcrossRuns) {
+  const auto msgs = corpus();
+  const auto texts = [&](const std::vector<Pattern>& ps) {
+    std::vector<std::string> out;
+    for (const Pattern& p : ps) out.push_back(p.text());
+    return out;
+  };
+  EXPECT_EQ(texts(analyze(msgs, current().opts)),
+            texts(analyze(msgs, current().opts)));
+}
+
+TEST_P(TrieOptionSweep, ExamplesBelongToTheirPattern) {
+  const auto msgs = corpus();
+  const auto patterns = analyze(msgs, current().opts);
+  Parser parser;
+  for (const Pattern& p : patterns) parser.add_pattern(p);
+  for (const Pattern& p : patterns) {
+    EXPECT_FALSE(p.examples.empty()) << current().name;
+    for (const std::string& e : p.examples) {
+      // Every stored example must still match *some* pattern (itself, or a
+      // more specific sibling — the validation module flags the latter).
+      EXPECT_TRUE(parser.parse("svc", e).has_value()) << e;
+    }
+  }
+}
+
+TEST_P(TrieOptionSweep, ComplexityWithinBounds) {
+  const auto patterns = analyze(corpus(), current().opts);
+  for (const Pattern& p : patterns) {
+    EXPECT_GE(p.complexity(), 0.0);
+    EXPECT_LE(p.complexity(), 1.0);
+    EXPECT_EQ(p.id().size(), 40u);
+  }
+}
+
+TEST_P(TrieOptionSweep, MoreMergingMeansFewerOrEqualPatterns) {
+  const auto msgs = corpus();
+  AnalyzerOptions aggressive;
+  aggressive.max_literal_children = 2;
+  aggressive.min_word_cardinality = 2;
+  AnalyzerOptions conservative;
+  conservative.max_literal_children = 64;
+  conservative.min_word_cardinality = 16;
+  EXPECT_LE(analyze(msgs, aggressive).size(),
+            analyze(msgs, conservative).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Options, TrieOptionSweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace seqrtg::core

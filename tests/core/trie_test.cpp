@@ -1,0 +1,218 @@
+#include "core/trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/scanner.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+/// Inserts each message into a fresh trie and returns the analysed
+/// patterns, sorted by text for stable assertions.
+std::vector<Pattern> analyze(const std::vector<std::string>& messages,
+                             AnalyzerOptions opts = {}) {
+  Scanner scanner;
+  AnalyzerTrie trie(opts);
+  for (const std::string& m : messages) {
+    trie.insert(scanner.scan(m), m);
+  }
+  auto patterns = trie.analyze("test");
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              return a.text() < b.text();
+            });
+  return patterns;
+}
+
+std::vector<std::string> texts(const std::vector<Pattern>& patterns) {
+  std::vector<std::string> out;
+  for (const Pattern& p : patterns) out.push_back(p.text());
+  return out;
+}
+
+TEST(Trie, SingleMessageSinglePattern) {
+  const auto patterns = analyze({"disk failure on device sda"});
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "disk failure on device sda");
+  EXPECT_EQ(patterns[0].stats.match_count, 1u);
+}
+
+TEST(Trie, TypedTokensCollapseToVariables) {
+  const auto patterns = analyze({
+      "request from 10.0.0.1 took 12 ms",
+      "request from 10.0.0.2 took 9913 ms",
+      "request from 172.16.3.9 took 4 ms",
+  });
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "request from %ipv4% took %integer% ms");
+  EXPECT_EQ(patterns[0].stats.match_count, 3u);
+}
+
+TEST(Trie, DistinctEventsStaySeparate) {
+  const auto patterns = analyze({
+      "Deleting block blk_1 file /a/b",
+      "Creating block blk_2 file /a/c",
+  });
+  // Two distinct verbs at position 0 must not merge (only 2 word-like
+  // siblings, below the word-cardinality threshold).
+  EXPECT_EQ(patterns.size(), 2u);
+}
+
+TEST(Trie, DigitBearingLiteralSiblingsMerge) {
+  const auto patterns = analyze({
+      "finished job job-4412 ok",
+      "finished job job-9983 ok",
+  });
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "finished job %string% ok");
+}
+
+TEST(Trie, WordSiblingsMergeAtCardinalityThreshold) {
+  const std::vector<std::string> base = {
+      "session opened for alice today", "session opened for bob today",
+      "session opened for carol today", "session opened for dave today"};
+  // Four distinct words sharing identical subtrees merge (default
+  // min_word_cardinality = 4)...
+  EXPECT_EQ(analyze(base).size(), 1u);
+  // ...but three do not.
+  EXPECT_EQ(analyze({base[0], base[1], base[2]}).size(), 3u);
+}
+
+TEST(Trie, WordMergeRequiresSameShape) {
+  // "opened"/"closed"... same-position words whose subtrees differ in
+  // structure must not merge even at high cardinality.
+  const auto patterns = analyze({
+      "state alpha now 5", "state bravo now 6", "state carol now 7",
+      "state delta is pending",  // different subtree shape
+  });
+  bool has_pending = false;
+  for (const auto& p : patterns) {
+    if (p.text().find("pending") != std::string::npos) has_pending = true;
+  }
+  EXPECT_TRUE(has_pending);
+}
+
+TEST(Trie, HighCardinalityPositionMergesEverything) {
+  std::vector<std::string> messages;
+  for (int i = 0; i < 20; ++i) {
+    messages.push_back("user u" + std::string(1, char('a' + i)) +
+                       "x logged in");
+  }
+  AnalyzerOptions opts;
+  opts.max_literal_children = 12;
+  const auto patterns = analyze(messages, opts);
+  ASSERT_EQ(patterns.size(), 1u);
+  // The preceding "user" keyword also names the variable semantically.
+  EXPECT_EQ(patterns[0].text(), "user %user% logged in");
+}
+
+TEST(Trie, MixedLengthSequencesCoexist) {
+  const auto patterns = analyze({
+      "shutdown", "shutdown complete", "shutdown complete now",
+  });
+  EXPECT_EQ(patterns.size(), 3u);
+}
+
+TEST(Trie, ExamplesStoredAndCapped) {
+  AnalyzerOptions opts;
+  opts.example_cap = 2;
+  const auto patterns = analyze({
+      "ping 10.0.0.1 ok", "ping 10.0.0.2 ok", "ping 10.0.0.3 ok",
+  }, opts);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].examples.size(), 2u);
+}
+
+TEST(Trie, KeyNamesSurviveWhenConsistent) {
+  const auto patterns = analyze({
+      "connect port=22 done", "connect port=8080 done",
+  });
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "connect port=%port% done");
+}
+
+TEST(Trie, SemiConstantSplitKeepsValues) {
+  AnalyzerOptions opts;
+  opts.semi_constant_split = true;
+  opts.semi_constant_max = 3;
+  const auto patterns = analyze({
+      "power state on now 1", "power state off now 2",
+      "power state on now 3", "power state off now 4",
+      "power state on now 5", "power state off now 6",
+  }, opts);
+  // Future work §VI: two variations -> two patterns with constants.
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].text(), "power state off now %integer%");
+  EXPECT_EQ(patterns[1].text(), "power state on now %integer%");
+}
+
+TEST(Trie, SemiConstantOffMergesWhenEnoughSiblings) {
+  // Same corpus but with 4+ distinct words -> default behaviour merges.
+  const auto patterns = analyze({
+      "power state on now 1", "power state off now 2",
+      "power state idle now 3", "power state fault now 4",
+  });
+  ASSERT_EQ(patterns.size(), 1u);
+}
+
+TEST(Trie, MergeMixedAlnumUnifiesProxifierSplit) {
+  const std::vector<std::string> messages = {
+      "close 64 bytes", "close 91* bytes", "close 77 bytes",
+  };
+  // Seminal behaviour: Integer edge and "91*" literal stay apart — "two
+  // patterns created for one event" (paper §IV).
+  EXPECT_EQ(analyze(messages).size(), 2u);
+  // Future-work fix: merge_mixed_alnum folds them into one %string%.
+  AnalyzerOptions opts;
+  opts.merge_mixed_alnum = true;
+  const auto merged = analyze(messages, opts);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].text(), "close %string% bytes");
+}
+
+TEST(Trie, EmissionOrderIsDeterministic) {
+  const std::vector<std::string> messages = {
+      "zeta event 1", "alpha event 2", "mid event 3",
+  };
+  const auto a = texts(analyze(messages));
+  const auto b = texts(analyze(messages));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Trie, CountsAndNodeAccounting) {
+  Scanner scanner;
+  AnalyzerTrie trie;
+  trie.insert(scanner.scan("a b c"), "a b c");
+  trie.insert(scanner.scan("a b d"), "a b d");
+  EXPECT_EQ(trie.message_count(), 2u);
+  // Root + a + b + {c, d}.
+  EXPECT_EQ(trie.node_count(), 5u);
+}
+
+TEST(Trie, SubtreeSignatureDetectsShape) {
+  Scanner scanner;
+  AnalyzerTrie trie;
+  trie.insert(scanner.scan("x 1"), "x 1");
+  trie.insert(scanner.scan("y 2"), "y 2");
+  const auto& root = trie.root();
+  std::vector<std::uint64_t> sigs;
+  for (const auto& [key, child] : root.children) {
+    sigs.push_back(subtree_signature(*child));
+  }
+  ASSERT_EQ(sigs.size(), 2u);
+  EXPECT_EQ(sigs[0], sigs[1]) << "identical shapes must hash equal";
+}
+
+TEST(Trie, RestTokenSurvivesAnalysis) {
+  const auto patterns = analyze({
+      "error trace follows\nline2\nline3",
+      "error trace follows\nother stack",
+  });
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].text(), "error trace follows %rest%");
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -1,0 +1,134 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::core {
+namespace {
+
+PatternToken constant(std::string text, bool space = true) {
+  PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+PatternToken variable(TokenType type, std::string name, bool space = true) {
+  PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+Pattern make_pattern(std::string service, std::vector<PatternToken> tokens,
+                     std::vector<std::string> examples,
+                     std::uint64_t count = 1) {
+  Pattern p;
+  p.service = std::move(service);
+  p.tokens = std::move(tokens);
+  p.examples = std::move(examples);
+  p.stats.match_count = count;
+  return p;
+}
+
+TEST(Validation, CleanDatabasePasses) {
+  const std::vector<Pattern> patterns = {
+      make_pattern("s", {constant("login", false), constant("ok")},
+                   {"login ok"}),
+      make_pattern("s",
+                   {constant("logout", false),
+                    variable(TokenType::Integer, "n")},
+                   {"logout 42"}),
+  };
+  const ValidationReport report = validate_patterns(patterns);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.clean_patterns, 2u);
+  EXPECT_EQ(report.examples_checked, 2u);
+}
+
+TEST(Validation, DetectsCrossMatch) {
+  // The literal pattern shadows the wildcard one for the wildcard's own
+  // example? No — literals are preferred, so the wildcard's example "state
+  // on" (also matching the literal pattern) resolves to the literal one:
+  // a conflict on the wildcard pattern.
+  const Pattern specific = make_pattern(
+      "s", {constant("state", false), constant("on")}, {"state on"}, 10);
+  const Pattern generic = make_pattern(
+      "s", {constant("state", false), variable(TokenType::String, "v")},
+      {"state on"}, 5);
+  const ValidationReport report = validate_patterns({specific, generic});
+  ASSERT_EQ(report.conflicts.size(), 1u);
+  EXPECT_EQ(report.conflicts[0].pattern_id, generic.id());
+  EXPECT_EQ(report.conflicts[0].matched_id, specific.id());
+}
+
+TEST(Validation, DetectsExampleThatMatchesNothing) {
+  Pattern p = make_pattern(
+      "s", {constant("exact", false), constant("text")}, {"different text"});
+  const ValidationReport report = validate_patterns({p});
+  ASSERT_EQ(report.conflicts.size(), 1u);
+  EXPECT_TRUE(report.conflicts[0].matched_id.empty());
+}
+
+TEST(Validation, PatternsWithoutExamplesAreClean) {
+  const Pattern p =
+      make_pattern("s", {constant("lonely", false)}, {});
+  const ValidationReport report = validate_patterns({p});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.examples_checked, 0u);
+}
+
+TEST(Validation, ServicesAreIsolated) {
+  // Same text in different services never conflicts.
+  const Pattern a =
+      make_pattern("svc-a", {constant("boot", false)}, {"boot"});
+  const Pattern b =
+      make_pattern("svc-b", {constant("boot", false)}, {"boot"});
+  EXPECT_TRUE(validate_patterns({a, b}).ok());
+}
+
+TEST(ResolveConflicts, KeepsMoreSpecificPattern) {
+  const Pattern specific = make_pattern(
+      "s", {constant("state", false), constant("on")}, {"state on"}, 3);
+  const Pattern generic = make_pattern(
+      "s", {constant("state", false), variable(TokenType::String, "v")},
+      {"state on"}, 100);
+  const auto survivors = resolve_conflicts({generic, specific});
+  ASSERT_EQ(survivors.size(), 1u);
+  // Lower complexity (all-constant) wins despite the lower match count.
+  EXPECT_EQ(survivors[0].id(), specific.id());
+}
+
+TEST(ResolveConflicts, DiscardsSelfUnmatchablePattern) {
+  const Pattern broken = make_pattern(
+      "s", {constant("exact", false), constant("text")}, {"other text"});
+  const Pattern fine =
+      make_pattern("s", {constant("boot", false)}, {"boot"});
+  const auto survivors = resolve_conflicts({broken, fine});
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0].id(), fine.id());
+}
+
+TEST(ResolveConflicts, NoConflictsIsIdentity) {
+  const std::vector<Pattern> patterns = {
+      make_pattern("s", {constant("a", false)}, {"a"}),
+      make_pattern("s", {constant("b", false)}, {"b"}),
+  };
+  const auto survivors = resolve_conflicts(patterns);
+  EXPECT_EQ(survivors.size(), 2u);
+}
+
+TEST(ResolveConflicts, SurvivorsValidateCleanly) {
+  const Pattern specific = make_pattern(
+      "s", {constant("state", false), constant("on")}, {"state on"}, 3);
+  const Pattern generic = make_pattern(
+      "s", {constant("state", false), variable(TokenType::String, "v")},
+      {"state on", "state off"}, 100);
+  const auto survivors = resolve_conflicts({generic, specific});
+  EXPECT_TRUE(validate_patterns(survivors).ok());
+}
+
+}  // namespace
+}  // namespace seqrtg::core

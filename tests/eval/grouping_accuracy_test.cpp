@@ -1,0 +1,62 @@
+#include "eval/grouping_accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::eval {
+namespace {
+
+TEST(GroupingAccuracy, PerfectGrouping) {
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0);
+}
+
+TEST(GroupingAccuracy, LabelsNeedNotMatchLiterally) {
+  // Only the partition matters, not label values.
+  EXPECT_DOUBLE_EQ(grouping_accuracy({7, 7, 3}, {1, 1, 2}), 1.0);
+}
+
+TEST(GroupingAccuracy, SplitEventPenalisesAllItsMessages) {
+  // Truth: one event of 4 messages; predicted: split 2/2. Every message of
+  // the event is counted wrong (neither predicted set equals the truth
+  // set).
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 0, 1, 1}, {9, 9, 9, 9}), 0.0);
+}
+
+TEST(GroupingAccuracy, MergedEventsPenaliseBoth) {
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 0, 0, 0}, {1, 1, 2, 2}), 0.0);
+}
+
+TEST(GroupingAccuracy, PartialCredit) {
+  // Event A (2 msgs) grouped correctly; event B (2 msgs) split.
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 0, 1, 2}, {5, 5, 6, 6}), 0.5);
+}
+
+TEST(GroupingAccuracy, SingletonsCorrectOnlyIfTruthSingleton) {
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 1}, {7, 8}), 1.0);
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 1}, {7, 7}), 0.0);
+}
+
+TEST(GroupingAccuracy, EmptyInputsAreVacuouslyCorrect) {
+  EXPECT_DOUBLE_EQ(grouping_accuracy(std::vector<int>{}, {}), 1.0);
+}
+
+TEST(GroupingAccuracy, MismatchedSizesYieldZero) {
+  EXPECT_DOUBLE_EQ(grouping_accuracy({0, 1}, {0}), 0.0);
+}
+
+TEST(GroupingAccuracy, StringLabels) {
+  const std::vector<std::string> pred = {"p1", "p1", "p2"};
+  const std::vector<std::string> truth = {"E1", "E1", "E2"};
+  EXPECT_DOUBLE_EQ(grouping_accuracy(pred, truth), 1.0);
+}
+
+TEST(GroupingAccuracy, PaperStyleHalfInvalid) {
+  // The Proxifier failure mode: one event split into two patterns
+  // "rendering nearly 50% of the results invalid" — here event B (half
+  // the messages) splits while event A stays intact.
+  const std::vector<int> pred = {0, 0, 0, 0, 1, 1, 2, 2};
+  const std::vector<int> truth = {9, 9, 9, 9, 8, 8, 8, 8};
+  EXPECT_DOUBLE_EQ(grouping_accuracy(pred, truth), 0.5);
+}
+
+}  // namespace
+}  // namespace seqrtg::eval

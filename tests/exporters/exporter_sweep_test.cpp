@@ -1,0 +1,109 @@
+// Exporter robustness swept over patterns mined from every corpus: the
+// XML must re-parse, the Grok expressions must be structurally sound, and
+// the YAML must be line-clean, for whatever the analyser produces — not
+// just for hand-built fixtures.
+#include <gtest/gtest.h>
+
+#include "core/analyze_by_service.hpp"
+#include "core/repository.hpp"
+#include "exporters/exporter.hpp"
+#include "exporters/patterndb_import.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace seqrtg::exporters {
+namespace {
+
+class ExporterSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::vector<core::Pattern> mined() const {
+    const auto corpus = loggen::generate_corpus(
+        *loggen::find_dataset(GetParam()), 400, util::kDefaultSeed);
+    core::InMemoryRepository repo;
+    core::Engine engine(&repo, core::EngineOptions{});
+    std::vector<core::LogRecord> batch;
+    for (const std::string& m : corpus.messages) {
+      batch.push_back({std::string(GetParam()), m});
+    }
+    engine.analyze_by_service(batch);
+    std::vector<core::Pattern> out;
+    for (core::Pattern& p : repo.load_service(GetParam())) {
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+};
+
+TEST_P(ExporterSweep, XmlDocumentReparses) {
+  const auto patterns = mined();
+  ASSERT_FALSE(patterns.empty());
+  const std::string xml =
+      export_patterns(patterns, ExportFormat::PatterndbXml);
+  const util::XmlParseResult doc = util::xml_parse(xml);
+  ASSERT_TRUE(doc.ok()) << GetParam() << ": " << doc.error;
+  EXPECT_EQ(doc.root.name, "patterndb");
+}
+
+TEST_P(ExporterSweep, XmlImportRecoversEveryRule) {
+  const auto patterns = mined();
+  const std::string xml =
+      export_patterns(patterns, ExportFormat::PatterndbXml);
+  const ImportResult imported = import_patterndb_xml(xml);
+  ASSERT_TRUE(imported.ok()) << imported.error;
+  EXPECT_EQ(imported.patterns.size(), patterns.size()) << GetParam();
+  for (const std::string& w : imported.warnings) {
+    ADD_FAILURE() << GetParam() << ": " << w;
+  }
+}
+
+TEST_P(ExporterSweep, GrokExpressionsStructurallySound) {
+  for (const core::Pattern& p : mined()) {
+    const std::string grok = to_grok_pattern(p);
+    // Balanced %{...} captures, no stray unescaped newlines/quotes.
+    EXPECT_EQ(util::count_occurrences(grok, "%{"),
+              static_cast<std::size_t>(
+                  std::count_if(p.tokens.begin(), p.tokens.end(),
+                                [](const core::PatternToken& t) {
+                                  return t.is_variable;
+                                })))
+        << grok;
+    EXPECT_EQ(grok.find('\n'), std::string::npos);
+  }
+}
+
+TEST_P(ExporterSweep, PatterndbPatternsRoundTripTheirOwnSyntax) {
+  for (const core::Pattern& p : mined()) {
+    const std::string text = to_patterndb_pattern(p);
+    const auto parsed = parse_patterndb_pattern(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    // Variable counts survive the syntax round trip.
+    const auto count_vars = [](const std::vector<core::PatternToken>& ts) {
+      std::size_t n = 0;
+      for (const auto& t : ts) {
+        if (t.is_variable) ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(count_vars(*parsed), count_vars(p.tokens)) << text;
+  }
+}
+
+TEST_P(ExporterSweep, YamlLinesAreIndentedListEntries) {
+  const auto patterns = mined();
+  const std::string yaml = export_patterns(patterns, ExportFormat::Yaml);
+  std::size_t entries = 0;
+  for (const auto line : util::split(yaml, '\n')) {
+    if (util::starts_with(line, "  - id: ")) ++entries;
+  }
+  EXPECT_EQ(entries, patterns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, ExporterSweep,
+                         ::testing::Values("HDFS", "Linux", "Proxifier",
+                                           "Mac", "Android", "BGL",
+                                           "Zookeeper", "HealthApp"));
+
+}  // namespace
+}  // namespace seqrtg::exporters

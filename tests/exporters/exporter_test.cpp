@@ -1,0 +1,214 @@
+#include "exporters/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::exporters {
+namespace {
+
+using core::Pattern;
+using core::PatternToken;
+using core::TokenType;
+
+PatternToken constant(std::string text, bool space = true) {
+  PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+PatternToken variable(TokenType type, std::string name, bool space = true) {
+  PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+/// The paper's running example: %action% from %srcip% port %srcport%.
+Pattern paper_pattern() {
+  Pattern p;
+  p.service = "sshd";
+  p.tokens = {variable(TokenType::String, "action", false),
+              constant("from"), variable(TokenType::IPv4, "srcip"),
+              constant("port"), variable(TokenType::Integer, "srcport")};
+  p.stats.match_count = 42;
+  p.stats.last_matched = 1600000000;
+  p.examples = {"drop from 10.0.0.1 port 22"};
+  return p;
+}
+
+TEST(FormatFromName, Mapping) {
+  EXPECT_EQ(format_from_name("yaml"), ExportFormat::Yaml);
+  EXPECT_EQ(format_from_name("YML"), ExportFormat::Yaml);
+  EXPECT_EQ(format_from_name("grok"), ExportFormat::Grok);
+  EXPECT_EQ(format_from_name("logstash"), ExportFormat::Grok);
+  EXPECT_EQ(format_from_name("patterndb"), ExportFormat::PatterndbXml);
+  EXPECT_EQ(format_from_name("anything"), ExportFormat::PatterndbXml);
+}
+
+TEST(GrokPattern, PaperFigure4Shape) {
+  // Fig. 4: %{DATA:action} from %{IP:srcip} port %{INT:srcport}.
+  EXPECT_EQ(to_grok_pattern(paper_pattern()),
+            "%{DATA:action} from %{IP:srcip} port %{INT:srcport}");
+}
+
+TEST(GrokPattern, EscapesRegexMetacharacters) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {constant("(root)", false), constant("CMD"),
+              constant("[a.b]")};
+  EXPECT_EQ(to_grok_pattern(p), "\\(root\\) CMD \\[a\\.b\\]");
+}
+
+TEST(GrokPattern, TypeMapping) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {variable(TokenType::Mac, "m", false),
+              variable(TokenType::Url, "u"),
+              variable(TokenType::Email, "e"),
+              variable(TokenType::Host, "h"),
+              variable(TokenType::Float, "f"),
+              variable(TokenType::Rest, "r")};
+  EXPECT_EQ(to_grok_pattern(p),
+            "%{MAC:m} %{URI:u} %{EMAILADDRESS:e} %{HOSTNAME:h} "
+            "%{NUMBER:f} %{GREEDYDATA:r}");
+}
+
+TEST(GrokPattern, TrailingStringIsGreedy) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {constant("msg", false), variable(TokenType::String, "tail")};
+  EXPECT_EQ(to_grok_pattern(p), "msg %{GREEDYDATA:tail}");
+}
+
+TEST(GrokEntry, FullFilterBlock) {
+  const std::string out =
+      export_pattern(paper_pattern(), ExportFormat::Grok);
+  EXPECT_NE(out.find("filter {"), std::string::npos);
+  EXPECT_NE(out.find("match => {\"message\" =>"), std::string::npos);
+  EXPECT_NE(out.find(paper_pattern().id()), std::string::npos);
+  EXPECT_NE(out.find("\"pattern_id\""), std::string::npos);
+}
+
+TEST(PatterndbPattern, ParserSyntax) {
+  const std::string out = to_patterndb_pattern(paper_pattern());
+  EXPECT_EQ(out,
+            "@ESTRING:action: @from @IPv4:srcip@ port @NUMBER:srcport@");
+}
+
+TEST(PatterndbPattern, AtSignsDoubledInConstants) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {constant("user@host", false)};
+  EXPECT_EQ(to_patterndb_pattern(p), "user@@host");
+}
+
+TEST(PatterndbPattern, TrailingFreeTextIsAnystring) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {constant("msg", false), variable(TokenType::String, "tail")};
+  EXPECT_EQ(to_patterndb_pattern(p), "msg @ANYSTRING:tail@");
+}
+
+TEST(PatterndbXml, RuleStructure) {
+  const std::string xml =
+      export_pattern(paper_pattern(), ExportFormat::PatterndbXml);
+  EXPECT_NE(xml.find("<rule provider=\"sequence-rtg\""), std::string::npos);
+  EXPECT_NE(xml.find("id=\"" + paper_pattern().id() + "\""),
+            std::string::npos);
+  EXPECT_NE(xml.find("<pattern>"), std::string::npos);
+  EXPECT_NE(xml.find("<test_message program=\"sshd\">"), std::string::npos);
+  EXPECT_NE(xml.find("drop from 10.0.0.1 port 22"), std::string::npos);
+  EXPECT_NE(xml.find("<value name=\"seqrtg.match_count\">42</value>"),
+            std::string::npos);
+}
+
+TEST(PatterndbXml, DocumentStructureGroupsByService) {
+  Pattern a = paper_pattern();
+  Pattern b = paper_pattern();
+  b.service = "cron";
+  const std::string xml =
+      export_patterns({a, b}, ExportFormat::PatterndbXml);
+  EXPECT_NE(xml.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(xml.find("<patterndb version=\"4\""), std::string::npos);
+  EXPECT_EQ(util::count_occurrences(xml, "<ruleset "), 2u);
+  EXPECT_NE(xml.find("name=\"sshd\""), std::string::npos);
+  EXPECT_NE(xml.find("name=\"cron\""), std::string::npos);
+  EXPECT_NE(xml.find("</patterndb>"), std::string::npos);
+}
+
+TEST(PatterndbXml, EscapesMessageContent) {
+  Pattern p;
+  p.service = "s<svc>";
+  p.tokens = {constant("a&b", false)};
+  p.examples = {"msg with <tag> & \"quotes\""};
+  const std::string xml = export_pattern(p, ExportFormat::PatterndbXml);
+  EXPECT_EQ(xml.find("<tag>"), std::string::npos);
+  EXPECT_NE(xml.find("&lt;tag&gt;"), std::string::npos);
+  EXPECT_NE(xml.find("a&amp;b"), std::string::npos);
+}
+
+TEST(PatterndbXml, BalancedTags) {
+  const std::string xml =
+      export_patterns({paper_pattern()}, ExportFormat::PatterndbXml);
+  for (const char* tag :
+       {"ruleset", "rules", "rule", "patterns", "pattern", "examples",
+        "example", "test_message", "values", "value"}) {
+    const std::string open_tag = "<" + std::string(tag) + " ";
+    const std::string open_tag_bare = "<" + std::string(tag) + ">";
+    const std::string close_tag = "</" + std::string(tag) + ">";
+    const auto opens = util::count_occurrences(xml, open_tag) +
+                       util::count_occurrences(xml, open_tag_bare);
+    EXPECT_EQ(opens, util::count_occurrences(xml, close_tag)) << tag;
+  }
+}
+
+TEST(Yaml, EntryFields) {
+  const std::string yaml =
+      export_pattern(paper_pattern(), ExportFormat::Yaml);
+  EXPECT_NE(yaml.find("- id: " + paper_pattern().id()), std::string::npos);
+  EXPECT_NE(yaml.find("service: \"sshd\""), std::string::npos);
+  EXPECT_NE(yaml.find("match_count: 42"), std::string::npos);
+  EXPECT_NE(yaml.find("sequence_pattern: \"%action% from %srcip% port "
+                      "%srcport%\""),
+            std::string::npos);
+  EXPECT_NE(yaml.find("examples:"), std::string::npos);
+}
+
+TEST(Yaml, EscapesQuotesAndNewlines) {
+  Pattern p;
+  p.service = "s";
+  p.tokens = {constant("x", false)};
+  p.examples = {"say \"hi\"\nbye"};
+  const std::string yaml = export_pattern(p, ExportFormat::Yaml);
+  EXPECT_NE(yaml.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(yaml.find("\\n"), std::string::npos);
+}
+
+TEST(Yaml, DocumentHasTopLevelKey) {
+  const std::string yaml =
+      export_patterns({paper_pattern()}, ExportFormat::Yaml);
+  EXPECT_NE(yaml.find("patterns:"), std::string::npos);
+  EXPECT_NE(yaml.find("  - id:"), std::string::npos);
+}
+
+TEST(ExportPatterns, GrokConcatenatesAllPatterns) {
+  Pattern a = paper_pattern();
+  Pattern b = paper_pattern();
+  b.service = "other";
+  const std::string out = export_patterns({a, b}, ExportFormat::Grok);
+  EXPECT_EQ(util::count_occurrences(out, "filter {"), 2u);
+}
+
+TEST(ExportPatterns, EmptyInput) {
+  const std::string xml = export_patterns({}, ExportFormat::PatterndbXml);
+  EXPECT_NE(xml.find("<patterndb"), std::string::npos);
+  EXPECT_TRUE(export_patterns({}, ExportFormat::Grok).empty());
+}
+
+}  // namespace
+}  // namespace seqrtg::exporters

@@ -1,0 +1,151 @@
+// Integration: the full production path — JSON stream ingestion -> batching
+// -> AnalyzeByService -> persistent PatternStore -> export -> reload ->
+// parse new traffic. Mirrors the deployment of paper Fig. 6.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "core/parser.hpp"
+#include "exporters/exporter.hpp"
+#include "loggen/fleet.hpp"
+#include "store/pattern_store.hpp"
+
+namespace seqrtg {
+namespace {
+
+std::string fleet_stream_json(std::size_t n, std::uint64_t seed) {
+  loggen::FleetOptions opts;
+  opts.services = 8;
+  opts.min_events_per_service = 3;
+  opts.max_events_per_service = 6;
+  opts.seed = seed;
+  loggen::FleetGenerator fleet(opts);
+  std::string out;
+  for (const core::LogRecord& rec : fleet.take(n)) {
+    out += core::record_to_json(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(EndToEnd, StreamToStoreToExportToParse) {
+  const std::string db_path =
+      (std::filesystem::temp_directory_path() / "seqrtg_e2e.db").string();
+
+  // Phase 1: ingest a JSON stream in batches, mine patterns, persist.
+  {
+    store::PatternStore pattern_store;
+    core::EngineOptions opts;
+    opts.threads = 4;
+    opts.now_unix = 1609459200;
+    core::Engine engine(&pattern_store, opts);
+
+    std::istringstream stream(fleet_stream_json(3000, 99));
+    core::JsonStreamIngester ingester(500);
+    std::size_t batches = 0;
+    while (true) {
+      const auto batch = ingester.read_batch(stream);
+      if (batch.empty()) break;
+      const core::BatchReport report = engine.analyze_by_service(batch);
+      EXPECT_EQ(report.records, batch.size());
+      ++batches;
+    }
+    EXPECT_EQ(batches, 6u);
+    EXPECT_EQ(ingester.stats().accepted, 3000u);
+    EXPECT_EQ(ingester.stats().malformed, 0u);
+    EXPECT_GT(pattern_store.pattern_count(), 10u);
+    ASSERT_TRUE(pattern_store.save(db_path));
+  }
+
+  // Phase 2: reload the store in a fresh process-equivalent and parse new
+  // traffic from the same fleet (same seed = same event templates; the
+  // generator continues the stream, so messages are new).
+  {
+    store::PatternStore pattern_store;
+    ASSERT_TRUE(pattern_store.load(db_path));
+    EXPECT_GT(pattern_store.pattern_count(), 10u);
+
+    core::Parser parser;
+    for (const std::string& svc : pattern_store.services()) {
+      for (const core::Pattern& p : pattern_store.load_service(svc)) {
+        parser.add_pattern(p);
+      }
+    }
+
+    loggen::FleetOptions fopts;
+    fopts.services = 8;
+    fopts.min_events_per_service = 3;
+    fopts.max_events_per_service = 6;
+    fopts.seed = 99;
+    loggen::FleetGenerator fleet(fopts);
+    // Skip past the training window to get unseen messages.
+    fleet.take(3000);
+    std::size_t matched = 0;
+    const std::size_t total = 1000;
+    for (std::size_t i = 0; i < total; ++i) {
+      const core::LogRecord rec = fleet.next().record;
+      if (parser.parse(rec.service, rec.message)) ++matched;
+    }
+    // The trained patterns must match the overwhelming majority of fresh
+    // traffic from the same fleet.
+    EXPECT_GT(matched, total * 85 / 100)
+        << "matched only " << matched << "/" << total;
+
+    // Phase 3: exports render for every stored pattern without blowing up.
+    const auto patterns = pattern_store.export_patterns({});
+    EXPECT_FALSE(patterns.empty());
+    const std::string xml = exporters::export_patterns(
+        patterns, exporters::ExportFormat::PatterndbXml);
+    EXPECT_NE(xml.find("</patterndb>"), std::string::npos);
+    const std::string grok =
+        exporters::export_patterns(patterns, exporters::ExportFormat::Grok);
+    EXPECT_NE(grok.find("filter {"), std::string::npos);
+    const std::string yaml =
+        exporters::export_patterns(patterns, exporters::ExportFormat::Yaml);
+    EXPECT_NE(yaml.find("patterns:"), std::string::npos);
+  }
+  std::remove(db_path.c_str());
+}
+
+TEST(EndToEnd, MalformedStreamLinesAreCountedNotFatal) {
+  store::PatternStore pattern_store;
+  core::Engine engine(&pattern_store, core::EngineOptions{});
+  std::istringstream stream(
+      R"({"service":"s","message":"hello world"})" "\n"
+      "THIS IS NOT JSON\n"
+      R"({"service":"s","message":"hello again"})" "\n");
+  core::JsonStreamIngester ingester(10);
+  const auto batch = ingester.read_batch(stream);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(ingester.stats().malformed, 1u);
+  const auto report = engine.analyze_by_service(batch);
+  EXPECT_EQ(report.records, 2u);
+}
+
+TEST(EndToEnd, IncrementalBatchesConvergeToStablePatternSet) {
+  // Feeding the same traffic repeatedly must stop growing the store:
+  // parse-first catches everything once patterns exist.
+  store::PatternStore pattern_store;
+  core::EngineOptions opts;
+  core::Engine engine(&pattern_store, opts);
+
+  loggen::FleetOptions fopts;
+  fopts.services = 5;
+  fopts.seed = 31;
+  loggen::FleetGenerator fleet(fopts);
+  const auto batch = fleet.take(800);
+
+  engine.analyze_by_service(batch);
+  const std::size_t after_first = pattern_store.pattern_count();
+  const auto second = engine.analyze_by_service(batch);
+  EXPECT_EQ(pattern_store.pattern_count(), after_first);
+  EXPECT_EQ(second.analyzed, 0u);
+  EXPECT_EQ(second.matched_existing, batch.size());
+}
+
+}  // namespace
+}  // namespace seqrtg

@@ -1,0 +1,135 @@
+// Property tests over the synthetic corpora: invariants that must hold for
+// every one of the 16 LogHub-like datasets.
+#include <gtest/gtest.h>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "eval/dataset_eval.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg {
+namespace {
+
+class DatasetProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  eval::LabeledCorpus corpus() const {
+    return loggen::generate_corpus(*loggen::find_dataset(GetParam()), 400,
+                                   util::kDefaultSeed);
+  }
+};
+
+// Property 1: scanning is lossless for raw single-line messages
+// (reconstruct . scan == id), RTG extension #3.
+TEST_P(DatasetProperty, ScanReconstructIdentity) {
+  core::Scanner scanner;
+  for (const std::string& m : corpus().messages) {
+    if (m.find('\n') != std::string::npos) continue;
+    if (m.find("  ") != std::string::npos) continue;  // padded syslog days
+    EXPECT_EQ(core::reconstruct(scanner.scan(m)), m);
+  }
+}
+
+// Property 2: every message the analyser ingested is matched afterwards by
+// the parser against the discovered patterns (self-consistency: discovery
+// and matching use the same tokenisation).
+TEST_P(DatasetProperty, DiscoveredPatternsCoverTrainingMessages) {
+  const auto c = corpus();
+  core::InMemoryRepository repo;
+  core::EngineOptions opts;
+  core::Engine engine(&repo, opts);
+  std::vector<core::LogRecord> batch;
+  for (const std::string& m : c.messages) batch.push_back({"svc", m});
+  engine.analyze_by_service(batch);
+
+  core::Parser parser(opts.scanner, opts.special);
+  for (const core::Pattern& p : repo.load_service("svc")) {
+    parser.add_pattern(p);
+  }
+  std::size_t matched = 0;
+  for (const std::string& m : c.messages) {
+    if (parser.parse("svc", m)) ++matched;
+  }
+  EXPECT_EQ(matched, c.messages.size());
+}
+
+// Property 3: pattern ids are reproducible and unique per text+service.
+TEST_P(DatasetProperty, PatternIdsAreStableAndDistinct) {
+  const auto c = corpus();
+  core::InMemoryRepository repo;
+  core::Engine engine(&repo, core::EngineOptions{});
+  std::vector<core::LogRecord> batch;
+  for (const std::string& m : c.messages) batch.push_back({"svc", m});
+  engine.analyze_by_service(batch);
+
+  std::set<std::string> ids;
+  for (const core::Pattern& p : repo.load_service("svc")) {
+    EXPECT_EQ(p.id().size(), 40u);
+    EXPECT_TRUE(ids.insert(p.id()).second) << "duplicate id " << p.id();
+    // Recomputing the id from a copy gives the same value.
+    core::Pattern copy = p;
+    EXPECT_EQ(copy.id(), p.id());
+  }
+}
+
+// Property 4: total match counts across discovered patterns equal the
+// number of analysed messages (no message lost or double-counted at
+// discovery time).
+TEST_P(DatasetProperty, MatchCountsPartitionTheBatch) {
+  const auto c = corpus();
+  core::InMemoryRepository repo;
+  core::EngineOptions opts;
+  opts.save_threshold = 0;  // keep even singletons for exact accounting
+  core::Engine engine(&repo, opts);
+  std::vector<core::LogRecord> batch;
+  std::size_t nonempty = 0;
+  for (const std::string& m : c.messages) {
+    batch.push_back({"svc", m});
+    if (!m.empty()) ++nonempty;
+  }
+  const core::BatchReport report = engine.analyze_by_service(batch);
+  std::uint64_t total = 0;
+  for (const core::Pattern& p : repo.load_service("svc")) {
+    total += p.stats.match_count;
+  }
+  EXPECT_EQ(total, report.analyzed);
+  EXPECT_EQ(report.analyzed, nonempty);
+}
+
+// Property 5: analysis is deterministic — two runs over the same corpus
+// yield the same pattern set in the same order.
+TEST_P(DatasetProperty, AnalysisIsDeterministic) {
+  const auto c = corpus();
+  const auto run = [&c]() {
+    core::InMemoryRepository repo;
+    core::Engine engine(&repo, core::EngineOptions{});
+    std::vector<core::LogRecord> batch;
+    for (const std::string& m : c.messages) batch.push_back({"svc", m});
+    engine.analyze_by_service(batch);
+    std::vector<std::string> texts;
+    for (const core::Pattern& p : repo.load_service("svc")) {
+      texts.push_back(p.text());
+    }
+    return texts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Property 6: the pre-processed variant groups at least as well as chance —
+// sanity floor asserting the corpus and the grouper plug together.
+TEST_P(DatasetProperty, PreprocessedAccuracyAboveFloor) {
+  const auto c = corpus();
+  const double acc = eval::sequence_rtg_accuracy(c.preprocessed, c.event_ids,
+                                                 core::EngineOptions{});
+  EXPECT_GT(acc, 0.3) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetProperty,
+    ::testing::Values("HDFS", "Hadoop", "Spark", "Zookeeper", "OpenStack",
+                      "BGL", "HPC", "Thunderbird", "Windows", "Linux", "Mac",
+                      "Android", "HealthApp", "Apache", "OpenSSH",
+                      "Proxifier"));
+
+}  // namespace
+}  // namespace seqrtg

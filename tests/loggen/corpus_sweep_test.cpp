@@ -1,0 +1,127 @@
+// Structural assertions swept over all 16 LogHub-like datasets: the
+// properties the evaluation relies on must hold for every bank, not just
+// the ones spot-checked elsewhere.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scanner.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::loggen {
+namespace {
+
+class CorpusSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  eval::LabeledCorpus corpus(std::size_t n = 600) const {
+    return generate_corpus(*find_dataset(GetParam()), n,
+                           util::kDefaultSeed);
+  }
+};
+
+TEST_P(CorpusSweep, ParallelArraysAligned) {
+  const auto c = corpus();
+  EXPECT_EQ(c.messages.size(), c.preprocessed.size());
+  EXPECT_EQ(c.messages.size(), c.event_ids.size());
+  EXPECT_EQ(c.name, GetParam());
+}
+
+TEST_P(CorpusSweep, NoEmptyMessages) {
+  for (const std::string& m : corpus().messages) {
+    EXPECT_FALSE(util::trim(m).empty());
+  }
+}
+
+TEST_P(CorpusSweep, EventLabelsAreDenseFromE1) {
+  const auto c = corpus(2000);
+  std::set<std::string> labels(c.event_ids.begin(), c.event_ids.end());
+  // E1 must exist (rank-1 of the Zipf) and labels never exceed the bank.
+  EXPECT_TRUE(labels.count("E1")) << GetParam();
+  EXPECT_LE(labels.size(), find_dataset(GetParam())->events.size());
+}
+
+TEST_P(CorpusSweep, RawMessagesCarryTheHeader) {
+  // Raw is strictly longer than pre-processed (header + real values).
+  const auto c = corpus();
+  std::size_t raw_total = 0;
+  std::size_t pre_total = 0;
+  for (std::size_t i = 0; i < c.messages.size(); ++i) {
+    raw_total += c.messages[i].size();
+    pre_total += c.preprocessed[i].size();
+  }
+  EXPECT_GT(raw_total, pre_total);
+}
+
+TEST_P(CorpusSweep, NoUnexpandedPlaceholders) {
+  // A stray "{kind}" in the output means a template typo: the expander
+  // emits unknown placeholders verbatim precisely so this test catches
+  // them. Literal braces in real formats are written as text, never in
+  // "{word}" shape.
+  const auto c = corpus(2000);
+  for (const std::string& m : c.messages) {
+    for (const char* kind :
+         {"{int", "{float", "{hex", "{ip", "{word", "{alnum", "{path",
+          "{host", "{email", "{url", "{user", "{dur", "{blk", "{uuid",
+          "{intstar", "{oneof", "{opt", "{intlist", "{ts_", "{port",
+          "{pid", "{mac"}) {
+      EXPECT_EQ(m.find(kind), std::string::npos)
+          << GetParam() << ": " << m;
+    }
+  }
+}
+
+TEST_P(CorpusSweep, ScannerTerminatesOnEveryMessage) {
+  const core::Scanner scanner;
+  for (const std::string& m : corpus().messages) {
+    const auto tokens = scanner.scan(m);
+    EXPECT_FALSE(tokens.empty()) << m;
+    EXPECT_LE(tokens.size(), 513u);
+  }
+}
+
+TEST_P(CorpusSweep, PreprocessedVariantHasNoRawValues) {
+  // Spot property: the pre-processed text of a message must not contain
+  // IPv4-shaped tokens (they were all replaced by <*>).
+  const auto c = corpus();
+  for (const std::string& p : c.preprocessed) {
+    for (const auto chunk : util::split_whitespace(p)) {
+      // Strip trailing punctuation before testing the shape.
+      std::string_view body = chunk;
+      while (!body.empty() &&
+             (body.back() == ',' || body.back() == ')' ||
+              body.back() == ']')) {
+        body.remove_suffix(1);
+      }
+      if (body.size() >= 7 && util::count_occurrences(body, ".") == 3) {
+        bool all_numeric_quads = true;
+        for (const auto q : util::split(body, '.')) {
+          if (!util::is_all_digits(q)) all_numeric_quads = false;
+        }
+        EXPECT_FALSE(all_numeric_quads)
+            << GetParam() << ": raw IPv4 leaked into pre-processed: "
+            << chunk;
+      }
+    }
+  }
+}
+
+TEST_P(CorpusSweep, SameSeedSameCorpusAcrossProcessLifetimes) {
+  // Regenerating twice within one process must be bit-identical (the
+  // benches rely on this for reproducibility of every table).
+  const auto a = corpus(200);
+  const auto b = corpus(200);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.event_ids, b.event_ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, CorpusSweep,
+    ::testing::Values("HDFS", "Hadoop", "Spark", "Zookeeper", "OpenStack",
+                      "BGL", "HPC", "Thunderbird", "Windows", "Linux",
+                      "Mac", "Android", "HealthApp", "Apache", "OpenSSH",
+                      "Proxifier"));
+
+}  // namespace
+}  // namespace seqrtg::loggen

@@ -1,0 +1,213 @@
+#include "loggen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::loggen {
+namespace {
+
+TEST(Datasets, SixteenInPaperOrder) {
+  const auto& all = loghub_datasets();
+  ASSERT_EQ(all.size(), 16u);
+  EXPECT_EQ(all.front().name, "HDFS");
+  EXPECT_EQ(all.back().name, "Proxifier");
+}
+
+TEST(Datasets, FindByName) {
+  EXPECT_NE(find_dataset("Linux"), nullptr);
+  EXPECT_EQ(find_dataset("NotADataset"), nullptr);
+}
+
+TEST(Datasets, EveryDatasetHasEvents) {
+  for (const DatasetSpec& spec : loghub_datasets()) {
+    EXPECT_GE(spec.events.size(), 6u) << spec.name;
+    EXPECT_FALSE(spec.header.empty()) << spec.name;
+  }
+}
+
+TEST(GenerateCorpus, SizesAndLabels) {
+  const auto corpus =
+      generate_corpus(*find_dataset("Apache"), 500, util::kDefaultSeed);
+  EXPECT_EQ(corpus.messages.size(), 500u);
+  EXPECT_EQ(corpus.preprocessed.size(), 500u);
+  EXPECT_EQ(corpus.event_ids.size(), 500u);
+  for (const std::string& e : corpus.event_ids) {
+    EXPECT_EQ(e[0], 'E');
+  }
+}
+
+TEST(GenerateCorpus, DeterministicForSeed) {
+  const auto a =
+      generate_corpus(*find_dataset("HDFS"), 200, 12345);
+  const auto b =
+      generate_corpus(*find_dataset("HDFS"), 200, 12345);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.preprocessed, b.preprocessed);
+  EXPECT_EQ(a.event_ids, b.event_ids);
+}
+
+TEST(GenerateCorpus, DifferentSeedsDiffer) {
+  const auto a = generate_corpus(*find_dataset("HDFS"), 200, 1);
+  const auto b = generate_corpus(*find_dataset("HDFS"), 200, 2);
+  EXPECT_NE(a.messages, b.messages);
+}
+
+TEST(GenerateCorpus, PreprocessedDropsHeaderAndMarksFields) {
+  const auto corpus =
+      generate_corpus(*find_dataset("OpenSSH"), 300, util::kDefaultSeed);
+  bool saw_marker = false;
+  for (std::size_t i = 0; i < corpus.messages.size(); ++i) {
+    // Raw has the syslog header; pre-processed starts at the content.
+    EXPECT_GT(corpus.messages[i].size(), corpus.preprocessed[i].size());
+    if (corpus.preprocessed[i].find("<*>") != std::string::npos) {
+      saw_marker = true;
+    }
+  }
+  EXPECT_TRUE(saw_marker);
+}
+
+TEST(GenerateCorpus, ZipfSkewsEventFrequencies) {
+  const auto corpus =
+      generate_corpus(*find_dataset("BGL"), 2000, util::kDefaultSeed);
+  std::size_t e1 = 0;
+  std::set<std::string> distinct;
+  for (const std::string& e : corpus.event_ids) {
+    if (e == "E1") ++e1;
+    distinct.insert(e);
+  }
+  EXPECT_GT(e1, 2000u / 10) << "rank-1 event must dominate";
+  EXPECT_GT(distinct.size(), 5u) << "tail events must appear";
+}
+
+TEST(GenerateCorpus, HealthAppTimestampsLackLeadingZeros) {
+  // The documented raw-log failure mode (paper §IV): time parts without
+  // leading zeros must actually occur in the generated stream.
+  const auto corpus =
+      generate_corpus(*find_dataset("HealthApp"), 500, util::kDefaultSeed);
+  bool saw_unpadded = false;
+  for (const std::string& m : corpus.messages) {
+    // Header shape: yyyymmdd-H:M:S:ms| — a one-digit part is unpadded.
+    const std::size_t dash = m.find('-');
+    ASSERT_NE(dash, std::string::npos);
+    const std::size_t colon = m.find(':', dash);
+    ASSERT_NE(colon, std::string::npos);
+    if (colon - dash == 2) saw_unpadded = true;  // 1-digit hour
+  }
+  EXPECT_TRUE(saw_unpadded);
+}
+
+TEST(GenerateCorpus, ProxifierHasAlnumIntAlternation) {
+  const auto corpus =
+      generate_corpus(*find_dataset("Proxifier"), 2000, util::kDefaultSeed);
+  bool saw_star = false;
+  bool saw_plain = false;
+  for (const std::string& m : corpus.messages) {
+    if (m.find("bytes") == std::string::npos) continue;
+    if (m.find("* bytes") != std::string::npos) {
+      saw_star = true;
+    } else {
+      saw_plain = true;
+    }
+  }
+  EXPECT_TRUE(saw_star) << "some byte counts must carry the '*' suffix";
+  EXPECT_TRUE(saw_plain) << "some byte counts must be pure integers";
+}
+
+TEST(ExpandTemplate, LiteralPassThrough) {
+  GenContext ctx{util::Rng(1)};
+  std::string raw;
+  std::string pre;
+  expand_template("fixed text only", ctx, &raw, &pre);
+  EXPECT_EQ(raw, "fixed text only");
+  EXPECT_EQ(pre, "fixed text only");
+}
+
+TEST(ExpandTemplate, PlaceholderBecomesMarkerInPre) {
+  GenContext ctx{util::Rng(1)};
+  std::string raw;
+  std::string pre;
+  expand_template("port {port} open", ctx, &raw, &pre);
+  EXPECT_EQ(pre, "port <*> open");
+  EXPECT_NE(raw, pre);
+  EXPECT_TRUE(util::starts_with(raw, "port "));
+}
+
+TEST(ExpandTemplate, IntRangeRespected) {
+  GenContext ctx{util::Rng(7)};
+  for (int i = 0; i < 200; ++i) {
+    std::string raw;
+    expand_template("{int:10-19}", ctx, &raw, nullptr);
+    const int v = std::stoi(raw);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 19);
+  }
+}
+
+TEST(ExpandTemplate, OneofPicksFromClosedSet) {
+  GenContext ctx{util::Rng(9)};
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    std::string raw;
+    std::string pre;
+    expand_template("{oneof:on|off}", ctx, &raw, &pre);
+    seen.insert(raw);
+    EXPECT_EQ(pre, "<*>");
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count("on"));
+  EXPECT_TRUE(seen.count("off"));
+}
+
+TEST(ExpandTemplate, OptTogglesPresenceInBothVariants) {
+  GenContext ctx{util::Rng(11)};
+  std::set<std::string> raws;
+  for (int i = 0; i < 100; ++i) {
+    std::string raw;
+    std::string pre;
+    expand_template("a {opt:x }b", ctx, &raw, &pre);
+    raws.insert(raw);
+    EXPECT_EQ(raw, pre) << "opt emits constants into both variants";
+  }
+  EXPECT_EQ(raws.size(), 2u);
+  EXPECT_TRUE(raws.count("a x b"));
+  EXPECT_TRUE(raws.count("a b"));
+}
+
+TEST(ExpandTemplate, IntlistVariesLength) {
+  GenContext ctx{util::Rng(13)};
+  std::set<std::size_t> lengths;
+  for (int i = 0; i < 100; ++i) {
+    std::string pre;
+    expand_template("{intlist:2-4}", ctx, nullptr, &pre);
+    lengths.insert(util::split_whitespace(pre).size());
+  }
+  EXPECT_GE(lengths.size(), 2u);
+  for (std::size_t n : lengths) {
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 4u);
+  }
+}
+
+TEST(ExpandTemplate, UnknownPlaceholderEmittedVerbatim) {
+  GenContext ctx{util::Rng(1)};
+  std::string raw;
+  expand_template("{bogus}", ctx, &raw, nullptr);
+  EXPECT_EQ(raw, "{bogus}");
+}
+
+TEST(ExpandTemplate, TimestampAdvancesWithClock) {
+  GenContext ctx{util::Rng(1)};
+  std::string a;
+  expand_template("{ts_iso}", ctx, &a, nullptr);
+  ctx.clock += 3600;
+  std::string b;
+  expand_template("{ts_iso}", ctx, &b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace seqrtg::loggen

@@ -1,0 +1,122 @@
+#include "loggen/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace seqrtg::loggen {
+namespace {
+
+FleetOptions small_fleet() {
+  FleetOptions opts;
+  opts.services = 10;
+  opts.min_events_per_service = 3;
+  opts.max_events_per_service = 8;
+  opts.seed = 777;
+  return opts;
+}
+
+TEST(Fleet, ServiceCountAndEventBounds) {
+  FleetGenerator fleet(small_fleet());
+  EXPECT_EQ(fleet.service_count(), 10u);
+  for (std::size_t i = 0; i < fleet.service_count(); ++i) {
+    EXPECT_GE(fleet.event_count(i), 3u);
+    EXPECT_LE(fleet.event_count(i), 8u);
+  }
+  EXPECT_GE(fleet.total_events(), 30u);
+  EXPECT_LE(fleet.total_events(), 80u);
+}
+
+TEST(Fleet, DeterministicStream) {
+  FleetGenerator a(small_fleet());
+  FleetGenerator b(small_fleet());
+  for (int i = 0; i < 200; ++i) {
+    const FleetRecord ra = a.next();
+    const FleetRecord rb = b.next();
+    EXPECT_EQ(ra.record.service, rb.record.service);
+    EXPECT_EQ(ra.record.message, rb.record.message);
+    EXPECT_EQ(ra.event_idx, rb.event_idx);
+  }
+}
+
+TEST(Fleet, RecordsCarryValidCoordinates) {
+  FleetGenerator fleet(small_fleet());
+  for (int i = 0; i < 500; ++i) {
+    const FleetRecord rec = fleet.next();
+    ASSERT_LT(rec.service_idx, fleet.service_count());
+    ASSERT_LT(rec.event_idx, fleet.event_count(rec.service_idx));
+    EXPECT_EQ(rec.record.service, fleet.service_name(rec.service_idx));
+    EXPECT_FALSE(rec.record.message.empty());
+  }
+}
+
+TEST(Fleet, AllServicesEventuallyEmit) {
+  FleetGenerator fleet(small_fleet());
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(fleet.next().service_idx);
+  EXPECT_EQ(seen.size(), fleet.service_count());
+}
+
+TEST(Fleet, TrafficIsZipfSkewed) {
+  FleetOptions opts = small_fleet();
+  opts.service_zipf = 1.2;
+  FleetGenerator fleet(opts);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[fleet.next().service_idx];
+  EXPECT_GT(counts[0], counts[5]);
+}
+
+TEST(Fleet, TakeReturnsPlainRecords) {
+  FleetGenerator fleet(small_fleet());
+  const auto batch = fleet.take(50);
+  ASSERT_EQ(batch.size(), 50u);
+  for (const auto& r : batch) {
+    EXPECT_FALSE(r.service.empty());
+    EXPECT_FALSE(r.message.empty());
+  }
+}
+
+TEST(Fleet, SameEventSharesSkeleton) {
+  // Messages of the same (service, event) must share their constant
+  // skeleton (first body word after the header), so patterns can form.
+  FleetGenerator fleet(small_fleet());
+  std::map<std::pair<std::size_t, std::size_t>, std::set<char>> first_chars;
+  for (int i = 0; i < 2000; ++i) {
+    const FleetRecord rec = fleet.next();
+    const std::size_t bracket = rec.record.message.find("]: ");
+    ASSERT_NE(bracket, std::string::npos) << rec.record.message;
+    first_chars[{rec.service_idx, rec.event_idx}].insert(
+        rec.record.message[bracket + 3]);
+  }
+  for (const auto& [key, chars] : first_chars) {
+    EXPECT_EQ(chars.size(), 1u);
+  }
+}
+
+TEST(Fleet, NoiseRecordsAreUniqueAndFlagged) {
+  FleetOptions opts = small_fleet();
+  opts.noise_fraction = 0.5;
+  FleetGenerator fleet(opts);
+  std::set<std::string> noise_bodies;
+  std::size_t noise_count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const FleetRecord rec = fleet.next();
+    if (rec.event_idx == kNoiseEvent) {
+      ++noise_count;
+      noise_bodies.insert(rec.record.message);
+    }
+  }
+  EXPECT_GT(noise_count, 300u);
+  EXPECT_EQ(noise_bodies.size(), noise_count) << "noise must never repeat";
+}
+
+TEST(Fleet, ZeroNoiseByDefault) {
+  FleetGenerator fleet(small_fleet());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(fleet.next().event_idx, kNoiseEvent);
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg::loggen

@@ -1,0 +1,117 @@
+#include "pipeline/actions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::pipeline {
+namespace {
+
+using core::Pattern;
+using core::PatternToken;
+using core::TokenType;
+
+Pattern make_pattern(std::string service) {
+  Pattern p;
+  p.service = std::move(service);
+  PatternToken c;
+  c.is_variable = false;
+  c.text = "failed";
+  PatternToken v;
+  v.is_variable = true;
+  v.var_type = TokenType::Integer;
+  v.name = "code";
+  v.is_space_before = true;
+  p.tokens = {c, v};
+  return p;
+}
+
+class ActionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pattern_ = make_pattern("app");
+    parser_.add_pattern(pattern_);
+  }
+  core::Parser parser_;
+  Pattern pattern_;
+  ActionDispatcher dispatcher_;
+};
+
+TEST_F(ActionsTest, DispatchFiresBoundHandler) {
+  std::string seen_service;
+  std::string seen_value;
+  dispatcher_.bind(pattern_.id(), "page-oncall",
+                   [&](const std::string& service, const std::string&,
+                       const core::ParsedFields& fields) {
+                     seen_service = service;
+                     seen_value = fields.front().second;
+                   });
+  const std::size_t fired =
+      dispatcher_.parse_and_dispatch(parser_, "app", "failed 137");
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(seen_service, "app");
+  EXPECT_EQ(seen_value, "137");
+  EXPECT_EQ(dispatcher_.fire_counts().at("page-oncall"), 1u);
+}
+
+TEST_F(ActionsTest, UnmatchedMessageFiresNothing) {
+  dispatcher_.bind(pattern_.id(), "page-oncall",
+                   [](const std::string&, const std::string&,
+                      const core::ParsedFields&) { FAIL(); });
+  EXPECT_EQ(dispatcher_.parse_and_dispatch(parser_, "app", "nonsense"), 0u);
+}
+
+TEST_F(ActionsTest, UnboundPatternFiresNothing) {
+  EXPECT_EQ(dispatcher_.parse_and_dispatch(parser_, "app", "failed 1"), 0u);
+  EXPECT_TRUE(dispatcher_.fire_counts().empty());
+}
+
+TEST_F(ActionsTest, MultipleActionsPerPattern) {
+  int a = 0;
+  int b = 0;
+  dispatcher_.bind(pattern_.id(), "alert",
+                   [&](const std::string&, const std::string&,
+                       const core::ParsedFields&) { ++a; });
+  dispatcher_.bind(pattern_.id(), "restart",
+                   [&](const std::string&, const std::string&,
+                       const core::ParsedFields&) { ++b; });
+  EXPECT_EQ(dispatcher_.parse_and_dispatch(parser_, "app", "failed 2"), 2u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(dispatcher_.binding_count(), 2u);
+}
+
+TEST_F(ActionsTest, FireCountsAccumulate) {
+  dispatcher_.bind(pattern_.id(), "alert",
+                   [](const std::string&, const std::string&,
+                      const core::ParsedFields&) {});
+  for (int i = 0; i < 5; ++i) {
+    dispatcher_.parse_and_dispatch(parser_, "app",
+                                   "failed " + std::to_string(i));
+  }
+  EXPECT_EQ(dispatcher_.fire_counts().at("alert"), 5u);
+}
+
+TEST_F(ActionsTest, UnbindRemovesAction) {
+  dispatcher_.bind(pattern_.id(), "alert",
+                   [](const std::string&, const std::string&,
+                      const core::ParsedFields&) { FAIL(); });
+  dispatcher_.unbind("alert");
+  EXPECT_EQ(dispatcher_.parse_and_dispatch(parser_, "app", "failed 3"), 0u);
+  EXPECT_EQ(dispatcher_.binding_count(), 0u);
+}
+
+TEST_F(ActionsTest, OneActionAcrossManyPatterns) {
+  Pattern other = make_pattern("db");
+  parser_.add_pattern(other);
+  int fires = 0;
+  const auto count = [&](const std::string&, const std::string&,
+                         const core::ParsedFields&) { ++fires; };
+  dispatcher_.bind(pattern_.id(), "alert", count);
+  dispatcher_.bind(other.id(), "alert", count);
+  dispatcher_.parse_and_dispatch(parser_, "app", "failed 1");
+  dispatcher_.parse_and_dispatch(parser_, "db", "failed 2");
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(dispatcher_.fire_counts().at("alert"), 2u);
+}
+
+}  // namespace
+}  // namespace seqrtg::pipeline

@@ -1,0 +1,99 @@
+#include "pipeline/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::pipeline {
+namespace {
+
+SimulationOptions small_sim() {
+  SimulationOptions opts;
+  opts.days = 6;
+  opts.messages_per_day = 4000;
+  opts.batch_size = 500;
+  opts.reviews_per_day = 30;
+  opts.promote_min_count = 3;
+  opts.initial_coverage = 0.22;
+  opts.fleet.services = 15;
+  opts.fleet.min_events_per_service = 4;
+  opts.fleet.max_events_per_service = 10;
+  opts.fleet.noise_fraction = 0.10;
+  opts.fleet.seed = 4242;
+  return opts;
+}
+
+TEST(Simulation, DayStatsAreConsistent) {
+  ProductionSimulation sim(small_sim());
+  const DayStats day = sim.run_day();
+  EXPECT_EQ(day.day, 1u);
+  EXPECT_EQ(day.messages, 4000u);
+  EXPECT_EQ(day.matched + day.unmatched, day.messages);
+  EXPECT_NEAR(day.unmatched_pct,
+              100.0 * static_cast<double>(day.unmatched) / 4000.0, 1e-9);
+}
+
+TEST(Simulation, StartsMostlyUnmatched) {
+  // Paper: "75 to 80% of events remained unknown" before Sequence-RTG.
+  ProductionSimulation sim(small_sim());
+  const DayStats day1 = sim.run_day();
+  EXPECT_GT(day1.unmatched_pct, 50.0);
+  EXPECT_LT(day1.unmatched_pct, 95.0);
+}
+
+TEST(Simulation, UnmatchedRatioDropsOverTime) {
+  // The Fig. 7 shape: promotion drives the unmatched share down.
+  ProductionSimulation sim(small_sim());
+  const auto series = sim.run();
+  ASSERT_EQ(series.size(), 6u);
+  EXPECT_LT(series.back().unmatched_pct, series.front().unmatched_pct);
+  EXPECT_LT(series.back().unmatched_pct, 40.0);
+}
+
+TEST(Simulation, PromotionsAccumulate) {
+  ProductionSimulation sim(small_sim());
+  const auto series = sim.run();
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].promoted_total, series[i - 1].promoted_total);
+  }
+  EXPECT_GT(series.back().promoted_total, 0u);
+}
+
+TEST(Simulation, NoiseFloorKeepsSomeUnmatched) {
+  SimulationOptions opts = small_sim();
+  opts.days = 8;
+  ProductionSimulation sim(opts);
+  const auto series = sim.run();
+  // One-off noise (10%) can never be promoted, so the floor stays above
+  // roughly the noise share.
+  EXPECT_GT(series.back().unmatched_pct, 5.0);
+}
+
+TEST(Simulation, AnalysesTriggeredByBatchSize) {
+  ProductionSimulation sim(small_sim());
+  const DayStats day1 = sim.run_day();
+  // Day one is mostly unmatched: thousands of records hit the batcher.
+  EXPECT_GT(day1.analyses, 0u);
+  EXPECT_GE(day1.avg_analysis_seconds, 0.0);
+}
+
+TEST(Simulation, ReviewCapacityBoundsDailyPromotions) {
+  SimulationOptions opts = small_sim();
+  opts.reviews_per_day = 5;
+  ProductionSimulation sim(opts);
+  std::size_t prev = sim.promoted_count();
+  const DayStats day1 = sim.run_day();
+  EXPECT_LE(day1.promoted_total - prev, 5u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  ProductionSimulation a(small_sim());
+  ProductionSimulation b(small_sim());
+  const auto sa = a.run();
+  const auto sb = b.run();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].matched, sb[i].matched) << "day " << i;
+    EXPECT_EQ(sa[i].promoted_total, sb[i].promoted_total);
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg::pipeline

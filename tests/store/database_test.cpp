@@ -1,0 +1,195 @@
+#include "store/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace seqrtg::store {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.exec("CREATE TABLE t (id TEXT PRIMARY KEY, "
+                         "n INTEGER, score REAL)")
+                    .ok());
+  }
+
+  void insert(const std::string& id, std::int64_t n, double score) {
+    const auto r = db_.exec("INSERT INTO t VALUES (?, ?, ?)",
+                            {Value(id), Value(n), Value(score)});
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, InsertAndSelect) {
+  insert("a", 1, 0.5);
+  insert("b", 2, 0.7);
+  const auto r = db_.exec("SELECT id, n FROM t WHERE id = ?", {Value("b")});
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.columns[0], "id");
+  EXPECT_EQ(r.rows[0][0].as_text(), "b");
+  EXPECT_EQ(r.rows[0][1].as_int(), 2);
+}
+
+TEST_F(DatabaseTest, SelectStarProjection) {
+  insert("a", 1, 0.5);
+  const auto r = db_.exec("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.columns[2], "score");
+}
+
+TEST_F(DatabaseTest, WhereConjunction) {
+  insert("a", 1, 0.5);
+  insert("b", 1, 0.9);
+  const auto r = db_.exec("SELECT id FROM t WHERE n = 1 AND score = ?",
+                          {Value(0.9)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "b");
+}
+
+TEST_F(DatabaseTest, OrderByAndLimit) {
+  insert("a", 3, 0.1);
+  insert("b", 1, 0.2);
+  insert("c", 2, 0.3);
+  const auto asc = db_.exec("SELECT id FROM t ORDER BY n");
+  ASSERT_EQ(asc.rows.size(), 3u);
+  EXPECT_EQ(asc.rows[0][0].as_text(), "b");
+  EXPECT_EQ(asc.rows[2][0].as_text(), "a");
+  const auto desc = db_.exec("SELECT id FROM t ORDER BY n DESC LIMIT 2");
+  ASSERT_EQ(desc.rows.size(), 2u);
+  EXPECT_EQ(desc.rows[0][0].as_text(), "a");
+  EXPECT_EQ(desc.rows[1][0].as_text(), "c");
+}
+
+TEST_F(DatabaseTest, UpdateRows) {
+  insert("a", 1, 0.5);
+  insert("b", 2, 0.5);
+  const auto r = db_.exec("UPDATE t SET n = ?, score = 0.9 WHERE id = 'a'",
+                          {Value(42)});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.affected, 1);
+  const auto check = db_.exec("SELECT n, score FROM t WHERE id = 'a'");
+  EXPECT_EQ(check.rows[0][0].as_int(), 42);
+  EXPECT_DOUBLE_EQ(check.rows[0][1].as_real(), 0.9);
+}
+
+TEST_F(DatabaseTest, DeleteRows) {
+  insert("a", 1, 0.5);
+  insert("b", 2, 0.5);
+  const auto r = db_.exec("DELETE FROM t WHERE id = 'a'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.affected, 1);
+  EXPECT_EQ(db_.exec("SELECT id FROM t").rows.size(), 1u);
+}
+
+TEST_F(DatabaseTest, PrimaryKeyViolation) {
+  insert("a", 1, 0.5);
+  const auto r = db_.exec("INSERT INTO t VALUES ('a', 2, 0.1)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DatabaseTest, SecondaryIndexedQueriesAgree) {
+  insert("a", 7, 0.5);
+  insert("b", 7, 0.6);
+  insert("c", 8, 0.7);
+  const auto before = db_.exec("SELECT id FROM t WHERE n = 7");
+  ASSERT_TRUE(db_.exec("CREATE INDEX ON t (n)").ok());
+  const auto after = db_.exec("SELECT id FROM t WHERE n = 7");
+  ASSERT_EQ(before.rows.size(), 2u);
+  ASSERT_EQ(after.rows.size(), 2u);
+  EXPECT_EQ(before.rows[0][0].as_text(), after.rows[0][0].as_text());
+}
+
+TEST_F(DatabaseTest, ErrorsAreReported) {
+  EXPECT_FALSE(db_.exec("SELECT * FROM missing").ok());
+  EXPECT_FALSE(db_.exec("SELECT bogus FROM t").ok());
+  EXPECT_FALSE(db_.exec("INSERT INTO t VALUES (1)").ok());  // arity
+  EXPECT_FALSE(db_.exec("SELECT * FROM t WHERE bogus = 1").ok());
+  EXPECT_FALSE(db_.exec("SELECT * FROM t ORDER BY bogus").ok());
+  EXPECT_FALSE(db_.exec("CREATE TABLE t (x TEXT)").ok());  // exists
+  EXPECT_FALSE(db_.exec("garbage").ok());
+}
+
+TEST_F(DatabaseTest, MissingParametersRejected) {
+  const auto r = db_.exec("INSERT INTO t VALUES (?, ?, ?)", {Value("a")});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DatabaseTest, SaveLoadRoundTrip) {
+  insert("a", 1, 0.5);
+  insert("b", 2, 0.25);
+  db_.exec("CREATE TABLE other (k TEXT, v TEXT)");
+  db_.exec("INSERT INTO other VALUES ('key', 'va\tl\nue')");
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_db_test.db")
+          .string();
+  ASSERT_TRUE(db_.save(path));
+
+  Database loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.table_count(), 2u);
+  const auto r = loaded.exec("SELECT n FROM t WHERE id = 'b'");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 2);
+  const auto o = loaded.exec("SELECT v FROM other");
+  EXPECT_EQ(o.rows[0][0].as_text(), "va\tl\nue");
+  std::remove(path.c_str());
+}
+
+TEST_F(DatabaseTest, SaveCompactsTombstones) {
+  insert("a", 1, 0.5);
+  insert("b", 2, 0.5);
+  db_.exec("DELETE FROM t WHERE id = 'a'");
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_db_compact.db")
+          .string();
+  ASSERT_TRUE(db_.save(path));
+  Database loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.exec("SELECT id FROM t").rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(DatabaseTest, LoadRejectsGarbageFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_db_garbage.db")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("this is not a database\n", f);
+    std::fclose(f);
+  }
+  Database loaded;
+  EXPECT_FALSE(loaded.load(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(DatabaseTest, LoadMissingFileFails) {
+  Database loaded;
+  EXPECT_FALSE(loaded.load("/nonexistent/path/db.file"));
+}
+
+TEST_F(DatabaseTest, EmptyTableSurvivesRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_db_empty.db")
+          .string();
+  ASSERT_TRUE(db_.save(path));
+  Database loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_TRUE(loaded.has_table("t"));
+  EXPECT_TRUE(loaded.exec("SELECT * FROM t").rows.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace seqrtg::store

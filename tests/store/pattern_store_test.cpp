@@ -1,0 +1,193 @@
+#include "store/pattern_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace seqrtg::store {
+namespace {
+
+core::Pattern make_pattern(std::string service, std::string text_word,
+                           std::uint64_t count = 1) {
+  core::Pattern p;
+  p.service = std::move(service);
+  core::PatternToken c;
+  c.is_variable = false;
+  c.text = std::move(text_word);
+  p.tokens.push_back(c);
+  core::PatternToken v;
+  v.is_variable = true;
+  v.var_type = core::TokenType::Integer;
+  v.name = "n";
+  v.is_space_before = true;
+  p.tokens.push_back(v);
+  p.stats.match_count = count;
+  p.stats.first_seen = 100;
+  p.stats.last_matched = 100;
+  return p;
+}
+
+TEST(PatternTokensJson, RoundTrip) {
+  const core::Pattern p = make_pattern("svc", "event");
+  const std::string json = pattern_tokens_to_json(p.tokens);
+  const auto back = pattern_tokens_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p.tokens);
+}
+
+TEST(PatternTokensJson, RejectsMalformed) {
+  EXPECT_FALSE(pattern_tokens_from_json("not json").has_value());
+  EXPECT_FALSE(pattern_tokens_from_json("{}").has_value());
+  EXPECT_FALSE(pattern_tokens_from_json("[{\"v\":1}]").has_value());
+}
+
+TEST(PatternStore, UpsertFindRoundTrip) {
+  PatternStore store;
+  const core::Pattern p = make_pattern("sshd", "login", 3);
+  store.upsert_pattern(p);
+  EXPECT_EQ(store.pattern_count(), 1u);
+  const auto found = store.find(p.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->text(), "login %n%");
+  EXPECT_EQ(found->service, "sshd");
+  EXPECT_EQ(found->stats.match_count, 3u);
+  EXPECT_EQ(found->tokens, p.tokens) << "typed tokens must round-trip";
+}
+
+TEST(PatternStore, UpsertMergesExisting) {
+  PatternStore store;
+  core::Pattern p = make_pattern("sshd", "login", 3);
+  p.examples = {"login 1"};
+  store.upsert_pattern(p);
+  core::Pattern q = make_pattern("sshd", "login", 4);
+  q.examples = {"login 1", "login 2"};
+  q.stats.last_matched = 500;
+  store.upsert_pattern(q);
+  EXPECT_EQ(store.pattern_count(), 1u);
+  const auto found = store.find(p.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 7u);
+  EXPECT_EQ(found->stats.last_matched, 500);
+  ASSERT_EQ(found->examples.size(), 2u);
+  EXPECT_EQ(found->examples[1], "login 2");
+}
+
+TEST(PatternStore, ExamplesCappedAtThree) {
+  PatternStore store;
+  core::Pattern p = make_pattern("s", "e");
+  p.examples = {"a", "b"};
+  store.upsert_pattern(p);
+  core::Pattern q = make_pattern("s", "e");
+  q.examples = {"c", "d", "e"};
+  store.upsert_pattern(q);
+  const auto found = store.find(p.id());
+  EXPECT_EQ(found->examples.size(), 3u);
+}
+
+TEST(PatternStore, ServiceQueries) {
+  PatternStore store;
+  store.upsert_pattern(make_pattern("sshd", "a"));
+  store.upsert_pattern(make_pattern("sshd", "b"));
+  store.upsert_pattern(make_pattern("cron", "c"));
+  EXPECT_EQ(store.load_service("sshd").size(), 2u);
+  EXPECT_EQ(store.load_service("cron").size(), 1u);
+  EXPECT_TRUE(store.load_service("x").empty());
+  const auto services = store.services();
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0], "cron");
+}
+
+TEST(PatternStore, RecordMatch) {
+  PatternStore store;
+  const core::Pattern p = make_pattern("s", "e", 1);
+  store.upsert_pattern(p);
+  store.record_match(p.id(), 9, 777);
+  const auto found = store.find(p.id());
+  EXPECT_EQ(found->stats.match_count, 10u);
+  EXPECT_EQ(found->stats.last_matched, 777);
+}
+
+TEST(PatternStore, ExportFiltersByCountAndComplexity) {
+  PatternStore store;
+  store.upsert_pattern(make_pattern("s", "frequent", 100));
+  store.upsert_pattern(make_pattern("s", "rare", 1));
+  // A pattern of only variables has complexity 1.0.
+  core::Pattern vars;
+  vars.service = "s";
+  core::PatternToken v;
+  v.is_variable = true;
+  v.var_type = core::TokenType::String;
+  v.name = "x";
+  vars.tokens = {v, v};
+  vars.stats.match_count = 50;
+  store.upsert_pattern(vars);
+
+  PatternStore::ExportFilter filter;
+  filter.min_match_count = 10;
+  filter.max_complexity = 0.9;
+  const auto exported = store.export_patterns(filter);
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].text(), "frequent %n%");
+}
+
+TEST(PatternStore, ExportOrdersByMatchCountDesc) {
+  PatternStore store;
+  store.upsert_pattern(make_pattern("s", "mid", 10));
+  store.upsert_pattern(make_pattern("s", "top", 100));
+  store.upsert_pattern(make_pattern("s", "low", 1));
+  const auto exported = store.export_patterns({});
+  ASSERT_EQ(exported.size(), 3u);
+  EXPECT_EQ(exported[0].stats.match_count, 100u);
+  EXPECT_EQ(exported[2].stats.match_count, 1u);
+}
+
+TEST(PatternStore, ExportFiltersByService) {
+  PatternStore store;
+  store.upsert_pattern(make_pattern("a", "x"));
+  store.upsert_pattern(make_pattern("b", "y"));
+  PatternStore::ExportFilter filter;
+  filter.service = "a";
+  EXPECT_EQ(store.export_patterns(filter).size(), 1u);
+}
+
+TEST(PatternStore, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqrtg_store_test.db")
+          .string();
+  core::Pattern p = make_pattern("sshd", "login", 42);
+  p.examples = {"login 7"};
+  {
+    PatternStore store;
+    store.upsert_pattern(p);
+    ASSERT_TRUE(store.save(path));
+  }
+  PatternStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.pattern_count(), 1u);
+  const auto found = loaded.find(p.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 42u);
+  EXPECT_EQ(found->examples.size(), 1u);
+  EXPECT_EQ(found->tokens, p.tokens);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, LoadFailureLeavesUsableEmptyStore) {
+  PatternStore store;
+  EXPECT_FALSE(store.load("/nonexistent/file.db"));
+  // The store must still work after a failed load.
+  store.upsert_pattern(make_pattern("s", "e"));
+  EXPECT_EQ(store.pattern_count(), 1u);
+}
+
+TEST(PatternStore, WorksThroughRepositoryInterface) {
+  PatternStore store;
+  core::PatternRepository& repo = store;
+  repo.upsert_pattern(make_pattern("s", "via-interface"));
+  EXPECT_EQ(repo.pattern_count(), 1u);
+  EXPECT_EQ(repo.services().size(), 1u);
+}
+
+}  // namespace
+}  // namespace seqrtg::store

@@ -1,0 +1,147 @@
+#include "store/sql.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::store {
+namespace {
+
+SqlStatement parse_ok(std::string_view sql) {
+  std::string error;
+  const auto stmt = sql_parse(sql, &error);
+  EXPECT_TRUE(stmt.has_value()) << sql << " -> " << error;
+  return stmt.value_or(SqlStatement{});
+}
+
+void parse_fail(std::string_view sql) {
+  std::string error;
+  EXPECT_FALSE(sql_parse(sql, &error).has_value()) << sql;
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SqlLex, TokenKinds) {
+  std::vector<SqlToken> tokens;
+  std::string error;
+  ASSERT_TRUE(sql_lex("SELECT a, 'str''x', 42, -1.5, ? FROM t", &tokens,
+                      &error));
+  EXPECT_EQ(tokens[0].type, SqlTokenType::Keyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, SqlTokenType::Identifier);
+  EXPECT_EQ(tokens[3].type, SqlTokenType::StringLit);
+  EXPECT_EQ(tokens[3].text, "str'x");
+  EXPECT_EQ(tokens[5].type, SqlTokenType::NumberLit);
+  EXPECT_EQ(tokens[7].text, "-1.5");
+  EXPECT_EQ(tokens[9].type, SqlTokenType::Placeholder);
+  EXPECT_EQ(tokens.back().type, SqlTokenType::End);
+}
+
+TEST(SqlLex, KeywordsCaseInsensitive) {
+  std::vector<SqlToken> tokens;
+  std::string error;
+  ASSERT_TRUE(sql_lex("select * from t", &tokens, &error));
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[2].text, "FROM");
+}
+
+TEST(SqlLex, UnterminatedString) {
+  std::vector<SqlToken> tokens;
+  std::string error;
+  EXPECT_FALSE(sql_lex("SELECT 'oops", &tokens, &error));
+}
+
+TEST(SqlParse, CreateTable) {
+  const auto stmt = parse_ok(
+      "CREATE TABLE patterns (pid TEXT PRIMARY KEY, cnt INTEGER, "
+      "score REAL)");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::CreateTable);
+  EXPECT_EQ(stmt.create_table.table, "patterns");
+  ASSERT_EQ(stmt.create_table.columns.size(), 3u);
+  EXPECT_EQ(stmt.create_table.columns[0].second, ValueType::Text);
+  EXPECT_EQ(stmt.create_table.columns[1].second, ValueType::Integer);
+  EXPECT_EQ(stmt.create_table.columns[2].second, ValueType::Real);
+  EXPECT_EQ(stmt.create_table.primary_key, 0);
+}
+
+TEST(SqlParse, CreateIndex) {
+  const auto stmt = parse_ok("CREATE INDEX ON t (col)");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::CreateIndex);
+  EXPECT_EQ(stmt.create_index.table, "t");
+  EXPECT_EQ(stmt.create_index.column, "col");
+}
+
+TEST(SqlParse, InsertWithPlaceholdersAndLiterals) {
+  const auto stmt =
+      parse_ok("INSERT INTO t VALUES (?, 'text', 42, NULL, ?)");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::Insert);
+  EXPECT_EQ(stmt.placeholder_count, 2u);
+  ASSERT_EQ(stmt.insert.values.size(), 5u);
+  EXPECT_TRUE(stmt.insert.values[0].is_placeholder);
+  EXPECT_EQ(stmt.insert.values[1].literal.as_text(), "text");
+  EXPECT_EQ(stmt.insert.values[2].literal.as_int(), 42);
+  EXPECT_TRUE(stmt.insert.values[3].literal.is_null());
+  EXPECT_EQ(stmt.insert.values[4].placeholder_index, 1u);
+}
+
+TEST(SqlParse, SelectFull) {
+  const auto stmt = parse_ok(
+      "SELECT a, b FROM t WHERE x = ? AND y = 3 ORDER BY b DESC LIMIT 10");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::Select);
+  EXPECT_FALSE(stmt.select.star);
+  ASSERT_EQ(stmt.select.columns.size(), 2u);
+  ASSERT_EQ(stmt.select.where.size(), 2u);
+  EXPECT_TRUE(stmt.select.where[0].is_placeholder);
+  EXPECT_EQ(stmt.select.where[1].literal.as_int(), 3);
+  EXPECT_EQ(stmt.select.order_by, "b");
+  EXPECT_TRUE(stmt.select.order_desc);
+  EXPECT_EQ(stmt.select.limit, 10);
+}
+
+TEST(SqlParse, SelectStar) {
+  const auto stmt = parse_ok("SELECT * FROM t");
+  EXPECT_TRUE(stmt.select.star);
+  EXPECT_TRUE(stmt.select.where.empty());
+  EXPECT_EQ(stmt.select.limit, -1);
+}
+
+TEST(SqlParse, Update) {
+  const auto stmt =
+      parse_ok("UPDATE t SET a = ?, b = 'v' WHERE pid = ?");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::Update);
+  ASSERT_EQ(stmt.update.sets.size(), 2u);
+  EXPECT_EQ(stmt.update.sets[0].first, "a");
+  EXPECT_EQ(stmt.placeholder_count, 2u);
+  // Placeholder order: SET items first, then WHERE.
+  EXPECT_EQ(stmt.update.sets[0].second.placeholder_index, 0u);
+  EXPECT_EQ(stmt.update.where[0].placeholder_index, 1u);
+}
+
+TEST(SqlParse, Delete) {
+  const auto stmt = parse_ok("DELETE FROM t WHERE a = 'x'");
+  EXPECT_EQ(stmt.kind, SqlStatement::Kind::Delete);
+  ASSERT_EQ(stmt.del.where.size(), 1u);
+}
+
+TEST(SqlParse, DeleteAll) {
+  const auto stmt = parse_ok("DELETE FROM t");
+  EXPECT_TRUE(stmt.del.where.empty());
+}
+
+TEST(SqlParse, TrailingSemicolonTolerated) {
+  parse_ok("SELECT * FROM t;");
+}
+
+TEST(SqlParse, Malformed) {
+  parse_fail("");
+  parse_fail("DROP TABLE t");                  // unsupported verb
+  parse_fail("SELECT FROM t");                 // missing columns
+  parse_fail("SELECT * FROM");                 // missing table
+  parse_fail("INSERT INTO t VALUES (1");       // unclosed paren
+  parse_fail("CREATE TABLE t (a BOGUS)");      // unknown type
+  parse_fail("SELECT * FROM t WHERE a");       // incomplete clause
+  parse_fail("SELECT * FROM t LIMIT x");       // non-numeric limit
+  parse_fail("SELECT * FROM t extra");         // trailing tokens
+  parse_fail("CREATE TABLE t (a TEXT PRIMARY KEY, b TEXT PRIMARY KEY)");
+  parse_fail("UPDATE t WHERE a = 1");          // missing SET
+}
+
+}  // namespace
+}  // namespace seqrtg::store

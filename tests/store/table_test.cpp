@@ -1,0 +1,143 @@
+#include "store/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::store {
+namespace {
+
+Schema people_schema() {
+  Schema s;
+  s.columns = {{"id", ValueType::Text},
+               {"age", ValueType::Integer},
+               {"city", ValueType::Text}};
+  s.primary_key = 0;
+  return s;
+}
+
+TEST(Schema, ColumnIndex) {
+  const Schema s = people_schema();
+  EXPECT_EQ(s.column_index("id"), 0);
+  EXPECT_EQ(s.column_index("city"), 2);
+  EXPECT_EQ(s.column_index("nope"), -1);
+}
+
+TEST(Table, InsertAndLookup) {
+  Table t(people_schema());
+  EXPECT_TRUE(t.insert({Value("a"), Value(30), Value("lyon")}));
+  EXPECT_TRUE(t.insert({Value("b"), Value(25), Value("paris")}));
+  EXPECT_EQ(t.size(), 2u);
+  const auto id = t.find_pk(Value("b"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(t.row(*id)[1].as_int(), 25);
+  EXPECT_FALSE(t.find_pk(Value("zz")).has_value());
+}
+
+TEST(Table, PrimaryKeyViolationRejected) {
+  Table t(people_schema());
+  EXPECT_TRUE(t.insert({Value("a"), Value(1), Value("x")}));
+  EXPECT_FALSE(t.insert({Value("a"), Value(2), Value("y")}));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Table, ArityMismatchRejected) {
+  Table t(people_schema());
+  EXPECT_FALSE(t.insert({Value("a"), Value(1)}));
+}
+
+TEST(Table, FindEqScansWithoutIndex) {
+  Table t(people_schema());
+  t.insert({Value("a"), Value(30), Value("lyon")});
+  t.insert({Value("b"), Value(30), Value("paris")});
+  t.insert({Value("c"), Value(40), Value("lyon")});
+  EXPECT_EQ(t.find_eq("age", Value(30)).size(), 2u);
+  EXPECT_EQ(t.find_eq("city", Value("lyon")).size(), 2u);
+  EXPECT_TRUE(t.find_eq("age", Value(99)).empty());
+  EXPECT_TRUE(t.find_eq("bogus", Value(1)).empty());
+}
+
+TEST(Table, SecondaryIndexMatchesScan) {
+  Table t(people_schema());
+  t.insert({Value("a"), Value(30), Value("lyon")});
+  t.insert({Value("b"), Value(30), Value("paris")});
+  const auto before = t.find_eq("age", Value(30));
+  ASSERT_TRUE(t.add_index("age"));
+  const auto after = t.find_eq("age", Value(30));
+  EXPECT_EQ(before, after);
+  // Index stays correct across later inserts.
+  t.insert({Value("c"), Value(30), Value("nice")});
+  EXPECT_EQ(t.find_eq("age", Value(30)).size(), 3u);
+}
+
+TEST(Table, AddIndexUnknownColumn) {
+  Table t(people_schema());
+  EXPECT_FALSE(t.add_index("bogus"));
+}
+
+TEST(Table, UpdateMaintainsIndexes) {
+  Table t(people_schema());
+  t.add_index("city");
+  t.insert({Value("a"), Value(30), Value("lyon")});
+  const RowId id = *t.find_pk(Value("a"));
+  EXPECT_TRUE(t.update_row(id, {Value("a"), Value(31), Value("paris")}));
+  EXPECT_TRUE(t.find_eq("city", Value("lyon")).empty());
+  EXPECT_EQ(t.find_eq("city", Value("paris")).size(), 1u);
+}
+
+TEST(Table, UpdateRejectsPkCollision) {
+  Table t(people_schema());
+  t.insert({Value("a"), Value(1), Value("x")});
+  t.insert({Value("b"), Value(2), Value("y")});
+  const RowId id = *t.find_pk(Value("b"));
+  EXPECT_FALSE(t.update_row(id, {Value("a"), Value(2), Value("y")}));
+  // Changing the pk to a fresh value is allowed.
+  EXPECT_TRUE(t.update_row(id, {Value("c"), Value(2), Value("y")}));
+  EXPECT_TRUE(t.find_pk(Value("c")).has_value());
+  EXPECT_FALSE(t.find_pk(Value("b")).has_value());
+}
+
+TEST(Table, EraseTombstonesRow) {
+  Table t(people_schema());
+  t.add_index("city");
+  t.insert({Value("a"), Value(1), Value("x")});
+  t.insert({Value("b"), Value(2), Value("x")});
+  const RowId id = *t.find_pk(Value("a"));
+  t.erase(id);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.find_pk(Value("a")).has_value());
+  EXPECT_EQ(t.find_eq("city", Value("x")).size(), 1u);
+  // Pk becomes reusable after erase.
+  EXPECT_TRUE(t.insert({Value("a"), Value(9), Value("z")}));
+}
+
+TEST(Table, AllRowsSkipsTombstones) {
+  Table t(people_schema());
+  t.insert({Value("a"), Value(1), Value("x")});
+  t.insert({Value("b"), Value(2), Value("y")});
+  t.erase(*t.find_pk(Value("a")));
+  const auto rows = t.all_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.row(rows[0])[0].as_text(), "b");
+}
+
+TEST(Table, SnapshotInInsertionOrder) {
+  Table t(people_schema());
+  t.insert({Value("z"), Value(1), Value("x")});
+  t.insert({Value("a"), Value(2), Value("y")});
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ((*snap[0])[0].as_text(), "z");
+  EXPECT_EQ((*snap[1])[0].as_text(), "a");
+}
+
+TEST(Table, KeylessTableAllowsDuplicates) {
+  Schema s;
+  s.columns = {{"v", ValueType::Integer}};
+  Table t(s);
+  EXPECT_TRUE(t.insert({Value(1)}));
+  EXPECT_TRUE(t.insert({Value(1)}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.find_pk(Value(1)).has_value());
+}
+
+}  // namespace
+}  // namespace seqrtg::store

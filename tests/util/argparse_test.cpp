@@ -1,0 +1,102 @@
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p;
+  p.add_option("db", "database file", "default.db");
+  p.add_option("count", "how many", "10");
+  p.add_flag("verbose", "say more");
+  return p;
+}
+
+TEST(ArgParser, Defaults) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({}));
+  EXPECT_EQ(p.get("db"), "default.db");
+  EXPECT_EQ(p.get_int("count", -1), 10);
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_FALSE(p.has("db"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"--db", "x.db", "--count", "42"}));
+  EXPECT_EQ(p.get("db"), "x.db");
+  EXPECT_EQ(p.get_int("count", -1), 42);
+  EXPECT_TRUE(p.has("db"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"--db=y.db", "--count=7"}));
+  EXPECT_EQ(p.get("db"), "y.db");
+  EXPECT_EQ(p.get_int("count", -1), 7);
+}
+
+TEST(ArgParser, BoolFlags) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"--verbose"}));
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, FlagWithValueRejected) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"--verbose=yes"}));
+  EXPECT_FALSE(p.error().empty());
+}
+
+TEST(ArgParser, Positionals) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"input.log", "--db", "x.db", "second"}));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.log");
+  EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(ArgParser, UnknownFlag) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"--nope"}));
+  EXPECT_NE(p.error().find("--nope"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValue) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"--db"}));
+  EXPECT_NE(p.error().find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, GetIntFallbackOnGarbage) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"--count", "notanumber"}));
+  EXPECT_EQ(p.get_int("count", -5), -5);
+}
+
+TEST(ArgParser, GetDouble) {
+  ArgParser p;
+  p.add_option("ratio", "a ratio", "0.5");
+  ASSERT_TRUE(p.parse({"--ratio", "0.75"}));
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 0), 0.75);
+}
+
+TEST(ArgParser, UsageListsFlags) {
+  const ArgParser p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--db"), std::string::npos);
+  EXPECT_NE(usage.find("database file"), std::string::npos);
+  EXPECT_NE(usage.find("default.db"), std::string::npos);
+}
+
+TEST(ArgParser, ReparseResetsState) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"--db", "a.db", "pos"}));
+  ASSERT_TRUE(p.parse({"--count", "3"}));
+  EXPECT_EQ(p.get("db"), "default.db");
+  EXPECT_TRUE(p.positional().empty());
+}
+
+}  // namespace
+}  // namespace seqrtg::util

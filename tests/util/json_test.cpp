@@ -1,0 +1,107 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").value.is_null());
+  EXPECT_EQ(json_parse("true").value.as_bool(), true);
+  EXPECT_EQ(json_parse("false").value.as_bool(), false);
+  EXPECT_DOUBLE_EQ(json_parse("3.5").value.as_number(), 3.5);
+  EXPECT_EQ(json_parse("-17").value.as_int(), -17);
+  EXPECT_DOUBLE_EQ(json_parse("1e3").value.as_number(), 1000.0);
+  EXPECT_EQ(json_parse("\"hi\"").value.as_string(), "hi");
+}
+
+TEST(JsonParse, StreamRecord) {
+  const auto r = json_parse(
+      R"({"service":"sshd","message":"Accepted password for root"})");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.get_string("service", ""), "sshd");
+  EXPECT_EQ(r.value.get_string("message", ""),
+            "Accepted password for root");
+  EXPECT_EQ(r.value.get_string("missing", "fb"), "fb");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto r = json_parse(R"({"a":[1,2,{"b":[true,null]}],"c":{}})");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Json* a = r.value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(r.value.find("c")->is_object());
+}
+
+TEST(JsonParse, EscapeSequences) {
+  const auto r = json_parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapesToUtf8) {
+  EXPECT_EQ(json_parse(R"("é")").value.as_string(), "\xC3\xA9");
+  EXPECT_EQ(json_parse(R"("€")").value.as_string(), "\xE2\x82\xAC");
+}
+
+TEST(JsonParse, Whitespace) {
+  const auto r = json_parse("  { \"a\" :\t[ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(r.ok()) << r.error;
+}
+
+TEST(JsonParse, Malformed) {
+  EXPECT_FALSE(json_parse("").ok());
+  EXPECT_FALSE(json_parse("{").ok());
+  EXPECT_FALSE(json_parse("[1,]").ok());
+  EXPECT_FALSE(json_parse("{\"a\":}").ok());
+  EXPECT_FALSE(json_parse("\"unterminated").ok());
+  EXPECT_FALSE(json_parse("tru").ok());
+  EXPECT_FALSE(json_parse("1 2").ok());      // trailing garbage
+  EXPECT_FALSE(json_parse("{'a':1}").ok());  // single quotes
+  EXPECT_FALSE(json_parse("\"bad\\q\"").ok());
+  EXPECT_FALSE(json_parse("\"ctl\x01\"").ok());
+}
+
+TEST(JsonParse, DeepNestingIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '[';
+  for (int i = 0; i < 500; ++i) deep += ']';
+  EXPECT_FALSE(json_parse(deep).ok());
+}
+
+TEST(JsonDump, RoundTrip) {
+  const std::string doc =
+      R"({"arr":[1,2.5,"x"],"msg":"line1\nline2","n":null,"ok":true})";
+  const auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value.dump(), doc);
+}
+
+TEST(JsonDump, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Json(std::string("a\x01")).dump(), "\"a\\u0001\"");
+  EXPECT_EQ(Json(std::string("tab\t")).dump(), "\"tab\\t\"");
+}
+
+TEST(JsonDump, ObjectKeyOrderIsDeterministic) {
+  JsonObject o;
+  o["zeta"] = Json(1);
+  o["alpha"] = Json(2);
+  EXPECT_EQ(Json(std::move(o)).dump(), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(JsonEquality, DeepCompare) {
+  EXPECT_EQ(json_parse("[1,{\"a\":true}]").value,
+            json_parse("[1, {\"a\": true}]").value);
+  EXPECT_FALSE(json_parse("[1]").value == json_parse("[2]").value);
+}
+
+}  // namespace
+}  // namespace seqrtg::util

@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, HexStringShapeAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  const std::string s = a.hex_string(16);
+  EXPECT_EQ(s.size(), 16u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+  EXPECT_EQ(s, b.hex_string(16));
+}
+
+TEST(Rng, ForkIndependentButStable) {
+  Rng root(99);
+  Rng f1 = root.fork("alpha");
+  Rng f2 = root.fork("beta");
+  Rng f1_again = root.fork("alpha");
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(3);
+  Rng b(3);
+  (void)a.fork("child");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng(17);
+  ZipfSampler zipf(10, 1.1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 10u);
+  }
+}
+
+TEST(Zipf, RankOneDominates) {
+  Rng rng(19);
+  ZipfSampler zipf(20, 1.2);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 must be the most frequent and hold a large share.
+  int max_count = 0;
+  std::size_t max_rank = 0;
+  for (const auto& [rank, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 20000 / 10);
+}
+
+TEST(Zipf, SingleItem) {
+  Rng rng(23);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace seqrtg::util

@@ -1,0 +1,131 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespace, DropsEmptyRuns) {
+  const auto parts = split_whitespace("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, AllWhitespace) {
+  EXPECT_TRUE(split_whitespace(" \t\n ").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  // Non-ASCII bytes pass through unchanged.
+  EXPECT_EQ(to_lower("\xC3\x89"), "\xC3\x89");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("hello", "hello world"));
+  EXPECT_TRUE(ends_with("hello world", "world"));
+  EXPECT_FALSE(ends_with("world", "hello world"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Classifiers, Digits) {
+  EXPECT_TRUE(is_all_digits("0123456789"));
+  EXPECT_FALSE(is_all_digits("123a"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_TRUE(has_digit("abc1"));
+  EXPECT_FALSE(has_digit("abc"));
+}
+
+TEST(Classifiers, Alpha) {
+  EXPECT_TRUE(is_all_alpha("abcXYZ"));
+  EXPECT_FALSE(is_all_alpha("ab1"));
+  EXPECT_FALSE(is_all_alpha(""));
+  EXPECT_TRUE(has_alpha("123x"));
+  EXPECT_FALSE(has_alpha("123"));
+}
+
+TEST(Classifiers, Hex) {
+  EXPECT_TRUE(is_all_hex("deadBEEF09"));
+  EXPECT_FALSE(is_all_hex("xyz"));
+  EXPECT_FALSE(is_all_hex(""));
+  EXPECT_TRUE(is_hex_digit('a'));
+  EXPECT_TRUE(is_hex_digit('F'));
+  EXPECT_FALSE(is_hex_digit('g'));
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(ReplaceAll, Basics) {
+  EXPECT_EQ(replace_all("a@b@c", "@", "@@"), "a@@b@@c");
+  EXPECT_EQ(replace_all("aaa", "a", "b"), "bbb");
+  EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(replace_all("abc", "", "y"), "abc");
+}
+
+TEST(ReplaceAll, NoInfiniteLoopWhenToContainsFrom) {
+  EXPECT_EQ(replace_all("a", "a", "aa"), "aa");
+}
+
+TEST(XmlEscape, AllSpecials) {
+  EXPECT_EQ(xml_escape("<a b=\"c\" d='e'>&</a>"),
+            "&lt;a b=&quot;c&quot; d=&apos;e&apos;&gt;&amp;&lt;/a&gt;");
+  EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+TEST(CountOccurrences, Basics) {
+  EXPECT_EQ(count_occurrences("a.b.c", "."), 2u);
+  EXPECT_EQ(count_occurrences("aaaa", "aa"), 2u);  // non-overlapping
+  EXPECT_EQ(count_occurrences("abc", ""), 0u);
+  EXPECT_EQ(count_occurrences("", "x"), 0u);
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(human_bytes(3u * 1024 * 1024), "3.0 MiB");
+}
+
+}  // namespace
+}  // namespace seqrtg::util

@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroItems) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.parallel_for(1, [&hits](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(20, [&count](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ThreadCountClamp) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace seqrtg::util

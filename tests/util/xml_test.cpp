@@ -1,0 +1,96 @@
+#include "util/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(Xml, SimpleElement) {
+  const auto r = xml_parse("<a>hello</a>");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.root.name, "a");
+  EXPECT_EQ(r.root.text, "hello");
+  EXPECT_TRUE(r.root.children.empty());
+}
+
+TEST(Xml, Attributes) {
+  const auto r = xml_parse(R"(<rule id="abc" provider='seq'/>)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.root.attribute("id"), "abc");
+  EXPECT_EQ(r.root.attribute("provider"), "seq");
+  EXPECT_EQ(r.root.attribute("missing"), "");
+}
+
+TEST(Xml, NestedChildren) {
+  const auto r = xml_parse(
+      "<a><b>one</b><c/><b>two</b></a>");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.root.children.size(), 3u);
+  const auto bs = r.root.children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->text, "one");
+  EXPECT_EQ(bs[1]->text, "two");
+  EXPECT_NE(r.root.child("c"), nullptr);
+  EXPECT_EQ(r.root.child("zz"), nullptr);
+}
+
+TEST(Xml, SelfClosing) {
+  const auto r = xml_parse("<a><b/><b /></a>");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.root.children.size(), 2u);
+}
+
+TEST(Xml, DeclarationAndComments) {
+  const auto r = xml_parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- top comment -->\n"
+      "<a><!-- inner -->text<b/></a>\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.root.text, "text");
+  EXPECT_EQ(r.root.children.size(), 1u);
+}
+
+TEST(Xml, EntityDecoding) {
+  const auto r = xml_parse(
+      "<a x=\"q&quot;q\">&lt;tag&gt; &amp; &apos;s &#65;&#x42;</a>");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.root.attribute("x"), "q\"q");
+  EXPECT_EQ(r.root.text, "<tag> & 's AB");
+}
+
+TEST(Xml, WhitespaceInTextPreserved) {
+  const auto r = xml_parse("<a>  spaced  out  </a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.root.text, "  spaced  out  ");
+}
+
+TEST(Xml, Malformed) {
+  EXPECT_FALSE(xml_parse("").ok());
+  EXPECT_FALSE(xml_parse("<a>").ok());
+  EXPECT_FALSE(xml_parse("<a></b>").ok());
+  EXPECT_FALSE(xml_parse("<a x=1></a>").ok());          // unquoted attr
+  EXPECT_FALSE(xml_parse("<a><b></a></b>").ok());       // crossed tags
+  EXPECT_FALSE(xml_parse("<a/>junk").ok());             // trailing junk
+  EXPECT_FALSE(xml_parse("<a x=\"1></a>").ok());        // unterminated attr
+  EXPECT_FALSE(xml_parse("no markup").ok());
+}
+
+TEST(Xml, DeepNesting) {
+  std::string doc;
+  for (int i = 0; i < 50; ++i) doc += "<n>";
+  doc += "leaf";
+  for (int i = 0; i < 50; ++i) doc += "</n>";
+  const auto r = xml_parse(doc);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const XmlNode* node = &r.root;
+  int depth = 1;
+  while (!node->children.empty()) {
+    node = &node->children[0];
+    ++depth;
+  }
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(node->text, "leaf");
+}
+
+}  // namespace
+}  // namespace seqrtg::util
