@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batchsize.dir/bench_batchsize.cpp.o"
+  "CMakeFiles/bench_batchsize.dir/bench_batchsize.cpp.o.d"
+  "bench_batchsize"
+  "bench_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

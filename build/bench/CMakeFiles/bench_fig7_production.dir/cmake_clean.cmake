@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_production.dir/bench_fig7_production.cpp.o"
+  "CMakeFiles/bench_fig7_production.dir/bench_fig7_production.cpp.o.d"
+  "bench_fig7_production"
+  "bench_fig7_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

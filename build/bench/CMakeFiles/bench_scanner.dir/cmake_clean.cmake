@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scanner.dir/bench_scanner.cpp.o"
+  "CMakeFiles/bench_scanner.dir/bench_scanner.cpp.o.d"
+  "bench_scanner"
+  "bench_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

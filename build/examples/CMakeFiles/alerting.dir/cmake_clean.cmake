@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerting.dir/alerting.cpp.o"
+  "CMakeFiles/alerting.dir/alerting.cpp.o.d"
+  "alerting"
+  "alerting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

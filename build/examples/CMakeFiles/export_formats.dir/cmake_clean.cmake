@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_formats.dir/export_formats.cpp.o"
+  "CMakeFiles/export_formats.dir/export_formats.cpp.o.d"
+  "export_formats"
+  "export_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_matching.dir/parser_matching.cpp.o"
+  "CMakeFiles/parser_matching.dir/parser_matching.cpp.o.d"
+  "parser_matching"
+  "parser_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_sim.dir/production_sim.cpp.o"
+  "CMakeFiles/production_sim.dir/production_sim.cpp.o.d"
+  "production_sim"
+  "production_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_miner.dir/stream_miner.cpp.o"
+  "CMakeFiles/stream_miner.dir/stream_miner.cpp.o.d"
+  "stream_miner"
+  "stream_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ael.cpp" "src/baselines/CMakeFiles/seqrtg_baselines.dir/ael.cpp.o" "gcc" "src/baselines/CMakeFiles/seqrtg_baselines.dir/ael.cpp.o.d"
+  "/root/repo/src/baselines/baseline.cpp" "src/baselines/CMakeFiles/seqrtg_baselines.dir/baseline.cpp.o" "gcc" "src/baselines/CMakeFiles/seqrtg_baselines.dir/baseline.cpp.o.d"
+  "/root/repo/src/baselines/drain.cpp" "src/baselines/CMakeFiles/seqrtg_baselines.dir/drain.cpp.o" "gcc" "src/baselines/CMakeFiles/seqrtg_baselines.dir/drain.cpp.o.d"
+  "/root/repo/src/baselines/iplom.cpp" "src/baselines/CMakeFiles/seqrtg_baselines.dir/iplom.cpp.o" "gcc" "src/baselines/CMakeFiles/seqrtg_baselines.dir/iplom.cpp.o.d"
+  "/root/repo/src/baselines/spell.cpp" "src/baselines/CMakeFiles/seqrtg_baselines.dir/spell.cpp.o" "gcc" "src/baselines/CMakeFiles/seqrtg_baselines.dir/spell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

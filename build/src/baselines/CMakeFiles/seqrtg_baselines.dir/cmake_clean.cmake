@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_baselines.dir/ael.cpp.o"
+  "CMakeFiles/seqrtg_baselines.dir/ael.cpp.o.d"
+  "CMakeFiles/seqrtg_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/seqrtg_baselines.dir/baseline.cpp.o.d"
+  "CMakeFiles/seqrtg_baselines.dir/drain.cpp.o"
+  "CMakeFiles/seqrtg_baselines.dir/drain.cpp.o.d"
+  "CMakeFiles/seqrtg_baselines.dir/iplom.cpp.o"
+  "CMakeFiles/seqrtg_baselines.dir/iplom.cpp.o.d"
+  "CMakeFiles/seqrtg_baselines.dir/spell.cpp.o"
+  "CMakeFiles/seqrtg_baselines.dir/spell.cpp.o.d"
+  "libseqrtg_baselines.a"
+  "libseqrtg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg.dir/main.cpp.o"
+  "CMakeFiles/seqrtg.dir/main.cpp.o.d"
+  "seqrtg"
+  "seqrtg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_cli.dir/cli.cpp.o"
+  "CMakeFiles/seqrtg_cli.dir/cli.cpp.o.d"
+  "libseqrtg_cli.a"
+  "libseqrtg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

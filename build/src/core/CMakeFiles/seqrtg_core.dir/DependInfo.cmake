@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyze_by_service.cpp" "src/core/CMakeFiles/seqrtg_core.dir/analyze_by_service.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/analyze_by_service.cpp.o.d"
+  "/root/repo/src/core/fsm_datetime.cpp" "src/core/CMakeFiles/seqrtg_core.dir/fsm_datetime.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/fsm_datetime.cpp.o.d"
+  "/root/repo/src/core/fsm_general.cpp" "src/core/CMakeFiles/seqrtg_core.dir/fsm_general.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/fsm_general.cpp.o.d"
+  "/root/repo/src/core/fsm_hex.cpp" "src/core/CMakeFiles/seqrtg_core.dir/fsm_hex.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/fsm_hex.cpp.o.d"
+  "/root/repo/src/core/ingest.cpp" "src/core/CMakeFiles/seqrtg_core.dir/ingest.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/ingest.cpp.o.d"
+  "/root/repo/src/core/parser.cpp" "src/core/CMakeFiles/seqrtg_core.dir/parser.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/parser.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/seqrtg_core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/core/CMakeFiles/seqrtg_core.dir/repository.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/repository.cpp.o.d"
+  "/root/repo/src/core/scanner.cpp" "src/core/CMakeFiles/seqrtg_core.dir/scanner.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/scanner.cpp.o.d"
+  "/root/repo/src/core/special_tokens.cpp" "src/core/CMakeFiles/seqrtg_core.dir/special_tokens.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/special_tokens.cpp.o.d"
+  "/root/repo/src/core/token.cpp" "src/core/CMakeFiles/seqrtg_core.dir/token.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/token.cpp.o.d"
+  "/root/repo/src/core/trie.cpp" "src/core/CMakeFiles/seqrtg_core.dir/trie.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/trie.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/seqrtg_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/seqrtg_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_core.dir/analyze_by_service.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/analyze_by_service.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/fsm_datetime.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/fsm_datetime.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/fsm_general.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/fsm_general.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/fsm_hex.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/fsm_hex.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/ingest.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/ingest.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/parser.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/parser.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/pattern.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/repository.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/repository.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/scanner.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/scanner.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/special_tokens.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/special_tokens.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/token.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/token.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/trie.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/trie.cpp.o.d"
+  "CMakeFiles/seqrtg_core.dir/validation.cpp.o"
+  "CMakeFiles/seqrtg_core.dir/validation.cpp.o.d"
+  "libseqrtg_core.a"
+  "libseqrtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/dataset_eval.cpp" "src/eval/CMakeFiles/seqrtg_eval.dir/dataset_eval.cpp.o" "gcc" "src/eval/CMakeFiles/seqrtg_eval.dir/dataset_eval.cpp.o.d"
+  "/root/repo/src/eval/grouping_accuracy.cpp" "src/eval/CMakeFiles/seqrtg_eval.dir/grouping_accuracy.cpp.o" "gcc" "src/eval/CMakeFiles/seqrtg_eval.dir/grouping_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqrtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seqrtg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

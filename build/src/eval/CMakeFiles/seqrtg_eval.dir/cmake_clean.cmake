@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_eval.dir/dataset_eval.cpp.o"
+  "CMakeFiles/seqrtg_eval.dir/dataset_eval.cpp.o.d"
+  "CMakeFiles/seqrtg_eval.dir/grouping_accuracy.cpp.o"
+  "CMakeFiles/seqrtg_eval.dir/grouping_accuracy.cpp.o.d"
+  "libseqrtg_eval.a"
+  "libseqrtg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

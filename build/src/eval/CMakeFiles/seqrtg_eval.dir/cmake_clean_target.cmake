@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseqrtg_eval.a"
+)

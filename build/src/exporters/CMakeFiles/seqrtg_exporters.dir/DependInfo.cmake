@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exporters/exporter.cpp" "src/exporters/CMakeFiles/seqrtg_exporters.dir/exporter.cpp.o" "gcc" "src/exporters/CMakeFiles/seqrtg_exporters.dir/exporter.cpp.o.d"
+  "/root/repo/src/exporters/patterndb_import.cpp" "src/exporters/CMakeFiles/seqrtg_exporters.dir/patterndb_import.cpp.o" "gcc" "src/exporters/CMakeFiles/seqrtg_exporters.dir/patterndb_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqrtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_exporters.dir/exporter.cpp.o"
+  "CMakeFiles/seqrtg_exporters.dir/exporter.cpp.o.d"
+  "CMakeFiles/seqrtg_exporters.dir/patterndb_import.cpp.o"
+  "CMakeFiles/seqrtg_exporters.dir/patterndb_import.cpp.o.d"
+  "libseqrtg_exporters.a"
+  "libseqrtg_exporters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_exporters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loggen/corpus.cpp" "src/loggen/CMakeFiles/seqrtg_loggen.dir/corpus.cpp.o" "gcc" "src/loggen/CMakeFiles/seqrtg_loggen.dir/corpus.cpp.o.d"
+  "/root/repo/src/loggen/fleet.cpp" "src/loggen/CMakeFiles/seqrtg_loggen.dir/fleet.cpp.o" "gcc" "src/loggen/CMakeFiles/seqrtg_loggen.dir/fleet.cpp.o.d"
+  "/root/repo/src/loggen/generators.cpp" "src/loggen/CMakeFiles/seqrtg_loggen.dir/generators.cpp.o" "gcc" "src/loggen/CMakeFiles/seqrtg_loggen.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqrtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/seqrtg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seqrtg_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_loggen.dir/corpus.cpp.o"
+  "CMakeFiles/seqrtg_loggen.dir/corpus.cpp.o.d"
+  "CMakeFiles/seqrtg_loggen.dir/fleet.cpp.o"
+  "CMakeFiles/seqrtg_loggen.dir/fleet.cpp.o.d"
+  "CMakeFiles/seqrtg_loggen.dir/generators.cpp.o"
+  "CMakeFiles/seqrtg_loggen.dir/generators.cpp.o.d"
+  "libseqrtg_loggen.a"
+  "libseqrtg_loggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_loggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_pipeline.dir/actions.cpp.o"
+  "CMakeFiles/seqrtg_pipeline.dir/actions.cpp.o.d"
+  "CMakeFiles/seqrtg_pipeline.dir/simulation.cpp.o"
+  "CMakeFiles/seqrtg_pipeline.dir/simulation.cpp.o.d"
+  "libseqrtg_pipeline.a"
+  "libseqrtg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seqrtg_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/database.cpp" "src/store/CMakeFiles/seqrtg_store.dir/database.cpp.o" "gcc" "src/store/CMakeFiles/seqrtg_store.dir/database.cpp.o.d"
+  "/root/repo/src/store/pattern_store.cpp" "src/store/CMakeFiles/seqrtg_store.dir/pattern_store.cpp.o" "gcc" "src/store/CMakeFiles/seqrtg_store.dir/pattern_store.cpp.o.d"
+  "/root/repo/src/store/sql.cpp" "src/store/CMakeFiles/seqrtg_store.dir/sql.cpp.o" "gcc" "src/store/CMakeFiles/seqrtg_store.dir/sql.cpp.o.d"
+  "/root/repo/src/store/table.cpp" "src/store/CMakeFiles/seqrtg_store.dir/table.cpp.o" "gcc" "src/store/CMakeFiles/seqrtg_store.dir/table.cpp.o.d"
+  "/root/repo/src/store/value.cpp" "src/store/CMakeFiles/seqrtg_store.dir/value.cpp.o" "gcc" "src/store/CMakeFiles/seqrtg_store.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqrtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

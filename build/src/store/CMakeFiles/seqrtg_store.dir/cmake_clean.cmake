@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_store.dir/database.cpp.o"
+  "CMakeFiles/seqrtg_store.dir/database.cpp.o.d"
+  "CMakeFiles/seqrtg_store.dir/pattern_store.cpp.o"
+  "CMakeFiles/seqrtg_store.dir/pattern_store.cpp.o.d"
+  "CMakeFiles/seqrtg_store.dir/sql.cpp.o"
+  "CMakeFiles/seqrtg_store.dir/sql.cpp.o.d"
+  "CMakeFiles/seqrtg_store.dir/table.cpp.o"
+  "CMakeFiles/seqrtg_store.dir/table.cpp.o.d"
+  "CMakeFiles/seqrtg_store.dir/value.cpp.o"
+  "CMakeFiles/seqrtg_store.dir/value.cpp.o.d"
+  "libseqrtg_store.a"
+  "libseqrtg_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqrtg_util.dir/argparse.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/json.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/json.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/rng.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/sha1.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/strings.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/seqrtg_util.dir/xml.cpp.o"
+  "CMakeFiles/seqrtg_util.dir/xml.cpp.o.d"
+  "libseqrtg_util.a"
+  "libseqrtg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqrtg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ael_test.dir/baselines/ael_test.cpp.o"
+  "CMakeFiles/ael_test.dir/baselines/ael_test.cpp.o.d"
+  "ael_test"
+  "ael_test.pdb"
+  "ael_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ael_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

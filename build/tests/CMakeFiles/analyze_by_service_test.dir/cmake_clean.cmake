@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_by_service_test.dir/core/analyze_by_service_test.cpp.o"
+  "CMakeFiles/analyze_by_service_test.dir/core/analyze_by_service_test.cpp.o.d"
+  "analyze_by_service_test"
+  "analyze_by_service_test.pdb"
+  "analyze_by_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_by_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

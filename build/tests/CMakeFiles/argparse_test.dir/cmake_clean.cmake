@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argparse_test.dir/util/argparse_test.cpp.o"
+  "CMakeFiles/argparse_test.dir/util/argparse_test.cpp.o.d"
+  "argparse_test"
+  "argparse_test.pdb"
+  "argparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

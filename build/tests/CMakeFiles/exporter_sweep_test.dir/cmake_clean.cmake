@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exporter_sweep_test.dir/exporters/exporter_sweep_test.cpp.o"
+  "CMakeFiles/exporter_sweep_test.dir/exporters/exporter_sweep_test.cpp.o.d"
+  "exporter_sweep_test"
+  "exporter_sweep_test.pdb"
+  "exporter_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exporter_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

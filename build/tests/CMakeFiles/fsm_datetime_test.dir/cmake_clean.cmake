@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_datetime_test.dir/core/fsm_datetime_test.cpp.o"
+  "CMakeFiles/fsm_datetime_test.dir/core/fsm_datetime_test.cpp.o.d"
+  "fsm_datetime_test"
+  "fsm_datetime_test.pdb"
+  "fsm_datetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_datetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

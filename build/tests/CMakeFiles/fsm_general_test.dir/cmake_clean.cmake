@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_general_test.dir/core/fsm_general_test.cpp.o"
+  "CMakeFiles/fsm_general_test.dir/core/fsm_general_test.cpp.o.d"
+  "fsm_general_test"
+  "fsm_general_test.pdb"
+  "fsm_general_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_general_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

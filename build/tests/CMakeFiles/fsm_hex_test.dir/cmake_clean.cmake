@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_hex_test.dir/core/fsm_hex_test.cpp.o"
+  "CMakeFiles/fsm_hex_test.dir/core/fsm_hex_test.cpp.o.d"
+  "fsm_hex_test"
+  "fsm_hex_test.pdb"
+  "fsm_hex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_hex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_accuracy_test.dir/eval/grouping_accuracy_test.cpp.o"
+  "CMakeFiles/grouping_accuracy_test.dir/eval/grouping_accuracy_test.cpp.o.d"
+  "grouping_accuracy_test"
+  "grouping_accuracy_test.pdb"
+  "grouping_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iplom_test.dir/baselines/iplom_test.cpp.o"
+  "CMakeFiles/iplom_test.dir/baselines/iplom_test.cpp.o.d"
+  "iplom_test"
+  "iplom_test.pdb"
+  "iplom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iplom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

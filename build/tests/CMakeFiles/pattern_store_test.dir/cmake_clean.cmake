@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_store_test.dir/store/pattern_store_test.cpp.o"
+  "CMakeFiles/pattern_store_test.dir/store/pattern_store_test.cpp.o.d"
+  "pattern_store_test"
+  "pattern_store_test.pdb"
+  "pattern_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

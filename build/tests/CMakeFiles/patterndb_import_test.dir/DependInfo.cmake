@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exporters/patterndb_import_test.cpp" "tests/CMakeFiles/patterndb_import_test.dir/exporters/patterndb_import_test.cpp.o" "gcc" "tests/CMakeFiles/patterndb_import_test.dir/exporters/patterndb_import_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seqrtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/seqrtg_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/exporters/CMakeFiles/seqrtg_exporters.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seqrtg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/seqrtg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggen/CMakeFiles/seqrtg_loggen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/seqrtg_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seqrtg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterndb_import_test.dir/exporters/patterndb_import_test.cpp.o"
+  "CMakeFiles/patterndb_import_test.dir/exporters/patterndb_import_test.cpp.o.d"
+  "patterndb_import_test"
+  "patterndb_import_test.pdb"
+  "patterndb_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterndb_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

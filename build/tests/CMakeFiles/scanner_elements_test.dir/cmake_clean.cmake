@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_elements_test.dir/core/scanner_elements_test.cpp.o"
+  "CMakeFiles/scanner_elements_test.dir/core/scanner_elements_test.cpp.o.d"
+  "scanner_elements_test"
+  "scanner_elements_test.pdb"
+  "scanner_elements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_elements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_tokens_test.dir/core/special_tokens_test.cpp.o"
+  "CMakeFiles/special_tokens_test.dir/core/special_tokens_test.cpp.o.d"
+  "special_tokens_test"
+  "special_tokens_test.pdb"
+  "special_tokens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_tokens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spell_test.dir/baselines/spell_test.cpp.o"
+  "CMakeFiles/spell_test.dir/baselines/spell_test.cpp.o.d"
+  "spell_test"
+  "spell_test.pdb"
+  "spell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
