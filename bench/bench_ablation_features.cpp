@@ -20,6 +20,8 @@
 #include "loggen/corpus.hpp"
 #include "util/rng.hpp"
 
+#include "bench_common.hpp"
+
 using namespace seqrtg;
 
 namespace {
@@ -132,5 +134,6 @@ int main() {
       "(2) merging mixed alnum/int fields repairs the Proxifier split;\n"
       "(3) the path FSM keeps path-bearing events to one pattern each;\n"
       "(4) semi-constant splitting yields more, more-specific patterns.\n");
+  seqrtg::bench::write_bench_telemetry("ablation_features");
   return 0;
 }

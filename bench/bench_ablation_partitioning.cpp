@@ -20,6 +20,8 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
+#include "bench_common.hpp"
+
 using namespace seqrtg;
 
 namespace {
@@ -114,5 +116,6 @@ int main() {
       "\nPaper claim: the two partitioning rounds give better-quality\n"
       "patterns than processing everything as a single group, while also\n"
       "bounding memory and time.\n");
+  seqrtg::bench::write_bench_telemetry("ablation_partitioning");
   return 0;
 }

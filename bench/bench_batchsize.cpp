@@ -17,6 +17,8 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
+#include "bench_common.hpp"
+
 using namespace seqrtg;
 
 int main() {
@@ -66,5 +68,6 @@ int main() {
       "\nSmall batches re-parse known patterns cheaply but analyse with\n"
       "little context; huge batches grow the tries. The paper picks 100k\n"
       "as the production sweet spot.\n");
+  seqrtg::bench::write_bench_telemetry("batchsize");
   return 0;
 }

@@ -2,10 +2,33 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
 namespace seqrtg::bench {
+
+/// Writes the process telemetry snapshot to BENCH_<name>.json so bench
+/// output carries per-stage breakdowns (engine-phase latency histograms
+/// with p50/p90/p99, scanner/parser counters) instead of wall-clock-only
+/// numbers. The directory defaults to the working directory and can be
+/// redirected with SEQRTG_METRICS_DIR; SEQRTG_TELEMETRY=off skips the file
+/// (used to measure instrumentation overhead).
+inline void write_bench_telemetry(const char* bench_name) {
+  if (!obs::telemetry_enabled()) return;
+  const char* dir = std::getenv("SEQRTG_METRICS_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/BENCH_" +
+      bench_name + ".json";
+  if (obs::write_metrics_file(obs::default_registry(), path, "json")) {
+    std::fprintf(stderr, "telemetry snapshot: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());
+  }
+}
 
 /// Paper reference values for Table II (accuracy of Sequence-RTG) and the
 /// "Best" column from Zhu et al. [11]. Used to print paper-vs-measured

@@ -19,6 +19,8 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
+#include "bench_common.hpp"
+
 using namespace seqrtg;
 
 namespace {
@@ -77,5 +79,6 @@ int main() {
       "\nExpected shape (paper): AnalyzeByService well below Analyze, with\n"
       "Analyze degrading sharply past a few million entries as its single\n"
       "shared trie outgrows the caches.\n");
+  seqrtg::bench::write_bench_telemetry("fig5_scaling");
   return 0;
 }

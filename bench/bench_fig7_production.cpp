@@ -15,6 +15,8 @@
 #include "pipeline/simulation.hpp"
 #include "util/rng.hpp"
 
+#include "bench_common.hpp"
+
 using namespace seqrtg;
 
 int main() {
@@ -65,5 +67,6 @@ int main() {
   std::printf("\nday 1 unmatched: %.1f%%  ->  day %zu unmatched: %.1f%%\n",
               first_pct, opts.days, last_pct);
   std::printf("Paper shape: ~75-80%% -> ~15%% over 60 days.\n");
+  seqrtg::bench::write_bench_telemetry("fig7_production");
   return 0;
 }

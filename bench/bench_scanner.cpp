@@ -4,6 +4,7 @@
 // process messages in a single pass which makes it incredibly fast".
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/analyze_by_service.hpp"
 #include "core/parser.hpp"
 #include "core/scanner.hpp"
@@ -118,4 +119,10 @@ BENCHMARK(BM_Sha1PatternId);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_bench_telemetry("scanner");
+  return 0;
+}

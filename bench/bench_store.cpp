@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "bench_common.hpp"
 #include "store/pattern_store.hpp"
 #include "util/rng.hpp"
 
@@ -143,4 +144,10 @@ BENCHMARK(BM_StoreSaveLoad)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_bench_telemetry("store");
+  return 0;
+}

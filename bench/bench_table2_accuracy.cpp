@@ -66,5 +66,6 @@ int main() {
               sum_pre / dn, sum_paper_pre / dn, sum_raw / dn,
               sum_paper_raw / dn, sum_best / dn);
   std::printf("\n(total evaluation time: %.1f s)\n", total.seconds());
+  seqrtg::bench::write_bench_telemetry("table2_accuracy");
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
               paper_sums[1] / dn, sums[2] / dn, paper_sums[2] / dn,
               sums[3] / dn, paper_sums[3] / dn);
   std::printf("\n(total evaluation time: %.1f s)\n", total.seconds());
+  seqrtg::bench::write_bench_telemetry("table3_baselines");
   return 0;
 }

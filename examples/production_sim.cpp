@@ -5,6 +5,8 @@
 // full 60 days.
 #include <cstdio>
 
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -40,5 +42,11 @@ int main() {
       "\nThe unmatched share falls as administrators promote reviewed\n"
       "patterns; the floor is set by the one-off message tail that never\n"
       "reaches the promotion threshold (paper: 75-80%% -> ~15%%).\n");
+
+  // End-of-run telemetry snapshot in Prometheus text exposition — the same
+  // output `seqrtg simulate --metrics-out` writes, so this example doubles
+  // as a smoke test for the format.
+  std::printf("\n--- telemetry snapshot (Prometheus text exposition) ---\n");
+  std::fputs(obs::to_prometheus(obs::default_registry()).c_str(), stdout);
   return 0;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Configure and build a sanitizer-instrumented tree, then run the tests
+# that exercise cross-thread state. Sanitizers need whole-program
+# instrumentation, so this uses a dedicated build directory instead of
+# mixing flags into an existing one.
+#
+# Usage: scripts/sanitize.sh [thread|address] [test binaries...]
+#   scripts/sanitize.sh                 # TSan over the concurrency tests
+#   scripts/sanitize.sh address         # ASan over the same set
+#   scripts/sanitize.sh thread all      # TSan over the full ctest suite
+set -eu
+
+SAN="${1:-thread}"
+shift $(( $# > 0 ? 1 : 0 ))
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSEQRTG_SANITIZE="$SAN" \
+  -DSEQRTG_BUILD_BENCH=OFF \
+  -DSEQRTG_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j "$(nproc)"
+
+if [ "${1:-}" = "all" ]; then
+  exec ctest --test-dir "$BUILD" --output-on-failure
+fi
+# Default: the suites that exercise cross-thread state.
+[ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test
+for t in "$@"; do
+  "$BUILD/tests/$t"
+done

@@ -12,6 +12,9 @@
 #include "exporters/patterndb_import.hpp"
 #include "loggen/corpus.hpp"
 #include "loggen/fleet.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "pipeline/simulation.hpp"
 #include "store/pattern_store.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
@@ -42,6 +45,28 @@ core::EngineOptions engine_options_from(const util::ArgParser& args) {
   return opts;
 }
 
+/// Telemetry snapshot flags shared by the run-style verbs.
+void add_metrics_options(util::ArgParser& args) {
+  args.add_option("metrics-out",
+                  "write a telemetry snapshot to this file after the run",
+                  "");
+  args.add_option("metrics-format",
+                  "prometheus | json (default: by file extension)", "");
+}
+
+/// Writes the process-wide registry when --metrics-out was given.
+/// Returns 0 on success (or nothing to do), 1 on failure.
+int finish_metrics(const util::ArgParser& args, std::ostream& err) {
+  const std::string path = args.get("metrics-out");
+  if (path.empty()) return 0;
+  if (!obs::write_metrics_file(obs::default_registry(), path,
+                               args.get("metrics-format"))) {
+    err << "failed to write metrics to " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 /// Opens the positional input (file path or "-"/absent = the stream `in`).
 std::istream* open_input(const util::ArgParser& args, std::istream& in,
                          std::ifstream& file, std::ostream& err) {
@@ -62,6 +87,7 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   args.add_option("threads", "worker threads for the service fan-out", "1");
   args.add_option("save-threshold",
                   "minimum matches for a pattern to be saved", "1");
+  add_metrics_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
@@ -107,7 +133,7 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
     return 1;
   }
   out << store.pattern_count() << " patterns in " << db << "\n";
-  return 0;
+  return finish_metrics(args, err);
 }
 
 int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
@@ -119,6 +145,7 @@ int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
                   "(default: JSON-lines stream)",
                   "");
   args.add_flag("quiet", "print only the summary");
+  add_metrics_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
@@ -172,7 +199,7 @@ int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
     }
   }
   out << matched << " matched, " << unmatched << " unmatched\n";
-  return 0;
+  return finish_metrics(args, err);
 }
 
 int cmd_export(const std::vector<std::string>& argv, std::istream&,
@@ -221,6 +248,10 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
               std::ostream& out, std::ostream& err) {
   util::ArgParser args;
   args.add_option("db", "pattern database file", "patterns.db");
+  args.add_flag("telemetry",
+                "dump the process telemetry snapshot (Prometheus text "
+                "exposition) instead of the per-service table");
+  add_metrics_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
@@ -229,6 +260,10 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
   if (!store.load(args.get("db"))) {
     err << "cannot load pattern database " << args.get("db") << "\n";
     return 1;
+  }
+  if (args.get_flag("telemetry")) {
+    out << obs::to_prometheus(obs::default_registry());
+    return finish_metrics(args, err);
   }
   std::uint64_t total_matches = 0;
   out << "service                        patterns   matches\n";
@@ -245,13 +280,14 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
   }
   out << "total: " << store.pattern_count() << " patterns, "
       << total_matches << " recorded matches\n";
-  return 0;
+  return finish_metrics(args, err);
 }
 
 int cmd_validate(const std::vector<std::string>& argv, std::istream&,
                  std::ostream& out, std::ostream& err) {
   util::ArgParser args;
   add_engine_options(args);
+  add_metrics_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
@@ -276,6 +312,7 @@ int cmd_validate(const std::vector<std::string>& argv, std::istream&,
   }
   out << (conflicts == 0 ? "database is clean\n"
                          : std::to_string(conflicts) + " conflict(s)\n");
+  if (const int rc = finish_metrics(args, err); rc != 0) return rc;
   return conflicts == 0 ? 0 : 1;
 }
 
@@ -354,6 +391,67 @@ int cmd_import(const std::vector<std::string>& argv, std::istream& in,
   return 0;
 }
 
+int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
+                 std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("days", "simulated days", "15");
+  args.add_option("messages-per-day", "messages per simulated day", "20000");
+  args.add_option("batch", "Sequence-RTG batch size (records)", "4000");
+  args.add_option("services", "fleet: number of services", "80");
+  args.add_option("noise", "fleet: one-off noise fraction", "0.13");
+  args.add_option("seed", "fleet seed", "");
+  args.add_option("reviews-per-day",
+                  "candidate patterns promoted per day", "50");
+  args.add_option("initial-coverage",
+                  "day-one patterndb traffic coverage", "0.22");
+  args.add_option("threads", "engine worker threads", "1");
+  args.add_flag("quiet", "print only the final summary");
+  add_metrics_options(args);
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  pipeline::SimulationOptions opts;
+  opts.days = static_cast<std::size_t>(args.get_int("days", 15));
+  opts.messages_per_day =
+      static_cast<std::size_t>(args.get_int("messages-per-day", 20000));
+  opts.batch_size = static_cast<std::size_t>(args.get_int("batch", 4000));
+  opts.reviews_per_day =
+      static_cast<std::size_t>(args.get_int("reviews-per-day", 50));
+  opts.initial_coverage = args.get_double("initial-coverage", 0.22);
+  opts.fleet.services =
+      static_cast<std::size_t>(args.get_int("services", 80));
+  opts.fleet.noise_fraction = args.get_double("noise", 0.13);
+  if (args.has("seed")) {
+    opts.fleet.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  }
+  opts.engine.threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+
+  const bool quiet = args.get_flag("quiet");
+  if (!quiet) {
+    out << "day  unmatched%  promoted  candidates  analyses\n";
+  }
+  pipeline::ProductionSimulation sim(opts);
+  pipeline::DayStats last;
+  for (std::size_t d = 0; d < opts.days; ++d) {
+    last = sim.run_day();
+    if (!quiet) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "%3zu  %9.1f%%  %8zu  %10zu  %8zu\n",
+                    last.day, last.unmatched_pct, last.promoted_total,
+                    last.candidates, last.analyses);
+      out << line;
+    }
+  }
+  out << "simulated " << opts.days << " day(s): " << last.unmatched_pct
+      << "% unmatched on the last day, " << last.promoted_total
+      << " promoted pattern(s), " << last.candidates
+      << " candidate(s) pending review\n";
+  return finish_metrics(args, err);
+}
+
 int cmd_generate(const std::vector<std::string>& argv, std::istream&,
                  std::ostream& out, std::ostream& err) {
   util::ArgParser args;
@@ -423,6 +521,10 @@ std::string usage() {
          "  import    merge a (possibly hand-edited) patterndb XML back "
          "into the DB\n"
          "  generate  emit a synthetic corpus or fleet stream\n"
+         "  simulate  run the Fig. 6/7 production workflow simulation\n"
+         "run-style commands accept --metrics-out <file> "
+         "[--metrics-format prometheus|json] to dump a telemetry "
+         "snapshot; 'stats --telemetry' prints it\n"
          "run 'seqrtg <command> --help' is not needed: bad flags print "
          "the command's flag list\n";
 }
@@ -443,6 +545,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "purge") return cmd_purge(rest, in, out, err);
   if (cmd == "import") return cmd_import(rest, in, out, err);
   if (cmd == "generate") return cmd_generate(rest, in, out, err);
+  if (cmd == "simulate") return cmd_simulate(rest, in, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 2;
 }

@@ -4,9 +4,65 @@
 #include <map>
 
 #include "core/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace seqrtg::core {
+
+namespace {
+
+/// Engine telemetry. The per-phase histograms mirror the paper's Fig. 2
+/// workflow: first partitioning, parse-first matching (which includes the
+/// scan and the per-length trie inserts of unmatched records), analysis of
+/// the per-length tries, and the repository save. parse_first and
+/// trie_analysis are observed once per service — possibly from pool
+/// workers, which is safe because histogram updates are atomic and carry no
+/// ordering, preserving the merge-in-service-order determinism.
+struct EngineMetrics {
+  obs::Histogram& phase_partition;
+  obs::Histogram& phase_parse_first;
+  obs::Histogram& phase_trie_analysis;
+  obs::Histogram& phase_repo_save;
+  obs::Histogram& batch_seconds;
+  obs::Counter& batches;
+  obs::Counter& records;
+  obs::Counter& matched_existing;
+  obs::Counter& analyzed;
+  obs::Counter& new_patterns;
+  obs::Counter& below_threshold;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& reg = obs::default_registry();
+  const char* phase_help =
+      "Per-phase latency of Engine::analyze_by_service";
+  static EngineMetrics m{
+      reg.histogram("seqrtg_engine_phase_seconds", phase_help,
+                    {{"phase", "partition"}}),
+      reg.histogram("seqrtg_engine_phase_seconds", phase_help,
+                    {{"phase", "parse_first"}}),
+      reg.histogram("seqrtg_engine_phase_seconds", phase_help,
+                    {{"phase", "trie_analysis"}}),
+      reg.histogram("seqrtg_engine_phase_seconds", phase_help,
+                    {{"phase", "repo_save"}}),
+      reg.histogram("seqrtg_engine_batch_seconds",
+                    "Whole-batch latency of Engine::analyze_by_service"),
+      reg.counter("seqrtg_engine_batches_total", "Batches analyzed"),
+      reg.counter("seqrtg_engine_records_total",
+                  "Records fed into analyze_by_service"),
+      reg.counter("seqrtg_engine_matched_existing_total",
+                  "Records matched by an already known pattern"),
+      reg.counter("seqrtg_engine_analyzed_total",
+                  "Records that went through pattern discovery"),
+      reg.counter("seqrtg_engine_new_patterns_total",
+                  "Newly discovered patterns saved to the repository"),
+      reg.counter("seqrtg_engine_below_threshold_total",
+                  "Patterns discarded by the save threshold")};
+  return m;
+}
+
+}  // namespace
 
 Engine::Engine(PatternRepository* repo, EngineOptions opts)
     : repo_(repo), opts_(opts) {}
@@ -30,21 +86,25 @@ Engine::ServiceOutcome Engine::process_service(
   std::map<std::size_t, AnalyzerTrie> tries;
   std::map<std::string, std::uint64_t> match_counts;
 
-  for (const LogRecord* record : records) {
-    std::vector<Token> tokens = parser.scan(record->message);
-    if (tokens.empty()) continue;
-    if (auto result = parser.match_tokens(service, tokens)) {
-      ++match_counts[result->pattern->id()];
-      ++outcome.report.matched_existing;
-      continue;
+  {
+    obs::StageTimer timer(engine_metrics().phase_parse_first);
+    for (const LogRecord* record : records) {
+      std::vector<Token> tokens = parser.scan(record->message);
+      if (tokens.empty()) continue;
+      if (auto result = parser.match_tokens(service, tokens)) {
+        ++match_counts[result->pattern->id()];
+        ++outcome.report.matched_existing;
+        continue;
+      }
+      ++outcome.report.analyzed;
+      const std::size_t partition =
+          opts_.partition_by_length ? tokens.size() : 0;
+      auto [it, inserted] = tries.try_emplace(partition, opts_.analyzer);
+      it->second.insert(tokens, record->message);
     }
-    ++outcome.report.analyzed;
-    const std::size_t partition =
-        opts_.partition_by_length ? tokens.size() : 0;
-    auto [it, inserted] = tries.try_emplace(partition, opts_.analyzer);
-    it->second.insert(tokens, record->message);
   }
 
+  obs::StageTimer analysis_timer(engine_metrics().phase_trie_analysis);
   for (auto& [length, trie] : tries) {
     std::vector<Pattern> patterns = trie.analyze(service);
     for (Pattern& p : patterns) {
@@ -58,17 +118,23 @@ Engine::ServiceOutcome Engine::process_service(
       outcome.new_patterns.push_back(std::move(p));
     }
   }
+  analysis_timer.stop();
   outcome.match_updates.assign(match_counts.begin(), match_counts.end());
   return outcome;
 }
 
 BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
+  EngineMetrics& metrics = engine_metrics();
+  obs::StageTimer batch_timer(metrics.batch_seconds);
+
   // First partitioning: group records by service, preserving stream order
   // inside each group.
+  obs::StageTimer partition_timer(metrics.phase_partition);
   std::map<std::string, std::vector<const LogRecord*>> by_service;
   for (const LogRecord& r : batch) {
     by_service[r.service].push_back(&r);
   }
+  partition_timer.stop();
 
   std::vector<const std::string*> service_names;
   service_names.reserve(by_service.size());
@@ -90,6 +156,7 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
 
   // Apply results in service order (outcomes are already sorted because
   // by_service is an ordered map) so runs are deterministic.
+  obs::StageTimer save_timer(metrics.phase_repo_save);
   BatchReport total;
   for (ServiceOutcome& outcome : outcomes) {
     for (const auto& [id, count] : outcome.match_updates) {
@@ -99,6 +166,20 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
       repo_->upsert_pattern(p);
     }
     total += outcome.report;
+  }
+  // operator+= deliberately does not accumulate `services` (it would
+  // double-count a service seen in several batches); within one batch each
+  // service contributes exactly one outcome.
+  total.services = outcomes.size();
+  save_timer.stop();
+
+  if (obs::telemetry_enabled()) {
+    metrics.batches.inc();
+    metrics.records.inc(total.records);
+    metrics.matched_existing.inc(total.matched_existing);
+    metrics.analyzed.inc(total.analyzed);
+    metrics.new_patterns.inc(total.new_patterns);
+    metrics.below_threshold.inc(total.below_threshold);
   }
   return total;
 }

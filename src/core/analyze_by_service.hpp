@@ -53,6 +53,10 @@ struct EngineOptions {
 
 struct BatchReport {
   std::size_t records = 0;
+  /// Distinct services in THIS batch. Per-batch only: operator+= leaves it
+  /// untouched, because summing would double-count a service that appears
+  /// in several batches (distinct services cannot be recovered from
+  /// per-batch counts alone).
   std::size_t services = 0;
   /// Records matched by an already known pattern (skipped analysis).
   std::size_t matched_existing = 0;
@@ -64,7 +68,7 @@ struct BatchReport {
 
   BatchReport& operator+=(const BatchReport& other) {
     records += other.records;
-    services += other.services;
+    // `services` intentionally not summed (see field comment).
     matched_existing += other.matched_existing;
     analyzed += other.analyzed;
     new_patterns += other.new_patterns;

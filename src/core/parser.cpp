@@ -1,8 +1,36 @@
 #include "core/parser.hpp"
 
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace seqrtg::core {
+
+namespace {
+
+struct ParserMetrics {
+  obs::Counter& matched;
+  obs::Counter& missed;
+  obs::Histogram& parse_seconds;
+};
+
+ParserMetrics& parser_metrics() {
+  auto& reg = obs::default_registry();
+  static ParserMetrics m{
+      reg.counter("seqrtg_parser_match_total",
+                  "Messages matched by a known pattern"),
+      reg.counter("seqrtg_parser_miss_total",
+                  "Messages that matched no known pattern"),
+      reg.histogram("seqrtg_parser_parse_seconds",
+                    "Scan+match latency of Parser::parse, sampled 1 in 64")};
+  return m;
+}
+
+constexpr std::uint64_t kParseSampleMask = 63;
+
+}  // namespace
 
 bool variable_matches(TokenType var, const Token& tok) {
   switch (var) {
@@ -131,6 +159,16 @@ bool Parser::match_walk(const MatchNode* node,
 
 std::optional<ParseResult> Parser::match_tokens(
     std::string_view service, const std::vector<Token>& tokens) const {
+  std::optional<ParseResult> result = match_tokens_impl(service, tokens);
+  if (obs::telemetry_enabled()) {
+    ParserMetrics& m = parser_metrics();
+    (result ? m.matched : m.missed).inc();
+  }
+  return result;
+}
+
+std::optional<ParseResult> Parser::match_tokens_impl(
+    std::string_view service, const std::vector<Token>& tokens) const {
   const auto svc_it = services_.find(std::string(service));
   if (svc_it == services_.end()) return std::nullopt;
   const ServiceIndex& svc = svc_it->second;
@@ -200,7 +238,14 @@ std::optional<ParseResult> Parser::match_tokens(
 
 std::optional<ParseResult> Parser::parse(std::string_view service,
                                          std::string_view message) const {
-  return match_tokens(service, scan(message));
+  std::optional<util::Stopwatch> watch;
+  if (obs::telemetry_enabled()) {
+    thread_local std::uint64_t sample_tick = 0;
+    if ((sample_tick++ & kParseSampleMask) == 0) watch.emplace();
+  }
+  auto result = match_tokens(service, scan(message));
+  if (watch) parser_metrics().parse_seconds.observe(watch->seconds());
+  return result;
 }
 
 }  // namespace seqrtg::core

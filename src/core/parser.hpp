@@ -97,6 +97,11 @@ class Parser {
                   std::size_t i, ParsedFields* fields,
                   const Pattern** out) const;
 
+  /// match_tokens without the telemetry counters (the public wrapper adds
+  /// the match/miss accounting).
+  std::optional<ParseResult> match_tokens_impl(
+      std::string_view service, const std::vector<Token>& tokens) const;
+
   Scanner scanner_;
   SpecialTokenOptions special_opts_;
   std::deque<Pattern> owned_;

@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace seqrtg::core {
+
+namespace {
+
+/// Repository operation counters, labelled by backend so the in-memory and
+/// SQL-backed stores share one metric family.
+obs::Counter& repo_op(const char* op) {
+  return obs::default_registry().counter(
+      "seqrtg_repo_ops_total", "Pattern repository operations",
+      {{"backend", "memory"}, {"op", op}});
+}
+
+struct RepoMetrics {
+  obs::Counter& load_service;
+  obs::Counter& upsert;
+  obs::Counter& record_match;
+};
+
+RepoMetrics& repo_metrics() {
+  static RepoMetrics m{repo_op("load_service"), repo_op("upsert"),
+                       repo_op("record_match")};
+  return m;
+}
+
+}  // namespace
 
 bool widen_pattern_tokens(std::vector<PatternToken>& existing,
                           const std::vector<PatternToken>& incoming) {
@@ -40,6 +66,7 @@ void merge_pattern_into(Pattern& existing, const Pattern& incoming,
 
 std::vector<Pattern> InMemoryRepository::load_service(
     std::string_view service) {
+  if (obs::telemetry_enabled()) repo_metrics().load_service.inc();
   std::lock_guard lock(mutex_);
   std::vector<Pattern> out;
   const auto it = by_service_.find(service);
@@ -60,6 +87,7 @@ std::vector<std::string> InMemoryRepository::services() {
 }
 
 void InMemoryRepository::upsert_pattern(const Pattern& p) {
+  if (obs::telemetry_enabled()) repo_metrics().upsert.inc();
   std::lock_guard lock(mutex_);
   const std::string id = p.id();
   auto it = by_id_.find(id);
@@ -73,6 +101,7 @@ void InMemoryRepository::upsert_pattern(const Pattern& p) {
 
 void InMemoryRepository::record_match(const std::string& id,
                                       std::uint64_t count, std::int64_t when) {
+  if (obs::telemetry_enabled()) repo_metrics().record_match.inc();
   std::lock_guard lock(mutex_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return;

@@ -1,7 +1,11 @@
 #include "core/scanner.hpp"
 
+#include <optional>
+
 #include "core/fsm_general.hpp"
 #include "core/fsm_hex.hpp"
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 namespace seqrtg::core {
@@ -9,6 +13,31 @@ namespace seqrtg::core {
 namespace {
 
 using util::is_space;
+
+struct ScannerMetrics {
+  obs::Counter& messages;
+  obs::Counter& tokens;
+  obs::Counter& truncated;
+  obs::Histogram& scan_seconds;
+};
+
+ScannerMetrics& scanner_metrics() {
+  auto& reg = obs::default_registry();
+  static ScannerMetrics m{
+      reg.counter("seqrtg_scanner_messages_total",
+                  "Messages tokenised by the scanner"),
+      reg.counter("seqrtg_scanner_tokens_total",
+                  "Tokens emitted by the scanner"),
+      reg.counter("seqrtg_scanner_truncated_total",
+                  "Scans truncated by a line break or the token cap"),
+      reg.histogram("seqrtg_scanner_scan_seconds",
+                    "Single-message scan latency, sampled 1 in 64")};
+  return m;
+}
+
+/// Per-message latency is sampled so the hot path pays the two clock reads
+/// only once every 64 scans.
+constexpr std::uint64_t kScanSampleMask = 63;
 
 /// Trailing sentence punctuation peeled off the end of a chunk into its own
 /// tokens ("done." -> "done" "."), so numbers and words at sentence ends
@@ -43,6 +72,12 @@ bool is_break_punct(char c) {
 }
 
 std::vector<Token> Scanner::scan(std::string_view message) const {
+  const bool telemetry = obs::telemetry_enabled();
+  std::optional<util::Stopwatch> watch;
+  if (telemetry) {
+    thread_local std::uint64_t sample_tick = 0;
+    if ((sample_tick++ & kScanSampleMask) == 0) watch.emplace();
+  }
   std::vector<Token> out;
   out.reserve(24);
   std::size_t pos = 0;
@@ -179,6 +214,13 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     // space: "error trace follows %rest%".
     t.is_space_before = !out.empty();
     out.push_back(std::move(t));
+  }
+  if (telemetry) {
+    ScannerMetrics& m = scanner_metrics();
+    m.messages.inc();
+    m.tokens.inc(out.size());
+    if (truncated) m.truncated.inc();
+    if (watch) m.scan_seconds.observe(watch->seconds());
   }
   return out;
 }

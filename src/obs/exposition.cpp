@@ -1,0 +1,143 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace seqrtg::obs {
+
+namespace {
+
+/// Prometheus-style number rendering: integral values print without a
+/// fractional part so counters stay exact; everything else uses shortest
+/// round-trip-ish %g.
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+const char* type_string(MetricType t) {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Labels plus one extra pair (used for the histogram `le` label).
+std::string labels_with(const Labels& labels, const std::string& key,
+                        const std::string& value) {
+  Labels all = labels;
+  all.emplace_back(key, value);
+  return render_labels(all);
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& family : registry.snapshot()) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + family.name + " " + type_string(family.type) + "\n";
+    for (const auto& inst : family.instances) {
+      if (family.type != MetricType::Histogram) {
+        out += family.name + render_labels(inst.labels) + " " +
+               format_number(inst.value) + "\n";
+        continue;
+      }
+      const Histogram::Snapshot& h = inst.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::string le =
+            i < h.bounds.size() ? format_number(h.bounds[i]) : "+Inf";
+        out += family.name + "_bucket" + labels_with(inst.labels, "le", le) +
+               " " + format_number(static_cast<double>(cumulative)) + "\n";
+      }
+      out += family.name + "_sum" + render_labels(inst.labels) + " " +
+             format_number(h.sum) + "\n";
+      out += family.name + "_count" + render_labels(inst.labels) + " " +
+             format_number(static_cast<double>(h.count)) + "\n";
+    }
+  }
+  return out;
+}
+
+util::Json to_json(const MetricsRegistry& registry) {
+  util::JsonArray families;
+  for (const auto& family : registry.snapshot()) {
+    util::JsonObject fam;
+    fam["name"] = family.name;
+    fam["type"] = type_string(family.type);
+    if (!family.help.empty()) fam["help"] = family.help;
+    util::JsonArray instances;
+    for (const auto& inst : family.instances) {
+      util::JsonObject obj;
+      if (!inst.labels.empty()) {
+        util::JsonObject labels;
+        for (const auto& [k, v] : inst.labels) labels[k] = v;
+        obj["labels"] = std::move(labels);
+      }
+      if (family.type == MetricType::Histogram) {
+        const Histogram::Snapshot& h = inst.histogram;
+        obj["count"] = h.count;
+        obj["sum"] = h.sum;
+        obj["p50"] = h.quantile(0.50);
+        obj["p90"] = h.quantile(0.90);
+        obj["p99"] = h.quantile(0.99);
+        util::JsonArray buckets;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (h.counts[i] == 0) continue;  // sparse: skip empty buckets
+          util::JsonObject b;
+          b["le"] = i < h.bounds.size()
+                        ? util::Json(h.bounds[i])
+                        : util::Json("+Inf");
+          b["count"] = h.counts[i];
+          buckets.push_back(std::move(b));
+        }
+        obj["buckets"] = std::move(buckets);
+      } else {
+        obj["value"] = inst.value;
+      }
+      instances.push_back(std::move(obj));
+    }
+    fam["instances"] = std::move(instances);
+    families.push_back(std::move(fam));
+  }
+  util::JsonObject root;
+  root["metrics"] = std::move(families);
+  return util::Json(std::move(root));
+}
+
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path, std::string format) {
+  if (format.empty()) {
+    format = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0
+                 ? "json"
+                 : "prometheus";
+  }
+  std::string body;
+  if (format == "prometheus" || format == "prom" || format == "text") {
+    body = to_prometheus(registry);
+  } else if (format == "json") {
+    body = to_json(registry).dump() + "\n";
+  } else {
+    return false;
+  }
+  std::ofstream f(path);
+  if (!f) return false;
+  f << body;
+  return f.good();
+}
+
+}  // namespace seqrtg::obs

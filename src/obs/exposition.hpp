@@ -1,0 +1,33 @@
+// Exposition formats for the telemetry registry.
+//
+// Two renderers over MetricsRegistry::snapshot():
+//  - Prometheus text exposition format (version 0.0.4): HELP/TYPE headers,
+//    cumulative `_bucket{le=...}` series plus `_sum`/`_count` for
+//    histograms — directly scrapeable / pushable to a Pushgateway;
+//  - the in-repo util::json writer, for BENCH_*.json sidecars and
+//    programmatic consumers (histograms additionally carry interpolated
+//    p50/p90/p99 so plots need no PromQL).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace seqrtg::obs {
+
+/// Prometheus text exposition of the whole registry. Deterministic for a
+/// given set of metric values (families sorted by name, instances by label
+/// string).
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON document: { "metrics": [ {name, type, help, instances:[...]} ] }.
+util::Json to_json(const MetricsRegistry& registry);
+
+/// Writes one exposition format to `path`. `format` is "prometheus" or
+/// "json"; empty picks by extension (".json" -> json, else prometheus).
+/// Returns false when the file cannot be written or the format is unknown.
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path, std::string format = "");
+
+}  // namespace seqrtg::obs

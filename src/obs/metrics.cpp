@@ -1,0 +1,264 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace seqrtg::obs {
+
+// ---------------------------------------------------------------- Gauge
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+void Gauge::add(double delta) {
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(expected,
+                                      encode(decode(expected) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// ------------------------------------------------------------ Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::logic_error("Histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("Histogram bounds must be strictly increasing");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket has no upper edge; report the highest finite bound.
+        return bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double into = target - static_cast<double>(cumulative);
+      return lo + (hi - lo) * into / static_cast<double>(counts[i]);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+const std::vector<double>& default_latency_buckets() {
+  static const std::vector<double> kBuckets = {
+      1e-6,   2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3,   2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+      1.0,    2.5,    5.0,  10.0};
+  return kBuckets;
+}
+
+// -------------------------------------------------------------- Registry
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    // Prometheus label values escape backslash, quote and newline.
+    for (const char c : labels[i].second) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family_for(std::string_view name,
+                                                     std::string_view help,
+                                                     MetricType type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.type = type;
+    it->second.help = std::string(help);
+  } else if (it->second.type != type) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as " +
+                           type_name(it->second.type));
+  } else if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, MetricType::Counter);
+  labels = sorted(std::move(labels));
+  Instance& inst = fam.instances[render_labels(labels)];
+  if (!inst.counter) {
+    inst.labels = std::move(labels);
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, MetricType::Gauge);
+  labels = sorted(std::move(labels));
+  Instance& inst = fam.instances[render_labels(labels)];
+  if (!inst.gauge) {
+    inst.labels = std::move(labels);
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help, Labels labels,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, MetricType::Histogram);
+  labels = sorted(std::move(labels));
+  Instance& inst = fam.instances[render_labels(labels)];
+  if (!inst.histogram) {
+    inst.labels = std::move(labels);
+    inst.histogram = std::make_unique<Histogram>(bounds);
+  }
+  return *inst.histogram;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, inst] : fam.instances) {
+      if (inst.counter) inst.counter->reset();
+      if (inst.gauge) inst.gauge->reset();
+      if (inst.histogram) inst.histogram->reset();
+    }
+  }
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, fam] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = fam.help;
+    fs.type = fam.type;
+    for (const auto& [key, inst] : fam.instances) {
+      InstanceSnapshot is;
+      is.labels = inst.labels;
+      if (inst.counter) is.value = static_cast<double>(inst.counter->value());
+      if (inst.gauge) is.value = inst.gauge->value();
+      if (inst.histogram) is.histogram = inst.histogram->snapshot();
+      fs.instances.push_back(std::move(is));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("SEQRTG_TELEMETRY");
+    return !(env != nullptr && (std::string_view(env) == "off" ||
+                                std::string_view(env) == "0"));
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool telemetry_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_telemetry_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace seqrtg::obs

@@ -1,0 +1,175 @@
+// Pipeline telemetry: a lock-cheap metrics registry.
+//
+// The paper positions Sequence-RTG as production-ready — deployed at
+// CC-IN2P3 behind syslog-ng where operators watch the matched/unmatched
+// ratio fall over 60 days (Fig. 7). A production log pipeline treats
+// per-stage counters and latency histograms as first-class output, so this
+// module provides the runtime counterpart to the bench-side
+// `util::Stopwatch`: named counters, gauges and fixed-bucket latency
+// histograms that the scanner, parser, engine, store and simulation all
+// record into.
+//
+// Concurrency model: metric *creation* takes a registry mutex (it happens a
+// handful of times per process, typically from function-local statics);
+// metric *updates* are single relaxed atomic operations, safe from
+// `util::ThreadPool` workers. AnalyzeByService keeps its
+// merge-in-service-order determinism because telemetry only aggregates
+// commutative sums — no ordering-sensitive state lives here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace seqrtg::obs {
+
+/// Label set of one metric instance, e.g. {{"phase","partition"}}.
+/// Kept sorted by key so equal label sets always render identically.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // Own cache line: hot counters are bumped from every pool worker.
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written point-in-time value (candidate backlog, unmatched %, ...).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  alignas(64) std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at construction (an
+/// implicit +Inf overflow bucket is appended); observations are two relaxed
+/// atomic ops plus a CAS loop for the sum. Quantiles are estimated by
+/// linear interpolation inside the selected bucket — the classic Prometheus
+/// `histogram_quantile` scheme.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  void reset();
+
+  struct Snapshot {
+    /// Upper bounds, excluding the implicit +Inf bucket.
+    std::vector<double> bounds;
+    /// Per-bucket (non-cumulative) counts; size == bounds.size() + 1.
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Interpolated q-quantile (q in [0,1]); 0 when empty. Values landing
+    /// in the overflow bucket report the highest finite bound.
+    double quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 slots
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// Latency buckets shared by every *_seconds histogram: 1µs .. 10s in a
+/// 1-2.5-5 progression. Wide enough for a single scan (sub-µs..µs) and a
+/// whole batch analysis (the paper's "average running time ... 7.5 s").
+const std::vector<double>& default_latency_buckets();
+
+enum class MetricType { Counter, Gauge, Histogram };
+
+/// Named metric store. One instance per (family name, label set); families
+/// carry the help text and type used by the exposition formats.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned reference stays valid for the registry's
+  /// lifetime (including across reset()). Throws std::logic_error when the
+  /// name already exists with a different metric type.
+  Counter& counter(std::string_view name, std::string_view help = "",
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help = "",
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help = "",
+                       Labels labels = {},
+                       const std::vector<double>& bounds =
+                           default_latency_buckets());
+
+  /// Zeroes every metric value; instances and identities survive.
+  void reset();
+
+  struct InstanceSnapshot {
+    Labels labels;
+    double value = 0.0;            // counter / gauge
+    Histogram::Snapshot histogram; // histogram only
+  };
+  struct FamilySnapshot {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::Counter;
+    std::vector<InstanceSnapshot> instances;
+  };
+  /// Deterministic: families sorted by name, instances by label string.
+  std::vector<FamilySnapshot> snapshot() const;
+
+ private:
+  struct Instance {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::Counter;
+    std::string help;
+    std::map<std::string, Instance> instances;  // key: rendered labels
+  };
+
+  Family& family_for(std::string_view name, std::string_view help,
+                     MetricType type);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Renders `{k1="v1",k2="v2"}` (empty string for no labels); also the
+/// instance key inside a family.
+std::string render_labels(const Labels& labels);
+
+/// The process-wide registry all built-in instrumentation records into.
+MetricsRegistry& default_registry();
+
+/// Fast-path kill switch. Defaults to on; the environment variable
+/// SEQRTG_TELEMETRY=off disables instrumentation at process start (used to
+/// measure instrumentation overhead).
+bool telemetry_enabled();
+void set_telemetry_enabled(bool on);
+
+}  // namespace seqrtg::obs

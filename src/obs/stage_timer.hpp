@@ -1,0 +1,39 @@
+// Scoped stage timing: RAII wrapper recording a util::Stopwatch interval
+// into a latency Histogram when the scope ends. The hot-path cost is two
+// steady_clock reads plus one histogram observe, so per-message call sites
+// sample (see scanner.cpp) while per-phase call sites time every interval.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace seqrtg::obs {
+
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram& h) : hist_(&h) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Records the elapsed interval now (idempotent) and returns it.
+  double stop() {
+    if (hist_ == nullptr) return last_;
+    last_ = watch_.seconds();
+    if (telemetry_enabled()) hist_->observe(last_);
+    hist_ = nullptr;
+    return last_;
+  }
+
+  /// Drops the measurement; the destructor records nothing.
+  void cancel() { hist_ = nullptr; }
+
+ private:
+  Histogram* hist_;
+  util::Stopwatch watch_;
+  double last_ = 0.0;
+};
+
+}  // namespace seqrtg::obs

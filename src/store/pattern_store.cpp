@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/json.hpp"
 
 namespace seqrtg::store {
@@ -12,6 +14,36 @@ namespace {
 constexpr std::string_view kPatternColumns =
     "pid, service, ptext, tokens, token_count, complexity, match_count, "
     "first_seen, last_matched";
+
+/// Store operation counters; same family as the in-memory repository,
+/// distinguished by the backend label.
+obs::Counter& store_op(const char* op) {
+  return obs::default_registry().counter(
+      "seqrtg_repo_ops_total", "Pattern repository operations",
+      {{"backend", "sql"}, {"op", op}});
+}
+
+struct StoreMetrics {
+  obs::Counter& load_service;
+  obs::Counter& upsert;
+  obs::Counter& record_match;
+  obs::Counter& save;
+  obs::Counter& load;
+  obs::Histogram& persist_seconds;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m{
+      store_op("load_service"),
+      store_op("upsert"),
+      store_op("record_match"),
+      store_op("save"),
+      store_op("load"),
+      obs::default_registry().histogram(
+          "seqrtg_store_persist_seconds",
+          "Latency of PatternStore::save / PatternStore::load")};
+  return m;
+}
 
 }  // namespace
 
@@ -105,6 +137,7 @@ std::vector<std::string> PatternStore::load_examples(const std::string& pid) {
 
 std::vector<core::Pattern> PatternStore::load_service(
     std::string_view service) {
+  if (obs::telemetry_enabled()) store_metrics().load_service.inc();
   std::lock_guard lock(mutex_);
   QueryResult r = db_.exec("SELECT " + std::string(kPatternColumns) +
                                " FROM patterns WHERE service = ? "
@@ -129,6 +162,7 @@ std::vector<std::string> PatternStore::services() {
 }
 
 void PatternStore::upsert_pattern(const core::Pattern& p) {
+  if (obs::telemetry_enabled()) store_metrics().upsert.inc();
   std::lock_guard lock(mutex_);
   const std::string pid = p.id();
   QueryResult existing = db_.exec(
@@ -194,6 +228,7 @@ void PatternStore::upsert_pattern(const core::Pattern& p) {
 
 void PatternStore::record_match(const std::string& id, std::uint64_t count,
                                 std::int64_t when) {
+  if (obs::telemetry_enabled()) store_metrics().record_match.inc();
   std::lock_guard lock(mutex_);
   QueryResult existing = db_.exec(
       "SELECT match_count, last_matched FROM patterns WHERE pid = ?", {id});
@@ -248,11 +283,15 @@ std::vector<core::Pattern> PatternStore::export_patterns(
 }
 
 bool PatternStore::save(const std::string& path) {
+  if (obs::telemetry_enabled()) store_metrics().save.inc();
+  obs::StageTimer timer(store_metrics().persist_seconds);
   std::lock_guard lock(mutex_);
   return db_.save(path);
 }
 
 bool PatternStore::load(const std::string& path) {
+  if (obs::telemetry_enabled()) store_metrics().load.inc();
+  obs::StageTimer timer(store_metrics().persist_seconds);
   std::lock_guard lock(mutex_);
   if (!db_.load(path)) {
     db_ = Database();

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace seqrtg::cli {
@@ -213,6 +214,83 @@ TEST(Cli, ParseMissingDbFails) {
   const CliResult r =
       run_cli({"parse", "--db", "/nonexistent/none.db"});
   EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, SimulateRunsAndReportsDays) {
+  const CliResult r = run_cli(
+      {"simulate", "--days", "2", "--messages-per-day", "2000", "--batch",
+       "500", "--services", "10"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("unmatched%"), std::string::npos);
+  EXPECT_NE(r.out.find("simulated 2 day(s)"), std::string::npos) << r.out;
+}
+
+TEST(Cli, MetricsOutWritesPrometheusSnapshot) {
+  const std::string metrics = temp_db("seqrtg_cli_metrics.prom");
+  std::remove(metrics.c_str());
+  const CliResult r = run_cli(
+      {"simulate", "--days", "1", "--messages-per-day", "1000", "--batch",
+       "500", "--services", "8", "--quiet", "--metrics-out", metrics});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good()) << metrics;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // The full hot path reported into the default registry.
+  EXPECT_NE(text.find("# TYPE seqrtg_sim_days_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("seqrtg_scanner_messages_total"), std::string::npos);
+  EXPECT_NE(text.find("seqrtg_engine_phase_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("phase=\"trie_analysis\""), std::string::npos);
+  EXPECT_NE(text.find("seqrtg_sim_unmatched_pct"), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, MetricsOutJsonByExtension) {
+  const std::string metrics = temp_db("seqrtg_cli_metrics.json");
+  std::remove(metrics.c_str());
+  const std::string stream =
+      R"({"service":"app","message":"tick 1 ok"})" "\n"
+      R"({"service":"app","message":"tick 2 ok"})" "\n";
+  const std::string db = temp_db("seqrtg_cli_metrics.db");
+  std::remove(db.c_str());
+  const CliResult r = run_cli(
+      {"analyze", "--db", db, "--metrics-out", metrics}, stream);
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"metrics\":"), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove(db.c_str());
+}
+
+TEST(Cli, MetricsBadFormatIsUsageError) {
+  const CliResult r = run_cli(
+      {"simulate", "--days", "1", "--messages-per-day", "500", "--batch",
+       "500", "--services", "4", "--quiet", "--metrics-out",
+       temp_db("seqrtg_cli_metrics_bad.out"), "--metrics-format", "xml"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("metrics"), std::string::npos) << r.err;
+}
+
+TEST(Cli, StatsTelemetryPrintsExposition) {
+  const std::string db = temp_db("seqrtg_cli_stats_tel.db");
+  std::remove(db.c_str());
+  const std::string stream =
+      R"({"service":"app","message":"ping 1"})" "\n"
+      R"({"service":"app","message":"ping 2"})" "\n";
+  ASSERT_EQ(run_cli({"analyze", "--db", db}, stream).code, 0);
+  const CliResult r = run_cli({"stats", "--db", db, "--telemetry"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# TYPE seqrtg_scanner_messages_total counter"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("seqrtg_repo_ops_total"), std::string::npos);
+  std::remove(db.c_str());
 }
 
 TEST(Cli, AnalyzeAcceptsEngineFlags) {
