@@ -59,6 +59,27 @@ void BM_ScanFleetMessages(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanFleetMessages);
 
+void BM_ScanIntoFleetMessages(benchmark::State& state) {
+  // The zero-copy hot path: one reused TokenBuffer, tokens view the source
+  // message. Contrast with BM_ScanFleetMessages (fresh vector per scan).
+  loggen::FleetOptions opts;
+  opts.services = 50;
+  loggen::FleetGenerator fleet(opts);
+  const auto batch = fleet.take(1000);
+  const core::Scanner scanner;
+  core::TokenBuffer buf;
+  std::size_t i = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& msg = batch[i++ % batch.size()].message;
+    scanner.scan_into(msg, buf);
+    benchmark::DoNotOptimize(buf.size());
+    bytes += static_cast<std::int64_t>(msg.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_ScanIntoFleetMessages);
+
 void BM_TrieInsert(benchmark::State& state) {
   loggen::FleetOptions opts;
   opts.services = 1;

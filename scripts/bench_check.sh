@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Throughput-regression gate for the tokenisation/parse hot path.
+#
+# Runs bench_scanner and bench_parser with telemetry on, then compares the
+# mean latencies recorded in their telemetry snapshots (scan and parse
+# histograms carry count+sum) against the committed BENCH_scanner.json /
+# BENCH_parser.json baselines. Fails when the current mean is more than
+# REGRESSION_PCT percent slower than the committed number.
+#
+# Usage: scripts/bench_check.sh [build-dir]
+#   REGRESSION_PCT=10   override the allowed slowdown (percent)
+#   UPDATE_BASELINE=1   rewrite the committed snapshots from this run
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+PCT="${REGRESSION_PCT:-10}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+if [ ! -x "$BUILD/bench/bench_scanner" ] || [ ! -x "$BUILD/bench/bench_parser" ]; then
+  echo "bench binaries missing; building..." >&2
+  cmake --build "$BUILD" --target bench_scanner bench_parser -j "$(nproc)"
+fi
+
+# --benchmark_min_time wants a bare double on the pinned benchmark version.
+SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
+  "$BUILD/bench/bench_scanner" --benchmark_min_time=0.3
+SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
+  "$BUILD/bench/bench_parser" --benchmark_min_time=0.3
+
+if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
+  cp "$OUT/BENCH_scanner.json" "$ROOT/BENCH_scanner.json"
+  cp "$OUT/BENCH_parser.json" "$ROOT/BENCH_parser.json"
+  echo "baselines updated from this run"
+  exit 0
+fi
+
+python3 - "$ROOT" "$OUT" "$PCT" <<'EOF'
+import json
+import sys
+
+root, out, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+# (snapshot file, histogram metric whose mean latency gates the check)
+GATES = [
+    ("BENCH_scanner.json", "seqrtg_scanner_scan_seconds"),
+    ("BENCH_parser.json", "seqrtg_parser_parse_seconds"),
+]
+
+
+def mean_latency(path, metric):
+    with open(path) as f:
+        doc = json.load(f)
+    for m in doc.get("metrics", []):
+        if m.get("name") != metric or m.get("type") != "histogram":
+            continue
+        inst = m["instances"][0]
+        count, total = inst.get("count", 0), inst.get("sum", 0.0)
+        if count > 0:
+            return total / count
+    raise SystemExit(f"{path}: histogram {metric} missing or empty")
+
+
+failed = False
+for snapshot, metric in GATES:
+    base = mean_latency(f"{root}/{snapshot}", metric)
+    cur = mean_latency(f"{out}/{snapshot}", metric)
+    slowdown = (cur / base - 1.0) * 100.0
+    status = "OK"
+    if slowdown > pct:
+        status = "FAIL"
+        failed = True
+    print(
+        f"{status:4} {metric}: baseline {base * 1e6:.2f} us, "
+        f"current {cur * 1e6:.2f} us ({slowdown:+.1f}%, limit +{pct:.0f}%)"
+    )
+
+if failed:
+    raise SystemExit(
+        f"throughput regression above {pct:.0f}% -- investigate before "
+        "committing, or rerun with UPDATE_BASELINE=1 if intentional"
+    )
+print("bench check passed")
+EOF

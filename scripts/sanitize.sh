@@ -25,8 +25,10 @@ cmake --build "$BUILD" -j "$(nproc)"
 if [ "${1:-}" = "all" ]; then
   exec ctest --test-dir "$BUILD" --output-on-failure
 fi
-# Default: the suites that exercise cross-thread state.
-[ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test
+# Default: the suites that exercise cross-thread state, plus the arena /
+# interner / zero-copy-equivalence suites (lifetime-sensitive raw memory).
+[ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
+  arena_test interner_test scan_into_equivalence_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

@@ -7,6 +7,7 @@
 #include "core/analyze_by_service.hpp"
 #include "core/ingest.hpp"
 #include "core/parser.hpp"
+#include "core/token.hpp"
 #include "core/validation.hpp"
 #include "exporters/exporter.hpp"
 #include "exporters/patterndb_import.hpp"
@@ -262,6 +263,7 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
     return 1;
   }
   if (args.get_flag("telemetry")) {
+    core::TokenBuffer::register_metrics();
     out << obs::to_prometheus(obs::default_registry());
     return finish_metrics(args, err);
   }

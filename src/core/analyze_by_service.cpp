@@ -88,19 +88,24 @@ Engine::ServiceOutcome Engine::process_service(
 
   {
     obs::StageTimer timer(engine_metrics().phase_parse_first);
+    // One scratch buffer per service pass: each pool worker runs
+    // process_service to completion, so the whole loop tokenises with zero
+    // steady-state allocations. Tokens view record->message, which outlives
+    // both the match and the insert (the trie copies what it keeps).
+    TokenBuffer scratch;
     for (const LogRecord* record : records) {
-      std::vector<Token> tokens = parser.scan(record->message);
-      if (tokens.empty()) continue;
-      if (auto result = parser.match_tokens(service, tokens)) {
+      parser.scan_into(record->message, scratch);
+      if (scratch.empty()) continue;
+      if (auto result = parser.match_tokens(service, scratch.tokens())) {
         ++match_counts[result->pattern->id()];
         ++outcome.report.matched_existing;
         continue;
       }
       ++outcome.report.analyzed;
       const std::size_t partition =
-          opts_.partition_by_length ? tokens.size() : 0;
+          opts_.partition_by_length ? scratch.size() : 0;
       auto [it, inserted] = tries.try_emplace(partition, opts_.analyzer);
-      it->second.insert(tokens, record->message);
+      it->second.insert(scratch.tokens(), record->message);
     }
   }
 
@@ -191,12 +196,13 @@ BatchReport Engine::analyze_single_trie(const std::vector<LogRecord>& batch) {
 
   Scanner scanner(opts_.scanner);
   AnalyzerTrie trie(opts_.analyzer);
+  TokenBuffer scratch;
   for (const LogRecord& r : batch) {
-    std::vector<Token> tokens = scanner.scan(r.message);
-    promote_special_tokens(tokens, opts_.special);
-    if (tokens.empty()) continue;
+    scanner.scan_into(r.message, scratch);
+    promote_special_tokens(scratch.storage(), opts_.special);
+    if (scratch.empty()) continue;
     ++report.analyzed;
-    trie.insert(tokens, r.message);
+    trie.insert(scratch.tokens(), r.message);
   }
   std::vector<Pattern> patterns = trie.analyze("*");
   for (Pattern& p : patterns) {

@@ -42,6 +42,9 @@ enum class El : unsigned char {
 
 struct Layout {
   std::vector<El> els;
+  /// True when the first element is a day/month name (the only layouts that
+  /// can match text starting with a letter). Filled in by layouts().
+  bool alpha_start = false;
 };
 
 bool match_month_name(std::string_view s, std::size_t& pos) {
@@ -118,24 +121,27 @@ struct Matcher {
   const DateTimeOptions& opts;
 
   /// Matches elements [ei, end) starting at byte `pos`; on success returns
-  /// true and leaves `pos` at the end of the match.
-  bool run(const std::vector<El>& els, std::size_t ei, std::size_t& pos) {
-    while (ei < els.size()) {
+  /// true and leaves `pos` at the end of the match. The range is expressed
+  /// with indexes (not a copied sub-vector) so optional-group backtracking
+  /// never allocates.
+  bool run(const std::vector<El>& els, std::size_t ei, std::size_t end,
+           std::size_t& pos) {
+    while (ei < end) {
       const El el = els[ei];
       switch (el) {
         case El::OptStart: {
           // Find the matching OptEnd.
           std::size_t depth = 1;
           std::size_t close = ei + 1;
-          while (close < els.size() && depth > 0) {
+          while (close < end && depth > 0) {
             if (els[close] == El::OptStart) ++depth;
             if (els[close] == El::OptEnd) --depth;
             ++close;
           }
           // Try with the group (greedy), fall back to skipping it.
           std::size_t with_pos = pos;
-          if (run_group(els, ei + 1, close - 1, with_pos) &&
-              run(els, close, with_pos)) {
+          if (run(els, ei + 1, close - 1, with_pos) &&
+              run(els, close, end, with_pos)) {
             pos = with_pos;
             return true;
           }
@@ -151,14 +157,6 @@ struct Matcher {
       }
     }
     return true;
-  }
-
-  /// Matches the element range [begin, end) as a unit.
-  bool run_group(const std::vector<El>& els, std::size_t begin,
-                 std::size_t end, std::size_t& pos) {
-    std::vector<El> sub(els.begin() + static_cast<std::ptrdiff_t>(begin),
-                        els.begin() + static_cast<std::ptrdiff_t>(end));
-    return run(sub, 0, pos);
   }
 
   bool match_one(El el, std::size_t& pos) {
@@ -254,7 +252,8 @@ struct Matcher {
 /// All layouts are tried and the longest boundary-terminated match wins.
 const std::vector<Layout>& layouts() {
   using enum El;
-  static const std::vector<Layout> kLayouts = {
+  static const std::vector<Layout> kLayouts = [] {
+    std::vector<Layout> bank = {
       // ISO-8601 / SQL: 2021-01-12T06:25:56.123+01:00, 2021-01-12 06:25:56,123
       {{Year4, Dash, Month2, Dash, Day2, TeeOrSpace, TimePart, Colon, TimePart,
         Colon, TimePart, OptStart, Dot, Fraction, OptEnd, OptStart, Comma,
@@ -293,7 +292,12 @@ const std::vector<Layout>& layouts() {
       // Bare time: 06:25:56.123 / 6:7:20 in lenient mode
       {{TimePart, Colon, TimePart, Colon, TimePart, OptStart, Dot, Fraction,
         OptEnd, OptStart, Comma, Fraction, OptEnd}},
-  };
+    };
+    for (Layout& l : bank) {
+      l.alpha_start = l.els.front() == MonthName || l.els.front() == DayName;
+    }
+    return bank;
+  }();
   return kLayouts;
 }
 
@@ -306,11 +310,16 @@ std::size_t match_datetime(std::string_view text,
   const char c0 = text[0];
   if (!is_digit(c0) && !util::is_alpha(c0)) return 0;
 
+  // A digit-leading chunk can only match digit-leading layouts and vice
+  // versa; skipping the wrong family up front avoids running ~11 layout
+  // automata against every plain word in the message.
+  const bool alpha0 = !is_digit(c0);
   std::size_t best = 0;
   Matcher m{text, opts};
   for (const Layout& layout : layouts()) {
+    if (layout.alpha_start != alpha0) continue;
     std::size_t pos = 0;
-    if (m.run(layout.els, 0, pos) && pos > best) {
+    if (m.run(layout.els, 0, layout.els.size(), pos) && pos > best) {
       // Boundary check: a timestamp must not be glued to identifier
       // characters ("12:30:45abc", "2021-01-12-rack7" are not times).
       // Whitespace, end of text and closing punctuation are boundaries.

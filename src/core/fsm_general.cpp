@@ -80,6 +80,15 @@ std::size_t match_url(std::string_view text) {
   static constexpr std::array<std::string_view, 10> kSchemes = {
       "https", "http", "ftp", "ssh", "file", "ldaps",
       "ldap",  "tcp",  "udp", "nfs"};
+  // Shortest candidate is "ftp://" + 1 body char; gate on the scheme's
+  // first letter so arbitrary words skip the per-scheme comparisons.
+  if (text.size() < 7) return 0;
+  switch (text[0]) {
+    case 'h': case 'f': case 's': case 'l': case 't': case 'u': case 'n':
+      break;
+    default:
+      return 0;
+  }
   for (std::string_view scheme : kSchemes) {
     if (text.size() > scheme.size() + 3 &&
         util::starts_with(text, scheme) &&

@@ -80,6 +80,11 @@ std::vector<Token> Parser::scan(std::string_view message) const {
   return tokens;
 }
 
+void Parser::scan_into(std::string_view message, TokenBuffer& out) const {
+  scanner_.scan_into(message, out);
+  promote_special_tokens(out.storage(), special_opts_);
+}
+
 void Parser::add_pattern(const Pattern& p) {
   owned_.push_back(p);
   const Pattern* stored = &owned_.back();
@@ -169,7 +174,7 @@ std::optional<ParseResult> Parser::match_tokens(
 
 std::optional<ParseResult> Parser::match_tokens_impl(
     std::string_view service, const std::vector<Token>& tokens) const {
-  const auto svc_it = services_.find(std::string(service));
+  const auto svc_it = services_.find(service);
   if (svc_it == services_.end()) return std::nullopt;
   const ServiceIndex& svc = svc_it->second;
 
@@ -225,9 +230,9 @@ std::optional<ParseResult> Parser::match_tokens_impl(
     RestWalker walker{this, tokens, prefix_len};
     if (walker.walk(&root, 0, &result.fields, &result.pattern, &rest_name)) {
       // Bind the swallowed suffix under the rest variable's name.
-      std::string suffix = reconstruct(std::vector<Token>(
-          tokens.begin() + static_cast<std::ptrdiff_t>(prefix_len),
-          tokens.end()));
+      std::string suffix =
+          reconstruct(tokens.data() + prefix_len,
+                      tokens.data() + tokens.size());
       result.fields.emplace_back(
           rest_name.empty() ? "rest" : rest_name, std::move(suffix));
       return result;
@@ -238,12 +243,22 @@ std::optional<ParseResult> Parser::match_tokens_impl(
 
 std::optional<ParseResult> Parser::parse(std::string_view service,
                                          std::string_view message) const {
+  // Callers without their own scratch still get buffer reuse: one warmed-up
+  // TokenBuffer per thread.
+  thread_local TokenBuffer scratch;
+  return parse(service, message, scratch);
+}
+
+std::optional<ParseResult> Parser::parse(std::string_view service,
+                                         std::string_view message,
+                                         TokenBuffer& scratch) const {
   std::optional<util::Stopwatch> watch;
   if (obs::telemetry_enabled()) {
     thread_local std::uint64_t sample_tick = 0;
     if ((sample_tick++ & kParseSampleMask) == 0) watch.emplace();
   }
-  auto result = match_tokens(service, scan(message));
+  scan_into(message, scratch);
+  auto result = match_tokens(service, scratch.tokens());
   if (watch) parser_metrics().parse_seconds.observe(watch->seconds());
   return result;
 }

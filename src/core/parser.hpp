@@ -28,6 +28,7 @@
 #include "core/scanner.hpp"
 #include "core/special_tokens.hpp"
 #include "core/token.hpp"
+#include "util/interner.hpp"
 
 namespace seqrtg::core {
 
@@ -57,22 +58,38 @@ class Parser {
   std::size_t pattern_count() const { return owned_.size(); }
 
   /// Scans `message` and matches it against the patterns of `service`.
+  /// Uses a thread-local scratch buffer; the convenience entry point for
+  /// callers without their own.
   std::optional<ParseResult> parse(std::string_view service,
                                    std::string_view message) const;
+
+  /// As above, but tokenising into the caller's reusable `scratch` buffer —
+  /// the zero-allocation hot path for pipeline workers that parse many
+  /// messages in a loop.
+  std::optional<ParseResult> parse(std::string_view service,
+                                   std::string_view message,
+                                   TokenBuffer& scratch) const;
 
   /// Matches an already scanned-and-promoted token sequence.
   std::optional<ParseResult> match_tokens(std::string_view service,
                                           const std::vector<Token>& tokens) const;
 
   /// Scans and promotes exactly as the match path does (exposed so the
-  /// analyser sees identical token sequences).
+  /// analyser sees identical token sequences). Tokens view `message`.
   std::vector<Token> scan(std::string_view message) const;
+
+  /// Buffer-reusing variant of scan(): tokenises and promotes into `out`.
+  void scan_into(std::string_view message, TokenBuffer& out) const;
 
   void clear();
 
  private:
   struct MatchNode {
-    std::unordered_map<std::string, std::unique_ptr<MatchNode>> literal_edges;
+    // Transparent hashing: probed with the token's string_view during a
+    // match, so the hot path never materialises a std::string key.
+    std::unordered_map<std::string, std::unique_ptr<MatchNode>,
+                       util::StringHash, std::equal_to<>>
+        literal_edges;
     // Wildcard edges in insertion order; name kept for field extraction.
     struct VarEdge {
       TokenType type;
@@ -105,7 +122,9 @@ class Parser {
   Scanner scanner_;
   SpecialTokenOptions special_opts_;
   std::deque<Pattern> owned_;
-  std::unordered_map<std::string, ServiceIndex> services_;
+  std::unordered_map<std::string, ServiceIndex, util::StringHash,
+                     std::equal_to<>>
+      services_;
 };
 
 }  // namespace seqrtg::core

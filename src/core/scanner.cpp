@@ -71,37 +71,36 @@ bool is_break_punct(char c) {
   }
 }
 
-std::vector<Token> Scanner::scan(std::string_view message) const {
+void Scanner::scan_into(std::string_view message, TokenBuffer& out) const {
   const bool telemetry = obs::telemetry_enabled();
   std::optional<util::Stopwatch> watch;
   if (telemetry) {
     thread_local std::uint64_t sample_tick = 0;
     if ((sample_tick++ & kScanSampleMask) == 0) watch.emplace();
   }
-  std::vector<Token> out;
-  out.reserve(24);
+  out.clear();
   std::size_t pos = 0;
   bool space_pending = false;
-  std::string pending_key;  // set after '=', consumed by next value token
+  std::string_view pending_key;  // set after '=', consumed by next value
   bool truncated = false;
 
-  const auto push = [&](TokenType type, std::string value) {
+  const auto push = [&](TokenType type, std::string_view value) {
     Token t;
     t.type = type;
-    t.value = std::move(value);
+    t.value = value;
     t.is_space_before = space_pending;
     space_pending = false;
     // key=value semantic naming: attach the key to the first non-quote
     // token following '='.
     if (!pending_key.empty() && type != TokenType::Literal) {
       t.key = pending_key;
-      pending_key.clear();
+      pending_key = {};
     } else if (!pending_key.empty() && type == TokenType::Literal &&
                t.value != "\"" && t.value != "'") {
       t.key = pending_key;
-      pending_key.clear();
+      pending_key = {};
     }
-    out.push_back(std::move(t));
+    out.push(t);
   };
 
   while (pos < message.size()) {
@@ -126,7 +125,7 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     // Pre-processed wildcard from the logparser benchmarks.
     if (opts_.detect_preprocessed_wildcard &&
         util::starts_with(rest, "<*>")) {
-      push(TokenType::String, "<*>");
+      push(TokenType::String, rest.substr(0, 3));
       pos += 3;
       continue;
     }
@@ -134,18 +133,18 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     // FSM order matters: hex-family first (colon-separated groups would
     // confuse the time FSM), then datetime, then the general shapes.
     if (const std::size_t len = match_mac(rest); len > 0) {
-      push(TokenType::Mac, std::string(rest.substr(0, len)));
+      push(TokenType::Mac, rest.substr(0, len));
       pos += len;
       continue;
     }
     if (const std::size_t len = match_ipv6(rest); len > 0) {
-      push(TokenType::IPv6, std::string(rest.substr(0, len)));
+      push(TokenType::IPv6, rest.substr(0, len));
       pos += len;
       continue;
     }
     if (const std::size_t len = match_datetime(rest, opts_.datetime);
         len > 0) {
-      push(TokenType::Time, std::string(rest.substr(0, len)));
+      push(TokenType::Time, rest.substr(0, len));
       pos += len;
       continue;
     }
@@ -153,14 +152,14 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
       const bool was_equals = (c == '=');
       // Record the key before push() clears context: the previous token
       // must be a literal word for "key=" naming to apply.
-      std::string key;
+      std::string_view key;
       if (was_equals && opts_.split_key_value && !out.empty() &&
           out.back().type == TokenType::Literal &&
           util::has_alpha(out.back().value) &&
-          out.back().value.find(' ') == std::string::npos) {
+          out.back().value.find(' ') == std::string_view::npos) {
         key = out.back().value;
       }
-      push(TokenType::Literal, std::string(1, c));
+      push(TokenType::Literal, rest.substr(0, 1));
       if (!key.empty()) pending_key = key;
       ++pos;
       continue;
@@ -168,7 +167,7 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     // URLs span break punctuation (':', '/') and must be matched before
     // chunk extraction.
     if (const std::size_t len = match_url(rest); len > 0) {
-      push(TokenType::Url, std::string(rest.substr(0, len)));
+      push(TokenType::Url, rest.substr(0, len));
       pos += len;
       continue;
     }
@@ -189,9 +188,9 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     }
     const std::string_view chunk = message.substr(pos, chunk_end - pos);
     if (match_hex(chunk) == chunk.size()) {
-      push(TokenType::Hex, std::string(chunk));
+      push(TokenType::Hex, chunk);
     } else {
-      push(classify_general(chunk), std::string(chunk));
+      push(classify_general(chunk), chunk);
     }
     pos = chunk_end;
     while (pos < end) {
@@ -199,7 +198,7 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
         truncated = true;
         break;
       }
-      push(TokenType::Literal, std::string(1, message[pos]));
+      push(TokenType::Literal, message.substr(pos, 1));
       ++pos;
     }
     if (truncated) break;
@@ -208,12 +207,12 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
   if (truncated) {
     Token t;
     t.type = TokenType::Rest;
-    t.value = "";
+    t.value = {};
     // The ignored remainder is always separated from the kept prefix (a
     // line break or inter-token whitespace), so the marker renders with a
     // space: "error trace follows %rest%".
     t.is_space_before = !out.empty();
-    out.push_back(std::move(t));
+    out.push(t);
   }
   if (telemetry) {
     ScannerMetrics& m = scanner_metrics();
@@ -222,7 +221,13 @@ std::vector<Token> Scanner::scan(std::string_view message) const {
     if (truncated) m.truncated.inc();
     if (watch) m.scan_seconds.observe(watch->seconds());
   }
-  return out;
+}
+
+std::vector<Token> Scanner::scan(std::string_view message) const {
+  TokenBuffer buf;
+  buf.storage().reserve(24);
+  scan_into(message, buf);
+  return std::move(buf).take();
 }
 
 }  // namespace seqrtg::core

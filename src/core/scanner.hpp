@@ -16,6 +16,11 @@
 //    (extension #6);
 //  - a token-count guard against pathological messages (the paper saw one
 //    with 864 tokens).
+//
+// Hot path: scan_into() emits std::string_view tokens into a reusable
+// TokenBuffer — zero heap allocations once the buffer has warmed up. The
+// legacy scan() remains as a thin wrapper returning an owning vector; the
+// returned tokens still view `message`, which must outlive them.
 #pragma once
 
 #include <string_view>
@@ -43,9 +48,16 @@ class Scanner {
  public:
   explicit Scanner(ScannerOptions opts = {}) : opts_(opts) {}
 
-  /// Tokenises one message. Whitespace runs collapse to is_space_before on
-  /// the following token; everything else is preserved byte-exactly so that
-  /// reconstruct(scan(m)) == m for single-line, single-spaced messages.
+  /// Tokenises one message into `out` (cleared first). Whitespace runs
+  /// collapse to is_space_before on the following token; everything else is
+  /// preserved byte-exactly so that reconstruct(scan(m)) == m for
+  /// single-line, single-spaced messages. Token values are views into
+  /// `message`; reusing one buffer across messages makes the scan
+  /// allocation-free in steady state.
+  void scan_into(std::string_view message, TokenBuffer& out) const;
+
+  /// Legacy convenience wrapper over scan_into: allocates a fresh vector
+  /// per call. Tokens still view `message`.
   std::vector<Token> scan(std::string_view message) const;
 
   const ScannerOptions& options() const { return opts_; }

@@ -1,5 +1,7 @@
 #include "core/token.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace seqrtg::core {
 
 std::string_view token_type_tag(TokenType t) {
@@ -41,11 +43,38 @@ TokenType token_type_from_tag(std::string_view tag) {
 
 bool is_variable_type(TokenType t) { return t != TokenType::Literal; }
 
-std::string reconstruct(const std::vector<Token>& tokens) {
+namespace {
+
+obs::Counter& allocs_counter() {
+  static obs::Counter& c = obs::default_registry().counter(
+      "seqrtg_scanner_allocs_total",
+      "TokenBuffer storage growths; flat in steady state when buffers are "
+      "reused (the zero-allocation hot-path claim, observable)");
+  return c;
+}
+
+}  // namespace
+
+void TokenBuffer::register_metrics() { allocs_counter(); }
+
+void TokenBuffer::note_grow() {
+  if (!obs::telemetry_enabled()) return;
+  allocs_counter().inc();
+}
+
+std::string reconstruct(const Token* begin, const Token* end) {
+  // First pass sizes the output exactly (mirroring the append conditions),
+  // so the string is reserved once instead of growing per token.
+  std::size_t total = 0;
+  for (const Token* t = begin; t != end; ++t) {
+    if (t->is_space_before && total > 0) ++total;
+    total += t->value.size();
+  }
   std::string out;
-  for (const Token& t : tokens) {
-    if (t.is_space_before && !out.empty()) out += ' ';
-    out += t.value;
+  out.reserve(total);
+  for (const Token* t = begin; t != end; ++t) {
+    if (t->is_space_before && !out.empty()) out += ' ';
+    out += t->value;
   }
   return out;
 }

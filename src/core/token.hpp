@@ -11,6 +11,14 @@
 // token so patterns can be reconstructed byte-exactly, which is what makes
 // the exported patterns usable by external parsers (syslog-ng patterndb,
 // Grok).
+//
+// Zero-copy hot path: a Token does not own its text. `value` and `key` are
+// std::string_views into the scanned message (an offset/length pair over
+// the source bytes), so tokenising allocates nothing per token. Tokens are
+// therefore only valid while the source message is alive — every consumer
+// that outlives the message (the analyser trie, the pattern repository)
+// copies the bytes it keeps at its own boundary (interner pool, Pattern
+// strings).
 #pragma once
 
 #include <cstdint>
@@ -55,17 +63,20 @@ TokenType token_type_from_tag(std::string_view tag);
 /// True for types that represent a variable (everything except Literal).
 bool is_variable_type(TokenType t);
 
-/// A single scanned token.
+/// A single scanned token. Non-owning: see the file comment for lifetime
+/// rules.
 struct Token {
   TokenType type = TokenType::Literal;
-  /// Original text of the token, exactly as it appeared in the message.
-  std::string value;
+  /// Original text of the token, exactly as it appeared in the message — a
+  /// view into the scanned bytes.
+  std::string_view value;
   /// RTG extension #3: true when the character preceding this token in the
   /// original message was whitespace.
   bool is_space_before = false;
   /// When the token is the value part of a key=value pair, the key text
   /// (used for semantic variable naming at analysis time); empty otherwise.
-  std::string key;
+  /// Also a view into the scanned message.
+  std::string_view key;
 
   bool operator==(const Token& other) const {
     return type == other.type && value == other.value &&
@@ -73,9 +84,54 @@ struct Token {
   }
 };
 
-/// Reconstructs the original message text from a token sequence, honouring
+/// Reusable token storage for Scanner::scan_into. clear() keeps the
+/// capacity, so a buffer that is reused across messages reaches a
+/// steady state where scanning allocates nothing. Growth events are counted
+/// into the `seqrtg_scanner_allocs_total` telemetry counter, which is how
+/// the zero-allocation claim stays observable in production.
+class TokenBuffer {
+ public:
+  void clear() { tokens_.clear(); }
+
+  void push(const Token& t) {
+    if (tokens_.size() == tokens_.capacity()) note_grow();
+    tokens_.push_back(t);
+  }
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+  /// Mutable access for in-place passes (special-token promotion).
+  std::vector<Token>& storage() { return tokens_; }
+
+  std::size_t size() const { return tokens_.size(); }
+  bool empty() const { return tokens_.empty(); }
+  const Token& operator[](std::size_t i) const { return tokens_[i]; }
+  const Token& back() const { return tokens_.back(); }
+
+  /// Moves the tokens out (legacy Scanner::scan wrapper).
+  std::vector<Token> take() && { return std::move(tokens_); }
+
+  /// Registers the `seqrtg_scanner_allocs_total` family without recording
+  /// anything, so telemetry dumps from processes that never grew a buffer
+  /// (e.g. `seqrtg stats --telemetry`) still expose the counter at zero.
+  static void register_metrics();
+
+ private:
+  /// Out of line: bumps the allocation telemetry counter. Called only when
+  /// the vector is about to reallocate, which stops happening once the
+  /// buffer has warmed up to the longest message it sees.
+  void note_grow();
+
+  std::vector<Token> tokens_;
+};
+
+/// Reconstructs the original message text from a token range, honouring
 /// is_space_before. This must be the exact inverse of scanning (tested as a
-/// property over all corpora).
-std::string reconstruct(const std::vector<Token>& tokens);
+/// property over all corpora). The output is sized in one pass and reserved
+/// once — no incremental growth.
+std::string reconstruct(const Token* begin, const Token* end);
+
+inline std::string reconstruct(const std::vector<Token>& tokens) {
+  return reconstruct(tokens.data(), tokens.data() + tokens.size());
+}
 
 }  // namespace seqrtg::core

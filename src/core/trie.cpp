@@ -6,6 +6,14 @@
 
 namespace seqrtg::core {
 
+namespace {
+
+using util::StringInterner;
+
+constexpr StringInterner::Id kNoId = StringInterner::kInvalid;
+
+}  // namespace
+
 bool literal_looks_variable(std::string_view value) {
   if (value.empty()) return false;
   if (value.find('/') != std::string_view::npos) return true;
@@ -25,16 +33,63 @@ bool literal_looks_variable(std::string_view value) {
 std::uint64_t subtree_signature(const TrieNode& node) {
   // Order-independent structural hash: edge keys + terminality, recursively.
   // Counts and examples are excluded so frequency does not affect shape.
+  // Literal edges hash their interned id — equal text implies equal id
+  // within one trie, so this is as discriminating as hashing the bytes.
   std::uint64_t h = node.terminal_count > 0 ? 0x9E3779B97F4A7C15ULL : 1;
   std::uint64_t sum = 0;
   for (const auto& [key, child] : node.children) {
-    std::uint64_t edge = std::hash<std::string>()(key.value);
-    edge ^= static_cast<std::uint64_t>(key.type) * 0xBF58476D1CE4E5B9ULL;
+    std::uint64_t edge =
+        (key.packed() + 0x9E3779B97F4A7C15ULL) * 0xD6E8FEB86659FD93ULL;
     edge ^= subtree_signature(*child) * 0x94D049BB133111EBULL;
-    // Sum keeps the combination independent of hash-map iteration order.
+    // Sum keeps the combination independent of sibling order.
     sum += edge;
   }
   return h ^ sum;
+}
+
+void EdgeMap::emplace(EdgeKey key, TrieNode* node) {
+  if (index_ != nullptr) {
+    index_->emplace(key.packed(),
+                    static_cast<std::uint32_t>(entries_.size()));
+  } else if (entries_.size() >= kFlatMax) {
+    // Crossing the fan-out threshold: build the hash index once.
+    index_ = std::make_unique<std::unordered_map<std::uint64_t,
+                                                 std::uint32_t>>();
+    index_->reserve(entries_.size() + 1);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      index_->emplace(entries_[i].first.packed(),
+                      static_cast<std::uint32_t>(i));
+    }
+    index_->emplace(key.packed(),
+                    static_cast<std::uint32_t>(entries_.size()));
+  }
+  entries_.emplace_back(key, node);
+}
+
+void EdgeMap::erase(EdgeKey key) {
+  std::size_t pos = entries_.size();
+  if (index_ != nullptr) {
+    const auto it = index_->find(key.packed());
+    if (it == index_->end()) return;
+    pos = it->second;
+    index_->erase(it);
+  } else {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].first == key) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == entries_.size()) return;
+  }
+  if (pos + 1 != entries_.size()) {
+    entries_[pos] = entries_.back();
+    if (index_ != nullptr) {
+      (*index_)[entries_[pos].first.packed()] =
+          static_cast<std::uint32_t>(pos);
+    }
+  }
+  entries_.pop_back();
 }
 
 std::size_t TrieNode::subtree_size() const {
@@ -43,64 +98,72 @@ std::size_t TrieNode::subtree_size() const {
   return n;
 }
 
-AnalyzerTrie::AnalyzerTrie(AnalyzerOptions opts) : opts_(opts) {}
+AnalyzerTrie::AnalyzerTrie(AnalyzerOptions opts)
+    : opts_(opts), root_(arena_.create<TrieNode>()) {}
+
+TrieNode* AnalyzerTrie::new_node() { return arena_.create<TrieNode>(); }
 
 void AnalyzerTrie::insert(const std::vector<Token>& tokens,
                           std::string_view original) {
-  TrieNode* node = &root_;
+  TrieNode* node = root_;
   ++message_count_;
   ++node->pass_count;
   for (const Token& t : tokens) {
     EdgeKey key;
     key.type = t.type;
-    if (t.type == TokenType::Literal) key.value = t.value;
-    auto it = node->children.find(key);
-    if (it == node->children.end()) {
-      auto child = std::make_unique<TrieNode>();
+    if (t.type == TokenType::Literal) key.value_id = interner_.intern(t.value);
+    TrieNode* child = node->children.find(key);
+    if (child == nullptr) {
+      child = new_node();
       child->is_space_before = t.is_space_before;
-      child->key = t.key;
-      it = node->children.emplace(std::move(key), std::move(child)).first;
-    } else {
-      TrieNode* c = it->second.get();
-      if (!c->key_conflict && c->key != t.key) {
-        c->key.clear();
-        c->key_conflict = true;
+      if (!t.key.empty()) child->key_id = interner_.intern(t.key);
+      node->children.emplace(key, child);
+    } else if (!child->key_conflict) {
+      const std::string_view stored =
+          child->key_id == kNoId ? std::string_view() :
+                                   interner_.view(child->key_id);
+      if (stored != t.key) {
+        child->key_id = kNoId;
+        child->key_conflict = true;
       }
     }
-    node = it->second.get();
+    node = child;
     ++node->pass_count;
   }
   ++node->terminal_count;
   if (node->examples.size() < opts_.example_cap) {
-    const std::string msg(original);
-    if (std::find(node->examples.begin(), node->examples.end(), msg) ==
+    if (std::find(node->examples.begin(), node->examples.end(), original) ==
         node->examples.end()) {
-      node->examples.push_back(msg);
+      node->examples.emplace_back(original);
     }
   }
 }
 
-void AnalyzerTrie::merge_node(TrieNode* dst, std::unique_ptr<TrieNode> src,
-                              std::size_t example_cap) {
+void AnalyzerTrie::merge_node(TrieNode* dst, TrieNode* src) {
+  // `src` is detached from its parent and abandoned in the arena after the
+  // merge (bump allocators have no per-object free; the batch-scoped trie
+  // reclaims everything at once).
   dst->terminal_count += src->terminal_count;
   dst->pass_count += src->pass_count;
   for (std::string& e : src->examples) {
-    if (dst->examples.size() >= example_cap) break;
+    if (dst->examples.size() >= opts_.example_cap) break;
     if (std::find(dst->examples.begin(), dst->examples.end(), e) ==
         dst->examples.end()) {
       dst->examples.push_back(std::move(e));
     }
   }
-  if (!dst->key_conflict && dst->key != src->key) {
-    dst->key.clear();
+  // Ids come from the shared per-trie interner, so id equality is string
+  // equality (kNoId = no key on either side).
+  if (!dst->key_conflict && dst->key_id != src->key_id) {
+    dst->key_id = kNoId;
     dst->key_conflict = true;
   }
-  for (auto& [key, child] : src->children) {
-    auto it = dst->children.find(key);
-    if (it == dst->children.end()) {
-      dst->children.emplace(key, std::move(child));
+  for (const auto& [key, child] : src->children) {
+    TrieNode* existing = dst->children.find(key);
+    if (existing == nullptr) {
+      dst->children.emplace(key, child);
     } else {
-      merge_node(it->second.get(), std::move(child), example_cap);
+      merge_node(existing, child);
     }
   }
 }
@@ -115,7 +178,7 @@ void AnalyzerTrie::fold(TrieNode* node) {
   for (const auto& [key, child] : node->children) {
     if (key.type == TokenType::Literal) {
       literal_keys.push_back(key);
-      if (literal_looks_variable(key.value)) variable_like.push_back(key);
+      if (literal_looks_variable(key_text(key))) variable_like.push_back(key);
     } else if (key.type == TokenType::String) {
       has_string_child = true;
     } else if (key.type != TokenType::Rest) {
@@ -149,7 +212,7 @@ void AnalyzerTrie::fold(TrieNode* node) {
     std::unordered_map<std::uint64_t, std::vector<EdgeKey>> by_shape;
     if (literal_keys.size() >= opts_.min_word_cardinality) {
       for (const EdgeKey& key : literal_keys) {
-        by_shape[subtree_signature(*node->children.find(key)->second)]
+        by_shape[subtree_signature(*node->children.find(key))]
             .push_back(key);
       }
       for (auto& [sig, group] : by_shape) {
@@ -172,8 +235,7 @@ void AnalyzerTrie::fold(TrieNode* node) {
     if (!to_merge.empty()) {
       std::unordered_map<std::uint64_t, bool> merged_shapes;
       for (const EdgeKey& key : to_merge) {
-        merged_shapes[subtree_signature(
-            *node->children.find(key)->second)] = true;
+        merged_shapes[subtree_signature(*node->children.find(key))] = true;
       }
       for (const EdgeKey& key : literal_keys) {
         if (std::find(to_merge.begin(), to_merge.end(), key) !=
@@ -181,7 +243,7 @@ void AnalyzerTrie::fold(TrieNode* node) {
           continue;
         }
         const std::uint64_t sig =
-            subtree_signature(*node->children.find(key)->second);
+            subtree_signature(*node->children.find(key));
         if (merged_shapes.count(sig) > 0) to_merge.push_back(key);
       }
     }
@@ -191,24 +253,22 @@ void AnalyzerTrie::fold(TrieNode* node) {
     // Merge the selected literal edges into the %string% wildcard edge.
     EdgeKey string_key;
     string_key.type = TokenType::String;
-    auto it = node->children.find(string_key);
-    if (it == node->children.end()) {
-      it = node->children.emplace(string_key, std::make_unique<TrieNode>())
-               .first;
+    TrieNode* target = node->children.find(string_key);
+    if (target == nullptr) {
+      target = new_node();
       // Adopt spacing/key metadata from the first merged child.
-      const auto first = node->children.find(to_merge.front());
-      it->second->is_space_before = first->second->is_space_before;
-      it->second->key = first->second->key;
-      it->second->key_conflict = first->second->key_conflict;
+      const TrieNode* first = node->children.find(to_merge.front());
+      target->is_space_before = first->is_space_before;
+      target->key_id = first->key_id;
+      target->key_conflict = first->key_conflict;
+      node->children.emplace(string_key, target);
     }
-    TrieNode* target = it->second.get();
     for (const EdgeKey& key : to_merge) {
-      auto child_it = node->children.find(key);
-      std::unique_ptr<TrieNode> child = std::move(child_it->second);
-      node->children.erase(child_it);
-      merge_node(target, std::move(child), opts_.example_cap);
+      TrieNode* child = node->children.find(key);
+      node->children.erase(key);
+      merge_node(target, child);
     }
-    if (opts_.merge_mixed_alnum && has_typed_child && !to_merge.empty()) {
+    if (opts_.merge_mixed_alnum && has_typed_child) {
       // Also fold typed siblings into the %string% edge so "64" (Integer)
       // and "64*" (merged literal) yield one pattern.
       std::vector<EdgeKey> typed_keys;
@@ -219,15 +279,14 @@ void AnalyzerTrie::fold(TrieNode* node) {
         }
       }
       for (const EdgeKey& key : typed_keys) {
-        auto child_it = node->children.find(key);
-        std::unique_ptr<TrieNode> child = std::move(child_it->second);
-        node->children.erase(child_it);
-        merge_node(target, std::move(child), opts_.example_cap);
+        TrieNode* child = node->children.find(key);
+        node->children.erase(key);
+        merge_node(target, child);
       }
     }
   }
 
-  for (auto& [key, child] : node->children) fold(child.get());
+  for (const auto& [key, child] : node->children) fold(child);
 }
 
 void AnalyzerTrie::emit(const TrieNode* node, std::vector<PatternToken>& path,
@@ -242,25 +301,32 @@ void AnalyzerTrie::emit(const TrieNode* node, std::vector<PatternToken>& path,
     p.examples = node->examples;
     out->push_back(std::move(p));
   }
-  // Deterministic emission order regardless of hash-map layout.
-  std::vector<const decltype(node->children)::value_type*> entries;
+  // Deterministic emission order regardless of container layout: type
+  // first, then literal edge text (the legacy EdgeKey ordering).
+  std::vector<const EdgeMap::Entry*> entries;
   entries.reserve(node->children.size());
   for (const auto& entry : node->children) entries.push_back(&entry);
   std::sort(entries.begin(), entries.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  for (const auto* entry : entries) {
+            [this](const EdgeMap::Entry* a, const EdgeMap::Entry* b) {
+              if (a->first.type != b->first.type) {
+                return a->first.type < b->first.type;
+              }
+              return key_text(a->first) < key_text(b->first);
+            });
+  for (const EdgeMap::Entry* entry : entries) {
     const EdgeKey& key = entry->first;
-    const TrieNode* child = entry->second.get();
+    const TrieNode* child = entry->second;
     PatternToken t;
     t.is_space_before = child->is_space_before;
     if (key.type == TokenType::Literal) {
       t.is_variable = false;
-      t.text = key.value;
+      // Repository boundary: the pattern owns its bytes from here on.
+      t.text = std::string(key_text(key));
     } else {
       t.is_variable = true;
       t.var_type = key.type;
-      if (!child->key_conflict && !child->key.empty()) {
-        t.name = child->key;
+      if (!child->key_conflict && child->key_id != kNoId) {
+        t.name = std::string(interner_.view(child->key_id));
       } else if (!path.empty() && !path.back().is_variable) {
         // Sequence's semantic naming: a variable preceded by a known field
         // keyword inherits its name ("port 51022" -> %port%), mirroring
@@ -284,13 +350,13 @@ void AnalyzerTrie::emit(const TrieNode* node, std::vector<PatternToken>& path,
 }
 
 std::vector<Pattern> AnalyzerTrie::analyze(std::string_view service) {
-  fold(&root_);
+  fold(root_);
   std::vector<Pattern> out;
   std::vector<PatternToken> path;
-  emit(&root_, path, service, &out);
+  emit(root_, path, service, &out);
   return out;
 }
 
-std::size_t AnalyzerTrie::node_count() const { return root_.subtree_size(); }
+std::size_t AnalyzerTrie::node_count() const { return root_->subtree_size(); }
 
 }  // namespace seqrtg::core

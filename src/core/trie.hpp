@@ -15,6 +15,16 @@
 // paths, high fan-out positions) into a generic %string% wildcard, merging
 // their subtrees recursively. Terminal nodes carry match counts and up to
 // three example messages.
+//
+// Memory layout (zero-copy hot path): nodes are bump-allocated from a
+// per-trie arena instead of per-node unique_ptrs, literal edge text is
+// deduplicated into a per-trie StringInterner, and edge keys are two-word
+// (type, interned-id) values held in a flat small-map — linear scan up to
+// a handful of entries, hash index above. Insertion therefore performs no
+// string allocation at all for already-seen literals, and node teardown is
+// one arena sweep per batch. Tokens passed to insert() may view the caller's
+// message buffer; every byte the trie keeps is copied into the interner or
+// the node's example strings during the call.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +36,8 @@
 
 #include "core/pattern.hpp"
 #include "core/token.hpp"
+#include "util/arena.hpp"
+#include "util/interner.hpp"
 
 namespace seqrtg::core {
 
@@ -57,30 +69,73 @@ struct AnalyzerOptions {
   std::size_t example_cap = 3;
 };
 
-/// Edge label: a literal value or a type wildcard.
+/// Edge label: a token type plus, for literals, the interned id of the edge
+/// text (StringInterner::kInvalid for typed wildcard edges). Two words —
+/// comparison is integer compare, no string touch.
 struct EdgeKey {
   TokenType type = TokenType::Literal;
-  std::string value;  // empty for non-literal types
+  util::StringInterner::Id value_id = util::StringInterner::kInvalid;
 
-  bool operator==(const EdgeKey& other) const {
-    return type == other.type && value == other.value;
-  }
-  bool operator<(const EdgeKey& other) const {
-    if (type != other.type) return type < other.type;
-    return value < other.value;
+  bool operator==(const EdgeKey& other) const = default;
+
+  /// Dense packing for hashing (type and id are both well under 32 bits).
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(type) << 32) |
+           static_cast<std::uint64_t>(value_id);
   }
 };
 
-struct EdgeKeyHash {
-  std::size_t operator()(const EdgeKey& k) const {
-    std::size_t h = std::hash<std::string>()(k.value);
-    return h ^ (static_cast<std::size_t>(k.type) * 0x9E3779B97F4A7C15ULL);
+class TrieNode;
+
+/// Flat small-map from EdgeKey to child node. Most trie nodes have a
+/// handful of children (the skeleton of a log message is near-linear), so
+/// edges live in a small vector scanned linearly; nodes that fan out past
+/// kFlatMax entries get a hash index on the side. Iteration order is
+/// deterministic (insertion order, with erase() compacting from the back).
+class EdgeMap {
+ public:
+  using Entry = std::pair<EdgeKey, TrieNode*>;
+
+  /// Child for `key`, or nullptr.
+  TrieNode* find(EdgeKey key) const {
+    if (index_ == nullptr) {
+      for (const Entry& e : entries_) {
+        if (e.first == key) return e.second;
+      }
+      return nullptr;
+    }
+    const auto it = index_->find(key.packed());
+    return it == index_->end() ? nullptr : entries_[it->second].second;
   }
+
+  /// Inserts (key -> node); `key` must not be present.
+  void emplace(EdgeKey key, TrieNode* node);
+
+  /// Removes `key` (must be present). The last entry is moved into the
+  /// freed slot.
+  void erase(EdgeKey key);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  std::vector<Entry>::const_iterator begin() const {
+    return entries_.begin();
+  }
+  std::vector<Entry>::const_iterator end() const { return entries_.end(); }
+
+ private:
+  /// Linear scan beats hashing below this size; measured crossover for
+  /// two-word keys is well above typical trie fan-out.
+  static constexpr std::size_t kFlatMax = 8;
+
+  std::vector<Entry> entries_;
+  /// key.packed() -> position in entries_; built lazily at kFlatMax.
+  std::unique_ptr<std::unordered_map<std::uint64_t, std::uint32_t>> index_;
 };
 
 class TrieNode {
  public:
-  std::unordered_map<EdgeKey, std::unique_ptr<TrieNode>, EdgeKeyHash> children;
+  EdgeMap children;
   /// Number of inserted sequences ending exactly here.
   std::uint64_t terminal_count = 0;
   /// Number of inserted sequences passing through this node.
@@ -90,8 +145,9 @@ class TrieNode {
   /// Spacing of the token that labelled the edge into this node (first
   /// occurrence wins; ties in real logs are overwhelmingly consistent).
   bool is_space_before = false;
-  /// key=value key attributed to this position; cleared on conflict.
-  std::string key;
+  /// key=value key attributed to this position (interned; kInvalid when
+  /// absent); cleared on conflict.
+  util::StringInterner::Id key_id = util::StringInterner::kInvalid;
   bool key_conflict = false;
 
   /// Recursively counts nodes (memory accounting for the batching logic).
@@ -100,12 +156,19 @@ class TrieNode {
 
 /// One analysis trie. AnalyzeByService instantiates one per (service,
 /// token-count) group; the seminal Analyze path uses a single instance for
-/// everything.
+/// everything. Owns the node arena and the literal interner; patterns
+/// emitted by analyze() copy every byte out, so they outlive the trie.
 class AnalyzerTrie {
  public:
   explicit AnalyzerTrie(AnalyzerOptions opts = {});
 
+  AnalyzerTrie(const AnalyzerTrie&) = delete;
+  AnalyzerTrie& operator=(const AnalyzerTrie&) = delete;
+  AnalyzerTrie(AnalyzerTrie&&) noexcept = default;
+  AnalyzerTrie& operator=(AnalyzerTrie&&) noexcept = default;
+
   /// Inserts a scanned message. `original` is kept as a candidate example.
+  /// Token views need only stay valid for the duration of the call.
   void insert(const std::vector<Token>& tokens, std::string_view original);
 
   /// Runs the merge pass and emits patterns (deterministic order). The trie
@@ -115,17 +178,29 @@ class AnalyzerTrie {
 
   std::uint64_t message_count() const { return message_count_; }
   std::size_t node_count() const;
-  const TrieNode& root() const { return root_; }
+  const TrieNode& root() const { return *root_; }
+
+  /// The literal pool backing this trie's edge keys.
+  const util::StringInterner& interner() const { return interner_; }
+  /// Bytes reserved by the node arena (memory accounting).
+  std::size_t arena_bytes() const { return arena_.bytes_reserved(); }
 
  private:
   void fold(TrieNode* node);
-  static void merge_node(TrieNode* dst, std::unique_ptr<TrieNode> src,
-                         std::size_t example_cap);
+  void merge_node(TrieNode* dst, TrieNode* src);
   void emit(const TrieNode* node, std::vector<PatternToken>& path,
             std::string_view service, std::vector<Pattern>* out) const;
+  TrieNode* new_node();
+  std::string_view key_text(EdgeKey key) const {
+    return key.value_id == util::StringInterner::kInvalid
+               ? std::string_view()
+               : interner_.view(key.value_id);
+  }
 
   AnalyzerOptions opts_;
-  TrieNode root_;
+  util::Arena arena_;
+  util::StringInterner interner_;
+  TrieNode* root_;
   std::uint64_t message_count_ = 0;
 };
 
@@ -136,7 +211,8 @@ bool literal_looks_variable(std::string_view value);
 
 /// Order-independent structural hash of a subtree (edge keys + terminal
 /// flags; counts excluded). Used by the fold pass to find literal siblings
-/// "that share the same parent and child nodes".
+/// "that share the same parent and child nodes". Only meaningful between
+/// subtrees of the same trie (edge ids come from the shared interner).
 std::uint64_t subtree_signature(const TrieNode& node);
 
 }  // namespace seqrtg::core

@@ -156,7 +156,7 @@ DayStats ProductionSimulation::run_day() {
   for (std::size_t i = 0; i < opts_.messages_per_day; ++i) {
     loggen::FleetRecord rec = fleet_.next();
     // syslog-ng front line: parse against the promoted patterndb.
-    if (patterndb_.parse(rec.record.service, rec.record.message)) {
+    if (patterndb_.parse(rec.record.service, rec.record.message, scratch_)) {
       ++stats.matched;
       continue;
     }

@@ -89,6 +89,9 @@ class ProductionSimulation {
   core::Engine engine_;
   /// The promoted pattern database (syslog-ng patterndb stand-in).
   core::Parser patterndb_;
+  /// Reusable tokenisation scratch for the front-line parse loop — the
+  /// simulation is single-threaded per instance, so one buffer suffices.
+  core::TokenBuffer scratch_;
   std::vector<std::string> promoted_ids_;
   std::vector<core::LogRecord> pending_;
   std::size_t day_ = 0;

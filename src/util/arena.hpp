@@ -1,0 +1,151 @@
+// Bump-allocator arena.
+//
+// The analyser trie allocates one node per distinct token position; on a
+// production batch that is hundreds of thousands of small allocations whose
+// lifetimes all end together when the batch's trie is dropped. A bump
+// allocator turns each node allocation into a pointer increment and frees
+// the whole population in one sweep, which removes the allocator from the
+// hot path entirely (the same observation USTEP and other streaming tree
+// parsers make about per-message node churn).
+//
+// Ownership rules:
+//  - allocate()/create() memory is valid until reset() or destruction; there
+//    is no per-object free. Objects detached from their container (e.g.
+//    trie nodes folded away by the merge pass) simply stay resident until
+//    the arena goes — acceptable because arenas are batch-scoped.
+//  - create<T>() registers a finalizer when T is not trivially destructible,
+//    so members that own heap memory (vectors, strings) are destroyed at
+//    reset()/destruction. Finalizers run in reverse creation order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace seqrtg::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+  ~Arena() { run_finalizers(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Blocks and finalizer targets live on the heap, so moving the arena
+  // leaves every handed-out pointer valid.
+  Arena(Arena&& other) noexcept = default;
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      run_finalizers();
+      block_bytes_ = other.block_bytes_;
+      blocks_ = std::move(other.blocks_);
+      finalizers_ = std::move(other.finalizers_);
+      used_ = other.used_;
+      other.blocks_.clear();
+      other.finalizers_.clear();
+      other.used_ = 0;
+    }
+    return *this;
+  }
+
+  /// Raw aligned storage, valid until reset()/destruction. `align` must be
+  /// a power of two.
+  void* allocate(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    Block* b = blocks_.empty() ? nullptr : &blocks_.back();
+    // Align the actual address, not the block offset: new char[] storage is
+    // only guaranteed 16-byte-aligned, so over-aligned requests need the
+    // base folded in.
+    std::size_t at = b == nullptr ? 0 : aligned_offset(*b, align);
+    if (b == nullptr || at + size > b->cap) {
+      b = grow(size + align);
+      at = aligned_offset(*b, align);
+    }
+    char* p = b->data.get() + at;
+    b->used = at + size;
+    used_ += size;
+    return p;
+  }
+
+  /// Constructs a T in arena storage. Non-trivially-destructible objects
+  /// are destroyed (reverse creation order) at reset()/destruction.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = ::new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      finalizers_.push_back(
+          {obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  /// Destroys every created object and releases all but the first block,
+  /// ready for reuse without touching the system allocator.
+  void reset() {
+    run_finalizers();
+    if (blocks_.size() > 1) blocks_.resize(1);
+    if (!blocks_.empty()) blocks_.front().used = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (excludes alignment padding).
+  std::size_t bytes_used() const { return used_; }
+
+  /// Bytes reserved from the system allocator across all blocks.
+  std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const Block& b : blocks_) n += b.cap;
+    return n;
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  static std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  static std::size_t aligned_offset(const Block& b, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    return align_up(base + b.used, align) - base;
+  }
+
+  Block* grow(std::size_t min_bytes) {
+    const std::size_t cap = min_bytes > block_bytes_ ? min_bytes
+                                                     : block_bytes_;
+    blocks_.push_back({std::make_unique<char[]>(cap), cap, 0});
+    return &blocks_.back();
+  }
+
+  void run_finalizers() {
+    for (auto it = finalizers_.rbegin(); it != finalizers_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+    finalizers_.clear();
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::vector<Finalizer> finalizers_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace seqrtg::util

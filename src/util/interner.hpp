@@ -1,0 +1,86 @@
+// String interning pool.
+//
+// The analyser trie keys its edges by literal token text; before this
+// module every edge owned its own std::string copy of that text. The
+// interner deduplicates literal bytes into one immutable arena-backed pool
+// and hands out dense 32-bit ids, so edge keys become two-word values
+// (type + id), key comparison becomes an integer compare, and the bytes of
+// a literal that appears in a million messages are stored once.
+//
+// Ownership rules: interned bytes live as long as the interner; the views
+// returned by view() never dangle while the owning interner (typically the
+// AnalyzerTrie that batches a trie, or a test fixture) is alive. The
+// interner is deliberately NOT thread-safe — each analysis trie (and thus
+// each thread-pool worker in AnalyzeByService) owns its own pool, which
+// keeps the hot path lock-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace seqrtg::util {
+
+/// Transparent hash so unordered_map<std::string, ...> can be probed with a
+/// std::string_view without materialising a std::string (C++20
+/// heterogeneous lookup; pair with std::equal_to<>).
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  /// Sentinel for "no string" (e.g. the edge key of a typed wildcard).
+  static constexpr Id kInvalid = 0xFFFFFFFFu;
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) noexcept = default;
+  StringInterner& operator=(StringInterner&&) noexcept = default;
+
+  /// Returns the id of `s`, copying its bytes into the pool on first sight.
+  Id intern(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    char* copy = static_cast<char*>(pool_.allocate(s.size(), 1));
+    if (!s.empty()) std::char_traits<char>::copy(copy, s.data(), s.size());
+    const std::string_view stored(copy, s.size());
+    const Id id = static_cast<Id>(views_.size());
+    views_.push_back(stored);
+    index_.emplace(stored, id);
+    return id;
+  }
+
+  /// Looks up without inserting; kInvalid when unseen.
+  Id find(std::string_view s) const {
+    const auto it = index_.find(s);
+    return it == index_.end() ? kInvalid : it->second;
+  }
+
+  /// The pooled bytes of `id`. Valid for the interner's lifetime; `id`
+  /// must come from this interner.
+  std::string_view view(Id id) const { return views_[id]; }
+
+  /// Number of distinct strings interned.
+  std::size_t size() const { return views_.size(); }
+
+  /// Bytes of pooled string data (deduplicated).
+  std::size_t bytes() const { return pool_.bytes_used(); }
+
+ private:
+  Arena pool_{16 * 1024};
+  std::vector<std::string_view> views_;
+  std::unordered_map<std::string_view, Id, StringHash, std::equal_to<>>
+      index_;
+};
+
+}  // namespace seqrtg::util

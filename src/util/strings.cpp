@@ -57,23 +57,6 @@ bool ends_with(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
-bool is_digit(char c) { return c >= '0' && c <= '9'; }
-
-bool is_alpha(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
-}
-
-bool is_alnum(char c) { return is_digit(c) || is_alpha(c); }
-
-bool is_hex_digit(char c) {
-  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
-}
-
-bool is_space(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
-
 bool is_all_digits(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s) {

@@ -40,11 +40,21 @@ bool has_digit(std::string_view s);
 /// True if `s` contains at least one ASCII letter.
 bool has_alpha(std::string_view s);
 
-bool is_digit(char c);
-bool is_alpha(char c);
-bool is_alnum(char c);
-bool is_hex_digit(char c);
-bool is_space(char c);
+// Per-character predicates. Defined inline: the scanner FSMs call these
+// several times per input byte, so an out-of-line call would dominate the
+// tokenisation hot path.
+constexpr bool is_digit(char c) { return c >= '0' && c <= '9'; }
+constexpr bool is_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+constexpr bool is_alnum(char c) { return is_digit(c) || is_alpha(c); }
+constexpr bool is_hex_digit(char c) {
+  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+constexpr bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
 
 /// True if every character is a hexadecimal digit (and `s` is non-empty).
 bool is_all_hex(std::string_view s);

@@ -81,7 +81,9 @@ TEST(ScannerFuzz, MaxTokenGuardBoundsOutput) {
   const core::Scanner scanner(opts);
   util::Rng rng(0xCAFE);
   for (int i = 0; i < 500; ++i) {
-    const auto tokens = scanner.scan(random_printable(rng, 2000));
+    // The message must outlive the tokens: token values view its bytes.
+    const std::string msg = random_printable(rng, 2000);
+    const auto tokens = scanner.scan(msg);
     EXPECT_LE(tokens.size(), 17u);  // 16 + Rest marker
   }
 }

@@ -1,0 +1,124 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(128);  // small blocks force several grows
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    char* p = static_cast<char*>(arena.allocate(16, 8));
+    // Write a distinctive byte pattern; overlap would corrupt a prior one.
+    for (int j = 0; j < 16; ++j) p[j] = static_cast<char>(i);
+    ptrs.push_back(p);
+  }
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    for (int j = 0; j < 16; ++j) {
+      ASSERT_EQ(ptrs[i][j], static_cast<char>(i)) << "slot " << i;
+    }
+  }
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedBlock) {
+  Arena arena(64);
+  void* big = arena.allocate(4096, 8);
+  ASSERT_NE(big, nullptr);
+  // The oversize block must not break subsequent small allocations.
+  void* small = arena.allocate(8, 8);
+  ASSERT_NE(small, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 4096u);
+}
+
+struct DtorCounter {
+  int* counter;
+  int* order_sink;
+  int tag;
+  ~DtorCounter() {
+    ++*counter;
+    *order_sink = tag;
+  }
+};
+
+TEST(Arena, CreateRunsDestructorsOnReset) {
+  int destroyed = 0;
+  int last_tag = -1;
+  Arena arena;
+  arena.create<DtorCounter>(&destroyed, &last_tag, 1);
+  arena.create<DtorCounter>(&destroyed, &last_tag, 2);
+  arena.create<DtorCounter>(&destroyed, &last_tag, 3);
+  EXPECT_EQ(destroyed, 0);
+  arena.reset();
+  EXPECT_EQ(destroyed, 3);
+  // Finalizers run in reverse creation order, so the first object is last.
+  EXPECT_EQ(last_tag, 1);
+}
+
+TEST(Arena, DestructorRunsOnArenaDestruction) {
+  int destroyed = 0;
+  int last_tag = -1;
+  {
+    Arena arena;
+    arena.create<DtorCounter>(&destroyed, &last_tag, 7);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(Arena, TriviallyDestructibleTypesSkipFinalizers) {
+  Arena arena;
+  int* p = arena.create<int>(42);
+  EXPECT_EQ(*p, 42);
+  arena.reset();  // must not touch p's (absent) finalizer
+}
+
+TEST(Arena, NonTrivialMembersSurviveUse) {
+  Arena arena;
+  auto* v = arena.create<std::vector<std::string>>();
+  for (int i = 0; i < 100; ++i) v->push_back(std::string(50, 'x'));
+  EXPECT_EQ(v->size(), 100u);
+  arena.reset();  // vector destructor releases the heap memory (ASan checks)
+}
+
+TEST(Arena, ResetKeepsReservedMemoryAndReusesIt) {
+  Arena arena(256);
+  for (int i = 0; i < 64; ++i) arena.allocate(16, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // First block is retained for reuse.
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+  void* p = arena.allocate(16, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  int destroyed = 0;
+  int last_tag = -1;
+  Arena a;
+  a.create<DtorCounter>(&destroyed, &last_tag, 1);
+  Arena b = std::move(a);
+  EXPECT_EQ(destroyed, 0);
+  b.reset();
+  EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace seqrtg::util

@@ -1,0 +1,85 @@
+#include "util/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace seqrtg::util {
+namespace {
+
+TEST(StringInterner, SameStringSameId) {
+  StringInterner interner;
+  const auto a = interner.intern("hello");
+  const auto b = interner.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInterner, DistinctStringsDistinctIds) {
+  StringInterner interner;
+  const auto a = interner.intern("alpha");
+  const auto b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.view(a), "alpha");
+  EXPECT_EQ(interner.view(b), "beta");
+}
+
+TEST(StringInterner, InternCopiesTheBytes) {
+  StringInterner interner;
+  StringInterner::Id id;
+  {
+    std::string transient = "ephemeral-value";
+    id = interner.intern(transient);
+    transient.assign(transient.size(), 'x');  // clobber the source
+  }
+  EXPECT_EQ(interner.view(id), "ephemeral-value");
+}
+
+TEST(StringInterner, EmptyStringInternsFine) {
+  StringInterner interner;
+  const auto id = interner.intern("");
+  EXPECT_NE(id, StringInterner::kInvalid);
+  EXPECT_EQ(interner.view(id), "");
+  EXPECT_EQ(interner.intern(""), id);
+}
+
+TEST(StringInterner, FindDoesNotInsert) {
+  StringInterner interner;
+  EXPECT_EQ(interner.find("missing"), StringInterner::kInvalid);
+  EXPECT_EQ(interner.size(), 0u);
+  const auto id = interner.intern("present");
+  EXPECT_EQ(interner.find("present"), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInterner, ViewsStayValidAcrossGrowth) {
+  // Views point into the arena-backed byte pool; interning thousands more
+  // strings must not invalidate earlier views (no reallocation of pools).
+  StringInterner interner;
+  const auto first = interner.intern("the-first-string");
+  const std::string_view early = interner.view(first);
+  std::vector<StringInterner::Id> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(interner.intern("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(early, "the-first-string");
+  EXPECT_EQ(interner.view(first).data(), early.data());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(interner.view(ids[static_cast<std::size_t>(i)]),
+              "key-" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.size(), 5001u);
+  EXPECT_GT(interner.bytes(), 0u);
+}
+
+TEST(StringInterner, IdsAreDense) {
+  StringInterner interner;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(interner.intern("s" + std::to_string(i)),
+              static_cast<StringInterner::Id>(i));
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg::util
