@@ -142,6 +142,81 @@ void BM_StoreSaveLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreSaveLoad)->Arg(100)->Arg(1000);
 
+/// Scratch store directory for the durability benches.
+struct BenchDir {
+  std::filesystem::path path;
+  explicit BenchDir(const char* tag)
+      : path(std::filesystem::temp_directory_path() /
+             (std::string("seqrtg_bench_") + tag)) {
+    std::filesystem::remove_all(path);
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+void BM_StoreDurableUpsert(benchmark::State& state) {
+  // The acknowledged-write path: one WAL append + fsync per upsert.
+  BenchDir dir("durable_upsert");
+  store::PatternStore pattern_store;
+  if (!pattern_store.open(dir.path.string())) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    pattern_store.upsert_pattern(make_pattern(i++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreDurableUpsert);
+
+void BM_StoreCheckpoint(benchmark::State& state) {
+  // Snapshot rotation: write-to-temp + fsync + rename + WAL truncation.
+  BenchDir dir("checkpoint");
+  store::PatternStore pattern_store;
+  if (!pattern_store.open(dir.path.string())) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0));
+       ++i) {
+    pattern_store.upsert_pattern(make_pattern(i));
+  }
+  for (auto _ : state) {
+    pattern_store.checkpoint();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StoreCheckpoint)->Arg(1000);
+
+void BM_StoreWalReplay(benchmark::State& state) {
+  // Cold-start recovery with an un-checkpointed WAL tail of range(0)
+  // commit groups.
+  BenchDir dir("replay");
+  {
+    store::PatternStore writer;
+    if (!writer.open(dir.path.string())) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0));
+         ++i) {
+      writer.upsert_pattern(make_pattern(i));
+    }
+  }
+  for (auto _ : state) {
+    store::PatternStore recovered;
+    recovered.open(dir.path.string());
+    benchmark::DoNotOptimize(recovered.pattern_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StoreWalReplay)->Arg(1000);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Throughput-regression gate for the tokenisation/parse hot path.
 #
-# Runs bench_scanner and bench_parser with telemetry on, then compares the
-# mean latencies recorded in their telemetry snapshots (scan and parse
-# histograms carry count+sum) against the committed BENCH_scanner.json /
-# BENCH_parser.json baselines. Fails when the current mean is more than
-# REGRESSION_PCT percent slower than the committed number.
+# Runs bench_scanner, bench_parser and bench_store with telemetry on, then
+# compares the mean latencies recorded in their telemetry snapshots (the
+# scan / parse / persist histograms carry count+sum) against the committed
+# BENCH_scanner.json / BENCH_parser.json / BENCH_store.json baselines.
+# Fails when the current mean is more than REGRESSION_PCT percent slower
+# than the committed number.
 #
 # Usage: scripts/bench_check.sh [build-dir]
 #   REGRESSION_PCT=10   override the allowed slowdown (percent)
@@ -18,9 +19,11 @@ PCT="${REGRESSION_PCT:-10}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
-if [ ! -x "$BUILD/bench/bench_scanner" ] || [ ! -x "$BUILD/bench/bench_parser" ]; then
+if [ ! -x "$BUILD/bench/bench_scanner" ] || [ ! -x "$BUILD/bench/bench_parser" ] \
+   || [ ! -x "$BUILD/bench/bench_store" ]; then
   echo "bench binaries missing; building..." >&2
-  cmake --build "$BUILD" --target bench_scanner bench_parser -j "$(nproc)"
+  cmake --build "$BUILD" --target bench_scanner bench_parser bench_store \
+    -j "$(nproc)"
 fi
 
 # --benchmark_min_time wants a bare double on the pinned benchmark version.
@@ -28,10 +31,15 @@ SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_scanner" --benchmark_min_time=0.3
 SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_parser" --benchmark_min_time=0.3
+# The durable persist/replay path only (filter keeps the run short).
+SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
+  "$BUILD/bench/bench_store" --benchmark_min_time=0.3 \
+  --benchmark_filter='BM_Store(SaveLoad|DurableUpsert|Checkpoint|WalReplay)'
 
 if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   cp "$OUT/BENCH_scanner.json" "$ROOT/BENCH_scanner.json"
   cp "$OUT/BENCH_parser.json" "$ROOT/BENCH_parser.json"
+  cp "$OUT/BENCH_store.json" "$ROOT/BENCH_store.json"
   echo "baselines updated from this run"
   exit 0
 fi
@@ -46,6 +54,7 @@ root, out, pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
 GATES = [
     ("BENCH_scanner.json", "seqrtg_scanner_scan_seconds"),
     ("BENCH_parser.json", "seqrtg_parser_parse_seconds"),
+    ("BENCH_store.json", "seqrtg_store_persist_seconds"),
 ]
 
 

@@ -26,9 +26,11 @@ if [ "${1:-}" = "all" ]; then
   exec ctest --test-dir "$BUILD" --output-on-failure
 fi
 # Default: the suites that exercise cross-thread state, plus the arena /
-# interner / zero-copy-equivalence suites (lifetime-sensitive raw memory).
+# interner / zero-copy-equivalence suites (lifetime-sensitive raw memory)
+# and the WAL fault-injection suite (raw fd I/O + recovery byte surgery).
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
-  arena_test interner_test scan_into_equivalence_test
+  arena_test interner_test scan_into_equivalence_test wal_test \
+  pattern_store_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +29,10 @@ namespace {
 /// Shared scanner/engine flags.
 void add_engine_options(util::ArgParser& args) {
   args.add_option("db", "pattern database file", "patterns.db");
+  args.add_option("store-dir",
+                  "durable store directory (WAL + atomic snapshots); "
+                  "overrides --db",
+                  "");
   args.add_flag("lenient-time",
                 "accept single-digit time parts (future-work datetime FSM)");
   args.add_flag("no-path-fsm", "disable the path detector");
@@ -68,6 +73,46 @@ int finish_metrics(const util::ArgParser& args, std::ostream& err) {
   return 0;
 }
 
+/// Attaches `store` per the persistence flags: --store-dir opens the
+/// durable directory (recovery: newest valid snapshot + WAL tail), --db
+/// loads the legacy single-file snapshot. Returns false (with a message)
+/// when the requested source cannot be opened; `must_exist` relaxes a
+/// missing --db file into an empty store (mining verbs start fresh).
+bool attach_store(const util::ArgParser& args, store::PatternStore& store,
+                  std::ostream& err, bool must_exist) {
+  const std::string dir = args.get("store-dir");
+  if (!dir.empty()) {
+    if (!store.open(dir)) {
+      err << "cannot open store directory " << dir << "\n";
+      return false;
+    }
+    return true;
+  }
+  if (!store.load(args.get("db")) && must_exist) {
+    err << "cannot load pattern database " << args.get("db") << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Persists `store`: snapshot rotation when durable, --db overwrite
+/// otherwise.
+bool persist_store(const util::ArgParser& args, store::PatternStore& store,
+                   std::ostream& err) {
+  if (store.durable()) {
+    if (!store.checkpoint()) {
+      err << "failed to checkpoint " << args.get("store-dir") << "\n";
+      return false;
+    }
+    return true;
+  }
+  if (!store.save(args.get("db"))) {
+    err << "failed to save " << args.get("db") << "\n";
+    return false;
+  }
+  return true;
+}
+
 /// Opens the positional input (file path or "-"/absent = the stream `in`).
 std::istream* open_input(const util::ArgParser& args, std::istream& in,
                          std::ifstream& file, std::ostream& err) {
@@ -96,7 +141,11 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
 
   store::PatternStore store;
   const std::string db = args.get("db");
-  if (store.load(db)) {
+  if (!attach_store(args, store, err, /*must_exist=*/false)) return 1;
+  if (store.durable()) {
+    out << "recovered " << store.pattern_count() << " patterns from "
+        << args.get("store-dir") << "\n";
+  } else if (store.pattern_count() > 0) {
     out << "loaded " << store.pattern_count() << " patterns from " << db
         << "\n";
   }
@@ -129,11 +178,9 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   if (ingester.stats().malformed > 0) {
     out << ingester.stats().malformed << " malformed line(s) skipped\n";
   }
-  if (!store.save(db)) {
-    err << "failed to save " << db << "\n";
-    return 1;
-  }
-  out << store.pattern_count() << " patterns in " << db << "\n";
+  if (!persist_store(args, store, err)) return 1;
+  out << store.pattern_count() << " patterns in "
+      << (store.durable() ? args.get("store-dir") : db) << "\n";
   return finish_metrics(args, err);
 }
 
@@ -153,10 +200,7 @@ int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
   }
 
   store::PatternStore store;
-  if (!store.load(args.get("db"))) {
-    err << "cannot load pattern database " << args.get("db") << "\n";
-    return 1;
-  }
+  if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
   const core::EngineOptions opts = engine_options_from(args);
   core::Parser parser(opts.scanner, opts.special);
   for (const std::string& svc : store.services()) {
@@ -249,6 +293,10 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
               std::ostream& out, std::ostream& err) {
   util::ArgParser args;
   args.add_option("db", "pattern database file", "patterns.db");
+  args.add_option("store-dir",
+                  "durable store directory (WAL + atomic snapshots); "
+                  "overrides --db",
+                  "");
   args.add_flag("telemetry",
                 "dump the process telemetry snapshot (Prometheus text "
                 "exposition) instead of the per-service table");
@@ -258,14 +306,26 @@ int cmd_stats(const std::vector<std::string>& argv, std::istream&,
     return 2;
   }
   store::PatternStore store;
-  if (!store.load(args.get("db"))) {
-    err << "cannot load pattern database " << args.get("db") << "\n";
-    return 1;
-  }
+  if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
   if (args.get_flag("telemetry")) {
     core::TokenBuffer::register_metrics();
     out << obs::to_prometheus(obs::default_registry());
     return finish_metrics(args, err);
+  }
+  if (store.durable()) {
+    const auto d = store.durability_stats();
+    const std::int64_t now =
+        static_cast<std::int64_t>(std::time(nullptr));
+    const auto age = [now](std::int64_t unix) {
+      return unix == 0 ? std::string("never")
+                       : std::to_string(now - unix) + "s ago";
+    };
+    out << "store: " << d.dir << "\n"
+        << "snapshot: seq " << d.snapshot_seq << ", written "
+        << age(d.snapshot_unix) << "\n"
+        << "wal: " << d.wal_records << " record(s), " << d.wal_bytes
+        << " bytes, last seq " << d.last_seq << ", written "
+        << age(d.wal_unix) << "\n";
   }
   std::uint64_t total_matches = 0;
   out << "service                        patterns   matches\n";
@@ -295,10 +355,7 @@ int cmd_validate(const std::vector<std::string>& argv, std::istream&,
     return 2;
   }
   store::PatternStore store;
-  if (!store.load(args.get("db"))) {
-    err << "cannot load pattern database " << args.get("db") << "\n";
-    return 1;
-  }
+  if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
   const core::EngineOptions opts = engine_options_from(args);
   std::size_t conflicts = 0;
   for (const std::string& svc : store.services()) {
@@ -407,6 +464,10 @@ int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
   args.add_option("initial-coverage",
                   "day-one patterndb traffic coverage", "0.22");
   args.add_option("threads", "engine worker threads", "1");
+  args.add_option("store-dir",
+                  "durable candidate store directory; the daily cycle ends "
+                  "with a snapshot checkpoint",
+                  "");
   args.add_flag("quiet", "print only the final summary");
   add_metrics_options(args);
   if (!args.parse(argv)) {
@@ -430,6 +491,7 @@ int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
   }
   opts.engine.threads =
       static_cast<std::size_t>(args.get_int("threads", 1));
+  opts.store_dir = args.get("store-dir");
 
   const bool quiet = args.get_flag("quiet");
   if (!quiet) {

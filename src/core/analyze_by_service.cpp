@@ -141,28 +141,39 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
   }
   partition_timer.stop();
 
+  // Snapshot const pointers to the partitions up front: pool workers must
+  // never touch the map itself (operator[] is non-const and a concurrent
+  // lookup of a shared node-based map is a data race even without
+  // insertion).
   std::vector<const std::string*> service_names;
+  std::vector<const std::vector<const LogRecord*>*> service_records;
   service_names.reserve(by_service.size());
-  for (const auto& [svc, recs] : by_service) service_names.push_back(&svc);
+  service_records.reserve(by_service.size());
+  for (const auto& [svc, recs] : by_service) {
+    service_names.push_back(&svc);
+    service_records.push_back(&recs);
+  }
 
   std::vector<ServiceOutcome> outcomes(service_names.size());
   if (opts_.threads > 1 && service_names.size() > 1) {
     util::ThreadPool pool(std::min(opts_.threads, service_names.size()));
     pool.parallel_for(service_names.size(), [&](std::size_t i) {
-      outcomes[i] =
-          process_service(*service_names[i], by_service[*service_names[i]]);
+      outcomes[i] = process_service(*service_names[i], *service_records[i]);
     });
   } else {
     for (std::size_t i = 0; i < service_names.size(); ++i) {
-      outcomes[i] =
-          process_service(*service_names[i], by_service[*service_names[i]]);
+      outcomes[i] = process_service(*service_names[i], *service_records[i]);
     }
   }
 
   // Apply results in service order (outcomes are already sorted because
-  // by_service is an ordered map) so runs are deterministic.
+  // by_service is an ordered map) so runs are deterministic. The batch
+  // scope makes the repo-save phase all-or-nothing on durable
+  // repositories: if anything throws mid-apply, the guard aborts and the
+  // durable store keeps none of this batch.
   obs::StageTimer save_timer(metrics.phase_repo_save);
   BatchReport total;
+  RepositoryBatch repo_batch(repo_);
   for (ServiceOutcome& outcome : outcomes) {
     for (const auto& [id, count] : outcome.match_updates) {
       repo_->record_match(id, count, opts_.now_unix);
@@ -172,6 +183,7 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
     }
     total += outcome.report;
   }
+  repo_batch.commit();
   // operator+= deliberately does not accumulate `services` (it would
   // double-count a service seen in several batches); within one batch each
   // service contributes exactly one outcome.

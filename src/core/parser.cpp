@@ -187,10 +187,14 @@ std::optional<ParseResult> Parser::match_tokens_impl(
       return result;
     }
   }
-  // %rest% patterns: any prefix length <= token count. Walk each candidate
-  // prefix index; the rest marker swallows the remaining tokens.
-  for (const auto& [prefix_len, root] : svc.rest_prefix) {
-    if (prefix_len > tokens.size()) break;
+  // %rest% patterns: any prefix length <= token count. Walk candidate
+  // prefix indexes longest-prefix-first so the most specific pattern wins
+  // (mirroring the literal-before-wildcard precedence within a walk) — a
+  // generic short-prefix rest pattern must not shadow a longer one.
+  for (auto it = svc.rest_prefix.rbegin(); it != svc.rest_prefix.rend();
+       ++it) {
+    const auto& [prefix_len, root] = *it;
+    if (prefix_len > tokens.size()) continue;
     // Custom walk that terminates at prefix_len on a rest_terminal.
     struct RestWalker {
       const Parser* parser;

@@ -40,6 +40,37 @@ class PatternRepository {
   virtual std::optional<Pattern> find(const std::string& id) = 0;
 
   virtual std::size_t pattern_count() = 0;
+
+  /// Batch transaction hooks. Durable repositories make every mutation
+  /// between begin_batch() and commit_batch() atomic on disk — a crash (or
+  /// abort_batch()) persists none of them. The defaults are no-ops so
+  /// in-memory repositories stay unchanged.
+  virtual void begin_batch() {}
+  virtual void commit_batch() {}
+  virtual void abort_batch() {}
+};
+
+/// RAII batch scope: commits on `commit()`, aborts when destroyed without
+/// one (e.g. an exception unwinding the engine's repo-save phase).
+class RepositoryBatch {
+ public:
+  explicit RepositoryBatch(PatternRepository* repo) : repo_(repo) {
+    repo_->begin_batch();
+  }
+  ~RepositoryBatch() {
+    if (!done_) repo_->abort_batch();
+  }
+  RepositoryBatch(const RepositoryBatch&) = delete;
+  RepositoryBatch& operator=(const RepositoryBatch&) = delete;
+
+  void commit() {
+    repo_->commit_batch();
+    done_ = true;
+  }
+
+ private:
+  PatternRepository* repo_;
+  bool done_ = false;
 };
 
 /// Thread-safe in-memory repository (no persistence).

@@ -56,10 +56,24 @@ SimMetrics& sim_metrics() {
 
 }  // namespace
 
+std::unique_ptr<core::PatternRepository> ProductionSimulation::make_candidates(
+    const SimulationOptions& opts, store::PatternStore** durable) {
+  *durable = nullptr;
+  if (opts.store_dir.empty()) {
+    return std::make_unique<core::InMemoryRepository>();
+  }
+  auto store = std::make_unique<store::PatternStore>();
+  if (store->open(opts.store_dir)) *durable = store.get();
+  // On open failure the store degrades to in-memory (still functional);
+  // durable_store_ stays null so no checkpoints are attempted.
+  return store;
+}
+
 ProductionSimulation::ProductionSimulation(SimulationOptions opts)
     : opts_(opts),
       fleet_(opts.fleet),
-      engine_(&candidates_, opts.engine),
+      candidates_(make_candidates(opts_, &durable_store_)),
+      engine_(candidates_.get(), opts.engine),
       patterndb_(opts.engine.scanner, opts.engine.special) {
   warmup_initial_patterndb();
 }
@@ -114,8 +128,8 @@ std::size_t ProductionSimulation::review_and_promote() {
   std::unordered_set<std::string> already(promoted_ids_.begin(),
                                           promoted_ids_.end());
   std::vector<core::Pattern> candidates;
-  for (const std::string& svc : candidates_.services()) {
-    for (core::Pattern& p : candidates_.load_service(svc)) {
+  for (const std::string& svc : candidates_->services()) {
+    for (core::Pattern& p : candidates_->load_service(svc)) {
       if (p.stats.match_count < opts_.promote_min_count) continue;
       if (p.complexity() >= opts_.promote_max_complexity) continue;
       if (already.count(p.id()) > 0) continue;
@@ -174,8 +188,11 @@ DayStats ProductionSimulation::run_day() {
   }
 
   const std::size_t promoted_today = review_and_promote();
+  // The paper's daily promote/save cycle: rotate a snapshot of the durable
+  // candidate store so the next start recovers without a long WAL replay.
+  if (durable_store_ != nullptr) durable_store_->checkpoint();
   stats.promoted_total = promoted_ids_.size();
-  stats.candidates = candidates_.pattern_count();
+  stats.candidates = candidates_->pattern_count();
   stats.unmatched_pct = stats.messages == 0
                             ? 0.0
                             : 100.0 * static_cast<double>(stats.unmatched) /

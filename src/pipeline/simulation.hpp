@@ -15,12 +15,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/analyze_by_service.hpp"
 #include "core/parser.hpp"
 #include "core/repository.hpp"
 #include "loggen/fleet.hpp"
+#include "store/pattern_store.hpp"
 
 namespace seqrtg::pipeline {
 
@@ -44,6 +47,12 @@ struct SimulationOptions {
   /// "the most correct pattern would be promoted and the other
   /// discarded").
   bool validate_promotions = true;
+  /// When non-empty, the candidate store is a durable PatternStore opened
+  /// at this directory (WAL + snapshots); the daily cycle ends with a
+  /// checkpoint — the paper's promote/save step — so a crash mid-day
+  /// loses at most the un-checkpointed snapshot rotation, never the
+  /// acknowledged candidates.
+  std::string store_dir;
   loggen::FleetOptions fleet;
   core::EngineOptions engine;
 };
@@ -81,11 +90,17 @@ class ProductionSimulation {
   void warmup_initial_patterndb();
   /// End-of-day review: promote the strongest unpromoted candidates.
   std::size_t review_and_promote();
+  /// In-memory candidates by default; a durable PatternStore when
+  /// opts.store_dir is set (durable receives the opened store, or null).
+  static std::unique_ptr<core::PatternRepository> make_candidates(
+      const SimulationOptions& opts, store::PatternStore** durable);
 
   SimulationOptions opts_;
   loggen::FleetGenerator fleet_;
+  /// Non-null when the candidate store is durable (owned by candidates_).
+  store::PatternStore* durable_store_ = nullptr;
   /// Candidate store fed by Sequence-RTG.
-  core::InMemoryRepository candidates_;
+  std::unique_ptr<core::PatternRepository> candidates_;
   core::Engine engine_;
   /// The promoted pattern database (syslog-ng patterndb stand-in).
   core::Parser patterndb_;

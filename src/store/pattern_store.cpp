@@ -1,6 +1,13 @@
 #include "store/pattern_store.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
@@ -10,10 +17,20 @@ namespace seqrtg::store {
 
 namespace {
 
+namespace fs = std::filesystem;
+
 /// SELECT column order shared by every pattern query.
 constexpr std::string_view kPatternColumns =
     "pid, service, ptext, tokens, token_count, complexity, match_count, "
     "first_seen, last_matched";
+
+/// WAL op codes (one byte each inside a commit group).
+constexpr std::uint8_t kOpUpsert = 1;
+constexpr std::uint8_t kOpRecordMatch = 2;
+
+constexpr std::string_view kWalFile = "wal.log";
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".db";
 
 /// Store operation counters; same family as the in-memory repository,
 /// distinguished by the backend label.
@@ -23,6 +40,10 @@ obs::Counter& store_op(const char* op) {
       {{"backend", "sql"}, {"op", op}});
 }
 
+obs::Counter& wal_counter(const char* name, const char* help) {
+  return obs::default_registry().counter(name, help);
+}
+
 struct StoreMetrics {
   obs::Counter& load_service;
   obs::Counter& upsert;
@@ -30,6 +51,12 @@ struct StoreMetrics {
   obs::Counter& save;
   obs::Counter& load;
   obs::Histogram& persist_seconds;
+  obs::Counter& corrupt_rows;
+  obs::Counter& wal_appends;
+  obs::Counter& wal_bytes;
+  obs::Counter& wal_replayed;
+  obs::Counter& wal_truncations;
+  obs::Counter& wal_snapshots;
 };
 
 StoreMetrics& store_metrics() {
@@ -41,8 +68,89 @@ StoreMetrics& store_metrics() {
       store_op("load"),
       obs::default_registry().histogram(
           "seqrtg_store_persist_seconds",
-          "Latency of PatternStore::save / PatternStore::load")};
+          "Latency of PatternStore::save / load / checkpoint / open"),
+      wal_counter("seqrtg_store_corrupt_rows_total",
+                  "Pattern rows dropped because neither the JSON token list "
+                  "nor the display text parsed"),
+      wal_counter("seqrtg_store_wal_appends_total",
+                  "Commit groups appended to the write-ahead log"),
+      wal_counter("seqrtg_store_wal_bytes_total",
+                  "Bytes appended to the write-ahead log"),
+      wal_counter("seqrtg_store_wal_replayed_total",
+                  "Commit groups replayed from the WAL tail during open()"),
+      wal_counter("seqrtg_store_wal_truncations_total",
+                  "Recoveries that dropped a torn or corrupt WAL tail"),
+      wal_counter("seqrtg_store_wal_snapshots_total",
+                  "Snapshot rotations completed by checkpoint()")};
   return m;
+}
+
+std::string snapshot_name(std::uint64_t seq) {
+  return std::string(kSnapshotPrefix) + std::to_string(seq) +
+         std::string(kSnapshotSuffix);
+}
+
+/// Parses "snapshot-<seq>.db"; false for anything else (including the
+/// ".tmp" leftovers of an interrupted checkpoint).
+bool parse_snapshot_name(std::string_view name, std::uint64_t* seq) {
+  if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+      name.substr(0, kSnapshotPrefix.size()) != kSnapshotPrefix ||
+      name.substr(name.size() - kSnapshotSuffix.size()) != kSnapshotSuffix) {
+    return false;
+  }
+  const std::string_view digits = name.substr(
+      kSnapshotPrefix.size(),
+      name.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+/// fsyncs an existing file (the freshly written snapshot temp) by path.
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// fsyncs a directory so a completed rename survives a crash.
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::int64_t file_mtime_unix(const fs::path& p) {
+  struct stat st;
+  if (::stat(p.c_str(), &st) != 0) return 0;
+  return static_cast<std::int64_t>(st.st_mtime);
+}
+
+void encode_upsert(std::string& ops, const core::Pattern& p) {
+  ops.push_back(static_cast<char>(kOpUpsert));
+  wal_put_string(ops, p.service);
+  wal_put_string(ops, pattern_tokens_to_json(p.tokens));
+  wal_put_u64(ops, p.stats.match_count);
+  wal_put_i64(ops, p.stats.first_seen);
+  wal_put_i64(ops, p.stats.last_matched);
+  wal_put_u32(ops, static_cast<std::uint32_t>(p.examples.size()));
+  for (const std::string& e : p.examples) wal_put_string(ops, e);
+}
+
+void encode_record_match(std::string& ops, const std::string& id,
+                         std::uint64_t count, std::int64_t when) {
+  ops.push_back(static_cast<char>(kOpRecordMatch));
+  wal_put_string(ops, id);
+  wal_put_u64(ops, count);
+  wal_put_i64(ops, when);
 }
 
 }  // namespace
@@ -109,7 +217,7 @@ void PatternStore::create_schema() {
   db_.exec("CREATE INDEX ON examples (pid)");
 }
 
-core::Pattern PatternStore::row_to_pattern(const Row& row) {
+std::optional<core::Pattern> PatternStore::row_to_pattern(const Row& row) {
   core::Pattern p;
   p.service = row[1].as_text();
   if (auto tokens = pattern_tokens_from_json(row[3].as_text())) {
@@ -118,6 +226,9 @@ core::Pattern PatternStore::row_to_pattern(const Row& row) {
     // Degraded fallback: rebuild from the display text (types become
     // String but matching still works).
     p.tokens = std::move(*parsed);
+  } else {
+    store_metrics().corrupt_rows.inc();
+    return std::nullopt;
   }
   p.stats.match_count = static_cast<std::uint64_t>(row[6].as_int());
   p.stats.first_seen = row[7].as_int();
@@ -145,7 +256,9 @@ std::vector<core::Pattern> PatternStore::load_service(
                            {Value(service)});
   std::vector<core::Pattern> out;
   out.reserve(r.rows.size());
-  for (const Row& row : r.rows) out.push_back(row_to_pattern(row));
+  for (const Row& row : r.rows) {
+    if (auto p = row_to_pattern(row)) out.push_back(std::move(*p));
+  }
   return out;
 }
 
@@ -161,12 +274,10 @@ std::vector<std::string> PatternStore::services() {
   return out;
 }
 
-void PatternStore::upsert_pattern(const core::Pattern& p) {
-  if (obs::telemetry_enabled()) store_metrics().upsert.inc();
-  std::lock_guard lock(mutex_);
+void PatternStore::apply_upsert(const core::Pattern& p) {
   const std::string pid = p.id();
   QueryResult existing = db_.exec(
-      "SELECT match_count, first_seen, last_matched FROM patterns "
+      "SELECT match_count, first_seen, last_matched, tokens FROM patterns "
       "WHERE pid = ?",
       {pid});
   if (existing.rows.empty()) {
@@ -195,24 +306,21 @@ void PatternStore::upsert_pattern(const core::Pattern& p) {
           : row[1].as_int();
   const std::int64_t last_matched =
       std::max(row[2].as_int(), p.stats.last_matched);
-  db_.exec(
-      "UPDATE patterns SET match_count = ?, first_seen = ?, "
-      "last_matched = ? WHERE pid = ?",
-      {Value(match_count), Value(first_seen), Value(last_matched),
-       Value(pid)});
   // Same text, different variable types (see widen_pattern_tokens): widen
-  // the stored token list so the pattern matches the union.
-  QueryResult stored_tokens =
-      db_.exec("SELECT tokens FROM patterns WHERE pid = ?", {pid});
-  if (!stored_tokens.rows.empty()) {
-    if (auto tokens = pattern_tokens_from_json(
-            stored_tokens.rows[0][0].as_text())) {
-      if (core::widen_pattern_tokens(*tokens, p.tokens)) {
-        db_.exec("UPDATE patterns SET tokens = ? WHERE pid = ?",
-                 {Value(pattern_tokens_to_json(*tokens)), Value(pid)});
-      }
+  // the stored token list so the pattern matches the union. The stats and
+  // tokens land in one UPDATE — one SELECT + one UPDATE per merge, not the
+  // four round trips this used to take.
+  std::string tokens_json = row[3].as_text();
+  if (auto tokens = pattern_tokens_from_json(tokens_json)) {
+    if (core::widen_pattern_tokens(*tokens, p.tokens)) {
+      tokens_json = pattern_tokens_to_json(*tokens);
     }
   }
+  db_.exec(
+      "UPDATE patterns SET match_count = ?, first_seen = ?, "
+      "last_matched = ?, tokens = ? WHERE pid = ?",
+      {Value(match_count), Value(first_seen), Value(last_matched),
+       Value(tokens_json), Value(pid)});
   // Merge examples up to the cap of 3.
   std::vector<std::string> current = load_examples(pid);
   std::int64_t seq = static_cast<std::int64_t>(current.size());
@@ -226,10 +334,9 @@ void PatternStore::upsert_pattern(const core::Pattern& p) {
   }
 }
 
-void PatternStore::record_match(const std::string& id, std::uint64_t count,
-                                std::int64_t when) {
-  if (obs::telemetry_enabled()) store_metrics().record_match.inc();
-  std::lock_guard lock(mutex_);
+void PatternStore::apply_record_match(const std::string& id,
+                                      std::uint64_t count,
+                                      std::int64_t when) {
   QueryResult existing = db_.exec(
       "SELECT match_count, last_matched FROM patterns WHERE pid = ?", {id});
   if (existing.rows.empty()) return;
@@ -240,6 +347,63 @@ void PatternStore::record_match(const std::string& id, std::uint64_t count,
   db_.exec(
       "UPDATE patterns SET match_count = ?, last_matched = ? WHERE pid = ?",
       {Value(match_count), Value(last_matched), Value(id)});
+}
+
+void PatternStore::log_ops(std::string ops) {
+  if (!wal_.is_open() || ops.empty()) return;
+  if (in_batch_) {
+    batch_ops_.append(ops);
+    return;
+  }
+  const std::uint64_t before = wal_.size_bytes();
+  if (wal_.append(ops) != 0) wal_.sync();
+  if (obs::telemetry_enabled()) {
+    store_metrics().wal_appends.inc();
+    store_metrics().wal_bytes.inc(wal_.size_bytes() - before);
+  }
+}
+
+void PatternStore::upsert_pattern(const core::Pattern& p) {
+  if (obs::telemetry_enabled()) store_metrics().upsert.inc();
+  std::lock_guard lock(mutex_);
+  apply_upsert(p);
+  if (wal_.is_open()) {
+    std::string ops;
+    encode_upsert(ops, p);
+    log_ops(std::move(ops));
+  }
+}
+
+void PatternStore::record_match(const std::string& id, std::uint64_t count,
+                                std::int64_t when) {
+  if (obs::telemetry_enabled()) store_metrics().record_match.inc();
+  std::lock_guard lock(mutex_);
+  apply_record_match(id, count, when);
+  if (wal_.is_open()) {
+    std::string ops;
+    encode_record_match(ops, id, count, when);
+    log_ops(std::move(ops));
+  }
+}
+
+void PatternStore::begin_batch() {
+  std::lock_guard lock(mutex_);
+  in_batch_ = true;
+  batch_ops_.clear();
+}
+
+void PatternStore::commit_batch() {
+  std::lock_guard lock(mutex_);
+  in_batch_ = false;
+  std::string ops = std::move(batch_ops_);
+  batch_ops_.clear();
+  log_ops(std::move(ops));
+}
+
+void PatternStore::abort_batch() {
+  std::lock_guard lock(mutex_);
+  in_batch_ = false;
+  batch_ops_.clear();
 }
 
 std::optional<core::Pattern> PatternStore::find(const std::string& id) {
@@ -277,7 +441,7 @@ std::vector<core::Pattern> PatternStore::export_patterns(
       continue;
     }
     if (row[5].as_real() >= filter.max_complexity) continue;
-    out.push_back(row_to_pattern(row));
+    if (auto p = row_to_pattern(row)) out.push_back(std::move(*p));
   }
   return out;
 }
@@ -307,6 +471,160 @@ bool PatternStore::load(const std::string& path) {
   db_.exec("CREATE INDEX ON patterns (service)");
   db_.exec("CREATE INDEX ON examples (pid)");
   return true;
+}
+
+void PatternStore::replay_ops(std::string_view ops) {
+  WalReader r{ops};
+  while (r.ok && !r.at_end()) {
+    const std::uint8_t op = r.u8();
+    if (op == kOpUpsert) {
+      core::Pattern p;
+      p.service = std::string(r.string());
+      const std::string_view tokens_json = r.string();
+      p.stats.match_count = r.u64();
+      p.stats.first_seen = r.i64();
+      p.stats.last_matched = r.i64();
+      const std::uint32_t n_examples = r.u32();
+      for (std::uint32_t i = 0; r.ok && i < n_examples; ++i) {
+        p.examples.emplace_back(r.string());
+      }
+      if (!r.ok) break;
+      auto tokens = pattern_tokens_from_json(tokens_json);
+      if (!tokens.has_value()) {
+        // CRC passed but the op is logically malformed (should never
+        // happen): skip it, count it, keep replaying the group.
+        store_metrics().corrupt_rows.inc();
+        continue;
+      }
+      p.tokens = std::move(*tokens);
+      apply_upsert(p);
+    } else if (op == kOpRecordMatch) {
+      const std::string id(r.string());
+      const std::uint64_t count = r.u64();
+      const std::int64_t when = r.i64();
+      if (!r.ok) break;
+      apply_record_match(id, count, when);
+    } else {
+      break;  // unknown op: drop the rest of the group
+    }
+  }
+}
+
+bool PatternStore::open(const std::string& dir) {
+  if (obs::telemetry_enabled()) store_metrics().load.inc();
+  obs::StageTimer timer(store_metrics().persist_seconds);
+  std::lock_guard lock(mutex_);
+  wal_.close();
+  dir_.clear();
+  db_ = Database();
+  create_schema();
+  snapshot_seq_ = 0;
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+
+  // Newest valid snapshot wins; older generations are the fallback when
+  // the newest fails to parse (disk rot). ".tmp" leftovers of a checkpoint
+  // that died before its rename are ignored entirely.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t seq = 0;
+    if (parse_snapshot_name(entry.path().filename().string(), &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  for (const std::uint64_t seq : seqs) {
+    const std::string path = (fs::path(dir) / snapshot_name(seq)).string();
+    if (db_.load(path) && db_.has_table("patterns") &&
+        db_.has_table("examples")) {
+      db_.exec("CREATE INDEX ON patterns (service)");
+      db_.exec("CREATE INDEX ON examples (pid)");
+      snapshot_seq_ = seq;
+      break;
+    }
+    db_ = Database();
+    create_schema();
+  }
+
+  // Replay the WAL tail past the snapshot watermark, then keep the log
+  // open for appending (open() truncates any torn final record).
+  Wal::ReplayResult recovered;
+  const std::string wal_path = (fs::path(dir) / kWalFile).string();
+  if (!wal_.open(wal_path, &recovered)) {
+    db_ = Database();
+    create_schema();
+    return false;
+  }
+  wal_.ensure_next_seq(snapshot_seq_ + 1);
+  std::uint64_t replayed = 0;
+  for (const Wal::Record& rec : recovered.records) {
+    if (rec.seq <= snapshot_seq_) continue;  // stale pre-checkpoint record
+    replay_ops(rec.payload);
+    ++replayed;
+  }
+  if (obs::telemetry_enabled()) {
+    store_metrics().wal_replayed.inc(replayed);
+    if (recovered.truncated) store_metrics().wal_truncations.inc();
+  }
+  dir_ = dir;
+  return true;
+}
+
+bool PatternStore::checkpoint() {
+  if (obs::telemetry_enabled()) store_metrics().save.inc();
+  obs::StageTimer timer(store_metrics().persist_seconds);
+  std::lock_guard lock(mutex_);
+  if (!wal_.is_open()) return false;
+
+  const std::uint64_t seq = wal_.last_seq();
+  const fs::path dir(dir_);
+  const std::string final_path = (dir / snapshot_name(seq)).string();
+  const std::string tmp_path = final_path + ".tmp";
+  if (!db_.save(tmp_path)) return false;
+  if (!fsync_path(tmp_path)) return false;
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) return false;
+  if (!fsync_dir(dir_)) return false;
+  // The snapshot is durable; the log can drop everything at or below its
+  // watermark. A crash right here leaves stale records whose seq <= the
+  // watermark — recovery skips them.
+  if (!wal_.reset()) return false;
+
+  // Retain the previous snapshot as a fallback; delete older generations.
+  std::error_code ec;
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t s = 0;
+    if (parse_snapshot_name(entry.path().filename().string(), &s) &&
+        s < seq) {
+      seqs.push_back(s);
+    }
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    fs::remove(dir / snapshot_name(seqs[i]), ec);
+  }
+
+  snapshot_seq_ = seq;
+  if (obs::telemetry_enabled()) store_metrics().wal_snapshots.inc();
+  return true;
+}
+
+PatternStore::DurabilityStats PatternStore::durability_stats() {
+  std::lock_guard lock(mutex_);
+  DurabilityStats s;
+  s.durable = wal_.is_open();
+  if (!s.durable) return s;
+  s.dir = dir_;
+  s.last_seq = wal_.last_seq();
+  s.snapshot_seq = snapshot_seq_;
+  s.wal_records = wal_.record_count();
+  s.wal_bytes = wal_.size_bytes();
+  const fs::path dir(dir_);
+  s.snapshot_unix = file_mtime_unix(dir / snapshot_name(snapshot_seq_));
+  s.wal_unix = file_mtime_unix(dir / kWalFile);
+  return s;
 }
 
 }  // namespace seqrtg::store

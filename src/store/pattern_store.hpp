@@ -17,6 +17,15 @@
 // `tokens` holds the exact token list as JSON so typed variables round-trip
 // losslessly (the display text alone cannot distinguish a key-named
 // %srcport% Integer from a generic String).
+//
+// Durability (see DESIGN.md §10): open() attaches the store to a directory
+// holding `snapshot-<seq>.db` files plus a `wal.log`. Every acknowledged
+// mutation is appended to the WAL (one CRC-framed record per commit group)
+// and fsynced before the call returns; checkpoint() rotates a fresh
+// snapshot in via write-to-temp + fsync + atomic rename, then truncates
+// the log. Recovery loads the newest valid snapshot and replays the WAL
+// tail, skipping records at or below the snapshot's sequence watermark and
+// truncating at the first corrupt record.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,7 @@
 #include "core/pattern.hpp"
 #include "core/repository.hpp"
 #include "store/database.hpp"
+#include "store/wal.hpp"
 
 namespace seqrtg::store {
 
@@ -54,6 +64,17 @@ class PatternStore final : public core::PatternRepository {
   std::optional<core::Pattern> find(const std::string& id) override;
   std::size_t pattern_count() override;
 
+  /// Batch hooks (PatternRepository): between begin_batch() and
+  /// commit_batch() the WAL records of every mutation are buffered and
+  /// appended+fsynced as ONE commit group, so the durable store either
+  /// holds the whole batch or none of it. abort_batch() discards the
+  /// buffered records — the in-memory database keeps any ops already
+  /// applied, so an aborted batch leaves memory ahead of the log; reopen
+  /// the directory to fall back to the last committed state.
+  void begin_batch() override;
+  void commit_batch() override;
+  void abort_batch() override;
+
   /// All patterns (optionally filtered), ordered by match count descending —
   /// the review/export ordering ("select only the strongest patterns").
   struct ExportFilter {
@@ -64,20 +85,73 @@ class PatternStore final : public core::PatternRepository {
   };
   std::vector<core::Pattern> export_patterns(const ExportFilter& filter);
 
-  /// Persists/restores the whole store.
+  /// Persists/restores the whole store as a single snapshot file (no
+  /// journal — the legacy `--db` path). Prefer open() for crash safety.
   bool save(const std::string& path);
   bool load(const std::string& path);
+
+  /// Attaches the store to a durable directory: loads the newest valid
+  /// snapshot, replays the WAL tail (truncating at the first corrupt
+  /// record), and keeps the log open for appending. Creates the directory
+  /// when missing. Returns false on unrecoverable I/O errors; the store
+  /// is left empty and non-durable in that case.
+  bool open(const std::string& dir);
+
+  /// True when open() attached a directory and the WAL is live.
+  bool durable() const { return wal_.is_open(); }
+
+  /// Rotates a snapshot: write-to-temp + fsync + atomic rename + directory
+  /// fsync, then truncates the WAL. Keeps the previous snapshot as a
+  /// fallback and deletes older generations. No-op (false) when not
+  /// durable.
+  bool checkpoint();
+
+  /// Point-in-time durability facts for `seqrtg stats`.
+  struct DurabilityStats {
+    bool durable = false;
+    std::string dir;
+    /// Sequence of the last committed WAL record (0 = none yet).
+    std::uint64_t last_seq = 0;
+    /// Watermark of the snapshot recovery loaded / checkpoint wrote.
+    std::uint64_t snapshot_seq = 0;
+    /// Records currently in the log (appended or replayed since the last
+    /// checkpoint truncated it).
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_bytes = 0;
+    /// Unix mtimes (0 when the file does not exist).
+    std::int64_t snapshot_unix = 0;
+    std::int64_t wal_unix = 0;
+  };
+  DurabilityStats durability_stats();
 
   /// Direct access for ad-hoc SQL (tests, tooling).
   Database& database() { return db_; }
 
  private:
-  core::Pattern row_to_pattern(const Row& row);
+  /// std::nullopt when the row is unrecoverable (both the JSON token list
+  /// and the display-text fallback fail to parse) — counted in
+  /// seqrtg_store_corrupt_rows_total and skipped by every reader.
+  std::optional<core::Pattern> row_to_pattern(const Row& row);
   std::vector<std::string> load_examples(const std::string& pid);
   void create_schema();
 
+  // Unlocked mutation bodies shared by the public entry points and WAL
+  // replay (replay must not re-append).
+  void apply_upsert(const core::Pattern& p);
+  void apply_record_match(const std::string& id, std::uint64_t count,
+                          std::int64_t when);
+  /// Appends `ops` (or buffers them inside a batch) and fsyncs.
+  void log_ops(std::string ops);
+  /// Decodes and applies one replayed commit group.
+  void replay_ops(std::string_view ops);
+
   std::mutex mutex_;
   Database db_;
+  Wal wal_;
+  std::string dir_;
+  std::uint64_t snapshot_seq_ = 0;
+  bool in_batch_ = false;
+  std::string batch_ops_;
 };
 
 }  // namespace seqrtg::store

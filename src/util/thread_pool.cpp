@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace seqrtg::util {
 
@@ -37,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (pending_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -50,7 +56,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Letting this escape would terminate the process. parallel_for
+      // lanes never reach here (they catch into their ticket); this is the
+      // bare-submit() capture path.
+      std::unique_lock lock(mutex_);
+      if (pending_error_ == nullptr) {
+        pending_error_ = std::current_exception();
+      }
+    }
     {
       std::unique_lock lock(mutex_);
       --in_flight_;
@@ -62,18 +78,47 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<std::size_t> next{0};
+  // Per-call ticket: this call waits on exactly the lanes it submitted, so
+  // concurrent parallel_for callers on a shared pool are isolated.
+  struct Ticket {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::size_t lanes_pending = 0;        // guarded by the pool mutex
+    std::exception_ptr error;             // guarded by the pool mutex
+    std::condition_variable cv_done;
+  };
+  Ticket ticket;
   const std::size_t lanes = std::min(n, thread_count());
+  ticket.lanes_pending = lanes;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([&next, n, &fn] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
+    submit([this, &ticket, n, &fn] {
+      try {
+        // First exception wins; the other lanes finish their in-flight
+        // index and stop claiming new ones.
+        while (!ticket.failed.load(std::memory_order_relaxed)) {
+          const std::size_t i =
+              ticket.next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          fn(i);
+        }
+      } catch (...) {
+        std::unique_lock lock(mutex_);
+        if (ticket.error == nullptr) {
+          ticket.error = std::current_exception();
+        }
+        ticket.failed.store(true, std::memory_order_relaxed);
       }
+      std::unique_lock lock(mutex_);
+      if (--ticket.lanes_pending == 0) ticket.cv_done.notify_all();
     });
   }
-  wait_idle();
+  std::unique_lock lock(mutex_);
+  ticket.cv_done.wait(lock, [&ticket] { return ticket.lanes_pending == 0; });
+  // The last lane notifies while holding the mutex and touches the ticket
+  // no further, so it is safe to destroy once the wait returns.
+  std::exception_ptr error = ticket.error;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace seqrtg::util

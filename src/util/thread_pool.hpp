@@ -6,11 +6,21 @@
 // divided simply by sending groups of services to any number of instances").
 // Within one process we exploit the same property with a fixed pool of
 // workers pulling service partitions from a shared queue.
+//
+// Exception safety: a task that throws no longer escapes the worker thread
+// (which would std::terminate the process). parallel_for captures the first
+// exception its lanes raise, lets the remaining lanes drain, and rethrows
+// it on the calling thread; each parallel_for call tracks only its own
+// lanes, so concurrent callers sharing one pool neither wait on each
+// other's work nor observe each other's exceptions. Exceptions from bare
+// submit() tasks are captured pool-wide and rethrown by the next
+// wait_idle().
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,22 +33,30 @@ class ThreadPool {
   /// Starts `threads` workers (>=1; 0 is clamped to hardware_concurrency).
   explicit ThreadPool(std::size_t threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers. Exceptions still pending
+  /// from submit() tasks are swallowed (there is no caller left to rethrow
+  /// to) — call wait_idle() first if you need them.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw; exceptions terminate (by design —
-  /// callers marshal errors through their own result slots).
+  /// Enqueues a task. A throwing task is captured (first exception wins)
+  /// and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception any submit() task raised since the last
+  /// wait_idle().
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Convenience: runs `fn(i)` for i in [0, n) across the pool and waits.
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for ONLY the
+  /// lanes this call submitted (a ticket per call — concurrent callers on
+  /// a shared pool are independent). If any invocation throws, the first
+  /// exception is rethrown here after the remaining lanes drain; indices
+  /// not yet claimed when the failure is observed are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -51,6 +69,9 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  /// First exception raised by a bare submit() task; parallel_for lanes
+  /// keep theirs in the per-call ticket instead.
+  std::exception_ptr pending_error_;
 };
 
 }  // namespace seqrtg::util

@@ -150,6 +150,25 @@ TEST_F(ParserTest, ExactLengthPreferredOverRest) {
   EXPECT_EQ(result->fields.front().first, "code");
 }
 
+TEST_F(ParserTest, LongerRestPrefixBeatsShorter) {
+  // A generic one-token-prefix rest pattern must not shadow the more
+  // specific two-token one: candidate prefix indexes are walked
+  // longest-first.
+  parser_.add_pattern(make_pattern(
+      "s", {constant("error", false), variable(TokenType::Rest, "generic")}));
+  parser_.add_pattern(make_pattern(
+      "s", {constant("error", false), constant("fatal"),
+            variable(TokenType::Rest, "detail")}));
+  const auto result = parser_.parse("s", "error fatal disk on fire");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->fields.back().first, "detail");
+  EXPECT_EQ(result->fields.back().second, "disk on fire");
+  // The generic pattern still catches everything else.
+  const auto other = parser_.parse("s", "error something mild");
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->fields.back().first, "generic");
+}
+
 TEST_F(ParserTest, SpecialTokensMatchThroughPromotion) {
   parser_.add_pattern(make_pattern(
       "s", {constant("mail", false), constant("to"),

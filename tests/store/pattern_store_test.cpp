@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+
 namespace seqrtg::store {
 namespace {
 
@@ -179,6 +181,38 @@ TEST(PatternStore, LoadFailureLeavesUsableEmptyStore) {
   // The store must still work after a failed load.
   store.upsert_pattern(make_pattern("s", "e"));
   EXPECT_EQ(store.pattern_count(), 1u);
+}
+
+TEST(PatternStore, CorruptRowIsSkippedAndCounted) {
+  PatternStore store;
+  store.upsert_pattern(make_pattern("svc", "good", 5));
+  // A row whose tokens JSON AND display text are both unparseable: readers
+  // must skip it (never abort the scan) and count it.
+  store.database().exec(
+      "INSERT INTO patterns VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+      {"badrow", "svc", "%unterminated", "{{{not json", 1, 0.0, 3, 1, 1});
+  auto& corrupt =
+      obs::default_registry().counter("seqrtg_store_corrupt_rows_total", "");
+  const std::uint64_t before = corrupt.value();
+  const auto patterns = store.load_service("svc");
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].stats.match_count, 5u);
+  EXPECT_GT(corrupt.value(), before);
+  // find() and export_patterns() take the same skip path.
+  EXPECT_FALSE(store.find("badrow").has_value());
+  EXPECT_EQ(store.export_patterns({}).size(), 1u);
+}
+
+TEST(PatternStore, DegradedRowFallsBackToDisplayText) {
+  PatternStore store;
+  // Valid display text, corrupt JSON: the row survives with String-typed
+  // variables instead of being dropped.
+  store.database().exec(
+      "INSERT INTO patterns VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+      {"degraded", "svc", "login %user%", "not json", 2, 0.5, 4, 1, 1});
+  const auto found = store.find("degraded");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->text(), "login %user%");
 }
 
 TEST(PatternStore, WorksThroughRepositoryInterface) {

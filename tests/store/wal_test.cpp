@@ -1,0 +1,458 @@
+// Fault-injection suite for the durability layer (WAL + snapshot
+// rotation). Crashes are simulated by byte surgery on the store directory:
+// truncating the log mid-record (torn write), flipping payload bytes (disk
+// rot), resurrecting pre-checkpoint WAL bytes (kill between the snapshot
+// rename and the log truncation), and copying the whole directory after
+// each acknowledged operation (the crash matrix).
+#include "store/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/pattern_store.hpp"
+
+namespace seqrtg::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("seqrtg_wal_test_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  std::string wal() const { return (path / "wal.log").string(); }
+};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  std::string data(static_cast<std::size_t>(in.tellg()), '\0');
+  in.seekg(0);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  return data;
+}
+
+void write_file(const fs::path& p, const std::string& data) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+core::Pattern make_pattern(std::string service, std::string word,
+                           std::uint64_t count = 1) {
+  core::Pattern p;
+  p.service = std::move(service);
+  core::PatternToken c;
+  c.is_variable = false;
+  c.text = std::move(word);
+  p.tokens.push_back(c);
+  core::PatternToken v;
+  v.is_variable = true;
+  v.var_type = core::TokenType::Integer;
+  v.name = "n";
+  v.is_space_before = true;
+  p.tokens.push_back(v);
+  p.stats.match_count = count;
+  p.stats.first_seen = 100;
+  p.stats.last_matched = 100;
+  return p;
+}
+
+TEST(Wal, Crc32KnownVector) {
+  // The canonical check value of CRC-32/ISO-HDLC.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Wal, AppendReplayRoundTrip) {
+  TempDir dir("roundtrip");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(dir.wal()));
+    EXPECT_EQ(wal.append("alpha"), 1u);
+    EXPECT_EQ(wal.append("beta"), 2u);
+    EXPECT_TRUE(wal.sync());
+    EXPECT_EQ(wal.last_seq(), 2u);
+    EXPECT_EQ(wal.record_count(), 2u);
+  }
+  const auto replayed = Wal::replay(dir.wal());
+  EXPECT_TRUE(replayed.ok);
+  EXPECT_FALSE(replayed.truncated);
+  ASSERT_EQ(replayed.records.size(), 2u);
+  EXPECT_EQ(replayed.records[0].seq, 1u);
+  EXPECT_EQ(replayed.records[0].payload, "alpha");
+  EXPECT_EQ(replayed.records[1].payload, "beta");
+}
+
+TEST(Wal, MissingFileReplaysEmpty) {
+  const auto replayed = Wal::replay("/nonexistent/dir/wal.log");
+  EXPECT_TRUE(replayed.ok);
+  EXPECT_TRUE(replayed.records.empty());
+}
+
+TEST(Wal, ForeignHeaderRejected) {
+  TempDir dir("foreign");
+  write_file(dir.wal(), "this is not a wal file at all");
+  const auto replayed = Wal::replay(dir.wal());
+  EXPECT_FALSE(replayed.ok);
+}
+
+TEST(Wal, TornTailTruncatedOnOpen) {
+  TempDir dir("torn");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(dir.wal()));
+    wal.append("first record");
+    wal.append("second record");
+  }
+  // Tear the final record: drop its last 3 bytes, as if the process died
+  // mid-write.
+  std::string bytes = read_file(dir.wal());
+  write_file(dir.wal(), bytes.substr(0, bytes.size() - 3));
+
+  auto replayed = Wal::replay(dir.wal());
+  EXPECT_TRUE(replayed.ok);
+  EXPECT_TRUE(replayed.truncated);
+  ASSERT_EQ(replayed.records.size(), 1u);
+  EXPECT_EQ(replayed.records[0].payload, "first record");
+
+  // open() must cut the torn tail so new appends start on a clean prefix.
+  Wal wal;
+  Wal::ReplayResult recovered;
+  ASSERT_TRUE(wal.open(dir.wal(), &recovered));
+  EXPECT_TRUE(recovered.truncated);
+  EXPECT_EQ(wal.append("third record"), 2u) << "seq continues after the cut";
+  wal.close();
+
+  replayed = Wal::replay(dir.wal());
+  EXPECT_FALSE(replayed.truncated);
+  ASSERT_EQ(replayed.records.size(), 2u);
+  EXPECT_EQ(replayed.records[1].payload, "third record");
+}
+
+TEST(Wal, BitFlipDropsRecordAndEverythingAfter) {
+  TempDir dir("bitflip");
+  std::string clean;
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(dir.wal()));
+    wal.append("aaaa");
+    clean = read_file(dir.wal());
+    wal.append("bbbb");
+    wal.append("cccc");
+  }
+  // Flip one payload byte of the middle record: its CRC fails, and the
+  // scan must not trust anything after it.
+  std::string bytes = read_file(dir.wal());
+  const std::size_t mid = clean.size() + 8 + 8;  // frame + seq of "bbbb"
+  ASSERT_LT(mid, bytes.size());
+  bytes[mid] ^= 0x01;
+  write_file(dir.wal(), bytes);
+
+  const auto replayed = Wal::replay(dir.wal());
+  EXPECT_TRUE(replayed.ok);
+  EXPECT_TRUE(replayed.truncated);
+  ASSERT_EQ(replayed.records.size(), 1u);
+  EXPECT_EQ(replayed.records[0].payload, "aaaa");
+}
+
+TEST(Wal, ResetKeepsSequenceMonotonic) {
+  TempDir dir("reset");
+  Wal wal;
+  ASSERT_TRUE(wal.open(dir.wal()));
+  wal.append("one");
+  wal.append("two");
+  ASSERT_TRUE(wal.reset());
+  EXPECT_EQ(wal.record_count(), 0u);
+  EXPECT_EQ(wal.append("three"), 3u) << "reset must not reuse sequences";
+  wal.close();
+  const auto replayed = Wal::replay(dir.wal());
+  ASSERT_EQ(replayed.records.size(), 1u);
+  EXPECT_EQ(replayed.records[0].seq, 3u);
+}
+
+TEST(WalReader, BoundsCheckedReads) {
+  std::string buf;
+  wal_put_u32(buf, 7);
+  wal_put_string(buf, "hi");
+  WalReader r{buf};
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_EQ(r.string(), "hi");
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.at_end());
+  r.u64();  // past the end
+  EXPECT_FALSE(r.ok);
+}
+
+// ---------------------------------------------------------------------------
+// PatternStore recovery.
+
+TEST(DurableStore, ReopenRecoversAcknowledgedMutations) {
+  TempDir dir("reopen");
+  core::Pattern p = make_pattern("sshd", "login", 3);
+  p.examples = {"login 7"};
+  std::string pid;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    EXPECT_TRUE(store.durable());
+    store.upsert_pattern(p);
+    pid = p.id();
+    store.record_match(pid, 4, 900);
+    // No checkpoint, no save: the WAL alone must carry the state.
+  }
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_EQ(reopened.pattern_count(), 1u);
+  const auto found = reopened.find(pid);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 7u);
+  EXPECT_EQ(found->stats.last_matched, 900);
+  EXPECT_EQ(found->tokens, p.tokens);
+  ASSERT_EQ(found->examples.size(), 1u);
+  EXPECT_EQ(found->examples[0], "login 7");
+}
+
+TEST(DurableStore, CheckpointThenReopenUsesSnapshot) {
+  TempDir dir("checkpoint");
+  std::string pid;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern p = make_pattern("cron", "job", 5);
+    pid = p.id();
+    store.upsert_pattern(p);
+    ASSERT_TRUE(store.checkpoint());
+    const auto stats = store.durability_stats();
+    EXPECT_EQ(stats.wal_records, 0u) << "checkpoint truncates the log";
+    EXPECT_GE(stats.snapshot_seq, 1u);
+  }
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  const auto found = reopened.find(pid);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 5u);
+}
+
+TEST(DurableStore, StaleWalAfterCheckpointIsNotReapplied) {
+  TempDir dir("stale");
+  std::string pid;
+  std::string pre_checkpoint_wal;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern p = make_pattern("svc", "event", 10);
+    pid = p.id();
+    store.upsert_pattern(p);
+    pre_checkpoint_wal = read_file(dir.path / "wal.log");
+    ASSERT_TRUE(store.checkpoint());
+  }
+  // Simulate a crash between the snapshot rename and the WAL truncation:
+  // the snapshot exists AND the log still holds the already-folded-in
+  // records.
+  write_file(dir.path / "wal.log", pre_checkpoint_wal);
+
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  const auto found = reopened.find(pid);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 10u)
+      << "pre-watermark records must be skipped, not double-applied";
+}
+
+TEST(DurableStore, SequenceStaysAboveWatermarkAcrossReopen) {
+  TempDir dir("seqbump");
+  std::string pid_a, pid_b;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern a = make_pattern("svc", "first", 1);
+    pid_a = a.id();
+    store.upsert_pattern(a);
+    ASSERT_TRUE(store.checkpoint());  // watermark >= 1, WAL empty
+  }
+  {
+    // A fresh process appends after the checkpoint. If its sequence
+    // counter restarted at 1, these records would sit at or below the
+    // watermark and be lost on the next recovery.
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern b = make_pattern("svc", "second", 2);
+    pid_b = b.id();
+    store.upsert_pattern(b);
+  }
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_TRUE(reopened.find(pid_a).has_value());
+  EXPECT_TRUE(reopened.find(pid_b).has_value())
+      << "post-checkpoint append replayed as stale";
+}
+
+TEST(DurableStore, TmpLeftoverIgnoredAndSnapshotFallback) {
+  TempDir dir("fallback");
+  std::string pid;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern p = make_pattern("svc", "keep", 4);
+    pid = p.id();
+    store.upsert_pattern(p);
+    ASSERT_TRUE(store.checkpoint());
+    store.upsert_pattern(make_pattern("svc", "later", 1));
+    ASSERT_TRUE(store.checkpoint());
+  }
+  // A checkpoint that died before its rename leaves a .tmp file; recovery
+  // must not mistake it for a snapshot.
+  write_file(dir.path / "snapshot-99.db.tmp", "half-written garbage");
+  // Rot the newest snapshot: recovery falls back to the previous
+  // generation instead of coming up empty.
+  std::uint64_t newest = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0 &&
+        name.size() > 12 && name.substr(name.size() - 3) == ".db") {
+      const std::uint64_t seq = std::stoull(name.substr(9));
+      if (seq > newest) newest = seq;
+    }
+  }
+  ASSERT_GT(newest, 0u);
+  write_file(dir.path / ("snapshot-" + std::to_string(newest) + ".db"),
+             "rotted bytes");
+
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_TRUE(reopened.find(pid).has_value())
+      << "previous snapshot generation must cover for the rotted one";
+}
+
+TEST(DurableStore, BatchCommitIsOneGroup) {
+  TempDir dir("batch");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.str()));
+  store.begin_batch();
+  store.upsert_pattern(make_pattern("svc", "a", 1));
+  store.upsert_pattern(make_pattern("svc", "b", 1));
+  store.commit_batch();
+  EXPECT_EQ(store.durability_stats().wal_records, 1u)
+      << "a batch commits as one all-or-nothing WAL record";
+
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_EQ(reopened.pattern_count(), 2u);
+}
+
+TEST(DurableStore, AbortedBatchLeavesLogUntouched) {
+  TempDir dir("abort");
+  std::string pid;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern keep = make_pattern("svc", "keep", 1);
+    pid = keep.id();
+    store.upsert_pattern(keep);
+    store.begin_batch();
+    store.upsert_pattern(make_pattern("svc", "doomed", 1));
+    store.abort_batch();
+  }
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_EQ(reopened.pattern_count(), 1u);
+  EXPECT_TRUE(reopened.find(pid).has_value());
+}
+
+// The crash-recovery property from the issue: kill the process at ANY
+// point and reopen — every acknowledged mutation is recovered and
+// export_patterns() matches the expected state exactly. Killing is
+// simulated by copying the store directory after each acknowledged
+// operation (every append is fsynced before the call returns, so the
+// on-disk bytes at that instant are what a crash would leave behind).
+TEST(DurableStore, CrashMatrixRecoversEveryAcknowledgedPrefix) {
+  TempDir dir("matrix");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.str()));
+
+  // A mixed schedule of upserts, match updates, and a mid-schedule
+  // checkpoint.
+  std::vector<fs::path> copies;
+  std::vector<std::vector<core::Pattern>> expected;
+  auto snapshot_point = [&](int step) {
+    const fs::path copy = dir.path.parent_path() /
+                          (dir.path.filename().string() + "_copy" +
+                           std::to_string(step));
+    fs::remove_all(copy);
+    fs::copy(dir.path, copy, fs::copy_options::recursive);
+    copies.push_back(copy);
+    expected.push_back(store.export_patterns({}));
+  };
+
+  core::Pattern a = make_pattern("auth", "login", 2);
+  core::Pattern b = make_pattern("cron", "run", 1);
+  core::Pattern c = make_pattern("auth", "logout", 6);
+  store.upsert_pattern(a);
+  snapshot_point(0);
+  store.upsert_pattern(b);
+  snapshot_point(1);
+  store.record_match(a.id(), 10, 500);
+  snapshot_point(2);
+  ASSERT_TRUE(store.checkpoint());
+  snapshot_point(3);
+  store.upsert_pattern(c);
+  snapshot_point(4);
+  store.record_match(b.id(), 3, 600);
+  snapshot_point(5);
+
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    PatternStore recovered;
+    ASSERT_TRUE(recovered.open(copies[i].string())) << "kill point " << i;
+    EXPECT_EQ(recovered.export_patterns({}), expected[i])
+        << "kill point " << i
+        << ": recovered state diverges from the acknowledged state";
+    std::error_code ec;
+    fs::remove_all(copies[i], ec);
+  }
+}
+
+TEST(DurableStore, CorruptWalTailDropsOnlyUnacknowledgedBytes) {
+  TempDir dir("walcut");
+  std::string pid;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.str()));
+    const core::Pattern p = make_pattern("svc", "solid", 2);
+    pid = p.id();
+    store.upsert_pattern(p);
+    store.upsert_pattern(make_pattern("svc", "torn", 1));
+  }
+  // Tear the final record mid-payload.
+  const std::string bytes = read_file(dir.path / "wal.log");
+  write_file(dir.path / "wal.log", bytes.substr(0, bytes.size() - 5));
+
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.str()));
+  EXPECT_EQ(reopened.pattern_count(), 1u);
+  EXPECT_TRUE(reopened.find(pid).has_value());
+  // The store stays writable after the cut.
+  reopened.upsert_pattern(make_pattern("svc", "fresh", 1));
+  PatternStore again;
+  ASSERT_TRUE(again.open(dir.str()));
+  EXPECT_EQ(again.pattern_count(), 2u);
+}
+
+}  // namespace
+}  // namespace seqrtg::store

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -87,6 +89,101 @@ TEST(ThreadPool, DestructorDrainsQueue) {
 TEST(ThreadPool, ThreadCountClamp) {
   ThreadPool pool(0);
   EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("lane 17");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForStopsClaimingAfterFailure) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(10000, [&ran](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ran.fetch_add(1);
+    });
+    FAIL() << "exception not propagated";
+  } catch (const std::runtime_error&) {
+  }
+  // Not a hard bound (in-flight lanes drain), but a failed run must not
+  // grind through the whole index space.
+  EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ThreadPool, PoolUsableAfterParallelForException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(40, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, FirstExceptionWins) {
+  ThreadPool pool(4);
+  // Every lane throws its own message; exactly one propagates and it must
+  // be one of the thrown ones (intact, not sliced or mixed).
+  try {
+    pool.parallel_for(32, [](std::size_t i) {
+      throw std::runtime_error("lane " + std::to_string(i));
+    });
+    FAIL() << "exception not propagated";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("lane ", 0), 0u);
+  }
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersAreIsolated) {
+  // Two threads drive parallel_for on the SAME pool; one side throws.
+  // The healthy caller must complete all its indices and see no exception
+  // (a shared-pool wait that collects other callers' work or errors is
+  // the bug this guards against).
+  ThreadPool pool(4);
+  std::atomic<int> healthy{0};
+  std::atomic<bool> healthy_threw{false};
+  std::thread failing([&pool] {
+    for (int round = 0; round < 20; ++round) {
+      try {
+        pool.parallel_for(16, [](std::size_t i) {
+          if (i % 3 == 0) throw std::runtime_error("noisy neighbour");
+        });
+      } catch (const std::runtime_error&) {
+      }
+    }
+  });
+  std::thread working([&pool, &healthy, &healthy_threw] {
+    try {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(64, [&healthy](std::size_t) {
+          healthy.fetch_add(1);
+        });
+      }
+    } catch (...) {
+      healthy_threw.store(true);
+    }
+  });
+  failing.join();
+  working.join();
+  EXPECT_FALSE(healthy_threw.load());
+  EXPECT_EQ(healthy.load(), 20 * 64);
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownByWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("fire and forget"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool is clean again.
+  pool.submit([] {});
+  EXPECT_NO_THROW(pool.wait_idle());
 }
 
 }  // namespace
