@@ -11,6 +11,10 @@
 # Usage: scripts/bench_check.sh [build-dir]
 #   REGRESSION_PCT=10   override the allowed slowdown (percent)
 #   UPDATE_BASELINE=1   rewrite the committed snapshots from this run
+#   SMOKE=1             run the benches but skip the baseline comparison —
+#                       for shared CI runners, where timing gates only flake.
+#                       Still fails when a bench crashes or a histogram is
+#                       missing from the telemetry snapshot.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -41,6 +45,34 @@ if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   cp "$OUT/BENCH_parser.json" "$ROOT/BENCH_parser.json"
   cp "$OUT/BENCH_store.json" "$ROOT/BENCH_store.json"
   echo "baselines updated from this run"
+  exit 0
+fi
+
+if [ "${SMOKE:-0}" = "1" ]; then
+  # Smoke mode: the benches ran and produced telemetry; verify the gated
+  # histograms exist (so the gate itself cannot silently rot) but compare
+  # nothing — CI runner timing is too noisy for a latency threshold.
+  python3 - "$OUT" <<'EOF'
+import json
+import sys
+
+out = sys.argv[1]
+GATES = [
+    ("BENCH_scanner.json", "seqrtg_scanner_scan_seconds"),
+    ("BENCH_parser.json", "seqrtg_parser_parse_seconds"),
+    ("BENCH_store.json", "seqrtg_store_persist_seconds"),
+]
+for snapshot, metric in GATES:
+    with open(f"{out}/{snapshot}") as f:
+        doc = json.load(f)
+    for m in doc.get("metrics", []):
+        if m.get("name") == metric and m.get("type") == "histogram":
+            if m["instances"][0].get("count", 0) > 0:
+                break
+    else:
+        raise SystemExit(f"{snapshot}: histogram {metric} missing or empty")
+print("bench smoke passed (timing gates skipped)")
+EOF
   exit 0
 fi
 

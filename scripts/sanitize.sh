@@ -26,11 +26,13 @@ if [ "${1:-}" = "all" ]; then
   exec ctest --test-dir "$BUILD" --output-on-failure
 fi
 # Default: the suites that exercise cross-thread state, plus the arena /
-# interner / zero-copy-equivalence suites (lifetime-sensitive raw memory)
-# and the WAL fault-injection suite (raw fd I/O + recovery byte surgery).
+# interner / zero-copy-equivalence suites (lifetime-sensitive raw memory),
+# the WAL fault-injection suite (raw fd I/O + recovery byte surgery), and
+# the serve daemon stack (MPSC queues, socket readers, graceful drain).
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
   arena_test interner_test scan_into_equivalence_test wal_test \
-  pattern_store_test
+  pattern_store_test bounded_queue_test serve_test serve_drain_test \
+  ingest_fuzz_test golden_corpus_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

@@ -1,5 +1,7 @@
 #include "cli/cli.hpp"
 
+#include <poll.h>
+
 #include <ctime>
 #include <fstream>
 #include <iostream>
@@ -17,9 +19,11 @@
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/simulation.hpp"
+#include "serve/server.hpp"
 #include "store/pattern_store.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
+#include "util/signal.hpp"
 #include "util/stopwatch.hpp"
 
 namespace seqrtg::cli {
@@ -516,6 +520,122 @@ int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
   return finish_metrics(args, err);
 }
 
+int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
+              std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  add_engine_options(args);
+  args.add_option("port",
+                  "ingest listener port on 127.0.0.1 (0 = kernel-assigned, "
+                  "-1 = no socket)",
+                  "7614");
+  args.add_option("http-port",
+                  "/metrics + /healthz port on 127.0.0.1 (0 = "
+                  "kernel-assigned, -1 = off)",
+                  "9614");
+  args.add_flag("stdin", "also consume a JSON-lines stream from stdin");
+  args.add_option("lanes", "worker lanes (sharded by service hash)", "4");
+  args.add_option("queue-capacity", "records per lane queue", "8192");
+  args.add_option("overflow",
+                  "full-queue policy: block (lossless backpressure) | drop "
+                  "(bounded latency, counted losses)",
+                  "block");
+  args.add_option("batch", "records per analysis flush", "4096");
+  args.add_option("flush-interval",
+                  "max seconds a record waits in a partial batch", "1.0");
+  args.add_option("checkpoint-interval",
+                  "seconds between snapshot checkpoints (0 = only on "
+                  "shutdown)",
+                  "300");
+  args.add_option("save-threshold",
+                  "minimum matches for a pattern to be saved", "1");
+  add_metrics_options(args);
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  const std::string overflow = args.get("overflow");
+  if (overflow != "block" && overflow != "drop") {
+    err << "--overflow must be 'block' or 'drop'\n";
+    return 2;
+  }
+
+  store::PatternStore store;
+  if (!attach_store(args, store, err, /*must_exist=*/false)) return 1;
+  out << "recovered " << store.pattern_count() << " patterns from "
+      << (store.durable() ? args.get("store-dir") : args.get("db")) << "\n";
+
+  serve::ServeOptions opts;
+  opts.engine = engine_options_from(args);
+  opts.engine.save_threshold =
+      static_cast<std::uint64_t>(args.get_int("save-threshold", 1));
+  opts.port = static_cast<int>(args.get_int("port", 7614));
+  opts.http_port = static_cast<int>(args.get_int("http-port", 9614));
+  opts.lanes = static_cast<std::size_t>(args.get_int("lanes", 4));
+  opts.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 8192));
+  opts.overflow = overflow == "drop" ? util::OverflowPolicy::kDrop
+                                     : util::OverflowPolicy::kBlock;
+  opts.batch_size = static_cast<std::size_t>(args.get_int("batch", 4096));
+  opts.flush_interval_s = args.get_double("flush-interval", 1.0);
+  opts.checkpoint_interval_s = args.get_double("checkpoint-interval", 300);
+  const bool use_stdin = args.get_flag("stdin");
+  if (opts.port < 0 && !use_stdin) {
+    err << "nothing to serve: pass --port >= 0 and/or --stdin\n";
+    return 2;
+  }
+
+  if (!util::install_shutdown_handlers()) {
+    err << "cannot install signal handlers\n";
+    return 1;
+  }
+  serve::Server server(&store, opts);
+  std::string error;
+  if (!server.start(&error)) {
+    err << "cannot start server: " << error << "\n";
+    return 1;
+  }
+  out << "serving";
+  if (server.ingest_port() > 0) {
+    out << " ingest on 127.0.0.1:" << server.ingest_port();
+  }
+  if (use_stdin) out << (server.ingest_port() > 0 ? " + stdin" : " stdin");
+  if (server.http_port() > 0) {
+    out << ", metrics on 127.0.0.1:" << server.http_port();
+  }
+  out << " (" << opts.lanes << " lane(s), " << overflow << " overflow)\n"
+      << std::flush;
+
+  if (use_stdin) {
+    // Blocks on this thread until EOF or a shutdown signal (reads are
+    // interrupted — the handlers install without SA_RESTART). When stdin
+    // is the only source, EOF ends the daemon.
+    server.feed(in);
+    if (opts.port < 0) util::request_shutdown();
+  }
+  while (!util::shutdown_requested()) {
+    pollfd pfd = {util::shutdown_fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 500);
+  }
+
+  out << "draining...\n" << std::flush;
+  const serve::ServeReport report = server.stop();
+  out << "drained: " << report.accepted << " accepted, " << report.processed
+      << " processed in " << report.batches << " flush(es), "
+      << report.malformed << " malformed, " << report.dropped
+      << " dropped, " << report.connections << " connection(s), "
+      << report.new_patterns << " new pattern(s), "
+      << report.matched_existing << " matched existing\n";
+  if (report.checkpointed) {
+    out << "final checkpoint written; " << store.pattern_count()
+        << " patterns in " << args.get("store-dir") << "\n";
+  } else if (!store.durable()) {
+    if (!persist_store(args, store, err)) return 1;
+    out << store.pattern_count() << " patterns in " << args.get("db")
+        << "\n";
+  }
+  return finish_metrics(args, err);
+}
+
 int cmd_generate(const std::vector<std::string>& argv, std::istream&,
                  std::ostream& out, std::ostream& err) {
   util::ArgParser args;
@@ -586,6 +706,9 @@ std::string usage() {
          "into the DB\n"
          "  generate  emit a synthetic corpus or fleet stream\n"
          "  simulate  run the Fig. 6/7 production workflow simulation\n"
+         "  serve     long-running streaming daemon: JSON-lines over a "
+         "localhost socket and/or stdin, sharded worker lanes, /metrics + "
+         "/healthz, graceful SIGTERM drain\n"
          "run-style commands accept --metrics-out <file> "
          "[--metrics-format prometheus|json] to dump a telemetry "
          "snapshot; 'stats --telemetry' prints it\n"
@@ -610,6 +733,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "import") return cmd_import(rest, in, out, err);
   if (cmd == "generate") return cmd_generate(rest, in, out, err);
   if (cmd == "simulate") return cmd_simulate(rest, in, out, err);
+  if (cmd == "serve") return cmd_serve(rest, in, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 2;
 }

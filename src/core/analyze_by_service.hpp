@@ -93,6 +93,13 @@ class Engine {
 
   const EngineOptions& options() const { return opts_; }
 
+  /// Updates the timestamp recorded on pattern stats. Long-running callers
+  /// (the serve lanes) stamp each flush with the wall clock; batch runs
+  /// keep the construction-time value. Not thread-safe against a
+  /// concurrent analyze call on the same Engine — each serve lane owns its
+  /// engine exclusively.
+  void set_now_unix(std::int64_t now) { opts_.now_unix = now; }
+
  private:
   struct ServiceOutcome {
     std::string service;

@@ -1,9 +1,30 @@
 #include "core/ingest.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace seqrtg::core {
+
+namespace {
+
+struct IngestMetrics {
+  obs::Counter& accepted;
+  obs::Counter& malformed;
+};
+
+IngestMetrics& ingest_metrics() {
+  auto& reg = obs::default_registry();
+  static IngestMetrics m{
+      reg.counter("seqrtg_ingest_accepted_total",
+                  "Stream lines parsed into a {service,message} record"),
+      reg.counter("seqrtg_ingest_malformed_total",
+                  "Stream lines rejected: not valid JSON or missing the "
+                  "service/message fields")};
+  return m;
+}
+
+}  // namespace
 
 std::string record_to_json(const LogRecord& record) {
   std::string out = "{\"message\":\"";
@@ -32,18 +53,26 @@ std::optional<LogRecord> JsonStreamIngester::parse_line(
   return record;
 }
 
+std::optional<LogRecord> JsonStreamIngester::parse_and_count_line(
+    std::string_view line, IngestStats& stats) {
+  auto record = parse_line(line);
+  if (record.has_value()) {
+    ++stats.accepted;
+    if (obs::telemetry_enabled()) ingest_metrics().accepted.inc();
+  } else if (!util::trim(line).empty()) {
+    ++stats.malformed;
+    if (obs::telemetry_enabled()) ingest_metrics().malformed.inc();
+  }
+  return record;
+}
+
 std::vector<LogRecord> JsonStreamIngester::read_batch(std::istream& in) {
   std::vector<LogRecord> batch;
   batch.reserve(batch_size_);
   std::string line;
   while (batch.size() < batch_size_ && std::getline(in, line)) {
-    auto record = parse_line(line);
-    if (record.has_value()) {
-      batch.push_back(std::move(*record));
-      ++stats_.accepted;
-    } else if (!util::trim(line).empty()) {
-      ++stats_.malformed;
-    }
+    auto record = parse_and_count_line(line, stats_);
+    if (record.has_value()) batch.push_back(std::move(*record));
   }
   return batch;
 }

@@ -46,6 +46,13 @@ class JsonStreamIngester {
   /// Parses one stream line into a record; std::nullopt when malformed.
   static std::optional<LogRecord> parse_line(std::string_view line);
 
+  /// parse_line plus accounting: bumps `stats` and the process telemetry
+  /// counters (seqrtg_ingest_accepted_total / seqrtg_ingest_malformed_total).
+  /// Blank lines count as neither. Shared by read_batch and the serve
+  /// socket readers so every ingest surface reports rejects the same way.
+  static std::optional<LogRecord> parse_and_count_line(std::string_view line,
+                                                       IngestStats& stats);
+
   /// Reads lines from `in` until a full batch is accumulated or EOF.
   /// Returns the batch (possibly smaller than batch_size at EOF; empty when
   /// the stream is exhausted). Malformed lines are counted and skipped.

@@ -1,0 +1,169 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace seqrtg::serve {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Writes the whole buffer, retrying on partial writes / EINTR.
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool parse_request_line(const std::string& request, std::string* method,
+                        std::string* path) {
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      request.substr(0, eol == std::string::npos ? request.size() : eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop a query string; the endpoints take no parameters.
+  if (const std::size_t q = path->find('?'); q != std::string::npos) {
+    path->resize(q);
+  }
+  return !method->empty() && !path->empty();
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+bool HttpResponder::start(int port, std::string* error) {
+  stop();
+  stopping_.store(false, std::memory_order_relaxed);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = "bind: " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_fd_) != 0) {
+    if (error != nullptr) *error = "pipe: " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void HttpResponder::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_fd_[0]);
+  ::close(wake_fd_[1]);
+  listen_fd_ = -1;
+  wake_fd_[0] = wake_fd_[1] = -1;
+  port_ = 0;
+}
+
+void HttpResponder::loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fd_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    handle_connection(fd);
+  }
+}
+
+void HttpResponder::handle_connection(int fd) {
+  // Scrapers send tiny requests; bound the read and give up after 2s so a
+  // stuck client cannot wedge the responder.
+  timeval tv = {2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  std::string method;
+  std::string path;
+  if (!parse_request_line(request, &method, &path)) {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else if (method != "GET") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+  } else {
+    response = handler_(path);
+  }
+  write_all(fd, render_response(response));
+  ::close(fd);
+}
+
+}  // namespace seqrtg::serve

@@ -1,0 +1,69 @@
+// Minimal embedded HTTP/1.0 responder for the serve daemon.
+//
+// Serves exactly what a production sidecar needs and nothing more:
+//   GET /metrics  — Prometheus text exposition of the process registry
+//   GET /healthz  — JSON liveness document
+// One short-lived connection at a time, no keep-alive, no TLS; the socket
+// binds to 127.0.0.1 only (scrape through a localhost agent, never exposed).
+// Routing is injected as a callback so the responder stays testable without
+// a Server instance.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace seqrtg::serve {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path ("/metrics") to a response; return status 404 for
+/// unknown paths.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpResponder {
+ public:
+  explicit HttpResponder(HttpHandler handler)
+      : handler_(std::move(handler)) {}
+  ~HttpResponder() { stop(); }
+  HttpResponder(const HttpResponder&) = delete;
+  HttpResponder& operator=(const HttpResponder&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned) and starts the accept
+  /// thread. Returns false when the socket cannot be bound.
+  bool start(int port, std::string* error = nullptr);
+
+  /// Port actually bound (useful with port 0); 0 when not running.
+  int port() const { return port_; }
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  // Written by stop() (any thread), read by the accept loop.
+  std::atomic<bool> stopping_{false};
+  // Wake pipe for the poll()ing accept loop.
+  int wake_fd_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+/// Parses the request line of `request` ("GET /metrics HTTP/1.1...") into
+/// method and path. Returns false on garbage. Exposed for tests.
+bool parse_request_line(const std::string& request, std::string* method,
+                        std::string* path);
+
+/// Renders a full HTTP/1.0 response document.
+std::string render_response(const HttpResponse& response);
+
+}  // namespace seqrtg::serve

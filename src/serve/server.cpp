@@ -1,0 +1,416 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <functional>
+#include <string_view>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
+#include "util/signal.hpp"
+#include "util/strings.hpp"
+
+namespace seqrtg::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& dropped;
+  obs::Counter& processed;
+  obs::Counter& flushes;
+  obs::Counter& connections;
+  obs::Histogram& flush_seconds;
+};
+
+ServeMetrics& serve_metrics() {
+  auto& reg = obs::default_registry();
+  static ServeMetrics m{
+      reg.counter("seqrtg_serve_accepted_total",
+                  "Records parsed and enqueued onto a worker lane"),
+      reg.counter("seqrtg_serve_dropped_total",
+                  "Records rejected by a full lane queue (drop policy)"),
+      reg.counter("seqrtg_serve_processed_total",
+                  "Records analyzed by the lane workers"),
+      reg.counter("seqrtg_serve_flushes_total",
+                  "Lane mini-batch analysis flushes"),
+      reg.counter("seqrtg_serve_connections_total",
+                  "Ingest socket connections accepted"),
+      reg.histogram("seqrtg_serve_flush_seconds",
+                    "Latency of one lane flush (analysis + repo save)")};
+  return m;
+}
+
+obs::Gauge& lane_depth_gauge(std::size_t lane) {
+  return obs::default_registry().gauge(
+      "seqrtg_serve_queue_depth", "Records waiting in a lane queue",
+      {{"lane", std::to_string(lane)}});
+}
+
+}  // namespace
+
+Server::Server(store::PatternStore* store, ServeOptions opts)
+    : store_(store), opts_(opts),
+      http_([this](const std::string& path) { return handle_http(path); }) {
+  if (opts_.lanes == 0) opts_.lanes = 1;
+  if (opts_.batch_size == 0) opts_.batch_size = 1;
+  if (opts_.flush_interval_s <= 0.0) opts_.flush_interval_s = 1.0;
+}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_relaxed)) stop();
+}
+
+bool Server::start(std::string* error) {
+  // Writers hit closed sockets during shutdown races; never die on SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  for (std::size_t i = 0; i < opts_.lanes; ++i) {
+    lanes_.push_back(
+        std::make_unique<Lane>(opts_.queue_capacity, opts_.overflow));
+  }
+
+  if (opts_.port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+      lanes_.clear();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      if (error != nullptr) *error = "bind: " + std::string(strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      lanes_.clear();
+      return false;
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    ingest_port_ = ntohs(addr.sin_port);
+  }
+
+  if (opts_.http_port >= 0 && !http_.start(opts_.http_port, error)) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    lanes_.clear();
+    return false;
+  }
+
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i]->worker = std::thread([this, i] { lane_loop(i); });
+  }
+  if (listen_fd_ >= 0) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  if (opts_.checkpoint_interval_s > 0.0 && store_->durable()) {
+    checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
+  }
+  started_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
+  if (stopping_.load(std::memory_order_relaxed)) return false;
+  auto record = core::JsonStreamIngester::parse_and_count_line(line, stats);
+  if (!record.has_value()) {
+    if (!util::trim(line).empty()) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  const std::size_t lane =
+      std::hash<std::string>{}(record->service) % lanes_.size();
+  switch (lanes_[lane]->queue.push(std::move(*record))) {
+    case util::PushStatus::kOk:
+      if (obs::telemetry_enabled()) serve_metrics().accepted.inc();
+      return true;
+    case util::PushStatus::kDropped:
+      // Rejected by the kDrop policy — the daemon keeps serving.
+      if (obs::telemetry_enabled()) serve_metrics().dropped.inc();
+      return true;
+    case util::PushStatus::kClosed:
+      break;
+  }
+  // push failed because the queue closed: the drain has started.
+  return false;
+}
+
+void Server::feed(std::istream& in) {
+  core::IngestStats stats;
+  std::string line;
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         std::getline(in, line)) {
+    if (!ingest_line(line, stats)) break;
+  }
+}
+
+void Server::accept_loop() {
+  // shutdown_fd() is -1 unless the caller installed the handlers; poll
+  // ignores negative fds, so the loop degrades to the 200ms tick.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                     {util::shutdown_fd(), POLLIN, 0}};
+    const int rc = ::poll(fds, 2, 200);
+    if (rc < 0 && errno != EINTR) return;
+    if (stopping_.load(std::memory_order_relaxed) ||
+        util::shutdown_requested()) {
+      return;
+    }
+    if (rc <= 0 || (fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::telemetry_enabled()) serve_metrics().connections.inc();
+    std::lock_guard lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  core::IngestStats stats;
+  std::string buffer;
+  char chunk[65536];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR && !stopping_.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      break;
+    }
+    if (n == 0) break;  // client closed (or stop() shut the socket down)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t eol = buffer.find('\n', start);
+         eol != std::string::npos; eol = buffer.find('\n', start)) {
+      if (!ingest_line(
+              std::string_view(buffer).substr(start, eol - start), stats)) {
+        open = false;
+        break;
+      }
+      start = eol + 1;
+    }
+    buffer.erase(0, start);
+  }
+  // A final line without a trailing newline still counts.
+  if (open && !buffer.empty()) ingest_line(buffer, stats);
+  // Deregister before closing so stop() never shutdown()s a recycled fd
+  // number that now belongs to someone else.
+  {
+    std::lock_guard lock(conn_mutex_);
+    std::erase(conn_fds_, fd);
+  }
+  ::close(fd);
+}
+
+void Server::lane_loop(std::size_t index) {
+  // One engine per lane: services are sharded, so lanes never contend on
+  // per-service pattern state; the shared PatternStore serialises row
+  // access internally and keeps one WAL commit group per flush thanks to
+  // its per-thread batch scopes.
+  core::EngineOptions engine_opts = opts_.engine;
+  engine_opts.threads = 1;  // parallelism comes from the lanes themselves
+  core::Engine engine(store_, engine_opts);
+
+  auto& queue = lanes_[index]->queue;
+  const auto interval = std::chrono::milliseconds(
+      static_cast<long>(opts_.flush_interval_s * 1000.0));
+  std::vector<core::LogRecord> batch;
+  batch.reserve(opts_.batch_size);
+  Clock::time_point deadline = Clock::time_point::max();
+
+  for (;;) {
+    core::LogRecord record;
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(200);
+    if (!batch.empty()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      timeout = std::max(std::chrono::milliseconds(1),
+                         std::min(timeout, left));
+    }
+    const util::PopStatus status = queue.pop_wait(record, timeout);
+    if (status == util::PopStatus::kItem) {
+      if (batch.empty()) deadline = Clock::now() + interval;
+      batch.push_back(std::move(record));
+      if (batch.size() >= opts_.batch_size) flush_lane(engine, batch, index);
+      continue;
+    }
+    if (status == util::PopStatus::kClosed) {
+      flush_lane(engine, batch, index);
+      return;
+    }
+    if (!batch.empty() && Clock::now() >= deadline) {
+      flush_lane(engine, batch, index);
+    }
+  }
+}
+
+void Server::flush_lane(core::Engine& engine,
+                        std::vector<core::LogRecord>& batch,
+                        std::size_t index) {
+  if (batch.empty()) return;
+  obs::StageTimer timer(serve_metrics().flush_seconds);
+  engine.set_now_unix(static_cast<std::int64_t>(std::time(nullptr)));
+  const core::BatchReport report = engine.analyze_by_service(batch);
+  processed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  new_patterns_.fetch_add(report.new_patterns, std::memory_order_relaxed);
+  matched_existing_.fetch_add(report.matched_existing,
+                              std::memory_order_relaxed);
+  if (obs::telemetry_enabled()) {
+    serve_metrics().processed.inc(batch.size());
+    serve_metrics().flushes.inc();
+    lane_depth_gauge(index).set(
+        static_cast<double>(lanes_[index]->queue.size()));
+  }
+  batch.clear();
+}
+
+void Server::checkpoint_loop() {
+  const auto interval = std::chrono::milliseconds(
+      static_cast<long>(opts_.checkpoint_interval_s * 1000.0));
+  std::unique_lock lock(checkpoint_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    checkpoint_cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    store_->checkpoint();
+    lock.lock();
+  }
+}
+
+void Server::request_stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  checkpoint_cv_.notify_all();
+}
+
+ServeReport Server::stop() {
+  if (stopped_) return final_report_;
+  request_stop();
+
+  // 1. No new connections: join the accept loop (it polls `stopping_`).
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Wake connection readers blocked in read() and join them. Readers
+  //    may still be parked in a blocking push — the lanes keep consuming
+  //    below us until the queues close, so those pushes complete first.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  // 3. Close the queues; each worker drains its backlog, flushes the
+  //    final partial batch and exits.
+  for (auto& lane : lanes_) lane->queue.close();
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
+  ServeReport report;
+  for (const auto& lane : lanes_) {
+    report.accepted += lane->queue.pushed();
+    report.dropped += lane->queue.dropped();
+  }
+  report.malformed = malformed_.load(std::memory_order_relaxed);
+  report.processed = processed_.load(std::memory_order_relaxed);
+  report.batches = batches_.load(std::memory_order_relaxed);
+  report.connections = connections_.load(std::memory_order_relaxed);
+  report.new_patterns = new_patterns_.load(std::memory_order_relaxed);
+  report.matched_existing =
+      matched_existing_.load(std::memory_order_relaxed);
+
+  // 4. Final durability point: everything analyzed is in the WAL already
+  //    (one commit group per flush); the checkpoint folds it into a
+  //    snapshot so restart skips the replay.
+  if (opts_.checkpoint_on_stop && store_->durable()) {
+    report.checkpointed = store_->checkpoint();
+  }
+
+  // 5. The /metrics responder stays up until the very end so operators
+  //    can watch the drain.
+  http_.stop();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  final_report_ = report;
+  stopped_ = true;
+  return report;
+}
+
+std::uint64_t Server::accepted() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->queue.pushed();
+  return total;
+}
+
+std::uint64_t Server::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->queue.dropped();
+  return total;
+}
+
+std::string Server::health_json() const {
+  std::size_t depth = 0;
+  for (const auto& lane : lanes_) depth += lane->queue.size();
+  std::string out = "{\"status\":\"";
+  out += stopping_.load(std::memory_order_relaxed) ? "draining" : "ok";
+  out += "\",\"lanes\":" + std::to_string(lanes_.size());
+  out += ",\"queue_depth\":" + std::to_string(depth);
+  out += ",\"accepted\":" + std::to_string(accepted());
+  out += ",\"processed\":" + std::to_string(processed());
+  out += ",\"dropped\":" + std::to_string(dropped());
+  out += ",\"malformed\":" + std::to_string(malformed());
+  out += "}";
+  return out;
+}
+
+HttpResponse Server::handle_http(const std::string& path) {
+  HttpResponse response;
+  if (path == "/healthz") {
+    response.content_type = "application/json";
+    response.body = health_json();
+    return response;
+  }
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::to_prometheus(obs::default_registry());
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
+}
+
+}  // namespace seqrtg::serve

@@ -1,0 +1,187 @@
+// `seqrtg serve` — the long-running streaming daemon (RTG extension #1
+// taken to its deployment shape).
+//
+// The paper wires Sequence-RTG behind syslog-ng as a batch child process;
+// this module turns the same parse-before-analyse loop into a continuously
+// serving component:
+//
+//   socket/stdin readers ──► shard by hash(service) ──► N worker lanes
+//        (producers)                                 (BoundedQueue each)
+//                                                         │
+//                                 Engine::analyze_by_service per flush
+//                                                         │
+//                                  PatternStore (WAL commit group per
+//                                  flush; periodic + final checkpoint)
+//
+// Records arrive as JSON lines ({"service":...,"message":...}) over a
+// localhost TCP socket and/or a streamed stdin pipe. Services are sharded
+// onto lanes, so per-service pattern state is only ever touched by one
+// lane — the paper's "patterns never cross services" horizontal-scaling
+// property applied inside one process. Each lane flushes its accumulated
+// mini-batch when it reaches batch_size records or flush_interval elapses,
+// whichever is first.
+//
+// Graceful drain (SIGTERM/SIGINT via util::shutdown_requested, or
+// request_stop()): the listener closes, connection readers finish and
+// join, every queue is closed and drained by its worker, a final
+// PatternStore::checkpoint() rotates a snapshot, and stop() returns a
+// report whose invariant is accepted == processed (+ exact drop counts
+// under the kDrop policy). A crash instead of a clean drain loses nothing
+// acknowledged: every flush is one WAL commit group (PR 3 guarantees).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "serve/http.hpp"
+#include "store/pattern_store.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace seqrtg::serve {
+
+struct ServeOptions {
+  core::EngineOptions engine;
+  /// Ingest listener port on 127.0.0.1: -1 = no socket listener,
+  /// 0 = kernel-assigned (tests), >0 = fixed.
+  int port = -1;
+  /// /metrics + /healthz responder port: same -1/0/>0 convention.
+  int http_port = -1;
+  /// Worker lanes (each an independent mini-batch pipeline). Clamped >= 1.
+  std::size_t lanes = 1;
+  /// Per-lane queue capacity (records).
+  std::size_t queue_capacity = 8192;
+  util::OverflowPolicy overflow = util::OverflowPolicy::kBlock;
+  /// Records per analysis flush (clamped >= 1).
+  std::size_t batch_size = 4096;
+  /// Max seconds a record waits in a partial batch before analysis.
+  double flush_interval_s = 1.0;
+  /// Seconds between snapshot checkpoints (0 = only the final one).
+  double checkpoint_interval_s = 0.0;
+  /// Rotate a final snapshot during the drain. Disabled by tests that
+  /// assert WAL-replay recovery of a non-checkpointed exit.
+  bool checkpoint_on_stop = true;
+};
+
+struct ServeReport {
+  /// Records parsed AND enqueued onto a lane (== acknowledged).
+  std::uint64_t accepted = 0;
+  /// Lines rejected by the JSON-lines parser.
+  std::uint64_t malformed = 0;
+  /// Records rejected by a full queue under OverflowPolicy::kDrop.
+  std::uint64_t dropped = 0;
+  /// Records analyzed by the lane workers. After stop(): == accepted.
+  std::uint64_t processed = 0;
+  /// Analysis flushes across all lanes.
+  std::uint64_t batches = 0;
+  /// Ingest socket connections accepted over the lifetime.
+  std::uint64_t connections = 0;
+  std::uint64_t new_patterns = 0;
+  std::uint64_t matched_existing = 0;
+  /// True when the drain rotated a final snapshot.
+  bool checkpointed = false;
+};
+
+class Server {
+ public:
+  /// `store` must outlive the server; it may be durable (open()) or not.
+  Server(store::PatternStore* store, ServeOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured sockets and starts lanes, listener, HTTP
+  /// responder and the checkpoint timer. False (with `error`) when a
+  /// socket cannot be bound; nothing keeps running in that case.
+  bool start(std::string* error = nullptr);
+
+  /// Ports actually bound (after start()); 0 when the listener is off.
+  int ingest_port() const { return ingest_port_; }
+  int http_port() const { return http_.port(); }
+
+  /// Blocking stdin-pipe reader run on the CALLER's thread: reads JSON
+  /// lines from `in` until EOF or the drain starts. Safe to call while
+  /// the socket listener runs.
+  void feed(std::istream& in);
+
+  /// Triggers the drain without blocking (idempotent, callable from any
+  /// thread). stop() still must be called to join and collect the report.
+  void request_stop();
+
+  bool stopping() const {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains and joins everything, runs the final checkpoint, returns the
+  /// final report. Idempotent (subsequent calls return the same report).
+  ServeReport stop();
+
+  /// Live counters for monitoring/tests while the server runs.
+  std::uint64_t accepted() const;
+  std::uint64_t dropped() const;
+  std::uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t malformed() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
+
+  /// The /healthz JSON document (also used by tests directly).
+  std::string health_json() const;
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t capacity, util::OverflowPolicy policy)
+        : queue(capacity, policy) {}
+    util::BoundedQueue<core::LogRecord> queue;
+    std::thread worker;
+  };
+
+  void lane_loop(std::size_t index);
+  void flush_lane(core::Engine& engine, std::vector<core::LogRecord>& batch,
+                  std::size_t index);
+  void accept_loop();
+  void connection_loop(int fd);
+  void checkpoint_loop();
+  /// Parses one line and shards it onto its lane. Returns false when the
+  /// daemon is draining and producers should stop.
+  bool ingest_line(std::string_view line, core::IngestStats& stats);
+  HttpResponse handle_http(const std::string& path);
+
+  store::PatternStore* store_;
+  ServeOptions opts_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  HttpResponder http_;
+
+  int listen_fd_ = -1;
+  int ingest_port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> new_patterns_{0};
+  std::atomic<std::uint64_t> matched_existing_{0};
+  ServeReport final_report_;
+};
+
+}  // namespace seqrtg::serve

@@ -351,10 +351,16 @@ void PatternStore::apply_record_match(const std::string& id,
 
 void PatternStore::log_ops(std::string ops) {
   if (!wal_.is_open() || ops.empty()) return;
-  if (in_batch_) {
-    batch_ops_.append(ops);
+  const auto scope = batch_ops_.find(std::this_thread::get_id());
+  if (scope != batch_ops_.end()) {
+    scope->second.append(ops);
     return;
   }
+  append_group(std::move(ops));
+}
+
+void PatternStore::append_group(std::string ops) {
+  if (!wal_.is_open() || ops.empty()) return;
   const std::uint64_t before = wal_.size_bytes();
   if (wal_.append(ops) != 0) wal_.sync();
   if (obs::telemetry_enabled()) {
@@ -388,22 +394,21 @@ void PatternStore::record_match(const std::string& id, std::uint64_t count,
 
 void PatternStore::begin_batch() {
   std::lock_guard lock(mutex_);
-  in_batch_ = true;
-  batch_ops_.clear();
+  batch_ops_[std::this_thread::get_id()].clear();
 }
 
 void PatternStore::commit_batch() {
   std::lock_guard lock(mutex_);
-  in_batch_ = false;
-  std::string ops = std::move(batch_ops_);
-  batch_ops_.clear();
-  log_ops(std::move(ops));
+  const auto scope = batch_ops_.find(std::this_thread::get_id());
+  if (scope == batch_ops_.end()) return;
+  std::string ops = std::move(scope->second);
+  batch_ops_.erase(scope);
+  append_group(std::move(ops));
 }
 
 void PatternStore::abort_batch() {
   std::lock_guard lock(mutex_);
-  in_batch_ = false;
-  batch_ops_.clear();
+  batch_ops_.erase(std::this_thread::get_id());
 }
 
 std::optional<core::Pattern> PatternStore::find(const std::string& id) {

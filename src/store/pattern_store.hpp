@@ -29,10 +29,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/pattern.hpp"
@@ -71,6 +73,11 @@ class PatternStore final : public core::PatternRepository {
   /// buffered records — the in-memory database keeps any ops already
   /// applied, so an aborted batch leaves memory ahead of the log; reopen
   /// the directory to fall back to the last committed state.
+  ///
+  /// Batch scopes are per-thread: each serve lane (or any other concurrent
+  /// caller) buffers into its own group keyed by thread id, so overlapping
+  /// batches from different threads commit as independent atomic groups.
+  /// Mutations from a thread with no open scope append immediately.
   void begin_batch() override;
   void commit_batch() override;
   void abort_batch() override;
@@ -140,8 +147,11 @@ class PatternStore final : public core::PatternRepository {
   void apply_upsert(const core::Pattern& p);
   void apply_record_match(const std::string& id, std::uint64_t count,
                           std::int64_t when);
-  /// Appends `ops` (or buffers them inside a batch) and fsyncs.
+  /// Appends `ops` (or buffers them into the calling thread's open batch
+  /// scope) and fsyncs.
   void log_ops(std::string ops);
+  /// Appends one commit group to the WAL unconditionally and fsyncs.
+  void append_group(std::string ops);
   /// Decodes and applies one replayed commit group.
   void replay_ops(std::string_view ops);
 
@@ -150,8 +160,9 @@ class PatternStore final : public core::PatternRepository {
   Wal wal_;
   std::string dir_;
   std::uint64_t snapshot_seq_ = 0;
-  bool in_batch_ = false;
-  std::string batch_ops_;
+  /// Open batch scopes, one buffered commit group per thread (guarded by
+  /// mutex_ like everything else).
+  std::map<std::thread::id, std::string> batch_ops_;
 };
 
 }  // namespace seqrtg::store

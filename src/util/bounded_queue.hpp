@@ -1,0 +1,152 @@
+// Bounded multi-producer single-consumer queue for the serving pipeline.
+//
+// The paper's deployment shape (§IV, Fig. 6) is a long-running process fed
+// "directly from the log management system"; a production ingest path needs
+// backpressure so a traffic burst degrades predictably instead of growing
+// the heap without bound. Each serve lane owns one BoundedQueue: socket and
+// stdin readers are the producers, the lane worker is the single consumer.
+//
+// Two overflow policies, chosen at construction:
+//   kBlock — push() waits for space (lossless; the TCP socket buffer and
+//            ultimately the sender absorb the backpressure);
+//   kDrop  — push() returns false immediately and counts the loss (bounded
+//            latency; the exact drop count is observable via dropped()).
+//
+// close() starts the drain: subsequent pushes fail, blocked pushers wake
+// and fail, and the consumer keeps popping until the queue is empty, after
+// which pop() reports kClosed. All operations are thread-safe; the
+// counters are exact (mutated only under the queue mutex).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace seqrtg::util {
+
+enum class OverflowPolicy {
+  kBlock,  // producers wait for space
+  kDrop,   // producers fail fast; losses are counted
+};
+
+/// Result of a timed pop.
+enum class PopStatus {
+  kItem,     // `out` holds the next item
+  kTimeout,  // no item arrived within the wait; queue still open
+  kClosed,   // queue closed and fully drained
+};
+
+/// Result of a push.
+enum class PushStatus {
+  kOk,       // item enqueued
+  kDropped,  // rejected by the kDrop policy (counted in dropped())
+  kClosed,   // queue closed; item not enqueued and not counted as a drop
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` is clamped to at least 1.
+  explicit BoundedQueue(std::size_t capacity,
+                        OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`. Under kBlock a full queue parks the caller until
+  /// space frees or close(); under kDrop a full queue rejects immediately
+  /// and counts the loss.
+  PushStatus push(T item) {
+    std::unique_lock lock(mutex_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      cv_space_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return PushStatus::kClosed;
+    if (items_.size() >= capacity_) {
+      ++dropped_;
+      return PushStatus::kDropped;
+    }
+    items_.push_back(std::move(item));
+    ++pushed_;
+    cv_item_.notify_one();
+    return PushStatus::kOk;
+  }
+
+  /// Waits up to `timeout` for an item. kTimeout lets the consumer run
+  /// periodic work (partial-batch flushes) while the queue stays open.
+  PopStatus pop_wait(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_item_.wait_for(lock, timeout,
+                      [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return closed_ ? PopStatus::kClosed : PopStatus::kTimeout;
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return PopStatus::kItem;
+  }
+
+  /// Blocking pop: waits until an item arrives or the queue is closed and
+  /// drained (returns false).
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    cv_item_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  /// Starts the drain. Idempotent; wakes every waiter.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+
+  /// Items successfully enqueued since construction.
+  std::uint64_t pushed() const {
+    std::lock_guard lock(mutex_);
+    return pushed_;
+  }
+
+  /// Items rejected by the kDrop policy (never counts close()-failed
+  /// pushes — those are backpressure, not loss).
+  std::uint64_t dropped() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace seqrtg::util

@@ -1,0 +1,70 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace seqrtg::util {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+// Self-pipe: [0] read end handed to pollers, [1] written by the handler.
+int g_pipe[2] = {-1, -1};
+bool g_installed = false;
+
+void on_signal(int) {
+  g_requested.store(true, std::memory_order_relaxed);
+  if (g_pipe[1] >= 0) {
+    const char byte = 1;
+    // A full pipe already holds a wake-up byte; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+bool install_shutdown_handlers() {
+  if (g_installed) return true;
+  if (::pipe(g_pipe) != 0) return false;
+  for (const int fd : g_pipe) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking reads (the stdin feed loop) must see EINTR so
+  // they can notice shutdown_requested() instead of sleeping through it.
+  sa.sa_flags = 0;
+  if (::sigaction(SIGTERM, &sa, nullptr) != 0 ||
+      ::sigaction(SIGINT, &sa, nullptr) != 0) {
+    ::close(g_pipe[0]);
+    ::close(g_pipe[1]);
+    g_pipe[0] = g_pipe[1] = -1;
+    return false;
+  }
+  g_installed = true;
+  return true;
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int shutdown_fd() { return g_pipe[0]; }
+
+void request_shutdown() { on_signal(0); }
+
+void reset_shutdown_state() {
+  g_requested.store(false, std::memory_order_relaxed);
+  if (g_pipe[0] >= 0) {
+    char buf[16];
+    while (::read(g_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace seqrtg::util

@@ -1,0 +1,142 @@
+// Golden-corpus regression tests (ISSUE 4 satellite): mine each of the 16
+// embedded LogHub-like corpora with a deterministic engine configuration and
+// byte-compare the discovered pattern set against a checked-in fixture under
+// tests/golden/. Any change to the scanner, trie, or analyzer that shifts
+// mining output shows up as a readable fixture diff instead of a silent
+// behaviour change.
+//
+// Regenerating after an INTENDED change:
+//     UPDATE_GOLDEN=1 ./build/tests/golden_corpus_test
+// then review the diff and commit the updated fixtures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "core/repository.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Paper §IV: 2,000 entries per LogHub dataset.
+constexpr std::size_t kCorpusSize = 2000;
+
+fs::path golden_dir() { return fs::path(SEQRTG_GOLDEN_DIR); }
+
+bool update_mode() {
+  const char* env = std::getenv("UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Mines one dataset with a fully pinned configuration (serial engine,
+/// default seed, zero clock) and renders the pattern set in a stable order.
+std::string mine_rendered(const loggen::DatasetSpec& spec) {
+  const eval::LabeledCorpus corpus =
+      loggen::generate_corpus(spec, kCorpusSize, util::kDefaultSeed);
+
+  std::vector<core::LogRecord> batch;
+  batch.reserve(corpus.messages.size());
+  for (const std::string& message : corpus.messages) {
+    batch.push_back({spec.name, message});
+  }
+
+  core::InMemoryRepository repo;
+  core::EngineOptions opts;
+  opts.threads = 1;
+  opts.now_unix = 0;
+  core::Engine engine(&repo, opts);
+  engine.analyze_by_service(batch);
+
+  std::vector<core::Pattern> patterns = repo.load_service(spec.name);
+  std::sort(patterns.begin(), patterns.end(),
+            [](const core::Pattern& a, const core::Pattern& b) {
+              if (a.token_count() != b.token_count()) {
+                return a.token_count() < b.token_count();
+              }
+              return a.text() < b.text();
+            });
+
+  std::ostringstream out;
+  out << "# dataset: " << spec.name << "  records: " << kCorpusSize
+      << "  patterns: " << patterns.size() << "\n";
+  out << "# match_count\ttoken_count\tpattern\n";
+  for (const core::Pattern& p : patterns) {
+    out << p.stats.match_count << "\t" << p.token_count() << "\t" << p.text()
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class GoldenCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenCorpusTest, MiningOutputMatchesFixture) {
+  const loggen::DatasetSpec* spec = loggen::find_dataset(GetParam());
+  ASSERT_NE(spec, nullptr) << GetParam();
+
+  const std::string rendered = mine_rendered(*spec);
+  // Mining 2000 records must discover something on every dataset; a fixture
+  // of headers only would make the byte-compare vacuous.
+  ASSERT_GT(std::count(rendered.begin(), rendered.end(), '\n'), 2)
+      << "no patterns mined for " << spec->name;
+
+  const fs::path fixture = golden_dir() / (spec->name + ".patterns.txt");
+  if (update_mode()) {
+    fs::create_directories(golden_dir());
+    std::ofstream out(fixture, std::ios::binary | std::ios::trunc);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "failed to write " << fixture;
+    GTEST_SKIP() << "fixture regenerated: " << fixture;
+  }
+
+  ASSERT_TRUE(fs::exists(fixture))
+      << "missing fixture " << fixture
+      << " — run with UPDATE_GOLDEN=1 to create it";
+  const std::string expected = read_file(fixture);
+  EXPECT_EQ(rendered, expected)
+      << "mining output for " << spec->name
+      << " diverged from the checked-in fixture. If the change is intended, "
+         "regenerate with UPDATE_GOLDEN=1 and review the diff.";
+}
+
+std::vector<std::string> all_dataset_names() {
+  std::vector<std::string> names;
+  for (const loggen::DatasetSpec& spec : loggen::loghub_datasets()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GoldenCorpusTest, ::testing::ValuesIn(all_dataset_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+/// Determinism guard: the same spec mined twice renders byte-identically
+/// (fails fast if the engine or corpus generator picks up hidden state,
+/// which would make every golden fixture flaky).
+TEST(GoldenCorpus, MiningIsDeterministic) {
+  const loggen::DatasetSpec* spec = loggen::find_dataset("HDFS");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(mine_rendered(*spec), mine_rendered(*spec));
+}
+
+}  // namespace
+}  // namespace seqrtg

@@ -1,0 +1,237 @@
+// Graceful-drain acceptance tests for `seqrtg serve` (ISSUE 4):
+//
+//  1. Block mode: a client streams >= 100k records over the socket, SIGTERM
+//     arrives mid-stream, and after the drain every acknowledged record's
+//     pattern state is recoverable via PatternStore::open — with the final
+//     checkpoint disabled, so recovery MUST replay the WAL tail.
+//  2. Drop mode: a burst through a tiny queue reports an exact drop count —
+//     accepted + dropped equals the records parsed, to the record.
+//
+// Both rely on the conservation invariant of AnalyzeByService with
+// save_threshold=1: every analyzed record contributes exactly one recorded
+// match, so sum(match_count) over the store equals records processed.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "core/ingest.hpp"
+#include "serve/server.hpp"
+#include "store/pattern_store.hpp"
+#include "util/signal.hpp"
+
+namespace seqrtg {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("seqrtg_drain_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+int connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout = 30s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+std::string record_line(std::uint64_t i) {
+  const core::LogRecord record{
+      "fleet-" + std::to_string(i % 8),
+      "session " + std::to_string(i % 41) + " opened by user u" +
+          std::to_string(i % 53) + " from 10.0." + std::to_string(i % 7) +
+          "." + std::to_string(i % 251)};
+  return core::record_to_json(record) + "\n";
+}
+
+std::uint64_t total_match_count(store::PatternStore& store) {
+  std::uint64_t sum = 0;
+  for (const std::string& service : store.services()) {
+    for (const core::Pattern& p : store.load_service(service)) {
+      sum += p.stats.match_count;
+    }
+  }
+  return sum;
+}
+
+TEST(ServeDrain, SigtermMidStreamLosesNothingAndWalReplayRecovers) {
+  TempDir dir("block");
+  constexpr std::uint64_t kRecords = 100000;
+  std::uint64_t processed = 0;
+
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.lanes = 4;
+    opts.queue_capacity = 1024;
+    opts.overflow = util::OverflowPolicy::kBlock;
+    opts.batch_size = 512;
+    opts.flush_interval_s = 0.05;
+    // Force recovery through the WAL: no final snapshot on stop.
+    opts.checkpoint_on_stop = false;
+    serve::Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::atomic<bool> client_connected{false};
+    std::thread client([&, port = server.ingest_port()] {
+      const int fd = connect_local(port);
+      if (fd < 0) return;
+      client_connected.store(true);
+      // Stream in chunks; the server shutting the socket down mid-stream
+      // (the SIGTERM drain) makes send_all fail, which ends the client.
+      std::string chunk;
+      for (std::uint64_t i = 0; i < kRecords; ++i) {
+        chunk += record_line(i);
+        if (chunk.size() >= 64 * 1024) {
+          if (!send_all(fd, chunk)) {
+            ::close(fd);
+            return;
+          }
+          chunk.clear();
+        }
+      }
+      send_all(fd, chunk);
+      ::close(fd);
+    });
+
+    ASSERT_TRUE(wait_until([&] { return client_connected.load(); }));
+    // Let the stream get going, then deliver a real SIGTERM mid-stream.
+    ASSERT_TRUE(wait_until([&] { return server.accepted() >= 5000; }));
+    ASSERT_TRUE(util::install_shutdown_handlers());
+    util::reset_shutdown_state();
+    ASSERT_EQ(::raise(SIGTERM), 0);
+    ASSERT_TRUE(wait_until([&] { return util::shutdown_requested(); }));
+    server.request_stop();
+    client.join();
+
+    const serve::ServeReport report = server.stop();
+    util::reset_shutdown_state();
+
+    EXPECT_GT(report.accepted, 0u);
+    // Block mode: nothing acknowledged is ever dropped...
+    EXPECT_EQ(report.dropped, 0u);
+    // ...and the drain analyzes every acknowledged record.
+    EXPECT_EQ(report.processed, report.accepted);
+    EXPECT_EQ(report.malformed, 0u);
+    EXPECT_FALSE(report.checkpointed);
+    processed = report.processed;
+
+    // The drain wrote no final snapshot, so the WAL tail must carry the
+    // mini-batch commit groups.
+    const store::PatternStore::DurabilityStats ds = store.durability_stats();
+    EXPECT_TRUE(ds.durable);
+    EXPECT_GT(ds.wal_records, 0u);
+  }
+
+  // Cold recovery, as after a redeploy: snapshot (possibly none) + WAL tail.
+  store::PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.path.string()));
+  EXPECT_GT(reopened.pattern_count(), 0u);
+  EXPECT_EQ(total_match_count(reopened), processed);
+}
+
+TEST(ServeDrain, DropModeReportsExactDropCount) {
+  TempDir dir("drop");
+  constexpr std::uint64_t kRecords = 20000;
+  std::uint64_t processed = 0;
+  std::uint64_t reported_dropped = 0;
+
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+
+    serve::ServeOptions opts;
+    opts.port = 0;
+    opts.lanes = 2;
+    opts.queue_capacity = 2;
+    opts.overflow = util::OverflowPolicy::kDrop;
+    opts.batch_size = 1;  // flush (and fsync) per record: workers lag
+    opts.flush_interval_s = 60.0;
+    serve::Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const int fd = connect_local(server.ingest_port());
+    ASSERT_GE(fd, 0);
+    std::string payload;
+    for (std::uint64_t i = 0; i < kRecords; ++i) payload += record_line(i);
+    ASSERT_TRUE(send_all(fd, payload));
+    ::close(fd);
+
+    ASSERT_TRUE(wait_until(
+        [&] { return server.accepted() + server.dropped() == kRecords; },
+        120s));
+    const serve::ServeReport report = server.stop();
+
+    // Exact accounting: every parsed record is either acknowledged or a
+    // counted drop; no third bucket, no double counting.
+    EXPECT_EQ(report.accepted + report.dropped, kRecords);
+    EXPECT_EQ(report.processed, report.accepted);
+    EXPECT_EQ(report.malformed, 0u);
+    EXPECT_TRUE(report.checkpointed);
+    processed = report.processed;
+    reported_dropped = report.dropped;
+  }
+
+  // The durable state carries exactly the acknowledged records — dropped
+  // records left no trace.
+  store::PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.path.string()));
+  EXPECT_EQ(total_match_count(reopened), processed);
+  EXPECT_EQ(processed + reported_dropped, kRecords);
+}
+
+}  // namespace
+}  // namespace seqrtg

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
+#include "core/ingest.hpp"
 #include "obs/exposition.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/json.hpp"
@@ -222,6 +224,38 @@ TEST(Telemetry, KillSwitchStopsRecording) {
   if (telemetry_enabled()) c.inc();
   set_telemetry_enabled(was_enabled);
   EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(IngestTelemetry, AcceptedAndMalformedCountersAreWired) {
+  // Every ingest surface (read_batch, the serve socket/stdin readers) goes
+  // through parse_and_count_line, so the process-wide reject counter must
+  // move in lockstep with IngestStats.
+  Counter& accepted =
+      default_registry().counter("seqrtg_ingest_accepted_total");
+  Counter& malformed =
+      default_registry().counter("seqrtg_ingest_malformed_total");
+  const std::uint64_t accepted0 = accepted.value();
+  const std::uint64_t malformed0 = malformed.value();
+
+  std::istringstream in(
+      "{\"service\":\"db\",\"message\":\"connection reset\"}\n"
+      "not json at all\n"
+      "\n"
+      "{\"service\":\"db\"}\n"
+      "{\"service\":\"db\",\"message\":\"query done\"}\n");
+  core::JsonStreamIngester ingester(16);
+  const std::vector<core::LogRecord> batch = ingester.read_batch(in);
+
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(ingester.stats().accepted, 2u);
+  EXPECT_EQ(ingester.stats().malformed, 2u);
+  EXPECT_EQ(accepted.value() - accepted0, 2u);
+  EXPECT_EQ(malformed.value() - malformed0, 2u);
+
+  // The reject counter shows up in the Prometheus exposition by name (what
+  // a scrape of the serve daemon's /metrics reports).
+  const std::string prom = to_prometheus(default_registry());
+  EXPECT_NE(prom.find("seqrtg_ingest_malformed_total"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,360 @@
+// Unit + integration tests for the `seqrtg serve` daemon building blocks:
+// the embedded HTTP responder, socket/stdin ingest, shutdown signalling and
+// the overflow-policy accounting invariants.
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <poll.h>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/ingest.hpp"
+#include "serve/http.hpp"
+#include "store/pattern_store.hpp"
+#include "util/signal.hpp"
+
+namespace seqrtg::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+int connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = connect_local(port);
+  if (fd < 0) return {};
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!send_all(fd, request)) {
+    ::close(fd);
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout = 10s) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+std::string record_line(const std::string& service,
+                        const std::string& message) {
+  return core::record_to_json({service, message}) + "\n";
+}
+
+std::uint64_t total_match_count(store::PatternStore& store) {
+  std::uint64_t sum = 0;
+  for (const std::string& service : store.services()) {
+    for (const core::Pattern& p : store.load_service(service)) {
+      sum += p.stats.match_count;
+    }
+  }
+  return sum;
+}
+
+TEST(Http, ParseRequestLine) {
+  std::string method;
+  std::string path;
+  EXPECT_TRUE(
+      parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", &method,
+                         &path));
+  EXPECT_EQ(method, "GET");
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_TRUE(parse_request_line("POST / HTTP/1.0\r\n", &method, &path));
+  EXPECT_EQ(method, "POST");
+  EXPECT_EQ(path, "/");
+  EXPECT_FALSE(parse_request_line("", &method, &path));
+  EXPECT_FALSE(parse_request_line("GARBAGE", &method, &path));
+}
+
+TEST(Http, RenderResponse) {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "nope";
+  const std::string out = render_response(response);
+  EXPECT_NE(out.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 4"), std::string::npos);
+  EXPECT_NE(out.find("Connection: close"), std::string::npos);
+  EXPECT_NE(out.find("\r\n\r\nnope"), std::string::npos);
+}
+
+TEST(Http, ResponderRoutesThroughHandler) {
+  HttpResponder responder([](const std::string& path) {
+    HttpResponse response;
+    if (path == "/ping") {
+      response.body = "pong";
+    } else {
+      response.status = 404;
+      response.body = "not found";
+    }
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(responder.start(0, &error)) << error;
+  ASSERT_GT(responder.port(), 0);
+
+  const std::string ok = http_get(responder.port(), "/ping");
+  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(ok.find("pong"), std::string::npos);
+
+  const std::string missing = http_get(responder.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  responder.stop();
+}
+
+TEST(Serve, StartStopWithoutTraffic) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.lanes = 2;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_GT(server.ingest_port(), 0);
+  EXPECT_NE(server.health_json().find("\"status\":\"ok\""),
+            std::string::npos);
+
+  const ServeReport report = server.stop();
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_EQ(report.processed, 0u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.malformed, 0u);
+  // stop() is idempotent: the second call returns the same report.
+  EXPECT_EQ(server.stop().accepted, 0u);
+}
+
+TEST(Serve, SocketIngestCountsEveryLine) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.lanes = 3;
+  opts.batch_size = 8;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr std::uint64_t kValid = 600;
+  constexpr std::uint64_t kMalformed = 5;
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  for (std::uint64_t i = 0; i < kValid; ++i) {
+    payload += record_line("svc-" + std::to_string(i % 7),
+                           "user u" + std::to_string(i % 13) +
+                               " logged in from 10.0.0." +
+                               std::to_string(i % 250));
+  }
+  payload += "this is not json\n";
+  payload += "{\"service\":\"only\"}\n";          // missing message
+  payload += "{\"service\":1,\"message\":\"x\"}\n";  // wrong type
+  payload += "[1,2,3]\n";
+  payload += "{broken\n";
+  payload += "\n";    // blank: neither accepted nor malformed
+  payload += "   \n";  // whitespace-only: same
+  ASSERT_TRUE(send_all(fd, payload));
+  ::close(fd);
+
+  ASSERT_TRUE(wait_until([&] {
+    return server.accepted() == kValid && server.malformed() == kMalformed;
+  }));
+  const ServeReport report = server.stop();
+  EXPECT_EQ(report.accepted, kValid);
+  EXPECT_EQ(report.malformed, kMalformed);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.processed, kValid);
+  EXPECT_EQ(report.connections, 1u);
+  EXPECT_GT(report.batches, 0u);
+  // Conservation: every processed record is one recorded match in the store.
+  EXPECT_EQ(total_match_count(store), kValid);
+}
+
+TEST(Serve, RecordsSplitAcrossTcpSegmentsSurviveIntact) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  const std::string line =
+      record_line("frag", "connection closed by peer after 120 ms");
+  // Dribble the line byte-by-byte across many send() calls, then finish a
+  // second record without a trailing newline (EOF must flush it).
+  for (const char c : line) {
+    ASSERT_TRUE(send_all(fd, std::string_view(&c, 1)));
+  }
+  const std::string tail = core::record_to_json({"frag", "second record"});
+  ASSERT_TRUE(send_all(fd, tail));
+  ::close(fd);
+
+  ASSERT_TRUE(wait_until([&] { return server.accepted() == 2; }));
+  const ServeReport report = server.stop();
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_EQ(report.processed, 2u);
+}
+
+TEST(Serve, StdinFeedDrainsAtEof) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.lanes = 2;
+  opts.batch_size = 4;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    payload += record_line("pipe-" + std::to_string(i % 3),
+                           "job " + std::to_string(i) + " finished ok");
+  }
+  payload += "garbage line\n";
+  std::istringstream in(payload);
+  server.feed(in);
+
+  const ServeReport report = server.stop();
+  EXPECT_EQ(report.accepted, 100u);
+  EXPECT_EQ(report.malformed, 1u);
+  EXPECT_EQ(report.processed, 100u);
+  EXPECT_EQ(total_match_count(store), 100u);
+}
+
+TEST(Serve, HealthAndMetricsEndpoints) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.http_port(), 0);
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, record_line("web", "request served in 12 ms")));
+  ::close(fd);
+  ASSERT_TRUE(wait_until([&] { return server.processed() == 1; }));
+
+  const std::string health = http_get(server.http_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"accepted\":1"), std::string::npos);
+
+  const std::string metrics = http_get(server.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("seqrtg_serve_accepted_total"), std::string::npos);
+  EXPECT_NE(metrics.find("seqrtg_serve_queue_depth"), std::string::npos);
+
+  const std::string missing = http_get(server.http_port(), "/not-a-route");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(Serve, DropModeConservesEveryParsedRecord) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.lanes = 1;
+  opts.queue_capacity = 1;
+  opts.overflow = util::OverflowPolicy::kDrop;
+  opts.batch_size = 1;  // flush per record: the worker lags the producer
+  opts.flush_interval_s = 60.0;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  constexpr std::uint64_t kLines = 4000;
+  std::string payload;
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    payload += record_line("burst",
+                           "event " + std::to_string(i % 17) +
+                               " emitted value " + std::to_string(i % 29));
+  }
+  ASSERT_TRUE(send_all(fd, payload));
+  ::close(fd);
+
+  ASSERT_TRUE(wait_until(
+      [&] { return server.accepted() + server.dropped() == kLines; }));
+  const ServeReport report = server.stop();
+  // Exactness: every parsed record is either acknowledged or a counted drop,
+  // and the drain analyzes exactly the acknowledged ones.
+  EXPECT_EQ(report.accepted + report.dropped, kLines);
+  EXPECT_EQ(report.processed, report.accepted);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_EQ(total_match_count(store), report.processed);
+}
+
+TEST(Serve, SigtermSetsShutdownFlagAndWakesPollers) {
+  ASSERT_TRUE(util::install_shutdown_handlers());
+  util::reset_shutdown_state();
+  ASSERT_FALSE(util::shutdown_requested());
+
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_TRUE(util::shutdown_requested());
+
+  // The self-pipe read end must be readable so poll()-based loops wake.
+  pollfd pfd = {};
+  pfd.fd = util::shutdown_fd();
+  pfd.events = POLLIN;
+  ASSERT_GE(pfd.fd, 0);
+  EXPECT_EQ(::poll(&pfd, 1, 1000), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+
+  util::reset_shutdown_state();
+  EXPECT_FALSE(util::shutdown_requested());
+  EXPECT_EQ(::poll(&pfd, 1, 0), 0);  // pipe drained
+}
+
+}  // namespace
+}  // namespace seqrtg::serve

@@ -1,0 +1,223 @@
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace seqrtg::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.push(1), PushStatus::kOk);
+  EXPECT_EQ(q.push(2), PushStatus::kOk);
+  EXPECT_EQ(q.push(3), PushStatus::kOk);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pushed(), 3u);
+}
+
+TEST(BoundedQueue, CapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueue, DropPolicyCountsExactly) {
+  BoundedQueue<int> q(4, OverflowPolicy::kDrop);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.push(i), PushStatus::kOk);
+  // Queue full, no consumer: every further push is an exact counted drop.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.push(100 + i), PushStatus::kDropped);
+  EXPECT_EQ(q.dropped(), 10u);
+  EXPECT_EQ(q.pushed(), 4u);
+  EXPECT_EQ(q.size(), 4u);
+  // Space frees, pushes succeed again without touching the drop counter.
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(q.push(42), PushStatus::kOk);
+  EXPECT_EQ(q.dropped(), 10u);
+}
+
+TEST(BoundedQueue, BlockPolicyParksUntilSpace) {
+  BoundedQueue<int> q(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(q.push(1), PushStatus::kOk);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2), PushStatus::kOk);  // parks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));  // frees the slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerWithoutCountingDrop) {
+  BoundedQueue<int> q(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(q.push(1), PushStatus::kOk);
+  std::thread producer([&] { EXPECT_EQ(q.push(2), PushStatus::kClosed); });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  producer.join();
+  // The item already queued is still drainable.
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));  // drained + closed
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(BoundedQueue, PopWaitTimesOutWhileOpen) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  EXPECT_EQ(q.pop_wait(out, 10ms), PopStatus::kTimeout);
+  q.close();
+  EXPECT_EQ(q.pop_wait(out, 10ms), PopStatus::kClosed);
+}
+
+TEST(BoundedQueue, PopWaitDrainsBacklogAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.push(7), PushStatus::kOk);
+  EXPECT_EQ(q.push(8), PushStatus::kOk);
+  q.close();
+  EXPECT_EQ(q.push(9), PushStatus::kClosed);
+  int out = 0;
+  EXPECT_EQ(q.pop_wait(out, 10ms), PopStatus::kItem);
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(q.pop_wait(out, 10ms), PopStatus::kItem);
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(q.pop_wait(out, 10ms), PopStatus::kClosed);
+}
+
+/// MPSC stress, block mode: every produced item is consumed exactly once
+/// even when producers race close()-initiated shutdown.
+TEST(BoundedQueueStress, BlockModeLosesNothing) {
+  constexpr std::size_t kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 20000;
+  BoundedQueue<std::uint64_t> q(64, OverflowPolicy::kBlock);
+
+  std::vector<std::uint64_t> produced(kProducers, 0);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        if (q.push(p * kPerProducer + i) != PushStatus::kOk) return;
+        ++produced[p];
+      }
+    });
+  }
+
+  std::uint64_t consumed = 0;
+  std::uint64_t checksum = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (q.pop(v)) {
+      ++consumed;
+      checksum ^= v;
+    }
+  });
+
+  for (std::thread& t : producers) t.join();
+  q.close();
+  consumer.join();
+
+  std::uint64_t total = 0;
+  std::uint64_t expect_checksum = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    total += produced[p];
+    for (std::uint64_t i = 0; i < produced[p]; ++i) {
+      expect_checksum ^= p * kPerProducer + i;
+    }
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  EXPECT_EQ(consumed, total);
+  EXPECT_EQ(checksum, expect_checksum);
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
+/// MPSC stress, drop mode: pushed + dropped == attempted, exactly, and the
+/// consumer sees exactly pushed() items.
+TEST(BoundedQueueStress, DropModeCountsAreExact) {
+  constexpr std::size_t kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 20000;
+  BoundedQueue<std::uint64_t> q(32, OverflowPolicy::kDrop);
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        switch (q.push(i)) {
+          case PushStatus::kOk: ok.fetch_add(1); break;
+          case PushStatus::kDropped: rejected.fetch_add(1); break;
+          case PushStatus::kClosed: return;
+        }
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (q.pop(v)) consumed.fetch_add(1);
+  });
+
+  for (std::thread& t : producers) t.join();
+  q.close();
+  consumer.join();
+
+  EXPECT_EQ(ok.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.pushed(), ok.load());
+  EXPECT_EQ(q.dropped(), rejected.load());
+  EXPECT_EQ(consumed.load(), ok.load());
+}
+
+/// Producers racing close(): items acknowledged kOk are never lost, items
+/// rejected kClosed never surface at the consumer.
+TEST(BoundedQueueStress, CloseRaceNeverLosesAcknowledgedItems) {
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<std::uint64_t> q(16, OverflowPolicy::kBlock);
+    std::atomic<std::uint64_t> acknowledged{0};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        for (std::uint64_t i = 0;; ++i) {
+          if (q.push(i) != PushStatus::kOk) return;
+          acknowledged.fetch_add(1);
+        }
+      });
+    }
+    std::atomic<std::uint64_t> consumed{0};
+    std::thread consumer([&] {
+      std::uint64_t v = 0;
+      while (q.pop(v)) consumed.fetch_add(1);
+    });
+    std::this_thread::sleep_for(1ms);
+    q.close();
+    for (std::thread& t : producers) t.join();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), acknowledged.load());
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg::util
