@@ -4,9 +4,10 @@
 # instrumentation, so this uses a dedicated build directory instead of
 # mixing flags into an existing one.
 #
-# Usage: scripts/sanitize.sh [thread|address] [test binaries...]
+# Usage: scripts/sanitize.sh [thread|address|undefined] [test binaries...]
 #   scripts/sanitize.sh                 # TSan over the concurrency tests
 #   scripts/sanitize.sh address         # ASan over the same set
+#   scripts/sanitize.sh undefined       # UBSan over the same set
 #   scripts/sanitize.sh thread all      # TSan over the full ctest suite
 set -eu
 
@@ -32,7 +33,8 @@ fi
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
   arena_test interner_test scan_into_equivalence_test wal_test \
   pattern_store_test bounded_queue_test serve_test serve_drain_test \
-  ingest_fuzz_test golden_corpus_test
+  ingest_fuzz_test golden_corpus_test edge_map_property_test \
+  fault_sim_test differential_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

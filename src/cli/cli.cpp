@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <iostream>
@@ -21,10 +22,12 @@
 #include "pipeline/simulation.hpp"
 #include "serve/server.hpp"
 #include "store/pattern_store.hpp"
+#include "testkit/scenario.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
 #include "util/signal.hpp"
 #include "util/stopwatch.hpp"
+#include "util/strings.hpp"
 
 namespace seqrtg::cli {
 
@@ -690,6 +693,134 @@ int cmd_generate(const std::vector<std::string>& argv, std::istream&,
   return 0;
 }
 
+int cmd_testkit(const std::vector<std::string>& argv, std::istream&,
+                std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("seed", "base scenario seed", "");
+  args.add_option("seeds", "number of consecutive seeds to run", "1");
+  args.add_option("datasets",
+                  "comma-separated LogHub dataset names composed into ONE "
+                  "multi-service scenario, or 'all' = one scenario per "
+                  "dataset",
+                  "all");
+  args.add_option("records", "records per scenario", "2000");
+  args.add_option("lanes", "serve lanes in the differential oracle", "4");
+  args.add_option("threads", "partitioned-path threads", "4");
+  args.add_option("mutation-rate",
+                  "fraction of messages receiving seeded byte mutations",
+                  "0");
+  args.add_option("fault",
+                  "scripted fault plan, e.g. 'drop@37' or 'tear-wal@3:12' "
+                  "(DESIGN.md §12)",
+                  "");
+  args.add_flag("no-shrink", "skip delta-debugging failing corpora");
+  args.add_flag("quick", "differential oracle only (skip metamorphic set)");
+  args.add_flag("verbose", "per-scenario progress lines");
+  args.add_flag("lenient-time",
+                "accept single-digit time parts (future-work datetime FSM)");
+  args.add_flag("no-path-fsm", "disable the path detector");
+  args.add_flag("merge-mixed-alnum",
+                "merge alphanumeric/integer alternating fields");
+  args.add_flag("semi-constant-split",
+                "one pattern per value for low-cardinality fields");
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  testkit::ScenarioOptions base;
+  base.engine.scanner.datetime.lenient_time = args.get_flag("lenient-time");
+  base.engine.special.detect_path = !args.get_flag("no-path-fsm");
+  base.engine.analyzer.merge_mixed_alnum =
+      args.get_flag("merge-mixed-alnum");
+  base.engine.analyzer.semi_constant_split =
+      args.get_flag("semi-constant-split");
+  if (args.has("seed")) {
+    base.seed = static_cast<std::uint64_t>(
+        std::strtoull(args.get("seed").c_str(), nullptr, 0));
+  }
+  base.records = static_cast<std::size_t>(args.get_int("records", 2000));
+  base.lanes = static_cast<std::size_t>(args.get_int("lanes", 4));
+  base.threads = static_cast<std::size_t>(args.get_int("threads", 4));
+  base.mutation_rate = args.get_double("mutation-rate", 0.0);
+  base.shrink = !args.get_flag("no-shrink");
+  if (args.get_flag("quick")) {
+    base.run_soundness = false;
+    base.run_idempotence = false;
+    base.run_interleave = false;
+  }
+  if (!args.get("fault").empty()) {
+    std::string fault_error;
+    const auto plan = testkit::FaultPlan::parse(args.get("fault"),
+                                               &fault_error);
+    if (!plan.has_value()) {
+      err << "bad --fault: " << fault_error << "\n";
+      return 2;
+    }
+    base.fault = *plan;
+  }
+
+  // 'all' sweeps the 16 corpora one scenario each (the nightly shape);
+  // an explicit list composes a single multi-service scenario.
+  std::vector<std::vector<std::string>> scenarios;
+  const std::string datasets = args.get("datasets");
+  if (datasets == "all") {
+    for (const auto& spec : loggen::loghub_datasets()) {
+      scenarios.push_back({spec.name});
+    }
+  } else {
+    std::vector<std::string> names;
+    for (const auto& piece : util::split(datasets, ',')) {
+      const std::string name{util::trim(piece)};
+      if (!name.empty()) names.push_back(name);
+    }
+    if (names.empty()) {
+      err << "--datasets needs at least one dataset name\n";
+      return 2;
+    }
+    scenarios.push_back(std::move(names));
+  }
+
+  const auto seeds =
+      static_cast<std::uint64_t>(args.get_int("seeds", 1));
+  int failures = 0;
+  std::size_t ran = 0;
+  for (std::uint64_t s = 0; s < (seeds == 0 ? 1 : seeds); ++s) {
+    for (const std::vector<std::string>& set : scenarios) {
+      testkit::ScenarioOptions opts = base;
+      opts.seed = base.seed + s;
+      opts.datasets = set;
+      const testkit::ScenarioResult result = testkit::run_scenario(
+          opts, args.get_flag("verbose") ? &out : nullptr);
+      ++ran;
+      std::string label;
+      for (const std::string& name : set) {
+        if (!label.empty()) label += ',';
+        label += name;
+      }
+      if (result.ok) {
+        out << "PASS seed=" << opts.seed << " datasets=" << label
+            << " records=" << result.corpus_size << "\n";
+        continue;
+      }
+      ++failures;
+      out << "FAIL seed=" << opts.seed << " datasets=" << label
+          << " oracle=" << result.oracle << "\n";
+      if (!result.detail.empty()) out << "  " << result.detail << "\n";
+      if (!result.shrunk.empty()) {
+        out << "  shrunk to " << result.shrunk.size() << " of "
+            << result.corpus_size << " record(s):\n";
+        for (const core::LogRecord& record : result.shrunk) {
+          out << "    " << core::record_to_json(record) << "\n";
+        }
+      }
+      out << "  repro: " << result.repro << "\n";
+    }
+  }
+  out << ran << " scenario(s), " << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -709,6 +840,8 @@ std::string usage() {
          "  serve     long-running streaming daemon: JSON-lines over a "
          "localhost socket and/or stdin, sharded worker lanes, /metrics + "
          "/healthz, graceful SIGTERM drain\n"
+         "  testkit   seeded differential/metamorphic scenario runner "
+         "with fault injection and failing-input shrinking\n"
          "run-style commands accept --metrics-out <file> "
          "[--metrics-format prometheus|json] to dump a telemetry "
          "snapshot; 'stats --telemetry' prints it\n"
@@ -734,6 +867,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "generate") return cmd_generate(rest, in, out, err);
   if (cmd == "simulate") return cmd_simulate(rest, in, out, err);
   if (cmd == "serve") return cmd_serve(rest, in, out, err);
+  if (cmd == "testkit") return cmd_testkit(rest, in, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 2;
 }

@@ -25,8 +25,6 @@ namespace seqrtg::serve {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 struct ServeMetrics {
   obs::Counter& accepted;
   obs::Counter& dropped;
@@ -63,7 +61,8 @@ obs::Gauge& lane_depth_gauge(std::size_t lane) {
 }  // namespace
 
 Server::Server(store::PatternStore* store, ServeOptions opts)
-    : store_(store), opts_(opts),
+    : store_(store), opts_(std::move(opts)),
+      clock_(opts_.clock != nullptr ? opts_.clock : &util::Clock::system()),
       http_([this](const std::string& path) { return handle_http(path); }) {
   if (opts_.lanes == 0) opts_.lanes = 1;
   if (opts_.batch_size == 0) opts_.batch_size = 1;
@@ -81,6 +80,16 @@ bool Server::start(std::string* error) {
   for (std::size_t i = 0; i < opts_.lanes; ++i) {
     lanes_.push_back(
         std::make_unique<Lane>(opts_.queue_capacity, opts_.overflow));
+    if (opts_.queue_fault) {
+      // Per-queue attempt indexes would depend on the service->lane hash,
+      // so the scripted fault is driven by one global arrival-order index
+      // instead: drop@N always means the N-th parsed record, regardless
+      // of which lane it sharded to.
+      lanes_.back()->queue.set_fault([this](std::uint64_t) {
+        return opts_.queue_fault(
+            fault_index_.fetch_add(1, std::memory_order_relaxed));
+      });
+    }
   }
 
   if (opts_.port >= 0) {
@@ -136,6 +145,7 @@ bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
   if (!record.has_value()) {
     if (!util::trim(line).empty()) {
       malformed_.fetch_add(1, std::memory_order_relaxed);
+      notify_progress();
     }
     return true;
   }
@@ -144,16 +154,31 @@ bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
   switch (lanes_[lane]->queue.push(std::move(*record))) {
     case util::PushStatus::kOk:
       if (obs::telemetry_enabled()) serve_metrics().accepted.inc();
+      notify_progress();
       return true;
     case util::PushStatus::kDropped:
       // Rejected by the kDrop policy — the daemon keeps serving.
       if (obs::telemetry_enabled()) serve_metrics().dropped.inc();
+      notify_progress();
       return true;
     case util::PushStatus::kClosed:
       break;
   }
   // push failed because the queue closed: the drain has started.
   return false;
+}
+
+void Server::notify_progress() const {
+  // Take (and release) the lock so a waiter between its predicate check
+  // and the wait cannot miss this wakeup.
+  { std::lock_guard lock(progress_mutex_); }
+  progress_cv_.notify_all();
+}
+
+bool Server::wait_until(const std::function<bool()>& pred,
+                        std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(progress_mutex_);
+  return progress_cv_.wait_for(lock, timeout, [&] { return pred(); });
 }
 
 void Server::feed(std::istream& in) {
@@ -236,24 +261,28 @@ void Server::lane_loop(std::size_t index) {
   core::Engine engine(store_, engine_opts);
 
   auto& queue = lanes_[index]->queue;
-  const auto interval = std::chrono::milliseconds(
-      static_cast<long>(opts_.flush_interval_s * 1000.0));
+  // Deadlines run on the injected clock. Under a ManualClock the pop_wait
+  // below still times out in real time (the 200ms tick), but the virtual
+  // deadline only expires when the test advances the clock — flushes
+  // become a deterministic function of the advance schedule.
+  const auto interval_ms =
+      static_cast<std::int64_t>(opts_.flush_interval_s * 1000.0);
   std::vector<core::LogRecord> batch;
   batch.reserve(opts_.batch_size);
-  Clock::time_point deadline = Clock::time_point::max();
+  std::int64_t deadline_ms = 0;
 
   for (;;) {
     core::LogRecord record;
     std::chrono::milliseconds timeout = std::chrono::milliseconds(200);
     if (!batch.empty()) {
-      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - Clock::now());
+      const auto left =
+          std::chrono::milliseconds(deadline_ms - clock_->now_ms());
       timeout = std::max(std::chrono::milliseconds(1),
                          std::min(timeout, left));
     }
     const util::PopStatus status = queue.pop_wait(record, timeout);
     if (status == util::PopStatus::kItem) {
-      if (batch.empty()) deadline = Clock::now() + interval;
+      if (batch.empty()) deadline_ms = clock_->now_ms() + interval_ms;
       batch.push_back(std::move(record));
       if (batch.size() >= opts_.batch_size) flush_lane(engine, batch, index);
       continue;
@@ -262,7 +291,7 @@ void Server::lane_loop(std::size_t index) {
       flush_lane(engine, batch, index);
       return;
     }
-    if (!batch.empty() && Clock::now() >= deadline) {
+    if (!batch.empty() && clock_->now_ms() >= deadline_ms) {
       flush_lane(engine, batch, index);
     }
   }
@@ -273,7 +302,7 @@ void Server::flush_lane(core::Engine& engine,
                         std::size_t index) {
   if (batch.empty()) return;
   obs::StageTimer timer(serve_metrics().flush_seconds);
-  engine.set_now_unix(static_cast<std::int64_t>(std::time(nullptr)));
+  engine.set_now_unix(clock_->now_unix());
   const core::BatchReport report = engine.analyze_by_service(batch);
   processed_.fetch_add(batch.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -287,19 +316,28 @@ void Server::flush_lane(core::Engine& engine,
         static_cast<double>(lanes_[index]->queue.size()));
   }
   batch.clear();
+  notify_progress();
 }
 
 void Server::checkpoint_loop() {
-  const auto interval = std::chrono::milliseconds(
-      static_cast<long>(opts_.checkpoint_interval_s * 1000.0));
+  // The interval is measured on the injected clock; the wait below only
+  // bounds how often the deadline is re-checked. 200ms keeps the thread
+  // cheap in production and responsive to ManualClock advances in tests.
+  const auto interval_ms =
+      static_cast<std::int64_t>(opts_.checkpoint_interval_s * 1000.0);
+  std::int64_t next_ms = clock_->now_ms() + interval_ms;
   std::unique_lock lock(checkpoint_mutex_);
   while (!stopping_.load(std::memory_order_relaxed)) {
-    checkpoint_cv_.wait_for(lock, interval, [this] {
+    checkpoint_cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
       return stopping_.load(std::memory_order_relaxed);
     });
     if (stopping_.load(std::memory_order_relaxed)) return;
+    if (clock_->now_ms() < next_ms) continue;
+    next_ms = clock_->now_ms() + interval_ms;
     lock.unlock();
     store_->checkpoint();
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    notify_progress();
     lock.lock();
   }
 }

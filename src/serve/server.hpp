@@ -31,8 +31,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -45,6 +47,7 @@
 #include "serve/http.hpp"
 #include "store/pattern_store.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/clock.hpp"
 
 namespace seqrtg::serve {
 
@@ -69,6 +72,16 @@ struct ServeOptions {
   /// Rotate a final snapshot during the drain. Disabled by tests that
   /// assert WAL-replay recovery of a non-checkpointed exit.
   bool checkpoint_on_stop = true;
+  /// Time source for flush deadlines, checkpoint intervals and the unix
+  /// timestamps stamped onto pattern stats. nullptr = the real clock
+  /// (util::Clock::system()). The testkit injects a util::ManualClock so
+  /// timing-dependent behaviour becomes virtual-time and replayable.
+  util::Clock* clock = nullptr;
+  /// Scripted queue-overflow fault (testkit): consulted once per parsed
+  /// record, in arrival order, with a global 0-based record index across
+  /// all lanes. Returning true makes that record's lane queue reject it as
+  /// a counted drop, exactly as if the queue were full at that instant.
+  std::function<bool(std::uint64_t)> queue_fault;
 };
 
 struct ServeReport {
@@ -133,6 +146,20 @@ class Server {
   std::uint64_t malformed() const {
     return malformed_.load(std::memory_order_relaxed);
   }
+  /// Periodic snapshot rotations performed by the checkpoint timer (the
+  /// final drain checkpoint is not counted here).
+  std::uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until `pred()` holds or `timeout` elapses (returns pred()'s
+  /// final value). The server signals after every accounting change
+  /// (accept/drop/malformed/flush), so tests wait on exact counter states
+  /// instead of polling with sleeps. `pred` runs under the progress lock
+  /// and must only read server counters.
+  bool wait_until(const std::function<bool()>& pred,
+                  std::chrono::milliseconds timeout =
+                      std::chrono::milliseconds(10000)) const;
 
   /// The /healthz JSON document (also used by tests directly).
   std::string health_json() const;
@@ -155,9 +182,12 @@ class Server {
   /// daemon is draining and producers should stop.
   bool ingest_line(std::string_view line, core::IngestStats& stats);
   HttpResponse handle_http(const std::string& path);
+  /// Wakes wait_until() waiters after a counter change.
+  void notify_progress() const;
 
   store::PatternStore* store_;
   ServeOptions opts_;
+  util::Clock* clock_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   HttpResponder http_;
 
@@ -181,6 +211,11 @@ class Server {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> new_patterns_{0};
   std::atomic<std::uint64_t> matched_existing_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  /// Global record index handed to opts_.queue_fault (arrival order).
+  std::atomic<std::uint64_t> fault_index_{0};
+  mutable std::mutex progress_mutex_;
+  mutable std::condition_variable progress_cv_;
   ServeReport final_report_;
 };
 

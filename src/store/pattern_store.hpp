@@ -131,6 +131,20 @@ class PatternStore final : public core::PatternRepository {
   };
   DurabilityStats durability_stats();
 
+  /// Testkit simulation layer: forwards a scripted torn-tail fault to the
+  /// underlying WAL (see Wal::set_fault_hook). The hook fires on the next
+  /// matching commit group and wedges the log, so recovery tests can
+  /// script "the process died while writing group N" without killing the
+  /// process. No effect when the store is not durable.
+  void set_wal_fault_hook(std::function<std::int64_t(std::uint64_t)> hook) {
+    std::lock_guard lock(mutex_);
+    wal_.set_fault_hook(std::move(hook));
+  }
+
+  /// Testkit: true once a scripted WAL fault has fired and wedged the log
+  /// (read after the writers have quiesced).
+  bool wal_wedged() const { return wal_.wedged(); }
+
   /// Direct access for ad-hoc SQL (tests, tooling).
   Database& database() { return db_; }
 

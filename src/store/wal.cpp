@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -252,7 +253,7 @@ bool Wal::open(const std::string& path, ReplayResult* recovered) {
 }
 
 std::uint64_t Wal::append(std::string_view ops) {
-  if (fd_ < 0) return 0;
+  if (fd_ < 0 || wedged_) return 0;
   std::string payload;
   payload.reserve(8 + ops.size());
   wal_put_u64(payload, next_seq_);
@@ -262,6 +263,21 @@ std::uint64_t Wal::append(std::string_view ops) {
   wal_put_u32(record, static_cast<std::uint32_t>(payload.size()));
   wal_put_u32(record, crc32(payload));
   record.append(payload);
+  if (fault_) {
+    const std::int64_t cut = fault_(next_seq_);
+    if (cut >= 0) {
+      // Scripted crash: persist only a prefix of the frame (possibly zero
+      // bytes) and refuse all further writes, like a process that died
+      // mid-write. Replay will verify the CRC and truncate this tail.
+      const std::size_t n =
+          std::min(record.size(), static_cast<std::size_t>(cut));
+      if (n > 0) write_all(fd_, record.data(), n);
+      ::fsync(fd_);
+      size_bytes_ += n;
+      wedged_ = true;
+      return 0;
+    }
+  }
   if (!write_all(fd_, record.data(), record.size())) return 0;
   size_bytes_ += record.size();
   ++record_count_;

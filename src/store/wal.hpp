@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -94,6 +95,19 @@ class Wal {
   /// The record is durable only once sync() has returned.
   std::uint64_t append(std::string_view ops);
 
+  /// Installs a scripted torn-tail fault (testkit simulation layer). The
+  /// hook is consulted with the sequence number the next append would
+  /// commit; returning a non-negative byte count writes only that prefix
+  /// of the framed record and wedges the log — the append reports failure
+  /// and every later append fails too, exactly the on-disk state a process
+  /// crash mid-write leaves behind. Return -1 for no fault. nullptr clears.
+  void set_fault_hook(std::function<std::int64_t(std::uint64_t)> hook) {
+    fault_ = std::move(hook);
+  }
+
+  /// True once a scripted fault has wedged the log.
+  bool wedged() const { return wedged_; }
+
   /// fsyncs the log file. Returns false on I/O error.
   bool sync();
 
@@ -125,6 +139,8 @@ class Wal {
   std::uint64_t next_seq_ = 1;
   std::uint64_t record_count_ = 0;
   std::uint64_t size_bytes_ = 0;
+  std::function<std::int64_t(std::uint64_t)> fault_;
+  bool wedged_ = false;
 };
 
 }  // namespace seqrtg::store

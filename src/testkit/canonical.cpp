@@ -1,0 +1,52 @@
+#include "testkit/canonical.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::testkit {
+
+std::string canonical_patterns(core::PatternRepository& repo,
+                               bool include_match_counts) {
+  std::vector<std::string> services = repo.services();
+  std::sort(services.begin(), services.end());
+
+  std::ostringstream out;
+  for (const std::string& service : services) {
+    std::vector<core::Pattern> patterns = repo.load_service(service);
+    std::sort(patterns.begin(), patterns.end(),
+              [](const core::Pattern& a, const core::Pattern& b) {
+                if (a.token_count() != b.token_count()) {
+                  return a.token_count() < b.token_count();
+                }
+                return a.text() < b.text();
+              });
+    for (const core::Pattern& p : patterns) {
+      out << service << "\t";
+      if (include_match_counts) out << p.stats.match_count << "\t";
+      out << p.token_count() << "\t" << p.text() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string first_diff(const std::string& a, const std::string& b) {
+  const std::vector<std::string_view> la = util::split(a, '\n');
+  const std::vector<std::string_view> lb = util::split(b, '\n');
+  const std::size_t n = std::max(la.size(), lb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view va = i < la.size() ? la[i] : "<absent>";
+    const std::string_view vb = i < lb.size() ? lb[i] : "<absent>";
+    if (va != vb) {
+      std::ostringstream out;
+      out << "line " << (i + 1) << ":\n  left:  " << va
+          << "\n  right: " << vb;
+      return out.str();
+    }
+  }
+  return "identical";
+}
+
+}  // namespace seqrtg::testkit

@@ -1,0 +1,31 @@
+// Canonical pattern-set rendering for the differential oracles.
+//
+// The three mining paths (single-batch Engine, threaded AnalyzeByService,
+// the serve daemon) must produce the same pattern set from the same
+// corpus, but each stamps different wall-clock timestamps and stores
+// patterns through different call sequences. The canonical form projects a
+// repository onto exactly the facts the equivalence claim covers —
+// service, match count, token count, pattern text — in a stable sort
+// order, so "byte-identical canonical strings" is the oracle and any
+// divergence renders as a readable line diff.
+#pragma once
+
+#include <string>
+
+#include "core/repository.hpp"
+
+namespace seqrtg::testkit {
+
+/// Renders every pattern of `repo`, services in sorted order, patterns
+/// sorted by (token_count, text) within a service. One line per pattern:
+///   service \t match_count \t token_count \t text
+/// With `include_match_counts` false the count column is omitted (the
+/// idempotence oracle re-analyzes, which legitimately bumps counts).
+std::string canonical_patterns(core::PatternRepository& repo,
+                               bool include_match_counts = true);
+
+/// Human-readable first divergence between two canonical renderings:
+/// the 1-based line number plus both lines (or the missing side).
+std::string first_diff(const std::string& a, const std::string& b);
+
+}  // namespace seqrtg::testkit

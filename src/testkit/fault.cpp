@@ -1,0 +1,112 @@
+#include "testkit/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace seqrtg::testkit {
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  s = util::trim(s);
+  if (s.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  const char* sep = "";
+  for (const std::uint64_t i : drop_at) {
+    out << sep << "drop@" << i;
+    sep = ";";
+  }
+  if (tear_wal_seq != 0) {
+    out << sep << "tear-wal@" << tear_wal_seq << ":" << tear_wal_bytes;
+    sep = ";";
+  }
+  if (crash_after != 0) out << sep << "crash@" << crash_after;
+  return out.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  for (const std::string_view raw : util::split(spec, ';')) {
+    const std::string_view directive = util::trim(raw);
+    if (directive.empty()) continue;
+    const std::size_t at = directive.find('@');
+    if (at == std::string_view::npos) {
+      set_error(error, "fault directive missing '@': " +
+                           std::string(directive));
+      return std::nullopt;
+    }
+    const std::string_view kind = util::trim(directive.substr(0, at));
+    const std::string_view arg = directive.substr(at + 1);
+    if (kind == "drop") {
+      std::uint64_t index = 0;
+      if (!parse_u64(arg, &index)) {
+        set_error(error, "bad drop index: " + std::string(arg));
+        return std::nullopt;
+      }
+      plan.drop_at.push_back(index);
+    } else if (kind == "tear-wal") {
+      const std::size_t colon = arg.find(':');
+      std::uint64_t seq = 0;
+      std::uint64_t bytes = 0;
+      if (colon == std::string_view::npos ||
+          !parse_u64(arg.substr(0, colon), &seq) ||
+          !parse_u64(arg.substr(colon + 1), &bytes) || seq == 0) {
+        set_error(error,
+                  "tear-wal needs SEQ:BYTES with SEQ >= 1, got: " +
+                      std::string(arg));
+        return std::nullopt;
+      }
+      plan.tear_wal_seq = seq;
+      plan.tear_wal_bytes = bytes;
+    } else if (kind == "crash") {
+      std::uint64_t n = 0;
+      if (!parse_u64(arg, &n) || n == 0) {
+        set_error(error, "crash needs a record count >= 1, got: " +
+                             std::string(arg));
+        return std::nullopt;
+      }
+      plan.crash_after = n;
+    } else {
+      set_error(error, "unknown fault directive: " + std::string(kind));
+      return std::nullopt;
+    }
+  }
+  std::sort(plan.drop_at.begin(), plan.drop_at.end());
+  plan.drop_at.erase(
+      std::unique(plan.drop_at.begin(), plan.drop_at.end()),
+      plan.drop_at.end());
+  return plan;
+}
+
+std::function<bool(std::uint64_t)> FaultPlan::queue_hook() const {
+  if (drop_at.empty()) return {};
+  return [drops = drop_at](std::uint64_t index) {
+    return std::binary_search(drops.begin(), drops.end(), index);
+  };
+}
+
+std::function<std::int64_t(std::uint64_t)> FaultPlan::wal_hook() const {
+  if (tear_wal_seq == 0) return {};
+  return [seq = tear_wal_seq,
+          bytes = tear_wal_bytes](std::uint64_t next) -> std::int64_t {
+    return next == seq ? static_cast<std::int64_t>(bytes) : -1;
+  };
+}
+
+}  // namespace seqrtg::testkit

@@ -1,0 +1,65 @@
+// FaultPlan: a scripted, seed-replayable fault schedule for the serve
+// pipeline (testkit simulation layer).
+//
+// Grammar — directives joined by ';', whitespace around tokens ignored:
+//
+//   drop@I            reject the I-th parsed record (0-based, global
+//                     arrival order) as a queue overflow; repeatable
+//   tear-wal@S:B      the WAL append for commit group sequence S persists
+//                     only its first B frame bytes, then the log wedges —
+//                     the torn-tail state a crash mid-write leaves behind
+//   crash@N           producers die after feeding N records and the drain
+//                     skips the final checkpoint, so recovery must come
+//                     from the WAL tail alone
+//
+// Example: "drop@37; drop@90; tear-wal@3:12"
+//
+// A plan composes with a seed into a fully deterministic scenario: the
+// corpus, the interleaving, the faulted record/group and therefore the
+// failure are all reproducible from the printed repro command.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqrtg::testkit {
+
+struct FaultPlan {
+  /// Global 0-based record indexes rejected as queue overflow (sorted).
+  std::vector<std::uint64_t> drop_at;
+  /// WAL commit group to tear (0 = no tear fault).
+  std::uint64_t tear_wal_seq = 0;
+  /// Frame bytes that survive the torn append.
+  std::uint64_t tear_wal_bytes = 0;
+  /// Stop feeding after this many records (0 = no crash fault).
+  std::uint64_t crash_after = 0;
+
+  bool empty() const {
+    return drop_at.empty() && tear_wal_seq == 0 && crash_after == 0;
+  }
+  bool has_drop() const { return !drop_at.empty(); }
+  bool has_recovery_fault() const {
+    return tear_wal_seq != 0 || crash_after != 0;
+  }
+
+  /// Round-trips through parse(): "drop@1;drop@5;tear-wal@3:12;crash@100".
+  std::string to_string() const;
+
+  /// Parses the grammar above; std::nullopt (with `error` set) on any
+  /// unknown directive or malformed number.
+  static std::optional<FaultPlan> parse(std::string_view spec,
+                                        std::string* error = nullptr);
+
+  /// Hook for ServeOptions::queue_fault (empty function when no drops).
+  std::function<bool(std::uint64_t)> queue_hook() const;
+
+  /// Hook for PatternStore::set_wal_fault_hook / Wal::set_fault_hook
+  /// (empty function when no tear fault).
+  std::function<std::int64_t(std::uint64_t)> wal_hook() const;
+};
+
+}  // namespace seqrtg::testkit

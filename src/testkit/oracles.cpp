@@ -1,0 +1,241 @@
+#include "testkit/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/parser.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::testkit {
+
+namespace {
+
+MiningResult mine_with_threads(const std::vector<core::LogRecord>& records,
+                               const core::EngineOptions& opts,
+                               std::size_t threads) {
+  core::EngineOptions engine_opts = opts;
+  engine_opts.threads = threads;
+  store::PatternStore store;
+  core::Engine engine(&store, engine_opts);
+  const core::BatchReport report = engine.analyze_by_service(records);
+  MiningResult out;
+  out.canonical = canonical_patterns(store);
+  out.records = report.records;
+  out.matched_existing = report.matched_existing;
+  out.analyzed = report.analyzed;
+  out.new_patterns = report.new_patterns;
+  return out;
+}
+
+}  // namespace
+
+MiningResult mine_engine(const std::vector<core::LogRecord>& records,
+                         const core::EngineOptions& opts) {
+  return mine_with_threads(records, opts, 1);
+}
+
+MiningResult mine_partitioned(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts,
+                              std::size_t threads) {
+  return mine_with_threads(records, opts, threads < 2 ? 2 : threads);
+}
+
+MiningResult mine_serve(const std::vector<core::LogRecord>& records,
+                        const core::EngineOptions& opts,
+                        const ServeConfig& config) {
+  store::PatternStore local;
+  store::PatternStore* store =
+      config.store != nullptr ? config.store : &local;
+  // Virtual time pinned to the engine paths' now_unix; it never advances,
+  // so the interval flush never fires and each lane flushes exactly once
+  // when the drain closes its queue — the deterministic streaming shape
+  // the differential oracle compares against.
+  util::ManualClock manual(opts.now_unix);
+
+  serve::ServeOptions serve_opts;
+  serve_opts.engine = opts;
+  serve_opts.port = -1;
+  serve_opts.http_port = -1;
+  serve_opts.lanes = config.lanes;
+  serve_opts.queue_capacity = records.size() + 1;
+  serve_opts.overflow = util::OverflowPolicy::kDrop;
+  serve_opts.batch_size = records.size() + 1;
+  serve_opts.flush_interval_s = 1e9;
+  serve_opts.checkpoint_on_stop = false;
+  serve_opts.clock = config.clock != nullptr ? config.clock : &manual;
+  serve_opts.queue_fault = config.queue_fault;
+
+  serve::Server server(store, serve_opts);
+  MiningResult out;
+  std::string error;
+  if (!server.start(&error)) {
+    out.started = false;
+    out.canonical = "serve failed to start: " + error;
+    return out;
+  }
+  std::string stream;
+  for (const core::LogRecord& record : records) {
+    stream += core::record_to_json(record);
+    stream += '\n';
+  }
+  std::istringstream in(stream);
+  server.feed(in);
+  const serve::ServeReport report = server.stop();
+
+  out.canonical = canonical_patterns(*store);
+  out.records = report.processed;
+  out.matched_existing = report.matched_existing;
+  out.new_patterns = report.new_patterns;
+  out.accepted = report.accepted;
+  out.processed = report.processed;
+  out.dropped = report.dropped;
+  out.batches = report.batches;
+  return out;
+}
+
+OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
+                                 const core::EngineOptions& opts,
+                                 const DifferentialOptions& dopts) {
+  const MiningResult engine = mine_engine(records, opts);
+  const MiningResult partitioned =
+      mine_partitioned(records, opts, dopts.threads);
+  if (engine.canonical != partitioned.canonical) {
+    return OracleFailure{
+        "differential:engine-vs-partitioned",
+        first_diff(engine.canonical, partitioned.canonical)};
+  }
+
+  ServeConfig config;
+  config.lanes = dopts.lanes;
+  config.queue_fault = dopts.serve_queue_fault;
+  const MiningResult served = mine_serve(records, opts, config);
+  if (!served.started) {
+    return OracleFailure{"differential:serve-start", served.canonical};
+  }
+  // Accounting first: a dropped duplicate message can leave the pattern
+  // TEXTS identical and only shift a match count, so the exact-count check
+  // is what makes an injected overflow undeniable.
+  if (served.accepted != records.size() || served.dropped != 0 ||
+      served.processed != served.accepted) {
+    std::ostringstream detail;
+    detail << "serve accounting diverged: fed=" << records.size()
+           << " accepted=" << served.accepted
+           << " processed=" << served.processed
+           << " dropped=" << served.dropped;
+    return OracleFailure{"differential:serve-accounting", detail.str()};
+  }
+  if (engine.canonical != served.canonical) {
+    return OracleFailure{"differential:engine-vs-serve",
+                         first_diff(engine.canonical, served.canonical)};
+  }
+  return std::nullopt;
+}
+
+OracleVerdict check_soundness(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts) {
+  core::EngineOptions engine_opts = opts;
+  engine_opts.threads = 1;
+  store::PatternStore store;
+  core::Engine engine(&store, engine_opts);
+  engine.analyze_by_service(records);
+
+  core::Parser parser(engine_opts.scanner, engine_opts.special);
+  for (const std::string& service : store.services()) {
+    for (const core::Pattern& p : store.load_service(service)) {
+      parser.add_pattern(p);
+    }
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!parser.parse(records[i].service, records[i].message).has_value()) {
+      std::ostringstream detail;
+      detail << "record " << i << " (service " << records[i].service
+             << ") is not matched by any pattern mined from its own "
+                "corpus: "
+             << records[i].message;
+      return OracleFailure{"soundness", detail.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+OracleVerdict check_idempotence(const std::vector<core::LogRecord>& records,
+                                const core::EngineOptions& opts) {
+  core::EngineOptions engine_opts = opts;
+  engine_opts.threads = 1;
+  store::PatternStore store;
+  core::Engine engine(&store, engine_opts);
+  engine.analyze_by_service(records);
+  // Counts legitimately grow on the second pass; the texts must not.
+  const std::string before =
+      canonical_patterns(store, /*include_match_counts=*/false);
+
+  const core::BatchReport again = engine.analyze_by_service(records);
+  if (again.new_patterns != 0 || again.analyzed != 0 ||
+      again.matched_existing != records.size()) {
+    std::ostringstream detail;
+    detail << "second analysis of an already-mined corpus was not a pure "
+              "parse pass: analyzed="
+           << again.analyzed << " new_patterns=" << again.new_patterns
+           << " matched_existing=" << again.matched_existing << " of "
+           << records.size() << " records";
+    return OracleFailure{"idempotence", detail.str()};
+  }
+  const std::string after =
+      canonical_patterns(store, /*include_match_counts=*/false);
+  if (before != after) {
+    return OracleFailure{"idempotence", first_diff(before, after)};
+  }
+  return std::nullopt;
+}
+
+OracleVerdict check_interleave_invariance(
+    const std::vector<core::LogRecord>& records,
+    const core::EngineOptions& opts, std::uint64_t seed) {
+  // Split into per-service queues (service order preserved), then merge
+  // them back with a seeded weighted pick — a uniform random interleave
+  // among the order-preserving ones.
+  std::vector<std::string> service_names;
+  std::vector<std::vector<const core::LogRecord*>> queues;
+  for (const core::LogRecord& record : records) {
+    std::size_t slot = 0;
+    while (slot < service_names.size() &&
+           service_names[slot] != record.service) {
+      ++slot;
+    }
+    if (slot == service_names.size()) {
+      service_names.push_back(record.service);
+      queues.emplace_back();
+    }
+    queues[slot].push_back(&record);
+  }
+
+  util::Rng rng(seed);
+  std::vector<std::size_t> next(queues.size(), 0);
+  std::vector<core::LogRecord> shuffled;
+  shuffled.reserve(records.size());
+  std::size_t remaining = records.size();
+  while (remaining > 0) {
+    std::uint64_t pick = rng.next_below(remaining);
+    for (std::size_t q = 0; q < queues.size(); ++q) {
+      const std::size_t left = queues[q].size() - next[q];
+      if (pick < left) {
+        shuffled.push_back(*queues[q][next[q]++]);
+        break;
+      }
+      pick -= left;
+    }
+    --remaining;
+  }
+
+  const MiningResult base = mine_engine(records, opts);
+  const MiningResult permuted = mine_engine(shuffled, opts);
+  if (base.canonical != permuted.canonical) {
+    return OracleFailure{"interleave-invariance",
+                         first_diff(base.canonical, permuted.canonical)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace seqrtg::testkit

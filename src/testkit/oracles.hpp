@@ -1,0 +1,126 @@
+// Invariant oracles over the three mining paths.
+//
+// The paper's production claim is that Sequence-RTG mines the SAME
+// patterns whether a corpus arrives as one offline batch, through the
+// threaded AnalyzeByService fan-out, or as a live stream through `seqrtg
+// serve`. These oracles turn that claim (and its metamorphic relatives)
+// into mechanical checks:
+//
+//   differential   — Engine (threads=1, one batch), AnalyzeByService
+//                    (threads=N) and the serve pipeline (N lanes, virtual
+//                    clock, single flush per lane at drain) produce
+//                    byte-identical canonical pattern sets, and serve
+//                    accounts for every record (accepted == fed,
+//                    processed == accepted, dropped == 0).
+//   soundness      — every ingested message is matched by the Parser
+//                    compiled from the patterns mined from that corpus.
+//   idempotence    — re-analyzing the same corpus discovers nothing new:
+//                    analyzed == 0, new_patterns == 0, pattern texts
+//                    unchanged (parse-first matches everything).
+//   interleave     — permuting the cross-service interleaving while
+//                    preserving each service's own record order leaves
+//                    the mined patterns byte-identical (the first
+//                    partitioning groups by service, so cross-service
+//                    order must be irrelevant). Full permutation
+//                    invariance does NOT hold — trie insertion order
+//                    within a service legitimately affects fold choices —
+//                    so the oracle is scoped to what the design promises.
+//
+// The serve path here is configured for determinism: batch_size larger
+// than the corpus and a ManualClock that never advances, so each lane
+// flushes exactly once at drain with per-service arrival order intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
+#include "util/clock.hpp"
+
+namespace seqrtg::testkit {
+
+/// One mined view of a corpus: the canonical rendering plus the
+/// accounting that path reported.
+struct MiningResult {
+  std::string canonical;
+  /// Engine-report accounting (all paths).
+  std::uint64_t records = 0;
+  std::uint64_t matched_existing = 0;
+  std::uint64_t analyzed = 0;
+  std::uint64_t new_patterns = 0;
+  /// Serve-only accounting (zero for the engine paths).
+  std::uint64_t accepted = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t batches = 0;
+  bool started = true;
+};
+
+/// Single-batch serial Engine over a fresh store.
+MiningResult mine_engine(const std::vector<core::LogRecord>& records,
+                         const core::EngineOptions& opts);
+
+/// Threaded AnalyzeByService fan-out over a fresh store.
+MiningResult mine_partitioned(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts,
+                              std::size_t threads);
+
+/// Configuration of the serve mining path.
+struct ServeConfig {
+  std::size_t lanes = 4;
+  /// nullptr = a never-advancing ManualClock local to the call.
+  util::Clock* clock = nullptr;
+  /// Scripted overflow (ServeOptions::queue_fault).
+  std::function<bool(std::uint64_t)> queue_fault;
+  /// nullptr = a fresh non-durable store local to the call. Recovery
+  /// scenarios pass a durable store (with a WAL fault hook installed).
+  store::PatternStore* store = nullptr;
+};
+
+/// Streams the records through an in-process serve daemon (stdin-style
+/// feed, no sockets) and drains it.
+MiningResult mine_serve(const std::vector<core::LogRecord>& records,
+                        const core::EngineOptions& opts,
+                        const ServeConfig& config);
+
+/// A falsified invariant: which oracle, and the first divergence.
+struct OracleFailure {
+  std::string oracle;
+  std::string detail;
+};
+/// std::nullopt = the invariant held.
+using OracleVerdict = std::optional<OracleFailure>;
+
+struct DifferentialOptions {
+  /// Threads of the partitioned path.
+  std::size_t threads = 4;
+  /// Lanes of the serve path.
+  std::size_t lanes = 4;
+  /// Scripted overflow injected into the serve path only — used to
+  /// mutation-test the oracle itself (an injected divergence MUST be
+  /// caught).
+  std::function<bool(std::uint64_t)> serve_queue_fault;
+};
+
+OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
+                                 const core::EngineOptions& opts,
+                                 const DifferentialOptions& dopts = {});
+
+OracleVerdict check_soundness(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts);
+
+OracleVerdict check_idempotence(const std::vector<core::LogRecord>& records,
+                                const core::EngineOptions& opts);
+
+/// Service-preserving interleave permutation drawn from `seed`.
+OracleVerdict check_interleave_invariance(
+    const std::vector<core::LogRecord>& records,
+    const core::EngineOptions& opts, std::uint64_t seed);
+
+}  // namespace seqrtg::testkit

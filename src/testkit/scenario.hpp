@@ -1,0 +1,91 @@
+// Seeded scenario runner (the `seqrtg testkit` engine).
+//
+// A scenario is a pure function of its options: compose a multi-service
+// corpus from the loggen datasets (per-dataset sub-seeds, seeded
+// cross-service interleaving, optional byte mutations), then run the
+// invariant oracles — with any FaultPlan applied to the serve path. On
+// failure the runner delta-debugs the corpus down to a minimal message
+// set that still falsifies the same oracle and prints a one-line repro
+// command, so a red nightly seed becomes a local, replayable test case.
+//
+// Fault semantics:
+//   drop@I      injected into the serve path of the differential oracle —
+//               a mutation test of the harness itself: the scenario MUST
+//               fail (oracle caught the divergence) and the failure must
+//               replay from the seed.
+//   tear-wal / crash
+//               run the recovery drill instead: stream into a durable
+//               store under the fault, then reopen the directory cold and
+//               check the WAL-replay invariants (reopen succeeds;
+//               recovered matches == processed when the log is intact,
+//               <= processed when a tear lost the wedged tail).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "core/ingest.hpp"
+#include "testkit/fault.hpp"
+#include "testkit/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::testkit {
+
+struct ScenarioOptions {
+  std::uint64_t seed = util::kDefaultSeed;
+  /// Dataset names composed into ONE multi-service stream; empty = all 16.
+  std::vector<std::string> datasets;
+  /// Total records across all datasets.
+  std::size_t records = 2000;
+  /// Serve lanes / partitioned-path threads for the differential oracle.
+  std::size_t lanes = 4;
+  std::size_t threads = 4;
+  /// Fraction of messages that receive seeded byte mutations.
+  double mutation_rate = 0.0;
+  core::EngineOptions engine;
+  FaultPlan fault;
+  /// Delta-debug failing corpora down to a minimal set.
+  bool shrink = true;
+  std::size_t max_shrink_probes = 48;
+  /// Metamorphic oracles beyond the differential one (skipped by --quick).
+  bool run_soundness = true;
+  bool run_idempotence = true;
+  bool run_interleave = true;
+};
+
+struct ScenarioResult {
+  bool ok = true;
+  /// Failed oracle name ("" when ok) and its first divergence.
+  std::string oracle;
+  std::string detail;
+  std::size_t corpus_size = 0;
+  /// Minimal failing subset (empty when ok or shrinking disabled/failed).
+  std::vector<core::LogRecord> shrunk;
+  /// Copy-pasteable replay command (always filled on failure).
+  std::string repro;
+};
+
+/// Deterministic corpus composition for `opts` (exposed for tests).
+std::vector<core::LogRecord> compose_corpus(const ScenarioOptions& opts);
+
+/// The one-line `seqrtg testkit ...` invocation reproducing `opts`.
+std::string repro_command(const ScenarioOptions& opts);
+
+/// ddmin-lite: removes chunks of shrinking granularity while
+/// `still_fails` holds, bounded by `max_probes` predicate evaluations.
+/// Returns the reduced input (the original when it no longer reproduces).
+std::vector<core::LogRecord> shrink_failing(
+    std::vector<core::LogRecord> records,
+    const std::function<bool(const std::vector<core::LogRecord>&)>&
+        still_fails,
+    std::size_t max_probes);
+
+/// Runs one scenario. `log` (optional) receives progress lines.
+ScenarioResult run_scenario(const ScenarioOptions& opts,
+                            std::ostream* log = nullptr);
+
+}  // namespace seqrtg::testkit

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <utility>
 
@@ -63,6 +64,15 @@ class BoundedQueue {
   /// and counts the loss.
   PushStatus push(T item) {
     std::unique_lock lock(mutex_);
+    // Scripted overflow (testkit): the fault fires before the policy is
+    // consulted, because a "queue full" that must un-stick at a scripted
+    // moment cannot be simulated deterministically for a blocked producer.
+    // Under either policy the faulted push is rejected and counted exactly
+    // like a real kDrop overflow.
+    if (fault_ && !closed_ && fault_(push_attempts_++)) {
+      ++dropped_;
+      return PushStatus::kDropped;
+    }
     if (policy_ == OverflowPolicy::kBlock) {
       cv_space_.wait(lock,
                      [&] { return closed_ || items_.size() < capacity_; });
@@ -137,6 +147,16 @@ class BoundedQueue {
     return dropped_;
   }
 
+  /// Installs a scripted overflow fault (testkit simulation layer). The
+  /// hook is called under the queue mutex with this queue's 0-based push
+  /// attempt index; returning true rejects that push as a counted drop,
+  /// as if the queue were full at exactly that instant. Pass nullptr to
+  /// clear. The hook must not touch this queue (it runs under its lock).
+  void set_fault(std::function<bool(std::uint64_t)> hook) {
+    std::lock_guard lock(mutex_);
+    fault_ = std::move(hook);
+  }
+
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
@@ -146,6 +166,8 @@ class BoundedQueue {
   std::deque<T> items_;
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t push_attempts_ = 0;
+  std::function<bool(std::uint64_t)> fault_;
   bool closed_ = false;
 };
 

@@ -1,0 +1,23 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <ctime>
+
+namespace seqrtg::util {
+
+Clock& Clock::system() {
+  static SystemClock clock;
+  return clock;
+}
+
+std::int64_t SystemClock::now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t SystemClock::now_unix() {
+  return static_cast<std::int64_t>(std::time(nullptr));
+}
+
+}  // namespace seqrtg::util

@@ -1,0 +1,67 @@
+// Injectable time source (testkit simulation layer).
+//
+// The serve daemon's behaviour depends on two clocks: a monotonic one for
+// flush/checkpoint deadlines and a wall clock for the timestamps stamped
+// onto pattern stats. Reading std::chrono::steady_clock / std::time
+// directly makes that behaviour untestable except by sleeping — the exact
+// class of flake the differential harness must eliminate. Components take
+// a Clock* instead; production passes (or defaults to) SystemClock, tests
+// pass a ManualClock whose time only moves when the test says so, which
+// turns every timing-dependent code path into a deterministic, replayable
+// function of the fault/advance schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace seqrtg::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds. Only differences are meaningful; the epoch is
+  /// unspecified (SystemClock uses steady_clock, ManualClock starts at 0).
+  virtual std::int64_t now_ms() = 0;
+
+  /// Wall-clock unix seconds (stamped onto pattern stats).
+  virtual std::int64_t now_unix() = 0;
+
+  /// Process-wide real clock; the default when no clock is injected.
+  static Clock& system();
+};
+
+/// Real time: steady_clock for deadlines, time() for timestamps.
+class SystemClock final : public Clock {
+ public:
+  std::int64_t now_ms() override;
+  std::int64_t now_unix() override;
+};
+
+/// Virtual time under test control. Starts at monotonic 0 and the given
+/// unix epoch; advance() is the only way time moves. Thread-safe: the
+/// test advances while lane workers read deadlines.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_unix = 0)
+      : start_unix_(start_unix) {}
+
+  std::int64_t now_ms() override {
+    return ms_.load(std::memory_order_acquire);
+  }
+  /// Derived from the virtual monotonic clock so the two views can never
+  /// disagree: unix = start + elapsed whole seconds.
+  std::int64_t now_unix() override {
+    return start_unix_ + now_ms() / 1000;
+  }
+
+  void advance_ms(std::int64_t delta) {
+    ms_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::int64_t> ms_{0};
+  const std::int64_t start_unix_;
+};
+
+}  // namespace seqrtg::util

@@ -1,0 +1,157 @@
+// Model-based property tests for the EdgeMap flat small-map (ISSUE 5
+// satellite): seeded random emplace/erase/find trajectories are checked
+// against a reference map, with the trajectory sized to cross the
+// kFlatMax=8 flat->hash-index transition in both directions, plus the
+// interner-id edge cases (id 0, kInvalid, and the values just below it).
+#include "core/trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/interner.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+constexpr util::StringInterner::Id kInvalid = util::StringInterner::kInvalid;
+
+TEST(EdgeMapProperty, RandomTrajectoriesMatchAReferenceMap) {
+  // A key universe wide enough to force repeats: 4 types x 8 ids, with the
+  // ids clustered at both ends of the 32-bit range.
+  const TokenType types[] = {TokenType::Literal, TokenType::Integer,
+                             TokenType::String, TokenType::Rest};
+  const util::StringInterner::Id ids[] = {0,           1,           2,
+                                          7,           1000,        kInvalid - 2,
+                                          kInvalid - 1, kInvalid};
+  std::vector<EdgeKey> universe;
+  for (const TokenType type : types) {
+    for (const util::StringInterner::Id id : ids) {
+      universe.push_back({type, id});
+    }
+  }
+
+  std::deque<TrieNode> nodes;  // stable addresses for the mapped values
+  for (int trajectory = 0; trajectory < 20; ++trajectory) {
+    util::Rng rng(util::kDefaultSeed + static_cast<std::uint64_t>(trajectory));
+    EdgeMap map;
+    std::unordered_map<std::uint64_t, TrieNode*> model;
+    std::size_t peak = 0;
+    for (int step = 0; step < 400; ++step) {
+      const EdgeKey key = rng.choice(universe);
+      const auto it = model.find(key.packed());
+      if (it == model.end()) {
+        nodes.emplace_back();
+        map.emplace(key, &nodes.back());
+        model.emplace(key.packed(), &nodes.back());
+      } else if (rng.chance(0.6)) {
+        map.erase(key);
+        model.erase(it);
+      }
+      ASSERT_EQ(map.size(), model.size())
+          << "trajectory " << trajectory << " step " << step;
+      peak = std::max(peak, model.size());
+      for (const EdgeKey& probe : universe) {
+        const auto expect = model.find(probe.packed());
+        ASSERT_EQ(map.find(probe),
+                  expect == model.end() ? nullptr : expect->second)
+            << "trajectory " << trajectory << " step " << step;
+      }
+    }
+    // The 32-key universe forces the map across kFlatMax=8; make sure
+    // this trajectory actually exercised the hash-index regime.
+    EXPECT_GE(peak, 12u) << "trajectory " << trajectory;
+  }
+}
+
+TEST(EdgeMapProperty, IdsAtTheCapacityBoundaryDoNotCollide) {
+  // kInvalid marks typed wildcard edges; dense interner ids approaching it
+  // must stay distinct keys, for every type, across the packed() encoding.
+  EdgeMap map;
+  std::deque<TrieNode> nodes;
+  std::vector<EdgeKey> keys = {
+      {TokenType::Literal, kInvalid},     {TokenType::Literal, kInvalid - 1},
+      {TokenType::Literal, 0},            {TokenType::Integer, kInvalid},
+      {TokenType::Integer, kInvalid - 1}, {TokenType::Integer, 0},
+  };
+  for (const EdgeKey& key : keys) {
+    nodes.emplace_back();
+    ASSERT_EQ(map.find(key), nullptr);
+    map.emplace(key, &nodes.back());
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  std::size_t i = 0;
+  for (const EdgeKey& key : keys) {
+    EXPECT_EQ(map.find(key), &nodes[i]) << "key " << i;
+    ++i;
+  }
+  for (std::size_t a = 0; a < keys.size(); ++a) {
+    for (std::size_t b = a + 1; b < keys.size(); ++b) {
+      EXPECT_NE(keys[a].packed(), keys[b].packed()) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(EdgeMapProperty, GrowAcrossFlatMaxThenShrinkToEmpty) {
+  EdgeMap map;
+  std::deque<TrieNode> nodes;
+  std::vector<EdgeKey> keys;
+  // Twice kFlatMax: the hash index is built mid-way through this loop.
+  for (util::StringInterner::Id id = 0; id < 16; ++id) {
+    keys.push_back({TokenType::Literal, id});
+    nodes.emplace_back();
+    map.emplace(keys.back(), &nodes.back());
+    EXPECT_EQ(map.size(), static_cast<std::size_t>(id) + 1);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.find(keys[i]), &nodes[i]);
+  }
+  // Iteration stays insertion-ordered before any erase.
+  std::size_t pos = 0;
+  for (const EdgeMap::Entry& entry : map) {
+    EXPECT_EQ(entry.first, keys[pos]) << "pos " << pos;
+    ++pos;
+  }
+  // Tear it all back down (front-first maximises back-compaction moves).
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    map.erase(keys[i]);
+    EXPECT_EQ(map.find(keys[i]), nullptr);
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_EQ(map.find(keys[j]), &nodes[j]) << "after erasing " << i;
+    }
+  }
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(EdgeMapProperty, EmptyAndOneCharInternedLiteralKeys) {
+  // The empty string and 1-char tokens are valid interned literals; their
+  // (dense, small) ids must behave like any other key.
+  util::StringInterner interner;
+  const util::StringInterner::Id empty_id = interner.intern("");
+  const util::StringInterner::Id a_id = interner.intern("a");
+  const util::StringInterner::Id b_id = interner.intern("b");
+  ASSERT_NE(empty_id, kInvalid);
+  ASSERT_NE(a_id, empty_id);
+  ASSERT_NE(b_id, a_id);
+  EXPECT_EQ(interner.view(empty_id), "");
+  EXPECT_EQ(interner.view(a_id), "a");
+
+  EdgeMap map;
+  std::deque<TrieNode> nodes;
+  for (const util::StringInterner::Id id : {empty_id, a_id, b_id}) {
+    nodes.emplace_back();
+    map.emplace({TokenType::Literal, id}, &nodes.back());
+  }
+  EXPECT_EQ(map.find({TokenType::Literal, empty_id}), &nodes[0]);
+  EXPECT_EQ(map.find({TokenType::Literal, a_id}), &nodes[1]);
+  EXPECT_EQ(map.find({TokenType::Literal, b_id}), &nodes[2]);
+  EXPECT_EQ(map.find({TokenType::String, a_id}), nullptr);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

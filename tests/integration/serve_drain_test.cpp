@@ -16,12 +16,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
+#include <poll.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
-#include <functional>
+#include <future>
 #include <string>
 #include <thread>
 
@@ -73,16 +74,6 @@ bool send_all(int fd, std::string_view data) {
   return true;
 }
 
-bool wait_until(const std::function<bool()>& pred,
-                std::chrono::milliseconds timeout = 30s) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(2ms);
-  }
-  return pred();
-}
-
 std::string record_line(std::uint64_t i) {
   const core::LogRecord record{
       "fleet-" + std::to_string(i % 8),
@@ -124,11 +115,12 @@ TEST(ServeDrain, SigtermMidStreamLosesNothingAndWalReplayRecovers) {
     std::string error;
     ASSERT_TRUE(server.start(&error)) << error;
 
-    std::atomic<bool> client_connected{false};
+    std::promise<bool> connected;
+    std::future<bool> connected_future = connected.get_future();
     std::thread client([&, port = server.ingest_port()] {
       const int fd = connect_local(port);
+      connected.set_value(fd >= 0);
       if (fd < 0) return;
-      client_connected.store(true);
       // Stream in chunks; the server shutting the socket down mid-stream
       // (the SIGTERM drain) makes send_all fail, which ends the client.
       std::string chunk;
@@ -146,13 +138,19 @@ TEST(ServeDrain, SigtermMidStreamLosesNothingAndWalReplayRecovers) {
       ::close(fd);
     });
 
-    ASSERT_TRUE(wait_until([&] { return client_connected.load(); }));
+    // Latch-style rendezvous with the client thread (no polling sleeps).
+    ASSERT_EQ(connected_future.wait_for(30s), std::future_status::ready);
+    ASSERT_TRUE(connected_future.get());
     // Let the stream get going, then deliver a real SIGTERM mid-stream.
-    ASSERT_TRUE(wait_until([&] { return server.accepted() >= 5000; }));
+    ASSERT_TRUE(
+        server.wait_until([&] { return server.accepted() >= 5000; }, 30s));
     ASSERT_TRUE(util::install_shutdown_handlers());
     util::reset_shutdown_state();
     ASSERT_EQ(::raise(SIGTERM), 0);
-    ASSERT_TRUE(wait_until([&] { return util::shutdown_requested(); }));
+    ASSERT_TRUE(util::shutdown_requested());
+    // The self-pipe wakes poll()-based loops — wait on the fd, not a sleep.
+    pollfd pfd = {util::shutdown_fd(), POLLIN, 0};
+    ASSERT_EQ(::poll(&pfd, 1, 10000), 1);
     server.request_stop();
     client.join();
 
@@ -210,7 +208,7 @@ TEST(ServeDrain, DropModeReportsExactDropCount) {
     ASSERT_TRUE(send_all(fd, payload));
     ::close(fd);
 
-    ASSERT_TRUE(wait_until(
+    ASSERT_TRUE(server.wait_until(
         [&] { return server.accepted() + server.dropped() == kRecords; },
         120s));
     const serve::ServeReport report = server.stop();

@@ -69,16 +69,6 @@ std::string http_get(int port, const std::string& path) {
   return out;
 }
 
-bool wait_until(const std::function<bool()>& pred,
-                std::chrono::milliseconds timeout = 10s) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(2ms);
-  }
-  return pred();
-}
-
 std::string record_line(const std::string& service,
                         const std::string& message) {
   return core::record_to_json({service, message}) + "\n";
@@ -197,7 +187,8 @@ TEST(Serve, SocketIngestCountsEveryLine) {
   ASSERT_TRUE(send_all(fd, payload));
   ::close(fd);
 
-  ASSERT_TRUE(wait_until([&] {
+  // Condition-variable wait on ingest/flush progress — no polling sleeps.
+  ASSERT_TRUE(server.wait_until([&] {
     return server.accepted() == kValid && server.malformed() == kMalformed;
   }));
   const ServeReport report = server.stop();
@@ -233,7 +224,7 @@ TEST(Serve, RecordsSplitAcrossTcpSegmentsSurviveIntact) {
   ASSERT_TRUE(send_all(fd, tail));
   ::close(fd);
 
-  ASSERT_TRUE(wait_until([&] { return server.accepted() == 2; }));
+  ASSERT_TRUE(server.wait_until([&] { return server.accepted() == 2; }));
   const ServeReport report = server.stop();
   EXPECT_EQ(report.accepted, 2u);
   EXPECT_EQ(report.malformed, 0u);
@@ -281,7 +272,7 @@ TEST(Serve, HealthAndMetricsEndpoints) {
   ASSERT_GE(fd, 0);
   ASSERT_TRUE(send_all(fd, record_line("web", "request served in 12 ms")));
   ::close(fd);
-  ASSERT_TRUE(wait_until([&] { return server.processed() == 1; }));
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 1; }));
 
   const std::string health = http_get(server.http_port(), "/healthz");
   EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
@@ -324,7 +315,7 @@ TEST(Serve, DropModeConservesEveryParsedRecord) {
   ASSERT_TRUE(send_all(fd, payload));
   ::close(fd);
 
-  ASSERT_TRUE(wait_until(
+  ASSERT_TRUE(server.wait_until(
       [&] { return server.accepted() + server.dropped() == kLines; }));
   const ServeReport report = server.stop();
   // Exactness: every parsed record is either acknowledged or a counted drop,

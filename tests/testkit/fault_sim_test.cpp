@@ -1,0 +1,190 @@
+// Deterministic simulation layer tests: the injectable Clock, the scripted
+// BoundedQueue overflow, the torn-WAL-tail fault, the FaultPlan grammar,
+// and the recovery drills the scenario runner builds from them.
+#include "testkit/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "serve/server.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/scenario.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/clock.hpp"
+
+namespace seqrtg::testkit {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ManualClock, AdvancesOnlyWhenTold) {
+  util::ManualClock clock(1700000000);
+  EXPECT_EQ(clock.now_ms(), 0);
+  EXPECT_EQ(clock.now_unix(), 1700000000);
+  clock.advance_ms(1500);
+  EXPECT_EQ(clock.now_ms(), 1500);
+  EXPECT_EQ(clock.now_unix(), 1700000001);
+  clock.advance_ms(500);
+  EXPECT_EQ(clock.now_ms(), 2000);
+  EXPECT_EQ(clock.now_unix(), 1700000002);
+}
+
+TEST(ManualClock, SystemClockSingletonMovesForward) {
+  util::Clock& clock = util::Clock::system();
+  const std::int64_t a = clock.now_ms();
+  EXPECT_GE(clock.now_ms(), a);
+  EXPECT_GT(clock.now_unix(), 0);
+}
+
+TEST(QueueFault, ScriptedDropFiresExactlyOnceUnderEitherPolicy) {
+  for (const util::OverflowPolicy policy :
+       {util::OverflowPolicy::kBlock, util::OverflowPolicy::kDrop}) {
+    util::BoundedQueue<int> queue(8, policy);
+    queue.set_fault([](std::uint64_t attempt) { return attempt == 1; });
+    EXPECT_EQ(queue.push(10), util::PushStatus::kOk);
+    EXPECT_EQ(queue.push(11), util::PushStatus::kDropped);  // attempt 1
+    EXPECT_EQ(queue.push(12), util::PushStatus::kOk);
+    EXPECT_EQ(queue.pushed(), 2u);
+    EXPECT_EQ(queue.dropped(), 1u);
+    int out = 0;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 10);
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, 12);  // the faulted item never entered the queue
+  }
+}
+
+TEST(QueueFault, ClearedHookStopsFiring) {
+  util::BoundedQueue<int> queue(2);
+  queue.set_fault([](std::uint64_t) { return true; });
+  EXPECT_EQ(queue.push(1), util::PushStatus::kDropped);
+  queue.set_fault(nullptr);
+  EXPECT_EQ(queue.push(1), util::PushStatus::kOk);
+}
+
+TEST(FaultPlan, ParsesSortsAndRoundTrips) {
+  std::string error;
+  const auto plan =
+      FaultPlan::parse(" drop@90 ; drop@37; tear-wal@3:12 ; crash@100 ",
+                       &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->drop_at, (std::vector<std::uint64_t>{37, 90}));
+  EXPECT_EQ(plan->tear_wal_seq, 3u);
+  EXPECT_EQ(plan->tear_wal_bytes, 12u);
+  EXPECT_EQ(plan->crash_after, 100u);
+  EXPECT_EQ(plan->to_string(), "drop@37;drop@90;tear-wal@3:12;crash@100");
+  // to_string() round-trips through parse().
+  const auto again = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->to_string(), plan->to_string());
+}
+
+TEST(FaultPlan, RejectsMalformedDirectives) {
+  for (const char* bad :
+       {"drop", "drop@x", "tear-wal@0:5", "tear-wal@3", "crash@0",
+        "explode@1", "drop@1 extra"}) {
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+  const auto empty = FaultPlan::parse("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(WalFault, TearWedgesTheLogAndReplayTruncatesTheTail) {
+  store::PatternStore store;
+  ASSERT_FALSE(store.wal_wedged());
+  // Hooks on a non-durable store are inert — nothing to tear.
+  store.set_wal_fault_hook([](std::uint64_t) { return std::int64_t{0}; });
+  core::Pattern p;
+  p.service = "svc";
+  store.upsert_pattern(p);
+  EXPECT_FALSE(store.wal_wedged());
+}
+
+// Virtual-time flush: with an interval of 1 s on a ManualClock, a partial
+// batch must NOT flush while virtual time stands still, and MUST flush
+// once the clock is advanced past the deadline — no real-time sleeps
+// involved in either direction.
+TEST(ServeSim, ManualClockFlushesPartialBatchOnVirtualDeadline) {
+  store::PatternStore store;
+  util::ManualClock clock(1700000000);
+  serve::ServeOptions opts;
+  opts.port = -1;
+  opts.http_port = -1;
+  opts.lanes = 1;
+  opts.batch_size = 100;  // far larger than the feed: only time flushes
+  opts.flush_interval_s = 1.0;
+  opts.clock = &clock;
+  serve::Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::istringstream in(
+      core::record_to_json({"svc", "alpha done"}) + "\n" +
+      core::record_to_json({"svc", "beta done"}) + "\n" +
+      core::record_to_json({"svc", "gamma done"}) + "\n");
+  server.feed(in);
+  ASSERT_TRUE(server.wait_until([&] { return server.accepted() == 3; }));
+
+  // Virtual time frozen: the partial batch must still be pending.
+  EXPECT_FALSE(server.wait_until([&] { return server.processed() > 0; },
+                                 150ms));
+  EXPECT_EQ(server.processed(), 0u);
+
+  clock.advance_ms(2000);
+  EXPECT_TRUE(server.wait_until([&] { return server.processed() == 3; },
+                                5000ms));
+  const serve::ServeReport report = server.stop();
+  EXPECT_EQ(report.processed, 3u);
+  EXPECT_EQ(report.batches, 1u);
+}
+
+TEST(RecoveryDrill, TornFirstGroupLosesEverythingButReopens) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS"};
+  opts.records = 200;
+  // One service -> one lane flush -> exactly one commit group (seq 1);
+  // tearing it mid-frame leaves only a torn tail for replay to discard.
+  opts.fault = *FaultPlan::parse("tear-wal@1:6");
+  const ScenarioResult result = run_scenario(opts);
+  EXPECT_TRUE(result.ok) << result.oracle << ": " << result.detail;
+}
+
+TEST(RecoveryDrill, TearOfLaterGroupKeepsEarlierGroups) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS", "Linux", "Apache", "Zookeeper"};
+  opts.records = 200;
+  opts.fault = *FaultPlan::parse("tear-wal@2:13");
+  const ScenarioResult result = run_scenario(opts);
+  EXPECT_TRUE(result.ok) << result.oracle << ": " << result.detail;
+}
+
+TEST(RecoveryDrill, CrashAfterNRecoversExactlyTheFedPrefix) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS", "Linux"};
+  opts.records = 300;
+  opts.fault = *FaultPlan::parse("crash@150");
+  const ScenarioResult result = run_scenario(opts);
+  EXPECT_TRUE(result.ok) << result.oracle << ": " << result.detail;
+}
+
+TEST(RecoveryDrill, UnreachedTearSequenceIsALosslessRun) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS"};
+  opts.records = 150;
+  opts.fault = *FaultPlan::parse("tear-wal@40:6");  // only 1 group exists
+  const ScenarioResult result = run_scenario(opts);
+  EXPECT_TRUE(result.ok) << result.oracle << ": " << result.detail;
+}
+
+}  // namespace
+}  // namespace seqrtg::testkit

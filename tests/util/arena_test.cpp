@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace seqrtg::util {
 namespace {
@@ -107,6 +110,52 @@ TEST(Arena, ResetKeepsReservedMemoryAndReusesIt) {
   EXPECT_LE(arena.bytes_reserved(), reserved);
   void* p = arena.allocate(16, 8);
   EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, ZeroByteAllocationYieldsDistinctValidPointer) {
+  Arena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Size 0 is clamped to 1, so consecutive zero-byte allocations advance.
+  EXPECT_NE(a, b);
+}
+
+// Property test (ISSUE 5 satellite): seeded random size/alignment walks
+// with a tiny block size, so allocations constantly land on and straddle
+// block boundaries. Every allocation is filled with a distinctive pattern
+// and every prior allocation re-verified — a block-boundary overlap or a
+// misaligned grow would corrupt an earlier pattern.
+TEST(Arena, RandomSizesAndAlignmentsAcrossBlockBoundaries) {
+  util::Rng rng(kDefaultSeed ^ 0xa4e4aULL);
+  for (int round = 0; round < 10; ++round) {
+    Arena arena(64);  // minimal blocks: nearly every allocation crosses one
+    struct Slot {
+      unsigned char* ptr;
+      std::size_t size;
+      unsigned char fill;
+    };
+    std::vector<Slot> slots;
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t size = rng.next_below(97);  // 0..96, spans the block
+      const std::size_t align = std::size_t{1} << rng.next_below(7);  // 1..64
+      auto* p = static_cast<unsigned char*>(arena.allocate(size, align));
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "round " << round << " alloc " << i << " align " << align;
+      const auto fill = static_cast<unsigned char>(i % 251);
+      std::memset(p, fill, size);
+      slots.push_back({p, size, fill});
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      for (std::size_t b = 0; b < slots[s].size; ++b) {
+        ASSERT_EQ(slots[s].ptr[b], slots[s].fill)
+            << "round " << round << " slot " << s << " byte " << b;
+      }
+    }
+    EXPECT_GE(arena.block_count(), 2u);
+  }
 }
 
 TEST(Arena, MoveTransfersOwnership) {
