@@ -17,8 +17,11 @@
 #include "exporters/patterndb_import.hpp"
 #include "loggen/corpus.hpp"
 #include "loggen/fleet.hpp"
+#include "obs/build_info.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/simulation.hpp"
 #include "serve/server.hpp"
 #include "store/pattern_store.hpp"
@@ -72,12 +75,59 @@ void add_metrics_options(util::ArgParser& args) {
 int finish_metrics(const util::ArgParser& args, std::ostream& err) {
   const std::string path = args.get("metrics-out");
   if (path.empty()) return 0;
+  obs::register_build_metrics();
   if (!obs::write_metrics_file(obs::default_registry(), path,
                                args.get("metrics-format"))) {
     err << "failed to write metrics to " << path << "\n";
     return 1;
   }
   return 0;
+}
+
+/// Span-trace capture flags shared by the run-style verbs.
+void add_trace_options(util::ArgParser& args) {
+  args.add_option("trace-out",
+                  "write a Chrome trace-event JSON of the run to this file "
+                  "(open in chrome://tracing or Perfetto)",
+                  "");
+  args.add_option("trace-sample",
+                  "record 1 in N per-record scan/parse spans (power of 2)",
+                  "64");
+}
+
+/// Arms the process tracer when --trace-out was given. False (after a
+/// message) on a bad --trace-sample value.
+bool start_trace(const util::ArgParser& args, std::ostream& err) {
+  if (args.get("trace-out").empty()) return true;
+  const auto n = args.get_int("trace-sample", 64);
+  if (n < 1 || (n & (n - 1)) != 0) {
+    err << "--trace-sample must be a power of two >= 1\n";
+    return false;
+  }
+  obs::TracerConfig config;
+  config.sample_mask = static_cast<std::uint64_t>(n) - 1;
+  obs::tracer().start(config);
+  obs::tracer().set_thread_name("main");
+  return true;
+}
+
+/// Stops the tracer and writes the capture when --trace-out was given.
+/// Returns 0 on success (or nothing to do), 1 on failure.
+int finish_trace(const util::ArgParser& args, std::ostream& err) {
+  const std::string path = args.get("trace-out");
+  if (path.empty()) return 0;
+  obs::tracer().stop();
+  if (!obs::tracer().write_chrome_json(path)) {
+    err << "failed to write trace to " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// finish_trace + finish_metrics; the first failure wins.
+int finish_observability(const util::ArgParser& args, std::ostream& err) {
+  if (const int rc = finish_trace(args, err); rc != 0) return rc;
+  return finish_metrics(args, err);
 }
 
 /// Attaches `store` per the persistence flags: --store-dir opens the
@@ -141,10 +191,12 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   args.add_option("save-threshold",
                   "minimum matches for a pattern to be saved", "1");
   add_metrics_options(args);
+  add_trace_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
   }
+  if (!start_trace(args, err)) return 2;
 
   store::PatternStore store;
   const std::string db = args.get("db");
@@ -188,7 +240,7 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   if (!persist_store(args, store, err)) return 1;
   out << store.pattern_count() << " patterns in "
       << (store.durable() ? args.get("store-dir") : db) << "\n";
-  return finish_metrics(args, err);
+  return finish_observability(args, err);
 }
 
 int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
@@ -201,10 +253,12 @@ int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
                   "");
   args.add_flag("quiet", "print only the summary");
   add_metrics_options(args);
+  add_trace_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
   }
+  if (!start_trace(args, err)) return 2;
 
   store::PatternStore store;
   if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
@@ -251,7 +305,7 @@ int cmd_parse(const std::vector<std::string>& argv, std::istream& in,
     }
   }
   out << matched << " matched, " << unmatched << " unmatched\n";
-  return finish_metrics(args, err);
+  return finish_observability(args, err);
 }
 
 int cmd_export(const std::vector<std::string>& argv, std::istream&,
@@ -477,10 +531,12 @@ int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
                   "");
   args.add_flag("quiet", "print only the final summary");
   add_metrics_options(args);
+  add_trace_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
   }
+  if (!start_trace(args, err)) return 2;
 
   pipeline::SimulationOptions opts;
   opts.days = static_cast<std::size_t>(args.get_int("days", 15));
@@ -520,7 +576,7 @@ int cmd_simulate(const std::vector<std::string>& argv, std::istream&,
       << "% unmatched on the last day, " << last.promoted_total
       << " promoted pattern(s), " << last.candidates
       << " candidate(s) pending review\n";
-  return finish_metrics(args, err);
+  return finish_observability(args, err);
 }
 
 int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
@@ -532,7 +588,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
                   "-1 = no socket)",
                   "7614");
   args.add_option("http-port",
-                  "/metrics + /healthz port on 127.0.0.1 (0 = "
+                  "/metrics + /healthz + /debug/* port on 127.0.0.1 (0 = "
                   "kernel-assigned, -1 = off)",
                   "9614");
   args.add_flag("stdin", "also consume a JSON-lines stream from stdin");
@@ -551,16 +607,28 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
                   "300");
   args.add_option("save-threshold",
                   "minimum matches for a pattern to be saved", "1");
+  args.add_option("log-level",
+                  "structured self-log threshold: debug | info | warn | "
+                  "error",
+                  "info");
   add_metrics_options(args);
+  add_trace_options(args);
   if (!args.parse(argv)) {
     err << args.error() << "\n" << args.usage();
     return 2;
   }
+  if (!start_trace(args, err)) return 2;
   const std::string overflow = args.get("overflow");
   if (overflow != "block" && overflow != "drop") {
     err << "--overflow must be 'block' or 'drop'\n";
     return 2;
   }
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  if (!obs::parse_log_level(args.get("log-level"), &log_level)) {
+    err << "--log-level must be debug, info, warn or error\n";
+    return 2;
+  }
+  obs::event_log().set_min_level(log_level);
 
   store::PatternStore store;
   if (!attach_store(args, store, err, /*must_exist=*/false)) return 1;
@@ -636,7 +704,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
     out << store.pattern_count() << " patterns in " << args.get("db")
         << "\n";
   }
-  return finish_metrics(args, err);
+  return finish_observability(args, err);
 }
 
 int cmd_generate(const std::vector<std::string>& argv, std::istream&,
@@ -845,6 +913,10 @@ std::string usage() {
          "run-style commands accept --metrics-out <file> "
          "[--metrics-format prometheus|json] to dump a telemetry "
          "snapshot; 'stats --telemetry' prints it\n"
+         "analyze/parse/simulate/serve accept --trace-out <file> to "
+         "capture a Chrome trace-event JSON of the run "
+         "(chrome://tracing); serve also exposes GET /debug/lanes, "
+         "/debug/patterns?top=K and /debug/trace?ms=N\n"
          "run 'seqrtg <command> --help' is not needed: bad flags print "
          "the command's flag list\n";
 }

@@ -6,6 +6,7 @@
 #include "core/parser.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace seqrtg::core {
@@ -88,6 +89,8 @@ Engine::ServiceOutcome Engine::process_service(
 
   {
     obs::StageTimer timer(engine_metrics().phase_parse_first);
+    obs::TraceSpan span(obs::TraceCat::kEngine, "parse_first");
+    span.set_args(static_cast<std::int64_t>(records.size()));
     // One scratch buffer per service pass: each pool worker runs
     // process_service to completion, so the whole loop tokenises with zero
     // steady-state allocations. Tokens view record->message, which outlives
@@ -110,6 +113,8 @@ Engine::ServiceOutcome Engine::process_service(
   }
 
   obs::StageTimer analysis_timer(engine_metrics().phase_trie_analysis);
+  obs::TraceSpan analysis_span(obs::TraceCat::kEngine, "trie_analysis");
+  analysis_span.set_args(static_cast<std::int64_t>(tries.size()));
   for (auto& [length, trie] : tries) {
     std::vector<Pattern> patterns = trie.analyze(service);
     for (Pattern& p : patterns) {
@@ -124,6 +129,7 @@ Engine::ServiceOutcome Engine::process_service(
     }
   }
   analysis_timer.stop();
+  analysis_span.end();
   outcome.match_updates.assign(match_counts.begin(), match_counts.end());
   return outcome;
 }
@@ -131,13 +137,19 @@ Engine::ServiceOutcome Engine::process_service(
 BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
   EngineMetrics& metrics = engine_metrics();
   obs::StageTimer batch_timer(metrics.batch_seconds);
+  obs::TraceSpan batch_span(obs::TraceCat::kEngine, "batch");
+  batch_span.set_args(static_cast<std::int64_t>(batch.size()));
 
   // First partitioning: group records by service, preserving stream order
   // inside each group.
   obs::StageTimer partition_timer(metrics.phase_partition);
   std::map<std::string, std::vector<const LogRecord*>> by_service;
-  for (const LogRecord& r : batch) {
-    by_service[r.service].push_back(&r);
+  {
+    obs::TraceSpan span(obs::TraceCat::kEngine, "partition");
+    for (const LogRecord& r : batch) {
+      by_service[r.service].push_back(&r);
+    }
+    span.set_args(static_cast<std::int64_t>(by_service.size()));
   }
   partition_timer.stop();
 
@@ -156,8 +168,12 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
 
   std::vector<ServiceOutcome> outcomes(service_names.size());
   if (opts_.threads > 1 && service_names.size() > 1) {
+    // Pool workers carry no thread-local span context; parent their phase
+    // spans to this batch span explicitly.
+    const std::uint64_t batch_span_id = batch_span.id();
     util::ThreadPool pool(std::min(opts_.threads, service_names.size()));
     pool.parallel_for(service_names.size(), [&](std::size_t i) {
+      obs::ScopedParent parent(batch_span_id);
       outcomes[i] = process_service(*service_names[i], *service_records[i]);
     });
   } else {
@@ -172,6 +188,7 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
   // repositories: if anything throws mid-apply, the guard aborts and the
   // durable store keeps none of this batch.
   obs::StageTimer save_timer(metrics.phase_repo_save);
+  obs::TraceSpan save_span(obs::TraceCat::kEngine, "repo_save");
   BatchReport total;
   RepositoryBatch repo_batch(repo_);
   for (ServiceOutcome& outcome : outcomes) {
@@ -188,6 +205,8 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
   // double-count a service seen in several batches); within one batch each
   // service contributes exactly one outcome.
   total.services = outcomes.size();
+  save_span.set_args(static_cast<std::int64_t>(total.new_patterns));
+  save_span.end();
   save_timer.stop();
 
   if (obs::telemetry_enabled()) {

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -261,8 +262,14 @@ std::optional<ParseResult> Parser::parse(std::string_view service,
     thread_local std::uint64_t sample_tick = 0;
     if ((sample_tick++ & kParseSampleMask) == 0) watch.emplace();
   }
+  obs::TraceSpan span(obs::TraceSpan::Sampled{}, obs::TraceCat::kParser,
+                      "parse");
   scan_into(message, scratch);
   auto result = match_tokens(service, scratch.tokens());
+  if (span.active()) {
+    span.set_args(static_cast<std::int64_t>(scratch.size()),
+                  result.has_value() ? 1 : 0);
+  }
   if (watch) parser_metrics().parse_seconds.observe(watch->seconds());
   return result;
 }

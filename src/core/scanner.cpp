@@ -5,6 +5,7 @@
 #include "core/fsm_general.hpp"
 #include "core/fsm_hex.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -78,6 +79,8 @@ void Scanner::scan_into(std::string_view message, TokenBuffer& out) const {
     thread_local std::uint64_t sample_tick = 0;
     if ((sample_tick++ & kScanSampleMask) == 0) watch.emplace();
   }
+  obs::TraceSpan span(obs::TraceSpan::Sampled{}, obs::TraceCat::kScanner,
+                      "scan");
   out.clear();
   std::size_t pos = 0;
   bool space_pending = false;
@@ -213,6 +216,10 @@ void Scanner::scan_into(std::string_view message, TokenBuffer& out) const {
     // space: "error trace follows %rest%".
     t.is_space_before = !out.empty();
     out.push(t);
+  }
+  if (span.active()) {
+    span.set_args(static_cast<std::int64_t>(message.size()),
+                  static_cast<std::int64_t>(out.size()));
   }
   if (telemetry) {
     ScannerMetrics& m = scanner_metrics();

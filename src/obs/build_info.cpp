@@ -1,0 +1,67 @@
+#include "obs/build_info.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
+
+// Injected by src/obs/CMakeLists.txt; the fallbacks keep non-CMake builds
+// (clangd, quick compiles) working.
+#ifndef SEQRTG_VERSION
+#define SEQRTG_VERSION "0.0.0"
+#endif
+#ifndef SEQRTG_GIT_DESCRIBE
+#define SEQRTG_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SEQRTG_BUILD_TYPE
+#define SEQRTG_BUILD_TYPE "unspecified"
+#endif
+#ifndef SEQRTG_SANITIZE_MODE
+#define SEQRTG_SANITIZE_MODE "none"
+#endif
+
+namespace seqrtg::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{SEQRTG_VERSION, SEQRTG_GIT_DESCRIBE,
+                              SEQRTG_BUILD_TYPE, SEQRTG_SANITIZE_MODE};
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& b = build_info();
+  std::string out = "seqrtg ";
+  out += b.version;
+  out += " (";
+  out += b.git_describe;
+  out += ", ";
+  out += b.build_type;
+  out += ", ";
+  out += b.sanitizer;
+  out += ")";
+  return out;
+}
+
+void register_build_metrics() {
+  const BuildInfo& b = build_info();
+  auto& registry = default_registry();
+  // The start time is captured on first registration, so uptime measures
+  // from when the process first touched its metrics, not from scrape time.
+  static const std::int64_t start_unix = util::Clock::system().now_unix();
+  registry
+      .gauge("seqrtg_build_info",
+             "Build identity; constant 1, identity in the labels.",
+             {{"version", b.version},
+              {"git", b.git_describe},
+              {"build_type", b.build_type},
+              {"sanitizer", b.sanitizer}})
+      .set(1.0);
+  registry
+      .gauge("seqrtg_process_start_time_seconds",
+             "Unix time the process started (first metrics touch).")
+      .set(static_cast<double>(start_unix));
+  registry
+      .gauge("seqrtg_process_uptime_seconds",
+             "Seconds since process start; refreshed at scrape time.")
+      .set(static_cast<double>(util::Clock::system().now_unix() - start_unix));
+}
+
+}  // namespace seqrtg::obs

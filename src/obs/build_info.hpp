@@ -1,0 +1,33 @@
+// Build identity + process lifetime metrics.
+//
+// When a trace or metrics dump comes back from a production host, the first
+// question is "which build produced this?". seqrtg_build_info is the
+// standard Prometheus idiom: a constant gauge of value 1 whose labels carry
+// the identity (version, git describe, build type, sanitizer mode), joinable
+// against any other series. Alongside it: process start time (unix) and an
+// uptime gauge refreshed at scrape time.
+#pragma once
+
+#include <string>
+
+namespace seqrtg::obs {
+
+struct BuildInfo {
+  const char* version;        // CMake project version
+  const char* git_describe;   // `git describe --tags --always --dirty`
+  const char* build_type;     // CMAKE_BUILD_TYPE ("" -> "unspecified")
+  const char* sanitizer;      // SEQRTG_SANITIZE ("" -> "none")
+};
+
+/// Compile-time build identity of this binary.
+const BuildInfo& build_info();
+
+/// One-line human summary, e.g. "seqrtg 1.0.0 (abc1234, Release, none)".
+std::string build_info_string();
+
+/// Registers seqrtg_build_info, seqrtg_process_start_time_seconds and
+/// seqrtg_process_uptime_seconds in the default registry. Idempotent;
+/// call again at scrape time to refresh the uptime gauge.
+void register_build_metrics();
+
+}  // namespace seqrtg::obs

@@ -1,0 +1,165 @@
+#include "obs/eventlog.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace seqrtg::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void append_field(std::string* line, const EventLog::Field& f) {
+  *line += ",\"";
+  *line += util::json_escape(f.key);
+  *line += "\":";
+  switch (f.kind) {
+    case EventLog::Field::Kind::kString:
+      *line += '"';
+      *line += util::json_escape(f.s);
+      *line += '"';
+      break;
+    case EventLog::Field::Kind::kInt:
+      *line += std::to_string(f.i);
+      break;
+    case EventLog::Field::Kind::kFloat: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", f.d);
+      *line += buf;
+      break;
+    }
+    case EventLog::Field::Kind::kBool:
+      *line += f.b ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace
+
+void EventLog::emit(LogLevel level, const char* component, const char* event,
+                    std::initializer_list<Field> fields) {
+  // Attach trace context before taking the log mutex (thread-local read).
+  const std::uint64_t span = trace_enabled() ? current_span() : 0;
+
+  std::lock_guard lock(mutex_);
+  if (level < min_level_) return;
+  if (!sink_set_) {
+    sink_ = &std::cerr;
+    sink_set_ = true;
+  }
+  if (sink_ == nullptr) return;
+
+  util::Clock* clock = clock_ != nullptr ? clock_ : &util::Clock::system();
+  const std::int64_t ts = clock->now_unix();
+
+  std::uint64_t prior_suppressed = 0;
+  if (max_per_sec_ != 0) {
+    std::string key = component;
+    key += '/';
+    key += event;
+    Window& w = windows_[key];
+    if (w.second != ts) {
+      w.second = ts;
+      w.count = 0;
+      prior_suppressed = w.suppressed;
+      w.suppressed = 0;
+    }
+    if (w.count >= max_per_sec_) {
+      ++w.suppressed;
+      ++suppressed_;
+      return;
+    }
+    ++w.count;
+  }
+
+  std::string line = "{\"ts\":" + std::to_string(ts) + ",\"level\":\"" +
+                     log_level_name(level) + "\",\"component\":\"" +
+                     util::json_escape(component) + "\",\"event\":\"" +
+                     util::json_escape(event) + '"';
+  if (span != 0) line += ",\"span\":" + std::to_string(span);
+  for (const Field& f : fields) append_field(&line, f);
+  if (prior_suppressed != 0) {
+    // First line through after a rate-limited second carries the count of
+    // identical events that were dropped, so nothing vanishes silently.
+    line += ",\"suppressed\":" + std::to_string(prior_suppressed);
+  }
+  line += "}\n";
+  (*sink_) << line << std::flush;
+  ++emitted_;
+}
+
+void EventLog::set_min_level(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  min_level_ = level;
+}
+
+LogLevel EventLog::min_level() const {
+  std::lock_guard lock(mutex_);
+  return min_level_;
+}
+
+void EventLog::set_sink(std::ostream* out) {
+  std::lock_guard lock(mutex_);
+  sink_ = out;
+  sink_set_ = true;
+}
+
+void EventLog::set_clock(util::Clock* clock) {
+  std::lock_guard lock(mutex_);
+  clock_ = clock;
+}
+
+void EventLog::set_rate_limit(std::uint64_t max_per_sec) {
+  std::lock_guard lock(mutex_);
+  max_per_sec_ = max_per_sec;
+  windows_.clear();
+}
+
+std::uint64_t EventLog::emitted() const {
+  std::lock_guard lock(mutex_);
+  return emitted_;
+}
+
+std::uint64_t EventLog::suppressed() const {
+  std::lock_guard lock(mutex_);
+  return suppressed_;
+}
+
+EventLog& event_log() {
+  static EventLog log;
+  return log;
+}
+
+void logev(LogLevel level, const char* component, const char* event,
+           std::initializer_list<EventLog::Field> fields) {
+  event_log().emit(level, component, event, fields);
+}
+
+}  // namespace seqrtg::obs

@@ -1,0 +1,118 @@
+// Structured, rate-limited JSON self-log.
+//
+// The serve daemon runs unattended; "production-ready" (paper §V) means an
+// operator can grep what it did at 03:00 without re-running it. This module
+// replaces ad-hoc stderr prose with one JSON object per line:
+//
+//   {"ts":1733313600,"level":"warn","component":"serve","event":"lane_drop",
+//    "span":42,"lane":3,"dropped":17}
+//
+// Properties:
+//  - Leveled (debug/info/warn/error) with a runtime threshold.
+//  - Context-carrying: the current trace span id is attached automatically
+//    when the tracer is recording, so a log line links into the trace.
+//  - Rate-limited per (component,event) key on an injectable clock; a
+//    burst of identical events collapses to the first N per second plus a
+//    "suppressed" count on the next line that gets through — a wedged WAL
+//    must not turn the log into its own outage.
+//  - Never on a hot path: emission takes a mutex; callers are lifecycle
+//    and per-flush sites, not per-record ones.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+
+namespace seqrtg::obs {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+/// Parses "debug" | "info" | "warn" | "error"; false on anything else.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+class EventLog {
+ public:
+  /// One key/value pair of a structured event. Strings are JSON-escaped at
+  /// emission; numbers render exactly.
+  struct Field {
+    enum class Kind : std::uint8_t { kString, kInt, kFloat, kBool };
+
+    Field(std::string key_in, std::string value)
+        : key(std::move(key_in)), kind(Kind::kString), s(std::move(value)) {}
+    Field(std::string key_in, const char* value)
+        : key(std::move(key_in)), kind(Kind::kString), s(value) {}
+    Field(std::string key_in, std::string_view value)
+        : key(std::move(key_in)), kind(Kind::kString), s(value) {}
+    Field(std::string key_in, std::int64_t value)
+        : key(std::move(key_in)), kind(Kind::kInt), i(value) {}
+    Field(std::string key_in, int value)
+        : Field(std::move(key_in), static_cast<std::int64_t>(value)) {}
+    Field(std::string key_in, std::uint64_t value)
+        : Field(std::move(key_in), static_cast<std::int64_t>(value)) {}
+    Field(std::string key_in, double value)
+        : key(std::move(key_in)), kind(Kind::kFloat), d(value) {}
+    Field(std::string key_in, bool value)
+        : key(std::move(key_in)), kind(Kind::kBool), b(value) {}
+
+    std::string key;
+    Kind kind;
+    std::string s;
+    std::int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+  };
+
+  /// Writes one event line (or drops it: below the level threshold, sink
+  /// detached, or rate-limited).
+  void emit(LogLevel level, const char* component, const char* event,
+            std::initializer_list<Field> fields = {});
+
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// nullptr detaches the sink (drop everything). The stream must outlive
+  /// the log or the next set_sink call.
+  void set_sink(std::ostream* out);
+
+  /// Clock for the "ts" field and the rate-limit window; nullptr = system.
+  void set_clock(util::Clock* clock);
+
+  /// Max lines per (component,event) per second; 0 = unlimited.
+  void set_rate_limit(std::uint64_t max_per_sec);
+
+  std::uint64_t emitted() const;
+  std::uint64_t suppressed() const;
+
+ private:
+  struct Window {
+    std::int64_t second = -1;
+    std::uint64_t count = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::ostream* sink_ = nullptr;  // resolved lazily to &std::cerr
+  bool sink_set_ = false;
+  util::Clock* clock_ = nullptr;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::uint64_t max_per_sec_ = 10;
+  std::map<std::string, Window> windows_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// The process-wide self-log (sink defaults to stderr).
+EventLog& event_log();
+
+/// Shorthand: event_log().emit(...).
+void logev(LogLevel level, const char* component, const char* event,
+           std::initializer_list<EventLog::Field> fields = {});
+
+}  // namespace seqrtg::obs

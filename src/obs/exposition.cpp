@@ -40,13 +40,31 @@ std::string labels_with(const Labels& labels, const std::string& key,
   return render_labels(all);
 }
 
+/// HELP text escaping per the Prometheus text format: backslash and
+/// newline (HELP lines are newline-terminated; quotes need no escape here,
+/// unlike label values).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_prometheus(const MetricsRegistry& registry) {
   std::string out;
   for (const auto& family : registry.snapshot()) {
     if (!family.help.empty()) {
-      out += "# HELP " + family.name + " " + family.help + "\n";
+      out += "# HELP " + family.name + " " + escape_help(family.help) + "\n";
     }
     out += "# TYPE " + family.name + " " + type_string(family.type) + "\n";
     for (const auto& inst : family.instances) {

@@ -1,0 +1,310 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace seqrtg::obs {
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kScanner: return "scanner";
+    case TraceCat::kParser: return "parser";
+    case TraceCat::kEngine: return "engine";
+    case TraceCat::kStore: return "store";
+    case TraceCat::kServe: return "serve";
+    case TraceCat::kPipeline: return "pipeline";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Thread-local current-span id (automatic same-thread nesting).
+thread_local std::uint64_t tl_current_span = 0;
+
+}  // namespace
+
+std::uint64_t current_span() { return tl_current_span; }
+
+// ------------------------------------------------------------ ThreadRing
+
+/// One slot of a thread ring. Every field is an atomic so a concurrent
+/// capture is a data-race-free read; the seqlock counter tells the reader
+/// whether the copy it took is consistent (even and unchanged across the
+/// read) or torn by a wrapping writer (discard).
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  /// Generation stamp: collect() only trusts slots written since the last
+  /// Tracer::start() — stale generations are skipped, not cleared.
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> cat{0};
+  std::atomic<std::uint64_t> id{0};
+  std::atomic<std::uint64_t> parent{0};
+  std::atomic<std::int64_t> start_us{0};
+  std::atomic<std::int64_t> dur_us{0};
+  std::atomic<std::int64_t> arg1{-1};
+  std::atomic<std::int64_t> arg2{-1};
+};
+
+struct Tracer::ThreadRing {
+  explicit ThreadRing(std::size_t cap, std::uint32_t tid_in)
+      : slots(std::make_unique<Slot[]>(cap)), capacity(cap), tid(tid_in) {}
+
+  std::unique_ptr<Slot[]> slots;
+  const std::size_t capacity;
+  const std::uint32_t tid;
+  /// Next logical write index; owner-written, reader takes acquire.
+  std::atomic<std::uint64_t> head{0};
+  /// Owner-thread-only: the tracer generation this ring last wrote under.
+  std::uint64_t gen_seen = 0;
+  /// Display name for the exported trace; guarded by the registry mutex.
+  std::string thread_name;
+
+  void write(const SpanRecord& r, std::uint64_t generation) {
+    if (gen_seen != generation) {
+      // First record since start(): restart the ring's logical indices so
+      // wraparound accounting begins fresh. Old slots keep their stale
+      // generation stamp and are ignored by collect().
+      gen_seen = generation;
+      head.store(0, std::memory_order_relaxed);
+    }
+    const std::uint64_t n = head.load(std::memory_order_relaxed);
+    Slot& s = slots[n % capacity];
+    const std::uint64_t seq0 = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(seq0 + 1, std::memory_order_relaxed);  // odd: in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    s.gen.store(generation, std::memory_order_relaxed);
+    s.name.store(r.name, std::memory_order_relaxed);
+    s.cat.store(static_cast<std::uint8_t>(r.cat), std::memory_order_relaxed);
+    s.id.store(r.id, std::memory_order_relaxed);
+    s.parent.store(r.parent, std::memory_order_relaxed);
+    s.start_us.store(r.start_us, std::memory_order_relaxed);
+    s.dur_us.store(r.dur_us, std::memory_order_relaxed);
+    s.arg1.store(r.arg1, std::memory_order_relaxed);
+    s.arg2.store(r.arg2, std::memory_order_relaxed);
+    s.seq.store(seq0 + 2, std::memory_order_release);  // even: committed
+    head.store(n + 1, std::memory_order_release);
+  }
+
+  /// Seqlock-validated copy of one slot; false when torn or from another
+  /// generation.
+  bool read(std::size_t index, std::uint64_t generation, std::uint32_t* tid_out,
+            SpanRecord* out) const {
+    const Slot& s = slots[index];
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) return false;
+    SpanRecord r;
+    const std::uint64_t slot_gen = s.gen.load(std::memory_order_relaxed);
+    r.name = s.name.load(std::memory_order_relaxed);
+    r.cat = static_cast<TraceCat>(s.cat.load(std::memory_order_relaxed));
+    r.id = s.id.load(std::memory_order_relaxed);
+    r.parent = s.parent.load(std::memory_order_relaxed);
+    r.start_us = s.start_us.load(std::memory_order_relaxed);
+    r.dur_us = s.dur_us.load(std::memory_order_relaxed);
+    r.arg1 = s.arg1.load(std::memory_order_relaxed);
+    r.arg2 = s.arg2.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (slot_gen != generation || r.name == nullptr) return false;
+    r.tid = tid;
+    if (tid_out != nullptr) *tid_out = tid;
+    *out = r;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------- Tracer
+
+namespace {
+
+/// Per-thread ring cache. A thread may record into different Tracer
+/// instances over its life (tests construct local tracers); the cache is
+/// revalidated against the owner pointer on every lookup.
+struct RingCache {
+  const void* owner = nullptr;
+  std::shared_ptr<void> ring;
+};
+thread_local RingCache tl_ring_cache;
+
+}  // namespace
+
+Tracer::ThreadRing* Tracer::ring_for_this_thread() {
+  const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
+  if (tl_ring_cache.owner == this) {
+    auto* cached = static_cast<ThreadRing*>(tl_ring_cache.ring.get());
+    // A start() with a different ring size retires this thread's ring; a
+    // fresh one is registered below (the old one's spans are already
+    // invalidated by the generation bump).
+    if (cached->capacity == cap) return cached;
+  }
+  std::lock_guard lock(registry_mutex_);
+  auto ring = std::make_shared<ThreadRing>(
+      cap, static_cast<std::uint32_t>(rings_.size()));
+  rings_.push_back(ring);
+  tl_ring_cache.owner = this;
+  tl_ring_cache.ring = ring;
+  return ring.get();
+}
+
+void Tracer::start(const TracerConfig& config) {
+  std::lock_guard lock(registry_mutex_);
+  config_ = config;
+  sample_mask_.store(config.sample_mask, std::memory_order_relaxed);
+  ring_capacity_.store(config.ring_capacity == 0 ? 1 : config.ring_capacity,
+                       std::memory_order_relaxed);
+  clock_.store(config.clock != nullptr ? config.clock
+                                       : &util::Clock::system(),
+               std::memory_order_release);
+  // Invalidate every captured span: rings stamp records with the
+  // generation, so bumping it clears the trace without touching slots
+  // owned by other threads.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  span_ids_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+std::int64_t Tracer::now_us() {
+  util::Clock* clock = clock_.load(std::memory_order_acquire);
+  return (clock != nullptr ? clock : &util::Clock::system())->now_us();
+}
+
+bool Tracer::sample_tick() {
+  thread_local std::uint64_t tick = 0;
+  return (tick++ & sample_mask_.load(std::memory_order_relaxed)) == 0;
+}
+
+void Tracer::set_thread_name(const char* name) {
+  ThreadRing* ring = ring_for_this_thread();
+  std::lock_guard lock(registry_mutex_);
+  ring->thread_name = name;
+}
+
+void Tracer::record(const SpanRecord& span) {
+  ring_for_this_thread()->write(span,
+                                generation_.load(std::memory_order_acquire));
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::collect(std::int64_t since_us) const {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(registry_mutex_);
+    rings = rings_;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        head > ring->capacity ? head - ring->capacity : 0;
+    for (std::uint64_t i = first; i < head; ++i) {
+      SpanRecord r;
+      if (!ring->read(i % ring->capacity, gen, nullptr, &r)) continue;
+      if (r.start_us + r.dur_us < since_us) continue;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+std::string Tracer::to_chrome_json(
+    const std::vector<SpanRecord>& spans) const {
+  // Hand-built JSON: integers must render exactly (µs timestamps and span
+  // ids overflow the %g path of the generic writer) and the output must be
+  // byte-stable for the golden trace test.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto append_event = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += event;
+  };
+
+  // Thread-name metadata events (chrome://tracing's track labels).
+  {
+    std::lock_guard lock(registry_mutex_);
+    for (const auto& ring : rings_) {
+      if (ring->thread_name.empty()) continue;
+      append_event(
+          "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(ring->tid) +
+          ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+          ring->thread_name + "\"}}");
+    }
+  }
+
+  for (const SpanRecord& s : spans) {
+    std::string event = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                        std::to_string(s.tid) +
+                        ",\"ts\":" + std::to_string(s.start_us) +
+                        ",\"dur\":" + std::to_string(s.dur_us) +
+                        ",\"cat\":\"" + trace_cat_name(s.cat) +
+                        "\",\"name\":\"" + s.name +
+                        "\",\"args\":{\"id\":" + std::to_string(s.id) +
+                        ",\"parent\":" + std::to_string(s.parent);
+    if (s.arg1 >= 0) event += ",\"arg1\":" + std::to_string(s.arg1);
+    if (s.arg2 >= 0) event += ",\"arg2\":" + std::to_string(s.arg2);
+    event += "}}";
+    append_event(event);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_json(collect());
+  return f.good();
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+// -------------------------------------------------------------- TraceSpan
+
+void TraceSpan::open(TraceCat cat, const char* name, bool sampled) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  if (sampled && !t.sample_tick()) return;
+  span_.cat = cat;
+  span_.name = name;
+  span_.id = t.next_span_id();
+  span_.parent = tl_current_span;
+  span_.start_us = t.now_us();
+  prev_current_ = tl_current_span;
+  tl_current_span = span_.id;
+}
+
+void TraceSpan::end() {
+  if (span_.id == 0) return;
+  Tracer& t = tracer();
+  span_.dur_us = t.now_us() - span_.start_us;
+  tl_current_span = prev_current_;
+  t.record(span_);
+  span_.id = 0;
+}
+
+// ----------------------------------------------------------- ScopedParent
+
+ScopedParent::ScopedParent(std::uint64_t parent_id)
+    : prev_(tl_current_span), active_(trace_enabled()) {
+  if (active_) tl_current_span = parent_id;
+}
+
+ScopedParent::~ScopedParent() {
+  if (active_) tl_current_span = prev_;
+}
+
+}  // namespace seqrtg::obs

@@ -50,11 +50,9 @@ bool parse_request_line(const std::string& request, std::string* method,
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   if (sp2 == std::string::npos) return false;
   *method = line.substr(0, sp1);
+  // The query string stays attached; the handler splits it (the /debug
+  // endpoints take parameters).
   *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Drop a query string; the endpoints take no parameters.
-  if (const std::size_t q = path->find('?'); q != std::string::npos) {
-    path->resize(q);
-  }
   return !method->empty() && !path->empty();
 }
 

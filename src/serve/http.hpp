@@ -1,8 +1,9 @@
 // Minimal embedded HTTP/1.0 responder for the serve daemon.
 //
 // Serves exactly what a production sidecar needs and nothing more:
-//   GET /metrics  — Prometheus text exposition of the process registry
-//   GET /healthz  — JSON liveness document
+//   GET /metrics        — Prometheus text exposition of the process registry
+//   GET /healthz        — JSON liveness document
+//   GET /debug/...      — live introspection (lanes, patterns, trace)
 // One short-lived connection at a time, no keep-alive, no TLS; the socket
 // binds to 127.0.0.1 only (scrape through a localhost agent, never exposed).
 // Routing is injected as a callback so the responder stays testable without
@@ -22,8 +23,8 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Maps a request path ("/metrics") to a response; return status 404 for
-/// unknown paths.
+/// Maps a request target ("/metrics", "/debug/trace?ms=500" — the query
+/// string is preserved) to a response; return status 404 for unknown paths.
 using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
 class HttpResponder {
@@ -59,7 +60,8 @@ class HttpResponder {
 };
 
 /// Parses the request line of `request` ("GET /metrics HTTP/1.1...") into
-/// method and path. Returns false on garbage. Exposed for tests.
+/// method and path (query string kept attached to the path). Returns false
+/// on garbage. Exposed for tests.
 bool parse_request_line(const std::string& request, std::string* method,
                         std::string* path);
 

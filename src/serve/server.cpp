@@ -10,14 +10,19 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <functional>
 #include <string_view>
 
+#include "obs/build_info.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
 #include "util/signal.hpp"
 #include "util/strings.hpp"
 
@@ -58,6 +63,22 @@ obs::Gauge& lane_depth_gauge(std::size_t lane) {
       {{"lane", std::to_string(lane)}});
 }
 
+/// First value of `key` in an "a=1&b=2" query string; empty when absent.
+std::string query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        query.substr(0, amp == std::string_view::npos ? query.size() : amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
 }  // namespace
 
 Server::Server(store::PatternStore* store, ServeOptions opts)
@@ -76,6 +97,16 @@ Server::~Server() {
 bool Server::start(std::string* error) {
   // Writers hit closed sockets during shutdown races; never die on SIGPIPE.
   ::signal(SIGPIPE, SIG_IGN);
+
+  // Arm the process tracer so /debug/trace always has a window of recent
+  // spans to dump (rings are fixed-size; this is cheap and unconditional).
+  // When the CLI armed it already (--trace-out), leave that capture alone.
+  if (!obs::tracer().enabled()) {
+    obs::TracerConfig trace_config;
+    trace_config.clock = opts_.clock;
+    obs::tracer().start(trace_config);
+    armed_tracer_ = true;
+  }
 
   for (std::size_t i = 0; i < opts_.lanes; ++i) {
     lanes_.push_back(
@@ -136,6 +167,12 @@ bool Server::start(std::string* error) {
     checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
   }
   started_.store(true, std::memory_order_relaxed);
+  obs::logev(obs::LogLevel::kInfo, "serve", "start",
+             {{"build", obs::build_info_string()},
+              {"lanes", lanes_.size()},
+              {"ingest_port", static_cast<std::int64_t>(ingest_port_)},
+              {"http_port", static_cast<std::int64_t>(http_.port())},
+              {"durable", store_->durable()}});
   return true;
 }
 
@@ -157,8 +194,12 @@ bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
       notify_progress();
       return true;
     case util::PushStatus::kDropped:
-      // Rejected by the kDrop policy — the daemon keeps serving.
+      // Rejected by the kDrop policy — the daemon keeps serving. The event
+      // log's per-key rate limit keeps a drop storm to a few lines/second.
       if (obs::telemetry_enabled()) serve_metrics().dropped.inc();
+      obs::logev(obs::LogLevel::kWarn, "serve", "lane_drop",
+                 {{"lane", lane},
+                  {"depth", lanes_[lane]->queue.size()}});
       notify_progress();
       return true;
     case util::PushStatus::kClosed:
@@ -252,6 +293,8 @@ void Server::connection_loop(int fd) {
 }
 
 void Server::lane_loop(std::size_t index) {
+  const std::string thread_name = "lane-" + std::to_string(index);
+  obs::tracer().set_thread_name(thread_name.c_str());
   // One engine per lane: services are sharded, so lanes never contend on
   // per-service pattern state; the shared PatternStore serialises row
   // access internally and keeps one WAL commit group per flush thanks to
@@ -302,6 +345,11 @@ void Server::flush_lane(core::Engine& engine,
                         std::size_t index) {
   if (batch.empty()) return;
   obs::StageTimer timer(serve_metrics().flush_seconds);
+  // Root span of this lane's dequeue->analyze->commit cycle; the engine's
+  // batch/phase spans and the store's wal_append nest under it.
+  obs::TraceSpan span(obs::TraceCat::kServe, "lane_flush");
+  span.set_args(static_cast<std::int64_t>(index),
+                static_cast<std::int64_t>(batch.size()));
   engine.set_now_unix(clock_->now_unix());
   const core::BatchReport report = engine.analyze_by_service(batch);
   processed_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -309,12 +357,20 @@ void Server::flush_lane(core::Engine& engine,
   new_patterns_.fetch_add(report.new_patterns, std::memory_order_relaxed);
   matched_existing_.fetch_add(report.matched_existing,
                               std::memory_order_relaxed);
+  Lane& lane = *lanes_[index];
+  lane.flushes.fetch_add(1, std::memory_order_relaxed);
+  lane.flushed_records.fetch_add(batch.size(), std::memory_order_relaxed);
+  lane.last_flush_unix.store(clock_->now_unix(), std::memory_order_relaxed);
   if (obs::telemetry_enabled()) {
     serve_metrics().processed.inc(batch.size());
     serve_metrics().flushes.inc();
-    lane_depth_gauge(index).set(
-        static_cast<double>(lanes_[index]->queue.size()));
+    lane_depth_gauge(index).set(static_cast<double>(lane.queue.size()));
   }
+  obs::logev(obs::LogLevel::kDebug, "serve", "flush",
+             {{"lane", index},
+              {"records", batch.size()},
+              {"new_patterns", report.new_patterns},
+              {"matched_existing", report.matched_existing}});
   batch.clear();
   notify_progress();
 }
@@ -335,8 +391,10 @@ void Server::checkpoint_loop() {
     if (clock_->now_ms() < next_ms) continue;
     next_ms = clock_->now_ms() + interval_ms;
     lock.unlock();
-    store_->checkpoint();
+    const bool ok = store_->checkpoint();
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    obs::logev(ok ? obs::LogLevel::kInfo : obs::LogLevel::kError, "store",
+               "checkpoint", {{"ok", ok}});
     notify_progress();
     lock.lock();
   }
@@ -349,6 +407,7 @@ void Server::request_stop() {
 
 ServeReport Server::stop() {
   if (stopped_) return final_report_;
+  obs::logev(obs::LogLevel::kInfo, "serve", "drain_start");
   request_stop();
 
   // 1. No new connections: join the accept loop (it polls `stopping_`).
@@ -402,8 +461,22 @@ ServeReport Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // Disarm a tracer this server armed: it holds opts_.clock, which may not
+  // outlive the server (tests inject stack-owned ManualClocks). Captured
+  // spans stay readable; a CLI-armed capture (--trace-out) is left running.
+  if (armed_tracer_) {
+    obs::tracer().stop();
+    armed_tracer_ = false;
+  }
   final_report_ = report;
   stopped_ = true;
+  obs::logev(obs::LogLevel::kInfo, "serve", "drain_done",
+             {{"accepted", report.accepted},
+              {"processed", report.processed},
+              {"dropped", report.dropped},
+              {"malformed", report.malformed},
+              {"new_patterns", report.new_patterns},
+              {"checkpointed", report.checkpointed}});
   return report;
 }
 
@@ -430,11 +503,100 @@ std::string Server::health_json() const {
   out += ",\"processed\":" + std::to_string(processed());
   out += ",\"dropped\":" + std::to_string(dropped());
   out += ",\"malformed\":" + std::to_string(malformed());
+  out += ",\"lane_stats\":[";
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    if (i != 0) out += ',';
+    out += "{\"lane\":" + std::to_string(i);
+    out += ",\"depth\":" + std::to_string(lane.queue.size());
+    out += ",\"dropped\":" + std::to_string(lane.queue.dropped());
+    out += '}';
+  }
+  out += ']';
+  // Durability status: how stale is the snapshot, how much WAL tail would a
+  // crash right now have to replay.
+  const auto ds = store_->durability_stats();
+  out += ",\"durable\":";
+  out += ds.durable ? "true" : "false";
+  if (ds.durable) {
+    const std::int64_t now = clock_->now_unix();
+    out += ",\"wal_records\":" + std::to_string(ds.wal_records);
+    out += ",\"wal_bytes\":" + std::to_string(ds.wal_bytes);
+    out += ",\"wal_age_s\":" +
+           std::to_string(ds.wal_unix > 0 ? now - ds.wal_unix : -1);
+    out += ",\"last_checkpoint_unix\":" + std::to_string(ds.snapshot_unix);
+  }
+  out += ",\"checkpoints\":" + std::to_string(checkpoints());
   out += "}";
   return out;
 }
 
-HttpResponse Server::handle_http(const std::string& path) {
+std::string Server::lanes_json() const {
+  std::string out = "{\"lanes\":[";
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    if (i != 0) out += ',';
+    out += "{\"lane\":" + std::to_string(i);
+    out += ",\"depth\":" + std::to_string(lane.queue.size());
+    out += ",\"pushed\":" + std::to_string(lane.queue.pushed());
+    out += ",\"dropped\":" + std::to_string(lane.queue.dropped());
+    out += ",\"flushes\":" +
+           std::to_string(lane.flushes.load(std::memory_order_relaxed));
+    out += ",\"flushed_records\":" +
+           std::to_string(
+               lane.flushed_records.load(std::memory_order_relaxed));
+    out += ",\"last_flush_unix\":" +
+           std::to_string(
+               lane.last_flush_unix.load(std::memory_order_relaxed));
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+HttpResponse Server::debug_patterns(std::size_t top) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  // export_patterns already orders by match count descending — the paper's
+  // "strongest patterns first" review ordering.
+  std::vector<core::Pattern> patterns =
+      store_->export_patterns(store::PatternStore::ExportFilter{});
+  if (patterns.size() > top) patterns.resize(top);
+  std::string out = "{\"patterns\":[";
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const core::Pattern& p = patterns[i];
+    if (i != 0) out += ',';
+    out += "{\"id\":\"" + p.id();
+    out += "\",\"service\":\"" + util::json_escape(p.service);
+    out += "\",\"text\":\"" + util::json_escape(p.text());
+    out += "\",\"match_count\":" + std::to_string(p.stats.match_count);
+    out += ",\"last_matched\":" + std::to_string(p.stats.last_matched);
+    out += '}';
+  }
+  out += "]}";
+  response.body = std::move(out);
+  return response;
+}
+
+HttpResponse Server::debug_trace(std::int64_t window_ms) const {
+  HttpResponse response;
+  response.content_type = "application/json";
+  // Reads whatever the process tracer has captured (the server arms it at
+  // start()); ms=N narrows to spans that ended in the last N ms.
+  obs::Tracer& t = obs::tracer();
+  std::int64_t since_us = INT64_MIN;
+  if (window_ms > 0) since_us = t.now_us() - window_ms * 1000;
+  response.body = t.to_chrome_json(t.collect(since_us));
+  return response;
+}
+
+HttpResponse Server::handle_http(const std::string& target) {
+  std::string path = target;
+  std::string_view query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    path.resize(q);
+    query = std::string_view(target).substr(q + 1);
+  }
   HttpResponse response;
   if (path == "/healthz") {
     response.content_type = "application/json";
@@ -442,9 +604,29 @@ HttpResponse Server::handle_http(const std::string& path) {
     return response;
   }
   if (path == "/metrics") {
+    obs::register_build_metrics();  // refreshes the uptime gauge
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = obs::to_prometheus(obs::default_registry());
     return response;
+  }
+  if (path == "/debug/lanes") {
+    response.content_type = "application/json";
+    response.body = lanes_json();
+    return response;
+  }
+  if (path == "/debug/patterns") {
+    std::size_t top = 20;
+    if (const std::string v = query_param(query, "top"); !v.empty()) {
+      top = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    }
+    return debug_patterns(top);
+  }
+  if (path == "/debug/trace") {
+    std::int64_t ms = 0;
+    if (const std::string v = query_param(query, "ms"); !v.empty()) {
+      ms = std::strtoll(v.c_str(), nullptr, 10);
+    }
+    return debug_trace(ms);
   }
   response.status = 404;
   response.body = "not found\n";

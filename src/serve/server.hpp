@@ -164,12 +164,20 @@ class Server {
   /// The /healthz JSON document (also used by tests directly).
   std::string health_json() const;
 
+  /// The /debug/lanes JSON document: one object per lane with queue depth,
+  /// accept/drop totals and flush statistics.
+  std::string lanes_json() const;
+
  private:
   struct Lane {
     explicit Lane(std::size_t capacity, util::OverflowPolicy policy)
         : queue(capacity, policy) {}
     util::BoundedQueue<core::LogRecord> queue;
     std::thread worker;
+    // Introspection counters for /debug/lanes (written by the lane worker).
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> flushed_records{0};
+    std::atomic<std::int64_t> last_flush_unix{0};
   };
 
   void lane_loop(std::size_t index);
@@ -181,7 +189,10 @@ class Server {
   /// Parses one line and shards it onto its lane. Returns false when the
   /// daemon is draining and producers should stop.
   bool ingest_line(std::string_view line, core::IngestStats& stats);
-  HttpResponse handle_http(const std::string& path);
+  /// `target` is the request path with any query string still attached.
+  HttpResponse handle_http(const std::string& target);
+  HttpResponse debug_patterns(std::size_t top);
+  HttpResponse debug_trace(std::int64_t window_ms) const;
   /// Wakes wait_until() waiters after a counter change.
   void notify_progress() const;
 
@@ -205,6 +216,10 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
+  /// True when start() armed the process tracer (vs. a CLI --trace-out
+  /// capture that was already live); stop() then disarms it, because the
+  /// tracer would otherwise keep a pointer to opts_.clock past our life.
+  bool armed_tracer_ = false;
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> batches_{0};

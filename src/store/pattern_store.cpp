@@ -11,6 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace seqrtg::store {
@@ -361,6 +362,8 @@ void PatternStore::log_ops(std::string ops) {
 
 void PatternStore::append_group(std::string ops) {
   if (!wal_.is_open() || ops.empty()) return;
+  obs::TraceSpan span(obs::TraceCat::kStore, "wal_append");
+  span.set_args(static_cast<std::int64_t>(ops.size()));
   const std::uint64_t before = wal_.size_bytes();
   if (wal_.append(ops) != 0) wal_.sync();
   if (obs::telemetry_enabled()) {
@@ -580,6 +583,7 @@ bool PatternStore::open(const std::string& dir) {
 bool PatternStore::checkpoint() {
   if (obs::telemetry_enabled()) store_metrics().save.inc();
   obs::StageTimer timer(store_metrics().persist_seconds);
+  obs::TraceSpan span(obs::TraceCat::kStore, "checkpoint");
   std::lock_guard lock(mutex_);
   if (!wal_.is_open()) return false;
 

@@ -16,6 +16,12 @@ std::int64_t SystemClock::now_ms() {
       .count();
 }
 
+std::int64_t SystemClock::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 std::int64_t SystemClock::now_unix() {
   return static_cast<std::int64_t>(std::time(nullptr));
 }

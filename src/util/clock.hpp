@@ -24,6 +24,11 @@ class Clock {
   /// unspecified (SystemClock uses steady_clock, ManualClock starts at 0).
   virtual std::int64_t now_ms() = 0;
 
+  /// Monotonic microseconds (span timestamps). Defaults to now_ms() * 1000
+  /// so injected test clocks stay consistent across both views; SystemClock
+  /// overrides with real µs resolution.
+  virtual std::int64_t now_us() { return now_ms() * 1000; }
+
   /// Wall-clock unix seconds (stamped onto pattern stats).
   virtual std::int64_t now_unix() = 0;
 
@@ -35,6 +40,7 @@ class Clock {
 class SystemClock final : public Clock {
  public:
   std::int64_t now_ms() override;
+  std::int64_t now_us() override;
   std::int64_t now_unix() override;
 };
 

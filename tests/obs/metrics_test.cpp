@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/ingest.hpp"
+#include "obs/build_info.hpp"
 #include "obs/exposition.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/json.hpp"
@@ -256,6 +257,62 @@ TEST(IngestTelemetry, AcceptedAndMalformedCountersAreWired) {
   // a scrape of the serve daemon's /metrics reports).
   const std::string prom = to_prometheus(default_registry());
   EXPECT_NE(prom.find("seqrtg_ingest_malformed_total"), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesEscapeBackslashQuoteAndNewline) {
+  // The Prometheus text format requires \\, \" and \n escapes inside label
+  // values; a scraper must be able to parse values containing all three.
+  MetricsRegistry reg;
+  reg.counter("seqrtg_test_paths_total", "Paths",
+              {{"path", "C:\\logs\\app"}})
+      .inc(1);
+  reg.counter("seqrtg_test_paths_total", "Paths",
+              {{"path", "say \"hi\""}})
+      .inc(2);
+  reg.counter("seqrtg_test_paths_total", "Paths", {{"path", "two\nlines"}})
+      .inc(3);
+  const std::string prom = to_prometheus(reg);
+  EXPECT_NE(prom.find("{path=\"C:\\\\logs\\\\app\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("{path=\"say \\\"hi\\\"\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("{path=\"two\\nlines\"} 3"), std::string::npos);
+  // No raw newline may survive inside a sample line.
+  EXPECT_EQ(prom.find("two\nlines"), std::string::npos);
+}
+
+TEST(Exposition, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry reg;
+  reg.counter("seqrtg_test_help_total", "line one\nline two \\ done").inc();
+  const std::string prom = to_prometheus(reg);
+  EXPECT_NE(prom.find("# HELP seqrtg_test_help_total "
+                      "line one\\nline two \\\\ done\n"),
+            std::string::npos);
+}
+
+TEST(BuildInfo, GaugeAndProcessMetricsAreRegistered) {
+  register_build_metrics();
+  const std::string prom = to_prometheus(default_registry());
+  // The identity gauge is constant 1 with the identity in the labels.
+  EXPECT_NE(prom.find("seqrtg_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("version=\"" + std::string(build_info().version) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("sanitizer=\""), std::string::npos);
+  EXPECT_NE(prom.find("seqrtg_process_start_time_seconds"),
+            std::string::npos);
+  EXPECT_NE(prom.find("seqrtg_process_uptime_seconds"), std::string::npos);
+
+  const std::string line = build_info_string();
+  EXPECT_NE(line.find("seqrtg "), std::string::npos);
+  EXPECT_NE(line.find(build_info().git_describe), std::string::npos);
+
+  // Start time is captured once: re-registering refreshes uptime but must
+  // not move the start timestamp.
+  Gauge& start =
+      default_registry().gauge("seqrtg_process_start_time_seconds");
+  const double first = start.value();
+  EXPECT_GT(first, 0.0);
+  register_build_metrics();
+  EXPECT_EQ(start.value(), first);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "obs/eventlog.hpp"
+#include "util/clock.hpp"
+
+namespace seqrtg::obs {
+namespace {
+
+/// Stops the process tracer after each test so capture state never leaks
+/// into the next one (the event-log tests use local EventLog instances).
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { tracer().stop(); }
+};
+
+std::vector<SpanRecord> spans_named(const std::vector<SpanRecord>& spans,
+                                    const char* name) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == name) out.push_back(s);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  tracer().stop();
+  const std::uint64_t before = tracer().recorded();
+  {
+    TraceSpan span(TraceCat::kEngine, "noop");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(tracer().recorded(), before);
+  EXPECT_EQ(current_span(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithParents) {
+  util::ManualClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  tracer().start(config);
+
+  std::uint64_t outer_id = 0;
+  {
+    TraceSpan outer(TraceCat::kServe, "outer");
+    outer_id = outer.id();
+    EXPECT_EQ(current_span(), outer_id);
+    clock.advance_ms(3);
+    {
+      TraceSpan inner(TraceCat::kEngine, "inner");
+      EXPECT_EQ(inner.id(), current_span());
+      clock.advance_ms(2);
+    }
+    EXPECT_EQ(current_span(), outer_id);
+    clock.advance_ms(1);
+  }
+  EXPECT_EQ(current_span(), 0u);
+  tracer().stop();
+
+  const auto spans = tracer().collect();
+  const auto outer = spans_named(spans, "outer");
+  const auto inner = spans_named(spans, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].parent, 0u);
+  EXPECT_EQ(inner[0].parent, outer_id);
+  EXPECT_EQ(outer[0].dur_us, 6000);
+  EXPECT_EQ(inner[0].dur_us, 2000);
+  EXPECT_EQ(inner[0].start_us, outer[0].start_us + 3000);
+}
+
+TEST_F(TraceTest, RingWraparoundKeepsNewestSpans) {
+  TracerConfig config;
+  config.ring_capacity = 4;
+  tracer().start(config);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(TraceCat::kEngine, "wrap");
+  }
+  tracer().stop();
+
+  EXPECT_EQ(tracer().recorded(), 10u);
+  const auto spans = spans_named(tracer().collect(), "wrap");
+  ASSERT_EQ(spans.size(), 4u);
+  // The ring kept the 4 newest (span ids 7..10 of this generation).
+  std::set<std::uint64_t> ids;
+  for (const SpanRecord& s : spans) ids.insert(s.id);
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{7, 8, 9, 10}));
+}
+
+TEST_F(TraceTest, StartClearsThePreviousCapture) {
+  tracer().start();
+  { TraceSpan span(TraceCat::kEngine, "old"); }
+  ASSERT_EQ(spans_named(tracer().collect(), "old").size(), 1u);
+
+  tracer().start();  // new generation: the old capture is invalidated
+  { TraceSpan span(TraceCat::kEngine, "new"); }
+  tracer().stop();
+  const auto spans = tracer().collect();
+  EXPECT_TRUE(spans_named(spans, "old").empty());
+  EXPECT_EQ(spans_named(spans, "new").size(), 1u);
+}
+
+TEST_F(TraceTest, SampledSpansRecordOneInMaskPlusOne) {
+  TracerConfig config;
+  config.sample_mask = 3;  // 1 in 4
+  tracer().start(config);
+  // 100 is a multiple of 4, so exactly 25 record regardless of where this
+  // thread's persistent sample tick currently stands.
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span(TraceSpan::Sampled{}, TraceCat::kScanner, "sampled");
+  }
+  tracer().stop();
+  EXPECT_EQ(spans_named(tracer().collect(), "sampled").size(), 25u);
+}
+
+TEST_F(TraceTest, ScopedParentLinksSpansAcrossThreads) {
+  tracer().start();
+  std::uint64_t outer_id = 0;
+  std::uint64_t worker_tid = 0;
+  std::uint64_t main_tid = 0;
+  {
+    TraceSpan outer(TraceCat::kServe, "flush");
+    outer_id = outer.id();
+    std::thread worker([&] {
+      ScopedParent parent(outer_id);
+      TraceSpan span(TraceCat::kEngine, "phase");
+    });
+    worker.join();
+  }
+  tracer().stop();
+
+  const auto spans = tracer().collect();
+  const auto flush = spans_named(spans, "flush");
+  const auto phase = spans_named(spans, "phase");
+  ASSERT_EQ(flush.size(), 1u);
+  ASSERT_EQ(phase.size(), 1u);
+  main_tid = flush[0].tid;
+  worker_tid = phase[0].tid;
+  EXPECT_NE(worker_tid, main_tid);
+  EXPECT_EQ(phase[0].parent, outer_id);
+}
+
+TEST_F(TraceTest, ConcurrentCollectWhileRecordingIsSafe) {
+  TracerConfig config;
+  config.ring_capacity = 64;
+  tracer().start(config);
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      TraceSpan span(TraceCat::kEngine, "live");
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    // Every span that survives validation must be fully consistent.
+    for (const SpanRecord& s : tracer().collect()) {
+      ASSERT_NE(s.name, nullptr);
+      ASSERT_GE(s.dur_us, 0);
+      ASSERT_GT(s.id, 0u);
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST_F(TraceTest, ManualClockGoldenChromeTrace) {
+  util::ManualClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  config.sample_mask = 0;
+  tracer().start(config);
+  tracer().set_thread_name("golden");
+  clock.advance_ms(1);
+  {
+    TraceSpan batch(TraceCat::kEngine, "batch");
+    batch.set_args(2);
+    clock.advance_ms(5);
+    {
+      TraceSpan scan(TraceSpan::Sampled{}, TraceCat::kScanner, "scan");
+      scan.set_args(10, 4);
+      clock.advance_ms(1);
+    }
+    clock.advance_ms(2);
+  }
+  tracer().stop();
+
+  const auto spans = tracer().collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // The tracer-assigned thread index depends on how many threads recorded
+  // before this test; everything else is deterministic byte for byte.
+  const std::string tid = std::to_string(spans[0].tid);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+      ",\"name\":\"thread_name\",\"args\":{\"name\":\"golden\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":" + tid +
+      ",\"ts\":1000,\"dur\":8000,\"cat\":\"engine\",\"name\":\"batch\","
+      "\"args\":{\"id\":1,\"parent\":0,\"arg1\":2}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":" + tid +
+      ",\"ts\":6000,\"dur\":1000,\"cat\":\"scanner\",\"name\":\"scan\","
+      "\"args\":{\"id\":2,\"parent\":1,\"arg1\":10,\"arg2\":4}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(tracer().to_chrome_json(spans), expected);
+}
+
+TEST_F(TraceTest, CollectSinceFiltersOldSpans) {
+  util::ManualClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  tracer().start(config);
+  { TraceSpan span(TraceCat::kEngine, "early"); }
+  clock.advance_ms(100);
+  { TraceSpan span(TraceCat::kEngine, "late"); }
+  tracer().stop();
+
+  const auto recent = tracer().collect(/*since_us=*/50 * 1000);
+  EXPECT_TRUE(spans_named(recent, "early").empty());
+  EXPECT_EQ(spans_named(recent, "late").size(), 1u);
+}
+
+// ---------------------------------------------------------------- EventLog
+
+TEST_F(TraceTest, EventLogEmitsStructuredJsonLines) {
+  util::ManualClock clock(1700000000);
+  std::ostringstream sink;
+  EventLog log;
+  log.set_sink(&sink);
+  log.set_clock(&clock);
+  log.emit(LogLevel::kWarn, "serve", "lane_drop",
+           {{"lane", 3}, {"dropped", std::uint64_t{17}},
+            {"path", std::string("a\"b")}, {"ok", false}});
+  EXPECT_EQ(sink.str(),
+            "{\"ts\":1700000000,\"level\":\"warn\",\"component\":\"serve\","
+            "\"event\":\"lane_drop\",\"lane\":3,\"dropped\":17,"
+            "\"path\":\"a\\\"b\",\"ok\":false}\n");
+  EXPECT_EQ(log.emitted(), 1u);
+}
+
+TEST_F(TraceTest, EventLogAttachesTheCurrentSpan) {
+  tracer().start();
+  std::ostringstream sink;
+  EventLog log;
+  log.set_sink(&sink);
+  {
+    TraceSpan span(TraceCat::kServe, "flush");
+    log.emit(LogLevel::kInfo, "serve", "note");
+    EXPECT_NE(sink.str().find("\"span\":" + std::to_string(span.id())),
+              std::string::npos);
+  }
+  tracer().stop();
+}
+
+TEST_F(TraceTest, EventLogDropsBelowMinLevel) {
+  std::ostringstream sink;
+  EventLog log;
+  log.set_sink(&sink);
+  log.set_min_level(LogLevel::kWarn);
+  log.emit(LogLevel::kInfo, "serve", "chatty");
+  log.emit(LogLevel::kDebug, "serve", "chattier");
+  EXPECT_TRUE(sink.str().empty());
+  log.emit(LogLevel::kError, "serve", "bad");
+  EXPECT_NE(sink.str().find("\"level\":\"error\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EventLogRateLimitsPerEventAndReportsSuppression) {
+  util::ManualClock clock(1000);
+  std::ostringstream sink;
+  EventLog log;
+  log.set_sink(&sink);
+  log.set_clock(&clock);
+  log.set_rate_limit(2);
+  for (int i = 0; i < 10; ++i) {
+    log.emit(LogLevel::kWarn, "serve", "lane_drop", {{"i", i}});
+  }
+  // Another event key is unaffected by lane_drop's exhausted window.
+  log.emit(LogLevel::kWarn, "store", "wal_stall");
+  EXPECT_EQ(log.emitted(), 3u);
+  EXPECT_EQ(log.suppressed(), 8u);
+
+  // The first line of the next second carries the suppressed count.
+  clock.advance_ms(1000);
+  log.emit(LogLevel::kWarn, "serve", "lane_drop", {{"i", 10}});
+  EXPECT_NE(sink.str().find("\"suppressed\":8"), std::string::npos);
+}
+
+TEST_F(TraceTest, ParseLogLevelRoundTrips) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(parse_log_level("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("loud", &level));
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "warn");
+}
+
+}  // namespace
+}  // namespace seqrtg::obs

@@ -12,6 +12,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <poll.h>
 #include <sstream>
@@ -97,6 +99,19 @@ TEST(Http, ParseRequestLine) {
   EXPECT_EQ(path, "/");
   EXPECT_FALSE(parse_request_line("", &method, &path));
   EXPECT_FALSE(parse_request_line("GARBAGE", &method, &path));
+}
+
+TEST(Http, ParseRequestLinePreservesQueryString) {
+  // The query string reaches the handler intact — the serve router splits
+  // it off itself (/debug/patterns?top=K, /debug/trace?ms=N).
+  std::string method;
+  std::string path;
+  ASSERT_TRUE(parse_request_line("GET /debug/patterns?top=5 HTTP/1.1\r\n",
+                                 &method, &path));
+  EXPECT_EQ(path, "/debug/patterns?top=5");
+  ASSERT_TRUE(parse_request_line("GET /debug/trace?ms=250&x=1 HTTP/1.0\r\n",
+                                 &method, &path));
+  EXPECT_EQ(path, "/debug/trace?ms=250&x=1");
 }
 
 TEST(Http, RenderResponse) {
@@ -287,6 +302,183 @@ TEST(Serve, HealthAndMetricsEndpoints) {
   const std::string missing = http_get(server.http_port(), "/not-a-route");
   EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
 
+  server.stop();
+}
+
+TEST(Serve, HealthzReportsLaneAndDurabilityState) {
+  store::PatternStore store;  // in-memory: durable=false branch
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 2;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, record_line("svc", "ping handled in 3 ms")));
+  ::close(fd);
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 1; }));
+
+  const std::string health = http_get(server.http_port(), "/healthz");
+  EXPECT_NE(health.find("\"lane_stats\":[{\"lane\":0,"), std::string::npos);
+  EXPECT_NE(health.find("\"depth\":"), std::string::npos);
+  EXPECT_NE(health.find("\"dropped\":"), std::string::npos);
+  EXPECT_NE(health.find("\"durable\":false"), std::string::npos);
+  EXPECT_NE(health.find("\"checkpoints\":"), std::string::npos);
+  // Non-durable stores do not fabricate WAL facts.
+  EXPECT_EQ(health.find("\"wal_age_s\""), std::string::npos);
+  server.stop();
+}
+
+TEST(Serve, HealthzReportsWalAgeAndCheckpointWhenDurable) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("seqrtg_serve_health_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    ServeOptions opts;
+    opts.port = 0;
+    opts.http_port = 0;
+    opts.flush_interval_s = 0.02;
+    Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const int fd = connect_local(server.ingest_port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, record_line("db", "commit took 5 ms")));
+    ::close(fd);
+    ASSERT_TRUE(server.wait_until([&] { return server.processed() == 1; }));
+    ASSERT_TRUE(server.wait_until([&] {
+      return store.durability_stats().wal_records > 0;
+    }));
+
+    const std::string health = http_get(server.http_port(), "/healthz");
+    EXPECT_NE(health.find("\"durable\":true"), std::string::npos);
+    EXPECT_NE(health.find("\"wal_records\":"), std::string::npos);
+    EXPECT_NE(health.find("\"wal_age_s\":"), std::string::npos);
+    EXPECT_NE(health.find("\"last_checkpoint_unix\":"), std::string::npos);
+    server.stop();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Serve, DebugLanesReportsPerLaneFlushStats) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 2;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  for (int i = 0; i < 20; ++i) {
+    payload += record_line("svc-" + std::to_string(i % 4),
+                           "task " + std::to_string(i) + " done");
+  }
+  ASSERT_TRUE(send_all(fd, payload));
+  ::close(fd);
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 20; }));
+
+  const std::string body = http_get(server.http_port(), "/debug/lanes");
+  EXPECT_NE(body.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(body.find("\"lanes\":[{\"lane\":0,"), std::string::npos);
+  EXPECT_NE(body.find("\"lane\":1,"), std::string::npos);
+  EXPECT_NE(body.find("\"pushed\":"), std::string::npos);
+  EXPECT_NE(body.find("\"flushes\":"), std::string::npos);
+  EXPECT_NE(body.find("\"flushed_records\":"), std::string::npos);
+  EXPECT_NE(body.find("\"last_flush_unix\":"), std::string::npos);
+  // Every processed record is attributed to exactly one lane's flush stats
+  // (lanes_json is the authoritative snapshot after the drain barrier).
+  server.stop();
+  const std::string after = server.lanes_json();
+  std::uint64_t flushed = 0;
+  std::size_t at = 0;
+  while ((at = after.find("\"flushed_records\":", at)) != std::string::npos) {
+    at += sizeof("\"flushed_records\":") - 1;
+    flushed += std::strtoull(after.c_str() + at, nullptr, 10);
+  }
+  EXPECT_EQ(flushed, 20u);
+}
+
+TEST(Serve, DebugPatternsReturnsTopPatternsByMatchCount) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  std::string payload;
+  // "hot" matches 9 times, "cold" once: top=1 must return only hot's
+  // pattern.
+  for (int i = 0; i < 9; ++i) {
+    payload += record_line("hot", "request " + std::to_string(i) + " ok");
+  }
+  payload += record_line("cold", "rare event fired once");
+  ASSERT_TRUE(send_all(fd, payload));
+  ::close(fd);
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 10; }));
+
+  const std::string all = http_get(server.http_port(), "/debug/patterns");
+  EXPECT_NE(all.find("\"patterns\":["), std::string::npos);
+  EXPECT_NE(all.find("\"service\":\"hot\""), std::string::npos);
+  EXPECT_NE(all.find("\"service\":\"cold\""), std::string::npos);
+  EXPECT_NE(all.find("\"match_count\":"), std::string::npos);
+  EXPECT_NE(all.find("\"last_matched\":"), std::string::npos);
+
+  const std::string top1 = http_get(server.http_port(), "/debug/patterns?top=1");
+  EXPECT_NE(top1.find("\"service\":\"hot\""), std::string::npos);
+  EXPECT_EQ(top1.find("\"service\":\"cold\""), std::string::npos);
+  server.stop();
+}
+
+TEST(Serve, DebugTraceReturnsChromeTraceWithLaneFlushSpans) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, record_line("tracee", "span emitted in 1 ms")));
+  ::close(fd);
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 1; }));
+
+  // The daemon arms the process tracer at start(), so the live dump holds
+  // the flush that just ran plus its engine phases.
+  const std::string body = http_get(server.http_port(), "/debug/trace");
+  EXPECT_NE(body.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"lane_flush\""), std::string::npos);
+  EXPECT_NE(body.find("\"cat\":\"serve\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"lane-0\""), std::string::npos);
+
+  // The windowed form parses its query parameter; the flush just happened,
+  // so a one-minute window still contains it.
+  const std::string windowed = http_get(server.http_port(),
+                                        "/debug/trace?ms=60000");
+  EXPECT_NE(windowed.find("\"name\":\"lane_flush\""), std::string::npos);
   server.stop();
 }
 
