@@ -3,27 +3,74 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "util/cpuid.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace seqrtg::bench {
+
+/// First "model name" line from /proc/cpuinfo; "unknown" elsewhere.
+inline std::string host_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::string(util::trim(std::string_view(line).substr(colon + 1)));
+      }
+    }
+  }
+  return "unknown";
+}
+
+/// Host identity block embedded in every BENCH_*.json: latency baselines
+/// are only comparable between equal hosts, so the snapshot records what
+/// produced the numbers. scripts/bench_check.sh downgrades its timing gate
+/// to a warning when the recorded host differs from the current one.
+inline util::Json bench_host_info() {
+  util::JsonObject host;
+  host["cpu_model"] = host_cpu_model();
+  host["simd_detected"] =
+      util::simd_level_name(util::detect_simd_level());
+  host["simd_active"] = util::simd_level_name(util::simd_level());
+#if defined(__clang__)
+  host["compiler"] = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  host["compiler"] = std::string("gcc ") + __VERSION__;
+#else
+  host["compiler"] = "unknown";
+#endif
+  const obs::BuildInfo& bi = obs::build_info();
+  host["git_describe"] = bi.git_describe;
+  host["build_type"] = bi.build_type;
+  return util::Json(std::move(host));
+}
 
 /// Writes the process telemetry snapshot to BENCH_<name>.json so bench
 /// output carries per-stage breakdowns (engine-phase latency histograms
 /// with p50/p90/p99, scanner/parser counters) instead of wall-clock-only
-/// numbers. The directory defaults to the working directory and can be
-/// redirected with SEQRTG_METRICS_DIR; SEQRTG_TELEMETRY=off skips the file
-/// (used to measure instrumentation overhead).
+/// numbers, plus the host identity block. The directory defaults to the
+/// working directory and can be redirected with SEQRTG_METRICS_DIR;
+/// SEQRTG_TELEMETRY=off skips the file (used to measure instrumentation
+/// overhead).
 inline void write_bench_telemetry(const char* bench_name) {
   if (!obs::telemetry_enabled()) return;
   const char* dir = std::getenv("SEQRTG_METRICS_DIR");
   const std::string path =
       std::string(dir != nullptr ? dir : ".") + "/BENCH_" +
       bench_name + ".json";
-  if (obs::write_metrics_file(obs::default_registry(), path, "json")) {
+  util::Json doc = obs::to_json(obs::default_registry());
+  doc.as_object()["host"] = bench_host_info();
+  std::ofstream out(path);
+  if (out && (out << doc.dump() << '\n')) {
     std::fprintf(stderr, "telemetry snapshot: %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());

@@ -138,12 +138,57 @@ void BM_Sha1PatternId(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha1PatternId);
 
+/// Asserts the zero-allocation steady-state claim: after warm-up, neither
+/// the reused-buffer path (scan_into) nor the convenience path (scan, which
+/// reuses a thread-local buffer) may grow token storage, so
+/// seqrtg_scanner_allocs_total must stay flat. Returns non-zero on drift —
+/// the regression this caught historically was scan() rebuilding a fresh
+/// vector per call (thousands of growths per bench run instead of ~150).
+int check_steady_state_allocs() {
+  if (!obs::telemetry_enabled()) return 0;
+  loggen::FleetOptions opts;
+  opts.services = 50;
+  loggen::FleetGenerator fleet(opts);
+  const auto batch = fleet.take(1000);
+  const core::Scanner scanner;
+  core::TokenBuffer buf;
+  // Warm-up: grows both buffers to the largest message in the batch.
+  for (const auto& rec : batch) {
+    scanner.scan_into(rec.message, buf);
+    benchmark::DoNotOptimize(scanner.scan(rec.message));
+  }
+  obs::Counter& allocs =
+      obs::default_registry().counter("seqrtg_scanner_allocs_total");
+  const std::uint64_t before = allocs.value();
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& rec : batch) {
+      scanner.scan_into(rec.message, buf);
+      benchmark::DoNotOptimize(scanner.scan(rec.message));
+    }
+  }
+  const std::uint64_t after = allocs.value();
+  if (after != before) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state allocation drift: "
+                 "seqrtg_scanner_allocs_total grew %llu -> %llu across "
+                 "warmed-up scans\n",
+                 static_cast<unsigned long long>(before),
+                 static_cast<unsigned long long>(after));
+    return 1;
+  }
+  std::fprintf(stderr,
+               "steady-state allocs: flat at %llu after warm-up\n",
+               static_cast<unsigned long long>(before));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  const int drift = check_steady_state_allocs();
   bench::write_bench_telemetry("scanner");
-  return 0;
+  return drift;
 }

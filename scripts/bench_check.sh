@@ -8,6 +8,11 @@
 # Fails when the current mean is more than REGRESSION_PCT percent slower
 # than the committed number.
 #
+# Every snapshot embeds a "host" block (CPU model, SIMD level, compiler,
+# build type). When the baseline's host differs from the current one the
+# timing gate is downgraded to warnings automatically — cross-host latency
+# comparisons only flake.
+#
 # Both modes print a before/after delta table and write a machine-readable
 # BENCH_delta.json (per-metric baseline/current/delta, plus whether the
 # timing gate was enforced) next to the committed baselines, so CI can
@@ -33,10 +38,11 @@ OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
 if [ ! -x "$BUILD/bench/bench_scanner" ] || [ ! -x "$BUILD/bench/bench_parser" ] \
-   || [ ! -x "$BUILD/bench/bench_store" ]; then
+   || [ ! -x "$BUILD/bench/bench_store" ] \
+   || [ ! -x "$BUILD/bench/bench_matchprog" ]; then
   echo "bench binaries missing; building..." >&2
   cmake --build "$BUILD" --target bench_scanner bench_parser bench_store \
-    -j "$(nproc)"
+    bench_matchprog -j "$(nproc)"
 fi
 
 # --benchmark_min_time wants a bare double on the pinned benchmark version.
@@ -44,6 +50,8 @@ SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_scanner" --benchmark_min_time=0.3
 SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_parser" --benchmark_min_time=0.3
+SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
+  "$BUILD/bench/bench_matchprog" --benchmark_min_time=0.3
 # The durable persist/replay path only (filter keeps the run short).
 SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_store" --benchmark_min_time=0.3 \
@@ -53,6 +61,7 @@ if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   cp "$OUT/BENCH_scanner.json" "$ROOT/BENCH_scanner.json"
   cp "$OUT/BENCH_parser.json" "$ROOT/BENCH_parser.json"
   cp "$OUT/BENCH_store.json" "$ROOT/BENCH_store.json"
+  cp "$OUT/BENCH_matchprog.json" "$ROOT/BENCH_matchprog.json"
   echo "baselines updated from this run"
   exit 0
 fi
@@ -89,6 +98,43 @@ def mean_latency(path, metric):
     raise SystemExit(f"{path}: histogram {metric} missing or empty")
 
 
+# Fields that identify the machine/toolchain a snapshot was produced on.
+# git_describe is deliberately excluded: the baseline always predates the
+# working tree, so it differs on every honest comparison.
+HOST_KEYS = ("cpu_model", "simd_active", "compiler", "build_type")
+
+
+def host_identity(path):
+    with open(path) as f:
+        host = json.load(f).get("host")
+    if not isinstance(host, dict):
+        return None  # pre-host-metadata snapshot
+    return {k: host.get(k) for k in HOST_KEYS}
+
+
+# Absolute latencies are only comparable on the host that produced the
+# baseline. When the identities differ (or the baseline predates host
+# metadata), the timing gate degrades to a warning — same contract as
+# SMOKE=1, but detected automatically.
+host_mismatch = []
+for snapshot, _ in GATES:
+    base_host = host_identity(f"{root}/{snapshot}")
+    cur_host = host_identity(f"{out}/{snapshot}")
+    if base_host != cur_host:
+        diff = sorted(
+            k for k in HOST_KEYS
+            if (base_host or {}).get(k) != (cur_host or {}).get(k)
+        )
+        host_mismatch.append((snapshot, diff, base_host, cur_host))
+if host_mismatch:
+    print("WARNING: baseline host differs from current host; timing gate "
+          "downgraded to warnings:")
+    for snapshot, diff, base_host, cur_host in host_mismatch:
+        for k in diff:
+            print(f"  {snapshot}: {k}: "
+                  f"{(base_host or {}).get(k)!r} -> "
+                  f"{(cur_host or {}).get(k)!r}")
+
 rows = []
 failed = False
 for snapshot, metric in GATES:
@@ -98,8 +144,8 @@ for snapshot, metric in GATES:
     if smoke:
         status = "info"
     elif slowdown > pct:
-        status = "fail"
-        failed = True
+        status = "warn" if host_mismatch else "fail"
+        failed = failed or not host_mismatch
     else:
         status = "ok"
     rows.append(
@@ -129,7 +175,10 @@ with open(delta_path, "w") as f:
     json.dump(
         {
             "limit_pct": pct,
-            "gate_enforced": not smoke,
+            "gate_enforced": not smoke and not host_mismatch,
+            "host_mismatch": [
+                {"snapshot": s, "fields": d} for s, d, _, _ in host_mismatch
+            ],
             "benchmarks": rows,
         },
         f,
@@ -143,6 +192,10 @@ if failed:
         f"throughput regression above {pct:.0f}% -- investigate before "
         "committing, or rerun with UPDATE_BASELINE=1 if intentional"
     )
-print("bench smoke passed (timing gate skipped)" if smoke
-      else "bench check passed")
+if smoke:
+    print("bench smoke passed (timing gate skipped)")
+elif host_mismatch:
+    print("bench check passed (timing gate downgraded: host mismatch)")
+else:
+    print("bench check passed")
 EOF

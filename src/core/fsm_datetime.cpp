@@ -45,6 +45,14 @@ struct Layout {
   /// True when the first element is a day/month name (the only layouts that
   /// can match text starting with a letter). Filled in by layouts().
   bool alpha_start = false;
+  /// Digit-leading signature: any successful match consumes between
+  /// lead_min and lead_max digits and then the literal separator lead_sep
+  /// ('\0' when the layout has no leading literal separator and must always
+  /// be tried). Filled in by layouts(); used to dispatch a candidate to the
+  /// few layouts whose shape it can possibly have.
+  int lead_min = 0;
+  int lead_max = 0;
+  char lead_sep = '\0';
 };
 
 bool match_month_name(std::string_view s, std::size_t& pos) {
@@ -295,10 +303,57 @@ const std::vector<Layout>& layouts() {
     };
     for (Layout& l : bank) {
       l.alpha_start = l.els.front() == MonthName || l.els.front() == DayName;
+      if (l.alpha_start) continue;
+      // Derive the leading-digit signature: accumulate the digit span of
+      // the elements before the first literal separator. Greedy matching
+      // makes the bound exact — the separator element demands a non-digit,
+      // so the candidate's leading digit run must fall inside [min, max].
+      int mn = 0;
+      int mx = 0;
+      char sep = '\0';
+      for (const El e : l.els) {
+        bool stop = false;
+        switch (e) {
+          case Year4: mn += 4; mx += 4; break;
+          case Year2:
+          case Month2:
+          case Day2: mn += 2; mx += 2; break;
+          case MonthNum:
+          case DayPad:
+          case TimePart: mn += 1; mx += 2; break;
+          case Fraction: mn += 1; mx += 9; break;
+          case Dash: sep = '-'; stop = true; break;
+          case Slash: sep = '/'; stop = true; break;
+          case Colon: sep = ':'; stop = true; break;
+          case Dot: sep = '.'; stop = true; break;
+          case Comma: sep = ','; stop = true; break;
+          default: stop = true; break;  // Space/Tee/Zone/Opt*: no gate
+        }
+        if (stop) break;
+      }
+      l.lead_min = mn;
+      l.lead_max = mx;
+      l.lead_sep = sep;
     }
     return bank;
   }();
   return kLayouts;
+}
+
+}  // namespace
+
+namespace {
+
+/// Bit i set when letter 'a'+i can begin a month or day name — the only
+/// letters an alpha-leading layout can match. Everything else (most words
+/// in a log message) is rejected without touching the layout bank.
+constexpr std::uint32_t month_day_first_letter_mask() {
+  std::uint32_t mask = 0;
+  for (const char c : {'j', 'f', 'm', 'a', 's', 'o', 'n', 'd',  // months
+                       't', 'w'}) {                             // days
+    mask |= 1u << (c - 'a');
+  }
+  return mask;
 }
 
 }  // namespace
@@ -314,10 +369,45 @@ std::size_t match_datetime(std::string_view text,
   // versa; skipping the wrong family up front avoids running ~11 layout
   // automata against every plain word in the message.
   const bool alpha0 = !is_digit(c0);
+
+  std::size_t lead_digits = 0;
+  char lead_sep = '\0';
+  if (alpha0) {
+    const char lower = static_cast<char>(c0 | 0x20);
+    if (((month_day_first_letter_mask() >> (lower - 'a')) & 1) == 0) return 0;
+    // Both alpha-leading layouts open with a 3-letter day/month name and
+    // then a literal space, so any word that is not exactly "Xxx " shaped
+    // can skip the layout bank entirely.
+    if (text.size() < 4 || text[3] != ' ') return 0;
+    std::size_t p = 0;
+    if (!match_month_name(text, p) && !match_day_name(text, p)) return 0;
+  } else {
+    // Every digit-leading layout consumes its leading digit run and then a
+    // literal separator from {-,/,.,:}; the longest run any layout accepts
+    // is the HealthApp yyyymmdd shape (8 digits). Measuring the candidate's
+    // run once rejects plain numbers ("51022"), dotted quads ("192.168.0.17",
+    // run of 3) and floats ("0.75" — no (1,'.') layout exists) without
+    // running a single automaton, and dispatches survivors to the one or
+    // two layouts whose signature they carry.
+    const std::size_t cap = text.size() < 9 ? text.size() : 9;
+    while (lead_digits < cap && is_digit(text[lead_digits])) ++lead_digits;
+    if (lead_digits == text.size() || lead_digits == 9) return 0;
+    lead_sep = text[lead_digits];
+    if (lead_sep != '-' && lead_sep != '/' && lead_sep != '.' &&
+        lead_sep != ':') {
+      return 0;
+    }
+  }
   std::size_t best = 0;
   Matcher m{text, opts};
   for (const Layout& layout : layouts()) {
     if (layout.alpha_start != alpha0) continue;
+    if (!alpha0 && layout.lead_sep != '\0' &&
+        (lead_sep != layout.lead_sep ||
+         static_cast<int>(lead_digits) < layout.lead_min ||
+         static_cast<int>(lead_digits) > layout.lead_max)) {
+      continue;
+    }
     std::size_t pos = 0;
     if (m.run(layout.els, 0, layout.els.size(), pos) && pos > best) {
       // Boundary check: a timestamp must not be glued to identifier

@@ -1,0 +1,239 @@
+#include "core/matchprog.hpp"
+
+#include <algorithm>
+
+namespace seqrtg::core {
+
+namespace {
+
+constexpr std::uint32_t kInvalidId = util::StringInterner::kInvalid;
+/// Memo sentinel: this position's interner id has not been resolved yet.
+/// Distinct from kInvalidId ("resolved; no pattern constant has this text");
+/// interner ids are dense from zero, so neither sentinel collides.
+constexpr std::uint32_t kUnresolvedId = 0xFFFFFFFEu;
+
+/// Type-level acceptance bitmask for a variable type: bit t is set when a
+/// token of type t can ever satisfy variable_matches. Value-dependent rules
+/// (%hex% accepting only long integers) are re-checked at match time, so
+/// the mask only has to be a sound over-approximation — derived from
+/// variable_matches itself so the two can never diverge.
+std::uint16_t accept_mask_for(TokenType var) {
+  std::uint16_t mask = 0;
+  for (std::uint8_t t = 0; t <= static_cast<std::uint8_t>(TokenType::Rest);
+       ++t) {
+    Token probe;
+    probe.type = static_cast<TokenType>(t);
+    probe.value = "000000";  // long enough for the %hex% integer rule
+    if (variable_matches(var, probe)) {
+      mask = static_cast<std::uint16_t>(mask | (1u << t));
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::uint32_t MatchProgram::flatten(const MatchNode& src) {
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[idx].terminal = src.terminal;
+  nodes_[idx].rest_terminal = src.rest_terminal;
+  if (src.rest_terminal != nullptr) {
+    nodes_[idx].rest_name = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(src.rest_name);
+  }
+
+  // Literal edges become one sorted (interned id, child) run. The run is
+  // reserved before recursing so it stays contiguous; children fill in
+  // afterwards.
+  std::vector<std::pair<util::StringInterner::Id, const MatchNode*>> lits;
+  lits.reserve(src.literal_edges.size());
+  for (const auto& [text, child] : src.literal_edges) {
+    lits.emplace_back(interner_.intern(text), child.get());
+  }
+  std::sort(lits.begin(), lits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const auto lit_begin = static_cast<std::uint32_t>(lits_.size());
+  for (const auto& [id, child] : lits) lits_.push_back({id, kNone});
+  nodes_[idx].lit_begin = lit_begin;
+  nodes_[idx].lit_count = static_cast<std::uint32_t>(lits.size());
+  for (std::size_t k = 0; k < lits.size(); ++k) {
+    lits_[lit_begin + k].node = flatten(*lits[k].second);
+  }
+
+  // Variable edges keep their insertion order — it is match precedence.
+  const auto var_begin = static_cast<std::uint32_t>(vars_.size());
+  for (const auto& e : src.var_edges) {
+    VarEdge edge;
+    edge.type = e.type;
+    edge.accept_mask = accept_mask_for(e.type);
+    edge.name = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(e.name);
+    edge.node = kNone;
+    vars_.push_back(edge);
+  }
+  nodes_[idx].var_begin = var_begin;
+  nodes_[idx].var_count = static_cast<std::uint32_t>(src.var_edges.size());
+  for (std::size_t k = 0; k < src.var_edges.size(); ++k) {
+    vars_[var_begin + k].node = flatten(*src.var_edges[k].node);
+  }
+  return idx;
+}
+
+void MatchProgram::build_jump_tables() {
+  const std::size_t id_count = interner_.size();
+  if (id_count == 0) return;
+  const auto add_table = [&](std::uint32_t root) {
+    Node& node = nodes_[root];
+    if (node.lit_count <= kJumpTableMinEdges) return;
+    const auto begin = static_cast<std::uint32_t>(jump_.size());
+    jump_.resize(jump_.size() + id_count, kNone);
+    for (std::uint32_t k = 0; k < node.lit_count; ++k) {
+      const LitEdge& e = lits_[node.lit_begin + k];
+      jump_[begin + e.text] = e.node;
+    }
+    node.jump_begin = begin;
+  };
+  for (const Root& r : exact_roots_) add_table(r.node);
+  for (const Root& r : rest_roots_) add_table(r.node);
+}
+
+std::unique_ptr<MatchProgram> MatchProgram::compile(
+    const std::map<std::size_t, MatchNode>& exact,
+    const std::map<std::size_t, MatchNode>& rest_prefix) {
+  auto prog = std::unique_ptr<MatchProgram>(new MatchProgram());
+  for (const auto& [count, root] : exact) {
+    prog->exact_roots_.push_back({count, prog->flatten(root)});
+  }
+  // Longest fixed prefix first: the most specific %rest% pattern wins,
+  // mirroring the trie's reverse iteration.
+  for (auto it = rest_prefix.rbegin(); it != rest_prefix.rend(); ++it) {
+    prog->rest_roots_.push_back({it->first, prog->flatten(it->second)});
+  }
+  prog->build_jump_tables();
+  return prog;
+}
+
+bool MatchProgram::walk(const WalkCtx& ctx, std::uint32_t node_idx,
+                        std::size_t i) const {
+  const Node* node = &nodes_[node_idx];
+  // Iterative fast path: a node whose only outgoing edges are literals has
+  // no wildcard alternative, so a failure deeper in the walk cannot
+  // backtrack into it — the descent needs no stack frame. Only nodes that
+  // are genuine choice points (literal edge AND wildcards) recurse.
+  for (;;) {
+    if (i == ctx.end_i) {
+      if (ctx.rest) {
+        if (node->rest_terminal != nullptr) {
+          *ctx.pattern = node->rest_terminal;
+          *ctx.rest_name = node->rest_name;
+          return true;
+        }
+        return false;
+      }
+      if (node->terminal != nullptr) {
+        *ctx.pattern = node->terminal;
+        return true;
+      }
+      return false;
+    }
+    const Token& tok = ctx.tokens[i];
+    // Most-specific first: exact literal text (only Literal tokens carry
+    // pattern-constant text), then typed wildcards in insertion order. The
+    // interner id is resolved on the first probe at this position and
+    // memoised, so backtracking walks never rehash a token.
+    std::uint32_t child = kNone;
+    if (tok.type == TokenType::Literal && node->lit_count != 0) {
+      std::uint32_t id = ctx.ids[i];
+      if (id == kUnresolvedId) {
+        id = interner_.find(tok.value);
+        ctx.ids[i] = id;
+      }
+      if (id != kInvalidId) {
+        if (node->jump_begin != kNone) {
+          child = jump_[node->jump_begin + id];
+        } else {
+          const LitEdge* begin = lits_.data() + node->lit_begin;
+          const LitEdge* end = begin + node->lit_count;
+          const LitEdge* it = std::lower_bound(
+              begin, end, id,
+              [](const LitEdge& e, std::uint32_t want) {
+                return e.text < want;
+              });
+          if (it != end && it->text == id) child = it->node;
+        }
+      }
+    }
+    if (node->var_count == 0) {
+      if (child == kNone) return false;
+      node = &nodes_[child];
+      ++i;
+      continue;
+    }
+    if (child != kNone && walk(ctx, child, i + 1)) return true;
+    for (std::uint32_t k = 0; k < node->var_count; ++k) {
+      const VarEdge& edge = vars_[node->var_begin + k];
+      if (((edge.accept_mask >> static_cast<std::uint8_t>(tok.type)) & 1) ==
+          0) {
+        continue;
+      }
+      // The one value-dependent rule the mask cannot express.
+      if (edge.type == TokenType::Hex && tok.type == TokenType::Integer &&
+          tok.value.size() < 6) {
+        continue;
+      }
+      ctx.fields->emplace_back(names_[edge.name], tok.value);
+      if (walk(ctx, edge.node, i + 1)) return true;
+      ctx.fields->pop_back();
+    }
+    return false;
+  }
+}
+
+bool MatchProgram::match(const std::vector<Token>& tokens,
+                         ParsedFields* fields,
+                         const Pattern** pattern) const {
+  fields->clear();
+  // One up-front grow instead of the 1-2-4-8 doubling walk the first few
+  // bindings would otherwise pay on a fresh vector.
+  if (fields->capacity() < 8) fields->reserve(8);
+
+  // Per-position id memo, lazily filled by the walks below. Keeping it
+  // unresolved until a literal edge actually probes a position means a miss
+  // that fails the root lookup costs no hashing at all.
+  thread_local std::vector<std::uint32_t> ids;
+  ids.assign(tokens.size(), kUnresolvedId);
+
+  // Exact-length patterns first.
+  const auto it = std::lower_bound(
+      exact_roots_.begin(), exact_roots_.end(), tokens.size(),
+      [](const Root& r, std::size_t n) { return r.token_count < n; });
+  std::uint32_t rest_name = kNone;
+  WalkCtx ctx{tokens.data(), ids.data(), tokens.size(),
+              false,         fields,     pattern,
+              &rest_name};
+  if (it != exact_roots_.end() && it->token_count == tokens.size() &&
+      walk(ctx, it->node, 0)) {
+    return true;
+  }
+  // %rest% programs, longest fixed prefix first.
+  ctx.rest = true;
+  for (const Root& r : rest_roots_) {
+    if (r.token_count > tokens.size()) continue;
+    rest_name = kNone;
+    ctx.end_i = r.token_count;
+    if (walk(ctx, r.node, 0)) {
+      // Bind the swallowed suffix under the rest variable's name.
+      std::string suffix = reconstruct(tokens.data() + r.token_count,
+                                       tokens.data() + tokens.size());
+      const std::string_view name =
+          rest_name == kNone ? std::string_view{} : names_[rest_name];
+      fields->emplace_back(name.empty() ? "rest" : std::string(name),
+                           std::move(suffix));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace seqrtg::core

@@ -1,5 +1,7 @@
 #include "core/parser.hpp"
 
+#include <cstdlib>
+#include <mutex>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -15,6 +17,9 @@ struct ParserMetrics {
   obs::Counter& matched;
   obs::Counter& missed;
   obs::Histogram& parse_seconds;
+  obs::Counter& compiles;
+  obs::Counter& path_compiled;
+  obs::Counter& path_trie;
 };
 
 ParserMetrics& parser_metrics() {
@@ -25,11 +30,24 @@ ParserMetrics& parser_metrics() {
       reg.counter("seqrtg_parser_miss_total",
                   "Messages that matched no known pattern"),
       reg.histogram("seqrtg_parser_parse_seconds",
-                    "Scan+match latency of Parser::parse, sampled 1 in 64")};
+                    "Scan+match latency of Parser::parse, sampled 1 in 64"),
+      reg.counter("seqrtg_matchprog_compiles_total",
+                  "Match programs compiled (lazily, per service and epoch)"),
+      reg.counter("seqrtg_parser_match_path_total",
+                  "Token matches served per dispatch path",
+                  {{"path", "compiled"}}),
+      reg.counter("seqrtg_parser_match_path_total",
+                  "Token matches served per dispatch path",
+                  {{"path", "trie"}})};
   return m;
 }
 
 constexpr std::uint64_t kParseSampleMask = 63;
+
+bool matchprog_default_enabled() {
+  const char* env = std::getenv("SEQRTG_DISABLE_MATCHPROG");
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
+}
 
 }  // namespace
 
@@ -68,11 +86,16 @@ bool variable_matches(TokenType var, const Token& tok) {
 }
 
 Parser::Parser(ScannerOptions scanner_opts, SpecialTokenOptions special_opts)
-    : scanner_(scanner_opts), special_opts_(special_opts) {}
+    : scanner_(scanner_opts),
+      special_opts_(special_opts),
+      matchprog_enabled_(matchprog_default_enabled()),
+      compile_mutex_(std::make_unique<std::mutex>()) {}
 
 void Parser::clear() {
   owned_.clear();
   services_.clear();
+  programs_.clear();
+  ++pattern_epoch_;
 }
 
 std::vector<Token> Parser::scan(std::string_view message) const {
@@ -132,6 +155,30 @@ void Parser::add_pattern(const Pattern& p) {
   } else if (node->terminal == nullptr) {
     node->terminal = stored;
   }
+  // New epoch: retire the service's compiled program (its memory stays
+  // owned by programs_, so an in-flight reader finishes safely); the next
+  // match lazily recompiles against the grown trie.
+  ++pattern_epoch_;
+  svc.program.store(nullptr, std::memory_order_release);
+}
+
+const MatchProgram* Parser::compile_service(const ServiceIndex& svc) const {
+  std::lock_guard<std::mutex> lock(*compile_mutex_);
+  // Double-checked: another lane may have compiled while we waited.
+  const MatchProgram* prog = svc.program.load(std::memory_order_acquire);
+  if (prog != nullptr) return prog;
+  obs::TraceSpan span(obs::TraceCat::kMatchProg, "compile");
+  std::unique_ptr<MatchProgram> compiled =
+      MatchProgram::compile(svc.exact, svc.rest_prefix);
+  if (span.active()) {
+    span.set_args(static_cast<std::int64_t>(compiled->node_count()),
+                  static_cast<std::int64_t>(pattern_epoch_));
+  }
+  if (obs::telemetry_enabled()) parser_metrics().compiles.inc();
+  prog = compiled.get();
+  programs_.push_back(std::move(compiled));
+  svc.program.store(prog, std::memory_order_release);
+  return prog;
 }
 
 bool Parser::match_walk(const MatchNode* node,
@@ -178,6 +225,19 @@ std::optional<ParseResult> Parser::match_tokens_impl(
   const auto svc_it = services_.find(service);
   if (svc_it == services_.end()) return std::nullopt;
   const ServiceIndex& svc = svc_it->second;
+
+  // Compiled fast path: flat program, identical semantics to the walk
+  // below (differential-tested). Falls through to the trie only when the
+  // program is disabled for this instance.
+  if (matchprog_enabled_) {
+    const MatchProgram* prog = svc.program.load(std::memory_order_acquire);
+    if (prog == nullptr) prog = compile_service(svc);
+    if (obs::telemetry_enabled()) parser_metrics().path_compiled.inc();
+    ParseResult result;
+    if (prog->match(tokens, &result.fields, &result.pattern)) return result;
+    return std::nullopt;
+  }
+  if (obs::telemetry_enabled()) parser_metrics().path_trie.inc();
 
   // Exact-length patterns first.
   const auto exact_it = svc.exact.find(tokens.size());

@@ -13,17 +13,29 @@
 // parsed fields (the "small amount of information ... extracted from the
 // message" of §II). Patterns ending in the %rest% marker match any suffix
 // (multi-line handling, extension #6).
+//
+// Hot path: the trie is lazily compiled into a flat MatchProgram per
+// service (core/matchprog.hpp) — interned literal ids, sorted edge runs and
+// first-token jump tables replace per-node hashing and pointer chasing.
+// add_pattern invalidates the program; the next match recompiles it. The
+// trie walk remains as the reference implementation (differential-tested
+// against the program) and as the fallback when SEQRTG_DISABLE_MATCHPROG
+// is set.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/matchprog.hpp"
 #include "core/pattern.hpp"
 #include "core/scanner.hpp"
 #include "core/special_tokens.hpp"
@@ -32,19 +44,11 @@
 
 namespace seqrtg::core {
 
-/// Extracted variable bindings of a successful match, in pattern order.
-using ParsedFields = std::vector<std::pair<std::string, std::string>>;
-
 struct ParseResult {
   /// The matched pattern (owned by the Parser; stable until clear()).
   const Pattern* pattern = nullptr;
   ParsedFields fields;
 };
-
-/// True when a variable of type `var` accepts token `tok`. %string% accepts
-/// any single token; %float% also accepts integers ("5" vs "5.0" in the same
-/// field); %hex% also accepts all-digit runs that happen to contain no a-f.
-bool variable_matches(TokenType var, const Token& tok);
 
 class Parser {
  public:
@@ -83,31 +87,29 @@ class Parser {
 
   void clear();
 
- private:
-  struct MatchNode {
-    // Transparent hashing: probed with the token's string_view during a
-    // match, so the hot path never materialises a std::string key.
-    std::unordered_map<std::string, std::unique_ptr<MatchNode>,
-                       util::StringHash, std::equal_to<>>
-        literal_edges;
-    // Wildcard edges in insertion order; name kept for field extraction.
-    struct VarEdge {
-      TokenType type;
-      std::string name;
-      std::unique_ptr<MatchNode> node;
-    };
-    std::vector<VarEdge> var_edges;
-    const Pattern* terminal = nullptr;
-    /// Terminal reached via a %rest% marker: matches any token suffix.
-    const Pattern* rest_terminal = nullptr;
-    std::string rest_name;
-  };
+  /// Toggles the compiled match program for this instance (defaults to on
+  /// unless SEQRTG_DISABLE_MATCHPROG is set in the environment). With it
+  /// off every match takes the pointer-chasing trie walk — the reference
+  /// path the differential tests compare against.
+  void set_matchprog_enabled(bool on) { matchprog_enabled_ = on; }
+  bool matchprog_enabled() const { return matchprog_enabled_; }
 
+  /// Bumped on every pattern-set change (add_pattern / clear); compiled
+  /// programs from an older epoch are invalid and lazily rebuilt.
+  std::uint64_t pattern_epoch() const { return pattern_epoch_; }
+
+ private:
   struct ServiceIndex {
     // Keyed by token count; patterns with %rest% live under the count of
     // tokens preceding the marker in a separate prefix index.
     std::map<std::size_t, MatchNode> exact;
     std::map<std::size_t, MatchNode> rest_prefix;
+    /// The service's compiled program, published once compiled. nulled by
+    /// add_pattern when the pattern set changes. The pointee is owned by
+    /// `programs_` and never freed before the Parser dies, so a reader
+    /// that loaded the pointer just before an invalidation finishes its
+    /// match on the stale (but complete) program safely.
+    mutable std::atomic<const MatchProgram*> program{nullptr};
   };
 
   bool match_walk(const MatchNode* node, const std::vector<Token>& tokens,
@@ -119,12 +121,25 @@ class Parser {
   std::optional<ParseResult> match_tokens_impl(
       std::string_view service, const std::vector<Token>& tokens) const;
 
+  /// Double-checked lazy compile: returns the service's program, compiling
+  /// and publishing it under `compile_mutex_` when absent.
+  const MatchProgram* compile_service(const ServiceIndex& svc) const;
+
   Scanner scanner_;
   SpecialTokenOptions special_opts_;
   std::deque<Pattern> owned_;
+  // unordered_map is node-based: ServiceIndex (with its atomic member)
+  // never moves once inserted, and rehashing keeps node addresses stable.
   std::unordered_map<std::string, ServiceIndex, util::StringHash,
                      std::equal_to<>>
       services_;
+  bool matchprog_enabled_;
+  std::uint64_t pattern_epoch_ = 0;
+  // Held by pointer so the Parser stays movable (benchmarks return trained
+  // parsers by value).
+  std::unique_ptr<std::mutex> compile_mutex_;
+  /// Every program ever compiled, live and retired; see ServiceIndex.
+  mutable std::deque<std::unique_ptr<MatchProgram>> programs_;
 };
 
 }  // namespace seqrtg::core

@@ -21,6 +21,15 @@
 // TokenBuffer — zero heap allocations once the buffer has warmed up. The
 // legacy scan() remains as a thin wrapper returning an owning vector; the
 // returned tokens still view `message`, which must outlive them.
+//
+// Tokenisation is vectorised: the message is classified in one SIMD pass
+// (util/simd_classify.hpp) into a token-boundary bitmap — AVX2/SSE pshufb
+// lookups against the shared byte-class table, selected at runtime by CPU
+// probe (SEQRTG_DISABLE_AVX2=1 forces the scalar kernel). The per-position
+// loop then dispatches on the byte class and finds chunk ends with ctz over
+// the bitmap instead of per-character predicate calls. All kernels produce
+// byte-identical token streams; tests/core/simd_equivalence_test.cpp fuzzes
+// the equivalence over the full 0-255 byte range.
 #pragma once
 
 #include <string_view>
@@ -28,6 +37,7 @@
 
 #include "core/fsm_datetime.hpp"
 #include "core/token.hpp"
+#include "util/byteclass.hpp"
 
 namespace seqrtg::core {
 
@@ -67,6 +77,10 @@ class Scanner {
 };
 
 /// True for punctuation that always forms its own single-character token.
-bool is_break_punct(char c);
+/// One load from the shared byte-class table, so this can never disagree
+/// with the SIMD boundary classifier (util/simd_classify.hpp).
+constexpr bool is_break_punct(char c) {
+  return (util::byte_class(c) & util::kByteBreakPunct) != 0;
+}
 
 }  // namespace seqrtg::core

@@ -84,11 +84,23 @@ void promote_special_tokens(std::vector<Token>& tokens,
                             const SpecialTokenOptions& opts) {
   for (Token& t : tokens) {
     if (t.type != TokenType::Literal) continue;
-    if (opts.detect_email && looks_email(t.value)) {
+    const std::string_view v = t.value;
+    // Single pre-pass: every detector needs a structural character ('@',
+    // two '.', or a leading '/'), so one scan rules out the typical word
+    // before any detector runs its own validation passes.
+    bool has_at = false;
+    std::size_t dots = 0;
+    for (const char c : v) {
+      if (c == '@') has_at = true;
+      if (c == '.') ++dots;
+    }
+    const bool leading_slash = !v.empty() && v[0] == '/';
+    if (!has_at && dots < 2 && !leading_slash) continue;
+    if (opts.detect_email && has_at && looks_email(v)) {
       t.type = TokenType::Email;
-    } else if (opts.detect_host && looks_host(t.value)) {
+    } else if (opts.detect_host && dots >= 2 && looks_host(v)) {
       t.type = TokenType::Host;
-    } else if (opts.detect_path && looks_path(t.value)) {
+    } else if (opts.detect_path && leading_slash && looks_path(v)) {
       t.type = TokenType::Path;
     }
   }

@@ -13,6 +13,7 @@ const char* trace_cat_name(TraceCat cat) {
     case TraceCat::kStore: return "store";
     case TraceCat::kServe: return "serve";
     case TraceCat::kPipeline: return "pipeline";
+    case TraceCat::kMatchProg: return "matchprog";
   }
   return "unknown";
 }

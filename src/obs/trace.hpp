@@ -53,6 +53,7 @@ enum class TraceCat : std::uint8_t {
   kStore,
   kServe,
   kPipeline,
+  kMatchProg,
 };
 
 const char* trace_cat_name(TraceCat cat);

@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
+#include "util/cpuid.hpp"
 #include "util/json.hpp"
 #include "util/signal.hpp"
 #include "util/strings.hpp"
@@ -503,6 +504,17 @@ std::string Server::health_json() const {
   out += ",\"processed\":" + std::to_string(processed());
   out += ",\"dropped\":" + std::to_string(dropped());
   out += ",\"malformed\":" + std::to_string(malformed());
+  // Dispatch paths the lane parsers run on: which tokeniser kernel the CPU
+  // probe (or SEQRTG_DISABLE_AVX2) selected, and whether matches go through
+  // compiled programs or the reference trie walk.
+  out += ",\"simd\":\"";
+  out += util::simd_level_name(util::simd_level());
+  out += "\",\"matchprog\":";
+  {
+    const char* env = std::getenv("SEQRTG_DISABLE_MATCHPROG");
+    const bool on = env == nullptr || env[0] == '\0' || env[0] == '0';
+    out += on ? "true" : "false";
+  }
   out += ",\"lane_stats\":[";
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     const Lane& lane = *lanes_[i];

@@ -1,0 +1,76 @@
+// The one byte-class table.
+//
+// Before this header, the scanner hot path answered "is this byte a
+// delimiter / digit / hex digit / ..." with half a dozen hand-written
+// predicates spread over util/strings.hpp and src/core/scanner.cpp, each
+// re-listing overlapping character sets (`,` `;` `:` appeared in both the
+// break-punct and trailing-punct lists). The scalar tokeniser, the SIMD
+// tokeniser and the FSM classifiers must agree on these sets *exactly* —
+// a one-character divergence silently changes pattern output — so the sets
+// are defined once here, as a 256-entry bitmap generated at compile time,
+// and every consumer (scalar predicates in strings.hpp, the scanner's
+// break/trailing tests, the pshufb nibble LUTs in simd_classify.cpp) is
+// derived from this single table.
+//
+// Class bits are independent; a byte may carry several (':' is break AND
+// trailing punctuation, '\n' is space AND line break, '7' is digit AND hex
+// digit).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace seqrtg::util {
+
+/// Whitespace: ' ' \t \n \v \f \r (mirrors the historical is_space()).
+inline constexpr std::uint8_t kByteSpace = 0x01;
+/// Line breaks (\n \r): end the scanned line (multi-line extension #6).
+/// Always also kByteSpace.
+inline constexpr std::uint8_t kByteLineBreak = 0x02;
+/// Break punctuation: always forms its own single-character token.
+inline constexpr std::uint8_t kByteBreakPunct = 0x04;
+/// Trailing sentence punctuation, peeled off chunk ends ("done." -> "done" ".").
+inline constexpr std::uint8_t kByteTrailPunct = 0x08;
+/// ASCII decimal digit.
+inline constexpr std::uint8_t kByteDigit = 0x10;
+/// ASCII hexadecimal digit (0-9 a-f A-F). Digits always also carry this.
+inline constexpr std::uint8_t kByteHexDigit = 0x20;
+/// ASCII letter.
+inline constexpr std::uint8_t kByteAlpha = 0x40;
+
+/// Token boundary: whitespace or break punctuation. The SIMD tokeniser's
+/// boundary bitmaps are exactly "byte has any of these bits".
+inline constexpr std::uint8_t kByteDelim = kByteSpace | kByteBreakPunct;
+
+namespace detail {
+
+constexpr std::array<std::uint8_t, 256> make_byte_class_table() {
+  std::array<std::uint8_t, 256> t{};
+  constexpr std::string_view spaces = " \t\n\v\f\r";
+  constexpr std::string_view line_breaks = "\n\r";
+  constexpr std::string_view break_punct = "()[]{}\"'<>,;=:|";
+  constexpr std::string_view trail_punct = ".,;:!?";
+  for (char c : spaces) t[static_cast<unsigned char>(c)] |= kByteSpace;
+  for (char c : line_breaks) t[static_cast<unsigned char>(c)] |= kByteLineBreak;
+  for (char c : break_punct) t[static_cast<unsigned char>(c)] |= kByteBreakPunct;
+  for (char c : trail_punct) t[static_cast<unsigned char>(c)] |= kByteTrailPunct;
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] |= kByteDigit | kByteHexDigit;
+  for (unsigned c = 'a'; c <= 'f'; ++c) t[c] |= kByteHexDigit;
+  for (unsigned c = 'A'; c <= 'F'; ++c) t[c] |= kByteHexDigit;
+  for (unsigned c = 'a'; c <= 'z'; ++c) t[c] |= kByteAlpha;
+  for (unsigned c = 'A'; c <= 'Z'; ++c) t[c] |= kByteAlpha;
+  return t;
+}
+
+}  // namespace detail
+
+inline constexpr std::array<std::uint8_t, 256> kByteClassTable =
+    detail::make_byte_class_table();
+
+/// The class bits of `c`.
+constexpr std::uint8_t byte_class(char c) {
+  return kByteClassTable[static_cast<unsigned char>(c)];
+}
+
+}  // namespace seqrtg::util

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/byteclass.hpp"
+
 namespace seqrtg::util {
 
 /// Splits `s` on the single character `sep`. Empty fields are kept.
@@ -42,19 +44,18 @@ bool has_alpha(std::string_view s);
 
 // Per-character predicates. Defined inline: the scanner FSMs call these
 // several times per input byte, so an out-of-line call would dominate the
-// tokenisation hot path.
-constexpr bool is_digit(char c) { return c >= '0' && c <= '9'; }
-constexpr bool is_alpha(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+// tokenisation hot path. All are single loads from the shared byte-class
+// table (util/byteclass.hpp), so the scalar FSMs, the SIMD tokeniser and
+// these predicates can never disagree about a character set.
+constexpr bool is_digit(char c) { return (byte_class(c) & kByteDigit) != 0; }
+constexpr bool is_alpha(char c) { return (byte_class(c) & kByteAlpha) != 0; }
+constexpr bool is_alnum(char c) {
+  return (byte_class(c) & (kByteDigit | kByteAlpha)) != 0;
 }
-constexpr bool is_alnum(char c) { return is_digit(c) || is_alpha(c); }
 constexpr bool is_hex_digit(char c) {
-  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  return (byte_class(c) & kByteHexDigit) != 0;
 }
-constexpr bool is_space(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
-         c == '\v';
-}
+constexpr bool is_space(char c) { return (byte_class(c) & kByteSpace) != 0; }
 
 /// True if every character is a hexadecimal digit (and `s` is non-empty).
 bool is_all_hex(std::string_view s);

@@ -1,0 +1,216 @@
+// Unit and differential suite for the compiled match program (ISSUE 7):
+// MatchProgram must agree with the reference trie walk on every outcome —
+// matched pattern identity, extracted fields (names, values, order) and
+// miss/match verdicts — including literal-vs-wildcard precedence, %rest%
+// suffix binding and backtracking through ambiguous prefixes. The
+// differential half trains a parser per synthetic LogHub corpus and replays
+// traffic through both paths.
+#include "core/matchprog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyze_by_service.hpp"
+#include "core/parser.hpp"
+#include "core/repository.hpp"
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+PatternToken constant(std::string text, bool space = true) {
+  PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+PatternToken variable(TokenType type, std::string name, bool space = true) {
+  PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+Pattern make_pattern(std::string service, std::vector<PatternToken> tokens) {
+  Pattern p;
+  p.service = std::move(service);
+  p.tokens = std::move(tokens);
+  return p;
+}
+
+/// Runs one parse through the compiled program and through the trie walk
+/// and asserts identical outcomes; returns the (shared) verdict.
+std::optional<ParseResult> parse_both(Parser& parser, std::string_view service,
+                                      std::string_view message) {
+  parser.set_matchprog_enabled(true);
+  const auto compiled = parser.parse(service, message);
+  parser.set_matchprog_enabled(false);
+  const auto trie = parser.parse(service, message);
+  EXPECT_EQ(compiled.has_value(), trie.has_value()) << message;
+  if (compiled && trie) {
+    EXPECT_EQ(compiled->pattern, trie->pattern) << message;
+    EXPECT_EQ(compiled->fields, trie->fields) << message;
+  }
+  parser.set_matchprog_enabled(true);
+  return compiled;
+}
+
+TEST(MatchProgram, LiteralAndVariableExtraction) {
+  Parser parser;
+  parser.add_pattern(make_pattern(
+      "sshd", {constant("login", false), constant("from"),
+               variable(TokenType::IPv4, "srcip"), constant("port"),
+               variable(TokenType::Integer, "srcport")}));
+  const auto r = parse_both(parser, "sshd", "login from 10.1.2.3 port 22");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->fields.size(), 2u);
+  EXPECT_EQ(r->fields[0].first, "srcip");
+  EXPECT_EQ(r->fields[0].second, "10.1.2.3");
+  EXPECT_EQ(r->fields[1].first, "srcport");
+  EXPECT_EQ(r->fields[1].second, "22");
+  EXPECT_FALSE(parse_both(parser, "sshd", "login from nowhere port 22"));
+  EXPECT_FALSE(parse_both(parser, "cron", "login from 10.1.2.3 port 22"));
+}
+
+TEST(MatchProgram, LiteralEdgePreferredOverWildcard) {
+  Parser parser;
+  parser.add_pattern(make_pattern(
+      "s", {constant("state", false), constant("on")}));
+  parser.add_pattern(make_pattern(
+      "s", {constant("state", false), variable(TokenType::String, "v")}));
+  const auto lit = parse_both(parser, "s", "state on");
+  ASSERT_TRUE(lit.has_value());
+  EXPECT_TRUE(lit->fields.empty());  // took the literal edge
+  const auto wild = parse_both(parser, "s", "state off");
+  ASSERT_TRUE(wild.has_value());
+  ASSERT_EQ(wild->fields.size(), 1u);
+  EXPECT_EQ(wild->fields[0].second, "off");
+}
+
+TEST(MatchProgram, BacktracksOutOfLiteralPrefix) {
+  // "job alpha done" walks the literal "alpha" edge first (most-specific
+  // wins), finds its subtree demands "failed", and must back out into the
+  // %string% wildcard — without leaking bindings from the abandoned branch.
+  Parser parser;
+  parser.add_pattern(make_pattern(
+      "s", {constant("job", false), constant("alpha"), constant("failed")}));
+  parser.add_pattern(make_pattern(
+      "s", {constant("job", false), variable(TokenType::String, "name"),
+            constant("done")}));
+  const auto r = parse_both(parser, "s", "job alpha done");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->fields.size(), 1u);
+  EXPECT_EQ(r->fields[0].first, "name");
+  EXPECT_EQ(r->fields[0].second, "alpha");
+  const auto f = parse_both(parser, "s", "job alpha failed");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->fields.empty());
+}
+
+TEST(MatchProgram, RestSuffixBindsRemainder) {
+  Parser parser;
+  parser.add_pattern(make_pattern(
+      "s", {constant("panic", false), variable(TokenType::Rest, "trace")}));
+  const auto r = parse_both(parser, "s", "panic stack frame 1 frame 2");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->fields.size(), 1u);
+  EXPECT_EQ(r->fields[0].first, "trace");
+  EXPECT_EQ(r->fields[0].second, "stack frame 1 frame 2");
+}
+
+TEST(MatchProgram, RecompilesAfterPatternSetChange) {
+  Parser parser;
+  parser.add_pattern(make_pattern("s", {constant("alpha", false)}));
+  ASSERT_TRUE(parse_both(parser, "s", "alpha"));
+  EXPECT_FALSE(parse_both(parser, "s", "beta"));
+  const std::uint64_t epoch = parser.pattern_epoch();
+  // Adding a pattern must invalidate the published program (epoch bump) and
+  // the next match must see the new pattern.
+  parser.add_pattern(make_pattern("s", {constant("beta", false)}));
+  EXPECT_GT(parser.pattern_epoch(), epoch);
+  EXPECT_TRUE(parse_both(parser, "s", "beta"));
+  EXPECT_TRUE(parse_both(parser, "s", "alpha"));
+  parser.clear();
+  EXPECT_FALSE(parse_both(parser, "s", "alpha"));
+}
+
+TEST(MatchProgram, HexWildcardStillRejectsShortIntegers) {
+  // The one value-dependent acceptance rule: %hex% takes an Integer token
+  // only when it is at least 6 digits (a plausible hex run), enforced at
+  // match time on top of the type bitmask.
+  Parser parser;
+  parser.add_pattern(make_pattern(
+      "s", {constant("id", false), variable(TokenType::Hex, "h")}));
+  EXPECT_FALSE(parse_both(parser, "s", "id 12345"));
+  const auto r = parse_both(parser, "s", "id 123456");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->fields[0].second, "123456");
+}
+
+/// Trains a parser from the analyser output over one synthetic corpus.
+Parser train_on_corpus(const loggen::DatasetSpec& spec,
+                       const std::vector<std::string>& messages) {
+  InMemoryRepository repo;
+  EngineOptions eopts;
+  Engine engine(&repo, eopts);
+  std::vector<LogRecord> records;
+  records.reserve(messages.size());
+  for (const std::string& m : messages) {
+    LogRecord rec;
+    rec.service = spec.name;
+    rec.message = m;
+    records.push_back(std::move(rec));
+  }
+  engine.analyze_by_service(records);
+  Parser parser(eopts.scanner, eopts.special);
+  for (const std::string& svc : repo.services()) {
+    for (const Pattern& p : repo.load_service(svc)) parser.add_pattern(p);
+  }
+  return parser;
+}
+
+TEST(MatchProgram, DifferentialAgainstTrieAcrossAllLoghubCorpora) {
+  for (const auto& spec : loggen::loghub_datasets()) {
+    const auto train =
+        loggen::generate_corpus(spec, 2000, util::kDefaultSeed).messages;
+    Parser parser = train_on_corpus(spec, train);
+    // Replay: seen traffic (must mostly hit), fresh traffic from the same
+    // generator family, and traffic from a sibling corpus (mostly misses).
+    const auto fresh =
+        loggen::generate_corpus(spec, 400, util::kDefaultSeed ^ 0xA5).messages;
+    std::size_t hits = 0;
+    for (const std::string& m : fresh) {
+      if (parse_both(parser, spec.name, m)) ++hits;
+    }
+    EXPECT_GT(hits, fresh.size() / 2) << spec.name;
+    for (std::size_t i = 0; i < 200; ++i) {
+      parse_both(parser, spec.name, train[i]);
+    }
+  }
+}
+
+TEST(MatchProgram, DifferentialOnCrossCorpusMisses) {
+  // Feed each trained parser traffic from a different dataset: exercises
+  // the miss path (root rejection, mid-walk failures) through both engines.
+  const auto& specs = loggen::loghub_datasets();
+  const auto& spec = specs[0];
+  Parser parser = train_on_corpus(
+      spec, loggen::generate_corpus(spec, 1500, util::kDefaultSeed).messages);
+  for (std::size_t d = 1; d < specs.size(); ++d) {
+    for (const std::string& m :
+         loggen::generate_corpus(specs[d], 60, util::kDefaultSeed).messages) {
+      parse_both(parser, spec.name, m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg::core

@@ -466,8 +466,14 @@ TEST(Serve, DebugTraceReturnsChromeTraceWithLaneFlushSpans) {
   ASSERT_TRUE(server.wait_until([&] { return server.processed() == 1; }));
 
   // The daemon arms the process tracer at start(), so the live dump holds
-  // the flush that just ran plus its engine phases.
-  const std::string body = http_get(server.http_port(), "/debug/trace");
+  // the flush that just ran plus its engine phases. The flush span is
+  // recorded when the cycle *closes*, which can trail the processed counter
+  // by a moment — poll the dump instead of racing it.
+  std::string body;
+  ASSERT_TRUE(server.wait_until([&] {
+    body = http_get(server.http_port(), "/debug/trace");
+    return body.find("\"name\":\"lane_flush\"") != std::string::npos;
+  }));
   EXPECT_NE(body.find("HTTP/1.0 200"), std::string::npos);
   EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(body.find("\"name\":\"lane_flush\""), std::string::npos);
