@@ -1,0 +1,164 @@
+// Microbenchmarks for the pattern-evolution maintenance pass (the
+// `seqrtg compact` / in-serve background path): whole-repository passes
+// over stores that actually have work to do (specialise + merge + TTL
+// evict), steady-state passes that find nothing, and the fixpoint
+// conflict resolver on chained-conflict services.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/evolution.hpp"
+#include "core/repository.hpp"
+#include "core/validation.hpp"
+
+using namespace seqrtg;
+
+namespace {
+
+core::PatternToken constant(std::string text, bool space = true) {
+  core::PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+core::PatternToken variable(core::TokenType type, std::string name,
+                            bool space = true) {
+  core::PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+core::Pattern make_pattern(std::string service,
+                           std::vector<core::PatternToken> tokens,
+                           std::vector<std::string> examples,
+                           std::int64_t stamp = 1700000000) {
+  core::Pattern p;
+  p.service = std::move(service);
+  p.tokens = std::move(tokens);
+  p.examples = std::move(examples);
+  p.stats.match_count = 5;
+  p.stats.first_seen = stamp;
+  p.stats.last_matched = stamp;
+  return p;
+}
+
+const char* const kWords[] = {"alpha", "beta", "gamma", "delta"};
+
+/// One service with a 4-way literal near-duplicate group (merges into a
+/// typed variable), one collapsed wildcard whose sketch is a singleton
+/// (re-specialises), and one TTL-stale pattern (evicts). `services` of
+/// these make a repository where every stage of the pass has real work.
+void fill_repository(core::InMemoryRepository& repo,
+                     core::SketchRegistry& sketches, int services) {
+  for (int s = 0; s < services; ++s) {
+    const std::string service = "svc" + std::to_string(s);
+    for (const char* word : kWords) {
+      repo.upsert_pattern(make_pattern(
+          service, {constant("state", false), constant(word)},
+          {std::string("state ") + word}));
+    }
+    core::Pattern wide = make_pattern(
+        service,
+        {constant("conn", false), constant("to"),
+         variable(core::TokenType::String, "host")},
+        {"conn to backend"});
+    repo.upsert_pattern(wide);
+    for (int i = 0; i < 5; ++i) {
+      sketches.observe(wide.id(), {{"host", "backend"}});
+    }
+    repo.upsert_pattern(make_pattern(
+        service, {constant("legacy", false), constant("shutdown")},
+        {"legacy shutdown"}, /*stamp=*/1700000000 - 90 * 86400));
+  }
+}
+
+core::EvolutionOptions bench_options() {
+  core::EvolutionOptions opts;
+  opts.ttl_days = 30;
+  opts.now_unix = 1700000000;
+  return opts;
+}
+
+/// Whole-repository pass where specialise, merge and evict all fire.
+void BM_EvolutionPassWithWork(benchmark::State& state) {
+  const int services = static_cast<int>(state.range(0));
+  const core::EvolutionOptions opts = bench_options();
+  std::uint64_t actions = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::InMemoryRepository repo;
+    core::SketchRegistry sketches;
+    fill_repository(repo, sketches, services);
+    state.ResumeTiming();
+    const core::EvolutionReport report =
+        core::evolve_repository(repo, &sketches, opts);
+    actions += report.actions.size();
+    benchmark::DoNotOptimize(report.patterns_after);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          services);
+  state.counters["actions_per_pass"] = benchmark::Counter(
+      static_cast<double>(actions) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_EvolutionPassWithWork)->Arg(8)->Arg(64);
+
+/// Steady state: the repository was already evolved, so the pass scans
+/// everything and changes nothing. This is the recurring cost a serve
+/// deployment pays every interval.
+void BM_EvolutionPassSteadyState(benchmark::State& state) {
+  const int services = static_cast<int>(state.range(0));
+  const core::EvolutionOptions opts = bench_options();
+  core::InMemoryRepository repo;
+  core::SketchRegistry sketches;
+  fill_repository(repo, sketches, services);
+  core::evolve_repository(repo, &sketches, opts);  // drain the work
+  for (auto _ : state) {
+    const core::EvolutionReport report =
+        core::evolve_repository(repo, &sketches, opts);
+    benchmark::DoNotOptimize(report.actions.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          services);
+}
+BENCHMARK(BM_EvolutionPassSteadyState)->Arg(64);
+
+/// The fixpoint conflict resolver over a service of chained conflicts
+/// (each wildcard pattern's example resolves to a more specific sibling).
+void BM_ResolveConflictsFixpoint(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  std::vector<core::Pattern> patterns;
+  for (int i = 0; i < chains; ++i) {
+    const std::string job = "job" + std::to_string(i);
+    patterns.push_back(make_pattern(
+        "s", {constant(job, false), constant("done")},
+        {job + " done"}));
+    patterns.push_back(make_pattern(
+        "s", {constant(job, false), variable(core::TokenType::String, "v")},
+        {job + " done"}));
+  }
+  for (auto _ : state) {
+    const auto survivors = core::resolve_conflicts(patterns);
+    benchmark::DoNotOptimize(survivors.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          chains);
+}
+BENCHMARK(BM_ResolveConflictsFixpoint)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  bench::write_bench_telemetry("evolution");
+  return 0;
+}

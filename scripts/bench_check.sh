@@ -39,10 +39,11 @@ trap 'rm -rf "$OUT"' EXIT
 
 if [ ! -x "$BUILD/bench/bench_scanner" ] || [ ! -x "$BUILD/bench/bench_parser" ] \
    || [ ! -x "$BUILD/bench/bench_store" ] \
-   || [ ! -x "$BUILD/bench/bench_matchprog" ]; then
+   || [ ! -x "$BUILD/bench/bench_matchprog" ] \
+   || [ ! -x "$BUILD/bench/bench_evolution" ]; then
   echo "bench binaries missing; building..." >&2
   cmake --build "$BUILD" --target bench_scanner bench_parser bench_store \
-    bench_matchprog -j "$(nproc)"
+    bench_matchprog bench_evolution -j "$(nproc)"
 fi
 
 # --benchmark_min_time wants a bare double on the pinned benchmark version.
@@ -56,12 +57,16 @@ SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
 SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
   "$BUILD/bench/bench_store" --benchmark_min_time=0.3 \
   --benchmark_filter='BM_Store(SaveLoad|DurableUpsert|Checkpoint|WalReplay)'
+# The maintenance-pass path (specialise + merge + evict + conflict gate).
+SEQRTG_TELEMETRY=1 SEQRTG_METRICS_DIR="$OUT" \
+  "$BUILD/bench/bench_evolution" --benchmark_min_time=0.3
 
 if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   cp "$OUT/BENCH_scanner.json" "$ROOT/BENCH_scanner.json"
   cp "$OUT/BENCH_parser.json" "$ROOT/BENCH_parser.json"
   cp "$OUT/BENCH_store.json" "$ROOT/BENCH_store.json"
   cp "$OUT/BENCH_matchprog.json" "$ROOT/BENCH_matchprog.json"
+  cp "$OUT/BENCH_evolution.json" "$ROOT/BENCH_evolution.json"
   echo "baselines updated from this run"
   exit 0
 fi
@@ -82,6 +87,7 @@ GATES = [
     ("BENCH_scanner.json", "seqrtg_scanner_scan_seconds"),
     ("BENCH_parser.json", "seqrtg_parser_parse_seconds"),
     ("BENCH_store.json", "seqrtg_store_persist_seconds"),
+    ("BENCH_evolution.json", "seqrtg_evolution_pass_seconds"),
 ]
 
 

@@ -29,14 +29,17 @@ fi
 # Default: the suites that exercise cross-thread state, plus the arena /
 # interner / zero-copy-equivalence suites (lifetime-sensitive raw memory),
 # the WAL fault-injection suite (raw fd I/O + recovery byte surgery), the
-# serve daemon stack (MPSC queues, socket readers, graceful drain), and the
-# SIMD tokeniser / compiled-matcher differentials (unaligned vector loads
-# past string ends, flat-program index arithmetic).
+# serve daemon stack (MPSC queues, socket readers, graceful drain, the
+# background evolution thread racing lane flushes), the SIMD tokeniser /
+# compiled-matcher differentials (unaligned vector loads past string ends,
+# flat-program index arithmetic), and the evolution / conflict-resolution
+# suites (SketchRegistry is fed concurrently by every lane).
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
   arena_test interner_test scan_into_equivalence_test wal_test \
   pattern_store_test bounded_queue_test serve_test serve_drain_test \
   ingest_fuzz_test golden_corpus_test edge_map_property_test \
-  fault_sim_test differential_test simd_equivalence_test matchprog_test
+  fault_sim_test differential_test simd_equivalence_test matchprog_test \
+  evolution_test validation_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "core/analyze_by_service.hpp"
+#include "core/evolution.hpp"
 #include "core/ingest.hpp"
 #include "core/parser.hpp"
 #include "core/token.hpp"
@@ -212,6 +213,10 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   opts.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   opts.save_threshold =
       static_cast<std::uint64_t>(args.get_int("save-threshold", 1));
+  // Date the mined patterns like the serve lanes do, so `compact
+  // --ttl-days` can age offline-built databases instead of treating every
+  // pattern as undated (undated = exempt from TTL eviction).
+  opts.now_unix = static_cast<std::int64_t>(std::time(nullptr));
   core::Engine engine(&store, opts);
   core::JsonStreamIngester ingester(
       static_cast<std::size_t>(args.get_int("batch", 100000)));
@@ -472,6 +477,145 @@ int cmd_purge(const std::vector<std::string>& argv, std::istream&,
   return 0;
 }
 
+const char* evolution_kind_name(core::EvolutionAction::Kind kind) {
+  switch (kind) {
+    case core::EvolutionAction::Kind::kSpecialise: return "SPECIALISE";
+    case core::EvolutionAction::Kind::kMerge: return "MERGE";
+    case core::EvolutionAction::Kind::kEvict: return "EVICT";
+    case core::EvolutionAction::Kind::kConflictDiscard: return "DISCARD";
+  }
+  return "?";
+}
+
+int cmd_compact(const std::vector<std::string>& argv, std::istream& in,
+                std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  add_engine_options(args);
+  args.add_option("ttl-days",
+                  "evict patterns unmatched for this many days (0 = never)",
+                  "0");
+  args.add_option("now",
+                  "unix timestamp TTL ages run against (default: wall "
+                  "clock)",
+                  "");
+  args.add_option("min-observations",
+                  "singleton observations required before a wildcard is "
+                  "re-specialised",
+                  "3");
+  args.add_option("merge-min-group",
+                  "literal near-duplicate group size that merges "
+                  "unconditionally",
+                  "4");
+  args.add_flag("no-specialise", "skip wildcard re-specialisation");
+  args.add_flag("no-merge", "skip near-duplicate merging");
+  args.add_flag("specialise-from-examples",
+                "without a replay corpus, derive value sketches from the "
+                "stored examples (a small traffic sample — may specialise "
+                "away coverage; off by default)");
+  args.add_flag("dry-run",
+                "report what would change without rewriting the store");
+  args.add_flag("quiet", "print only the summary");
+  add_metrics_options(args);
+  add_trace_options(args);
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  if (!start_trace(args, err)) return 2;
+
+  store::PatternStore store;
+  if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
+
+  const core::EngineOptions engine_opts = engine_options_from(args);
+  core::EvolutionOptions eopts;
+  eopts.scanner = engine_opts.scanner;
+  eopts.special = engine_opts.special;
+  eopts.specialise = !args.get_flag("no-specialise");
+  eopts.merge = !args.get_flag("no-merge");
+  eopts.specialise_from_examples = args.get_flag("specialise-from-examples");
+  eopts.specialise_min_observations =
+      static_cast<std::uint64_t>(args.get_int("min-observations", 3));
+  eopts.merge_min_group =
+      static_cast<std::size_t>(args.get_int("merge-min-group", 4));
+  eopts.ttl_days = static_cast<std::uint32_t>(args.get_int("ttl-days", 0));
+  eopts.example_cap = engine_opts.analyzer.example_cap;
+  eopts.now_unix = args.has("now")
+                       ? args.get_int("now", 0)
+                       : static_cast<std::int64_t>(std::time(nullptr));
+
+  // Optional replay corpus (positional JSON-lines path, "-" = stdin):
+  // matched records feed the per-position value sketches exactly as the
+  // serve lanes would at match time. Without one, re-specialisation only
+  // runs if --specialise-from-examples opts into the example fallback.
+  core::SketchRegistry sketches;
+  if (!args.positional().empty()) {
+    std::ifstream file;
+    std::istream* input = open_input(args, in, file, err);
+    if (input == nullptr) return 1;
+    core::Parser parser(eopts.scanner, eopts.special);
+    for (const std::string& svc : store.services()) {
+      for (const core::Pattern& p : store.load_service(svc)) {
+        parser.add_pattern(p);
+      }
+    }
+    std::size_t replayed = 0;
+    std::size_t matched = 0;
+    std::string line;
+    while (std::getline(*input, line)) {
+      const auto record = core::JsonStreamIngester::parse_line(line);
+      if (!record.has_value()) continue;
+      ++replayed;
+      if (const auto result =
+              parser.parse(record->service, record->message)) {
+        ++matched;
+        sketches.observe(result->pattern->id(), result->fields);
+      }
+    }
+    out << "replayed " << replayed << " record(s), " << matched
+        << " matched, " << sketches.pattern_count()
+        << " pattern(s) sketched\n";
+  }
+
+  core::EvolutionReport report;
+  if (args.get_flag("dry-run")) {
+    // Evolve a scratch copy so the store (and its WAL) stays untouched.
+    core::InMemoryRepository scratch;
+    scratch.set_example_cap(eopts.example_cap);
+    for (const std::string& svc : store.services()) {
+      for (const core::Pattern& p : store.load_service(svc)) {
+        scratch.upsert_pattern(p);
+      }
+    }
+    report = core::evolve_repository(scratch, &sketches, eopts);
+  } else {
+    report = core::evolve_repository(store, &sketches, eopts);
+  }
+
+  if (!args.get_flag("quiet")) {
+    for (const core::EvolutionAction& a : report.actions) {
+      out << evolution_kind_name(a.kind) << " service=" << a.service << " "
+          << a.detail << "\n";
+    }
+  }
+  out << "compact: " << report.patterns_before << " -> "
+      << report.patterns_after << " patterns across "
+      << report.services_seen << " service(s): " << report.specialised
+      << " specialised, " << report.merged << " merged, " << report.evicted
+      << " evicted, " << report.conflict_discards
+      << " conflict discard(s); " << report.services_changed
+      << " service(s) rewritten, " << report.services_rejected
+      << " rejected by the coverage gate\n";
+  if (args.get_flag("dry-run")) {
+    out << "dry run: store not modified\n";
+  } else {
+    if (!persist_store(args, store, err)) return 1;
+    out << store.pattern_count() << " patterns in "
+        << (store.durable() ? args.get("store-dir") : args.get("db"))
+        << "\n";
+  }
+  return finish_observability(args, err);
+}
+
 int cmd_import(const std::vector<std::string>& argv, std::istream& in,
                std::ostream& out, std::ostream& err) {
   util::ArgParser args;
@@ -607,6 +751,14 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
                   "300");
   args.add_option("save-threshold",
                   "minimum matches for a pattern to be saved", "1");
+  args.add_option("evolution-interval",
+                  "seconds between background pattern-evolution passes "
+                  "(re-specialise/merge/evict + conflict gate; 0 = off)",
+                  "0");
+  args.add_option("ttl-days",
+                  "evolution passes evict patterns unmatched for this many "
+                  "days (0 = never)",
+                  "0");
   args.add_option("log-level",
                   "structured self-log threshold: debug | info | warn | "
                   "error",
@@ -649,6 +801,9 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
   opts.batch_size = static_cast<std::size_t>(args.get_int("batch", 4096));
   opts.flush_interval_s = args.get_double("flush-interval", 1.0);
   opts.checkpoint_interval_s = args.get_double("checkpoint-interval", 300);
+  opts.evolution_interval_s = args.get_double("evolution-interval", 0);
+  opts.evolution.ttl_days =
+      static_cast<std::uint32_t>(args.get_int("ttl-days", 0));
   const bool use_stdin = args.get_flag("stdin");
   if (opts.port < 0 && !use_stdin) {
     err << "nothing to serve: pass --port >= 0 and/or --stdin\n";
@@ -816,6 +971,7 @@ int cmd_testkit(const std::vector<std::string>& argv, std::istream&,
     base.run_soundness = false;
     base.run_idempotence = false;
     base.run_interleave = false;
+    base.run_evolution = false;
   }
   if (!args.get("fault").empty()) {
     std::string fault_error;
@@ -901,6 +1057,10 @@ std::string usage() {
          "  stats     per-service pattern statistics\n"
          "  validate  patterndb-style test-case validation\n"
          "  purge     drop patterns below a match threshold\n"
+         "  compact   evolution maintenance pass: re-specialise collapsed "
+         "wildcards, merge near-duplicates, evict stale patterns "
+         "(crash-safe rewrite; optional replay corpus feeds value "
+         "sketches)\n"
          "  import    merge a (possibly hand-edited) patterndb XML back "
          "into the DB\n"
          "  generate  emit a synthetic corpus or fleet stream\n"
@@ -935,6 +1095,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "stats") return cmd_stats(rest, in, out, err);
   if (cmd == "validate") return cmd_validate(rest, in, out, err);
   if (cmd == "purge") return cmd_purge(rest, in, out, err);
+  if (cmd == "compact") return cmd_compact(rest, in, out, err);
   if (cmd == "import") return cmd_import(rest, in, out, err);
   if (cmd == "generate") return cmd_generate(rest, in, out, err);
   if (cmd == "simulate") return cmd_simulate(rest, in, out, err);

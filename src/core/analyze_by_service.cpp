@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/evolution.hpp"
 #include "core/parser.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
@@ -66,7 +67,12 @@ EngineMetrics& engine_metrics() {
 }  // namespace
 
 Engine::Engine(PatternRepository* repo, EngineOptions opts)
-    : repo_(repo), opts_(opts) {}
+    : repo_(repo), opts_(opts) {
+  // One example cap end to end: the analyzer trie, merge_pattern_into and
+  // the repository's upsert merge must agree or the memory and durable
+  // backends diverge (differential oracle).
+  repo_->set_example_cap(opts_.analyzer.example_cap);
+}
 
 Engine::ServiceOutcome Engine::process_service(
     const std::string& service,
@@ -102,6 +108,12 @@ Engine::ServiceOutcome Engine::process_service(
       if (auto result = parser.match_tokens(service, scratch.tokens())) {
         ++match_counts[result->pattern->id()];
         ++outcome.report.matched_existing;
+        if (opts_.sketches != nullptr) {
+          // Evolution evidence: record the extracted field values so the
+          // maintenance pass can spot wildcards whose observed cardinality
+          // collapsed (core/evolution.hpp).
+          opts_.sketches->observe(result->pattern->id(), result->fields);
+        }
         continue;
       }
       ++outcome.report.analyzed;

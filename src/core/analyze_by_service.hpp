@@ -30,6 +30,8 @@
 
 namespace seqrtg::core {
 
+class SketchRegistry;
+
 struct EngineOptions {
   ScannerOptions scanner;
   SpecialTokenOptions special;
@@ -49,6 +51,10 @@ struct EngineOptions {
   /// Timestamp recorded on stats updates (unix seconds); benches inject
   /// synthetic clocks.
   std::int64_t now_unix = 0;
+  /// Optional per-position value sketches recorded on every parse-first
+  /// match (core/evolution.hpp). The registry is thread-safe; nullptr
+  /// disables the sampling entirely. Must outlive the engine.
+  SketchRegistry* sketches = nullptr;
 };
 
 struct BatchReport {

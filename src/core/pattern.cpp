@@ -1,7 +1,7 @@
 #include "core/pattern.hpp"
 
 #include <algorithm>
-#include <map>
+#include <set>
 
 #include "util/sha1.hpp"
 #include "util/strings.hpp"
@@ -99,7 +99,7 @@ std::optional<std::vector<PatternToken>> parse_pattern_text(
 }
 
 void assign_variable_names(std::vector<PatternToken>& tokens) {
-  std::map<std::string, int> used;
+  std::set<std::string> taken;
   for (PatternToken& t : tokens) {
     if (!t.is_variable) continue;
     std::string base = t.name;
@@ -111,8 +111,15 @@ void assign_variable_names(std::vector<PatternToken>& tokens) {
       if (util::is_alnum(c) || c == '_') clean += c;
     }
     if (clean.empty()) clean = std::string(token_type_tag(t.var_type));
-    const int n = used[clean]++;
-    t.name = (n == 0) ? clean : clean + std::to_string(n);
+    // Numeric-suffix disambiguation must skip names already in use: an
+    // explicit "foo1" followed by two plain "foo"s yields foo1, foo, foo2
+    // — never two %foo1% tokens.
+    std::string candidate = clean;
+    for (int n = 1; taken.count(candidate) > 0; ++n) {
+      candidate = clean + std::to_string(n);
+    }
+    t.name = candidate;
+    taken.insert(std::move(candidate));
   }
 }
 

@@ -20,11 +20,12 @@ struct RepoMetrics {
   obs::Counter& load_service;
   obs::Counter& upsert;
   obs::Counter& record_match;
+  obs::Counter& del;
 };
 
 RepoMetrics& repo_metrics() {
   static RepoMetrics m{repo_op("load_service"), repo_op("upsert"),
-                       repo_op("record_match")};
+                       repo_op("record_match"), repo_op("delete")};
   return m;
 }
 
@@ -95,8 +96,23 @@ void InMemoryRepository::upsert_pattern(const Pattern& p) {
     by_id_.emplace(id, p);
     by_service_[p.service].push_back(id);
   } else {
-    merge_pattern_into(it->second, p);
+    merge_pattern_into(it->second, p, example_cap_);
   }
+}
+
+bool InMemoryRepository::delete_pattern(const std::string& id) {
+  if (obs::telemetry_enabled()) repo_metrics().del.inc();
+  std::lock_guard lock(mutex_);
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const auto svc = by_service_.find(it->second.service);
+  if (svc != by_service_.end()) {
+    auto& ids = svc->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) by_service_.erase(svc);
+  }
+  by_id_.erase(it);
+  return true;
 }
 
 void InMemoryRepository::record_match(const std::string& id,

@@ -37,9 +37,21 @@ class PatternRepository {
   virtual void record_match(const std::string& id, std::uint64_t count,
                             std::int64_t when) = 0;
 
+  /// Removes pattern `id` (and its examples) if present; true when a row
+  /// was deleted. The evolution/compaction pass uses this to rewrite a
+  /// service; durable repositories log the deletion so it is crash-safe.
+  virtual bool delete_pattern(const std::string& id) = 0;
+
   virtual std::optional<Pattern> find(const std::string& id) = 0;
 
   virtual std::size_t pattern_count() = 0;
+
+  /// Example merge cap applied by upsert_pattern (see merge_pattern_into).
+  /// Held on the interface — not per-backend — so the in-memory and durable
+  /// stores stay differentially identical when the engine configures a cap
+  /// other than the default 3 (AnalyzerOptions::example_cap).
+  void set_example_cap(std::size_t cap) { example_cap_ = cap; }
+  std::size_t example_cap() const { return example_cap_; }
 
   /// Batch transaction hooks. Durable repositories make every mutation
   /// between begin_batch() and commit_batch() atomic on disk — a crash (or
@@ -48,6 +60,9 @@ class PatternRepository {
   virtual void begin_batch() {}
   virtual void commit_batch() {}
   virtual void abort_batch() {}
+
+ protected:
+  std::size_t example_cap_ = 3;
 };
 
 /// RAII batch scope: commits on `commit()`, aborts when destroyed without
@@ -81,6 +96,7 @@ class InMemoryRepository final : public PatternRepository {
   void upsert_pattern(const Pattern& p) override;
   void record_match(const std::string& id, std::uint64_t count,
                     std::int64_t when) override;
+  bool delete_pattern(const std::string& id) override;
   std::optional<Pattern> find(const std::string& id) override;
   std::size_t pattern_count() override;
 

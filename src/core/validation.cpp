@@ -1,6 +1,7 @@
 #include "core/validation.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -36,13 +37,6 @@ std::vector<Pattern> resolve_conflicts(
     const std::vector<Pattern>& patterns,
     const ScannerOptions& scanner_opts,
     const SpecialTokenOptions& special_opts) {
-  const ValidationReport report =
-      validate_patterns(patterns, scanner_opts, special_opts);
-  if (report.ok()) return patterns;
-
-  std::unordered_map<std::string, const Pattern*> by_id;
-  for (const Pattern& p : patterns) by_id[p.id()] = &p;
-
   // "The most correct pattern would be promoted and the other discarded":
   // in each conflicting pair, keep the more specific pattern.
   const auto loses_to = [](const Pattern& a, const Pattern& b) {
@@ -56,31 +50,75 @@ std::vector<Pattern> resolve_conflicts(
     return a.id() > b.id();
   };
 
-  std::set<std::string> discarded;
-  for (const PatternConflict& conflict : report.conflicts) {
-    if (conflict.matched_id.empty()) {
-      // The pattern cannot re-match its own example: discard it outright.
-      discarded.insert(conflict.pattern_id);
-      continue;
-    }
-    const Pattern* own = by_id[conflict.pattern_id];
-    const Pattern* other = by_id.count(conflict.matched_id) > 0
-                               ? by_id[conflict.matched_id]
-                               : nullptr;
-    if (own == nullptr || other == nullptr) continue;
-    if (loses_to(*own, *other)) {
-      discarded.insert(conflict.pattern_id);
-    } else {
-      discarded.insert(conflict.matched_id);
-    }
-  }
+  // Discarding a pattern changes what every remaining example resolves to
+  // (a previously-shadowed pattern may now win, exposing a new conflict),
+  // so a single validate-and-discard pass is not enough: iterate to a
+  // fixpoint. Each round discards at least one pattern, so size()+1 rounds
+  // always suffice — the last validate either comes back clean or the set
+  // is empty (trivially clean).
+  std::vector<Pattern> current = patterns;
+  const std::size_t max_rounds = patterns.size() + 1;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const ValidationReport report =
+        validate_patterns(current, scanner_opts, special_opts);
+    if (report.ok()) return current;
 
-  std::vector<Pattern> survivors;
-  survivors.reserve(patterns.size());
-  for (const Pattern& p : patterns) {
-    if (discarded.count(p.id()) == 0) survivors.push_back(p);
+    std::unordered_map<std::string, const Pattern*> by_id;
+    for (const Pattern& p : current) by_id[p.id()] = &p;
+
+    // A pattern that cannot re-match its own example is defective
+    // regardless of what else survives: discard it outright.
+    std::set<std::string> self_dead;
+    // loser -> one of the patterns that beat it this round.
+    std::map<std::string, std::string> beaten_by;
+    for (const PatternConflict& conflict : report.conflicts) {
+      if (conflict.matched_id.empty()) {
+        self_dead.insert(conflict.pattern_id);
+        continue;
+      }
+      const auto own_it = by_id.find(conflict.pattern_id);
+      const auto other_it = by_id.find(conflict.matched_id);
+      if (own_it == by_id.end() || other_it == by_id.end()) continue;
+      if (loses_to(*own_it->second, *other_it->second)) {
+        beaten_by.emplace(conflict.pattern_id, conflict.matched_id);
+      } else {
+        beaten_by.emplace(conflict.matched_id, conflict.pattern_id);
+      }
+    }
+
+    std::set<std::string> discard = self_dead;
+    // Only discard a loser whose winner survives this round. In a chain
+    // (A loses to B, B loses to C) discarding both A and B would silently
+    // lose A's coverage: with B gone, A may have no conflict left. Keep A
+    // for re-validation next round instead.
+    for (const auto& [loser, winner] : beaten_by) {
+      if (beaten_by.count(winner) == 0 && self_dead.count(winner) == 0) {
+        discard.insert(loser);
+      }
+    }
+    if (discard.empty() && !beaten_by.empty()) {
+      // Every loser's winner is itself a loser: a cycle. Break it by
+      // discarding the single least-correct pattern so the round makes
+      // progress; the next validation re-judges the rest.
+      const Pattern* worst = nullptr;
+      for (const auto& [loser, winner] : beaten_by) {
+        const Pattern* candidate = by_id.at(loser);
+        if (worst == nullptr || loses_to(*candidate, *worst)) {
+          worst = candidate;
+        }
+      }
+      discard.insert(worst->id());
+    }
+    if (discard.empty()) break;  // defensive: no progress possible
+
+    std::vector<Pattern> survivors;
+    survivors.reserve(current.size());
+    for (Pattern& p : current) {
+      if (discard.count(p.id()) == 0) survivors.push_back(std::move(p));
+    }
+    current = std::move(survivors);
   }
-  return survivors;
+  return current;
 }
 
 }  // namespace seqrtg::core

@@ -53,7 +53,11 @@ ValidationReport validate_patterns(const std::vector<Pattern>& patterns,
 /// Resolves conflicts by discarding the less correct pattern of each
 /// conflicting pair: higher complexity loses (it is "overly patternised");
 /// ties fall to the lower match count, then the lexically larger id.
-/// Returns the surviving patterns (order preserved).
+/// Iterates validate->discard to a bounded fixpoint — discarding a pattern
+/// can expose new conflicts, and in a chain (A loses to B, B loses to C)
+/// only B is discarded in that round so A keeps its coverage if removing B
+/// cleared its conflict. The returned set is conflict-free under
+/// re-validation. Returns the surviving patterns (order preserved).
 std::vector<Pattern> resolve_conflicts(
     const std::vector<Pattern>& patterns,
     const ScannerOptions& scanner_opts = {},

@@ -64,6 +64,28 @@ obs::Gauge& lane_depth_gauge(std::size_t lane) {
       {{"lane", std::to_string(lane)}});
 }
 
+/// Strict non-negative integer parse for query parameters. Rejects empty
+/// strings, signs, trailing junk ("10abc") and out-of-range values — the
+/// old strtoull-with-nullptr-endptr parse silently treated all of those as
+/// valid numbers (e.g. ?top=abc became top=0, hiding every pattern).
+bool parse_u64_param(const std::string& value, std::uint64_t* out) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno == ERANGE || end == value.c_str() || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+HttpResponse bad_request(const std::string& detail) {
+  HttpResponse response;
+  response.status = 400;
+  response.content_type = "text/plain";
+  response.body = "bad request: " + detail + "\n";
+  return response;
+}
+
 /// First value of `key` in an "a=1&b=2" query string; empty when absent.
 std::string query_param(std::string_view query, std::string_view key) {
   while (!query.empty()) {
@@ -166,6 +188,9 @@ bool Server::start(std::string* error) {
   }
   if (opts_.checkpoint_interval_s > 0.0 && store_->durable()) {
     checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
+  }
+  if (opts_.evolution_interval_s > 0.0) {
+    evolution_thread_ = std::thread([this] { evolution_loop(); });
   }
   started_.store(true, std::memory_order_relaxed);
   obs::logev(obs::LogLevel::kInfo, "serve", "start",
@@ -302,6 +327,9 @@ void Server::lane_loop(std::size_t index) {
   // its per-thread batch scopes.
   core::EngineOptions engine_opts = opts_.engine;
   engine_opts.threads = 1;  // parallelism comes from the lanes themselves
+  // Every lane feeds the shared sketch registry so the background evolution
+  // pass sees match-time value evidence from all services.
+  engine_opts.sketches = &sketches_;
   core::Engine engine(store_, engine_opts);
 
   auto& queue = lanes_[index]->queue;
@@ -401,9 +429,104 @@ void Server::checkpoint_loop() {
   }
 }
 
+void Server::evolution_loop() {
+  obs::tracer().set_thread_name("evolution");
+  // Same timing scheme as checkpoint_loop: the interval is measured on the
+  // injected clock, the 200ms wait only bounds deadline re-checks, so
+  // ManualClock tests drive passes deterministically.
+  const auto interval_ms =
+      static_cast<std::int64_t>(opts_.evolution_interval_s * 1000.0);
+  std::int64_t next_ms = clock_->now_ms() + interval_ms;
+  std::unique_lock lock(evolution_mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    evolution_cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
+      return stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (clock_->now_ms() < next_ms) continue;
+    next_ms = clock_->now_ms() + interval_ms;
+    lock.unlock();
+    run_evolution_pass();
+    lock.lock();
+  }
+}
+
+void Server::run_evolution_pass() {
+  core::EvolutionOptions eopts = opts_.evolution;
+  // The pass must agree with the lane engines on scanning and example
+  // policy, or evolved patterns would be validated under different rules
+  // than they are matched under.
+  eopts.scanner = opts_.engine.scanner;
+  eopts.special = opts_.engine.special;
+  eopts.example_cap = opts_.engine.analyzer.example_cap;
+  eopts.now_unix = clock_->now_unix();
+  const core::EvolutionReport report =
+      core::evolve_repository(*store_, &sketches_, eopts);
+  {
+    std::lock_guard lock(evolution_report_mutex_);
+    last_evolution_ = report;
+  }
+  evolution_passes_.fetch_add(1, std::memory_order_relaxed);
+  obs::logev(obs::LogLevel::kInfo, "serve", "evolution_pass",
+             {{"services_changed", report.services_changed},
+              {"services_rejected", report.services_rejected},
+              {"specialised", report.specialised},
+              {"merged", report.merged},
+              {"evicted", report.evicted},
+              {"conflict_discards", report.conflict_discards}});
+  notify_progress();
+}
+
+std::string Server::evolution_json() const {
+  core::EvolutionReport report;
+  {
+    std::lock_guard lock(evolution_report_mutex_);
+    report = last_evolution_;
+  }
+  std::string out = "{\"passes\":" + std::to_string(evolution_passes());
+  out += ",\"interval_s\":" + std::to_string(opts_.evolution_interval_s);
+  out += ",\"sketched_patterns\":" + std::to_string(sketches_.pattern_count());
+  out += ",\"last\":{";
+  out += "\"services_seen\":" + std::to_string(report.services_seen);
+  out += ",\"services_changed\":" + std::to_string(report.services_changed);
+  out += ",\"services_rejected\":" + std::to_string(report.services_rejected);
+  out += ",\"specialised\":" + std::to_string(report.specialised);
+  out += ",\"merged\":" + std::to_string(report.merged);
+  out += ",\"evicted\":" + std::to_string(report.evicted);
+  out += ",\"conflict_discards\":" + std::to_string(report.conflict_discards);
+  out += ",\"patterns_before\":" + std::to_string(report.patterns_before);
+  out += ",\"patterns_after\":" + std::to_string(report.patterns_after);
+  out += ",\"actions\":[";
+  // Cap the action list: a big maintenance pass can touch thousands of
+  // patterns and this endpoint is for eyeballing, not export.
+  const std::size_t limit = std::min<std::size_t>(report.actions.size(), 50);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const core::EvolutionAction& a = report.actions[i];
+    if (i != 0) out += ',';
+    const char* kind = "?";
+    switch (a.kind) {
+      case core::EvolutionAction::Kind::kSpecialise: kind = "specialise"; break;
+      case core::EvolutionAction::Kind::kMerge: kind = "merge"; break;
+      case core::EvolutionAction::Kind::kEvict: kind = "evict"; break;
+      case core::EvolutionAction::Kind::kConflictDiscard:
+        kind = "conflict_discard";
+        break;
+    }
+    out += "{\"kind\":\"";
+    out += kind;
+    out += "\",\"service\":\"" + util::json_escape(a.service);
+    out += "\",\"detail\":\"" + util::json_escape(a.detail);
+    out += "\"}";
+  }
+  out += "],\"actions_total\":" + std::to_string(report.actions.size());
+  out += "}}";
+  return out;
+}
+
 void Server::request_stop() {
   stopping_.store(true, std::memory_order_relaxed);
   checkpoint_cv_.notify_all();
+  evolution_cv_.notify_all();
 }
 
 ServeReport Server::stop() {
@@ -433,6 +556,7 @@ ServeReport Server::stop() {
   }
 
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  if (evolution_thread_.joinable()) evolution_thread_.join();
 
   ServeReport report;
   for (const auto& lane : lanes_) {
@@ -627,18 +751,30 @@ HttpResponse Server::handle_http(const std::string& target) {
     return response;
   }
   if (path == "/debug/patterns") {
-    std::size_t top = 20;
+    std::uint64_t top = 20;
     if (const std::string v = query_param(query, "top"); !v.empty()) {
-      top = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+      if (!parse_u64_param(v, &top)) {
+        return bad_request("top must be a non-negative integer, got '" +
+                           std::string(util::json_escape(v)) + "'");
+      }
     }
-    return debug_patterns(top);
+    return debug_patterns(static_cast<std::size_t>(top));
   }
   if (path == "/debug/trace") {
-    std::int64_t ms = 0;
+    std::uint64_t ms = 0;
     if (const std::string v = query_param(query, "ms"); !v.empty()) {
-      ms = std::strtoll(v.c_str(), nullptr, 10);
+      if (!parse_u64_param(v, &ms) ||
+          ms > static_cast<std::uint64_t>(INT64_MAX / 1000)) {
+        return bad_request("ms must be a non-negative integer, got '" +
+                           std::string(util::json_escape(v)) + "'");
+      }
     }
-    return debug_trace(ms);
+    return debug_trace(static_cast<std::int64_t>(ms));
+  }
+  if (path == "/debug/evolution") {
+    response.content_type = "application/json";
+    response.body = evolution_json();
+    return response;
   }
   response.status = 404;
   response.body = "not found\n";

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/analyze_by_service.hpp"
+#include "core/evolution.hpp"
 #include "core/ingest.hpp"
 #include "serve/http.hpp"
 #include "store/pattern_store.hpp"
@@ -69,6 +70,17 @@ struct ServeOptions {
   double flush_interval_s = 1.0;
   /// Seconds between snapshot checkpoints (0 = only the final one).
   double checkpoint_interval_s = 0.0;
+  /// Seconds between background pattern-evolution passes (0 = disabled).
+  /// Each pass runs core::evolve_repository over the shared store, fed by
+  /// the per-lane match-time value sketches; intervals are measured on the
+  /// injected clock so testkit's ManualClock drives passes
+  /// deterministically.
+  double evolution_interval_s = 0.0;
+  /// Rules for the background evolution pass. scanner/special/example_cap
+  /// and now_unix are overwritten from the engine options and the injected
+  /// clock each pass; the remaining knobs (specialise/merge/ttl_days...)
+  /// are honoured as given.
+  core::EvolutionOptions evolution;
   /// Rotate a final snapshot during the drain. Disabled by tests that
   /// assert WAL-replay recovery of a non-checkpointed exit.
   bool checkpoint_on_stop = true;
@@ -152,6 +164,14 @@ class Server {
     return checkpoints_.load(std::memory_order_relaxed);
   }
 
+  /// Background evolution passes completed so far.
+  std::uint64_t evolution_passes() const {
+    return evolution_passes_.load(std::memory_order_relaxed);
+  }
+
+  /// The /debug/evolution JSON document (also used by tests directly).
+  std::string evolution_json() const;
+
   /// Blocks until `pred()` holds or `timeout` elapses (returns pred()'s
   /// final value). The server signals after every accounting change
   /// (accept/drop/malformed/flush), so tests wait on exact counter states
@@ -186,6 +206,8 @@ class Server {
   void accept_loop();
   void connection_loop(int fd);
   void checkpoint_loop();
+  void evolution_loop();
+  void run_evolution_pass();
   /// Parses one line and shards it onto its lane. Returns false when the
   /// daemon is draining and producers should stop.
   bool ingest_line(std::string_view line, core::IngestStats& stats);
@@ -213,6 +235,15 @@ class Server {
   std::mutex checkpoint_mutex_;
   std::condition_variable checkpoint_cv_;
 
+  /// Match-time value sketches shared by every lane engine; consumed (and
+  /// pruned) by the background evolution pass.
+  core::SketchRegistry sketches_;
+  std::thread evolution_thread_;
+  std::mutex evolution_mutex_;
+  std::condition_variable evolution_cv_;
+  mutable std::mutex evolution_report_mutex_;
+  core::EvolutionReport last_evolution_;
+
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
@@ -227,6 +258,7 @@ class Server {
   std::atomic<std::uint64_t> new_patterns_{0};
   std::atomic<std::uint64_t> matched_existing_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> evolution_passes_{0};
   /// Global record index handed to opts_.queue_fault (arrival order).
   std::atomic<std::uint64_t> fault_index_{0};
   mutable std::mutex progress_mutex_;

@@ -28,6 +28,8 @@ constexpr std::string_view kPatternColumns =
 /// WAL op codes (one byte each inside a commit group).
 constexpr std::uint8_t kOpUpsert = 1;
 constexpr std::uint8_t kOpRecordMatch = 2;
+/// Pattern deletion (evolution/compaction rewrites).
+constexpr std::uint8_t kOpDelete = 3;
 
 constexpr std::string_view kWalFile = "wal.log";
 constexpr std::string_view kSnapshotPrefix = "snapshot-";
@@ -49,6 +51,7 @@ struct StoreMetrics {
   obs::Counter& load_service;
   obs::Counter& upsert;
   obs::Counter& record_match;
+  obs::Counter& del;
   obs::Counter& save;
   obs::Counter& load;
   obs::Histogram& persist_seconds;
@@ -65,6 +68,7 @@ StoreMetrics& store_metrics() {
       store_op("load_service"),
       store_op("upsert"),
       store_op("record_match"),
+      store_op("delete"),
       store_op("save"),
       store_op("load"),
       obs::default_registry().histogram(
@@ -152,6 +156,11 @@ void encode_record_match(std::string& ops, const std::string& id,
   wal_put_string(ops, id);
   wal_put_u64(ops, count);
   wal_put_i64(ops, when);
+}
+
+void encode_delete(std::string& ops, const std::string& id) {
+  ops.push_back(static_cast<char>(kOpDelete));
+  wal_put_string(ops, id);
 }
 
 }  // namespace
@@ -322,11 +331,13 @@ void PatternStore::apply_upsert(const core::Pattern& p) {
       "last_matched = ?, tokens = ? WHERE pid = ?",
       {Value(match_count), Value(first_seen), Value(last_matched),
        Value(tokens_json), Value(pid)});
-  // Merge examples up to the cap of 3.
+  // Merge examples up to the configured cap (see
+  // PatternRepository::set_example_cap — must agree with the in-memory
+  // backend's merge_pattern_into cap or the differential oracle diverges).
   std::vector<std::string> current = load_examples(pid);
   std::int64_t seq = static_cast<std::int64_t>(current.size());
   for (const std::string& e : p.examples) {
-    if (current.size() >= 3) break;
+    if (current.size() >= example_cap_) break;
     if (std::find(current.begin(), current.end(), e) == current.end()) {
       db_.exec("INSERT INTO examples VALUES (?, ?, ?)",
                {Value(pid), Value(seq++), Value(e)});
@@ -348,6 +359,15 @@ void PatternStore::apply_record_match(const std::string& id,
   db_.exec(
       "UPDATE patterns SET match_count = ?, last_matched = ? WHERE pid = ?",
       {Value(match_count), Value(last_matched), Value(id)});
+}
+
+bool PatternStore::apply_delete(const std::string& id) {
+  QueryResult existing =
+      db_.exec("SELECT pid FROM patterns WHERE pid = ?", {id});
+  if (existing.rows.empty()) return false;
+  db_.exec("DELETE FROM patterns WHERE pid = ?", {id});
+  db_.exec("DELETE FROM examples WHERE pid = ?", {id});
+  return true;
 }
 
 void PatternStore::log_ops(std::string ops) {
@@ -393,6 +413,18 @@ void PatternStore::record_match(const std::string& id, std::uint64_t count,
     encode_record_match(ops, id, count, when);
     log_ops(std::move(ops));
   }
+}
+
+bool PatternStore::delete_pattern(const std::string& id) {
+  if (obs::telemetry_enabled()) store_metrics().del.inc();
+  std::lock_guard lock(mutex_);
+  if (!apply_delete(id)) return false;
+  if (wal_.is_open()) {
+    std::string ops;
+    encode_delete(ops, id);
+    log_ops(std::move(ops));
+  }
+  return true;
 }
 
 void PatternStore::begin_batch() {
@@ -512,6 +544,10 @@ void PatternStore::replay_ops(std::string_view ops) {
       const std::int64_t when = r.i64();
       if (!r.ok) break;
       apply_record_match(id, count, when);
+    } else if (op == kOpDelete) {
+      const std::string id(r.string());
+      if (!r.ok) break;
+      apply_delete(id);
     } else {
       break;  // unknown op: drop the rest of the group
     }

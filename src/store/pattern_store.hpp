@@ -63,6 +63,7 @@ class PatternStore final : public core::PatternRepository {
   void upsert_pattern(const core::Pattern& p) override;
   void record_match(const std::string& id, std::uint64_t count,
                     std::int64_t when) override;
+  bool delete_pattern(const std::string& id) override;
   std::optional<core::Pattern> find(const std::string& id) override;
   std::size_t pattern_count() override;
 
@@ -161,6 +162,7 @@ class PatternStore final : public core::PatternRepository {
   void apply_upsert(const core::Pattern& p);
   void apply_record_match(const std::string& id, std::uint64_t count,
                           std::int64_t when);
+  bool apply_delete(const std::string& id);
   /// Appends `ops` (or buffers them into the calling thread's open batch
   /// scope) and fsyncs.
   void log_ops(std::string ops);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/parser.hpp"
+#include "core/validation.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 
@@ -186,6 +187,77 @@ OracleVerdict check_idempotence(const std::vector<core::LogRecord>& records,
       canonical_patterns(store, /*include_match_counts=*/false);
   if (before != after) {
     return OracleFailure{"idempotence", first_diff(before, after)};
+  }
+  return std::nullopt;
+}
+
+OracleVerdict check_evolution(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts,
+                              const core::EvolutionOptions& evolution) {
+  core::EngineOptions engine_opts = opts;
+  engine_opts.threads = 1;
+  core::SketchRegistry sketches;
+  engine_opts.sketches = &sketches;
+  store::PatternStore store;
+  core::Engine engine(&store, engine_opts);
+  engine.analyze_by_service(records);
+  // The second pass is a pure parse pass (idempotence oracle); it feeds
+  // every record through the parse-first matcher and thus into the value
+  // sketches — the match-time evidence re-specialisation needs.
+  engine.analyze_by_service(records);
+
+  // Which records the mined set parses — evolution must not lose any of
+  // them (records the MINED set already missed are soundness's problem,
+  // not evolution's).
+  const auto build_parser = [&](core::Parser& parser) {
+    for (const std::string& service : store.services()) {
+      for (const core::Pattern& p : store.load_service(service)) {
+        parser.add_pattern(p);
+      }
+    }
+  };
+  std::vector<bool> parsed_before(records.size(), false);
+  {
+    core::Parser before(engine_opts.scanner, engine_opts.special);
+    build_parser(before);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      parsed_before[i] =
+          before.parse(records[i].service, records[i].message).has_value();
+    }
+  }
+
+  core::EvolutionOptions eopts = evolution;
+  eopts.scanner = engine_opts.scanner;
+  eopts.special = engine_opts.special;
+  eopts.example_cap = engine_opts.analyzer.example_cap;
+  core::evolve_repository(store, &sketches, eopts);
+
+  core::Parser after(engine_opts.scanner, engine_opts.special);
+  build_parser(after);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!parsed_before[i]) continue;
+    if (!after.parse(records[i].service, records[i].message).has_value()) {
+      std::ostringstream detail;
+      detail << "record " << i << " (service " << records[i].service
+             << ") parsed before the evolution pass but not after: "
+             << records[i].message;
+      return OracleFailure{"evolution:coverage", detail.str()};
+    }
+  }
+  for (const std::string& service : store.services()) {
+    const core::ValidationReport report = core::validate_patterns(
+        store.load_service(service), engine_opts.scanner,
+        engine_opts.special);
+    if (!report.ok()) {
+      const core::PatternConflict& c = report.conflicts.front();
+      std::ostringstream detail;
+      detail << "evolved set of service " << service
+             << " is not conflict-free: pattern " << c.pattern_id
+             << " example matched "
+             << (c.matched_id.empty() ? "<nothing>" : c.matched_id) << ": "
+             << c.example;
+      return OracleFailure{"evolution:conflict", detail.str()};
+    }
   }
   return std::nullopt;
 }

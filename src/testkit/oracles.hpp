@@ -17,6 +17,12 @@
 //   idempotence    — re-analyzing the same corpus discovers nothing new:
 //                    analyzed == 0, new_patterns == 0, pattern texts
 //                    unchanged (parse-first matches everything).
+//   evolution      — mining the corpus, feeding the match-time value
+//                    sketches, then running the core::evolve_repository
+//                    maintenance pass loses no coverage: every record the
+//                    mined set parsed still parses under the evolved set,
+//                    and the evolved per-service sets are conflict-free
+//                    under re-validation.
 //   interleave     — permuting the cross-service interleaving while
 //                    preserving each service's own record order leaves
 //                    the mined patterns byte-identical (the first
@@ -38,6 +44,7 @@
 #include <vector>
 
 #include "core/analyze_by_service.hpp"
+#include "core/evolution.hpp"
 #include "core/ingest.hpp"
 #include "store/pattern_store.hpp"
 #include "testkit/canonical.hpp"
@@ -117,6 +124,16 @@ OracleVerdict check_soundness(const std::vector<core::LogRecord>& records,
 
 OracleVerdict check_idempotence(const std::vector<core::LogRecord>& records,
                                 const core::EngineOptions& opts);
+
+/// Metamorphic evolution oracle: mine the corpus (two passes — the second
+/// is a pure parse pass that feeds the value sketches), run the evolution
+/// maintenance pass over the store, and require that (a) every record the
+/// mined set parsed still parses under the evolved set and (b) every
+/// evolved per-service set re-validates conflict-free. `evolution`'s
+/// scanner/special/example_cap are overwritten from `opts`.
+OracleVerdict check_evolution(const std::vector<core::LogRecord>& records,
+                              const core::EngineOptions& opts,
+                              const core::EvolutionOptions& evolution = {});
 
 /// Service-preserving interleave permutation drawn from `seed`.
 OracleVerdict check_interleave_invariance(

@@ -250,7 +250,8 @@ std::string repro_command(const ScenarioOptions& opts) {
   if (!opts.fault.empty()) {
     out << " --fault '" << opts.fault.to_string() << "'";
   }
-  if (!opts.run_soundness && !opts.run_idempotence && !opts.run_interleave) {
+  if (!opts.run_soundness && !opts.run_idempotence && !opts.run_interleave &&
+      !opts.run_evolution) {
     out << " --quick";
   }
   if (!opts.shrink) out << " --no-shrink";
@@ -335,6 +336,9 @@ ScenarioResult run_scenario(const ScenarioOptions& opts,
       verdict = check_interleave_invariance(
           corpus, opts.engine, mix_seed(opts.seed, "interleave-oracle"));
     }
+    if (!verdict.has_value() && opts.run_evolution) {
+      verdict = check_evolution(corpus, opts.engine);
+    }
   }
   if (!verdict.has_value()) {
     ScenarioResult result;
@@ -360,6 +364,8 @@ ScenarioResult run_scenario(const ScenarioOptions& opts,
             v = check_interleave_invariance(
                 subset, opts.engine,
                 mix_seed(opts.seed, "interleave-oracle"));
+          } else if (util::starts_with(oracle, "evolution")) {
+            v = check_evolution(subset, opts.engine);
           } else {
             return false;
           }

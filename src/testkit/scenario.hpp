@@ -55,6 +55,7 @@ struct ScenarioOptions {
   bool run_soundness = true;
   bool run_idempotence = true;
   bool run_interleave = true;
+  bool run_evolution = true;
 };
 
 struct ScenarioResult {

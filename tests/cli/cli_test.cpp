@@ -168,6 +168,42 @@ TEST(Cli, ValidateCleanDatabase) {
   std::remove(db.c_str());
 }
 
+TEST(Cli, CompactEvictsStalePatternsAndHonoursDryRun) {
+  const std::string db = temp_db("seqrtg_cli_compact.db");
+  std::remove(db.c_str());
+  const std::string stream =
+      R"({"service":"app","message":"alpha beta 1"})" "\n"
+      R"({"service":"app","message":"alpha beta 2"})" "\n";
+  ASSERT_EQ(run_cli({"analyze", "--db", db}, stream).code, 0);
+
+  // A far-future --now makes every pattern TTL-stale. The dry run reports
+  // the evictions but must leave the store untouched.
+  const CliResult dry =
+      run_cli({"compact", "--db", db, "--ttl-days", "7", "--now",
+               "4102444800", "--dry-run"});
+  EXPECT_EQ(dry.code, 0) << dry.err;
+  EXPECT_NE(dry.out.find("EVICT"), std::string::npos) << dry.out;
+  EXPECT_NE(dry.out.find("dry run: store not modified"), std::string::npos);
+  const CliResult still_there = run_cli({"parse", "--db", db},
+                                        R"({"service":"app","message":"alpha beta 3"})" "\n");
+  EXPECT_EQ(still_there.code, 0) << "dry run modified the store";
+
+  const CliResult real =
+      run_cli({"compact", "--db", db, "--ttl-days", "7", "--now",
+               "4102444800"});
+  EXPECT_EQ(real.code, 0) << real.err;
+  EXPECT_NE(real.out.find("-> 0 patterns"), std::string::npos) << real.out;
+  EXPECT_NE(real.out.find("1 service(s) rewritten"), std::string::npos)
+      << real.out;
+
+  // Idempotent once empty.
+  const CliResult again = run_cli({"compact", "--db", db});
+  EXPECT_EQ(again.code, 0);
+  EXPECT_NE(again.out.find("compact: 0 -> 0"), std::string::npos)
+      << again.out;
+  std::remove(db.c_str());
+}
+
 TEST(Cli, ImportRoundTrip) {
   const std::string db = temp_db("seqrtg_cli_import_src.db");
   const std::string db2 = temp_db("seqrtg_cli_import_dst.db");

@@ -1,0 +1,330 @@
+#include "core/evolution.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parser.hpp"
+#include "core/repository.hpp"
+#include "core/validation.hpp"
+#include "store/pattern_store.hpp"
+
+namespace seqrtg::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+PatternToken constant(std::string text, bool space = true) {
+  PatternToken t;
+  t.is_variable = false;
+  t.text = std::move(text);
+  t.is_space_before = space;
+  return t;
+}
+
+PatternToken variable(TokenType type, std::string name, bool space = true) {
+  PatternToken t;
+  t.is_variable = true;
+  t.var_type = type;
+  t.name = std::move(name);
+  t.is_space_before = space;
+  return t;
+}
+
+Pattern make_pattern(std::string service, std::vector<PatternToken> tokens,
+                     std::vector<std::string> examples,
+                     std::uint64_t count = 1) {
+  Pattern p;
+  p.service = std::move(service);
+  p.tokens = std::move(tokens);
+  p.examples = std::move(examples);
+  p.stats.match_count = count;
+  return p;
+}
+
+ValueSketch singleton_sketch(std::string value, std::uint64_t observations) {
+  ValueSketch s;
+  for (std::uint64_t i = 0; i < observations; ++i) s.observe(value);
+  return s;
+}
+
+TEST(ValueSketch, TracksDistinctValuesUpToCap) {
+  ValueSketch s;
+  s.observe("a");
+  s.observe("a");
+  EXPECT_TRUE(s.singleton());
+  EXPECT_EQ(s.observations, 2u);
+  s.observe("b");
+  EXPECT_FALSE(s.singleton());
+  for (int i = 0; i < 20; ++i) s.observe("v" + std::to_string(i));
+  EXPECT_TRUE(s.overflow);
+  EXPECT_LE(s.values.size(), ValueSketch::kMaxValues);
+}
+
+TEST(SketchRegistry, ObservesForgetAndIgnoresArityDrift) {
+  SketchRegistry reg;
+  reg.observe("p1", {{"host", "alpha"}, {"port", "80"}});
+  reg.observe("p1", {{"host", "alpha"}, {"port", "81"}});
+  // Arity drift (pattern rewritten under the same id) must not crash or
+  // corrupt the existing sketches.
+  reg.observe("p1", {{"host", "alpha"}});
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.at("p1").size(), 2u);
+  EXPECT_TRUE(snap.at("p1")[0].singleton());
+  EXPECT_FALSE(snap.at("p1")[1].singleton());
+  EXPECT_EQ(reg.pattern_count(), 1u);
+  reg.forget("p1");
+  EXPECT_EQ(reg.pattern_count(), 0u);
+}
+
+TEST(Evolution, SpecialisesCollapsedStringWildcard) {
+  const Pattern p = make_pattern(
+      "s",
+      {constant("connected", false), constant("to"),
+       variable(TokenType::String, "host")},
+      {"connected to backend"}, 10);
+  std::map<std::string, std::vector<ValueSketch>> sketches;
+  sketches[p.id()] = {singleton_sketch("backend", 5)};
+
+  EvolutionReport report;
+  const auto evolved = evolve_service({p}, sketches, EvolutionOptions{},
+                                      &report);
+  ASSERT_EQ(evolved.size(), 1u);
+  EXPECT_EQ(evolved[0].text(), "connected to backend");
+  EXPECT_EQ(report.specialised, 1u);
+  EXPECT_EQ(evolved[0].stats.match_count, 10u);
+}
+
+TEST(Evolution, SpecialisationGateRejectsDeadTypedRewrite) {
+  // "42" scans as an Integer token; a literal edge "42" would never match
+  // it, so the empirical liveness gate must veto this rewrite even though
+  // the sketch collapsed.
+  const Pattern p = make_pattern(
+      "s", {constant("took", false), variable(TokenType::Integer, "n")},
+      {"took 42"}, 10);
+  std::map<std::string, std::vector<ValueSketch>> sketches;
+  sketches[p.id()] = {singleton_sketch("42", 8)};
+
+  EvolutionReport report;
+  const auto evolved = evolve_service({p}, sketches, EvolutionOptions{},
+                                      &report);
+  ASSERT_EQ(evolved.size(), 1u);
+  EXPECT_EQ(evolved[0].text(), p.text());
+  EXPECT_EQ(report.specialised, 0u);
+}
+
+TEST(Evolution, RespectsMinObservations) {
+  const Pattern p = make_pattern(
+      "s",
+      {constant("connected", false), constant("to"),
+       variable(TokenType::String, "host")},
+      {"connected to backend"}, 10);
+  std::map<std::string, std::vector<ValueSketch>> sketches;
+  sketches[p.id()] = {singleton_sketch("backend", 2)};  // below default 3
+
+  EvolutionReport report;
+  const auto evolved = evolve_service({p}, sketches, EvolutionOptions{},
+                                      &report);
+  EXPECT_EQ(evolved[0].text(), p.text());
+  EXPECT_EQ(report.specialised, 0u);
+}
+
+TEST(Evolution, MergesTypedNearDuplicatesIntoWidenedVariable) {
+  // Same shape, differing only in the variable's type at one position:
+  // widening folds them into one %string% pattern (which collides with
+  // p2's id — the fold must merge, not duplicate).
+  const Pattern p1 = make_pattern(
+      "s", {constant("recv", false), variable(TokenType::Integer, "v")},
+      {"recv 7"}, 4);
+  const Pattern p2 = make_pattern(
+      "s", {constant("recv", false), variable(TokenType::String, "v")},
+      {"recv hello"}, 6);
+
+  EvolutionReport report;
+  const auto evolved =
+      evolve_service({p1, p2}, {}, EvolutionOptions{}, &report);
+  ASSERT_EQ(evolved.size(), 1u);
+  // The members' shared field name survives; the type widened to String.
+  EXPECT_EQ(evolved[0].text(), "recv %v%");
+  ASSERT_TRUE(evolved[0].tokens[1].is_variable);
+  EXPECT_EQ(evolved[0].tokens[1].var_type, TokenType::String);
+  EXPECT_EQ(evolved[0].stats.match_count, 10u);
+  EXPECT_EQ(report.merged, 1u);
+
+  Parser parser{ScannerOptions{}, SpecialTokenOptions{}};
+  parser.add_pattern(evolved[0]);
+  EXPECT_TRUE(parser.parse("s", "recv 7").has_value());
+  EXPECT_TRUE(parser.parse("s", "recv hello").has_value());
+}
+
+TEST(Evolution, MergesLiteralGroupAtCardinalityThreshold) {
+  std::vector<Pattern> patterns;
+  for (const std::string w : {"alpha", "beta", "gamma", "delta"}) {
+    patterns.push_back(make_pattern(
+        "s", {constant("state", false), constant(w)}, {"state " + w}, 2));
+  }
+  EvolutionReport report;
+  const auto evolved =
+      evolve_service(patterns, {}, EvolutionOptions{}, &report);
+  ASSERT_EQ(evolved.size(), 1u);
+  EXPECT_EQ(evolved[0].text(), "state %string%");
+  EXPECT_EQ(evolved[0].stats.match_count, 8u);
+  EXPECT_EQ(report.merged, 1u);
+}
+
+TEST(Evolution, SmallLiteralGroupDoesNotMerge) {
+  const Pattern p1 = make_pattern(
+      "s", {constant("state", false), constant("alpha")}, {"state alpha"});
+  const Pattern p2 = make_pattern(
+      "s", {constant("state", false), constant("beta")}, {"state beta"});
+  EvolutionReport report;
+  const auto evolved =
+      evolve_service({p1, p2}, {}, EvolutionOptions{}, &report);
+  EXPECT_EQ(evolved.size(), 2u);
+  EXPECT_EQ(report.merged, 0u);
+}
+
+TEST(Evolution, EvictsByTtlAndKeepsUndatedPatterns) {
+  const std::int64_t now = 1000 * 86400;
+  Pattern stale = make_pattern(
+      "s", {constant("old", false), constant("msg")}, {"old msg"}, 3);
+  stale.stats.last_matched = now - 40 * 86400;
+  Pattern fresh = make_pattern(
+      "s", {constant("new", false), constant("msg")}, {"new msg"}, 3);
+  fresh.stats.last_matched = now - 86400;
+  const Pattern undated = make_pattern(
+      "s", {constant("undated", false), constant("msg")}, {"undated msg"},
+      3);
+
+  EvolutionOptions opts;
+  opts.ttl_days = 30;
+  opts.now_unix = now;
+  EvolutionReport report;
+  const auto evolved =
+      evolve_service({stale, fresh, undated}, {}, opts, &report);
+  ASSERT_EQ(evolved.size(), 2u);
+  EXPECT_EQ(report.evicted, 1u);
+  for (const Pattern& p : evolved) {
+    EXPECT_NE(p.id(), stale.id());
+  }
+}
+
+TEST(Evolution, NoActionsReturnsInputUntouched) {
+  const Pattern p = make_pattern(
+      "s", {constant("boot", false), constant("ok")}, {"boot ok"}, 1);
+  EvolutionReport report;
+  const auto evolved = evolve_service({p}, {}, EvolutionOptions{}, &report);
+  EXPECT_EQ(evolved.size(), 1u);
+  EXPECT_FALSE(report.changed());
+  EXPECT_EQ(report.services_rejected, 0u);
+}
+
+TEST(Evolution, EvolvedSetRevalidatesCleanly) {
+  std::vector<Pattern> patterns;
+  for (const std::string w : {"alpha", "beta", "gamma", "delta"}) {
+    patterns.push_back(make_pattern(
+        "s", {constant("state", false), constant(w)}, {"state " + w}, 2));
+  }
+  patterns.push_back(make_pattern(
+      "s",
+      {constant("recv", false), variable(TokenType::Integer, "n")},
+      {"recv 12"}, 5));
+  EvolutionReport report;
+  const auto evolved =
+      evolve_service(patterns, {}, EvolutionOptions{}, &report);
+  EXPECT_TRUE(validate_patterns(evolved).ok());
+}
+
+TEST(Evolution, RepositoryRewriteDeletesConsumedPatterns) {
+  InMemoryRepository repo;
+  std::vector<std::string> old_ids;
+  for (const std::string w : {"alpha", "beta", "gamma", "delta"}) {
+    const Pattern p = make_pattern(
+        "svc", {constant("state", false), constant(w)}, {"state " + w}, 2);
+    old_ids.push_back(p.id());
+    repo.upsert_pattern(p);
+  }
+  const Pattern untouched = make_pattern(
+      "other", {constant("boot", false), constant("ok")}, {"boot ok"}, 1);
+  repo.upsert_pattern(untouched);
+
+  const EvolutionReport report =
+      evolve_repository(repo, nullptr, EvolutionOptions{});
+  EXPECT_EQ(report.services_seen, 2u);
+  EXPECT_EQ(report.services_changed, 1u);
+  EXPECT_EQ(report.merged, 1u);
+
+  const auto svc = repo.load_service("svc");
+  ASSERT_EQ(svc.size(), 1u);
+  EXPECT_EQ(svc[0].text(), "state %string%");
+  EXPECT_EQ(svc[0].stats.match_count, 8u);
+  ASSERT_EQ(repo.load_service("other").size(), 1u);
+  EXPECT_EQ(repo.load_service("other")[0].id(), untouched.id());
+}
+
+TEST(Evolution, SketchRegistryForgetsRewrittenPatterns) {
+  InMemoryRepository repo;
+  const Pattern p = make_pattern(
+      "s",
+      {constant("connected", false), constant("to"),
+       variable(TokenType::String, "host")},
+      {"connected to backend"}, 10);
+  repo.upsert_pattern(p);
+  SketchRegistry sketches;
+  sketches.observe(p.id(), {{"host", "backend"}});
+  sketches.observe(p.id(), {{"host", "backend"}});
+  sketches.observe(p.id(), {{"host", "backend"}});
+
+  const EvolutionReport report =
+      evolve_repository(repo, &sketches, EvolutionOptions{});
+  EXPECT_EQ(report.specialised, 1u);
+  // The old id was rewritten away; its sketches must go with it.
+  EXPECT_EQ(sketches.pattern_count(), 0u);
+  const auto evolved = repo.load_service("s");
+  ASSERT_EQ(evolved.size(), 1u);
+  EXPECT_EQ(evolved[0].text(), "connected to backend");
+}
+
+// The crash-safety contract: an evolution rewrite of a durable store is one
+// WAL commit group per service. Killing the process right after the pass
+// (no checkpoint) and reopening cold must replay to exactly the evolved
+// state — deletes included.
+TEST(Evolution, DurableRewriteSurvivesColdReopenViaWalReplay) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("seqrtg_evolution_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  std::string merged_text;
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    for (const std::string w : {"alpha", "beta", "gamma", "delta"}) {
+      store.upsert_pattern(make_pattern(
+          "svc", {constant("state", false), constant(w)}, {"state " + w},
+          2));
+    }
+    const EvolutionReport report =
+        evolve_repository(store, nullptr, EvolutionOptions{});
+    ASSERT_EQ(report.merged, 1u);
+    const auto evolved = store.load_service("svc");
+    ASSERT_EQ(evolved.size(), 1u);
+    merged_text = evolved[0].text();
+    // No checkpoint: the store closes with the rewrite only in the WAL.
+  }
+
+  store::PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.string()));
+  const auto recovered = reopened.load_service("svc");
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].text(), merged_text);
+  EXPECT_EQ(recovered[0].stats.match_count, 8u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace seqrtg::core

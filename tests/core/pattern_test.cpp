@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace seqrtg::core {
 namespace {
 
@@ -145,6 +147,22 @@ TEST(AssignVariableNames, SanitisesHostileCharacters) {
       variable(TokenType::String, "we%ird<name>")};
   assign_variable_names(tokens);
   EXPECT_EQ(tokens[0].name, "weirdname");
+}
+
+// Regression: the old per-base counter generated "foo1" for the second
+// "foo" without checking that an EXPLICIT "foo1" already existed, producing
+// two fields with the same name (ambiguous extraction downstream).
+TEST(AssignVariableNames, GeneratedNamesSkipExplicitCollisions) {
+  std::vector<PatternToken> tokens = {
+      variable(TokenType::String, "foo1"), variable(TokenType::String, "foo"),
+      variable(TokenType::String, "foo")};
+  assign_variable_names(tokens);
+  EXPECT_EQ(tokens[0].name, "foo1");
+  EXPECT_EQ(tokens[1].name, "foo");
+  EXPECT_EQ(tokens[2].name, "foo2");  // "foo1" is taken
+  std::set<std::string> names;
+  for (const PatternToken& t : tokens) names.insert(t.name);
+  EXPECT_EQ(names.size(), tokens.size()) << "duplicate field names assigned";
 }
 
 TEST(AssignVariableNames, ConstantsUntouched) {

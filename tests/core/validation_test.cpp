@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parser.hpp"
+
 namespace seqrtg::core {
 namespace {
 
@@ -118,6 +120,85 @@ TEST(ResolveConflicts, NoConflictsIsIdentity) {
   };
   const auto survivors = resolve_conflicts(patterns);
   EXPECT_EQ(survivors.size(), 2u);
+}
+
+// Chain regression: A's example resolves to B and B's example resolves to
+// C. The old single-pass resolver discarded every loser of the first
+// validation round (both A and B), losing the coverage only A provided.
+// The fixpoint keeps A: B is a loser itself, so round one discards only B,
+// and re-validation shows A is clean once B is gone.
+TEST(ResolveConflicts, ChainedConflictsKeepIntermediateCoverage) {
+  // C: most specific (all literals). B: "job %string%" loses its example
+  // "job done" to C. A: fully generic, loses its example "job running" to
+  // B (literal "job" edge preferred) — but nothing else matches
+  // "job running" once B is discarded.
+  const Pattern c = make_pattern(
+      "s", {constant("job", false), constant("done")}, {"job done"}, 2);
+  const Pattern b = make_pattern(
+      "s", {constant("job", false), variable(TokenType::String, "v")},
+      {"job done"}, 5);
+  const Pattern a = make_pattern(
+      "s",
+      {variable(TokenType::String, "k", false),
+       variable(TokenType::String, "v")},
+      {"job running"}, 9);
+
+  const auto survivors = resolve_conflicts({a, b, c});
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_TRUE(validate_patterns(survivors).ok());
+  bool kept_a = false;
+  bool kept_c = false;
+  for (const Pattern& p : survivors) {
+    if (p.id() == a.id()) kept_a = true;
+    if (p.id() == c.id()) kept_c = true;
+  }
+  EXPECT_TRUE(kept_a) << "the chain's head lost its coverage";
+  EXPECT_TRUE(kept_c);
+}
+
+// Mutation test of the fix itself: re-running the OLD algorithm (one
+// validation round, discard every conflicted pattern) on the same chain
+// fails the gates the fixpoint passes — it loses the coverage of "job
+// running". This pins the single-pass bug as a bug, not a tie-break choice.
+TEST(ResolveConflicts, SinglePassAlgorithmFailsTheCoverageGate) {
+  const Pattern c = make_pattern(
+      "s", {constant("job", false), constant("done")}, {"job done"}, 2);
+  const Pattern b = make_pattern(
+      "s", {constant("job", false), variable(TokenType::String, "v")},
+      {"job done"}, 5);
+  const Pattern a = make_pattern(
+      "s",
+      {variable(TokenType::String, "k", false),
+       variable(TokenType::String, "v")},
+      {"job running"}, 9);
+  const std::vector<Pattern> patterns = {a, b, c};
+
+  // The old resolver, verbatim in spirit: one validate_patterns round,
+  // drop every pattern named in a conflict.
+  const ValidationReport report = validate_patterns(patterns);
+  std::vector<Pattern> single_pass;
+  for (const Pattern& p : patterns) {
+    bool conflicted = false;
+    for (const PatternConflict& conflict : report.conflicts) {
+      if (conflict.pattern_id == p.id()) conflicted = true;
+    }
+    if (!conflicted) single_pass.push_back(p);
+  }
+  ASSERT_EQ(single_pass.size(), 1u);
+  EXPECT_EQ(single_pass[0].id(), c.id());
+
+  // Coverage check the fixpoint output passes and this output fails.
+  Parser parser{ScannerOptions{}, SpecialTokenOptions{}};
+  for (const Pattern& p : single_pass) parser.add_pattern(p);
+  EXPECT_FALSE(parser.parse("s", "job running").has_value())
+      << "single-pass output unexpectedly covers the chain head's example";
+
+  Parser fixed{ScannerOptions{}, SpecialTokenOptions{}};
+  for (const Pattern& p : resolve_conflicts(patterns)) {
+    fixed.add_pattern(p);
+  }
+  EXPECT_TRUE(fixed.parse("s", "job running").has_value());
+  EXPECT_TRUE(fixed.parse("s", "job done").has_value());
 }
 
 TEST(ResolveConflicts, SurvivorsValidateCleanly) {

@@ -21,8 +21,10 @@
 #include <thread>
 
 #include "core/ingest.hpp"
+#include "core/pattern.hpp"
 #include "serve/http.hpp"
 #include "store/pattern_store.hpp"
+#include "util/clock.hpp"
 #include "util/signal.hpp"
 
 namespace seqrtg::serve {
@@ -522,6 +524,122 @@ TEST(Serve, DropModeConservesEveryParsedRecord) {
   EXPECT_EQ(report.processed, report.accepted);
   EXPECT_EQ(report.malformed, 0u);
   EXPECT_EQ(total_match_count(store), report.processed);
+}
+
+// Regression: the debug endpoints parsed query params with a bare
+// strtoull, so "?top=abc" silently became 0 (an empty pattern list) and
+// "?top=10abc" became 10. Malformed values must be a 400, never a silent
+// default.
+TEST(Serve, DebugQueryParamsRejectMalformedValuesWith400) {
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const int port = server.http_port();
+
+  const std::string bad_targets[] = {
+      "/debug/patterns?top=abc",
+      "/debug/patterns?top=-1",
+      "/debug/patterns?top=10abc",
+      "/debug/patterns?top=+5",
+      "/debug/patterns?top=99999999999999999999999",  // > UINT64_MAX
+      "/debug/trace?ms=junk",
+      "/debug/trace?ms=9223372036854775807",  // would overflow ms * 1000
+  };
+  for (const std::string& target : bad_targets) {
+    const std::string response = http_get(port, target);
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos) << target;
+  }
+  // Well-formed values still answer 200.
+  EXPECT_NE(http_get(port, "/debug/patterns?top=2").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/debug/trace?ms=50").find("HTTP/1.0 200"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(Serve, DebugEvolutionAnswersEvenWithoutBackgroundThread) {
+  store::PatternStore store;
+  ServeOptions opts;  // evolution_interval_s defaults to 0: thread disabled
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.flush_interval_s = 0.02;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const std::string body = http_get(server.http_port(), "/debug/evolution");
+  EXPECT_NE(body.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(body.find("\"passes\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"last\":{"), std::string::npos);
+  EXPECT_NE(body.find("\"actions\":[]"), std::string::npos);
+  server.stop();
+}
+
+core::Pattern evo_literal_pattern(const std::string& word,
+                                  std::int64_t stamp) {
+  core::Pattern p;
+  p.service = "evo";
+  core::PatternToken t;
+  t.is_variable = false;
+  t.text = word;
+  t.is_space_before = false;
+  p.tokens.push_back(t);
+  p.examples = {word};
+  p.stats.match_count = 3;
+  p.stats.first_seen = stamp;
+  p.stats.last_matched = stamp;
+  return p;
+}
+
+// Virtual-time evolution: with an interval of 1 s on a ManualClock, no
+// pass runs while virtual time stands still, and the first pass after the
+// clock advances must evict the TTL-expired pattern while keeping the
+// fresh one — no real-time sleeps in either direction.
+TEST(Serve, ManualClockDrivesBackgroundEvolutionEviction) {
+  constexpr std::int64_t kNow = 1700000000;
+  constexpr std::int64_t kDay = 24 * 3600;
+  store::PatternStore store;
+  store.upsert_pattern(evo_literal_pattern("staleevent", kNow - 40 * kDay));
+  store.upsert_pattern(evo_literal_pattern("freshevent", kNow - kDay));
+  const std::string stale_id = evo_literal_pattern("staleevent", 0).id();
+  const std::string fresh_id = evo_literal_pattern("freshevent", 0).id();
+
+  util::ManualClock clock(kNow);
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.flush_interval_s = 0.02;
+  opts.clock = &clock;
+  opts.evolution_interval_s = 1.0;
+  opts.evolution.ttl_days = 7;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Virtual time frozen: the pass deadline can never arrive.
+  EXPECT_FALSE(server.wait_until(
+      [&] { return server.evolution_passes() > 0; }, 150ms));
+
+  clock.advance_ms(2000);
+  ASSERT_TRUE(server.wait_until(
+      [&] { return server.evolution_passes() >= 1; }, 5000ms));
+
+  EXPECT_FALSE(store.find(stale_id).has_value())
+      << "TTL-expired pattern survived the evolution pass";
+  EXPECT_TRUE(store.find(fresh_id).has_value());
+
+  const std::string body = http_get(server.http_port(), "/debug/evolution");
+  EXPECT_NE(body.find("\"evicted\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"kind\":\"evict\""), std::string::npos) << body;
+  server.stop();
 }
 
 TEST(Serve, SigtermSetsShutdownFlagAndWakesPollers) {

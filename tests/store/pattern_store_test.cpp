@@ -87,6 +87,66 @@ TEST(PatternStore, ExamplesCappedAtThree) {
   EXPECT_EQ(found->examples.size(), 3u);
 }
 
+// Regression: apply_upsert hard-coded the cap at 3, so an Engine configured
+// with a different AnalyzerOptions::example_cap silently diverged between
+// the in-memory and durable backends. The cap now threads through the
+// PatternRepository interface.
+TEST(PatternStore, ExampleCapIsConfigurable) {
+  PatternStore store;
+  core::InMemoryRepository memory;
+  store.set_example_cap(5);
+  memory.set_example_cap(5);
+  for (int i = 0; i < 8; ++i) {
+    core::Pattern p = make_pattern("s", "e");
+    p.examples = {"example " + std::to_string(i)};
+    store.upsert_pattern(p);
+    memory.upsert_pattern(p);
+  }
+  const auto durable = store.find(make_pattern("s", "e").id());
+  const auto in_memory = memory.find(make_pattern("s", "e").id());
+  ASSERT_TRUE(durable.has_value());
+  ASSERT_TRUE(in_memory.has_value());
+  EXPECT_EQ(durable->examples.size(), 5u);
+  EXPECT_EQ(durable->examples, in_memory->examples)
+      << "memory and durable backends diverged on the example cap";
+}
+
+TEST(PatternStore, DeletePattern) {
+  PatternStore store;
+  const core::Pattern a = make_pattern("sshd", "login");
+  const core::Pattern b = make_pattern("sshd", "logout");
+  store.upsert_pattern(a);
+  store.upsert_pattern(b);
+  EXPECT_TRUE(store.delete_pattern(a.id()));
+  EXPECT_FALSE(store.delete_pattern(a.id())) << "second delete is a no-op";
+  EXPECT_EQ(store.pattern_count(), 1u);
+  EXPECT_FALSE(store.find(a.id()).has_value());
+  ASSERT_EQ(store.load_service("sshd").size(), 1u);
+  EXPECT_EQ(store.load_service("sshd")[0].id(), b.id());
+}
+
+TEST(PatternStore, DeleteIsReplayedFromWal) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "seqrtg_store_delete_test";
+  std::filesystem::remove_all(dir);
+  const core::Pattern doomed = make_pattern("s", "doomed");
+  const core::Pattern kept = make_pattern("s", "kept");
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    store.upsert_pattern(doomed);
+    store.upsert_pattern(kept);
+    EXPECT_TRUE(store.delete_pattern(doomed.id()));
+    // No checkpoint: the delete lives only in the WAL.
+  }
+  PatternStore reopened;
+  ASSERT_TRUE(reopened.open(dir.string()));
+  EXPECT_FALSE(reopened.find(doomed.id()).has_value())
+      << "WAL replay resurrected a deleted pattern";
+  EXPECT_TRUE(reopened.find(kept.id()).has_value());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(PatternStore, ServiceQueries) {
   PatternStore store;
   store.upsert_pattern(make_pattern("sshd", "a"));
