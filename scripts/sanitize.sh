@@ -32,14 +32,19 @@ fi
 # serve daemon stack (MPSC queues, socket readers, graceful drain, the
 # background evolution thread racing lane flushes), the SIMD tokeniser /
 # compiled-matcher differentials (unaligned vector loads past string ends,
-# flat-program index arithmetic), and the evolution / conflict-resolution
-# suites (SketchRegistry is fed concurrently by every lane).
+# flat-program index arithmetic), the evolution / conflict-resolution
+# suites (SketchRegistry is fed concurrently by every lane), and the
+# cluster stack (router + shard node socket threads, WAL-shipping
+# replication, binary-protocol frame decoding, and the real-SIGKILL
+# failover drill — the zero-pattern-loss acceptance runs under ASan and
+# TSan, not just the release tree).
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
   arena_test interner_test scan_into_equivalence_test wal_test \
   pattern_store_test bounded_queue_test serve_test serve_drain_test \
   ingest_fuzz_test golden_corpus_test edge_map_property_test \
   fault_sim_test differential_test simd_equivalence_test matchprog_test \
-  evolution_test validation_test
+  evolution_test validation_test cluster_test cluster_proto_fuzz_test \
+  cluster_failover_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

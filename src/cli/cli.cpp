@@ -6,7 +6,9 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/analyze_by_service.hpp"
 #include "core/evolution.hpp"
@@ -24,8 +26,11 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/simulation.hpp"
+#include "serve/cluster.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
 #include "testkit/scenario.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
@@ -317,7 +322,10 @@ int cmd_export(const std::vector<std::string>& argv, std::istream&,
                std::ostream& out, std::ostream& err) {
   util::ArgParser args;
   args.add_option("db", "pattern database file", "patterns.db");
-  args.add_option("format", "patterndb | yaml | grok", "patterndb");
+  args.add_option("store-dir",
+                  "durable store directory (overrides --db)", "");
+  args.add_option("format", "patterndb | yaml | grok | canonical",
+                  "patterndb");
   args.add_option("min-count", "minimum match count", "0");
   args.add_option("max-complexity",
                   "exclude patterns at or above this complexity", "1.01");
@@ -328,18 +336,25 @@ int cmd_export(const std::vector<std::string>& argv, std::istream&,
     return 2;
   }
   store::PatternStore store;
-  if (!store.load(args.get("db"))) {
-    err << "cannot load pattern database " << args.get("db") << "\n";
-    return 1;
+  if (!attach_store(args, store, err, /*must_exist=*/true)) return 1;
+  std::string doc;
+  std::size_t exported = 0;
+  if (args.get("format") == "canonical") {
+    // The testkit's oracle rendering — what the cluster smoke diff
+    // compares across deployments (filters don't apply).
+    doc = testkit::canonical_patterns(store);
+    exported = store.pattern_count();
+  } else {
+    store::PatternStore::ExportFilter filter;
+    filter.min_match_count =
+        static_cast<std::uint64_t>(args.get_int("min-count", 0));
+    filter.max_complexity = args.get_double("max-complexity", 1.01);
+    filter.service = args.get("service");
+    const auto patterns = store.export_patterns(filter);
+    exported = patterns.size();
+    doc = exporters::export_patterns(
+        patterns, exporters::format_from_name(args.get("format")));
   }
-  store::PatternStore::ExportFilter filter;
-  filter.min_match_count =
-      static_cast<std::uint64_t>(args.get_int("min-count", 0));
-  filter.max_complexity = args.get_double("max-complexity", 1.01);
-  filter.service = args.get("service");
-  const auto patterns = store.export_patterns(filter);
-  const std::string doc = exporters::export_patterns(
-      patterns, exporters::format_from_name(args.get("format")));
   if (args.get("output").empty()) {
     out << doc;
   } else {
@@ -349,7 +364,7 @@ int cmd_export(const std::vector<std::string>& argv, std::istream&,
       return 1;
     }
     f << doc;
-    out << "exported " << patterns.size() << " pattern(s) to "
+    out << "exported " << exported << " pattern(s) to "
         << args.get("output") << "\n";
   }
   return 0;
@@ -763,6 +778,17 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
                   "structured self-log threshold: debug | info | warn | "
                   "error",
                   "info");
+  args.add_option("cluster-port",
+                  "binary cluster transport listener on 127.0.0.1 "
+                  "(records from `seqrtg route`, WAL groups from a "
+                  "primary; 0 = kernel-assigned, -1 = off)",
+                  "-1");
+  args.add_option("ship-to",
+                  "hot standby's cluster port: every committed WAL group "
+                  "is shipped there synchronously (-1 = no replication)",
+                  "-1");
+  args.add_option("node-id", "this node's name in cluster hellos/logs",
+                  "node");
   add_metrics_options(args);
   add_trace_options(args);
   if (!args.parse(argv)) {
@@ -805,8 +831,18 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
   opts.evolution.ttl_days =
       static_cast<std::uint32_t>(args.get_int("ttl-days", 0));
   const bool use_stdin = args.get_flag("stdin");
-  if (opts.port < 0 && !use_stdin) {
-    err << "nothing to serve: pass --port >= 0 and/or --stdin\n";
+  const int cluster_port =
+      static_cast<int>(args.get_int("cluster-port", -1));
+  const int ship_to = static_cast<int>(args.get_int("ship-to", -1));
+  const bool clustered = cluster_port >= 0 || ship_to >= 0;
+  if (opts.port < 0 && !use_stdin && !clustered) {
+    err << "nothing to serve: pass --port >= 0, --cluster-port >= 0 "
+           "and/or --stdin\n";
+    return 2;
+  }
+  if (ship_to >= 0 && !store.durable()) {
+    err << "--ship-to replicates WAL commit groups and needs a durable "
+           "store: pass --store-dir\n";
     return 2;
   }
 
@@ -814,19 +850,44 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
     err << "cannot install signal handlers\n";
     return 1;
   }
-  serve::Server server(&store, opts);
+  // A clustered node wraps the plain server with the binary transport
+  // (and, with --ship-to, WAL-group replication to the hot standby).
+  std::unique_ptr<serve::ClusterNode> node;
+  std::unique_ptr<serve::Server> plain;
+  serve::Server* server = nullptr;
   std::string error;
-  if (!server.start(&error)) {
-    err << "cannot start server: " << error << "\n";
-    return 1;
+  if (clustered) {
+    serve::ClusterNodeOptions node_opts;
+    node_opts.serve = opts;
+    node_opts.cluster_port = cluster_port >= 0 ? cluster_port : 0;
+    node_opts.ship_to = ship_to;
+    node_opts.node_id = args.get("node-id");
+    node = std::make_unique<serve::ClusterNode>(&store,
+                                                std::move(node_opts));
+    if (!node->start(&error)) {
+      err << "cannot start cluster node: " << error << "\n";
+      return 1;
+    }
+    server = &node->server();
+  } else {
+    plain = std::make_unique<serve::Server>(&store, opts);
+    if (!plain->start(&error)) {
+      err << "cannot start server: " << error << "\n";
+      return 1;
+    }
+    server = plain.get();
   }
   out << "serving";
-  if (server.ingest_port() > 0) {
-    out << " ingest on 127.0.0.1:" << server.ingest_port();
+  if (server->ingest_port() > 0) {
+    out << " ingest on 127.0.0.1:" << server->ingest_port();
   }
-  if (use_stdin) out << (server.ingest_port() > 0 ? " + stdin" : " stdin");
-  if (server.http_port() > 0) {
-    out << ", metrics on 127.0.0.1:" << server.http_port();
+  if (use_stdin) out << (server->ingest_port() > 0 ? " + stdin" : " stdin");
+  if (node != nullptr) {
+    out << ", cluster on 127.0.0.1:" << node->cluster_port();
+    if (ship_to >= 0) out << ", shipping to 127.0.0.1:" << ship_to;
+  }
+  if (server->http_port() > 0) {
+    out << ", metrics on 127.0.0.1:" << server->http_port();
   }
   out << " (" << opts.lanes << " lane(s), " << overflow << " overflow)\n"
       << std::flush;
@@ -835,8 +896,8 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
     // Blocks on this thread until EOF or a shutdown signal (reads are
     // interrupted — the handlers install without SA_RESTART). When stdin
     // is the only source, EOF ends the daemon.
-    server.feed(in);
-    if (opts.port < 0) util::request_shutdown();
+    server->feed(in);
+    if (opts.port < 0 && !clustered) util::request_shutdown();
   }
   while (!util::shutdown_requested()) {
     pollfd pfd = {util::shutdown_fd(), POLLIN, 0};
@@ -844,13 +905,23 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
   }
 
   out << "draining...\n" << std::flush;
-  const serve::ServeReport report = server.stop();
+  const serve::ServeReport report =
+      node != nullptr ? node->stop() : plain->stop();
   out << "drained: " << report.accepted << " accepted, " << report.processed
       << " processed in " << report.batches << " flush(es), "
       << report.malformed << " malformed, " << report.dropped
       << " dropped, " << report.connections << " connection(s), "
       << report.new_patterns << " new pattern(s), "
       << report.matched_existing << " matched existing\n";
+  if (node != nullptr) {
+    const serve::ClusterNodeStats cstats = node->stats();
+    out << "cluster: " << cstats.records << " record(s) over the binary "
+        << "transport, " << cstats.groups_applied
+        << " replicated group(s) applied, " << cstats.groups_shipped
+        << " shipped, " << cstats.groups_lost << " lost"
+        << (cstats.ship_wedged ? " (replication wedged)" : "") << ", "
+        << cstats.malformed_streams << " malformed stream(s)\n";
+  }
   if (report.checkpointed) {
     out << "final checkpoint written; " << store.pattern_count()
         << " patterns in " << args.get("store-dir") << "\n";
@@ -859,6 +930,140 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
     out << store.pattern_count() << " patterns in " << args.get("db")
         << "\n";
   }
+  return finish_observability(args, err);
+}
+
+/// Comma-separated port list ("-1" entries allowed for "none").
+bool parse_port_list(const std::string& csv, std::vector<int>* out,
+                     std::string* error) {
+  out->clear();
+  for (const std::string_view raw : util::split(csv, ',')) {
+    const std::string_view item = util::trim(raw);
+    if (item.empty()) continue;
+    try {
+      std::size_t pos = 0;
+      const int port = std::stoi(std::string(item), &pos);
+      if (pos != item.size() || port > 65535) throw std::invalid_argument("");
+      out->push_back(port);
+    } catch (const std::exception&) {
+      *error = "bad port '" + std::string(item) + "' in list '" + csv + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_route(const std::vector<std::string>& argv, std::istream& in,
+              std::ostream& out, std::ostream& err) {
+  util::ArgParser args;
+  args.add_option("shards",
+                  "comma-separated cluster ports of the shard nodes, in "
+                  "ring order (required)",
+                  "");
+  args.add_option("standbys",
+                  "comma-separated standby cluster ports parallel to "
+                  "--shards (-1 = that shard has no standby)",
+                  "");
+  args.add_option("shard-http",
+                  "comma-separated shard HTTP ports for /metrics + "
+                  "/healthz aggregation (-1 = not scraped)",
+                  "");
+  args.add_option("port",
+                  "JSON-lines ingest listener on 127.0.0.1 (0 = "
+                  "kernel-assigned, -1 = no socket)",
+                  "7615");
+  args.add_option("http-port",
+                  "aggregated /metrics + /healthz port on 127.0.0.1 (0 = "
+                  "kernel-assigned, -1 = off)",
+                  "9615");
+  args.add_flag("stdin", "also consume a JSON-lines stream from stdin");
+  args.add_option("vnodes", "virtual nodes per shard on the hash ring",
+                  "64");
+  args.add_option("node-id", "this router's name in hellos/logs", "router");
+  args.add_option("log-level",
+                  "structured self-log threshold: debug | info | warn | "
+                  "error",
+                  "info");
+  add_metrics_options(args);
+  if (!args.parse(argv)) {
+    err << args.error() << "\n" << args.usage();
+    return 2;
+  }
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  if (!obs::parse_log_level(args.get("log-level"), &log_level)) {
+    err << "--log-level must be debug, info, warn or error\n";
+    return 2;
+  }
+  obs::event_log().set_min_level(log_level);
+
+  serve::RouterOptions opts;
+  std::string error;
+  if (!parse_port_list(args.get("shards"), &opts.shards, &error) ||
+      !parse_port_list(args.get("standbys"), &opts.standbys, &error) ||
+      !parse_port_list(args.get("shard-http"), &opts.shard_http, &error)) {
+    err << error << "\n";
+    return 2;
+  }
+  if (opts.shards.empty()) {
+    err << "--shards needs at least one shard cluster port\n";
+    return 2;
+  }
+  if (!opts.standbys.empty() && opts.standbys.size() != opts.shards.size()) {
+    err << "--standbys must list one port per shard (-1 for none)\n";
+    return 2;
+  }
+  if (!opts.shard_http.empty() &&
+      opts.shard_http.size() != opts.shards.size()) {
+    err << "--shard-http must list one port per shard (-1 for none)\n";
+    return 2;
+  }
+  opts.port = static_cast<int>(args.get_int("port", 7615));
+  opts.http_port = static_cast<int>(args.get_int("http-port", 9615));
+  opts.vnodes = static_cast<std::size_t>(args.get_int("vnodes", 64));
+  opts.node_id = args.get("node-id");
+  const bool use_stdin = args.get_flag("stdin");
+  if (opts.port < 0 && !use_stdin) {
+    err << "nothing to route: pass --port >= 0 and/or --stdin\n";
+    return 2;
+  }
+
+  if (!util::install_shutdown_handlers()) {
+    err << "cannot install signal handlers\n";
+    return 1;
+  }
+  serve::Router router(opts);
+  if (!router.start(&error)) {
+    err << "cannot start router: " << error << "\n";
+    return 1;
+  }
+  out << "routing to " << opts.shards.size() << " shard(s)";
+  if (router.ingest_port() > 0) {
+    out << ", ingest on 127.0.0.1:" << router.ingest_port();
+  }
+  if (use_stdin) out << (router.ingest_port() > 0 ? " + stdin" : ", stdin");
+  if (router.http_port() > 0) {
+    out << ", metrics on 127.0.0.1:" << router.http_port();
+  }
+  out << " (" << opts.vnodes << " vnode(s)/shard)\n" << std::flush;
+
+  if (use_stdin) {
+    router.feed(in);
+    if (opts.port < 0) util::request_shutdown();
+  }
+  while (!util::shutdown_requested()) {
+    pollfd pfd = {util::shutdown_fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 500);
+  }
+
+  out << "draining...\n" << std::flush;
+  const serve::RouterReport report = router.stop();
+  out << "routed: " << report.forwarded << " forwarded (";
+  for (std::size_t i = 0; i < report.per_shard.size(); ++i) {
+    out << (i == 0 ? "" : "/") << report.per_shard[i];
+  }
+  out << " per shard), " << report.malformed << " malformed, "
+      << report.failovers << " failover(s), " << report.undeliverable
+      << " undeliverable\n";
   return finish_observability(args, err);
 }
 
@@ -933,8 +1138,9 @@ int cmd_testkit(const std::vector<std::string>& argv, std::istream&,
                   "fraction of messages receiving seeded byte mutations",
                   "0");
   args.add_option("fault",
-                  "scripted fault plan, e.g. 'drop@37' or 'tear-wal@3:12' "
-                  "(DESIGN.md §12)",
+                  "scripted fault plan, e.g. 'drop@37', 'tear-wal@3:12', "
+                  "'cluster@3' or 'cluster@3;misroute@7' (DESIGN.md §12, "
+                  "§16)",
                   "");
   args.add_flag("no-shrink", "skip delta-debugging failing corpora");
   args.add_flag("quick", "differential oracle only (skip metamorphic set)");
@@ -1067,7 +1273,12 @@ std::string usage() {
          "  simulate  run the Fig. 6/7 production workflow simulation\n"
          "  serve     long-running streaming daemon: JSON-lines over a "
          "localhost socket and/or stdin, sharded worker lanes, /metrics + "
-         "/healthz, graceful SIGTERM drain\n"
+         "/healthz, graceful SIGTERM drain; --cluster-port joins a "
+         "sharded cluster, --ship-to replicates WAL groups to a hot "
+         "standby\n"
+         "  route     client-side cluster router: consistent-hash record "
+         "routing to shard nodes over the binary transport, standby "
+         "failover, aggregated /metrics + /healthz\n"
          "  testkit   seeded differential/metamorphic scenario runner "
          "with fault injection and failing-input shrinking\n"
          "run-style commands accept --metrics-out <file> "
@@ -1100,6 +1311,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "generate") return cmd_generate(rest, in, out, err);
   if (cmd == "simulate") return cmd_simulate(rest, in, out, err);
   if (cmd == "serve") return cmd_serve(rest, in, out, err);
+  if (cmd == "route") return cmd_route(rest, in, out, err);
   if (cmd == "testkit") return cmd_testkit(rest, in, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 2;

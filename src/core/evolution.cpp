@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
+#include "util/json.hpp"
 
 namespace seqrtg::core {
 
@@ -367,6 +368,90 @@ void SketchRegistry::clear() {
 std::size_t SketchRegistry::pattern_count() const {
   std::lock_guard lock(mutex_);
   return sketches_.size();
+}
+
+void SketchRegistry::restore(
+    std::map<std::string, std::vector<ValueSketch>> sketches) {
+  std::lock_guard lock(mutex_);
+  sketches_ = std::move(sketches);
+}
+
+std::string sketches_to_json(
+    const std::map<std::string, std::vector<ValueSketch>>& sketches) {
+  util::JsonArray patterns;
+  for (const auto& [id, positions] : sketches) {
+    util::JsonArray pos_json;
+    for (const ValueSketch& s : positions) {
+      util::JsonArray values;
+      for (const std::string& v : s.values) values.emplace_back(v);
+      pos_json.emplace_back(util::JsonObject{
+          {"values", std::move(values)},
+          {"overflow", s.overflow},
+          {"observations", s.observations},
+      });
+    }
+    patterns.emplace_back(util::JsonObject{
+        {"id", id},
+        {"positions", std::move(pos_json)},
+    });
+  }
+  return util::Json(util::JsonObject{
+                        {"version", std::int64_t{1}},
+                        {"patterns", std::move(patterns)},
+                    })
+      .dump();
+}
+
+std::optional<std::map<std::string, std::vector<ValueSketch>>>
+sketches_from_json(std::string_view json) {
+  const util::JsonParseResult parsed = util::json_parse(json);
+  if (!parsed.ok() || !parsed.value.is_object()) return std::nullopt;
+  const util::Json* version = parsed.value.find("version");
+  if (version == nullptr || !version->is_number() || version->as_int() != 1) {
+    return std::nullopt;
+  }
+  const util::Json* patterns = parsed.value.find("patterns");
+  if (patterns == nullptr || !patterns->is_array()) return std::nullopt;
+
+  std::map<std::string, std::vector<ValueSketch>> out;
+  for (const util::Json& entry : patterns->as_array()) {
+    const util::Json* id = entry.find("id");
+    const util::Json* positions = entry.find("positions");
+    if (id == nullptr || !id->is_string() || positions == nullptr ||
+        !positions->is_array()) {
+      return std::nullopt;
+    }
+    std::vector<ValueSketch> sketches;
+    for (const util::Json& pos : positions->as_array()) {
+      const util::Json* values = pos.find("values");
+      const util::Json* overflow = pos.find("overflow");
+      const util::Json* observations = pos.find("observations");
+      if (values == nullptr || !values->is_array() || overflow == nullptr ||
+          !overflow->is_bool() || observations == nullptr ||
+          !observations->is_number()) {
+        return std::nullopt;
+      }
+      ValueSketch s;
+      for (const util::Json& v : values->as_array()) {
+        if (!v.is_string()) return std::nullopt;
+        s.values.push_back(v.as_string());
+      }
+      // Enforce the sketch invariant on untrusted input: more stored
+      // values than the cap means the file was hand-edited or from a
+      // build with a larger cap — treat the position as overflowed.
+      if (s.values.size() > ValueSketch::kMaxValues) {
+        s.values.resize(ValueSketch::kMaxValues);
+        s.overflow = true;
+      } else {
+        s.overflow = overflow->as_bool();
+      }
+      s.observations =
+          static_cast<std::uint64_t>(std::max<double>(0, observations->as_number()));
+      sketches.push_back(std::move(s));
+    }
+    out.emplace(id->as_string(), std::move(sketches));
+  }
+  return out;
 }
 
 EvolutionReport& EvolutionReport::operator+=(const EvolutionReport& other) {

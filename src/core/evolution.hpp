@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,6 +77,10 @@ class SketchRegistry {
   void forget(const std::string& pattern_id);
   void clear();
   std::size_t pattern_count() const;
+
+  /// Replaces the registry contents with a previously snapshotted state
+  /// (server restart: sketches_from_json -> restore).
+  void restore(std::map<std::string, std::vector<ValueSketch>> sketches);
 
  private:
   mutable std::mutex mutex_;
@@ -136,6 +141,20 @@ struct EvolutionReport {
   bool changed() const { return !actions.empty(); }
   EvolutionReport& operator+=(const EvolutionReport& other);
 };
+
+/// Serialises a sketch snapshot to versioned single-line JSON
+/// (`{"version":1,"patterns":[{"id":...,"positions":[{"values":[...],
+/// "overflow":...,"observations":...}]}]}`) so a restarted server resumes
+/// evolution with the observation history it had, instead of relearning
+/// every position from zero (a specialise_min_observations-sized blind
+/// spot after every restart).
+std::string sketches_to_json(
+    const std::map<std::string, std::vector<ValueSketch>>& sketches);
+
+/// Parses sketches_to_json output. std::nullopt on malformed input or an
+/// unknown version — callers start empty rather than half-restored.
+std::optional<std::map<std::string, std::vector<ValueSketch>>>
+sketches_from_json(std::string_view json);
 
 /// Pure evolution pass over one service's patterns (all entries must share
 /// one service). `sketches` maps pattern id -> per-variable-position value

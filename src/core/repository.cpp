@@ -96,7 +96,7 @@ void InMemoryRepository::upsert_pattern(const Pattern& p) {
     by_id_.emplace(id, p);
     by_service_[p.service].push_back(id);
   } else {
-    merge_pattern_into(it->second, p, example_cap_);
+    merge_pattern_into(it->second, p, example_cap());
   }
 }
 

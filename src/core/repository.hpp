@@ -6,6 +6,7 @@
 // backs tests and single-run benches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -49,9 +50,15 @@ class PatternRepository {
   /// Example merge cap applied by upsert_pattern (see merge_pattern_into).
   /// Held on the interface — not per-backend — so the in-memory and durable
   /// stores stay differentially identical when the engine configures a cap
-  /// other than the default 3 (AnalyzerOptions::example_cap).
-  void set_example_cap(std::size_t cap) { example_cap_ = cap; }
-  std::size_t example_cap() const { return example_cap_; }
+  /// other than the default 3 (AnalyzerOptions::example_cap). Atomic
+  /// because every serve lane constructs its Engine — which configures the
+  /// cap — against the one shared store, concurrently with the others.
+  void set_example_cap(std::size_t cap) {
+    example_cap_.store(cap, std::memory_order_relaxed);
+  }
+  std::size_t example_cap() const {
+    return example_cap_.load(std::memory_order_relaxed);
+  }
 
   /// Batch transaction hooks. Durable repositories make every mutation
   /// between begin_batch() and commit_batch() atomic on disk — a crash (or
@@ -62,7 +69,7 @@ class PatternRepository {
   virtual void abort_batch() {}
 
  protected:
-  std::size_t example_cap_ = 3;
+  std::atomic<std::size_t> example_cap_{3};
 };
 
 /// RAII batch scope: commits on `commit()`, aborts when destroyed without

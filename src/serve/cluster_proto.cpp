@@ -1,0 +1,160 @@
+#include "serve/cluster_proto.hpp"
+
+#include <cstring>
+
+#include "store/wal.hpp"
+
+namespace seqrtg::serve {
+
+namespace {
+
+std::uint32_t read_u32(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::string cluster_stream_header() {
+  std::string out(kClusterMagic);
+  store::wal_put_u32(out, kClusterProtoVersion);
+  return out;
+}
+
+std::string encode_cluster_frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 8);
+  store::wal_put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  store::wal_put_u32(out, store::crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_hello(std::uint8_t role, std::string_view node_id) {
+  std::string payload;
+  payload.push_back(static_cast<char>(ClusterFrameType::kHello));
+  payload.push_back(static_cast<char>(role));
+  store::wal_put_string(payload, node_id);
+  return encode_cluster_frame(payload);
+}
+
+std::string encode_record(const core::LogRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(ClusterFrameType::kRecord));
+  store::wal_put_string(payload, record.service);
+  store::wal_put_string(payload, record.message);
+  return encode_cluster_frame(payload);
+}
+
+std::string encode_wal_group(std::uint64_t seq, std::string_view ops) {
+  std::string payload;
+  payload.push_back(static_cast<char>(ClusterFrameType::kWalGroup));
+  store::wal_put_u64(payload, seq);
+  store::wal_put_string(payload, ops);
+  return encode_cluster_frame(payload);
+}
+
+std::string encode_ack(std::uint64_t count) {
+  std::string payload;
+  payload.push_back(static_cast<char>(ClusterFrameType::kAck));
+  store::wal_put_u64(payload, count);
+  return encode_cluster_frame(payload);
+}
+
+bool ClusterFrameDecoder::poison(std::string message) {
+  poisoned_ = true;
+  error_ = std::move(message);
+  buffer_.clear();
+  pos_ = 0;
+  return false;
+}
+
+bool ClusterFrameDecoder::feed(std::string_view bytes,
+                               std::vector<ClusterFrame>* out) {
+  if (poisoned_) return false;
+  buffer_.append(bytes);
+
+  if (!header_seen_) {
+    if (buffer_.size() - pos_ < kClusterMagic.size() + 4) return true;
+    if (std::string_view(buffer_).substr(pos_, kClusterMagic.size()) !=
+        kClusterMagic) {
+      return poison("bad stream magic");
+    }
+    const std::uint32_t version =
+        read_u32(buffer_.data() + pos_ + kClusterMagic.size());
+    if (version != kClusterProtoVersion) {
+      return poison("unsupported protocol version " +
+                    std::to_string(version));
+    }
+    pos_ += kClusterMagic.size() + 4;
+    header_seen_ = true;
+  }
+
+  while (buffer_.size() - pos_ >= 8) {
+    const std::uint32_t len = read_u32(buffer_.data() + pos_);
+    const std::uint32_t crc = read_u32(buffer_.data() + pos_ + 4);
+    // Reject an oversized declaration NOW, from the length field alone —
+    // waiting for the bytes would let a malicious peer park the
+    // connection forever (or make us buffer 4 GiB).
+    if (len > max_payload_) {
+      return poison("oversized frame: declared " + std::to_string(len) +
+                    " payload bytes (cap " + std::to_string(max_payload_) +
+                    ")");
+    }
+    if (buffer_.size() - pos_ < 8 + static_cast<std::size_t>(len)) break;
+    const std::string_view payload(buffer_.data() + pos_ + 8, len);
+    if (store::crc32(payload) != crc) {
+      return poison("frame CRC mismatch");
+    }
+    if (payload.empty()) return poison("empty frame payload");
+
+    store::WalReader r{payload};
+    const std::uint8_t type = r.u8();
+    ClusterFrame frame;
+    switch (type) {
+      case static_cast<std::uint8_t>(ClusterFrameType::kHello):
+        frame.type = ClusterFrameType::kHello;
+        frame.role = r.u8();
+        frame.node_id = std::string(r.string());
+        break;
+      case static_cast<std::uint8_t>(ClusterFrameType::kRecord):
+        frame.type = ClusterFrameType::kRecord;
+        frame.record.service = std::string(r.string());
+        frame.record.message = std::string(r.string());
+        break;
+      case static_cast<std::uint8_t>(ClusterFrameType::kWalGroup):
+        frame.type = ClusterFrameType::kWalGroup;
+        frame.seq = r.u64();
+        frame.ops = std::string(r.string());
+        break;
+      case static_cast<std::uint8_t>(ClusterFrameType::kAck):
+        frame.type = ClusterFrameType::kAck;
+        frame.count = r.u64();
+        break;
+      default:
+        return poison("unknown frame type " + std::to_string(type));
+    }
+    if (!r.ok) {
+      return poison("truncated frame body (type " + std::to_string(type) +
+                    ")");
+    }
+    if (!r.at_end()) {
+      return poison("trailing bytes after frame body (type " +
+                    std::to_string(type) + ")");
+    }
+    pos_ += 8 + static_cast<std::size_t>(len);
+    ++frames_;
+    if (out != nullptr) out->push_back(std::move(frame));
+  }
+
+  // Compact the consumed prefix so a long-lived connection does not grow
+  // its buffer without bound.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace seqrtg::serve

@@ -131,6 +131,42 @@ void HttpResponder::loop() {
   }
 }
 
+std::optional<std::string> http_get(int port, const std::string& target,
+                                    int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv = {timeout_ms / 1000, (timeout_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  write_all(fd, "GET " + target + " HTTP/1.0\r\n\r\n");
+  std::string response;
+  char buf[4096];
+  // The responder speaks HTTP/1.0 with Connection: close — read to EOF.
+  while (response.size() < 8 * 1024 * 1024) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.0 200", 0) != 0 &&
+      response.rfind("HTTP/1.1 200", 0) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return response.substr(body + 4);
+}
+
 void HttpResponder::handle_connection(int fd) {
   // Scrapers send tiny requests; bound the read and give up after 2s so a
   // stuck client cannot wedge the responder.

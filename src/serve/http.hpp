@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -67,5 +68,12 @@ bool parse_request_line(const std::string& request, std::string* method,
 
 /// Renders a full HTTP/1.0 response document.
 std::string render_response(const HttpResponse& response);
+
+/// Minimal blocking GET against 127.0.0.1:`port` (the router's shard
+/// health/metrics aggregation path). Returns the response BODY on HTTP
+/// 200, std::nullopt on connect/timeout/non-200. `timeout_ms` bounds
+/// connect and read together.
+std::optional<std::string> http_get(int port, const std::string& target,
+                                    int timeout_ms = 2000);
 
 }  // namespace seqrtg::serve

@@ -1,0 +1,49 @@
+#include "serve/ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace seqrtg::serve {
+
+std::uint64_t cluster_hash64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // FNV-1a alone clusters on short similar keys; one avalanche round
+  // (splitmix64 finalizer) spreads the points evenly around the ring.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes)
+    : shards_(shards == 0 ? 1 : shards) {
+  if (vnodes == 0) vnodes = 1;
+  points_.reserve(shards_ * vnodes);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      const std::string key =
+          "shard-" + std::to_string(s) + "#" + std::to_string(v);
+      points_.emplace_back(cluster_hash64(key),
+                           static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::shard_for(std::string_view service) const {
+  const std::uint64_t h = cluster_hash64(service);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p,
+         std::uint64_t value) { return p.first < value; });
+  if (it == points_.end()) return points_.front().second;
+  return it->second;
+}
+
+}  // namespace seqrtg::serve

@@ -1,0 +1,48 @@
+// Consistent-hash ring assigning services to cluster shards.
+//
+// The paper's partition-by-service property ("patterns never cross
+// services") is what makes sharding correctness-preserving: as long as
+// every record of a service lands on the same shard, an N-shard cluster
+// mines exactly the pattern set one node would — the cluster differential
+// oracle holds the routers and nodes to that.
+//
+// The hash is FNV-1a folded through splitmix-style avalanche steps, NOT
+// std::hash: the ring must agree across processes, builds and standard
+// libraries, because the router and every test that predicts placement
+// (testkit's cluster oracle, the CI smoke diff) recompute it
+// independently. Virtual nodes smooth the distribution so 3 shards do
+// not end up owning 70/20/10% of the services.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace seqrtg::serve {
+
+/// Portable 64-bit FNV-1a with a final avalanche (the ring's hash; also
+/// exposed so tests can predict placement without a ring instance).
+std::uint64_t cluster_hash64(std::string_view data);
+
+class HashRing {
+ public:
+  /// `shards` is clamped >= 1. Each shard contributes `vnodes` points.
+  explicit HashRing(std::size_t shards, std::size_t vnodes = 64);
+
+  /// The shard owning `service`: the first ring point at or after the
+  /// service's hash, wrapping at the top.
+  std::size_t shard_for(std::string_view service) const;
+
+  std::size_t shards() const { return shards_; }
+
+ private:
+  std::size_t shards_;
+  /// (point hash, shard) sorted by hash; ties broken by shard index so
+  /// the ring is deterministic even on (astronomically unlikely) hash
+  /// collisions.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace seqrtg::serve

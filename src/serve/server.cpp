@@ -10,10 +10,13 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string_view>
 
 #include "obs/build_info.hpp"
@@ -180,6 +183,10 @@ bool Server::start(std::string* error) {
     return false;
   }
 
+  // Restore the evolution value sketches BEFORE any lane can observe a
+  // match, so restored and fresh observations never race.
+  load_sketches();
+
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i]->worker = std::thread([this, i] { lane_loop(i); });
   }
@@ -212,9 +219,14 @@ bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
     }
     return true;
   }
+  return ingest_record(std::move(*record));
+}
+
+bool Server::ingest_record(core::LogRecord record) {
+  if (stopping_.load(std::memory_order_relaxed)) return false;
   const std::size_t lane =
-      std::hash<std::string>{}(record->service) % lanes_.size();
-  switch (lanes_[lane]->queue.push(std::move(*record))) {
+      std::hash<std::string>{}(record.service) % lanes_.size();
+  switch (lanes_[lane]->queue.push(std::move(record))) {
     case util::PushStatus::kOk:
       if (obs::telemetry_enabled()) serve_metrics().accepted.inc();
       notify_progress();
@@ -421,12 +433,53 @@ void Server::checkpoint_loop() {
     next_ms = clock_->now_ms() + interval_ms;
     lock.unlock();
     const bool ok = store_->checkpoint();
+    save_sketches();
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
     obs::logev(ok ? obs::LogLevel::kInfo : obs::LogLevel::kError, "store",
                "checkpoint", {{"ok", ok}});
     notify_progress();
     lock.lock();
   }
+}
+
+void Server::load_sketches() {
+  if (!store_->durable()) return;
+  const std::string path = store_->directory() + "/sketches.json";
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return;  // first boot: nothing persisted yet
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto restored = core::sketches_from_json(buf.str());
+  if (!restored.has_value()) {
+    // Malformed file: start from empty sketches rather than guess. The
+    // next save overwrites it.
+    obs::logev(obs::LogLevel::kWarn, "serve", "sketches_load_failed",
+               {{"path", path}});
+    return;
+  }
+  const std::size_t patterns = restored->size();
+  sketches_.restore(std::move(*restored));
+  obs::logev(obs::LogLevel::kInfo, "serve", "sketches_loaded",
+             {{"patterns", patterns}});
+}
+
+void Server::save_sketches() {
+  if (!store_->durable()) return;
+  const std::string path = store_->directory() + "/sketches.json";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return;
+    out << core::sketches_to_json(sketches_.snapshot());
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  // Atomic swap; sketches are an optimisation hint, not pattern data, so
+  // no fsync discipline — a crash at worst loses recent observations.
+  std::rename(tmp.c_str(), path.c_str());
 }
 
 void Server::evolution_loop() {
@@ -577,6 +630,10 @@ ServeReport Server::stop() {
   if (opts_.checkpoint_on_stop && store_->durable()) {
     report.checkpointed = store_->checkpoint();
   }
+  // Sketch persistence rides the drain unconditionally (it is independent
+  // of the snapshot-rotation choice above): workers are joined, so the
+  // snapshot is final.
+  save_sketches();
 
   // 5. The /metrics responder stays up until the very end so operators
   //    can watch the drain.

@@ -137,6 +137,13 @@ class Server {
   /// the socket listener runs.
   void feed(std::istream& in);
 
+  /// Shards one already-parsed record onto its lane. The JSON paths
+  /// (socket, feed()) call this after parsing; the cluster node feeds
+  /// decoded binary kRecord frames here directly, so both transports hit
+  /// the identical accounting and fault-injection path. Returns false
+  /// when the daemon is draining and producers should stop.
+  bool ingest_record(core::LogRecord record);
+
   /// Triggers the drain without blocking (idempotent, callable from any
   /// thread). stop() still must be called to join and collect the report.
   void request_stop();
@@ -215,6 +222,12 @@ class Server {
   HttpResponse handle_http(const std::string& target);
   HttpResponse debug_patterns(std::size_t top);
   HttpResponse debug_trace(std::int64_t window_ms) const;
+  /// sketches.json in the store directory: restores the evolution value
+  /// sketches on start and snapshots them at every checkpoint + the
+  /// drain, so restarts keep their observation history. No-ops when the
+  /// store is not durable.
+  void load_sketches();
+  void save_sketches();
   /// Wakes wait_until() waiters after a counter change.
   void notify_progress() const;
 

@@ -337,7 +337,7 @@ void PatternStore::apply_upsert(const core::Pattern& p) {
   std::vector<std::string> current = load_examples(pid);
   std::int64_t seq = static_cast<std::int64_t>(current.size());
   for (const std::string& e : p.examples) {
-    if (current.size() >= example_cap_) break;
+    if (current.size() >= example_cap()) break;
     if (std::find(current.begin(), current.end(), e) == current.end()) {
       db_.exec("INSERT INTO examples VALUES (?, ?, ?)",
                {Value(pid), Value(seq++), Value(e)});
@@ -385,11 +385,15 @@ void PatternStore::append_group(std::string ops) {
   obs::TraceSpan span(obs::TraceCat::kStore, "wal_append");
   span.set_args(static_cast<std::int64_t>(ops.size()));
   const std::uint64_t before = wal_.size_bytes();
-  if (wal_.append(ops) != 0) wal_.sync();
+  const std::uint64_t seq = wal_.append(ops);
+  if (seq != 0) wal_.sync();
   if (obs::telemetry_enabled()) {
     store_metrics().wal_appends.inc();
     store_metrics().wal_bytes.inc(wal_.size_bytes() - before);
   }
+  // Ship only after the local sync: the standby must never hold a group
+  // the primary could lose.
+  if (seq != 0 && commit_sink_) commit_sink_(seq, ops);
 }
 
 void PatternStore::upsert_pattern(const core::Pattern& p) {
@@ -552,6 +556,22 @@ void PatternStore::replay_ops(std::string_view ops) {
       break;  // unknown op: drop the rest of the group
     }
   }
+}
+
+bool PatternStore::apply_replicated_group(std::uint64_t seq,
+                                          std::string_view ops) {
+  std::lock_guard lock(mutex_);
+  if (!wal_.is_open() || seq == 0 || ops.empty()) return false;
+  // Idempotent re-delivery: a group the standby already holds (or that a
+  // checkpoint folded into the snapshot) is acknowledged, not re-applied.
+  if (seq <= wal_.last_seq() || seq <= snapshot_seq_) return true;
+  replay_ops(ops);
+  // Mirror the primary's sequence exactly — gaps included — so takeover
+  // resumes numbering where the primary stopped.
+  wal_.ensure_next_seq(seq);
+  const std::uint64_t assigned = wal_.append(ops);
+  if (assigned != 0) wal_.sync();
+  return assigned == seq;
 }
 
 bool PatternStore::open(const std::string& dir) {

@@ -132,6 +132,31 @@ class PatternStore final : public core::PatternRepository {
   };
   DurabilityStats durability_stats();
 
+  /// Replication tap: invoked with (seq, ops) after every commit group is
+  /// appended AND fsynced (under the store mutex, so groups arrive in
+  /// exact WAL order). This is the shard node's WAL-shipping hook — a
+  /// group handed to the sink is by construction locally durable, so the
+  /// standby can only ever trail the primary, never lead it. Keep the
+  /// sink fast or accept that it gates commit latency; pass nullptr to
+  /// detach.
+  void set_commit_sink(
+      std::function<void(std::uint64_t, std::string_view)> sink) {
+    std::lock_guard lock(mutex_);
+    commit_sink_ = std::move(sink);
+  }
+
+  /// Standby-side ingestion of a shipped commit group: applies `ops` and
+  /// appends them to the local WAL under the SAME sequence number the
+  /// primary assigned, so a promoted standby's log is byte-compatible
+  /// with the primary's history. Groups at or below the local watermark
+  /// (already applied, or covered by a snapshot) are idempotently
+  /// ignored. Returns false when the store is not durable or the local
+  /// append could not honour `seq`.
+  bool apply_replicated_group(std::uint64_t seq, std::string_view ops);
+
+  /// Directory bound by open(); empty when not durable.
+  const std::string& directory() const { return dir_; }
+
   /// Testkit simulation layer: forwards a scripted torn-tail fault to the
   /// underlying WAL (see Wal::set_fault_hook). The hook fires on the next
   /// matching commit group and wedges the log, so recovery tests can
@@ -176,6 +201,7 @@ class PatternStore final : public core::PatternRepository {
   Wal wal_;
   std::string dir_;
   std::uint64_t snapshot_seq_ = 0;
+  std::function<void(std::uint64_t, std::string_view)> commit_sink_;
   /// Open batch scopes, one buffered commit group per thread (guarded by
   /// mutex_ like everything else).
   std::map<std::thread::id, std::string> batch_ops_;

@@ -1,6 +1,8 @@
 #include "testkit/canonical.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -16,6 +18,40 @@ std::string canonical_patterns(core::PatternRepository& repo,
   std::ostringstream out;
   for (const std::string& service : services) {
     std::vector<core::Pattern> patterns = repo.load_service(service);
+    std::sort(patterns.begin(), patterns.end(),
+              [](const core::Pattern& a, const core::Pattern& b) {
+                if (a.token_count() != b.token_count()) {
+                  return a.token_count() < b.token_count();
+                }
+                return a.text() < b.text();
+              });
+    for (const core::Pattern& p : patterns) {
+      out << service << "\t";
+      if (include_match_counts) out << p.stats.match_count << "\t";
+      out << p.token_count() << "\t" << p.text() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string canonical_patterns_merged(
+    const std::vector<core::PatternRepository*>& repos,
+    bool include_match_counts) {
+  // service -> every pattern any shard holds for it. A correctly routed
+  // cluster contributes each service from exactly one shard; keeping ALL
+  // contributions (no dedup) is what makes a split service visible.
+  std::map<std::string, std::vector<core::Pattern>> pooled;
+  for (core::PatternRepository* repo : repos) {
+    for (const std::string& service : repo->services()) {
+      std::vector<core::Pattern> patterns = repo->load_service(service);
+      auto& bucket = pooled[service];
+      bucket.insert(bucket.end(), std::make_move_iterator(patterns.begin()),
+                    std::make_move_iterator(patterns.end()));
+    }
+  }
+
+  std::ostringstream out;
+  for (auto& [service, patterns] : pooled) {
     std::sort(patterns.begin(), patterns.end(),
               [](const core::Pattern& a, const core::Pattern& b) {
                 if (a.token_count() != b.token_count()) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/repository.hpp"
 
@@ -23,6 +24,17 @@ namespace seqrtg::testkit {
 /// idempotence oracle re-analyzes, which legitimately bumps counts).
 std::string canonical_patterns(core::PatternRepository& repo,
                                bool include_match_counts = true);
+
+/// Canonical rendering of a CLUSTER: pools the patterns of every shard
+/// repository, then renders with the same sort and line format as
+/// canonical_patterns. With correct service routing each service lives on
+/// exactly one shard and the merge is a plain union; a misrouted service
+/// (split across two shards) surfaces as duplicate or split rows, so the
+/// cluster-vs-single-node diff catches routing bugs, not just mining
+/// bugs.
+std::string canonical_patterns_merged(
+    const std::vector<core::PatternRepository*>& repos,
+    bool include_match_counts = true);
 
 /// Human-readable first divergence between two canonical renderings:
 /// the 1-based line number plus both lines (or the missing side).

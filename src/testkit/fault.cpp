@@ -35,7 +35,18 @@ std::string FaultPlan::to_string() const {
     out << sep << "tear-wal@" << tear_wal_seq << ":" << tear_wal_bytes;
     sep = ";";
   }
-  if (crash_after != 0) out << sep << "crash@" << crash_after;
+  if (crash_after != 0) {
+    out << sep << "crash@" << crash_after;
+    sep = ";";
+  }
+  if (cluster_nodes != 0) {
+    out << sep << "cluster@" << cluster_nodes;
+    sep = ";";
+  }
+  for (const std::uint64_t i : misroute_at) {
+    out << sep << "misroute@" << i;
+    sep = ";";
+  }
   return out.str();
 }
 
@@ -82,6 +93,21 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
         return std::nullopt;
       }
       plan.crash_after = n;
+    } else if (kind == "cluster") {
+      std::uint64_t n = 0;
+      if (!parse_u64(arg, &n) || n == 0) {
+        set_error(error, "cluster needs a node count >= 1, got: " +
+                             std::string(arg));
+        return std::nullopt;
+      }
+      plan.cluster_nodes = n;
+    } else if (kind == "misroute") {
+      std::uint64_t index = 0;
+      if (!parse_u64(arg, &index)) {
+        set_error(error, "bad misroute index: " + std::string(arg));
+        return std::nullopt;
+      }
+      plan.misroute_at.push_back(index);
     } else {
       set_error(error, "unknown fault directive: " + std::string(kind));
       return std::nullopt;
@@ -91,6 +117,10 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
   plan.drop_at.erase(
       std::unique(plan.drop_at.begin(), plan.drop_at.end()),
       plan.drop_at.end());
+  std::sort(plan.misroute_at.begin(), plan.misroute_at.end());
+  plan.misroute_at.erase(
+      std::unique(plan.misroute_at.begin(), plan.misroute_at.end()),
+      plan.misroute_at.end());
   return plan;
 }
 
@@ -98,6 +128,13 @@ std::function<bool(std::uint64_t)> FaultPlan::queue_hook() const {
   if (drop_at.empty()) return {};
   return [drops = drop_at](std::uint64_t index) {
     return std::binary_search(drops.begin(), drops.end(), index);
+  };
+}
+
+std::function<bool(std::uint64_t)> FaultPlan::route_hook() const {
+  if (misroute_at.empty()) return {};
+  return [targets = misroute_at](std::uint64_t index) {
+    return std::binary_search(targets.begin(), targets.end(), index);
   };
 }
 

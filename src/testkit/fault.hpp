@@ -11,8 +11,14 @@
 //   crash@N           producers die after feeding N records and the drain
 //                     skips the final checkpoint, so recovery must come
 //                     from the WAL tail alone
+//   cluster@N         run the differential's cluster leg with N shard
+//                     nodes (N >= 1; 0 means the scenario default)
+//   misroute@I        the router sends the I-th routed record (0-based)
+//                     to the ring successor of its correct shard —
+//                     the routing bug the cluster oracle must catch;
+//                     repeatable
 //
-// Example: "drop@37; drop@90; tear-wal@3:12"
+// Example: "drop@37; drop@90; tear-wal@3:12" or "cluster@3; misroute@37"
 //
 // A plan composes with a seed into a fully deterministic scenario: the
 // corpus, the interleaving, the faulted record/group and therefore the
@@ -37,11 +43,19 @@ struct FaultPlan {
   std::uint64_t tear_wal_bytes = 0;
   /// Stop feeding after this many records (0 = no crash fault).
   std::uint64_t crash_after = 0;
+  /// Shard nodes for the differential's cluster leg (0 = leg disabled
+  /// unless a misroute fault forces it on with the default size).
+  std::uint64_t cluster_nodes = 0;
+  /// Global 0-based record indexes the router deliberately misroutes to
+  /// the ring successor of the correct shard (sorted).
+  std::vector<std::uint64_t> misroute_at;
 
   bool empty() const {
-    return drop_at.empty() && tear_wal_seq == 0 && crash_after == 0;
+    return drop_at.empty() && tear_wal_seq == 0 && crash_after == 0 &&
+           cluster_nodes == 0 && misroute_at.empty();
   }
   bool has_drop() const { return !drop_at.empty(); }
+  bool has_misroute() const { return !misroute_at.empty(); }
   bool has_recovery_fault() const {
     return tear_wal_seq != 0 || crash_after != 0;
   }
@@ -60,6 +74,10 @@ struct FaultPlan {
   /// Hook for PatternStore::set_wal_fault_hook / Wal::set_fault_hook
   /// (empty function when no tear fault).
   std::function<std::int64_t(std::uint64_t)> wal_hook() const;
+
+  /// Hook for RouterOptions::route_fault / ClusterConfig::route_fault
+  /// (empty function when no misroute fault).
+  std::function<bool(std::uint64_t)> route_hook() const;
 };
 
 }  // namespace seqrtg::testkit

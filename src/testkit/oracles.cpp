@@ -1,11 +1,15 @@
 #include "testkit/oracles.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "core/parser.hpp"
 #include "core/validation.hpp"
+#include "serve/cluster.hpp"
+#include "serve/ring.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 
@@ -96,6 +100,109 @@ MiningResult mine_serve(const std::vector<core::LogRecord>& records,
   return out;
 }
 
+MiningResult mine_cluster(const std::vector<core::LogRecord>& records,
+                          const core::EngineOptions& opts,
+                          const ClusterConfig& config) {
+  const std::size_t nodes = config.nodes == 0 ? 1 : config.nodes;
+  MiningResult out;
+
+  // Predict each node's record count by evaluating the SAME pure routing
+  // function the router will apply (ring hash + scripted misroute). The
+  // prediction is the drain barrier: a node is only stopped after its
+  // cluster transport has delivered everything addressed to it, which
+  // closes the race between the router's last write and the node's drain.
+  const serve::HashRing ring(nodes, config.vnodes);
+  std::vector<std::uint64_t> expected(nodes, 0);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::size_t shard = ring.shard_for(records[i].service);
+    if (config.route_fault && config.route_fault(i)) {
+      shard = (shard + 1) % nodes;
+    }
+    ++expected[shard];
+  }
+
+  // Same determinism recipe as mine_serve, shared across all nodes: one
+  // pinned ManualClock (thread-safe), batches larger than the corpus, so
+  // every lane flushes exactly once at drain.
+  util::ManualClock manual(opts.now_unix);
+  std::vector<std::unique_ptr<store::PatternStore>> stores;
+  std::vector<std::unique_ptr<serve::ClusterNode>> cluster;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    stores.push_back(std::make_unique<store::PatternStore>());
+    serve::ClusterNodeOptions node_opts;
+    node_opts.serve.engine = opts;
+    node_opts.serve.port = -1;
+    node_opts.serve.http_port = -1;
+    node_opts.serve.lanes = config.lanes;
+    node_opts.serve.queue_capacity = records.size() + 1;
+    node_opts.serve.overflow = util::OverflowPolicy::kDrop;
+    node_opts.serve.batch_size = records.size() + 1;
+    node_opts.serve.flush_interval_s = 1e9;
+    node_opts.serve.checkpoint_on_stop = false;
+    node_opts.serve.clock = &manual;
+    node_opts.cluster_port = 0;
+    node_opts.node_id = "node-" + std::to_string(n);
+    cluster.push_back(std::make_unique<serve::ClusterNode>(
+        stores[n].get(), std::move(node_opts)));
+    std::string error;
+    if (!cluster.back()->start(&error)) {
+      out.started = false;
+      out.canonical = "cluster node " + std::to_string(n) +
+                      " failed to start: " + error;
+      for (auto& node : cluster) node->stop();
+      return out;
+    }
+  }
+
+  serve::RouterOptions router_opts;
+  for (const auto& node : cluster) {
+    router_opts.shards.push_back(node->cluster_port());
+  }
+  router_opts.port = -1;
+  router_opts.http_port = -1;
+  router_opts.vnodes = config.vnodes;
+  router_opts.route_fault = config.route_fault;
+  serve::Router router(std::move(router_opts));
+  std::string error;
+  if (!router.start(&error)) {
+    out.started = false;
+    out.canonical = "cluster router failed to start: " + error;
+    for (auto& node : cluster) node->stop();
+    return out;
+  }
+
+  std::string stream;
+  for (const core::LogRecord& record : records) {
+    stream += core::record_to_json(record);
+    stream += '\n';
+  }
+  std::istringstream in(stream);
+  router.feed(in);
+  // stop() closes every shard link; the FIN is each node's end-of-stream.
+  const serve::RouterReport routed = router.stop();
+  out.forwarded = routed.forwarded;
+  out.undeliverable = routed.undeliverable;
+
+  std::vector<core::PatternRepository*> repos;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    serve::ClusterNode& node = *cluster[n];
+    node.wait_until([&node, want = expected[n]] {
+      return node.stats().records >= want;
+    });
+    const serve::ServeReport report = node.stop();
+    out.records += report.processed;
+    out.accepted += report.accepted;
+    out.processed += report.processed;
+    out.dropped += report.dropped;
+    out.batches += report.batches;
+    out.new_patterns += report.new_patterns;
+    out.matched_existing += report.matched_existing;
+    repos.push_back(stores[n].get());
+  }
+  out.canonical = canonical_patterns_merged(repos);
+  return out;
+}
+
 OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
                                  const core::EngineOptions& opts,
                                  const DifferentialOptions& dopts) {
@@ -130,6 +237,40 @@ OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
   if (engine.canonical != served.canonical) {
     return OracleFailure{"differential:engine-vs-serve",
                          first_diff(engine.canonical, served.canonical)};
+  }
+
+  if (dopts.cluster_nodes > 0) {
+    ClusterConfig cluster;
+    cluster.nodes = dopts.cluster_nodes;
+    cluster.route_fault = dopts.cluster_route_fault;
+    const MiningResult clustered = mine_cluster(records, opts, cluster);
+    if (!clustered.started) {
+      return OracleFailure{"differential:cluster-start",
+                           clustered.canonical};
+    }
+    // A misrouted record is still forwarded (to the wrong shard) and
+    // still processed, so the accounting stays green and only the merged
+    // canonical betrays it — exactly the division of labour the
+    // single-node leg has between accounting and canonical checks.
+    if (clustered.forwarded != records.size() ||
+        clustered.undeliverable != 0 ||
+        clustered.accepted != clustered.forwarded ||
+        clustered.processed != clustered.accepted ||
+        clustered.dropped != 0) {
+      std::ostringstream detail;
+      detail << "cluster accounting diverged: fed=" << records.size()
+             << " forwarded=" << clustered.forwarded
+             << " undeliverable=" << clustered.undeliverable
+             << " accepted=" << clustered.accepted
+             << " processed=" << clustered.processed
+             << " dropped=" << clustered.dropped;
+      return OracleFailure{"differential:cluster-accounting", detail.str()};
+    }
+    if (engine.canonical != clustered.canonical) {
+      return OracleFailure{"differential:engine-vs-cluster",
+                           first_diff(engine.canonical,
+                                      clustered.canonical)};
+    }
   }
   return std::nullopt;
 }

@@ -66,6 +66,10 @@ struct MiningResult {
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
   std::uint64_t batches = 0;
+  /// Cluster-only accounting (zero elsewhere): router forwards and
+  /// records with no live shard to take them.
+  std::uint64_t forwarded = 0;
+  std::uint64_t undeliverable = 0;
   bool started = true;
 };
 
@@ -96,6 +100,27 @@ MiningResult mine_serve(const std::vector<core::LogRecord>& records,
                         const core::EngineOptions& opts,
                         const ServeConfig& config);
 
+/// Configuration of the cluster mining path.
+struct ClusterConfig {
+  /// Shard nodes (each an in-process ClusterNode over its own store).
+  std::size_t nodes = 3;
+  /// Lanes per node.
+  std::size_t lanes = 2;
+  std::size_t vnodes = 64;
+  /// Scripted misroute (RouterOptions::route_fault). MUST be a pure
+  /// function of the record index: mine_cluster re-evaluates it to
+  /// predict each node's expected record count for the drain barrier.
+  std::function<bool(std::uint64_t)> route_fault;
+};
+
+/// Streams the records through a real router + N shard nodes over the
+/// binary cluster transport (loopback sockets) and drains everything.
+/// `canonical` is the cluster-wide merge (canonical_patterns_merged), so
+/// comparing against mine_engine proves sharding preserved the mined set.
+MiningResult mine_cluster(const std::vector<core::LogRecord>& records,
+                          const core::EngineOptions& opts,
+                          const ClusterConfig& config);
+
 /// A falsified invariant: which oracle, and the first divergence.
 struct OracleFailure {
   std::string oracle;
@@ -113,6 +138,13 @@ struct DifferentialOptions {
   /// mutation-test the oracle itself (an injected divergence MUST be
   /// caught).
   std::function<bool(std::uint64_t)> serve_queue_fault;
+  /// Shard count of the cluster leg (0 = leg disabled). When enabled the
+  /// corpus additionally streams through a router + N-node cluster whose
+  /// merged canonical must match the single-engine one.
+  std::size_t cluster_nodes = 0;
+  /// Scripted misroute injected into the cluster leg only (the oracle
+  /// mutation: a mis-routed service MUST be caught).
+  std::function<bool(std::uint64_t)> cluster_route_fault;
 };
 
 OracleVerdict check_differential(const std::vector<core::LogRecord>& records,

@@ -322,10 +322,18 @@ ScenarioResult run_scenario(const ScenarioOptions& opts,
   dopts.threads = opts.threads;
   dopts.lanes = opts.lanes;
   dopts.serve_queue_fault = opts.fault.queue_hook();
+  // cluster@N turns the cluster leg on explicitly; a misroute fault with
+  // no explicit size implies it (the fault targets the router).
+  dopts.cluster_nodes = opts.fault.cluster_nodes != 0
+                            ? static_cast<std::size_t>(
+                                  opts.fault.cluster_nodes)
+                            : (opts.fault.has_misroute() ? 3 : 0);
+  dopts.cluster_route_fault = opts.fault.route_hook();
 
   OracleVerdict verdict = check_differential(corpus, opts.engine, dopts);
   // Metamorphic oracles only make sense on an unfaulted pipeline.
-  if (!verdict.has_value() && !opts.fault.has_drop()) {
+  if (!verdict.has_value() && !opts.fault.has_drop() &&
+      !opts.fault.has_misroute()) {
     if (opts.run_soundness) {
       verdict = check_soundness(corpus, opts.engine);
     }

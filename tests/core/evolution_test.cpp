@@ -326,5 +326,78 @@ TEST(Evolution, DurableRewriteSurvivesColdReopenViaWalReplay) {
   fs::remove_all(dir);
 }
 
+TEST(SketchPersistence, JsonRoundTripIsLossless) {
+  std::map<std::string, std::vector<ValueSketch>> sketches;
+  ValueSketch a;
+  a.values = {"10", "42", "97"};
+  a.observations = 12;
+  ValueSketch b;
+  b.values = {"alpha"};
+  b.overflow = true;
+  b.observations = 1000;
+  sketches["svc/pattern-1"] = {a, b};
+  sketches["svc/pattern-2"] = {};
+  sketches["other/p"] = {ValueSketch{}};
+
+  const std::string json = sketches_to_json(sketches);
+  const auto restored = sketches_from_json(json);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), sketches.size());
+  for (const auto& [id, positions] : sketches) {
+    const auto it = restored->find(id);
+    ASSERT_NE(it, restored->end()) << id;
+    ASSERT_EQ(it->second.size(), positions.size()) << id;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_EQ(it->second[i].values, positions[i].values) << id;
+      EXPECT_EQ(it->second[i].overflow, positions[i].overflow) << id;
+      EXPECT_EQ(it->second[i].observations, positions[i].observations)
+          << id;
+    }
+  }
+}
+
+TEST(SketchPersistence, MalformedOrSkewedJsonRestoresNothing) {
+  EXPECT_FALSE(sketches_from_json("").has_value());
+  EXPECT_FALSE(sketches_from_json("not json at all").has_value());
+  EXPECT_FALSE(sketches_from_json("{\"patterns\":[]}").has_value());
+  // Unknown version: start empty rather than guess at the schema.
+  EXPECT_FALSE(
+      sketches_from_json("{\"version\":2,\"patterns\":[]}").has_value());
+  // Oversized value lists clamp to the overflow representation instead of
+  // resurrecting an impossible sketch.
+  std::string fat = "{\"version\":1,\"patterns\":[{\"id\":\"p\","
+                    "\"positions\":[{\"values\":[";
+  for (std::size_t i = 0; i <= ValueSketch::kMaxValues; ++i) {
+    if (i != 0) fat += ',';
+    fat += "\"v" + std::to_string(i) + "\"";
+  }
+  fat += "],\"overflow\":false,\"observations\":9}]}]}";
+  const auto clamped = sketches_from_json(fat);
+  ASSERT_TRUE(clamped.has_value());
+  const auto& positions = clamped->at("p");
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(positions[0].values.size(), ValueSketch::kMaxValues);
+  EXPECT_TRUE(positions[0].overflow);
+  EXPECT_EQ(positions[0].observations, 9u);
+}
+
+TEST(SketchPersistence, RegistryRestoreSeedsFutureObservations) {
+  SketchRegistry registry;
+  std::map<std::string, std::vector<ValueSketch>> seed;
+  ValueSketch position;
+  position.values = {"5", "6"};
+  position.observations = 2;
+  seed["svc/p"] = {position};
+  registry.restore(seed);
+  // New observations extend the restored sketch instead of starting over.
+  registry.observe("svc/p", {{"field0", "7"}});
+  const auto snapshot = registry.snapshot();
+  const auto& restored = snapshot.at("svc/p");
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].values,
+            (std::vector<std::string>{"5", "6", "7"}));
+  EXPECT_EQ(restored[0].observations, 3u);
+}
+
 }  // namespace
 }  // namespace seqrtg::core

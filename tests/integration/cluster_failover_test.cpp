@@ -1,0 +1,412 @@
+// SIGKILL failover drill against the REAL `seqrtg` binary (fork/execv,
+// path injected via SEQRTG_CLI_PATH).
+//
+// Topology under test: an in-process Router fronting a child-process
+// primary (`serve --cluster-port --ship-to`) that WAL-ships every commit
+// group to a child-process hot standby. The drill:
+//
+//   route wave ─► primary ──kWalGroup──► standby
+//                SIGKILL -9
+//   route wave ─────────failover───────► standby (keeps mining)
+//
+// Zero pattern loss is proven by cold-reopening both store directories
+// after the dust settles: everything the primary ever committed (its WAL
+// replay) must exist byte-identically on the standby. The quiescent drill
+// asserts exact equality; the mid-stream drill asserts monotone
+// containment (the standby kept mining the same service after takeover,
+// so its match counts may only have grown).
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "serve/http.hpp"
+#include "serve/router.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
+
+#ifndef SEQRTG_CLI_PATH
+#error "SEQRTG_CLI_PATH must point at the seqrtg binary"
+#endif
+
+namespace seqrtg {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("seqrtg_failover_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+/// A spawned `seqrtg serve` child with its stdout+stderr on a pipe.
+class ServeChild {
+ public:
+  explicit ServeChild(const std::vector<std::string>& args) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<std::string> argv_store = args;
+      argv_store.insert(argv_store.begin(), SEQRTG_CLI_PATH);
+      std::vector<char*> argv;
+      for (std::string& a : argv_store) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(SEQRTG_CLI_PATH, argv.data());
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+  }
+
+  ~ServeChild() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  bool ok() const { return pid_ > 0 && out_fd_ >= 0; }
+  pid_t pid() const { return pid_; }
+  const std::string& output() const { return buffer_; }
+
+  /// Reads child output until `needle` appears or `timeout` elapses.
+  bool wait_for_output(const std::string& needle,
+                       std::chrono::milliseconds timeout = 15000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (buffer_.find(needle) == std::string::npos) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      if (left <= 0ms) return false;
+      pollfd pfd = {out_fd_, POLLIN, 0};
+      const int rc = ::poll(
+          &pfd, 1,
+          static_cast<int>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                  .count()));
+      if (rc <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(out_fd_, buf, sizeof buf);
+      if (n <= 0) return buffer_.find(needle) != std::string::npos;
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  /// Port printed after `label` in the serving line (-1 when absent).
+  int port_after(const std::string& label) {
+    const std::size_t at = buffer_.find(label);
+    if (at == std::string::npos) return -1;
+    return std::atoi(buffer_.c_str() + at + label.size());
+  }
+
+  /// SIGKILL, reaped; true when the child died by exactly that signal.
+  bool sigkill() {
+    if (pid_ <= 0) return false;
+    if (::kill(pid_, SIGKILL) != 0) return false;
+    int status = 0;
+    if (::waitpid(pid_, &status, 0) != pid_) return false;
+    pid_ = -1;
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  }
+
+  /// SIGTERM and drain; true when the child exited cleanly (code 0).
+  bool sigterm_and_wait() {
+    if (pid_ <= 0) return false;
+    if (::kill(pid_, SIGTERM) != 0) return false;
+    int status = 0;
+    if (::waitpid(pid_, &status, 0) != pid_) return false;
+    pid_ = -1;
+    // Keep draining the pipe so the drain report is inspectable.
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::read(out_fd_, buf, sizeof buf)) > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+};
+
+std::vector<std::string> serve_args(const std::string& store_dir,
+                                    const std::string& node_id,
+                                    int ship_to = -1) {
+  std::vector<std::string> args = {
+      "serve",           "--store-dir",      store_dir,
+      "--port",          "-1",               "--http-port",
+      "0",               "--cluster-port",   "0",
+      "--lanes",         "1",                "--batch",
+      "8",               "--flush-interval", "100000",
+      "--checkpoint-interval", "0",          "--node-id",
+      node_id};
+  if (ship_to >= 0) {
+    args.push_back("--ship-to");
+    args.push_back(std::to_string(ship_to));
+  }
+  return args;
+}
+
+/// Value of an un-labelled counter in a Prometheus exposition (-1 absent).
+std::int64_t metric_value(const std::string& body, const std::string& name) {
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::atoll(line.c_str() + name.size() + 1);
+    }
+  }
+  return -1;
+}
+
+/// "processed" field of a /healthz document (-1 when unreadable).
+std::int64_t health_processed(int http_port) {
+  const std::optional<std::string> body =
+      serve::http_get(http_port, "/healthz");
+  if (!body.has_value()) return -1;
+  const std::size_t at = body->find("\"processed\":");
+  if (at == std::string::npos) return -1;
+  return std::atoll(body->c_str() + at + 12);
+}
+
+/// Polls `probe` until it returns true or ~15s elapse.
+bool poll_until(const std::function<bool()>& probe) {
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (probe()) return true;
+    std::this_thread::sleep_for(50ms);
+  }
+  return false;
+}
+
+void route_wave(serve::Router& router, const std::string& service,
+                std::size_t count, std::size_t offset = 0) {
+  for (std::size_t i = 0; i < count; ++i) {
+    router.route_record(
+        {service, "drill event " + std::to_string(offset + i) +
+                      " from host-" + std::to_string(i % 4)});
+  }
+}
+
+/// canonical_patterns lines keyed by (service, token_count, text), value =
+/// match count. The canonical line format is service\tcount\ttokens\ttext.
+std::map<std::tuple<std::string, std::string, std::string>, std::int64_t>
+parse_canonical(const std::string& canonical) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::int64_t>
+      out;
+  std::istringstream lines(canonical);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream cols(line);
+    std::string service;
+    std::string count;
+    std::string tokens;
+    std::string text;
+    if (!std::getline(cols, service, '\t')) continue;
+    std::getline(cols, count, '\t');
+    std::getline(cols, tokens, '\t');
+    std::getline(cols, text);
+    out[{service, tokens, text}] = std::atoll(count.c_str());
+  }
+  return out;
+}
+
+std::string reopen_canonical(const fs::path& dir) {
+  store::PatternStore store;
+  if (!store.open(dir.string())) return "<reopen failed>";
+  return testkit::canonical_patterns(store);
+}
+
+TEST(ClusterFailover, QuiescentSigkillLosesNoCommittedPattern) {
+  TempDir primary_dir("primary_a");
+  TempDir standby_dir("standby_a");
+
+  ServeChild standby(serve_args(standby_dir.path.string(), "standby"));
+  ASSERT_TRUE(standby.ok());
+  ASSERT_TRUE(standby.wait_for_output("serving")) << standby.output();
+  const int standby_cluster = standby.port_after("cluster on 127.0.0.1:");
+  const int standby_http = standby.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(standby_cluster, 0) << standby.output();
+  ASSERT_GT(standby_http, 0) << standby.output();
+
+  ServeChild primary(
+      serve_args(primary_dir.path.string(), "primary", standby_cluster));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(primary.wait_for_output("serving")) << primary.output();
+  const int primary_cluster = primary.port_after("cluster on 127.0.0.1:");
+  const int primary_http = primary.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(primary_cluster, 0) << primary.output();
+  ASSERT_GT(primary_http, 0) << primary.output();
+
+  serve::RouterOptions ropts;
+  ropts.shards = {primary_cluster};
+  ropts.standbys = {standby_cluster};
+  serve::Router router(std::move(ropts));
+  std::string error;
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  // Wave 1: 64 records = 8 full batches = 8 shippable commit groups.
+  route_wave(router, "alpha", 64);
+  ASSERT_TRUE(poll_until(
+      [&] { return health_processed(primary_http) >= 64; }))
+      << primary.output();
+  std::int64_t shipped = 0;
+  ASSERT_TRUE(poll_until([&] {
+    const auto body = serve::http_get(primary_http, "/metrics");
+    if (!body.has_value()) return false;
+    shipped = metric_value(*body, "seqrtg_cluster_groups_shipped_total");
+    return shipped >= 8;
+  }));
+  ASSERT_TRUE(poll_until([&] {
+    const auto body = serve::http_get(standby_http, "/metrics");
+    return body.has_value() &&
+           metric_value(*body, "seqrtg_cluster_groups_applied_total") >=
+               shipped;
+  }));
+
+  // The drill: kill -9, no drain, no checkpoint.
+  ASSERT_TRUE(primary.sigkill());
+
+  // Wave 2 (a different service): the router's first send probes the dead
+  // link and promotes the standby, which keeps mining.
+  route_wave(router, "beta", 32);
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.undeliverable(), 0u);
+  ASSERT_TRUE(poll_until(
+      [&] { return health_processed(standby_http) >= 32; }))
+      << standby.output();
+  const serve::RouterReport routed = router.stop();
+  EXPECT_EQ(routed.forwarded, 96u);
+  ASSERT_TRUE(standby.sigterm_and_wait()) << standby.output();
+
+  // Cold reopen: the primary's WAL replay IS its committed state. Every
+  // alpha row must exist on the standby byte-for-byte; beta rows prove
+  // the takeover kept mining.
+  const std::string primary_rows = reopen_canonical(primary_dir.path);
+  const std::string standby_rows = reopen_canonical(standby_dir.path);
+  ASSERT_NE(primary_rows, "<reopen failed>");
+  ASSERT_NE(standby_rows, "<reopen failed>");
+  EXPECT_FALSE(primary_rows.empty());
+  std::string standby_alpha;
+  bool saw_beta = false;
+  std::istringstream lines(standby_rows);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("alpha\t", 0) == 0) standby_alpha += line + "\n";
+    if (line.rfind("beta\t", 0) == 0) saw_beta = true;
+  }
+  EXPECT_EQ(standby_alpha, primary_rows)
+      << testkit::first_diff(primary_rows, standby_alpha);
+  EXPECT_TRUE(saw_beta) << standby_rows;
+}
+
+TEST(ClusterFailover, MidStreamSigkillKeepsEveryShippedGroup) {
+  TempDir primary_dir("primary_b");
+  TempDir standby_dir("standby_b");
+
+  ServeChild standby(serve_args(standby_dir.path.string(), "standby"));
+  ASSERT_TRUE(standby.ok());
+  ASSERT_TRUE(standby.wait_for_output("serving")) << standby.output();
+  const int standby_cluster = standby.port_after("cluster on 127.0.0.1:");
+  const int standby_http = standby.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(standby_cluster, 0) << standby.output();
+
+  ServeChild primary(
+      serve_args(primary_dir.path.string(), "primary", standby_cluster));
+  ASSERT_TRUE(primary.ok());
+  ASSERT_TRUE(primary.wait_for_output("serving")) << primary.output();
+  const int primary_cluster = primary.port_after("cluster on 127.0.0.1:");
+  const int primary_http = primary.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(primary_cluster, 0) << primary.output();
+
+  serve::RouterOptions ropts;
+  ropts.shards = {primary_cluster};
+  ropts.standbys = {standby_cluster};
+  serve::Router router(std::move(ropts));
+  std::string error;
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  // One continuous stream of a single service, killed part-way: the
+  // first 16 records (2 commit groups) land on the primary; the kill is
+  // taken at a batch boundary so no commit is in flight, then the REST of
+  // the stream fails over mid-flow.
+  route_wave(router, "gamma", 16);
+  ASSERT_TRUE(poll_until(
+      [&] { return health_processed(primary_http) >= 16; }))
+      << primary.output();
+  std::int64_t shipped = 0;
+  ASSERT_TRUE(poll_until([&] {
+    const auto body = serve::http_get(primary_http, "/metrics");
+    if (!body.has_value()) return false;
+    shipped = metric_value(*body, "seqrtg_cluster_groups_shipped_total");
+    return shipped >= 2;
+  }));
+  ASSERT_TRUE(poll_until([&] {
+    const auto body = serve::http_get(standby_http, "/metrics");
+    return body.has_value() &&
+           metric_value(*body, "seqrtg_cluster_groups_applied_total") >=
+               shipped;
+  }));
+  ASSERT_TRUE(primary.sigkill());
+
+  route_wave(router, "gamma", 24, /*offset=*/16);
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.undeliverable(), 0u);
+  ASSERT_TRUE(poll_until(
+      [&] { return health_processed(standby_http) >= 24; }))
+      << standby.output();
+  const serve::RouterReport routed = router.stop();
+  EXPECT_EQ(routed.forwarded, 40u);
+  ASSERT_TRUE(standby.sigterm_and_wait()) << standby.output();
+
+  // Zero loss, monotone form: the standby REPLAYED the primary's groups
+  // and then kept mining the same service, so every pattern the primary
+  // committed must exist on the standby with an equal-or-grown match
+  // count (no evolution configured: patterns are never rewritten).
+  const auto primary_rows =
+      parse_canonical(reopen_canonical(primary_dir.path));
+  const auto standby_rows =
+      parse_canonical(reopen_canonical(standby_dir.path));
+  ASSERT_FALSE(primary_rows.empty());
+  for (const auto& [key, count] : primary_rows) {
+    const auto it = standby_rows.find(key);
+    ASSERT_NE(it, standby_rows.end())
+        << "pattern lost in failover: " << std::get<0>(key) << " / "
+        << std::get<2>(key);
+    EXPECT_GE(it->second, count) << std::get<2>(key);
+  }
+}
+
+}  // namespace
+}  // namespace seqrtg

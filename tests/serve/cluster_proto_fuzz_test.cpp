@@ -1,0 +1,308 @@
+// Seeded fuzz test for the binary cluster protocol framing.
+//
+// Every round assembles a valid stream (header + random frames), then
+// mutates it — truncation, oversized declared lengths, CRC/byte
+// corruption, version skew — and feeds it to a fresh decoder in random
+// chunk sizes. The invariants:
+//
+//   * a CLEAN stream always decodes completely, chunking-independent,
+//     with zero pending bytes;
+//   * a MUTATED stream never hangs, never over-reads, and either decodes
+//     a strict prefix, latches poisoned, or leaves pending bytes (the
+//     EOF-inside-a-frame signal) — silently swallowing the mutation while
+//     claiming a full decode is the only forbidden outcome;
+//   * the node-side accounting is exact: one malformed-stream count per
+//     poisoned connection, mirrored in seqrtg_cluster_malformed_total.
+//
+// Rounds are independently seeded so a failing round replays alone:
+//   SEQRTG_FUZZ_SEED=<seed> ./cluster_proto_fuzz_test
+#include "serve/cluster_proto.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cluster.hpp"
+#include "store/pattern_store.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::serve {
+namespace {
+
+std::string random_text(util::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.next_below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  return out;
+}
+
+/// A well-formed stream: header plus 1..8 frames of random types.
+std::string build_clean_stream(util::Rng& rng, std::size_t* frame_count) {
+  std::string stream = cluster_stream_header();
+  const std::size_t count = 1 + rng.next_below(8);
+  *frame_count = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (rng.next_below(4)) {
+      case 0:
+        stream += encode_hello(
+            rng.next_below(2) == 0 ? kPeerRouter : kPeerShipper,
+            random_text(rng, 32));
+        break;
+      case 1:
+        stream += encode_record(
+            {random_text(rng, 24), random_text(rng, 200)});
+        break;
+      case 2:
+        stream += encode_wal_group(rng.next_u64(), random_text(rng, 300));
+        break;
+      default:
+        stream += encode_ack(rng.next_u64());
+        break;
+    }
+  }
+  return stream;
+}
+
+/// Feeds `stream` in random-sized chunks; returns decoded frames.
+std::vector<ClusterFrame> chunked_feed(util::Rng& rng,
+                                       const std::string& stream,
+                                       ClusterFrameDecoder* decoder) {
+  std::vector<ClusterFrame> frames;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t chunk =
+        1 + rng.next_below(std::min<std::size_t>(stream.size() - off, 97));
+    decoder->feed(std::string_view(stream).substr(off, chunk), &frames);
+    off += chunk;
+  }
+  return frames;
+}
+
+std::uint64_t round_seed(int round) {
+  return util::kDefaultSeed ^
+         (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(round + 1));
+}
+
+TEST(ClusterProtoFuzz, CleanStreamsDecodeFullyWhateverTheChunking) {
+  const char* replay = std::getenv("SEQRTG_FUZZ_SEED");
+  const int rounds = replay != nullptr ? 1 : 300;
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed =
+        replay != nullptr ? std::strtoull(replay, nullptr, 0)
+                          : round_seed(round);
+    SCOPED_TRACE("failing seed " + std::to_string(seed) +
+                 " — repro: SEQRTG_FUZZ_SEED=" + std::to_string(seed) +
+                 " ./cluster_proto_fuzz_test");
+    util::Rng rng(seed);
+    std::size_t expect = 0;
+    const std::string stream = build_clean_stream(rng, &expect);
+
+    ClusterFrameDecoder bulk;
+    std::vector<ClusterFrame> bulk_frames;
+    ASSERT_TRUE(bulk.feed(stream, &bulk_frames));
+    ASSERT_EQ(bulk_frames.size(), expect);
+    ASSERT_EQ(bulk.pending_bytes(), 0u);
+
+    ClusterFrameDecoder chunked;
+    const std::vector<ClusterFrame> frames =
+        chunked_feed(rng, stream, &chunked);
+    ASSERT_FALSE(chunked.poisoned()) << chunked.error();
+    ASSERT_EQ(frames.size(), expect);
+    ASSERT_EQ(chunked.pending_bytes(), 0u);
+    for (std::size_t i = 0; i < expect; ++i) {
+      EXPECT_EQ(frames[i].type, bulk_frames[i].type) << i;
+      EXPECT_EQ(frames[i].node_id, bulk_frames[i].node_id) << i;
+      EXPECT_EQ(frames[i].record, bulk_frames[i].record) << i;
+      EXPECT_EQ(frames[i].seq, bulk_frames[i].seq) << i;
+      EXPECT_EQ(frames[i].ops, bulk_frames[i].ops) << i;
+      EXPECT_EQ(frames[i].count, bulk_frames[i].count) << i;
+    }
+  }
+}
+
+TEST(ClusterProtoFuzz, MutatedStreamsNeverHangOverReadOrPassSilently) {
+  const char* replay = std::getenv("SEQRTG_FUZZ_SEED");
+  std::uint64_t poisoned_rounds = 0;
+  std::uint64_t truncated_rounds = 0;
+
+  const int rounds = replay != nullptr ? 1 : 400;
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed =
+        replay != nullptr ? std::strtoull(replay, nullptr, 0)
+                          : round_seed(round) ^ 0xc1u;
+    SCOPED_TRACE("failing seed " + std::to_string(seed) +
+                 " — repro: SEQRTG_FUZZ_SEED=" + std::to_string(seed) +
+                 " ./cluster_proto_fuzz_test");
+    util::Rng rng(seed);
+    std::size_t total = 0;
+    std::string stream = build_clean_stream(rng, &total);
+
+    // One mutation per round, drawn from the attack menu.
+    switch (rng.next_below(4)) {
+      case 0: {  // truncate anywhere (possibly inside the header)
+        stream.resize(rng.next_below(stream.size()));
+        break;
+      }
+      case 1: {  // flip one byte (length, CRC, payload or header)
+        const std::size_t at = rng.next_below(stream.size());
+        stream[at] ^= static_cast<char>(1 + rng.next_below(255));
+        break;
+      }
+      case 2: {  // declare an oversized/garbage length mid-stream
+        const std::uint32_t huge =
+            static_cast<std::uint32_t>(kMaxClusterFramePayload) + 1 +
+            static_cast<std::uint32_t>(rng.next_below(1u << 20));
+        stream.append(reinterpret_cast<const char*>(&huge), 4);
+        stream += random_text(rng, 64);
+        // The clean prefix still decodes; only the appended junk is bad.
+        break;
+      }
+      default: {  // version skew in the header
+        stream[8 + rng.next_below(4)] ^=
+            static_cast<char>(1 + rng.next_below(255));
+        break;
+      }
+    }
+
+    ClusterFrameDecoder decoder;
+    const std::vector<ClusterFrame> frames =
+        chunked_feed(rng, stream, &decoder);
+    // The decode must betray the mutation one way or another: a latched
+    // poison, a pending partial frame at EOF, or a strict prefix of the
+    // original frames. (CRC covers every payload byte and lengths are
+    // validated up front, so no flip can pass as a clean full decode.)
+    const bool caught = decoder.poisoned() ||
+                        decoder.pending_bytes() > 0 ||
+                        frames.size() < total;
+    EXPECT_LE(frames.size(), total)
+        << "decoder invented frames: " << frames.size() << " of " << total;
+    EXPECT_TRUE(caught)
+        << "a mutated stream decoded clean: " << frames.size() << " frames, "
+        << decoder.pending_bytes() << " pending";
+    if (decoder.poisoned()) {
+      ++poisoned_rounds;
+      // Latched: more input after the poison decodes nothing.
+      std::vector<ClusterFrame> after;
+      EXPECT_FALSE(decoder.feed(encode_ack(1), &after));
+      EXPECT_TRUE(after.empty());
+    } else {
+      ++truncated_rounds;
+    }
+  }
+  if (replay == nullptr) {
+    // The menu must actually exercise both failure surfaces.
+    EXPECT_GT(poisoned_rounds, 50u);
+    EXPECT_GT(truncated_rounds, 20u);
+  }
+}
+
+/// Sends `bytes` to the node's cluster port on its own connection, then
+/// closes (EOF). Returns false on socket failure.
+bool blast_stream(int port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;  // node may RST after the poison — that's fine
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+TEST(ClusterProtoFuzz, NodeCountsEachMalformedConnectionExactlyOnce) {
+  obs::Counter& malformed_metric = obs::default_registry().counter(
+      "seqrtg_cluster_malformed_total",
+      "Cluster connections dropped for a framing violation");
+  const std::uint64_t metric_before = malformed_metric.value();
+
+  util::ManualClock clock;
+  store::PatternStore store;
+  ClusterNodeOptions opts;
+  opts.serve.port = -1;
+  opts.serve.http_port = -1;
+  opts.serve.lanes = 1;
+  opts.serve.clock = &clock;
+  opts.cluster_port = 0;
+  ClusterNode node(&store, std::move(opts));
+  std::string error;
+  ASSERT_TRUE(node.start(&error)) << error;
+  const int port = node.cluster_port();
+
+  const std::string hello = encode_hello(kPeerRouter, "fuzz");
+  std::string bad_magic = cluster_stream_header();
+  bad_magic[0] ^= 0x7f;
+  std::string version_skew = cluster_stream_header();
+  version_skew[8] = 3;
+  std::string crc_corrupt =
+      cluster_stream_header() + hello + encode_record({"svc", "boom"});
+  crc_corrupt.back() ^= 0x01;
+  std::string truncated =
+      cluster_stream_header() + hello + encode_record({"svc", "cut"});
+  truncated.resize(truncated.size() - 2);
+  const std::uint32_t huge =
+      static_cast<std::uint32_t>(kMaxClusterFramePayload) + 1;
+  std::string oversized = cluster_stream_header() + hello;
+  oversized.append(reinterpret_cast<const char*>(&huge), 4);
+  const std::string clean =
+      cluster_stream_header() + hello + encode_record({"svc", "fine"});
+
+  // 5 malformed connections (each a different violation) + 1 clean one.
+  ASSERT_TRUE(blast_stream(port, bad_magic));
+  ASSERT_TRUE(blast_stream(port, version_skew));
+  ASSERT_TRUE(blast_stream(port, crc_corrupt));
+  ASSERT_TRUE(blast_stream(port, truncated));
+  ASSERT_TRUE(blast_stream(port, oversized));
+  ASSERT_TRUE(blast_stream(port, clean));
+
+  EXPECT_TRUE(node.wait_until([&] {
+    return node.stats().malformed_streams >= 5 &&
+           node.stats().records >= 1;
+  })) << "malformed=" << node.stats().malformed_streams
+      << " records=" << node.stats().records;
+  node.stop();
+  EXPECT_EQ(node.stats().malformed_streams, 5u);
+  EXPECT_EQ(node.stats().records, 1u);  // only the clean stream's record
+  EXPECT_EQ(malformed_metric.value() - metric_before, 5u);
+}
+
+TEST(ClusterProtoFuzz, OversizedLengthNeverBuffersTowardTheDeclaredSize) {
+  // A tiny decoder cap proves the declared length is checked BEFORE
+  // buffering: feeding less than the declared size must already poison.
+  ClusterFrameDecoder decoder(/*max_payload=*/64);
+  std::string stream = cluster_stream_header();
+  const std::uint32_t declared = 65;
+  stream.append(reinterpret_cast<const char*>(&declared), 4);
+  stream.append("\0\0\0\0", 4);  // CRC word — never reached
+  std::vector<ClusterFrame> frames;
+  EXPECT_FALSE(decoder.feed(stream, &frames));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_NE(decoder.error().find("oversized"), std::string::npos)
+      << decoder.error();
+}
+
+}  // namespace
+}  // namespace seqrtg::serve

@@ -1,0 +1,492 @@
+// ISSUE 9 tests for the sharded cluster: the consistent-hash ring, the
+// binary wire protocol, the router + shard-node end-to-end path over real
+// loopback sockets, WAL-shipping replication to a hot standby, in-process
+// failover, and the latched wedged-replication loss accounting.
+#include "serve/cluster.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "serve/cluster_proto.hpp"
+#include "serve/ring.hpp"
+#include "serve/router.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/scenario.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory (removed by the destructor).
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("seqrtg_cluster_" + tag + "_" +
+            std::to_string(::getpid() + std::hash<std::string>{}(tag) % 997));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+// ---------------------------------------------------------------- ring --
+
+TEST(HashRing, PureFunctionAgreesAcrossInstances) {
+  const HashRing a(3);
+  const HashRing b(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string service = "service-" + std::to_string(i);
+    EXPECT_EQ(a.shard_for(service), b.shard_for(service)) << service;
+    EXPECT_EQ(cluster_hash64(service), cluster_hash64(service));
+  }
+  EXPECT_NE(cluster_hash64("alpha"), cluster_hash64("beta"));
+}
+
+TEST(HashRing, EveryShardOwnsAFairShare) {
+  const HashRing ring(4);
+  std::map<std::size_t, int> owned;
+  constexpr int kServices = 2000;
+  for (int i = 0; i < kServices; ++i) {
+    ++owned[ring.shard_for("svc-" + std::to_string(i))];
+  }
+  ASSERT_EQ(owned.size(), 4u) << "some shard owns nothing";
+  for (const auto& [shard, count] : owned) {
+    // 64 vnodes/shard keeps the spread well inside 2x of fair.
+    EXPECT_GT(count, kServices / 4 / 2) << "shard " << shard;
+    EXPECT_LT(count, kServices / 4 * 2) << "shard " << shard;
+  }
+}
+
+TEST(HashRing, GrowingTheRingMovesOnlyAFraction) {
+  const HashRing three(3);
+  const HashRing four(4);
+  int moved = 0;
+  constexpr int kServices = 2000;
+  for (int i = 0; i < kServices; ++i) {
+    const std::string service = "svc-" + std::to_string(i);
+    const std::size_t before = three.shard_for(service);
+    const std::size_t after = four.shard_for(service);
+    if (after != before) {
+      // Consistent hashing: a service either stays put or lands on the
+      // NEW shard — growth never shuffles load between surviving shards.
+      EXPECT_EQ(after, 3u) << service;
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kServices / 2);
+}
+
+// --------------------------------------------------------------- proto --
+
+TEST(ClusterProto, AllFrameTypesRoundTrip) {
+  std::string stream = cluster_stream_header();
+  stream += encode_hello(kPeerRouter, "router-7");
+  stream += encode_record({"auth", "login from 10.0.0.1 failed"});
+  stream += encode_wal_group(42, "I|auth|pattern ops blob");
+  stream += encode_ack(9001);
+
+  ClusterFrameDecoder decoder;
+  std::vector<ClusterFrame> frames;
+  ASSERT_TRUE(decoder.feed(stream, &frames));
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+
+  EXPECT_EQ(frames[0].type, ClusterFrameType::kHello);
+  EXPECT_EQ(frames[0].role, kPeerRouter);
+  EXPECT_EQ(frames[0].node_id, "router-7");
+  EXPECT_EQ(frames[1].type, ClusterFrameType::kRecord);
+  EXPECT_EQ(frames[1].record.service, "auth");
+  EXPECT_EQ(frames[1].record.message, "login from 10.0.0.1 failed");
+  EXPECT_EQ(frames[2].type, ClusterFrameType::kWalGroup);
+  EXPECT_EQ(frames[2].seq, 42u);
+  EXPECT_EQ(frames[2].ops, "I|auth|pattern ops blob");
+  EXPECT_EQ(frames[3].type, ClusterFrameType::kAck);
+  EXPECT_EQ(frames[3].count, 9001u);
+}
+
+TEST(ClusterProto, ByteAtATimeFeedDecodesIdentically) {
+  std::string stream = cluster_stream_header();
+  stream += encode_record({"svc", "hello world"});
+  stream += encode_wal_group(7, "ops");
+
+  ClusterFrameDecoder bulk;
+  std::vector<ClusterFrame> bulk_frames;
+  ASSERT_TRUE(bulk.feed(stream, &bulk_frames));
+
+  ClusterFrameDecoder dribble;
+  std::vector<ClusterFrame> dribble_frames;
+  for (const char byte : stream) {
+    ASSERT_TRUE(dribble.feed(std::string_view(&byte, 1), &dribble_frames));
+  }
+  ASSERT_EQ(dribble_frames.size(), bulk_frames.size());
+  EXPECT_EQ(dribble.frames(), bulk.frames());
+  EXPECT_EQ(dribble.pending_bytes(), 0u);
+  for (std::size_t i = 0; i < bulk_frames.size(); ++i) {
+    EXPECT_EQ(dribble_frames[i].type, bulk_frames[i].type) << i;
+    EXPECT_EQ(dribble_frames[i].record, bulk_frames[i].record) << i;
+    EXPECT_EQ(dribble_frames[i].ops, bulk_frames[i].ops) << i;
+  }
+}
+
+TEST(ClusterProto, VersionSkewPoisonsWithDistinctError) {
+  std::string header = cluster_stream_header();
+  header[8] = 9;  // little-endian version word: 9 instead of 1
+  ClusterFrameDecoder decoder;
+  std::vector<ClusterFrame> frames;
+  EXPECT_FALSE(decoder.feed(header + encode_ack(1), &frames));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_NE(decoder.error().find("version"), std::string::npos)
+      << decoder.error();
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(ClusterProto, OversizedDeclaredLengthPoisonsImmediately) {
+  std::string stream = cluster_stream_header();
+  // A 512 MiB declared length with only the 8-byte frame header on the
+  // wire: the decoder must reject on the declaration, not buffer toward it.
+  const std::uint32_t huge = 512u << 20;
+  stream.append(reinterpret_cast<const char*>(&huge), 4);
+  stream.append("\0\0\0\0", 4);  // CRC word — never reached
+  ClusterFrameDecoder decoder;
+  std::vector<ClusterFrame> frames;
+  EXPECT_FALSE(decoder.feed(stream, &frames));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_NE(decoder.error().find("oversized"), std::string::npos)
+      << decoder.error();
+}
+
+TEST(ClusterProto, CrcCorruptionPoisonsAndLatches) {
+  std::string stream = cluster_stream_header();
+  std::string frame = encode_record({"svc", "payload"});
+  frame.back() ^= 0x5a;  // corrupt the payload under an intact CRC
+  stream += frame;
+  ClusterFrameDecoder decoder;
+  std::vector<ClusterFrame> frames;
+  EXPECT_FALSE(decoder.feed(stream, &frames));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_TRUE(frames.empty());
+  // Latched: a perfectly valid follow-up frame decodes nothing.
+  EXPECT_FALSE(decoder.feed(encode_ack(1), &frames));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(decoder.frames(), 0u);
+}
+
+TEST(ClusterProto, TruncatedFrameLeavesPendingBytesNotPoison) {
+  std::string stream = cluster_stream_header();
+  const std::string frame = encode_record({"svc", "cut short"});
+  stream += frame.substr(0, frame.size() - 3);
+  ClusterFrameDecoder decoder;
+  std::vector<ClusterFrame> frames;
+  EXPECT_TRUE(decoder.feed(stream, &frames));
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_TRUE(frames.empty());
+  // EOF now would mean the peer died mid-write; the connection handler
+  // turns the non-zero pending count into a malformed-stream count.
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+}
+
+// --------------------------------------------------- metrics aggregation --
+
+TEST(AggregateExpositions, SumsSeriesAndKeepsHeaders) {
+  const std::string a =
+      "# HELP seqrtg_x_total X things\n"
+      "# TYPE seqrtg_x_total counter\n"
+      "seqrtg_x_total 3\n"
+      "seqrtg_y_total{lane=\"0\"} 10\n";
+  const std::string b =
+      "# HELP seqrtg_x_total X things\n"
+      "# TYPE seqrtg_x_total counter\n"
+      "seqrtg_x_total 4\n"
+      "seqrtg_y_total{lane=\"0\"} 2\n"
+      "seqrtg_only_in_b_total 1\n";
+  const std::string merged = aggregate_expositions({a, b});
+  EXPECT_NE(merged.find("# HELP seqrtg_x_total X things\n"),
+            std::string::npos);
+  EXPECT_NE(merged.find("seqrtg_x_total 7\n"), std::string::npos);
+  EXPECT_NE(merged.find("seqrtg_y_total{lane=\"0\"} 12\n"),
+            std::string::npos);
+  EXPECT_NE(merged.find("seqrtg_only_in_b_total 1\n"), std::string::npos);
+}
+
+TEST(AggregateExpositions, SingleBodyPassesThrough) {
+  const std::string a = "# TYPE t counter\nt 5\n";
+  EXPECT_EQ(aggregate_expositions({a}), a);
+  EXPECT_EQ(aggregate_expositions({}), "");
+}
+
+// ------------------------------------------------------------ end-to-end --
+
+std::vector<core::LogRecord> mixed_corpus(std::size_t records) {
+  testkit::ScenarioOptions opts;
+  opts.datasets = {"HDFS", "Linux", "Apache", "Zookeeper"};
+  opts.records = records;
+  return testkit::compose_corpus(opts);
+}
+
+TEST(Cluster, ThreeNodeMiningMatchesSingleEngineByteForByte) {
+  const std::vector<core::LogRecord> corpus = mixed_corpus(600);
+  const core::EngineOptions engine;
+  const testkit::MiningResult single = testkit::mine_engine(corpus, engine);
+  testkit::ClusterConfig config;
+  config.nodes = 3;
+  const testkit::MiningResult clustered =
+      testkit::mine_cluster(corpus, engine, config);
+  ASSERT_TRUE(clustered.started) << clustered.canonical;
+  EXPECT_EQ(clustered.forwarded, corpus.size());
+  EXPECT_EQ(clustered.undeliverable, 0u);
+  EXPECT_EQ(clustered.accepted, corpus.size());
+  EXPECT_EQ(clustered.processed, corpus.size());
+  EXPECT_EQ(clustered.dropped, 0u);
+  EXPECT_EQ(clustered.canonical, single.canonical)
+      << testkit::first_diff(single.canonical, clustered.canonical);
+}
+
+TEST(Cluster, MisrouteSplitsAServiceAndTheMergedCanonicalBetraysIt) {
+  const std::vector<core::LogRecord> corpus = mixed_corpus(400);
+  const core::EngineOptions engine;
+  const testkit::MiningResult single = testkit::mine_engine(corpus, engine);
+  testkit::ClusterConfig config;
+  config.nodes = 3;
+  config.route_fault = [](std::uint64_t index) { return index == 37; };
+  const testkit::MiningResult clustered =
+      testkit::mine_cluster(corpus, engine, config);
+  ASSERT_TRUE(clustered.started) << clustered.canonical;
+  // The misrouted record is still forwarded and processed — every
+  // accounting check stays green. Only the merged canonical catches it.
+  EXPECT_EQ(clustered.forwarded, corpus.size());
+  EXPECT_EQ(clustered.processed, corpus.size());
+  EXPECT_NE(clustered.canonical, single.canonical)
+      << "a misrouted service went unnoticed by the merged canonical";
+}
+
+/// One durable ClusterNode with the deterministic serve recipe: tiny
+/// batches (so each flush is one shippable commit group) and a pinned
+/// manual clock (so flushes happen ONLY on batch-size boundaries).
+struct NodeHarness {
+  explicit NodeHarness(const std::string& tag, int ship_to = -1,
+                       std::function<bool(std::uint64_t)> ship_fault = {},
+                       std::size_t batch_size = 8)
+      : dir(tag) {
+    EXPECT_TRUE(store.open(dir.path.string()));
+    ClusterNodeOptions opts;
+    opts.serve.port = -1;
+    opts.serve.http_port = -1;
+    opts.serve.lanes = 1;
+    opts.serve.queue_capacity = 4096;
+    opts.serve.batch_size = batch_size;
+    opts.serve.flush_interval_s = 1e9;
+    opts.serve.checkpoint_on_stop = false;
+    opts.serve.clock = &clock;
+    opts.cluster_port = 0;
+    opts.ship_to = ship_to;
+    opts.node_id = tag;
+    opts.ship_fault = std::move(ship_fault);
+    node = std::make_unique<ClusterNode>(&store, std::move(opts));
+  }
+  TempDir dir;
+  store::PatternStore store;
+  util::ManualClock clock;
+  std::unique_ptr<ClusterNode> node;
+};
+
+/// Routes `count` records of `service` through `router`, one JSON line
+/// each (distinct messages per batch keep every commit group non-empty).
+void route_wave(Router& router, const std::string& service,
+                std::size_t count, std::size_t offset = 0) {
+  for (std::size_t i = 0; i < count; ++i) {
+    router.route_record(
+        {service, "wave event " + std::to_string(offset + i) +
+                      " from host-" + std::to_string(i % 4)});
+  }
+}
+
+TEST(Cluster, WalShippingKeepsTheStandbyByteIdenticalToThePrimary) {
+  NodeHarness standby("standby_sync");
+  std::string error;
+  ASSERT_TRUE(standby.node->start(&error)) << error;
+  NodeHarness primary("primary_sync", standby.node->cluster_port());
+  ASSERT_TRUE(primary.node->start(&error)) << error;
+
+  RouterOptions ropts;
+  ropts.shards = {primary.node->cluster_port()};
+  Router router(std::move(ropts));
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  route_wave(router, "alpha", 32);
+  ASSERT_TRUE(primary.node->wait_until([&] {
+    return primary.node->server().processed() >= 32;
+  })) << "primary never processed the wave";
+  const ClusterNodeStats shipped = primary.node->stats();
+  EXPECT_EQ(shipped.groups_shipped, 4u);  // 32 records / batch 8
+  EXPECT_EQ(shipped.groups_lost, 0u);
+  ASSERT_TRUE(standby.node->wait_until([&] {
+    return standby.node->stats().groups_applied >= shipped.groups_shipped;
+  })) << "standby never applied the shipped groups";
+
+  router.stop();
+  primary.node->stop();
+  standby.node->stop();
+
+  // The replicated store mirrors the primary exactly — same patterns,
+  // same match counts, same WAL sequence numbering.
+  EXPECT_EQ(testkit::canonical_patterns(standby.store),
+            testkit::canonical_patterns(primary.store));
+  EXPECT_EQ(standby.node->stats().last_applied_seq,
+            shipped.groups_shipped);
+}
+
+TEST(Cluster, FailoverToStandbyLosesNothingAndKeepsMining) {
+  NodeHarness standby("standby_takeover");
+  std::string error;
+  ASSERT_TRUE(standby.node->start(&error)) << error;
+  NodeHarness primary("primary_takeover", standby.node->cluster_port());
+  ASSERT_TRUE(primary.node->start(&error)) << error;
+
+  RouterOptions ropts;
+  ropts.shards = {primary.node->cluster_port()};
+  ropts.standbys = {standby.node->cluster_port()};
+  Router router(std::move(ropts));
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  route_wave(router, "alpha", 32);
+  ASSERT_TRUE(primary.node->wait_until([&] {
+    return primary.node->server().processed() >= 32;
+  }));
+  const std::uint64_t shipped = primary.node->stats().groups_shipped;
+  ASSERT_TRUE(standby.node->wait_until([&] {
+    return standby.node->stats().groups_applied >= shipped;
+  }));
+
+  // The primary dies; the next send probes the dead link and promotes the
+  // standby — once, permanently.
+  primary.node->stop();
+  route_wave(router, "beta", 16);
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.undeliverable(), 0u);
+  ASSERT_TRUE(standby.node->wait_until([&] {
+    return standby.node->stats().records >= 16;
+  })) << "standby never received the post-failover wave";
+  const RouterReport routed = router.stop();
+  EXPECT_EQ(routed.forwarded, 48u);
+  standby.node->stop();
+
+  // Zero pattern loss: everything the primary committed (service alpha)
+  // survives on the standby byte-for-byte, and the takeover kept mining
+  // (service beta exists only there).
+  const std::string primary_rows = testkit::canonical_patterns(primary.store);
+  const std::string standby_rows = testkit::canonical_patterns(standby.store);
+  std::string standby_alpha;
+  std::istringstream lines(standby_rows);
+  std::string line;
+  bool saw_beta = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("alpha\t", 0) == 0) standby_alpha += line + "\n";
+    if (line.rfind("beta\t", 0) == 0) saw_beta = true;
+  }
+  EXPECT_EQ(standby_alpha, primary_rows)
+      << testkit::first_diff(primary_rows, standby_alpha);
+  EXPECT_TRUE(saw_beta) << "the standby stopped mining after takeover";
+}
+
+TEST(Cluster, WedgedReplicationCountsEveryLostGroupExactly) {
+  NodeHarness standby("standby_wedge");
+  std::string error;
+  ASSERT_TRUE(standby.node->start(&error)) << error;
+  // The scripted fault wedges shipping at commit group #1 (0-based): the
+  // first group ships, everything after it is lost — and counted.
+  NodeHarness primary("primary_wedge", standby.node->cluster_port(),
+                      [](std::uint64_t group) { return group == 1; });
+  ASSERT_TRUE(primary.node->start(&error)) << error;
+
+  RouterOptions ropts;
+  ropts.shards = {primary.node->cluster_port()};
+  Router router(std::move(ropts));
+  ASSERT_TRUE(router.start(&error)) << error;
+  // 5 batches of 8; give each batch its own service so every flush surely
+  // creates patterns (a non-empty commit group).
+  for (int batch = 0; batch < 5; ++batch) {
+    route_wave(router, "svc-" + std::to_string(batch), 8,
+               static_cast<std::size_t>(batch) * 100);
+  }
+  ASSERT_TRUE(primary.node->wait_until([&] {
+    return primary.node->server().processed() >= 40;
+  }));
+  router.stop();
+  primary.node->stop();
+  standby.node->stop();
+
+  const ClusterNodeStats stats = primary.node->stats();
+  EXPECT_TRUE(stats.ship_wedged);
+  EXPECT_EQ(stats.groups_shipped, 1u);
+  EXPECT_EQ(stats.groups_lost, 4u);
+  EXPECT_EQ(standby.node->stats().groups_applied, 1u);
+}
+
+TEST(Cluster, RouterHealthAggregatesShardsAndFlagsDegradation) {
+  util::ManualClock clock;
+  store::PatternStore store;
+  ClusterNodeOptions nopts;
+  nopts.serve.port = -1;
+  nopts.serve.http_port = 0;  // kernel-assigned: the router scrapes it
+  nopts.serve.lanes = 1;
+  nopts.serve.clock = &clock;
+  nopts.cluster_port = 0;
+  ClusterNode node(&store, std::move(nopts));
+  std::string error;
+  ASSERT_TRUE(node.start(&error)) << error;
+
+  RouterOptions ropts;
+  ropts.shards = {node.cluster_port()};
+  ropts.shard_http = {node.server().http_port()};
+  Router router(std::move(ropts));
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  route_wave(router, "svc", 3);
+  ASSERT_TRUE(node.wait_until(
+      [&] { return node.stats().records >= 3; }));
+
+  const std::string health = router.health_json();
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  // The shard's own health document is embedded, not paraphrased.
+  EXPECT_NE(health.find("\"lanes\":1"), std::string::npos) << health;
+  // Counters live in the process-global registry (shared across tests),
+  // so assert series presence, not absolute values.
+  const std::string metrics = router.metrics_text();
+  EXPECT_NE(metrics.find("seqrtg_router_forwarded_total"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("seqrtg_cluster_records_total"), std::string::npos)
+      << metrics;
+
+  // Kill the shard: with no standby the shard goes dead, records become
+  // undeliverable, and /healthz degrades.
+  node.stop();
+  route_wave(router, "svc", 2);
+  EXPECT_EQ(router.undeliverable(), 2u);
+  const std::string degraded = router.health_json();
+  EXPECT_NE(degraded.find("\"status\":\"degraded\""), std::string::npos)
+      << degraded;
+  router.stop();
+}
+
+}  // namespace
+}  // namespace seqrtg::serve

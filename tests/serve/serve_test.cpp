@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <poll.h>
 #include <sstream>
@@ -640,6 +641,92 @@ TEST(Serve, ManualClockDrivesBackgroundEvolutionEviction) {
   EXPECT_NE(body.find("\"evicted\":1"), std::string::npos) << body;
   EXPECT_NE(body.find("\"kind\":\"evict\""), std::string::npos) << body;
   server.stop();
+}
+
+TEST(Serve, SketchRegistrySurvivesColdReopen) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("seqrtg_serve_sketches_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = -1;
+  opts.lanes = 1;
+  opts.batch_size = 4;
+  opts.flush_interval_s = 1e9;
+  util::ManualClock clock;
+  opts.clock = &clock;
+
+  // Session 1: mine a pattern with a variable position, then match it so
+  // the lane engines feed the sketch registry, then drain. The drain
+  // snapshots the registry to <store-dir>/sketches.json.
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const int fd = connect_local(server.ingest_port());
+    ASSERT_GE(fd, 0);
+    std::string payload;
+    for (int i = 0; i < 12; ++i) {
+      payload +=
+          record_line("svc", "task " + std::to_string(i) + " finished");
+    }
+    ASSERT_TRUE(send_all(fd, payload));
+    ::close(fd);
+    ASSERT_TRUE(server.wait_until([&] { return server.processed() == 12; }));
+    server.stop();
+  }
+
+  const fs::path sketches = dir / "sketches.json";
+  ASSERT_TRUE(fs::exists(sketches)) << "drain did not snapshot sketches";
+  std::ifstream first_in(sketches);
+  std::stringstream first_buf;
+  first_buf << first_in.rdbuf();
+  const std::string session1 = first_buf.str();
+  EXPECT_NE(session1.find("\"version\":1"), std::string::npos) << session1;
+  EXPECT_NE(session1.find("\"observations\":"), std::string::npos)
+      << "no match-time observations were persisted: " << session1;
+
+  // Session 2: cold reopen, ingest nothing, drain. If the restore worked
+  // the re-snapshotted file is byte-identical; a failed restore would
+  // write an empty registry.
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    server.stop();
+  }
+  std::ifstream second_in(sketches);
+  std::stringstream second_buf;
+  second_buf << second_in.rdbuf();
+  EXPECT_EQ(second_buf.str(), session1);
+
+  // A corrupt snapshot must not poison the restart: the daemon starts
+  // empty instead of half-restored.
+  {
+    std::ofstream corrupt(sketches);
+    corrupt << "{\"version\":1,\"patterns\":[{\"id\":truncated";
+  }
+  {
+    store::PatternStore store;
+    ASSERT_TRUE(store.open(dir.string()));
+    Server server(&store, opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    server.stop();
+  }
+  std::ifstream third_in(sketches);
+  std::stringstream third_buf;
+  third_buf << third_in.rdbuf();
+  EXPECT_EQ(third_buf.str().find("\"observations\":"), std::string::npos)
+      << "a corrupt snapshot must restore as empty, not resurrect state";
+  fs::remove_all(dir);
 }
 
 TEST(Serve, SigtermSetsShutdownFlagAndWakesPollers) {

@@ -54,6 +54,101 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(param_info.param);
     });
 
+// ISSUE 9 acceptance: sharding by service hash is correctness-preserving.
+// Every LogHub corpus, three seeds, streamed through a real router + 3
+// shard nodes over the binary transport — the merged canonical must be
+// byte-identical to the single-engine one.
+class ClusterDifferentialGolden
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClusterDifferentialGolden, OneNodeAndThreeNodesAgreeAcrossSeeds) {
+  for (const std::uint64_t seed : kSeeds) {
+    ScenarioOptions opts;
+    opts.seed = seed;
+    opts.datasets = {GetParam()};
+    opts.records = 400;
+    opts.fault = *FaultPlan::parse("cluster@3");
+    const std::vector<core::LogRecord> corpus = compose_corpus(opts);
+    ASSERT_EQ(corpus.size(), opts.records);
+    DifferentialOptions dopts;
+    dopts.cluster_nodes = 3;
+    const OracleVerdict verdict =
+        check_differential(corpus, opts.engine, dopts);
+    EXPECT_FALSE(verdict.has_value())
+        << verdict->oracle << " on seed " << seed << ":\n"
+        << verdict->detail << "\nrepro: " << repro_command(opts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLogHubCorpora, ClusterDifferentialGolden,
+    ::testing::Values("HDFS", "Hadoop", "Spark", "Zookeeper", "BGL", "HPC",
+                      "Thunderbird", "Windows", "Linux", "Mac", "Android",
+                      "HealthApp", "Apache", "Proxifier", "OpenSSH",
+                      "OpenStack"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      return std::string(param_info.param);
+    });
+
+// The mutation test of the cluster oracle itself: a scripted misroute of
+// record #37 sends one record of a service to the wrong shard. Every
+// accounting check stays green (the record IS forwarded and processed) —
+// only the merged canonical can catch it, so the scenario MUST fail on
+// the engine-vs-cluster diff, replay deterministically, and shrink.
+TEST(OracleMutation, InjectedMisrouteIsCaughtShrunkAndReplayable) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS"};
+  opts.records = 400;
+  opts.fault = *FaultPlan::parse("cluster@3;misroute@37");
+  opts.run_soundness = false;
+  opts.run_idempotence = false;
+  opts.run_interleave = false;
+
+  const ScenarioResult first = run_scenario(opts);
+  ASSERT_FALSE(first.ok) << "the oracle missed an injected misroute";
+  EXPECT_EQ(first.oracle, "differential:engine-vs-cluster");
+  EXPECT_NE(first.repro.find("misroute@37"), std::string::npos)
+      << first.repro;
+
+  const ScenarioResult second = run_scenario(opts);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.oracle, first.oracle);
+  EXPECT_EQ(second.detail, first.detail);
+
+  // Shrunk corpus: strictly smaller, still failing the same oracle. The
+  // misroute needs record #37 to exist, so 38 records is the floor.
+  ASSERT_FALSE(first.shrunk.empty());
+  EXPECT_LT(first.shrunk.size(), first.corpus_size);
+  EXPECT_GE(first.shrunk.size(), 38u);
+  DifferentialOptions dopts;
+  dopts.threads = opts.threads;
+  dopts.lanes = opts.lanes;
+  dopts.cluster_nodes = 3;
+  dopts.cluster_route_fault = opts.fault.route_hook();
+  const OracleVerdict shrunk_verdict =
+      check_differential(first.shrunk, opts.engine, dopts);
+  ASSERT_TRUE(shrunk_verdict.has_value());
+  EXPECT_EQ(shrunk_verdict->oracle, first.oracle);
+}
+
+TEST(FaultPlanGrammar, ClusterAndMisrouteDirectivesRoundTrip) {
+  const auto plan = FaultPlan::parse("cluster@3;misroute@7;misroute@2");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->cluster_nodes, 3u);
+  EXPECT_EQ(plan->misroute_at, (std::vector<std::uint64_t>{2, 7}));
+  EXPECT_EQ(plan->to_string(), "cluster@3;misroute@2;misroute@7");
+  const auto hook = plan->route_hook();
+  ASSERT_TRUE(static_cast<bool>(hook));
+  EXPECT_TRUE(hook(2));
+  EXPECT_TRUE(hook(7));
+  EXPECT_FALSE(hook(3));
+
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("cluster@0", &error).has_value());
+  EXPECT_NE(error.find("cluster"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse("misroute@x", &error).has_value());
+}
+
 TEST(Differential, MixedServiceScenarioPassesEveryOracle) {
   ScenarioOptions opts;
   opts.datasets = {"HDFS", "Linux", "Apache", "Zookeeper"};
