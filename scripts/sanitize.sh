@@ -37,14 +37,20 @@ fi
 # cluster stack (router + shard node socket threads, WAL-shipping
 # replication, binary-protocol frame decoding, and the real-SIGKILL
 # failover drill — the zero-pattern-loss acceptance runs under ASan and
-# TSan, not just the release tree).
+# TSan, not just the release tree), and the resource-governance stack
+# (the accountant ledger and the LRU clock are mutated from every lane
+# while enforce() spills concurrently; governor_test's model-based race
+# case and the spill/reload WAL protocol are exactly what TSan is for,
+# and the SIGKILL spill-crash drill joins the failover drill under both
+# sanitizers).
 [ $# -gt 0 ] || set -- metrics_test thread_pool_test analyze_by_service_test \
   arena_test interner_test scan_into_equivalence_test wal_test \
   pattern_store_test bounded_queue_test serve_test serve_drain_test \
   ingest_fuzz_test golden_corpus_test edge_map_property_test \
   fault_sim_test differential_test simd_equivalence_test matchprog_test \
   evolution_test validation_test cluster_test cluster_proto_fuzz_test \
-  cluster_failover_test
+  cluster_failover_test governor_test spill_test governor_serve_test \
+  governance_test spill_crash_test
 for t in "$@"; do
   "$BUILD/tests/$t"
 done

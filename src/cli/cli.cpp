@@ -67,6 +67,66 @@ core::EngineOptions engine_options_from(const util::ArgParser& args) {
   return opts;
 }
 
+/// Resource-governance flags shared by analyze and serve.
+void add_governor_options(util::ArgParser& args) {
+  args.add_option("mem-ceiling",
+                  "resident partition-memory ceiling in bytes (K/M/G "
+                  "suffixes accepted); cold partitions spill to the durable "
+                  "store when exceeded (0 = unlimited)",
+                  "0");
+  args.add_option("spill-watermark",
+                  "fraction of the ceiling a spill pass drains down to",
+                  "0.9");
+}
+
+/// Parses "67108864", "512K", "64M" or "1G" into bytes; false on junk.
+bool parse_byte_size(const std::string& text, std::size_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str()) return false;
+  std::size_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1024;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1024ull * 1024;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = 1024ull * 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<std::size_t>(v) * mult;
+  return true;
+}
+
+/// Reads the governance flags into a policy. False (after a message) on a
+/// malformed value or a ceiling without a durable store to spill into.
+bool governor_policy_from(const util::ArgParser& args,
+                          const store::PatternStore& store,
+                          core::GovernorPolicy* policy, std::ostream& err) {
+  std::size_t ceiling = 0;
+  if (!parse_byte_size(args.get("mem-ceiling"), &ceiling)) {
+    err << "--mem-ceiling must be a byte size like 67108864, 64M or 1G\n";
+    return false;
+  }
+  if (ceiling > 0 && !store.durable()) {
+    err << "--mem-ceiling spills cold partitions to the durable store and "
+           "needs --store-dir\n";
+    return false;
+  }
+  const double watermark = args.get_double("spill-watermark", 0.9);
+  if (watermark <= 0.0 || watermark > 1.0) {
+    err << "--spill-watermark must be in (0, 1]\n";
+    return false;
+  }
+  policy->ceiling_bytes = ceiling;
+  policy->spill_watermark = watermark;
+  return true;
+}
+
 /// Telemetry snapshot flags shared by the run-style verbs.
 void add_metrics_options(util::ArgParser& args) {
   args.add_option("metrics-out",
@@ -196,6 +256,7 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   args.add_option("threads", "worker threads for the service fan-out", "1");
   args.add_option("save-threshold",
                   "minimum matches for a pattern to be saved", "1");
+  add_governor_options(args);
   add_metrics_options(args);
   add_trace_options(args);
   if (!args.parse(argv)) {
@@ -222,6 +283,15 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   // --ttl-days` can age offline-built databases instead of treating every
   // pattern as undated (undated = exempt from TTL eviction).
   opts.now_unix = static_cast<std::int64_t>(std::time(nullptr));
+  core::GovernorPolicy policy;
+  if (!governor_policy_from(args, store, &policy, err)) return 2;
+  core::MemoryAccountant accountant;
+  std::unique_ptr<core::Governor> governor;
+  if (policy.ceiling_bytes > 0) {
+    governor = std::make_unique<core::Governor>(policy, &accountant);
+    store.attach_governor(governor.get());
+    opts.governor = governor.get();
+  }
   core::Engine engine(&store, opts);
   core::JsonStreamIngester ingester(
       static_cast<std::size_t>(args.get_int("batch", 100000)));
@@ -778,6 +848,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
                   "structured self-log threshold: debug | info | warn | "
                   "error",
                   "info");
+  add_governor_options(args);
   args.add_option("cluster-port",
                   "binary cluster transport listener on 127.0.0.1 "
                   "(records from `seqrtg route`, WAL groups from a "
@@ -828,6 +899,7 @@ int cmd_serve(const std::vector<std::string>& argv, std::istream& in,
   opts.flush_interval_s = args.get_double("flush-interval", 1.0);
   opts.checkpoint_interval_s = args.get_double("checkpoint-interval", 300);
   opts.evolution_interval_s = args.get_double("evolution-interval", 0);
+  if (!governor_policy_from(args, store, &opts.governor, err)) return 2;
   opts.evolution.ttl_days =
       static_cast<std::uint32_t>(args.get_int("ttl-days", 0));
   const bool use_stdin = args.get_flag("stdin");

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/evolution.hpp"
+#include "core/governor.hpp"
 #include "core/parser.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
@@ -82,6 +83,12 @@ Engine::ServiceOutcome Engine::process_service(
   outcome.report.records = records.size();
   outcome.report.services = 1;
 
+  // Pin before load: from here until the apply loop unpins, a concurrent
+  // enforce() must not spill this partition — the stats updates collected
+  // below are applied against the loaded rows, and a spill in between
+  // would silently drop them.
+  if (opts_.governor != nullptr) opts_.governor->pin(service);
+
   // Load this service's known patterns into a local parser (read snapshot;
   // stats updates are collected and applied once at the end of the batch).
   Parser parser(opts_.scanner, opts_.special);
@@ -143,6 +150,10 @@ Engine::ServiceOutcome Engine::process_service(
   analysis_timer.stop();
   analysis_span.end();
   outcome.match_updates.assign(match_counts.begin(), match_counts.end());
+  for (const auto& [length, trie] : tries) {
+    outcome.trie_arena_bytes += trie.arena_resident_bytes();
+    outcome.interner_bytes += trie.interner().bytes_resident();
+  }
   return outcome;
 }
 
@@ -202,6 +213,8 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
   obs::StageTimer save_timer(metrics.phase_repo_save);
   obs::TraceSpan save_span(obs::TraceCat::kEngine, "repo_save");
   BatchReport total;
+  std::size_t trie_bytes = 0;
+  std::size_t interner_bytes = 0;
   RepositoryBatch repo_batch(repo_);
   for (ServiceOutcome& outcome : outcomes) {
     for (const auto& [id, count] : outcome.match_updates) {
@@ -211,8 +224,36 @@ BatchReport Engine::analyze_by_service(const std::vector<LogRecord>& batch) {
       repo_->upsert_pattern(p);
     }
     total += outcome.report;
+    trie_bytes += outcome.trie_arena_bytes;
+    interner_bytes += outcome.interner_bytes;
+    if (opts_.governor != nullptr) {
+      // Per-service safe point: this partition's stats are applied, so it
+      // may spill again; then enforce the ceiling while at most the NEXT
+      // partition is pinned — that is the one-partition overshoot bound.
+      opts_.governor->unpin(outcome.service);
+      opts_.governor->enforce();
+    }
   }
   repo_batch.commit();
+  if (opts_.governor != nullptr) {
+    // Post-commit safe point: with the batch closed nothing is buffered,
+    // so even partitions touched by THIS flush are spillable again. The
+    // per-service enforces above cannot drain a flush whose batch covers
+    // every resident service (spill refuses batch-buffered partitions);
+    // without this pass such a workload would pin residency above the
+    // ceiling forever.
+    opts_.governor->enforce();
+  }
+  if (opts_.governor != nullptr &&
+      opts_.governor->accountant() != nullptr) {
+    MemoryAccountant* acct = opts_.governor->accountant();
+    acct->set_category_bytes(MemCategory::kTrieArena, trie_bytes);
+    acct->set_category_bytes(MemCategory::kInterner, interner_bytes);
+    if (opts_.sketches != nullptr) {
+      acct->set_category_bytes(MemCategory::kSketches,
+                               opts_.sketches->approx_bytes());
+    }
+  }
   // operator+= deliberately does not accumulate `services` (it would
   // double-count a service seen in several batches); within one batch each
   // service contributes exactly one outcome.

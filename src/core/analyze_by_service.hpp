@@ -30,6 +30,7 @@
 
 namespace seqrtg::core {
 
+class Governor;
 class SketchRegistry;
 
 struct EngineOptions {
@@ -55,6 +56,14 @@ struct EngineOptions {
   /// match (core/evolution.hpp). The registry is thread-safe; nullptr
   /// disables the sampling entirely. Must outlive the engine.
   SketchRegistry* sketches = nullptr;
+  /// Optional resource governor (core/governor.hpp). When set, the engine
+  /// pins each service partition while it is in flight (so a concurrent
+  /// enforce() never spills a partition between its load and its stats
+  /// update) and runs ceiling enforcement at the per-service safe point of
+  /// the apply loop — which is what bounds overshoot to ~one partition.
+  /// The governor is shared by every lane's engine; nullptr disables
+  /// governance entirely. Must outlive the engine.
+  Governor* governor = nullptr;
 };
 
 struct BatchReport {
@@ -113,6 +122,10 @@ class Engine {
     // id -> additional match count for existing patterns.
     std::vector<std::pair<std::string, std::uint64_t>> match_updates;
     BatchReport report;
+    // Resident bytes of this service's transient analysis state (summed
+    // over the per-length tries), reported to the memory accountant.
+    std::size_t trie_arena_bytes = 0;
+    std::size_t interner_bytes = 0;
   };
 
   ServiceOutcome process_service(

@@ -370,6 +370,22 @@ std::size_t SketchRegistry::pattern_count() const {
   return sketches_.size();
 }
 
+std::size_t SketchRegistry::approx_bytes() const {
+  std::lock_guard lock(mutex_);
+  // Map node overhead (key + tree pointers) per pattern, vector storage
+  // per sketch, and the sampled value bytes themselves.
+  std::size_t bytes = 0;
+  for (const auto& [id, sketches] : sketches_) {
+    bytes += id.size() + 4 * sizeof(void*);
+    bytes += sketches.capacity() * sizeof(ValueSketch);
+    for (const ValueSketch& s : sketches) {
+      bytes += s.values.capacity() * sizeof(std::string);
+      for (const std::string& v : s.values) bytes += v.size();
+    }
+  }
+  return bytes;
+}
+
 void SketchRegistry::restore(
     std::map<std::string, std::vector<ValueSketch>> sketches) {
   std::lock_guard lock(mutex_);

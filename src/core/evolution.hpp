@@ -78,6 +78,10 @@ class SketchRegistry {
   void clear();
   std::size_t pattern_count() const;
 
+  /// Approximate resident bytes of the registry (map nodes, sketch
+  /// vectors, sampled value strings) for the governance accountant.
+  std::size_t approx_bytes() const;
+
   /// Replaces the registry contents with a previously snapshotted state
   /// (server restart: sketches_from_json -> restore).
   void restore(std::map<std::string, std::vector<ValueSketch>> sketches);

@@ -184,6 +184,9 @@ class AnalyzerTrie {
   const util::StringInterner& interner() const { return interner_; }
   /// Bytes reserved by the node arena (memory accounting).
   std::size_t arena_bytes() const { return arena_.bytes_reserved(); }
+  /// Resident bytes of the node arena including bookkeeping (the figure
+  /// the governance accountant reports to /metrics).
+  std::size_t arena_resident_bytes() const { return arena_.bytes_resident(); }
 
  private:
   void fold(TrieNode* node);

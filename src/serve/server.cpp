@@ -114,6 +114,10 @@ Server::Server(store::PatternStore* store, ServeOptions opts)
   if (opts_.lanes == 0) opts_.lanes = 1;
   if (opts_.batch_size == 0) opts_.batch_size = 1;
   if (opts_.flush_interval_s <= 0.0) opts_.flush_interval_s = 1.0;
+  // Coldness runs on the serve clock unless the policy injects its own —
+  // one ManualClock then drives flush deadlines AND spill eligibility.
+  if (opts_.governor.clock == nullptr) opts_.governor.clock = clock_;
+  governor_ = std::make_unique<core::Governor>(opts_.governor, &accountant_);
 }
 
 Server::~Server() {
@@ -187,6 +191,11 @@ bool Server::start(std::string* error) {
   // match, so restored and fresh observations never race.
   load_sketches();
 
+  // Governance: the store reports every partition's bytes through our
+  // accountant from here on (and seeds the ledger with what it already
+  // holds); lanes enforce the ceiling at their per-service safe points.
+  store_->attach_governor(governor_.get());
+
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     lanes_[i]->worker = std::thread([this, i] { lane_loop(i); });
   }
@@ -224,6 +233,17 @@ bool Server::ingest_line(std::string_view line, core::IngestStats& stats) {
 
 bool Server::ingest_record(core::LogRecord record) {
   if (stopping_.load(std::memory_order_relaxed)) return false;
+  // Admission control: while the governor is overloaded (over ceiling and
+  // nothing left to spill) new records are acknowledged but shed, with
+  // exact accounting — accepted == processed + shed holds after the drain.
+  if (governor_->overloaded()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    governor_->note_shed();
+    obs::logev(obs::LogLevel::kWarn, "serve", "shed",
+               {{"service", record.service}});
+    notify_progress();
+    return true;
+  }
   const std::size_t lane =
       std::hash<std::string>{}(record.service) % lanes_.size();
   switch (lanes_[lane]->queue.push(std::move(record))) {
@@ -342,6 +362,9 @@ void Server::lane_loop(std::size_t index) {
   // Every lane feeds the shared sketch registry so the background evolution
   // pass sees match-time value evidence from all services.
   engine_opts.sketches = &sketches_;
+  // The engine pins each service in flight and runs ceiling enforcement at
+  // its per-service safe points (no-ops when the policy has no ceiling).
+  engine_opts.governor = governor_.get();
   core::Engine engine(store_, engine_opts);
 
   auto& queue = lanes_[index]->queue;
@@ -513,8 +536,19 @@ void Server::run_evolution_pass() {
   eopts.special = opts_.engine.special;
   eopts.example_cap = opts_.engine.analyzer.example_cap;
   eopts.now_unix = clock_->now_unix();
+  // Pin every partition for the pass: evolution rewrites delete by pattern
+  // id, and a partition spilled between its load and its rewrite would
+  // silently miss those deletes. The pins make the whole pass a safe
+  // region; enforce() afterwards brings memory back under the ceiling.
+  std::vector<std::string> pinned;
+  if (governor_->enabled()) {
+    pinned = store_->services();
+    for (const std::string& s : pinned) governor_->pin(s);
+  }
   const core::EvolutionReport report =
       core::evolve_repository(*store_, &sketches_, eopts);
+  for (const std::string& s : pinned) governor_->unpin(s);
+  if (!pinned.empty()) governor_->enforce();
   {
     std::lock_guard lock(evolution_report_mutex_);
     last_evolution_ = report;
@@ -616,6 +650,8 @@ ServeReport Server::stop() {
     report.accepted += lane->queue.pushed();
     report.dropped += lane->queue.dropped();
   }
+  report.shed = shed_.load(std::memory_order_relaxed);
+  report.accepted += report.shed;
   report.malformed = malformed_.load(std::memory_order_relaxed);
   report.processed = processed_.load(std::memory_order_relaxed);
   report.batches = batches_.load(std::memory_order_relaxed);
@@ -634,6 +670,9 @@ ServeReport Server::stop() {
   // of the snapshot-rotation choice above): workers are joined, so the
   // snapshot is final.
   save_sketches();
+
+  // The governor dies with this server; the store may outlive it.
+  store_->attach_governor(nullptr);
 
   // 5. The /metrics responder stays up until the very end so operators
   //    can watch the drain.
@@ -656,6 +695,7 @@ ServeReport Server::stop() {
              {{"accepted", report.accepted},
               {"processed", report.processed},
               {"dropped", report.dropped},
+              {"shed", report.shed},
               {"malformed", report.malformed},
               {"new_patterns", report.new_patterns},
               {"checkpointed", report.checkpointed}});
@@ -663,7 +703,7 @@ ServeReport Server::stop() {
 }
 
 std::uint64_t Server::accepted() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = shed_.load(std::memory_order_relaxed);
   for (const auto& lane : lanes_) total += lane->queue.pushed();
   return total;
 }
@@ -684,6 +724,7 @@ std::string Server::health_json() const {
   out += ",\"accepted\":" + std::to_string(accepted());
   out += ",\"processed\":" + std::to_string(processed());
   out += ",\"dropped\":" + std::to_string(dropped());
+  out += ",\"shed\":" + std::to_string(shed());
   out += ",\"malformed\":" + std::to_string(malformed());
   // Dispatch paths the lane parsers run on: which tokeniser kernel the CPU
   // probe (or SEQRTG_DISABLE_AVX2) selected, and whether matches go through
@@ -720,6 +761,19 @@ std::string Server::health_json() const {
     out += ",\"last_checkpoint_unix\":" + std::to_string(ds.snapshot_unix);
   }
   out += ",\"checkpoints\":" + std::to_string(checkpoints());
+  // Governance summary (full detail on /debug/governor).
+  {
+    const core::Governor::Stats gs = governor_->stats();
+    out += ",\"governor\":{\"ceiling_bytes\":" +
+           std::to_string(gs.ceiling_bytes);
+    out += ",\"resident_bytes\":" + std::to_string(gs.resident_bytes);
+    out += ",\"resident_partitions\":" +
+           std::to_string(gs.resident_partitions);
+    out += ",\"spilled_partitions\":" + std::to_string(gs.spilled_partitions);
+    out += ",\"overloaded\":";
+    out += governor_->overloaded() ? "true" : "false";
+    out += '}';
+  }
   out += "}";
   return out;
 }
@@ -831,6 +885,11 @@ HttpResponse Server::handle_http(const std::string& target) {
   if (path == "/debug/evolution") {
     response.content_type = "application/json";
     response.body = evolution_json();
+    return response;
+  }
+  if (path == "/debug/governor") {
+    response.content_type = "application/json";
+    response.body = governor_->debug_json();
     return response;
   }
   response.status = 404;

@@ -44,6 +44,7 @@
 
 #include "core/analyze_by_service.hpp"
 #include "core/evolution.hpp"
+#include "core/governor.hpp"
 #include "core/ingest.hpp"
 #include "serve/http.hpp"
 #include "store/pattern_store.hpp"
@@ -81,6 +82,13 @@ struct ServeOptions {
   /// clock each pass; the remaining knobs (specialise/merge/ttl_days...)
   /// are honoured as given.
   core::EvolutionOptions evolution;
+  /// Resource governance (DESIGN.md §17). The server always owns a
+  /// MemoryAccountant + Governor and attaches them to the store, so
+  /// resident-bytes accounting is visible on /metrics even ungoverned;
+  /// ceiling_bytes > 0 additionally enables LRU spill at lane safe points
+  /// and admission shedding under overload. clock == nullptr inherits the
+  /// serve clock below.
+  core::GovernorPolicy governor;
   /// Rotate a final snapshot during the drain. Disabled by tests that
   /// assert WAL-replay recovery of a non-checkpointed exit.
   bool checkpoint_on_stop = true;
@@ -97,13 +105,16 @@ struct ServeOptions {
 };
 
 struct ServeReport {
-  /// Records parsed AND enqueued onto a lane (== acknowledged).
+  /// Records parsed and acknowledged at admission (enqueued or shed).
+  /// After stop(): accepted == processed + shed (+ dropped under kDrop).
   std::uint64_t accepted = 0;
   /// Lines rejected by the JSON-lines parser.
   std::uint64_t malformed = 0;
   /// Records rejected by a full queue under OverflowPolicy::kDrop.
   std::uint64_t dropped = 0;
-  /// Records analyzed by the lane workers. After stop(): == accepted.
+  /// Records shed at admission while the governor reported overload.
+  std::uint64_t shed = 0;
+  /// Records analyzed by the lane workers.
   std::uint64_t processed = 0;
   /// Analysis flushes across all lanes.
   std::uint64_t batches = 0;
@@ -159,6 +170,12 @@ class Server {
   /// Live counters for monitoring/tests while the server runs.
   std::uint64_t accepted() const;
   std::uint64_t dropped() const;
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// The governor owned by this server (always non-null after
+  /// construction; enforcement only runs when the policy sets a ceiling).
+  core::Governor* governor() { return governor_.get(); }
+  core::MemoryAccountant* accountant() { return &accountant_; }
   std::uint64_t processed() const {
     return processed_.load(std::memory_order_relaxed);
   }
@@ -234,6 +251,8 @@ class Server {
   store::PatternStore* store_;
   ServeOptions opts_;
   util::Clock* clock_;
+  core::MemoryAccountant accountant_;
+  std::unique_ptr<core::Governor> governor_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   HttpResponder http_;
 
@@ -272,6 +291,7 @@ class Server {
   std::atomic<std::uint64_t> matched_existing_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
   std::atomic<std::uint64_t> evolution_passes_{0};
+  std::atomic<std::uint64_t> shed_{0};
   /// Global record index handed to opts_.queue_fault (arrival order).
   std::atomic<std::uint64_t> fault_index_{0};
   mutable std::mutex progress_mutex_;

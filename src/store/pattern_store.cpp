@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/eventlog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
@@ -30,10 +31,24 @@ constexpr std::uint8_t kOpUpsert = 1;
 constexpr std::uint8_t kOpRecordMatch = 2;
 /// Pattern deletion (evolution/compaction rewrites).
 constexpr std::uint8_t kOpDelete = 3;
+/// Partition residency transitions (resource governance). Both embed the
+/// partition's full row set — see the spill contract in pattern_store.hpp.
+constexpr std::uint8_t kOpSpill = 4;
+constexpr std::uint8_t kOpReload = 5;
 
 constexpr std::string_view kWalFile = "wal.log";
 constexpr std::string_view kSnapshotPrefix = "snapshot-";
 constexpr std::string_view kSnapshotSuffix = ".db";
+constexpr std::string_view kSpillPrefix = "spill-";
+constexpr std::string_view kSpillSuffix = ".sp";
+constexpr std::string_view kSpillMagic = "SQRTGSP1";
+
+/// Fixed per-row overhead charged by the partition-bytes estimator on top
+/// of the string payloads (column values, map/index nodes). The estimate
+/// only has to be consistent between the ledger and the audit recount —
+/// both use partition_bytes_locked — and monotone in real usage.
+constexpr std::size_t kPatternRowOverheadBytes = 160;
+constexpr std::size_t kExampleRowOverheadBytes = 48;
 
 /// Store operation counters; same family as the in-memory repository,
 /// distinguished by the backend label.
@@ -163,6 +178,105 @@ void encode_delete(std::string& ops, const std::string& id) {
   wal_put_string(ops, id);
 }
 
+void encode_residency(std::string& ops, std::uint8_t op,
+                      std::string_view service, std::uint32_t n_patterns,
+                      std::string_view rows_blob) {
+  ops.push_back(static_cast<char>(op));
+  wal_put_string(ops, service);
+  wal_put_u32(ops, n_patterns);
+  wal_put_string(ops, rows_blob);
+}
+
+/// FNV-1a 64 over the service name; two independent seeds give the
+/// 128-bit spill file name (stable across processes, unlike std::hash).
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string spill_file_name(std::string_view service) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "spill-%016llx%016llx.sp",
+                static_cast<unsigned long long>(
+                    fnv1a64(service, 14695981039346656037ull)),
+                static_cast<unsigned long long>(
+                    fnv1a64(service, 0x9e3779b97f4a7c15ull)));
+  return buf;
+}
+
+bool is_spill_file_name(std::string_view name) {
+  return name.size() ==
+             kSpillPrefix.size() + 32 + kSpillSuffix.size() &&
+         name.substr(0, kSpillPrefix.size()) == kSpillPrefix &&
+         name.substr(name.size() - kSpillSuffix.size()) == kSpillSuffix;
+}
+
+/// Parsed spill file: "SQRTGSP1" u32(len) u32(crc32(payload)) payload,
+/// payload := string(service) u32(n_patterns) string(rows_blob).
+struct SpillFile {
+  bool ok = false;
+  std::string service;
+  std::uint32_t n_patterns = 0;
+  std::string rows_blob;
+};
+
+SpillFile read_spill_file(const std::string& path) {
+  SpillFile out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::string data;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  if (data.size() < kSpillMagic.size() + 8 ||
+      std::string_view(data).substr(0, kSpillMagic.size()) != kSpillMagic) {
+    return out;
+  }
+  WalReader header{std::string_view(data).substr(kSpillMagic.size())};
+  const std::uint32_t len = header.u32();
+  const std::uint32_t crc = header.u32();
+  if (!header.ok || header.data.size() - header.pos != len) return out;
+  const std::string_view payload = header.data.substr(header.pos);
+  if (crc32(payload) != crc) return out;
+  WalReader r{payload};
+  out.service = std::string(r.string());
+  out.n_patterns = r.u32();
+  out.rows_blob = std::string(r.string());
+  out.ok = r.ok && r.at_end();
+  return out;
+}
+
+/// Decodes a rows blob (concatenated kOpUpsert-encoded patterns) into
+/// Pattern values without touching any database state.
+bool decode_upsert_ops(std::string_view blob,
+                       std::vector<core::Pattern>* out) {
+  WalReader r{blob};
+  while (r.ok && !r.at_end()) {
+    if (r.u8() != kOpUpsert) return false;
+    core::Pattern p;
+    p.service = std::string(r.string());
+    const std::string_view tokens_json = r.string();
+    p.stats.match_count = r.u64();
+    p.stats.first_seen = r.i64();
+    p.stats.last_matched = r.i64();
+    const std::uint32_t n_examples = r.u32();
+    for (std::uint32_t i = 0; r.ok && i < n_examples; ++i) {
+      p.examples.emplace_back(r.string());
+    }
+    if (!r.ok) return false;
+    auto tokens = pattern_tokens_from_json(tokens_json);
+    if (!tokens.has_value()) return false;
+    p.tokens = std::move(*tokens);
+    out->push_back(std::move(p));
+  }
+  return r.ok;
+}
+
 }  // namespace
 
 std::string pattern_tokens_to_json(
@@ -260,6 +374,9 @@ std::vector<core::Pattern> PatternStore::load_service(
     std::string_view service) {
   if (obs::telemetry_enabled()) store_metrics().load_service.inc();
   std::lock_guard lock(mutex_);
+  // Transparent reload: a spilled partition comes back through its spill
+  // file + a kOpReload group before the caller sees any rows.
+  ensure_resident_locked(service);
   QueryResult r = db_.exec("SELECT " + std::string(kPatternColumns) +
                                " FROM patterns WHERE service = ? "
                                "ORDER BY pid",
@@ -269,6 +386,7 @@ std::vector<core::Pattern> PatternStore::load_service(
   for (const Row& row : r.rows) {
     if (auto p = row_to_pattern(row)) out.push_back(std::move(*p));
   }
+  refresh_partition_locked(service);
   return out;
 }
 
@@ -280,6 +398,12 @@ std::vector<std::string> PatternStore::services() {
     if (out.empty() || out.back() != row[0].as_text()) {
       out.push_back(row[0].as_text());
     }
+  }
+  // Spilled partitions are still part of the logical store.
+  if (!spilled_.empty()) {
+    for (const auto& [svc, info] : spilled_) out.push_back(svc);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
   }
   return out;
 }
@@ -346,12 +470,12 @@ void PatternStore::apply_upsert(const core::Pattern& p) {
   }
 }
 
-void PatternStore::apply_record_match(const std::string& id,
-                                      std::uint64_t count,
-                                      std::int64_t when) {
+std::optional<std::string> PatternStore::apply_record_match(
+    const std::string& id, std::uint64_t count, std::int64_t when) {
   QueryResult existing = db_.exec(
-      "SELECT match_count, last_matched FROM patterns WHERE pid = ?", {id});
-  if (existing.rows.empty()) return;
+      "SELECT match_count, last_matched, service FROM patterns WHERE pid = ?",
+      {id});
+  if (existing.rows.empty()) return std::nullopt;
   const std::int64_t match_count =
       existing.rows[0][0].as_int() + static_cast<std::int64_t>(count);
   const std::int64_t last_matched =
@@ -359,15 +483,16 @@ void PatternStore::apply_record_match(const std::string& id,
   db_.exec(
       "UPDATE patterns SET match_count = ?, last_matched = ? WHERE pid = ?",
       {Value(match_count), Value(last_matched), Value(id)});
+  return existing.rows[0][2].as_text();
 }
 
-bool PatternStore::apply_delete(const std::string& id) {
+std::optional<std::string> PatternStore::apply_delete(const std::string& id) {
   QueryResult existing =
-      db_.exec("SELECT pid FROM patterns WHERE pid = ?", {id});
-  if (existing.rows.empty()) return false;
+      db_.exec("SELECT service FROM patterns WHERE pid = ?", {id});
+  if (existing.rows.empty()) return std::nullopt;
   db_.exec("DELETE FROM patterns WHERE pid = ?", {id});
   db_.exec("DELETE FROM examples WHERE pid = ?", {id});
-  return true;
+  return existing.rows[0][0].as_text();
 }
 
 void PatternStore::log_ops(std::string ops) {
@@ -396,44 +521,68 @@ void PatternStore::append_group(std::string ops) {
   if (seq != 0 && commit_sink_) commit_sink_(seq, ops);
 }
 
+void PatternStore::note_batch_service_locked(std::string_view service) {
+  const auto scope = batch_ops_.find(std::this_thread::get_id());
+  if (scope == batch_ops_.end()) return;
+  batch_services_[std::this_thread::get_id()].emplace(std::string(service));
+}
+
 void PatternStore::upsert_pattern(const core::Pattern& p) {
   if (obs::telemetry_enabled()) store_metrics().upsert.inc();
   std::lock_guard lock(mutex_);
+  // A write to a spilled partition reloads it first, so the upsert merges
+  // against the full row set instead of resurrecting a partial one.
+  ensure_resident_locked(p.service);
   apply_upsert(p);
   if (wal_.is_open()) {
     std::string ops;
     encode_upsert(ops, p);
     log_ops(std::move(ops));
+    note_batch_service_locked(p.service);
   }
+  refresh_partition_locked(p.service);
 }
 
 void PatternStore::record_match(const std::string& id, std::uint64_t count,
                                 std::int64_t when) {
   if (obs::telemetry_enabled()) store_metrics().record_match.inc();
   std::lock_guard lock(mutex_);
-  apply_record_match(id, count, when);
+  // Resident rows only: the engine pins the service around load + stats
+  // update, so the row is here by contract. A spilled row is a caller bug
+  // and drops the count, exactly like the pre-governance "unknown id"
+  // case below.
+  const std::optional<std::string> service =
+      apply_record_match(id, count, when);
+  if (!service.has_value()) return;
   if (wal_.is_open()) {
     std::string ops;
     encode_record_match(ops, id, count, when);
     log_ops(std::move(ops));
+    note_batch_service_locked(*service);
   }
+  // The bytes estimator is count-independent, so no ledger refresh here —
+  // keeping the hot path at one extra map lookup.
 }
 
 bool PatternStore::delete_pattern(const std::string& id) {
   if (obs::telemetry_enabled()) store_metrics().del.inc();
   std::lock_guard lock(mutex_);
-  if (!apply_delete(id)) return false;
+  const std::optional<std::string> service = apply_delete(id);
+  if (!service.has_value()) return false;
   if (wal_.is_open()) {
     std::string ops;
     encode_delete(ops, id);
     log_ops(std::move(ops));
+    note_batch_service_locked(*service);
   }
+  refresh_partition_locked(*service);
   return true;
 }
 
 void PatternStore::begin_batch() {
   std::lock_guard lock(mutex_);
   batch_ops_[std::this_thread::get_id()].clear();
+  batch_services_[std::this_thread::get_id()].clear();
 }
 
 void PatternStore::commit_batch() {
@@ -442,12 +591,14 @@ void PatternStore::commit_batch() {
   if (scope == batch_ops_.end()) return;
   std::string ops = std::move(scope->second);
   batch_ops_.erase(scope);
+  batch_services_.erase(std::this_thread::get_id());
   append_group(std::move(ops));
 }
 
 void PatternStore::abort_batch() {
   std::lock_guard lock(mutex_);
   batch_ops_.erase(std::this_thread::get_id());
+  batch_services_.erase(std::this_thread::get_id());
 }
 
 std::optional<core::Pattern> PatternStore::find(const std::string& id) {
@@ -462,7 +613,9 @@ std::optional<core::Pattern> PatternStore::find(const std::string& id) {
 std::size_t PatternStore::pattern_count() {
   std::lock_guard lock(mutex_);
   QueryResult r = db_.exec("SELECT pid FROM patterns");
-  return r.rows.size();
+  std::size_t count = r.rows.size();
+  for (const auto& [svc, info] : spilled_) count += info.patterns;
+  return count;
 }
 
 std::vector<core::Pattern> PatternStore::export_patterns(
@@ -487,6 +640,28 @@ std::vector<core::Pattern> PatternStore::export_patterns(
     if (row[5].as_real() >= filter.max_complexity) continue;
     if (auto p = row_to_pattern(row)) out.push_back(std::move(*p));
   }
+  // Read-through over spilled partitions: decode the spill files directly
+  // (no reload — export must not change residency), then restore the
+  // match-count ordering across the combined set.
+  bool added_spilled = false;
+  for (const auto& [svc, info] : spilled_) {
+    if (!filter.service.empty() && svc != filter.service) continue;
+    SpillFile file = read_spill_file(spill_file_path(svc));
+    std::vector<core::Pattern> rows;
+    if (!file.ok || !decode_upsert_ops(file.rows_blob, &rows)) continue;
+    for (core::Pattern& p : rows) {
+      if (p.stats.match_count < filter.min_match_count) continue;
+      if (p.complexity() >= filter.max_complexity) continue;
+      out.push_back(std::move(p));
+      added_spilled = true;
+    }
+  }
+  if (added_spilled) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const core::Pattern& a, const core::Pattern& b) {
+                       return a.stats.match_count > b.stats.match_count;
+                     });
+  }
   return out;
 }
 
@@ -501,6 +676,7 @@ bool PatternStore::load(const std::string& path) {
   if (obs::telemetry_enabled()) store_metrics().load.inc();
   obs::StageTimer timer(store_metrics().persist_seconds);
   std::lock_guard lock(mutex_);
+  spilled_.clear();
   if (!db_.load(path)) {
     db_ = Database();
     create_schema();
@@ -552,6 +728,16 @@ void PatternStore::replay_ops(std::string_view ops) {
       const std::string id(r.string());
       if (!r.ok) break;
       apply_delete(id);
+    } else if (op == kOpSpill || op == kOpReload) {
+      const std::string service(r.string());
+      const std::uint32_t n_patterns = r.u32();
+      const std::string blob(r.string());
+      if (!r.ok) break;
+      if (op == kOpSpill) {
+        apply_spill(service, n_patterns, blob);
+      } else {
+        apply_reload(service, blob);
+      }
     } else {
       break;  // unknown op: drop the rest of the group
     }
@@ -583,6 +769,9 @@ bool PatternStore::open(const std::string& dir) {
   db_ = Database();
   create_schema();
   snapshot_seq_ = 0;
+  spilled_.clear();
+  batch_ops_.clear();
+  batch_services_.clear();
 
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -622,6 +811,9 @@ bool PatternStore::open(const std::string& dir) {
     return false;
   }
   wal_.ensure_next_seq(snapshot_seq_ + 1);
+  // Residency ops replayed below rewrite spill files, so the directory
+  // must be bound before the replay loop runs.
+  dir_ = dir;
   std::uint64_t replayed = 0;
   for (const Wal::Record& rec : recovered.records) {
     if (rec.seq <= snapshot_seq_) continue;  // stale pre-checkpoint record
@@ -632,7 +824,7 @@ bool PatternStore::open(const std::string& dir) {
     store_metrics().wal_replayed.inc(replayed);
     if (recovered.truncated) store_metrics().wal_truncations.inc();
   }
-  dir_ = dir;
+  reconcile_spill_files_locked();
   return true;
 }
 
@@ -674,6 +866,293 @@ bool PatternStore::checkpoint() {
   snapshot_seq_ = seq;
   if (obs::telemetry_enabled()) store_metrics().wal_snapshots.inc();
   return true;
+}
+
+std::string PatternStore::spill_file_path(std::string_view service) const {
+  return (fs::path(dir_) / spill_file_name(service)).string();
+}
+
+bool PatternStore::write_spill_file_locked(std::string_view service,
+                                           std::uint32_t n_patterns,
+                                           std::string_view rows_blob,
+                                           bool fsync) {
+  std::string payload;
+  wal_put_string(payload, service);
+  wal_put_u32(payload, n_patterns);
+  wal_put_string(payload, rows_blob);
+  std::string data(kSpillMagic);
+  wal_put_u32(data, static_cast<std::uint32_t>(payload.size()));
+  wal_put_u32(data, crc32(payload));
+  data.append(payload);
+
+  const std::string final_path = spill_file_path(service);
+  // 128-bit name-collision guard: never overwrite another service's file.
+  std::error_code ec;
+  if (fs::exists(final_path, ec)) {
+    SpillFile existing = read_spill_file(final_path);
+    if (existing.ok && existing.service != service) return false;
+  }
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  if (ok && fsync) {
+    ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  if (fsync && !fsync_dir(dir_)) return false;
+  return true;
+}
+
+std::vector<core::Pattern> PatternStore::partition_rows_locked(
+    std::string_view service) {
+  QueryResult r = db_.exec("SELECT " + std::string(kPatternColumns) +
+                               " FROM patterns WHERE service = ? "
+                               "ORDER BY pid",
+                           {Value(service)});
+  std::vector<core::Pattern> out;
+  out.reserve(r.rows.size());
+  for (const Row& row : r.rows) {
+    if (auto p = row_to_pattern(row)) out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+std::size_t PatternStore::partition_bytes_locked(std::string_view service) {
+  QueryResult r = db_.exec(
+      "SELECT pid, service, ptext, tokens FROM patterns WHERE service = ?",
+      {Value(service)});
+  std::size_t total = 0;
+  for (const Row& row : r.rows) {
+    total += kPatternRowOverheadBytes + row[0].as_text().size() +
+             row[1].as_text().size() + row[2].as_text().size() +
+             row[3].as_text().size();
+    QueryResult ex =
+        db_.exec("SELECT message FROM examples WHERE pid = ?",
+                 {row[0].as_text()});
+    for (const Row& e : ex.rows) {
+      total += kExampleRowOverheadBytes + e[0].as_text().size();
+    }
+  }
+  return total;
+}
+
+void PatternStore::refresh_partition_locked(std::string_view service) {
+  if (governor_ == nullptr) return;
+  core::MemoryAccountant* acct = governor_->accountant();
+  const std::size_t bytes = partition_bytes_locked(service);
+  if (bytes == 0) {
+    if (acct != nullptr) acct->drop_partition(service);
+    governor_->on_deleted(service);
+    return;
+  }
+  if (acct != nullptr) acct->set_partition_bytes(service, bytes);
+  governor_->touch(service);
+}
+
+void PatternStore::erase_partition_locked(std::string_view service) {
+  QueryResult r =
+      db_.exec("SELECT pid FROM patterns WHERE service = ?", {Value(service)});
+  for (const Row& row : r.rows) {
+    db_.exec("DELETE FROM examples WHERE pid = ?", {row[0].as_text()});
+  }
+  db_.exec("DELETE FROM patterns WHERE service = ?", {Value(service)});
+}
+
+void PatternStore::apply_spill(std::string_view service,
+                               std::uint32_t n_patterns,
+                               std::string_view rows_blob) {
+  erase_partition_locked(service);
+  // (Re)write the spill file from the embedded rows: a standby applying a
+  // shipped group needs its own copy, and open-replay restores the
+  // file ⟺ spilled invariant even if the live file write was torn. During
+  // a live spill this rewrite is redundant but byte-identical.
+  write_spill_file_locked(service, n_patterns, rows_blob, /*fsync=*/false);
+  spilled_[std::string(service)] = SpilledInfo{n_patterns};
+  if (governor_ != nullptr) {
+    if (auto* acct = governor_->accountant()) acct->drop_partition(service);
+    governor_->on_spilled(service);
+  }
+}
+
+void PatternStore::apply_reload(std::string_view service,
+                                std::string_view rows_blob) {
+  // Residency ops are self-contained: clear anything present, then insert
+  // the embedded rows verbatim (they hit the INSERT path of apply_upsert).
+  erase_partition_locked(service);
+  std::vector<core::Pattern> rows;
+  if (decode_upsert_ops(rows_blob, &rows)) {
+    for (const core::Pattern& p : rows) apply_upsert(p);
+  } else {
+    store_metrics().corrupt_rows.inc();
+  }
+  std::error_code ec;
+  fs::remove(spill_file_path(service), ec);
+  const auto it = spilled_.find(service);
+  if (it != spilled_.end()) spilled_.erase(it);
+  if (governor_ != nullptr) governor_->on_resident(service);
+}
+
+bool PatternStore::ensure_resident_locked(std::string_view service) {
+  const auto it = spilled_.find(service);
+  if (it == spilled_.end()) return true;
+  obs::TraceSpan span(obs::TraceCat::kStore, "partition_reload");
+  const std::string path = spill_file_path(service);
+  SpillFile file = read_spill_file(path);
+  std::vector<core::Pattern> rows;
+  if (!file.ok || file.service != service ||
+      !decode_upsert_ops(file.rows_blob, &rows)) {
+    // Corrupt or missing spill file: the partition's rows are gone. Stop
+    // claiming they exist, surface it loudly, and let the caller proceed
+    // with an empty partition (mining will rebuild patterns from traffic).
+    obs::logev(obs::LogLevel::kError, "store", "spill_file_corrupt",
+               {{"service", std::string(service)}, {"path", path}});
+    spilled_.erase(it);
+    if (governor_ != nullptr) governor_->on_deleted(service);
+    std::error_code ec;
+    fs::remove(path, ec);
+    return false;
+  }
+  // Commit point: the kOpReload group (rows embedded) reaches the WAL
+  // before the file is deleted, so replay and the standby rebuild the
+  // partition from the log alone.
+  std::string ops;
+  encode_residency(ops, kOpReload, service, file.n_patterns, file.rows_blob);
+  append_group(std::move(ops));
+  for (const core::Pattern& p : rows) apply_upsert(p);
+  std::error_code ec;
+  fs::remove(path, ec);
+  fsync_dir(dir_);
+  spilled_.erase(it);
+  if (governor_ != nullptr) governor_->on_resident(service);
+  refresh_partition_locked(service);
+  if (obs::telemetry_enabled()) store_op("reload").inc();
+  return true;
+}
+
+bool PatternStore::spill_partition(const std::string& service) {
+  std::lock_guard lock(mutex_);
+  if (!wal_.is_open() || wal_.wedged()) return false;
+  if (spilled_.find(service) != spilled_.end()) return false;
+  // Ordering contract: a service with ops buffered in any open batch scope
+  // must not spill, or the WAL would record the spill ahead of mutations
+  // that already happened in memory.
+  for (const auto& [tid, touched] : batch_services_) {
+    if (touched.find(service) != touched.end()) return false;
+  }
+  // Final pin re-check under our lock — closes the race where a lane pins
+  // the victim between enforce()'s selection and this call.
+  if (governor_ != nullptr && !governor_->try_claim_spill(service)) {
+    return false;
+  }
+  std::vector<core::Pattern> rows = partition_rows_locked(service);
+  if (rows.empty()) return false;
+  obs::TraceSpan span(obs::TraceCat::kStore, "partition_spill");
+  span.set_args(static_cast<std::int64_t>(rows.size()));
+  std::string blob;
+  for (const core::Pattern& p : rows) encode_upsert(blob, p);
+  const std::uint32_t n = static_cast<std::uint32_t>(rows.size());
+  // Durable order: file first (tmp + fsync + rename + dir fsync), then the
+  // kOpSpill group, then free the rows. Every crash window reconciles at
+  // open() — see the class comment.
+  if (!write_spill_file_locked(service, n, blob, /*fsync=*/true)) {
+    return false;
+  }
+  std::string ops;
+  encode_residency(ops, kOpSpill, service, n, blob);
+  append_group(std::move(ops));
+  erase_partition_locked(service);
+  spilled_[service] = SpilledInfo{n};
+  if (governor_ != nullptr) {
+    if (auto* acct = governor_->accountant()) acct->drop_partition(service);
+    governor_->on_spilled(service);
+  }
+  if (obs::telemetry_enabled()) store_op("spill").inc();
+  return true;
+}
+
+void PatternStore::reconcile_spill_files_locked() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    // ".sp.tmp" leftovers of an interrupted spill-file write.
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0 &&
+        is_spill_file_name(
+            std::string_view(name).substr(0, name.size() - 4))) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (!is_spill_file_name(name)) continue;
+    SpillFile file = read_spill_file(entry.path().string());
+    if (!file.ok) {
+      obs::logev(obs::LogLevel::kError, "store", "spill_file_corrupt",
+                 {{"path", entry.path().string()}});
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    QueryResult r = db_.exec("SELECT pid FROM patterns WHERE service = ?",
+                             {file.service});
+    if (!r.rows.empty()) {
+      // Stale leftover of an interrupted spill: the kOpSpill group never
+      // committed, so the rows are still resident and authoritative.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    spilled_[file.service] = SpilledInfo{file.n_patterns};
+  }
+}
+
+void PatternStore::attach_governor(core::Governor* governor) {
+  std::lock_guard lock(mutex_);
+  governor_ = governor;
+  if (governor_ == nullptr) return;
+  governor_->attach_target(this);
+  // Seed the ledger and LRU with the current resident partitions, and the
+  // spilled set with what reconcile/replay found.
+  QueryResult r = db_.exec("SELECT service FROM patterns ORDER BY service");
+  bool have_last = false;
+  std::string last;
+  for (const Row& row : r.rows) {
+    std::string svc = row[0].as_text();
+    if (have_last && svc == last) continue;
+    refresh_partition_locked(svc);
+    last = std::move(svc);
+    have_last = true;
+  }
+  for (const auto& [svc, info] : spilled_) governor_->seed_spilled(svc);
+}
+
+bool PatternStore::is_spilled(std::string_view service) {
+  std::lock_guard lock(mutex_);
+  return spilled_.find(service) != spilled_.end();
+}
+
+std::vector<std::string> PatternStore::spilled_services() {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(spilled_.size());
+  for (const auto& [svc, info] : spilled_) out.push_back(svc);
+  return out;
+}
+
+std::map<std::string, std::size_t> PatternStore::recount_partition_bytes() {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::size_t> out;
+  QueryResult r = db_.exec("SELECT service FROM patterns ORDER BY service");
+  bool have_last = false;
+  std::string last;
+  for (const Row& row : r.rows) {
+    std::string svc = row[0].as_text();
+    if (have_last && svc == last) continue;
+    out[svc] = partition_bytes_locked(svc);
+    last = std::move(svc);
+    have_last = true;
+  }
+  return out;
 }
 
 PatternStore::DurabilityStats PatternStore::durability_stats() {

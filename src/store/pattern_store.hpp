@@ -32,11 +32,13 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/governor.hpp"
 #include "core/pattern.hpp"
 #include "core/repository.hpp"
 #include "store/database.hpp"
@@ -52,7 +54,34 @@ std::string pattern_tokens_to_json(
 std::optional<std::vector<core::PatternToken>> pattern_tokens_from_json(
     std::string_view json);
 
-class PatternStore final : public core::PatternRepository {
+// Partition spill (resource governance, DESIGN.md §17):
+//
+// A spilled partition's rows live in a per-service `spill-<hash>.sp` file
+// (write-to-temp + fsync + rename) instead of the in-memory database. Two
+// WAL ops make residency transitions replayable AND replicable:
+//
+//   kOpSpill(service, rows)  — erase the partition's rows, (re)write its
+//                              spill file from the embedded rows
+//   kOpReload(service, rows) — insert the embedded rows verbatim, delete
+//                              the spill file
+//
+// Both embed the full row set, so replay is a pure function of the log
+// (it never needs to read a spill file, whose content at replay time may
+// postdate the record) and a standby receiving shipped groups maintains
+// its own spill files. The spill file itself exists for exactly one
+// reason: checkpoint() truncates the WAL, and a partition spilled across
+// a checkpoint has its only durable copy in the file. open() reconciles:
+// a spill file whose service has resident rows after replay is a stale
+// leftover of an interrupted spill and is deleted; the remainder define
+// the spilled set.
+//
+// Ordering contract: spill/reload commit groups append immediately (never
+// buffered into a batch scope), and a service with ops buffered in ANY
+// open batch scope refuses to spill — together these keep WAL order
+// identical to in-memory mutation order per service, which is what makes
+// replay faithful.
+class PatternStore final : public core::PatternRepository,
+                           public core::SpillTarget {
  public:
   /// Creates the schema in a fresh in-memory database.
   PatternStore();
@@ -174,6 +203,31 @@ class PatternStore final : public core::PatternRepository {
   /// Direct access for ad-hoc SQL (tests, tooling).
   Database& database() { return db_; }
 
+  /// Governance wiring: registers this store as the governor's spill
+  /// target, seeds the accountant's ledger and the governor's LRU with
+  /// the current resident partitions, and from then on reports every
+  /// partition's resident bytes through the accountant. nullptr detaches.
+  void attach_governor(core::Governor* governor);
+
+  /// core::SpillTarget — durably persists `service`'s partition to its
+  /// spill file + a kOpSpill commit group, then frees the in-RAM rows.
+  /// Refuses (false) when the store is not durable, the WAL is wedged,
+  /// the service is unknown/already spilled/pinned, or a batch scope has
+  /// buffered ops for it.
+  bool spill_partition(const std::string& service) override;
+
+  /// True while `service`'s partition lives in its spill file. Reads
+  /// through load_service/upsert reload it transparently; find() and
+  /// record_match() see only resident rows (their callers load the
+  /// service first — the engine pins it resident for the duration).
+  bool is_spilled(std::string_view service);
+  std::vector<std::string> spilled_services();
+
+  /// Authoritative recount of every resident partition's bytes, computed
+  /// from the rows themselves — the governance oracle audits the
+  /// accountant's ledger against this.
+  std::map<std::string, std::size_t> recount_partition_bytes();
+
  private:
   /// std::nullopt when the row is unrecoverable (both the JSON token list
   /// and the display-text fallback fail to parse) — counted in
@@ -183,14 +237,40 @@ class PatternStore final : public core::PatternRepository {
   void create_schema();
 
   // Unlocked mutation bodies shared by the public entry points and WAL
-  // replay (replay must not re-append).
+  // replay (replay must not re-append). record_match/delete return the
+  // owning service (nullopt when no row matched) so the public entry
+  // points can maintain the partition ledger and batch-scope bookkeeping.
   void apply_upsert(const core::Pattern& p);
-  void apply_record_match(const std::string& id, std::uint64_t count,
-                          std::int64_t when);
-  bool apply_delete(const std::string& id);
+  std::optional<std::string> apply_record_match(const std::string& id,
+                                                std::uint64_t count,
+                                                std::int64_t when);
+  std::optional<std::string> apply_delete(const std::string& id);
+  /// Replay bodies of the residency ops (also used by replicated apply).
+  void apply_spill(std::string_view service, std::uint32_t n_patterns,
+                   std::string_view rows_blob);
+  void apply_reload(std::string_view service, std::string_view rows_blob);
+
+  // Spill machinery (all require mutex_ held).
+  std::string spill_file_path(std::string_view service) const;
+  bool write_spill_file_locked(std::string_view service,
+                               std::uint32_t n_patterns,
+                               std::string_view rows_blob, bool fsync);
+  bool ensure_resident_locked(std::string_view service);
+  void erase_partition_locked(std::string_view service);
+  std::vector<core::Pattern> partition_rows_locked(std::string_view service);
+  std::size_t partition_bytes_locked(std::string_view service);
+  /// Recomputes `service`'s ledger entry (and LRU presence) after a
+  /// mutation. No-op without an attached governor.
+  void refresh_partition_locked(std::string_view service);
+  /// open()-time reconciliation: stale spill files (service resident) are
+  /// deleted, the rest define the spilled set.
+  void reconcile_spill_files_locked();
   /// Appends `ops` (or buffers them into the calling thread's open batch
   /// scope) and fsyncs.
   void log_ops(std::string ops);
+  /// Records `service` into the calling thread's batch-scope touched set
+  /// (spill exemption); no-op when the thread has no open scope.
+  void note_batch_service_locked(std::string_view service);
   /// Appends one commit group to the WAL unconditionally and fsyncs.
   void append_group(std::string ops);
   /// Decodes and applies one replayed commit group.
@@ -205,6 +285,17 @@ class PatternStore final : public core::PatternRepository {
   /// Open batch scopes, one buffered commit group per thread (guarded by
   /// mutex_ like everything else).
   std::map<std::thread::id, std::string> batch_ops_;
+  /// Services with ops buffered in each open batch scope — those are
+  /// spill-exempt until the scope closes (see the ordering contract in
+  /// the class comment).
+  std::map<std::thread::id, std::set<std::string, std::less<>>>
+      batch_services_;
+
+  core::Governor* governor_ = nullptr;
+  struct SpilledInfo {
+    std::size_t patterns = 0;
+  };
+  std::map<std::string, SpilledInfo, std::less<>> spilled_;
 };
 
 }  // namespace seqrtg::store

@@ -47,6 +47,14 @@ std::string FaultPlan::to_string() const {
     out << sep << "misroute@" << i;
     sep = ";";
   }
+  if (memlimit_bytes != 0) {
+    out << sep << "memlimit@" << memlimit_bytes;
+    sep = ";";
+  }
+  if (misaccount_at != 0) {
+    out << sep << "misaccount@" << (misaccount_at - 1);
+    sep = ";";
+  }
   return out.str();
 }
 
@@ -108,6 +116,21 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
         return std::nullopt;
       }
       plan.misroute_at.push_back(index);
+    } else if (kind == "memlimit") {
+      std::uint64_t bytes = 0;
+      if (!parse_u64(arg, &bytes) || bytes == 0) {
+        set_error(error, "memlimit needs a byte ceiling >= 1, got: " +
+                             std::string(arg));
+        return std::nullopt;
+      }
+      plan.memlimit_bytes = bytes;
+    } else if (kind == "misaccount") {
+      std::uint64_t index = 0;
+      if (!parse_u64(arg, &index)) {
+        set_error(error, "bad misaccount event index: " + std::string(arg));
+        return std::nullopt;
+      }
+      plan.misaccount_at = index + 1;  // 1-based storage, 0 = absent
     } else {
       set_error(error, "unknown fault directive: " + std::string(kind));
       return std::nullopt;
@@ -135,6 +158,13 @@ std::function<bool(std::uint64_t)> FaultPlan::route_hook() const {
   if (misroute_at.empty()) return {};
   return [targets = misroute_at](std::uint64_t index) {
     return std::binary_search(targets.begin(), targets.end(), index);
+  };
+}
+
+std::function<bool(std::uint64_t)> FaultPlan::misaccount_hook() const {
+  if (misaccount_at == 0) return {};
+  return [at = misaccount_at - 1](std::uint64_t event_index) {
+    return event_index == at;
   };
 }
 

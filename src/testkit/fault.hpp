@@ -17,8 +17,18 @@
 //                     to the ring successor of its correct shard —
 //                     the routing bug the cluster oracle must catch;
 //                     repeatable
+//   memlimit@B        run the differential's governed leg with a resident
+//                     partition-memory ceiling of B bytes — a tiny B
+//                     spill-thrashes every partition through the store and
+//                     the governance oracle proves the canonical pattern
+//                     set still byte-equals the ungoverned run
+//   misaccount@I      the governed leg's memory accountant over-counts by
+//                     one small partition starting at its I-th accounting
+//                     event (a sticky lost-decrement) — the ledger bug the
+//                     governance audit must catch
 //
-// Example: "drop@37; drop@90; tear-wal@3:12" or "cluster@3; misroute@37"
+// Example: "drop@37; drop@90; tear-wal@3:12", "cluster@3; misroute@37"
+// or "memlimit@4096; misaccount@10"
 //
 // A plan composes with a seed into a fully deterministic scenario: the
 // corpus, the interleaving, the faulted record/group and therefore the
@@ -49,13 +59,24 @@ struct FaultPlan {
   /// Global 0-based record indexes the router deliberately misroutes to
   /// the ring successor of the correct shard (sorted).
   std::vector<std::uint64_t> misroute_at;
+  /// Memory ceiling for the differential's governed leg (0 = leg disabled
+  /// unless a misaccount fault forces it on with a default tiny ceiling).
+  std::uint64_t memlimit_bytes = 0;
+  /// 1-based marker: accounting event index I-1 triggers the sticky
+  /// ledger over-count (0 = no misaccount fault). Stored off-by-one so 0
+  /// keeps meaning "absent" while `misaccount@0` faults the very first
+  /// event.
+  std::uint64_t misaccount_at = 0;
 
   bool empty() const {
     return drop_at.empty() && tear_wal_seq == 0 && crash_after == 0 &&
-           cluster_nodes == 0 && misroute_at.empty();
+           cluster_nodes == 0 && misroute_at.empty() &&
+           memlimit_bytes == 0 && misaccount_at == 0;
   }
   bool has_drop() const { return !drop_at.empty(); }
   bool has_misroute() const { return !misroute_at.empty(); }
+  bool has_memlimit() const { return memlimit_bytes != 0; }
+  bool has_misaccount() const { return misaccount_at != 0; }
   bool has_recovery_fault() const {
     return tear_wal_seq != 0 || crash_after != 0;
   }
@@ -78,6 +99,11 @@ struct FaultPlan {
   /// Hook for RouterOptions::route_fault / ClusterConfig::route_fault
   /// (empty function when no misroute fault).
   std::function<bool(std::uint64_t)> route_hook() const;
+
+  /// Hook for core::MemoryAccountant::set_fault_hook (empty function when
+  /// no misaccount fault). Fires at one exact event index, skewing the
+  /// ledger permanently — the audit oracle must report it.
+  std::function<bool(std::uint64_t)> misaccount_hook() const;
 };
 
 }  // namespace seqrtg::testkit

@@ -1,6 +1,10 @@
 #include "testkit/oracles.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -16,6 +20,28 @@
 namespace seqrtg::testkit {
 
 namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII scratch directory for the governed leg's durable store. A
+/// process-wide counter keeps shrink probes (each opens a fresh store)
+/// from colliding with each other or with scenario scratch dirs.
+struct ScratchDir {
+  fs::path path;
+  ScratchDir() {
+    static std::atomic<std::uint64_t> next{0};
+    path = fs::temp_directory_path() /
+           ("seqrtg_oracle_" + std::to_string(::getpid()) + "_" +
+            std::to_string(next.fetch_add(1)));
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
 
 MiningResult mine_with_threads(const std::vector<core::LogRecord>& records,
                                const core::EngineOptions& opts,
@@ -71,8 +97,14 @@ MiningResult mine_serve(const std::vector<core::LogRecord>& records,
   serve_opts.checkpoint_on_stop = false;
   serve_opts.clock = config.clock != nullptr ? config.clock : &manual;
   serve_opts.queue_fault = config.queue_fault;
+  serve_opts.governor = config.governor;
 
   serve::Server server(store, serve_opts);
+  const bool governed =
+      config.governor.ceiling_bytes > 0 || config.misaccount_fault;
+  if (config.misaccount_fault) {
+    server.accountant()->set_fault_hook(config.misaccount_fault);
+  }
   MiningResult out;
   std::string error;
   if (!server.start(&error)) {
@@ -89,7 +121,6 @@ MiningResult mine_serve(const std::vector<core::LogRecord>& records,
   server.feed(in);
   const serve::ServeReport report = server.stop();
 
-  out.canonical = canonical_patterns(*store);
   out.records = report.processed;
   out.matched_existing = report.matched_existing;
   out.new_patterns = report.new_patterns;
@@ -97,6 +128,23 @@ MiningResult mine_serve(const std::vector<core::LogRecord>& records,
   out.processed = report.processed;
   out.dropped = report.dropped;
   out.batches = report.batches;
+  if (governed) {
+    const core::Governor::Stats stats = server.governor()->stats();
+    out.shed = report.shed;
+    out.spills = stats.spills;
+    out.reloads = stats.reloads;
+    // Post-drain ledger audit against the store's authoritative byte
+    // recount — canonical equality cannot see a skewed ledger (spill is
+    // output-transparent); this can. MUST run before the canonical
+    // rendering below: canonical's load_service read path reloads spilled
+    // partitions, and with the governor already detached by stop() those
+    // reloads are (correctly) unaccounted — auditing after it would report
+    // every such partition as untracked.
+    out.audit = server.accountant()
+                    ->audit(store->recount_partition_bytes())
+                    .value_or("");
+  }
+  out.canonical = canonical_patterns(*store);
   return out;
 }
 
@@ -270,6 +318,50 @@ OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
       return OracleFailure{"differential:engine-vs-cluster",
                            first_diff(engine.canonical,
                                       clustered.canonical)};
+    }
+  }
+
+  if (dopts.memlimit_bytes > 0 || dopts.governed_misaccount) {
+    ScratchDir scratch;
+    store::PatternStore durable;
+    if (!durable.open(scratch.path.string())) {
+      return OracleFailure{
+          "governance:store",
+          "cannot open scratch store directory " + scratch.path.string()};
+    }
+    ServeConfig governed_config;
+    governed_config.lanes = dopts.lanes;
+    governed_config.store = &durable;
+    governed_config.governor.ceiling_bytes =
+        dopts.memlimit_bytes > 0
+            ? static_cast<std::size_t>(dopts.memlimit_bytes)
+            : static_cast<std::size_t>(kDefaultGovernedCeiling);
+    governed_config.misaccount_fault = dopts.governed_misaccount;
+    const MiningResult governed =
+        mine_serve(records, opts, governed_config);
+    if (!governed.started) {
+      return OracleFailure{"governance:serve-start", governed.canonical};
+    }
+    // Admission runs before any lane flushes in this harness, so a
+    // governed run that sheds (or drops) anything is a bug, not load.
+    if (governed.accepted != records.size() || governed.dropped != 0 ||
+        governed.shed != 0 || governed.processed != governed.accepted) {
+      std::ostringstream detail;
+      detail << "governed serve accounting diverged: fed="
+             << records.size() << " accepted=" << governed.accepted
+             << " processed=" << governed.processed
+             << " dropped=" << governed.dropped
+             << " shed=" << governed.shed;
+      return OracleFailure{"governance:accounting", detail.str()};
+    }
+    // The headline claim: spill thrash must not change what gets mined.
+    if (engine.canonical != governed.canonical) {
+      return OracleFailure{"differential:engine-vs-governed",
+                           first_diff(engine.canonical,
+                                      governed.canonical)};
+    }
+    if (!governed.audit.empty()) {
+      return OracleFailure{"governance:audit", governed.audit};
     }
   }
   return std::nullopt;

@@ -11,7 +11,14 @@
 //                    clock, single flush per lane at drain) produce
 //                    byte-identical canonical pattern sets, and serve
 //                    accounts for every record (accepted == fed,
-//                    processed == accepted, dropped == 0).
+//                    processed == accepted, dropped == 0). Optional legs:
+//                    a router + N-node cluster (merged canonical must
+//                    match) and a governed serve run over a durable
+//                    scratch store with a memory ceiling small enough to
+//                    spill-thrash every partition — governance must be
+//                    output-transparent (canonical unchanged, zero shed)
+//                    and the memory accountant's ledger must audit clean
+//                    against the store's authoritative byte recount.
 //   soundness      — every ingested message is matched by the Parser
 //                    compiled from the patterns mined from that corpus.
 //   idempotence    — re-analyzing the same corpus discovers nothing new:
@@ -45,6 +52,7 @@
 
 #include "core/analyze_by_service.hpp"
 #include "core/evolution.hpp"
+#include "core/governor.hpp"
 #include "core/ingest.hpp"
 #include "store/pattern_store.hpp"
 #include "testkit/canonical.hpp"
@@ -66,6 +74,14 @@ struct MiningResult {
   std::uint64_t processed = 0;
   std::uint64_t dropped = 0;
   std::uint64_t batches = 0;
+  /// Governed-serve-only accounting (zero unless ServeConfig sets a
+  /// memory ceiling): records shed at admission, partitions spilled and
+  /// reloaded during the run, and the post-drain ledger audit — empty
+  /// when the accountant balanced against the store's recount.
+  std::uint64_t shed = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t reloads = 0;
+  std::string audit;
   /// Cluster-only accounting (zero elsewhere): router forwards and
   /// records with no live shard to take them.
   std::uint64_t forwarded = 0;
@@ -92,6 +108,16 @@ struct ServeConfig {
   /// nullptr = a fresh non-durable store local to the call. Recovery
   /// scenarios pass a durable store (with a WAL fault hook installed).
   store::PatternStore* store = nullptr;
+  /// Governance policy for the serve run. A ceiling > 0 requires a
+  /// durable `store` (spill needs somewhere to go) and makes mine_serve
+  /// fill MiningResult's shed/spills/reloads/audit fields. The feed
+  /// completes before any lane flushes (batch larger than the corpus,
+  /// pinned clock), so admission always sees an idle governor and shed
+  /// is deterministically zero — spill thrash happens during the drain.
+  core::GovernorPolicy governor;
+  /// Scripted ledger skew (MemoryAccountant::set_fault_hook) — the
+  /// mutation the governance audit must catch.
+  std::function<bool(std::uint64_t)> misaccount_fault;
 };
 
 /// Streams the records through an in-process serve daemon (stdin-style
@@ -145,7 +171,22 @@ struct DifferentialOptions {
   /// Scripted misroute injected into the cluster leg only (the oracle
   /// mutation: a mis-routed service MUST be caught).
   std::function<bool(std::uint64_t)> cluster_route_fault;
+  /// Memory ceiling of the governed-serve leg (0 = leg disabled unless a
+  /// misaccount fault forces it on with kDefaultGovernedCeiling). When
+  /// enabled the corpus additionally streams through a serve pipeline
+  /// over a durable scratch store with the governor spill-thrashing every
+  /// partition; the canonical set must still byte-equal the engine's, and
+  /// the accountant's ledger must audit clean against the store recount.
+  std::uint64_t memlimit_bytes = 0;
+  /// Scripted ledger skew injected into the governed leg only (the oracle
+  /// mutation: a misaccounted ledger MUST be caught by the audit).
+  std::function<bool(std::uint64_t)> governed_misaccount;
 };
+
+/// Ceiling the governed leg runs under when a misaccount fault is set
+/// without an explicit memlimit — tiny on purpose, so every partition
+/// cycles through spill and the accountant sees a dense event stream.
+inline constexpr std::uint64_t kDefaultGovernedCeiling = 4096;
 
 OracleVerdict check_differential(const std::vector<core::LogRecord>& records,
                                  const core::EngineOptions& opts,

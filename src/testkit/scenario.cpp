@@ -329,11 +329,16 @@ ScenarioResult run_scenario(const ScenarioOptions& opts,
                                   opts.fault.cluster_nodes)
                             : (opts.fault.has_misroute() ? 3 : 0);
   dopts.cluster_route_fault = opts.fault.route_hook();
+  // memlimit@B turns the governed leg on explicitly; a misaccount fault
+  // with no explicit ceiling implies it (the fault targets the ledger,
+  // and check_differential falls back to kDefaultGovernedCeiling).
+  dopts.memlimit_bytes = opts.fault.memlimit_bytes;
+  dopts.governed_misaccount = opts.fault.misaccount_hook();
 
   OracleVerdict verdict = check_differential(corpus, opts.engine, dopts);
   // Metamorphic oracles only make sense on an unfaulted pipeline.
   if (!verdict.has_value() && !opts.fault.has_drop() &&
-      !opts.fault.has_misroute()) {
+      !opts.fault.has_misroute() && !opts.fault.has_misaccount()) {
     if (opts.run_soundness) {
       verdict = check_soundness(corpus, opts.engine);
     }
@@ -362,7 +367,8 @@ ScenarioResult run_scenario(const ScenarioOptions& opts,
     const auto still_fails =
         [&](const std::vector<core::LogRecord>& subset) {
           OracleVerdict v;
-          if (util::starts_with(oracle, "differential")) {
+          if (util::starts_with(oracle, "differential") ||
+              util::starts_with(oracle, "governance")) {
             v = check_differential(subset, opts.engine, dopts);
           } else if (oracle == "soundness") {
             v = check_soundness(subset, opts.engine);

@@ -19,6 +19,16 @@
 //               check the WAL-replay invariants (reopen succeeds;
 //               recovered matches == processed when the log is intact,
 //               <= processed when a tear lost the wedged tail).
+//   memlimit@B  enables the differential's governed leg: the corpus also
+//               streams through a serve pipeline over a durable scratch
+//               store with a B-byte memory ceiling (tiny B spill-thrashes
+//               every partition) — canonical output must byte-equal the
+//               ungoverned engine's and the accountant must audit clean.
+//   misaccount@I
+//               a mutation test like drop@I: skews the governed leg's
+//               ledger at accounting event I, which the governance audit
+//               MUST catch (implies the governed leg with a default tiny
+//               ceiling when no memlimit is given).
 #pragma once
 
 #include <cstdint>

@@ -108,6 +108,19 @@ class Arena {
 
   std::size_t block_count() const { return blocks_.size(); }
 
+  /// Bytes handed out to callers (alias of bytes_used(); the governance
+  /// accounting layer standardises on the allocated/resident pair).
+  std::size_t bytes_allocated() const { return used_; }
+
+  /// Bytes this arena holds resident from the process allocator: every
+  /// block's full capacity (slack included) plus the bookkeeping vectors.
+  /// This is the number the memory accountant charges, because it is what
+  /// the OS actually cannot reclaim while the arena lives.
+  std::size_t bytes_resident() const {
+    return bytes_reserved() + blocks_.capacity() * sizeof(Block) +
+           finalizers_.capacity() * sizeof(Finalizer);
+  }
+
  private:
   struct Block {
     std::unique_ptr<char[]> data;

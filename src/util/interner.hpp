@@ -76,6 +76,23 @@ class StringInterner {
   /// Bytes of pooled string data (deduplicated).
   std::size_t bytes() const { return pool_.bytes_used(); }
 
+  /// Pooled bytes actually handed out (alias of bytes(); paired with
+  /// bytes_resident() for the governance accounting layer).
+  std::size_t bytes_allocated() const { return pool_.bytes_used(); }
+
+  /// Resident footprint: the pool's reserved blocks plus the view table
+  /// and the hash index. The index estimate counts one bucket pointer per
+  /// bucket and one node (view + id + next pointer + allocator header) per
+  /// entry — close enough for ceiling enforcement, and crucially monotone
+  /// in the real usage so the accountant's audit stays stable.
+  std::size_t bytes_resident() const {
+    const std::size_t node_bytes =
+        sizeof(std::string_view) + sizeof(Id) + 2 * sizeof(void*);
+    return pool_.bytes_resident() +
+           views_.capacity() * sizeof(std::string_view) +
+           index_.bucket_count() * sizeof(void*) + index_.size() * node_bytes;
+  }
+
  private:
   Arena pool_{16 * 1024};
   std::vector<std::string_view> views_;

@@ -1,0 +1,370 @@
+// SIGKILL crash drill for spill/reload durability against the REAL
+// `seqrtg serve` binary (fork/execv, path injected via SEQRTG_CLI_PATH).
+//
+// The child serves with a 1K --mem-ceiling, so every flush's safe point
+// spill-thrashes partitions through the durable store while records are
+// still arriving. The drills:
+//
+//   quiescent: feed a wave, wait until every record's flush committed,
+//     SIGKILL -9, cold reopen — the recovered store must byte-equal an
+//     ungoverned in-process run of the same stream (zero loss, and
+//     governance still output-transparent across a crash);
+//   mid-stream: SIGKILL while wave 2 is mid-flight (spills and reloads
+//     active), cold reopen — the store must open cleanly and contain
+//     every wave-1 committed pattern with match counts that only grew,
+//     and no record may ever be double-counted by the WAL replay.
+//
+// Spill durability hinges on kOpSpill WAL records embedding the rows:
+// replay rewrites the spill file from the log, so even a torn spill-file
+// write at the moment of the SIGKILL cannot lose a committed partition.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/ingest.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
+#include "util/clock.hpp"
+
+#ifndef SEQRTG_CLI_PATH
+#error "SEQRTG_CLI_PATH must point at the seqrtg binary"
+#endif
+
+namespace seqrtg {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("seqrtg_spillcrash_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+/// A spawned `seqrtg serve` child with its stdout+stderr on a pipe.
+class ServeChild {
+ public:
+  explicit ServeChild(const std::vector<std::string>& args) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<std::string> argv_store = args;
+      argv_store.insert(argv_store.begin(), SEQRTG_CLI_PATH);
+      std::vector<char*> argv;
+      for (std::string& a : argv_store) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(SEQRTG_CLI_PATH, argv.data());
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+  }
+
+  ~ServeChild() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  bool ok() const { return pid_ > 0 && out_fd_ >= 0; }
+  const std::string& output() const { return buffer_; }
+
+  /// Reads child output until `needle` appears or `timeout` elapses.
+  bool wait_for_output(const std::string& needle,
+                       std::chrono::milliseconds timeout = 15000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (buffer_.find(needle) == std::string::npos) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      if (left <= 0ms) return false;
+      pollfd pfd = {out_fd_, POLLIN, 0};
+      const int rc = ::poll(
+          &pfd, 1,
+          static_cast<int>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                  .count()));
+      if (rc <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::read(out_fd_, buf, sizeof buf);
+      if (n <= 0) return buffer_.find(needle) != std::string::npos;
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  /// Port printed after `label` in the serving line (-1 when absent).
+  int port_after(const std::string& label) {
+    const std::size_t at = buffer_.find(label);
+    if (at == std::string::npos) return -1;
+    return std::atoi(buffer_.c_str() + at + label.size());
+  }
+
+  /// SIGKILL, reaped; true when the child died by exactly that signal.
+  bool sigkill() {
+    if (pid_ <= 0) return false;
+    if (::kill(pid_, SIGKILL) != 0) return false;
+    int status = 0;
+    if (::waitpid(pid_, &status, 0) != pid_) return false;
+    pid_ = -1;
+    return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::string buffer_;
+};
+
+std::vector<std::string> serve_args(const std::string& store_dir) {
+  // lanes=1 + batch=8 + an interval that never fires = flush boundaries
+  // at every 8th record, reproducible by the in-process reference run.
+  return {"serve",
+          "--store-dir",
+          store_dir,
+          "--port",
+          "0",
+          "--http-port",
+          "0",
+          "--lanes",
+          "1",
+          "--batch",
+          "8",
+          "--flush-interval",
+          "100000",
+          "--checkpoint-interval",
+          "0",
+          "--mem-ceiling",
+          "1K"};
+}
+
+/// Wave of `count` records over four services, deterministic text shape
+/// (the varying fields generalise into the same pattern per service).
+std::string wave(std::size_t count, std::size_t offset = 0) {
+  std::string payload;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = offset + i;
+    payload += core::record_to_json(
+        {"svc-" + std::to_string(n % 4),
+         "drill event " + std::to_string(n) + " from host-" +
+             std::to_string(n % 3)});
+    payload += '\n';
+  }
+  return payload;
+}
+
+bool send_all(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string_view data = payload;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+/// "field":N out of a JSON-ish HTTP body fetched from the child (-1 when
+/// unreadable).
+std::int64_t http_field(int http_port, const std::string& path,
+                        const std::string& field) {
+  const std::optional<std::string> body = serve::http_get(http_port, path);
+  if (!body.has_value()) return -1;
+  const std::string needle = "\"" + field + "\":";
+  const std::size_t at = body->find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atoll(body->c_str() + at + needle.size());
+}
+
+/// Polls `probe` until it returns true or ~15s elapse.
+bool poll_until(const std::function<bool()>& probe) {
+  const auto deadline = std::chrono::steady_clock::now() + 15s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (probe()) return true;
+    std::this_thread::sleep_for(50ms);
+  }
+  return false;
+}
+
+/// Ungoverned in-process run of `payload` with the child's lane/batch
+/// shape: the reference for what a crash must not lose.
+std::string reference_canonical(const std::string& payload) {
+  store::PatternStore store;
+  util::ManualClock clock(1700000000);
+  serve::ServeOptions opts;
+  opts.port = -1;
+  opts.http_port = -1;
+  opts.lanes = 1;
+  opts.batch_size = 8;
+  opts.flush_interval_s = 1e9;
+  opts.checkpoint_on_stop = false;
+  opts.clock = &clock;
+  serve::Server server(&store, opts);
+  std::string error;
+  if (!server.start(&error)) return "<reference start failed: " + error + ">";
+  std::istringstream in(payload);
+  server.feed(in);
+  server.stop();
+  return testkit::canonical_patterns(store);
+}
+
+std::string reopen_canonical(const fs::path& dir) {
+  store::PatternStore store;
+  if (!store.open(dir.string())) return "<reopen failed>";
+  return testkit::canonical_patterns(store);
+}
+
+/// canonical_patterns lines keyed by (service, token_count, text), value =
+/// match count. The canonical line format is service\tcount\ttokens\ttext.
+std::map<std::tuple<std::string, std::string, std::string>, std::int64_t>
+parse_canonical(const std::string& canonical) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::int64_t>
+      out;
+  std::istringstream lines(canonical);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream cols(line);
+    std::string service;
+    std::string count;
+    std::string tokens;
+    std::string text;
+    if (!std::getline(cols, service, '\t')) continue;
+    std::getline(cols, count, '\t');
+    std::getline(cols, tokens, '\t');
+    std::getline(cols, text);
+    out[{service, tokens, text}] = std::atoll(count.c_str());
+  }
+  return out;
+}
+
+TEST(SpillCrash, QuiescentSigkillAfterSpillThrashLosesNothing) {
+  TempDir dir("quiescent");
+  ServeChild child(serve_args(dir.path.string()));
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(child.wait_for_output("serving")) << child.output();
+  const int ingest = child.port_after("ingest on 127.0.0.1:");
+  const int http = child.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(ingest, 0) << child.output();
+  ASSERT_GT(http, 0) << child.output();
+
+  // 64 records = 8 full batches; every record's flush commits before the
+  // kill, so the kill may not cost a single committed pattern.
+  const std::string payload = wave(64);
+  ASSERT_TRUE(send_all(ingest, payload));
+  ASSERT_TRUE(poll_until(
+      [&] { return http_field(http, "/healthz", "processed") == 64; }))
+      << child.output();
+  // The 1K ceiling must have been thrashing partitions the whole time.
+  EXPECT_GT(http_field(http, "/debug/governor", "spills"), 0)
+      << child.output();
+  EXPECT_GT(http_field(http, "/debug/governor", "reloads"), 0)
+      << child.output();
+
+  ASSERT_TRUE(child.sigkill());
+
+  const std::string recovered = reopen_canonical(dir.path);
+  ASSERT_NE(recovered, "<reopen failed>");
+  EXPECT_EQ(recovered, reference_canonical(payload))
+      << "cold reopen after SIGKILL must reconstruct exactly the "
+         "ungoverned pattern set";
+}
+
+TEST(SpillCrash, MidStreamSigkillKeepsEveryCommittedPattern) {
+  TempDir dir("midstream");
+  ServeChild child(serve_args(dir.path.string()));
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(child.wait_for_output("serving")) << child.output();
+  const int ingest = child.port_after("ingest on 127.0.0.1:");
+  const int http = child.port_after("metrics on 127.0.0.1:");
+  ASSERT_GT(ingest, 0) << child.output();
+  ASSERT_GT(http, 0) << child.output();
+
+  // Wave 1 commits fully; its patterns are the floor the crash must hold.
+  const std::string first = wave(64);
+  ASSERT_TRUE(send_all(ingest, first));
+  ASSERT_TRUE(poll_until(
+      [&] { return http_field(http, "/healthz", "processed") == 64; }))
+      << child.output();
+  EXPECT_GT(http_field(http, "/debug/governor", "spills"), 0)
+      << child.output();
+
+  // Wave 2 (same shape, so it only bumps match counts): kill as soon as
+  // at least one of its flushes committed — spill/reload traffic is live.
+  ASSERT_TRUE(send_all(ingest, wave(64, /*offset=*/64)));
+  ASSERT_TRUE(poll_until(
+      [&] { return http_field(http, "/healthz", "processed") > 64; }))
+      << child.output();
+  ASSERT_TRUE(child.sigkill());
+
+  const std::string recovered = reopen_canonical(dir.path);
+  ASSERT_NE(recovered, "<reopen failed>")
+      << "a mid-spill crash must never wedge the store";
+  const auto got = parse_canonical(recovered);
+  const auto floor = parse_canonical(reference_canonical(first));
+  ASSERT_FALSE(floor.empty());
+  for (const auto& [key, count] : floor) {
+    const auto it = got.find(key);
+    ASSERT_NE(it, got.end())
+        << "lost committed pattern: " << std::get<0>(key) << " / "
+        << std::get<2>(key) << "\nrecovered:\n"
+        << recovered;
+    EXPECT_GE(it->second, count) << std::get<2>(key);
+  }
+  // WAL replay may not double-count: every match came from one of the at
+  // most 128 records the child ever processed.
+  std::int64_t total = 0;
+  for (const auto& [key, count] : got) total += count;
+  EXPECT_GE(total, 64);
+  EXPECT_LE(total, 128);
+}
+
+}  // namespace
+}  // namespace seqrtg

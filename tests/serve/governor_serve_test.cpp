@@ -1,0 +1,244 @@
+// Admission control + governance surfaces of `seqrtg serve`
+// (DESIGN.md §17):
+//
+//  - A governed run under a tiny ceiling spill-thrashes partitions through
+//    the durable store yet mines exactly what an ungoverned run mines.
+//  - When spilling cannot help (non-durable store), the governor flips
+//    overloaded and serve sheds at admission with exact accounting:
+//    accepted == processed + shed.
+//  - /debug/governor and the /healthz governor block expose the stats.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "core/ingest.hpp"
+#include "serve/server.hpp"
+#include "store/pattern_store.hpp"
+#include "testkit/canonical.hpp"
+#include "util/clock.hpp"
+
+namespace seqrtg::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("seqrtg_govserve_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+int connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = connect_local(port);
+  if (fd < 0) return {};
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::string_view data = request;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string corpus_stream(int records) {
+  std::string payload;
+  for (int i = 0; i < records; ++i) {
+    const std::string service = "svc-" + std::to_string(i % 5);
+    payload += core::record_to_json(
+        {service, "unit " + std::to_string(i % 7) + " finished job " +
+                      std::to_string(i) + " in " +
+                      std::to_string(10 + i % 90) + " ms"});
+    payload += '\n';
+  }
+  return payload;
+}
+
+/// Deterministic streaming shape (the mine_serve recipe): batch larger
+/// than the corpus + pinned clock = every lane flushes exactly once at
+/// drain, so spill thrash happens during the drain and never at admission.
+ServeOptions deterministic_opts(util::Clock* clock, int records) {
+  ServeOptions opts;
+  opts.port = -1;
+  opts.http_port = -1;
+  opts.lanes = 2;
+  opts.queue_capacity = static_cast<std::size_t>(records) + 1;
+  opts.batch_size = static_cast<std::size_t>(records) + 1;
+  opts.flush_interval_s = 1e9;
+  opts.checkpoint_on_stop = false;
+  opts.clock = clock;
+  return opts;
+}
+
+TEST(GovernorServe, TinyCeilingSpillThrashMinesExactlyTheUngovernedSet) {
+  constexpr int kRecords = 150;
+  const std::string payload = corpus_stream(kRecords);
+
+  TempDir dir("thrash");
+  store::PatternStore governed_store;
+  ASSERT_TRUE(governed_store.open(dir.path.string()));
+  util::ManualClock governed_clock(1700000000);
+  ServeOptions gopts = deterministic_opts(&governed_clock, kRecords);
+  gopts.governor.ceiling_bytes = 1;  // everything must spill, constantly
+  Server governed(&governed_store, gopts);
+  std::string error;
+  ASSERT_TRUE(governed.start(&error)) << error;
+  std::istringstream gin(payload);
+  governed.feed(gin);
+  const ServeReport greport = governed.stop();
+  const core::Governor::Stats gstats = governed.governor()->stats();
+
+  EXPECT_EQ(greport.accepted, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(greport.processed, greport.accepted);
+  EXPECT_EQ(greport.shed, 0u)
+      << "admission precedes the drain, so a governed batch run never "
+         "sheds";
+  EXPECT_EQ(greport.dropped, 0u);
+  EXPECT_GT(gstats.spills, 0u) << "a 1-byte ceiling must spill-thrash";
+
+  store::PatternStore plain_store;
+  util::ManualClock plain_clock(1700000000);
+  ServeOptions popts = deterministic_opts(&plain_clock, kRecords);
+  Server plain(&plain_store, popts);
+  ASSERT_TRUE(plain.start(&error)) << error;
+  std::istringstream pin(payload);
+  plain.feed(pin);
+  plain.stop();
+
+  EXPECT_EQ(testkit::canonical_patterns(governed_store),
+            testkit::canonical_patterns(plain_store))
+      << "governance must be output-transparent";
+}
+
+TEST(GovernorServe, OverloadShedsAtAdmissionWithExactAccounting) {
+  // Non-durable store: spilling has nowhere to go, so the first enforce
+  // after the ceiling is crossed flips overloaded and admission sheds.
+  store::PatternStore store;
+  ServeOptions opts;
+  opts.port = -1;
+  opts.http_port = -1;
+  opts.lanes = 1;
+  opts.batch_size = 4;  // flush as soon as the first four records arrive
+  opts.flush_interval_s = 1e9;
+  opts.governor.ceiling_bytes = 1;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::string first;
+  for (int i = 0; i < 4; ++i) {
+    first += core::record_to_json(
+        {"svc", "request " + std::to_string(i) + " served"});
+    first += '\n';
+  }
+  std::istringstream in_first(first);
+  server.feed(in_first);
+  ASSERT_TRUE(server.wait_until([&] {
+    return server.processed() == 4 && server.governor()->overloaded();
+  })) << "the flush's safe point must report overload when nothing can "
+         "spill";
+
+  std::string second;
+  for (int i = 0; i < 3; ++i) {
+    second += core::record_to_json(
+        {"svc", "request " + std::to_string(100 + i) + " served"});
+    second += '\n';
+  }
+  std::istringstream in_second(second);
+  server.feed(in_second);
+  EXPECT_EQ(server.shed(), 3u) << "overloaded admission sheds every record";
+
+  const ServeReport report = server.stop();
+  EXPECT_EQ(report.shed, 3u);
+  EXPECT_EQ(report.processed, 4u);
+  EXPECT_EQ(report.accepted, 7u);
+  EXPECT_EQ(report.accepted, report.processed + report.shed)
+      << "the governance accounting identity";
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(server.governor()->stats().sheds, 3u);
+}
+
+TEST(GovernorServe, DebugEndpointAndHealthExposeGovernorState) {
+  TempDir dir("debug");
+  store::PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  ServeOptions opts;
+  opts.port = 0;
+  opts.http_port = 0;
+  opts.lanes = 1;
+  opts.batch_size = 2;
+  opts.flush_interval_s = 1e9;
+  opts.governor.ceiling_bytes = 4 << 20;
+  Server server(&store, opts);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_local(server.ingest_port());
+  ASSERT_GE(fd, 0);
+  const std::string lines =
+      core::record_to_json({"web", "request served in 12 ms"}) + "\n" +
+      core::record_to_json({"web", "request served in 34 ms"}) + "\n";
+  std::string_view data = lines;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_TRUE(server.wait_until([&] { return server.processed() == 2; }));
+
+  const std::string debug = http_get(server.http_port(), "/debug/governor");
+  EXPECT_NE(debug.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(debug.find("\"ceiling_bytes\":4194304"), std::string::npos);
+  EXPECT_NE(debug.find("\"resident_bytes\":"), std::string::npos);
+  EXPECT_NE(debug.find("\"spills\":"), std::string::npos);
+  EXPECT_NE(debug.find("\"overloaded\":false"), std::string::npos);
+
+  const std::string health = server.health_json();
+  EXPECT_NE(health.find("\"shed\":0"), std::string::npos);
+  EXPECT_NE(health.find("\"governor\":{"), std::string::npos);
+  EXPECT_NE(health.find("\"resident_partitions\":"), std::string::npos);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace seqrtg::serve

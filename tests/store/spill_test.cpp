@@ -1,0 +1,359 @@
+// Partition spill/reload machinery (DESIGN.md §17, pattern_store.hpp
+// class comment):
+//
+//  - spill/reload round-trip with transparent read-through on
+//    load_service/upsert and the aggregate readers (services,
+//    pattern_count, export_patterns).
+//  - Replay: kOpSpill/kOpReload groups embed the row set, so a cold
+//    reopen reconstructs both the spilled set and the spill files from
+//    the WAL alone — including across a checkpoint that truncated it.
+//  - open()-time reconciliation of every crash window: stale spill file
+//    (rows resident) deleted, orphaned .sp.tmp removed, corrupt file
+//    logged and dropped.
+//  - Ordering contract: a service with ops buffered in an open batch
+//    scope refuses to spill until the scope closes.
+//  - Governance wiring: attach_governor seeds the ledger/LRU/spilled set
+//    and the accountant audits clean against recount_partition_bytes.
+#include "store/pattern_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/governor.hpp"
+
+namespace seqrtg::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("seqrtg_spill_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+core::Pattern make_pattern(std::string service, std::string text_word,
+                           std::uint64_t count = 1) {
+  core::Pattern p;
+  p.service = std::move(service);
+  core::PatternToken c;
+  c.is_variable = false;
+  c.text = std::move(text_word);
+  p.tokens.push_back(c);
+  core::PatternToken v;
+  v.is_variable = true;
+  v.var_type = core::TokenType::Integer;
+  v.name = "n";
+  v.is_space_before = true;
+  p.tokens.push_back(v);
+  p.stats.match_count = count;
+  p.stats.first_seen = 100;
+  p.stats.last_matched = 100;
+  p.examples = {text_word + " 1"};
+  return p;
+}
+
+std::vector<fs::path> spill_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("spill-", 0) == 0 && name.size() > 3 &&
+        name.compare(name.size() - 3, 3, ".sp") == 0) {
+      out.push_back(entry.path());
+    }
+  }
+  return out;
+}
+
+TEST(Spill, RoundTripWithTransparentReload) {
+  TempDir dir("roundtrip");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  const core::Pattern pa = make_pattern("alpha", "login", 3);
+  const core::Pattern pb = make_pattern("alpha", "logout", 2);
+  const core::Pattern pc = make_pattern("beta", "connect", 5);
+  store.upsert_pattern(pa);
+  store.upsert_pattern(pb);
+  store.upsert_pattern(pc);
+
+  ASSERT_TRUE(store.spill_partition("alpha"));
+  EXPECT_TRUE(store.is_spilled("alpha"));
+  EXPECT_FALSE(store.is_spilled("beta"));
+  EXPECT_EQ(store.spilled_services(),
+            (std::vector<std::string>{"alpha"}));
+  EXPECT_EQ(spill_files(dir.path).size(), 1u);
+  // find() is resident-only by contract.
+  EXPECT_FALSE(store.find(pa.id()).has_value());
+  // Aggregate readers see through the spill.
+  EXPECT_EQ(store.services(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(store.pattern_count(), 3u);
+  const auto exported = store.export_patterns({});
+  EXPECT_EQ(exported.size(), 3u);
+
+  // load_service transparently reloads.
+  const auto rows = store.load_service("alpha");
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(store.is_spilled("alpha"));
+  EXPECT_TRUE(spill_files(dir.path).empty())
+      << "reload must delete the spill file";
+  const auto found = store.find(pa.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 3u);
+  EXPECT_EQ(found->tokens, pa.tokens) << "typed tokens survive the trip";
+  EXPECT_EQ(found->examples, pa.examples);
+}
+
+TEST(Spill, UpsertIntoSpilledPartitionReloadsFirst) {
+  TempDir dir("upsert_reload");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  store.upsert_pattern(make_pattern("svc", "old", 4));
+  ASSERT_TRUE(store.spill_partition("svc"));
+
+  store.upsert_pattern(make_pattern("svc", "fresh", 1));
+  EXPECT_FALSE(store.is_spilled("svc"));
+  EXPECT_EQ(store.load_service("svc").size(), 2u)
+      << "the spilled rows must come back before the new upsert lands";
+}
+
+TEST(Spill, RefusalsWhenNotSpillable) {
+  PatternStore memory_only;
+  memory_only.upsert_pattern(make_pattern("svc", "event"));
+  EXPECT_FALSE(memory_only.spill_partition("svc"))
+      << "no durable directory = nowhere to spill";
+
+  TempDir dir("refusals");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  EXPECT_FALSE(store.spill_partition("unknown"));
+  store.upsert_pattern(make_pattern("svc", "event"));
+  ASSERT_TRUE(store.spill_partition("svc"));
+  EXPECT_FALSE(store.spill_partition("svc")) << "already spilled";
+}
+
+TEST(Spill, BatchScopeBuffersBlockSpillUntilCommit) {
+  TempDir dir("batch");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  store.begin_batch();
+  store.upsert_pattern(make_pattern("svc", "event"));
+  EXPECT_FALSE(store.spill_partition("svc"))
+      << "a service with ops buffered in an open batch scope must not "
+         "spill (WAL order would diverge from memory order)";
+  store.commit_batch();
+  EXPECT_TRUE(store.spill_partition("svc"));
+}
+
+TEST(Spill, ColdReopenReplaysResidencyOps) {
+  TempDir dir("replay");
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    store.upsert_pattern(make_pattern("alpha", "login", 7));
+    store.upsert_pattern(make_pattern("beta", "connect", 2));
+    ASSERT_TRUE(store.spill_partition("alpha"));
+  }
+  {
+    // Reopen #1: replay must land alpha spilled (file present), beta
+    // resident — and reloading must hand the rows back intact.
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    EXPECT_TRUE(store.is_spilled("alpha"));
+    EXPECT_EQ(spill_files(dir.path).size(), 1u);
+    EXPECT_EQ(store.pattern_count(), 2u);
+    const auto rows = store.load_service("alpha");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].stats.match_count, 7u);
+  }
+  {
+    // Reopen #2: the reload was logged too, so alpha is resident now.
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    EXPECT_FALSE(store.is_spilled("alpha"));
+    EXPECT_EQ(store.load_service("alpha").size(), 1u);
+    EXPECT_TRUE(spill_files(dir.path).empty());
+  }
+}
+
+TEST(Spill, SpilledPartitionSurvivesCheckpointTruncatingTheWal) {
+  TempDir dir("checkpoint");
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    store.upsert_pattern(make_pattern("svc", "event", 9));
+    ASSERT_TRUE(store.spill_partition("svc"));
+    ASSERT_TRUE(store.checkpoint());
+    EXPECT_EQ(store.durability_stats().wal_records, 0u);
+  }
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  EXPECT_TRUE(store.is_spilled("svc"))
+      << "after the WAL is truncated the spill file alone must carry the "
+         "partition";
+  const auto rows = store.load_service("svc");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].stats.match_count, 9u);
+}
+
+TEST(Spill, ReconcileDeletesStaleFileWhenRowsAreResident) {
+  TempDir dir("stale");
+  fs::path file;
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    store.upsert_pattern(make_pattern("svc", "event"));
+    ASSERT_TRUE(store.spill_partition("svc"));
+    file = spill_files(dir.path).at(0);
+    // Keep a copy, reload (which deletes the file + logs kOpReload).
+    fs::copy_file(file, dir.path / "keep.bin");
+    ASSERT_EQ(store.load_service("svc").size(), 1u);
+  }
+  // Put the file back: this is the crash window where the spill-file
+  // write survived but its kOpSpill group never committed.
+  fs::copy_file(dir.path / "keep.bin", file);
+  fs::remove(dir.path / "keep.bin");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  EXPECT_FALSE(store.is_spilled("svc"))
+      << "resident rows are authoritative over a stale spill file";
+  EXPECT_TRUE(spill_files(dir.path).empty());
+  EXPECT_EQ(store.load_service("svc").size(), 1u);
+}
+
+TEST(Spill, ReconcileRemovesTmpLeftoversAndCorruptFiles) {
+  TempDir dir("tmp_corrupt");
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    store.upsert_pattern(make_pattern("svc", "event"));
+  }
+  // An interrupted spill-file write and a truncated/garbage spill file.
+  std::ofstream(dir.path / "spill-00000000000000000000000000000000.sp.tmp")
+      << "half-written";
+  std::ofstream(dir.path / "spill-11111111111111112222222222222222.sp")
+      << "garbage";
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  EXPECT_TRUE(store.spilled_services().empty());
+  EXPECT_TRUE(spill_files(dir.path).empty());
+  EXPECT_FALSE(
+      fs::exists(dir.path /
+                 "spill-00000000000000000000000000000000.sp.tmp"));
+}
+
+TEST(Spill, CorruptSpillFileOnReloadDegradesToEmptyPartition) {
+  TempDir dir("corrupt_reload");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  store.upsert_pattern(make_pattern("svc", "event"));
+  ASSERT_TRUE(store.spill_partition("svc"));
+  const fs::path file = spill_files(dir.path).at(0);
+  std::ofstream(file, std::ios::trunc) << "not a spill file";
+
+  EXPECT_TRUE(store.load_service("svc").empty())
+      << "corrupt spill file = rows are gone; callers proceed empty";
+  EXPECT_FALSE(store.is_spilled("svc"))
+      << "the store must stop claiming the partition exists";
+  // The partition is rebuildable from traffic afterwards.
+  store.upsert_pattern(make_pattern("svc", "rebuilt"));
+  EXPECT_EQ(store.load_service("svc").size(), 1u);
+}
+
+TEST(Spill, ExportReadThroughAppliesFiltersToSpilledRows) {
+  TempDir dir("export");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  store.upsert_pattern(make_pattern("svc", "hot", 50));
+  store.upsert_pattern(make_pattern("svc", "cold", 1));
+  ASSERT_TRUE(store.spill_partition("svc"));
+
+  PatternStore::ExportFilter filter;
+  filter.min_match_count = 10;
+  const auto strong = store.export_patterns(filter);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_EQ(strong[0].stats.match_count, 50u);
+  EXPECT_TRUE(store.is_spilled("svc"))
+      << "export reads through without forcing a reload";
+
+  PatternStore::ExportFilter other_service;
+  other_service.service = "elsewhere";
+  EXPECT_TRUE(store.export_patterns(other_service).empty());
+}
+
+TEST(Spill, AttachGovernorSeedsLedgerAndAuditBalances) {
+  TempDir dir("governed");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  store.upsert_pattern(make_pattern("alpha", "login", 3));
+  store.upsert_pattern(make_pattern("beta", "connect", 2));
+  ASSERT_TRUE(store.spill_partition("beta"));
+
+  core::MemoryAccountant accountant;
+  core::GovernorPolicy policy;
+  policy.ceiling_bytes = 1 << 20;
+  core::Governor governor(policy, &accountant);
+  store.attach_governor(&governor);
+
+  EXPECT_EQ(accountant.partition_count(), 1u)
+      << "only resident partitions are charged";
+  EXPECT_GT(accountant.partition_bytes("alpha"), 0u);
+  EXPECT_EQ(governor.stats().spilled_partitions, 1u)
+      << "pre-existing spilled partitions are seeded, not counted as "
+         "fresh spills";
+  EXPECT_EQ(governor.stats().spills, 0u);
+  EXPECT_FALSE(
+      accountant.audit(store.recount_partition_bytes()).has_value());
+
+  // Mutations keep the ledger in sync; spill/reload move charges.
+  store.upsert_pattern(make_pattern("alpha", "another", 1));
+  EXPECT_FALSE(
+      accountant.audit(store.recount_partition_bytes()).has_value());
+  ASSERT_TRUE(store.spill_partition("alpha"));
+  EXPECT_EQ(accountant.partition_count(), 0u);
+  EXPECT_EQ(accountant.resident_bytes(), 0u);
+  store.load_service("beta");
+  EXPECT_EQ(accountant.partition_count(), 1u);
+  EXPECT_FALSE(
+      accountant.audit(store.recount_partition_bytes()).has_value());
+  store.attach_governor(nullptr);
+}
+
+TEST(Spill, RecordMatchOnResidentRowsKeepsLedgerAuditable) {
+  TempDir dir("record_match");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  const core::Pattern p = make_pattern("svc", "event", 1);
+  store.upsert_pattern(p);
+
+  core::MemoryAccountant accountant;
+  core::GovernorPolicy policy;
+  policy.ceiling_bytes = 1 << 20;
+  core::Governor governor(policy, &accountant);
+  store.attach_governor(&governor);
+
+  store.record_match(p.id(), 5, 1234);
+  // The byte estimator is count-independent, so match traffic must not
+  // drift the ledger away from the recount.
+  EXPECT_FALSE(
+      accountant.audit(store.recount_partition_bytes()).has_value());
+  const auto found = store.find(p.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 6u);
+  store.attach_governor(nullptr);
+}
+
+}  // namespace
+}  // namespace seqrtg::store

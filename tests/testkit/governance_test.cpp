@@ -1,0 +1,166 @@
+// ISSUE 10 acceptance tests for the governance differential oracle:
+//
+//  1. memlimit@B: a governed serve run (durable scratch store, tiny
+//     ceiling, spill thrash) mines canonical pattern sets byte-equal to
+//     the ungoverned engine on all 16 LogHub golden corpora for three
+//     distinct seeds, with the accountant's ledger auditing clean against
+//     the store's recount.
+//  2. misaccount@I: an injected sticky ledger skew is invisible to every
+//     output check (governance is output-transparent) and MUST be caught
+//     by the audit — deterministically, shrunk, with a printed repro.
+//  3. The memlimit/misaccount FaultPlan grammar round-trips.
+#include "testkit/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/fault.hpp"
+#include "testkit/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace seqrtg::testkit {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {util::kDefaultSeed,
+                                    util::kDefaultSeed + 1,
+                                    util::kDefaultSeed + 2};
+
+class GovernanceGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GovernanceGolden, GovernedRunEqualsUngovernedAcrossSeeds) {
+  for (const std::uint64_t seed : kSeeds) {
+    ScenarioOptions opts;
+    opts.seed = seed;
+    opts.datasets = {GetParam()};
+    opts.records = 300;
+    opts.fault = *FaultPlan::parse("memlimit@512");
+    const std::vector<core::LogRecord> corpus = compose_corpus(opts);
+    ASSERT_EQ(corpus.size(), opts.records);
+    DifferentialOptions dopts;
+    dopts.memlimit_bytes = 512;  // far below one partition: spill thrash
+    const OracleVerdict verdict =
+        check_differential(corpus, opts.engine, dopts);
+    EXPECT_FALSE(verdict.has_value())
+        << verdict->oracle << " on seed " << seed << ":\n"
+        << verdict->detail << "\nrepro: " << repro_command(opts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLogHubCorpora, GovernanceGolden,
+    ::testing::Values("HDFS", "Hadoop", "Spark", "Zookeeper", "BGL", "HPC",
+                      "Thunderbird", "Windows", "Linux", "Mac", "Android",
+                      "HealthApp", "Apache", "Proxifier", "OpenSSH",
+                      "OpenStack"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      return std::string(param_info.param);
+    });
+
+TEST(Governance, MixedServiceCorpusUnderTinyCeilingStaysEqual) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS", "Linux", "Apache", "Zookeeper"};
+  opts.records = 600;
+  opts.fault = *FaultPlan::parse("memlimit@1024");
+  opts.run_soundness = false;
+  opts.run_idempotence = false;
+  opts.run_interleave = false;
+  opts.run_evolution = false;
+  const ScenarioResult result = run_scenario(opts);
+  EXPECT_TRUE(result.ok) << result.oracle << ":\n"
+                         << result.detail << "\nrepro: " << result.repro;
+}
+
+// The mutation test of the governance oracle itself: a sticky ledger
+// over-count at accounting event #2. Every output check stays green (the
+// skew only inflates resident_bytes, and spilling more aggressively is
+// still output-transparent) — only the audit can catch it, so the
+// scenario MUST fail on governance:audit, replay deterministically, and
+// shrink.
+TEST(OracleMutation, InjectedMisaccountIsCaughtShrunkAndReplayable) {
+  ScenarioOptions opts;
+  opts.datasets = {"HDFS"};
+  opts.records = 400;
+  opts.fault = *FaultPlan::parse("memlimit@4096;misaccount@2");
+  opts.run_soundness = false;
+  opts.run_idempotence = false;
+  opts.run_interleave = false;
+  opts.run_evolution = false;
+
+  const ScenarioResult first = run_scenario(opts);
+  ASSERT_FALSE(first.ok) << "the audit missed an injected ledger skew";
+  EXPECT_EQ(first.oracle, "governance:audit");
+  EXPECT_NE(first.repro.find("memlimit@4096;misaccount@2"),
+            std::string::npos)
+      << first.repro;
+  EXPECT_NE(first.repro.find("--seed"), std::string::npos);
+
+  const ScenarioResult second = run_scenario(opts);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.oracle, first.oracle);
+  EXPECT_EQ(second.detail, first.detail)
+      << "the audit verdict must replay bit-identically";
+
+  ASSERT_FALSE(first.shrunk.empty());
+  EXPECT_LT(first.shrunk.size(), first.corpus_size);
+  DifferentialOptions dopts;
+  dopts.threads = opts.threads;
+  dopts.lanes = opts.lanes;
+  dopts.memlimit_bytes = opts.fault.memlimit_bytes;
+  dopts.governed_misaccount = opts.fault.misaccount_hook();
+  const OracleVerdict shrunk_verdict =
+      check_differential(first.shrunk, opts.engine, dopts);
+  ASSERT_TRUE(shrunk_verdict.has_value());
+  EXPECT_EQ(shrunk_verdict->oracle, first.oracle);
+}
+
+TEST(Governance, MisaccountAloneImpliesTheGovernedLeg) {
+  ScenarioOptions opts;
+  opts.datasets = {"OpenSSH"};
+  opts.records = 200;
+  const std::vector<core::LogRecord> corpus = compose_corpus(opts);
+  DifferentialOptions dopts;
+  // No memlimit: the misaccount hook alone must force the governed leg
+  // on with the default tiny ceiling.
+  FaultPlan plan;
+  plan.misaccount_at = 1;  // 1-based storage: fault event #0
+  dopts.governed_misaccount = plan.misaccount_hook();
+  const OracleVerdict verdict =
+      check_differential(corpus, opts.engine, dopts);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->oracle, "governance:audit");
+}
+
+TEST(FaultPlanGrammar, MemlimitAndMisaccountDirectivesRoundTrip) {
+  const auto plan = FaultPlan::parse("memlimit@65536;misaccount@0");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->has_memlimit());
+  EXPECT_TRUE(plan->has_misaccount());
+  EXPECT_EQ(plan->memlimit_bytes, 65536u);
+  EXPECT_EQ(plan->to_string(), "memlimit@65536;misaccount@0");
+  const auto reparsed = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->memlimit_bytes, plan->memlimit_bytes);
+  EXPECT_EQ(reparsed->misaccount_at, plan->misaccount_at);
+
+  // misaccount@0 must fault the very first accounting event.
+  const auto hook = plan->misaccount_hook();
+  ASSERT_TRUE(static_cast<bool>(hook));
+  EXPECT_TRUE(hook(0));
+  EXPECT_FALSE(hook(1));
+
+  const FaultPlan empty;
+  EXPECT_FALSE(static_cast<bool>(empty.misaccount_hook()));
+  EXPECT_TRUE(empty.empty());
+
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse("memlimit@0", &error).has_value());
+  EXPECT_NE(error.find("memlimit"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse("memlimit@x", &error).has_value());
+  EXPECT_FALSE(FaultPlan::parse("misaccount@x", &error).has_value());
+}
+
+}  // namespace
+}  // namespace seqrtg::testkit
