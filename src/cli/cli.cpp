@@ -6,6 +6,7 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -98,6 +99,9 @@ bool parse_byte_size(const std::string& text, std::size_t* out) {
     ++end;
   }
   if (*end != '\0') return false;
+  if (v > std::numeric_limits<std::size_t>::max() / mult) {
+    return false;  // the suffix multiply would wrap to a tiny ceiling
+  }
   *out = static_cast<std::size_t>(v) * mult;
   return true;
 }
@@ -265,6 +269,11 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   }
   if (!start_trace(args, err)) return 2;
 
+  // Declared before the store so destruction runs store first: the store
+  // calls back into its attached governor while tearing down, so the
+  // governor (and its accountant) must outlive it on every return path.
+  core::MemoryAccountant accountant;
+  std::unique_ptr<core::Governor> governor;
   store::PatternStore store;
   const std::string db = args.get("db");
   if (!attach_store(args, store, err, /*must_exist=*/false)) return 1;
@@ -285,8 +294,6 @@ int cmd_analyze(const std::vector<std::string>& argv, std::istream& in,
   opts.now_unix = static_cast<std::int64_t>(std::time(nullptr));
   core::GovernorPolicy policy;
   if (!governor_policy_from(args, store, &policy, err)) return 2;
-  core::MemoryAccountant accountant;
-  std::unique_ptr<core::Governor> governor;
   if (policy.ceiling_bytes > 0) {
     governor = std::make_unique<core::Governor>(policy, &accountant);
     store.attach_governor(governor.get());

@@ -1,6 +1,7 @@
 #include "core/governor.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "obs/eventlog.hpp"
@@ -249,16 +250,36 @@ void Governor::on_resident(std::string_view service) {
   }
 }
 
-void Governor::on_spilled(std::string_view service) {
+bool Governor::on_spilled(std::string_view service) {
   std::lock_guard lock(mutex_);
+  auto it = entries_.find(service);
+  if (it != entries_.end() && it->second.pins > 0) {
+    // A lane pinned this partition after the store's try_claim_spill but
+    // before this commit callback: the claim failed late. Keep the entry
+    // (and its pin count) so the pin protocol holds; the store must undo
+    // the spill before releasing its lock.
+    return false;
+  }
   erase_locked(service);
   spilled_[std::string(service)] = true;
   ++spills_;
   if (obs::telemetry_enabled()) governor_metrics().spills.inc();
+  return true;
 }
 
 void Governor::on_deleted(std::string_view service) {
   std::lock_guard lock(mutex_);
+  auto it = entries_.find(service);
+  if (it != entries_.end() && it->second.pins > 0) {
+    // The partition's rows went away (zero-row refresh, corrupt spill
+    // file) while a lane holds a pin. Erasing the entry would destroy the
+    // pin count: the lane's later unpin would hit a recreated entry at
+    // pins=0, leaving the in-flight window spillable. Keep the entry; it
+    // is uncharged (the ledger drop already happened) and gets cleaned up
+    // once unpinned.
+    spilled_.erase(std::string(service));
+    return;
+  }
   erase_locked(service);
   spilled_.erase(std::string(service));
 }
@@ -291,12 +312,22 @@ std::size_t Governor::enforce() {
   // (which takes its own lock and calls back into on_spilled). Never
   // holding both locks at once keeps the lock order acyclic with lanes
   // that call touch/pin from inside store operations.
+  //
+  // Victims the store refuses (pinned at the final claim, buffered in an
+  // open batch scope, zero rows) are remembered and skipped so selection
+  // moves on to the next-coldest candidate — a single stuck entry at the
+  // LRU front must not flip the governor overloaded while plenty of
+  // spillable cold partitions sit behind it. blocked is only set once no
+  // candidate in the whole LRU can be spilled.
+  std::set<std::string, std::less<>> refused;
   while (spilled_count < policy_.spill_batch &&
          accountant_->resident_bytes() > target_bytes) {
     std::string victim;
+    SpillTarget* target = nullptr;
     {
       std::lock_guard lock(mutex_);
-      if (target_ == nullptr) {
+      target = target_;
+      if (target == nullptr) {
         blocked = true;
         break;
       }
@@ -304,6 +335,7 @@ std::size_t Governor::enforce() {
       for (const std::string& service : lru_) {  // coldest first
         auto it = entries_.find(service);
         if (it->second.pins > 0) continue;
+        if (refused.find(service) != refused.end()) continue;
         if (policy_.min_cold_ms > 0 &&
             now - it->second.last_touch_ms < policy_.min_cold_ms) {
           // The list is touch-ordered, so everything hotter is too warm
@@ -318,14 +350,9 @@ std::size_t Governor::enforce() {
         break;
       }
     }
-    SpillTarget* target = nullptr;
-    {
-      std::lock_guard lock(mutex_);
-      target = target_;
-    }
-    if (target == nullptr || !target->spill_partition(victim)) {
-      blocked = true;
-      break;
+    if (!target->spill_partition(victim)) {
+      refused.insert(std::move(victim));
+      continue;
     }
     ++spilled_count;
   }

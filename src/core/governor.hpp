@@ -143,9 +143,12 @@ class SpillTarget {
   virtual ~SpillTarget() = default;
 
   /// Durably persists `service`'s partition and frees its in-RAM rows.
-  /// Implementations must drop the partition from the accountant and call
-  /// Governor::on_spilled on success. Returns false when the partition
-  /// cannot be spilled (store not durable, service unknown).
+  /// Implementations must drop the partition from the accountant and
+  /// commit via Governor::on_spilled. Returns false when the partition
+  /// cannot be spilled (store not durable, service unknown, pinned) — if
+  /// on_spilled refuses the commit because a pin landed mid-spill, the
+  /// implementation must restore the partition's residency before
+  /// returning false.
   virtual bool spill_partition(const std::string& service) = 0;
 };
 
@@ -170,8 +173,19 @@ class Governor {
   void pin(std::string_view service);    ///< in flight: not spillable
   void unpin(std::string_view service);
   void on_resident(std::string_view service);  ///< (re)loaded into RAM
-  void on_spilled(std::string_view service);   ///< store confirmed spill
-  void on_deleted(std::string_view service);   ///< partition removed
+
+  /// Spill commit: the store calls this after durably spilling `service`
+  /// but before releasing its lock. Returns false when a pin arrived
+  /// between try_claim_spill and this call — the claim failed late, the
+  /// entry (pins included) survives, and the store must undo the spill
+  /// (reload the partition) before unlocking so the pin's contract (rows
+  /// stay resident) holds.
+  bool on_spilled(std::string_view service);
+
+  /// Partition removed (zero rows after a delete, corrupt spill file).
+  /// Preserves the LRU entry when a lane still holds pins so the later
+  /// unpin balances; only the spilled marking is dropped.
+  void on_deleted(std::string_view service);
 
   /// Marks a partition as spilled without counting a spill — the store
   /// seeds pre-existing spilled partitions through this at attach time.

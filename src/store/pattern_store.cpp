@@ -975,7 +975,10 @@ void PatternStore::apply_spill(std::string_view service,
   spilled_[std::string(service)] = SpilledInfo{n_patterns};
   if (governor_ != nullptr) {
     if (auto* acct = governor_->accountant()) acct->drop_partition(service);
-    governor_->on_spilled(service);
+    // Replay/standby apply mirrors a spill the primary already committed;
+    // a local pin cannot veto it. A refused (pinned) entry just stays in
+    // the LRU until the partition is reloaded through on_resident.
+    (void)governor_->on_spilled(service);
   }
 }
 
@@ -1050,7 +1053,13 @@ bool PatternStore::spill_partition(const std::string& service) {
     return false;
   }
   std::vector<core::Pattern> rows = partition_rows_locked(service);
-  if (rows.empty()) return false;
+  if (rows.empty()) {
+    // Nothing to spill. Refresh so a zero-row LRU entry (left by pin/touch
+    // on a service with no stored patterns) is dropped once unpinned
+    // instead of lingering as a permanent enforce() refusal.
+    refresh_partition_locked(service);
+    return false;
+  }
   obs::TraceSpan span(obs::TraceCat::kStore, "partition_spill");
   span.set_args(static_cast<std::int64_t>(rows.size()));
   std::string blob;
@@ -1069,7 +1078,16 @@ bool PatternStore::spill_partition(const std::string& service) {
   spilled_[service] = SpilledInfo{n};
   if (governor_ != nullptr) {
     if (auto* acct = governor_->accountant()) acct->drop_partition(service);
-    governor_->on_spilled(service);
+    if (!governor_->on_spilled(service)) {
+      // A lane pinned the service between try_claim_spill above and the
+      // commit: the claim failed late. Undo while still holding our lock —
+      // the spill file just written reloads the rows (the WAL records
+      // spill then reload, a consistent history), so the pinning lane
+      // finds the partition resident exactly as its pin guarantees and
+      // no stats update it applies against the loaded rows is lost.
+      ensure_resident_locked(service);
+      return false;
+    }
   }
   if (obs::telemetry_enabled()) store_op("spill").inc();
   return true;

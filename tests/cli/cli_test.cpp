@@ -47,6 +47,18 @@ TEST(Cli, UnknownFlagIsUsageError) {
   EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
 }
 
+TEST(Cli, MemCeilingRejectsJunkAndOverflow) {
+  for (const char* bad : {"junk", "12X", "",
+                          // Would wrap the suffix multiply to a tiny
+                          // ceiling instead of the huge one requested.
+                          "99999999999999999999G", "18446744073709551615K"}) {
+    const CliResult r =
+        run_cli({"analyze", "--mem-ceiling", bad, "--db", temp_db("mc.db")});
+    EXPECT_EQ(r.code, 2) << "value: " << bad;
+    EXPECT_NE(r.err.find("--mem-ceiling"), std::string::npos);
+  }
+}
+
 TEST(Cli, GenerateDatasetDeterministic) {
   const CliResult a =
       run_cli({"generate", "--dataset", "Apache", "--count", "50"});

@@ -18,6 +18,7 @@
 #include <list>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -118,12 +119,20 @@ struct FakeStore : SpillTarget {
   std::mutex mutex;
   std::vector<std::string> spilled;
   bool fail = false;
+  std::set<std::string> refuse;  // per-service refusals (batch scope, …)
   bool spill_partition(const std::string& service) override {
     std::lock_guard lock(mutex);
     if (fail) return false;
+    if (refuse.find(service) != refuse.end()) return false;
     if (!governor->try_claim_spill(service)) return false;
+    const std::size_t bytes = accountant->partition_bytes(service);
     accountant->drop_partition(service);
-    governor->on_spilled(service);
+    if (!governor->on_spilled(service)) {
+      // Pin landed mid-spill: undo, exactly like the real store reloads.
+      accountant->set_partition_bytes(service, bytes);
+      governor->on_resident(service);
+      return false;
+    }
     spilled.push_back(service);
     return true;
   }
@@ -255,6 +264,71 @@ TEST(Governor, NoteShedCountsExactly) {
   EXPECT_EQ(h.governor.stats().sheds, 2u);
 }
 
+TEST(Governor, OnSpilledRefusesWhenPinArrivedMidSpill) {
+  GovernorPolicy policy;
+  policy.ceiling_bytes = 1;
+  Harness h(policy);
+  h.add("a", 100);
+  // The window: try_claim_spill succeeded, then a lane pinned "a" before
+  // the store's commit callback. The commit must fail and leave the pin
+  // (and the LRU entry) intact — erasing it would let a concurrent
+  // enforce() spill the partition out from under the lane's stats window.
+  ASSERT_TRUE(h.governor.try_claim_spill("a"));
+  h.governor.pin("a");
+  EXPECT_FALSE(h.governor.on_spilled("a"));
+  EXPECT_EQ(h.governor.stats().spills, 0u);
+  EXPECT_EQ(h.governor.stats().pinned_partitions, 1u);
+  EXPECT_EQ(h.governor.lru_order(), (std::vector<std::string>{"a"}));
+  EXPECT_FALSE(h.governor.try_claim_spill("a"));
+
+  h.governor.unpin("a");
+  EXPECT_TRUE(h.governor.on_spilled("a"));
+  EXPECT_EQ(h.governor.stats().spills, 1u);
+  EXPECT_TRUE(h.governor.lru_order().empty());
+}
+
+TEST(Governor, OnDeletedPreservesActivePins) {
+  GovernorPolicy policy;
+  policy.ceiling_bytes = 1;
+  Harness h(policy);
+  h.add("a", 100);
+  h.governor.pin("a");
+  // Zero-row refresh / corrupt spill file: the rows are gone but the
+  // lane's pin must survive so its later unpin balances instead of
+  // hitting a recreated entry at pins=0.
+  h.governor.on_deleted("a");
+  EXPECT_EQ(h.governor.lru_order(), (std::vector<std::string>{"a"}));
+  EXPECT_FALSE(h.governor.try_claim_spill("a")) << "still pinned";
+  h.governor.unpin("a");
+  EXPECT_TRUE(h.governor.try_claim_spill("a"));
+  h.governor.on_deleted("a");
+  EXPECT_TRUE(h.governor.lru_order().empty());
+}
+
+TEST(Governor, EnforceSkipsRefusedVictimsAndSpillsNextColdest) {
+  GovernorPolicy policy;
+  policy.ceiling_bytes = 250;
+  policy.spill_watermark = 0.8;  // target = 200
+  Harness h(policy);
+  h.add("stuck", 100);  // coldest, but the store refuses it (batch scope)
+  h.add("warm", 100);
+  h.add("hot", 100);
+  h.store.refuse.insert("stuck");
+
+  // 300 -> "stuck" refused -> spill "warm" -> 200 == target, stop. The
+  // refused victim at the LRU front must not block the colder-to-hotter
+  // scan or flip the governor overloaded.
+  EXPECT_EQ(h.governor.enforce(), 1u);
+  EXPECT_EQ(h.store.spilled, (std::vector<std::string>{"warm"}));
+  EXPECT_FALSE(h.governor.overloaded());
+
+  // When every candidate refuses, enforce() is genuinely blocked.
+  h.store.refuse.insert("hot");
+  h.accountant.set_partition_bytes("hot", 200);  // back above the ceiling
+  EXPECT_EQ(h.governor.enforce(), 0u);
+  EXPECT_TRUE(h.governor.overloaded());
+}
+
 // ---------------------------------------------------------------------------
 // Model-based LRU property test: the governor's eviction order must match
 // a reference std::list driven by the same trajectory. The model: every
@@ -309,12 +383,22 @@ TEST(GovernorProperty, LruOrderMatchesReferenceModelUnderRandomTrajectory) {
         model.to_hot(s);
         break;
       case 4:
-        governor.on_spilled(s);
-        model.remove(s);
+        // A spill commit against a pinned entry is refused (the pin
+        // arrived mid-spill); position and pin count are untouched.
+        if (model.pins[s] > 0) {
+          EXPECT_FALSE(governor.on_spilled(s));
+        } else {
+          EXPECT_TRUE(governor.on_spilled(s));
+          model.remove(s);
+        }
         break;
       default:
+        // Deleting a pinned partition's rows preserves the entry (and
+        // its pins) so the lane's later unpin balances.
+        if (model.pins[s] == 0) {
+          model.remove(s);
+        }
         governor.on_deleted(s);
-        model.remove(s);
         break;
     }
     ASSERT_EQ(governor.lru_order(), model.snapshot())

@@ -331,6 +331,91 @@ TEST(Spill, AttachGovernorSeedsLedgerAndAuditBalances) {
   store.attach_governor(nullptr);
 }
 
+TEST(Spill, PinLandingMidSpillAbortsAndPreservesStatsUpdates) {
+  TempDir dir("pin_race");
+  core::Pattern p = make_pattern("svc", "event", 1);
+  {
+    PatternStore store;
+    ASSERT_TRUE(store.open(dir.path.string()));
+    store.upsert_pattern(p);
+
+    core::MemoryAccountant accountant;
+    core::GovernorPolicy policy;
+    policy.ceiling_bytes = 1 << 20;
+    core::Governor governor(policy, &accountant);
+    store.attach_governor(&governor);
+
+    // Deterministic replay of the race: the accountant hook fires inside
+    // spill_partition between try_claim_spill and the on_spilled commit
+    // (the ledger drop sits between them) — exactly where a lane's pin()
+    // can land, since pin takes only the governor mutex, never the
+    // store's.
+    bool pinned = false;
+    accountant.set_fault_hook([&](std::uint64_t) {
+      if (!pinned) {
+        pinned = true;
+        governor.pin("svc");
+      }
+      return false;
+    });
+    EXPECT_FALSE(store.spill_partition("svc"))
+        << "the late pin must turn the spill into a refused claim";
+    ASSERT_TRUE(pinned);
+    accountant.set_fault_hook(nullptr);
+
+    // The partition is resident again (spill undone via its own file), so
+    // the pin's contract held and the lane's stats update is not dropped.
+    EXPECT_FALSE(store.is_spilled("svc"));
+    EXPECT_TRUE(spill_files(dir.path).empty());
+    EXPECT_EQ(governor.stats().pinned_partitions, 1u);
+    EXPECT_EQ(governor.stats().spills, 0u);
+    store.record_match(p.id(), 5, 1234);
+    auto found = store.find(p.id());
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->stats.match_count, 6u)
+        << "match counts must not vanish into a spilled partition";
+    governor.unpin("svc");
+    EXPECT_FALSE(
+        accountant.audit(store.recount_partition_bytes()).has_value());
+    store.attach_governor(nullptr);
+  }
+  // The WAL recorded spill then reload then the match — a consistent
+  // history a cold reopen replays cleanly.
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  EXPECT_FALSE(store.is_spilled("svc"));
+  const auto found = store.find(p.id());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->stats.match_count, 6u);
+}
+
+TEST(Spill, ZeroRowLoadKeepsEnginePinAlive) {
+  TempDir dir("zero_row_pin");
+  PatternStore store;
+  ASSERT_TRUE(store.open(dir.path.string()));
+  core::MemoryAccountant accountant;
+  core::GovernorPolicy policy;
+  policy.ceiling_bytes = 1 << 20;
+  core::Governor governor(policy, &accountant);
+  store.attach_governor(&governor);
+
+  // The engine pins before load_service; loading a service with no
+  // stored patterns must not destroy the pin it just took (the zero-row
+  // refresh used to erase the whole LRU entry, pins included).
+  governor.pin("ghost");
+  EXPECT_TRUE(store.load_service("ghost").empty());
+  EXPECT_EQ(governor.stats().pinned_partitions, 1u)
+      << "the in-flight pin survives a zero-row load";
+  EXPECT_FALSE(governor.try_claim_spill("ghost"));
+  governor.unpin("ghost");
+
+  // Once unpinned, a spill attempt on the empty partition cleans up the
+  // lingering zero-row entry instead of refusing forever.
+  EXPECT_FALSE(store.spill_partition("ghost"));
+  EXPECT_TRUE(governor.lru_order().empty());
+  store.attach_governor(nullptr);
+}
+
 TEST(Spill, RecordMatchOnResidentRowsKeepsLedgerAuditable) {
   TempDir dir("record_match");
   PatternStore store;
